@@ -1,0 +1,451 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (printed first, with wall-clock timings), then runs one Bechamel
+   micro-benchmark per experiment.
+
+   Paper: Yang, Hung, Song, Perkowski, "Exact Synthesis of 3-qubit Quantum
+   Circuits from Non-binary Quantum Gates Using Multiple-Valued Logic and
+   Group Theory" (DATE 2005).
+
+   Run with: dune exec bench/main.exe *)
+
+open Synthesis
+
+let library3 = Library.make (Mvl.Encoding.make ~qubits:3)
+let library2 = Library.make (Mvl.Encoding.make ~qubits:2)
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Format.printf "  [%-28s %8.3fs]@." name (Unix.gettimeofday () -. t0);
+  result
+
+let hr title = Format.printf "@.==== %s ====@." title
+
+(* Table 1 *)
+
+let reproduce_table1 () =
+  hr "Table 1: 2-qubit controlled-V truth table";
+  let gate = Gate.make Gate.Controlled_v ~target:1 ~control:0 in
+  let rows =
+    Mvl.Truth_table.labeled_rows ~order:Mvl.Truth_table.table1_order (Gate.apply gate)
+  in
+  Mvl.Truth_table.pp_table ~wires:[ "A"; "B" ] Format.std_formatter rows;
+  let img = Array.make 16 0 in
+  List.iter (fun (li, _, _, lo) -> img.(li - 1) <- lo - 1) rows;
+  Format.printf "permutation: %a  (paper: (3,7,4,8))@." Permgroup.Perm.pp
+    (Permgroup.Perm.of_array img)
+
+(* Table 2 *)
+
+let reproduce_table2 () =
+  hr "Table 2: number of circuits with cost k";
+  let census = time "FMCF census depth 7" (fun () -> Fmcf.run ~max_depth:7 library3) in
+  let print_row label values =
+    Format.printf "%-28s" label;
+    List.iter (fun v -> Format.printf " %6d" v) values;
+    Format.printf "@."
+  in
+  print_row "cost k" (List.map fst (Fmcf.counts census));
+  print_row "|G[k]|  (as specified)" (List.map snd (Fmcf.counts census));
+  print_row "|G[k]|  (paper variant)" (List.map snd (Fmcf.paper_counts census));
+  print_row "paper's printed row" [ 1; 6; 30; 52; 84; 156; 398; 540 ];
+  print_row "|S8[k]| (8 x as-specified)" (List.map snd (Fmcf.s8_counts census));
+  Format.printf
+    "note: 30 = 24 + 6 CNOTs re-derived as V*V (missed subtraction); 52 = 51 + \
+     identity (G[0] never subtracted); costs >= 4 agree exactly.@.";
+  census
+
+(* Figures 4-8: the cost-4 family *)
+
+let reproduce_figures_4_to_8 () =
+  hr "Figures 4-8: Peres and the cost-4 family";
+  let report name target printed =
+    let result = time (name ^ " MCE") (fun () -> Mce.express library3 target) in
+    match result with
+    | Some r ->
+        let witnesses = Mce.distinct_witnesses library3 target in
+        Format.printf "%s: %a  cost %d, %d distinct implementation(s), found %a@." name
+          Reversible.Revfun.pp target r.Mce.cost witnesses Cascade.pp r.Mce.cascade;
+        List.iter
+          (fun s ->
+            let c = Cascade.of_string ~qubits:3 s in
+            Format.printf "  paper: %s  reasonable=%b implements=%b@." s
+              (Cascade.is_reasonable library3 c)
+              (Verify.cascade_implements ~qubits:3 c target))
+          printed
+    | None -> Format.printf "%s: NOT FOUND (unexpected)@." name
+  in
+  report "Fig 4 Peres g1" Reversible.Gates.g1 [ "VCB*FBA*VCA*V+CB" ];
+  report "Fig 5 g2" Reversible.Gates.g2 [ "V+BC*FCA*VBA*VBC" ];
+  report "Fig 6 g3" Reversible.Gates.g3 [ "VCB*FBA*V+CA*VCB" ];
+  report "Fig 7 g4" Reversible.Gates.g4 [ "VCB*FBA*VCA*VCB" ];
+  let fig4 = Cascade.of_string ~qubits:3 "VCB*FBA*VCA*V+CB" in
+  let fig8 = Cascade.swap_v_dag fig4 in
+  Format.printf
+    "Fig 8: V<->V+ swap of Fig 4 = %a, implements Peres: %b (the paper's second \
+     implementation)@."
+    Cascade.pp fig8
+    (Verify.cascade_implements ~qubits:3 fig8 Reversible.Gates.g1)
+
+(* Figure 9: Toffoli *)
+
+let reproduce_figure_9 () =
+  hr "Figure 9: Toffoli implementations";
+  let target = Reversible.Gates.toffoli3 in
+  (match time "Toffoli MCE" (fun () -> Mce.express library3 target) with
+  | Some r -> Format.printf "minimal cost %d: %a@." r.Mce.cost Cascade.pp r.Mce.cascade
+  | None -> Format.printf "NOT FOUND (unexpected)@.");
+  Format.printf "distinct implementations: %d (paper found 4)@."
+    (Mce.distinct_witnesses library3 target);
+  let all = Mce.all_realizations library3 target in
+  Format.printf "all minimal cascades: %d, all exactly verified: %b@." (List.length all)
+    (List.for_all (Verify.result_valid library3) all);
+  List.iter
+    (fun s ->
+      let c = Cascade.of_string ~qubits:3 s in
+      Format.printf "  paper (a-d): %s  implements=%b@." s
+        (Verify.cascade_implements ~qubits:3 c target))
+    [
+      "FBA*V+CB*FBA*VCA*VCB";
+      "FBA*VCB*FBA*V+CA*V+CB";
+      "FAB*V+CA*FAB*VCA*VCB";
+      "FAB*VCA*FAB*V+CA*V+CB";
+    ]
+
+let reproduce_figure_9_structure () =
+  hr "Figure 9 discussion: symmetry structure of the minimal Toffoli set";
+  let cascades =
+    List.map (fun r -> r.Mce.cascade)
+      (Mce.all_realizations library3 Reversible.Gates.toffoli3)
+  in
+  let groups = Equivalence.group_by_circuit library3 cascades in
+  Format.printf "%d minimal cascades form %d circuit groups of sizes %s@."
+    (List.length cascades) (List.length groups)
+    (String.concat "," (List.map (fun g -> string_of_int (List.length g)) groups));
+  Format.printf "closed under V<->V+ with %d distinct-partner pairs (paper: (a)/(b) and \
+                 (c)/(d) are adjoint pairs)@."
+    (Equivalence.vdag_closed library3 cascades / 2);
+  let xor_sets =
+    List.sort_uniq compare (List.map Equivalence.xor_wires cascades)
+  in
+  Format.printf "XOR wires used: %s (paper: 'two choices ... qubit A or qubit B')@."
+    (String.concat " "
+       (List.map
+          (fun ws ->
+            "{" ^ String.concat "," (List.map (fun w -> String.make 1 (Char.chr (Char.code 'A' + w))) ws) ^ "}")
+          xor_sets));
+  Format.printf "wire-relabeling orbits: %d (A <-> B symmetry pairs the cascades)@."
+    (List.length (Equivalence.relabel_orbits ~qubits:3 cascades))
+
+(* Section 5 group results *)
+
+let reproduce_group_results census =
+  hr "Section 5: G[4] split, universality, Theorem 2";
+  let linear, family = Universality.split_g4 census in
+  Format.printf "G[4]: %d Feynman-realizable + %d Peres-family (paper: 60 + 24)@."
+    (List.length linear) (List.length family);
+  let universal =
+    time "24 universality checks" (fun () ->
+        List.filter
+          (fun (m : Fmcf.member) -> Universality.is_universal m.Fmcf.func)
+          family)
+  in
+  Format.printf "universal members: %d of %d (paper: all 24, Size(M) = 40320)@."
+    (List.length universal) (List.length family);
+  let orbits =
+    Universality.wire_orbits (List.map (fun (m : Fmcf.member) -> m.Fmcf.func) family)
+  in
+  Format.printf "wire-relabeling orbits: %s (paper: 4 families g1..g4 of 6)@."
+    (String.concat " + " (List.map (fun o -> string_of_int (List.length o)) orbits));
+  let g_size, h_size =
+    time "Theorem 2 checks" (fun () -> Universality.theorem2_check ~bits:3)
+  in
+  Format.printf "|G| = %d, |S8| = %d (paper: 5040 and 40320)@." g_size h_size
+
+(* Paper's timing experiment *)
+
+let reproduce_timing () =
+  hr "Section 5 timings (paper: Peres 9 s, Toffoli 98 s on a 850 MHz P-III)";
+  let t0 = Unix.gettimeofday () in
+  ignore (Mce.express library3 Reversible.Gates.g1);
+  let peres = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  ignore (Mce.express library3 Reversible.Gates.toffoli3);
+  let toffoli = Unix.gettimeofday () -. t0 in
+  Format.printf "this machine: Peres %.3fs, Toffoli %.3fs, ratio %.1fx (paper: %.1fx)@."
+    peres toffoli (toffoli /. peres) (98.0 /. 9.0)
+
+(* Extensions *)
+
+let reproduce_two_qubit () =
+  hr "Extension X2: 2-qubit census to closure";
+  let census = time "2-qubit census" (fun () -> Fmcf.run ~max_depth:6 library2) in
+  List.iter
+    (fun (k, n) -> if n > 0 then Format.printf "|G[%d]| = %d@." k n)
+    (Fmcf.counts census);
+  Format.printf "total: %d of %d zero-fixing functions@." (Fmcf.total_found census) 6
+
+let reproduce_fredkin () =
+  hr "Extension: Fredkin's exact cost (not in the paper)";
+  match time "Fredkin MCE" (fun () -> Mce.express library3 Reversible.Gates.fredkin3) with
+  | Some r ->
+      Format.printf "Fredkin: cost %d, cascade %a, verified %b@." r.Mce.cost Cascade.pp
+        r.Mce.cascade
+        (Verify.result_valid library3 r)
+  | None -> Format.printf "Fredkin: not found within cb@."
+
+let reproduce_weighted () =
+  hr "Extension: synthesis under non-uniform gate costs (NMR-style models)";
+  List.iter
+    (fun (name, target) ->
+      List.iter
+        (fun model ->
+          match Weighted.express ~max_cost:10 library3 ~model target with
+          | Some r ->
+              Format.printf "  %-14s %-10s cost %2d  %s@." (Cost_model.name model) name
+                r.Weighted.cost
+                (Cascade.to_string r.Weighted.cascade)
+          | None -> Format.printf "  %-14s %-10s not found@." (Cost_model.name model) name)
+        [ Cost_model.unit; Cost_model.v_cheap; Cost_model.feynman_cheap ])
+    [ ("peres", Reversible.Gates.g1); ("toffoli", Reversible.Gates.toffoli3) ]
+
+let reproduce_ablation () =
+  hr "Ablation: census without the reasonable-product constraint (Definition 1)";
+  let constrained = Fmcf.run ~max_depth:4 library3 in
+  let unconstrained = Fmcf.run ~max_depth:4 (Library.unconstrained library3) in
+  Format.printf "constrained |G[k]|  :";
+  List.iter (fun (_, n) -> Format.printf " %4d" n) (Fmcf.counts constrained);
+  Format.printf "@.unconstrained |G[k]|:";
+  List.iter (fun (_, n) -> Format.printf " %4d" n) (Fmcf.counts unconstrained);
+  Format.printf "@.";
+  let unsound =
+    List.concat_map
+      (fun level ->
+        List.filter
+          (fun (m : Fmcf.member) ->
+            not
+              (Verify.cascade_implements ~qubits:3
+                 (Fmcf.cascade_of_member unconstrained m)
+                 m.Fmcf.func))
+          level.Fmcf.members)
+      (Fmcf.levels unconstrained)
+  in
+  Format.printf
+    "unsound members within depth 4: %d (their multiple-valued permutations are not \
+     implemented by their cascades' unitaries) — the constraint is load-bearing@."
+    (List.length unsound)
+
+let reproduce_rewrite () =
+  hr "Extension: peephole rewriting";
+  let bloated = Cascade.of_string ~qubits:3 "VBA*FCA*V+BA*FCB*FCB*VCA*VCA" in
+  let slim = Rewrite.normalize bloated in
+  Format.printf "%s (%d gates) -> %s (%d gates), unitary preserved: %b@."
+    (Cascade.to_string bloated) (Cascade.cost bloated) (Cascade.to_string slim)
+    (Cascade.cost slim)
+    (Rewrite.equivalent_unitary ~qubits:3 bloated slim)
+
+let reproduce_classical_libraries () =
+  hr "Conclusion claim: Peres libraries beat Toffoli libraries";
+  List.iter
+    (fun library ->
+      let result =
+        time
+          ("census " ^ library.Reversible.Classical_synth.label)
+          (fun () -> Reversible.Classical_synth.census ~bits:3 library)
+      in
+      Format.printf "%a@." Reversible.Classical_synth.pp_result result)
+    [
+      Reversible.Classical_synth.ncp_linear;
+      Reversible.Classical_synth.ncp_toffoli;
+      Reversible.Classical_synth.ncp_peres;
+    ];
+  (* the paper's own formula notation for the Peres gate *)
+  Format.printf "ANF of Peres (paper: P = A, Q = B xor A, R = C xor AB): %s@."
+    (Reversible.Anf.describe Reversible.Gates.g1)
+
+let reproduce_composer census =
+  hr "Extension: optimal synthesis of all 5040 functions by composition";
+  let t0 = Unix.gettimeofday () in
+  let express = Spectrum.composer census in
+  let group =
+    Universality.closure_of (Reversible.Gates.g1 :: Universality.cnots ~bits:3)
+  in
+  let histogram = Hashtbl.create 16 in
+  Permgroup.Closure.iter
+    (fun p ->
+      match express (Reversible.Revfun.of_perm ~bits:3 p) with
+      | Some r ->
+          Hashtbl.replace histogram r.Mce.cost
+            (1 + Option.value ~default:0 (Hashtbl.find_opt histogram r.Mce.cost))
+      | None -> ())
+    group;
+  Format.printf "constructed costs (%.1fs):" (Unix.gettimeofday () -. t0);
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) histogram []
+  |> List.sort compare
+  |> List.iter (fun (c, n) -> Format.printf " %d:%d" c n);
+  Format.printf
+    "@.matches the exact spectrum (X1) on every function: the depth-7 census plus \
+     witness composition is an optimal synthesizer; worst case 13, nothing at 11.@."
+
+let reproduce_behavior () =
+  hr "Section 6 program: synthesis from behaviour examples";
+  let spec =
+    Automata.Behavior.of_strings library3
+      [ "000"; "001"; "010"; "011"; "1??"; "***"; "***"; "***" ]
+  in
+  match Automata.Behavior.synthesize library3 spec with
+  | Some circuit ->
+      Format.printf
+        "observer spec 'input 4 measures 1,coin,coin' -> cheapest circuit %a (cost %d)@."
+        Cascade.pp
+        (Automata.Prob_circuit.cascade circuit)
+        (Cascade.cost (Automata.Prob_circuit.cascade circuit))
+  | None -> Format.printf "behavioural spec unrealizable (unexpected)@."
+
+let reproduce_qrng () =
+  hr "Section 4: probabilistic circuits (QRNG substitute)";
+  let coin = Automata.Prob_circuit.controlled_coin library3 in
+  let dist = Automata.Prob_circuit.output_distribution coin ~input:4 in
+  Format.printf "controlled coin, armed: P(C=0) = %a, P(C=1) = %a (exact)@." Qsim.Prob.pp
+    dist.(4) Qsim.Prob.pp dist.(5);
+  let machine =
+    Automata.Qfsm.make
+      ~circuit:
+        (Automata.Prob_circuit.of_cascade library3
+           (Cascade.of_string ~qubits:3 "VCA*VAB"))
+      ~state_wires:[ 0 ] ~input_wires:[ 1 ] ~obs_wires:[ 2 ]
+  in
+  let hmm = Automata.Hmm.of_machine machine ~input:1 in
+  let init = [| Qsim.Prob.half; Qsim.Prob.half |] in
+  Format.printf "HMM forward P(obs = 101) = %a (exact dyadic)@." Qsim.Prob.pp
+    (Automata.Hmm.forward hmm ~init ~observations:[ 1; 0; 1 ])
+
+(* Bechamel micro-benchmarks: one per experiment *)
+
+let bechamel_tests =
+  let open Bechamel in
+  let stage = Staged.stage in
+  let ctrl_v = Gate.make Gate.Controlled_v ~target:1 ~control:0 in
+  let vba = Library.perm_of_gate library3 (Gate.of_name ~qubits:3 "VBA") in
+  let peres_cascade = Cascade.of_string ~qubits:3 "VCB*FBA*VCA*V+CB" in
+  let machine =
+    Automata.Qfsm.make
+      ~circuit:
+        (Automata.Prob_circuit.of_cascade library3
+           (Cascade.of_string ~qubits:3 "VCA*VAB"))
+      ~state_wires:[ 0 ] ~input_wires:[ 1 ] ~obs_wires:[ 2 ]
+  in
+  let hmm = Automata.Hmm.of_machine machine ~input:1 in
+  let init = [| Qsim.Prob.half; Qsim.Prob.half |] in
+  [
+    Test.make ~name:"table1/truth-table"
+      (stage (fun () ->
+           Mvl.Truth_table.labeled_rows ~order:Mvl.Truth_table.table1_order
+             (Gate.apply ctrl_v)));
+    Test.make ~name:"table2/census-depth3"
+      (stage (fun () -> Fmcf.run ~max_depth:3 library3));
+    Test.make ~name:"table2/census-depth4"
+      (stage (fun () -> Fmcf.run ~max_depth:4 library3));
+    Test.make ~name:"fig4/peres-synthesis"
+      (stage (fun () -> Mce.express library3 Reversible.Gates.g1));
+    Test.make ~name:"fig5/g2-synthesis"
+      (stage (fun () -> Mce.express library3 Reversible.Gates.g2));
+    Test.make ~name:"fig6/g3-synthesis"
+      (stage (fun () -> Mce.express library3 Reversible.Gates.g3));
+    Test.make ~name:"fig7/g4-synthesis"
+      (stage (fun () -> Mce.express library3 Reversible.Gates.g4));
+    Test.make ~name:"fig8/adjoint-verify"
+      (stage (fun () ->
+           Verify.cascade_implements ~qubits:3 (Cascade.swap_v_dag peres_cascade)
+             Reversible.Gates.g1));
+    Test.make ~name:"fig9/toffoli-synthesis"
+      (stage (fun () -> Mce.express library3 Reversible.Gates.toffoli3));
+    Test.make ~name:"e1/g4-split"
+      (stage (fun () -> Universality.split_g4 (Fmcf.run ~max_depth:4 library3)));
+    Test.make ~name:"e2/universality-check"
+      (stage (fun () -> Universality.is_universal Reversible.Gates.g1));
+    Test.make ~name:"e3/group-order-5040"
+      (stage (fun () ->
+           Universality.group_order ~bits:3
+             (Reversible.Gates.g1 :: Universality.cnots ~bits:3)));
+    Test.make ~name:"x2/two-qubit-census"
+      (stage (fun () -> Fmcf.run ~max_depth:6 library2));
+    Test.make ~name:"x3/hmm-forward"
+      (stage (fun () -> Automata.Hmm.forward hmm ~init ~observations:[ 1; 0; 1; 1 ]));
+    Test.make ~name:"core/gate-perm-compose"
+      (stage (fun () -> Permgroup.Perm.mul vba vba));
+    Test.make ~name:"ext/weighted-toffoli-vcheap"
+      (stage (fun () ->
+           Weighted.express library3 ~model:Cost_model.v_cheap
+             Reversible.Gates.toffoli3));
+    Test.make ~name:"ext/rewrite-normalize"
+      (stage
+         (let bloated = Cascade.of_string ~qubits:3 "VBA*FCA*V+BA*FCB*FCB*VCA*VCA" in
+          fun () -> Rewrite.normalize bloated));
+    Test.make ~name:"ablation/unconstrained-census-d3"
+      (stage
+         (let unconstrained = Library.unconstrained library3 in
+          fun () -> Fmcf.run ~max_depth:3 unconstrained));
+    Test.make ~name:"ext/classical-linear-census"
+      (stage (fun () ->
+           Reversible.Classical_synth.census ~bits:3 Reversible.Classical_synth.ncp_linear));
+    Test.make ~name:"ext/anf-describe"
+      (stage (fun () -> Reversible.Anf.describe Reversible.Gates.fredkin3));
+    Test.make ~name:"ext/draw-toffoli"
+      (stage
+         (let cascade = Cascade.of_string ~qubits:3 "FBA*V+CB*FBA*VCA*VCB" in
+          fun () -> Draw.to_ascii ~qubits:3 cascade));
+    Test.make ~name:"core/exact-unitary-verify"
+      (stage (fun () ->
+           Verify.cascade_implements ~qubits:3 peres_cascade Reversible.Gates.g1));
+  ]
+
+let run_bechamel () =
+  hr "Bechamel micro-benchmarks (time per run)";
+  let open Bechamel in
+  let open Toolkit in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"paper" ~fmt:"%s %s" bechamel_tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let pretty ns =
+    if ns >= 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+    else Printf.sprintf "%8.1f ns" ns
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols_result with Some (e :: _) -> e | _ -> nan
+        in
+        (name, estimate) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter (fun (name, ns) -> Format.printf "%-32s %s@." name (pretty ns)) rows
+
+let () =
+  Format.printf "Reproduction harness: exact 3-qubit quantum circuit synthesis@.";
+  reproduce_table1 ();
+  let census = reproduce_table2 () in
+  reproduce_figures_4_to_8 ();
+  reproduce_figure_9 ();
+  reproduce_figure_9_structure ();
+  reproduce_group_results census;
+  reproduce_timing ();
+  reproduce_two_qubit ();
+  reproduce_fredkin ();
+  reproduce_weighted ();
+  reproduce_classical_libraries ();
+  reproduce_composer census;
+  reproduce_behavior ();
+  reproduce_ablation ();
+  reproduce_rewrite ();
+  reproduce_qrng ();
+  run_bechamel ()

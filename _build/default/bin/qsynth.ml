@@ -1,0 +1,468 @@
+(* qsynth: command-line front end for the exact quantum-circuit synthesis
+   library (Yang/Hung/Song/Perkowski, DATE 2005 reproduction). *)
+
+open Cmdliner
+open Synthesis
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Print search progress (levels, state counts) to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let make_library qubits = Library.make (Mvl.Encoding.make ~qubits)
+
+let qubits_arg =
+  let doc = "Number of qubits." in
+  Arg.(value & opt int 3 & info [ "q"; "qubits" ] ~docv:"N" ~doc)
+
+let depth_arg =
+  let doc = "Search depth bound (the paper's cb)." in
+  Arg.(value & opt int 7 & info [ "d"; "depth" ] ~docv:"K" ~doc)
+
+(* census *)
+
+let census_cmd =
+  let run verbose qubits depth paper_variant save =
+    setup_logs verbose;
+    let library = make_library qubits in
+    let t0 = Unix.gettimeofday () in
+    let census = Fmcf.run ~max_depth:depth library in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (match save with
+    | Some path ->
+        Census_io.save census path;
+        Format.printf "saved census to %s@." path
+    | None -> ());
+    let counts = if paper_variant then Fmcf.paper_counts census else Fmcf.counts census in
+    Format.printf "Table 2: number of circuits with cost k (%d qubits, depth %d)@."
+      qubits depth;
+    Format.printf "Cost k  :";
+    List.iter (fun (k, _) -> Format.printf " %6d" k) counts;
+    Format.printf "@.|G[k]|  :";
+    List.iter (fun (_, n) -> Format.printf " %6d" n) counts;
+    Format.printf "@.|S%d[k]| :" (1 lsl qubits);
+    List.iter (fun (_, n) -> Format.printf " %6d" (n * (1 lsl qubits))) counts;
+    Format.printf "@.total functions found: %d; search states: %d; %.2fs@."
+      (Fmcf.total_found census)
+      (Search.size (Fmcf.search census))
+      elapsed
+  in
+  let paper_flag =
+    Arg.(value & flag & info [ "paper-variant" ]
+           ~doc:"Report the counts exactly as printed in the paper's Table 2 \
+                 (reproducing its two counting artifacts at k = 2, 3).")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Save the census (cost, function, witness cascade) as TSV.")
+  in
+  Cmd.v (Cmd.info "census" ~doc:"Reproduce Table 2: |G[k]| for k = 0..depth.")
+    Term.(const run $ verbose_arg $ qubits_arg $ depth_arg $ paper_flag $ save_arg)
+
+(* synth *)
+
+let synth_cmd =
+  let run qubits depth all spec =
+    let library = make_library qubits in
+    let target = Reversible.Spec.parse ~bits:qubits spec in
+    Format.printf "target: %a@." Reversible.Revfun.pp target;
+    let t0 = Unix.gettimeofday () in
+    if all then begin
+      let results = Mce.all_realizations ~max_depth:depth library target in
+      (match results with
+      | [] -> Format.printf "no realization within depth %d@." depth
+      | { Mce.cost; _ } :: _ ->
+          Format.printf "%d minimal realization(s) of cost %d (%.3fs):@."
+            (List.length results) cost
+            (Unix.gettimeofday () -. t0);
+          List.iter
+            (fun r ->
+              Format.printf "  %s%a  [verified: %b]@."
+                (if r.Mce.not_mask = 0 then ""
+                 else Printf.sprintf "NOT(mask=%d) * " r.Mce.not_mask)
+                Cascade.pp r.Mce.cascade
+                (Verify.result_valid library r))
+            results)
+    end
+    else
+      match Mce.express ~max_depth:depth library target with
+      | None -> Format.printf "no realization within depth %d@." depth
+      | Some r ->
+          Format.printf "cost %d (%.3fs): %s%a  [verified: %b]@." r.Mce.cost
+            (Unix.gettimeofday () -. t0)
+            (if r.Mce.not_mask = 0 then ""
+             else Printf.sprintf "NOT(mask=%d) * " r.Mce.not_mask)
+            Cascade.pp r.Mce.cascade
+            (Verify.result_valid library r)
+  in
+  let all_flag =
+    Arg.(value & flag & info [ "a"; "all" ] ~doc:"Enumerate all minimal realizations.")
+  in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
+           ~doc:"Named circuit (toffoli, peres, g2, g3, g4, fredkin), 1-based \
+                 cycle notation like '(7,8)', or a truth-table output column \
+                 like '0,1,2,3,4,5,7,6'.")
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesize a minimal-cost quantum cascade for a reversible function \
+             (the paper's MCE algorithm).")
+    Term.(const run $ qubits_arg $ depth_arg $ all_flag $ spec_arg)
+
+(* table1 *)
+
+let table1_cmd =
+  let run () =
+    let gate = Gate.make Gate.Controlled_v ~target:1 ~control:0 in
+    let rows =
+      Mvl.Truth_table.labeled_rows ~order:Mvl.Truth_table.table1_order (Gate.apply gate)
+    in
+    Format.printf "Table 1: truth table of the 2-qubit controlled-V gate@.";
+    Mvl.Truth_table.pp_table ~wires:[ "A"; "B" ] Format.std_formatter rows;
+    (* The paper prints the permutation over Table 1's own row order. *)
+    let img = Array.make (List.length rows) 0 in
+    List.iter (fun (li, _, _, lo) -> img.(li - 1) <- lo - 1) rows;
+    Format.printf "permutation representation: %a@." Permgroup.Perm.pp
+      (Permgroup.Perm.of_array img)
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 (2-qubit controlled-V truth table).")
+    Term.(const run $ const ())
+
+(* universal *)
+
+let universal_cmd =
+  let run () =
+    let library = make_library 3 in
+    let census = Fmcf.run ~max_depth:4 library in
+    let linear, family = Universality.split_g4 census in
+    Format.printf "G[4]: %d circuits = %d Feynman-realizable + %d Peres-family@."
+      (List.length linear + List.length family)
+      (List.length linear) (List.length family);
+    let universal =
+      List.filter (fun (m : Fmcf.member) -> Universality.is_universal m.Fmcf.func) family
+    in
+    Format.printf "universal Peres-family circuits: %d@." (List.length universal);
+    let orbits =
+      Universality.wire_orbits (List.map (fun (m : Fmcf.member) -> m.Fmcf.func) family)
+    in
+    Format.printf "wire-relabeling orbits: %s@."
+      (String.concat " + "
+         (List.map (fun o -> string_of_int (List.length o)) orbits));
+    List.iteri
+      (fun i orbit ->
+        Format.printf "  orbit %d representative: %a@." (i + 1) Reversible.Revfun.pp
+          (List.hd orbit))
+      orbits;
+    let g_size, h_size = Universality.theorem2_check ~bits:3 in
+    Format.printf "|G| = %d, |S8| = %d (Theorem 2 coset checks passed)@." g_size h_size
+  in
+  Cmd.v
+    (Cmd.info "universal"
+       ~doc:"Reproduce the Section 5 group-theory results: the 24 universal \
+             cost-4 circuits, their orbits, |G| = 5040 and Theorem 2.")
+    Term.(const run $ const ())
+
+(* simulate *)
+
+let simulate_cmd =
+  let run qubits cascade_str input_str =
+    let library = make_library qubits in
+    let cascade = Cascade.of_string ~qubits cascade_str in
+    Format.printf "cascade: %a (cost %d, reasonable: %b)@." Cascade.pp cascade
+      (Cascade.cost cascade)
+      (Cascade.is_reasonable library cascade);
+    let circuit = Automata.Prob_circuit.of_cascade library cascade in
+    let inputs =
+      match input_str with
+      | Some s -> [ int_of_string s ]
+      | None -> List.init (1 lsl qubits) Fun.id
+    in
+    List.iter
+      (fun input ->
+        let pattern = Automata.Prob_circuit.output_pattern circuit ~input in
+        Format.printf "input %d -> pattern %a" input Mvl.Pattern.pp pattern;
+        if Mvl.Pattern.is_binary pattern then Format.printf " (deterministic)@."
+        else begin
+          Format.printf " ; measurement:";
+          List.iter
+            (fun (code, p) -> Format.printf " %d:%a" code Qsim.Prob.pp p)
+            (Automata.Measurement.support pattern);
+          Format.printf "@."
+        end)
+      inputs
+  in
+  let cascade_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CASCADE"
+           ~doc:"Gate cascade, e.g. 'VCB*FBA*VCA*V+CB'.")
+  in
+  let input_arg =
+    Arg.(value & opt (some string) None & info [ "i"; "input" ] ~docv:"CODE"
+           ~doc:"Binary input code (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a cascade on binary inputs; print quaternary outputs and exact \
+             measurement distributions.")
+    Term.(const run $ qubits_arg $ cascade_arg $ input_arg)
+
+(* classical *)
+
+let classical_cmd =
+  let run spec_opt =
+    let libraries =
+      [
+        Reversible.Classical_synth.ncp_linear;
+        Reversible.Classical_synth.ncp_toffoli;
+        Reversible.Classical_synth.ncp_peres;
+      ]
+    in
+    match spec_opt with
+    | None ->
+        List.iter
+          (fun library ->
+            let result = Reversible.Classical_synth.census ~bits:3 library in
+            Format.printf "%a@.@." Reversible.Classical_synth.pp_result result)
+          libraries
+    | Some spec ->
+        let target = Reversible.Spec.parse ~bits:3 spec in
+        List.iter
+          (fun library ->
+            match Reversible.Classical_synth.synthesize ~bits:3 library target with
+            | Some (gates, count) ->
+                Format.printf "%-18s %d gates: %s@."
+                  library.Reversible.Classical_synth.label count
+                  (String.concat "*"
+                     (List.map
+                        (fun g -> g.Reversible.Classical_synth.name)
+                        gates))
+            | None ->
+                Format.printf "%-18s unreachable@."
+                  library.Reversible.Classical_synth.label)
+          libraries
+  in
+  let spec_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC"
+           ~doc:"Optional circuit to factor into classical library gates; \
+                 without it, census all three libraries.")
+  in
+  Cmd.v
+    (Cmd.info "classical"
+       ~doc:"Classical gate-library synthesis over all 40320 3-bit reversible \
+             functions: the paper's Peres-vs-Toffoli library comparison.")
+    Term.(const run $ spec_arg)
+
+(* describe *)
+
+let describe_cmd =
+  let run qubits spec =
+    let library = make_library qubits in
+    let target = Reversible.Spec.parse ~bits:qubits spec in
+    Format.printf "cycles:   %a@." Reversible.Revfun.pp target;
+    Format.printf "formulas: %s@." (Reversible.Anf.describe target);
+    Format.printf "linear:   %b@." (Reversible.Anf.is_linear target);
+    (match Reversible.Gf2.synthesize target with
+    | Some (not_mask, cnots) ->
+        Format.printf "affine decomposition: NOT(mask=%d) then %d CNOT(s)@." not_mask
+          (List.length cnots)
+    | None -> ());
+    match Mce.express library target with
+    | Some r ->
+        Format.printf "quantum cost: %d@.@.%s@." r.Mce.cost
+          (Draw.to_ascii ~qubits ~not_mask:r.Mce.not_mask r.Mce.cascade)
+    | None -> Format.printf "quantum cost: beyond the default depth bound@."
+  in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
+           ~doc:"Circuit to describe (names, cycles, formulas or output lists).")
+  in
+  Cmd.v
+    (Cmd.info "describe"
+       ~doc:"Everything about one reversible function: cycle form, per-output \
+             formulas (ANF), linearity, minimal quantum cascade and its drawing.")
+    Term.(const run $ qubits_arg $ spec_arg)
+
+(* spectrum *)
+
+let spectrum_cmd =
+  let run depth probe =
+    let library = make_library 3 in
+    let t0 = Unix.gettimeofday () in
+    let census = Fmcf.run ~max_depth:depth library in
+    Format.printf "census to depth %d: %.1fs, %d functions@." depth
+      (Unix.gettimeofday () -. t0)
+      (Fmcf.total_found census);
+    let spectrum = Spectrum.analyze census in
+    Format.printf "exact costs:";
+    List.iter (fun (k, n) -> Format.printf " %d:%d" k n) spectrum.Spectrum.exact;
+    Format.printf "@.beyond the census: %d elements, lower bound %d@."
+      (List.length spectrum.Spectrum.bounds)
+      (depth + 1);
+    Format.printf "two-split upper bounds:";
+    List.iter
+      (fun (c, n) ->
+        if c = max_int then Format.printf " unresolved:%d" n
+        else Format.printf " %d:%d" c n)
+      (Spectrum.upper_histogram spectrum);
+    Format.printf "@.tight (exactly determined): %d of %d@."
+      spectrum.Spectrum.tight
+      (List.length spectrum.Spectrum.bounds);
+    if probe then begin
+      let t0 = Unix.gettimeofday () in
+      let completion = Spectrum.complete census spectrum in
+      Format.printf "frontier probes (%.1fs): |G[%d]| = %d, |G[%d]| = %d (exact)@."
+        (Unix.gettimeofday () -. t0)
+        (depth + 1) completion.Spectrum.probe_one (depth + 2)
+        completion.Spectrum.probe_two;
+      Format.printf "resolved tail:";
+      List.iter
+        (fun (c, n) -> Format.printf " %d:%d" c n)
+        completion.Spectrum.resolved_tail;
+      Format.printf "@.unresolved: %d@." completion.Spectrum.unresolved
+    end
+  in
+  let depth_arg =
+    Arg.(value & opt int 7 & info [ "d"; "depth" ] ~docv:"K" ~doc:"Census depth.")
+  in
+  let probe_flag =
+    Arg.(value & flag & info [ "probe" ]
+           ~doc:"Also probe one and two levels past the census depth (exact, \
+                 memory-light, but slow: the probe re-walks the frontier without \
+                 deduplication).")
+  in
+  Cmd.v
+    (Cmd.info "spectrum"
+       ~doc:"Complete the minimal-cost spectrum of all 5040 NOT-free reversible \
+             functions: exact costs up to the census depth, provable bounds beyond.")
+    Term.(const run $ depth_arg $ probe_flag)
+
+(* draw *)
+
+let draw_cmd =
+  let run qubits depth spec =
+    let library = make_library qubits in
+    let target = Reversible.Spec.parse ~bits:qubits spec in
+    match Mce.express ~max_depth:depth library target with
+    | None -> Format.printf "no realization within depth %d@." depth
+    | Some r ->
+        Format.printf "%a  (cost %d)@.@." Reversible.Revfun.pp target r.Mce.cost;
+        Format.printf "%s@."
+          (Draw.to_ascii ~qubits ~not_mask:r.Mce.not_mask r.Mce.cascade)
+  in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
+           ~doc:"Circuit to synthesize and draw (same formats as synth).")
+  in
+  Cmd.v
+    (Cmd.info "draw" ~doc:"Synthesize a circuit and render it as ASCII art.")
+    Term.(const run $ qubits_arg $ depth_arg $ spec_arg)
+
+(* weighted *)
+
+let weighted_cmd =
+  let run qubits max_cost model_name spec =
+    let library = make_library qubits in
+    let target = Reversible.Spec.parse ~bits:qubits spec in
+    let model =
+      match model_name with
+      | "unit" -> Cost_model.unit
+      | "v-cheap" -> Cost_model.v_cheap
+      | "feynman-cheap" -> Cost_model.feynman_cheap
+      | other -> failwith ("unknown cost model: " ^ other)
+    in
+    match Weighted.express ~max_cost library ~model target with
+    | None -> Format.printf "no realization within cost %d@." max_cost
+    | Some r ->
+        Format.printf "model %s: cost %d, cascade %s%a  [verified: %b]@."
+          (Cost_model.name model) r.Weighted.cost
+          (if r.Weighted.not_mask = 0 then ""
+           else Printf.sprintf "NOT(mask=%d) * " r.Weighted.not_mask)
+          Cascade.pp r.Weighted.cascade
+          (Verify.cascade_implements ~qubits ~not_mask:r.Weighted.not_mask
+             r.Weighted.cascade target)
+  in
+  let model_arg =
+    Arg.(value & opt string "unit" & info [ "m"; "model" ] ~docv:"MODEL"
+           ~doc:"Cost model: unit, v-cheap or feynman-cheap.")
+  in
+  let max_cost_arg =
+    Arg.(value & opt int 8 & info [ "c"; "max-cost" ] ~docv:"C"
+           ~doc:"Total cost bound for the Dijkstra search.")
+  in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
+           ~doc:"Circuit to synthesize (same formats as synth).")
+  in
+  Cmd.v
+    (Cmd.info "weighted"
+       ~doc:"Minimum-cost synthesis under a non-uniform gate cost model \
+             (uniform-cost search).")
+    Term.(const run $ qubits_arg $ max_cost_arg $ model_arg $ spec_arg)
+
+(* ablation *)
+
+let ablation_cmd =
+  let run depth =
+    let library = make_library 3 in
+    let constrained = Fmcf.run ~max_depth:depth library in
+    let unconstrained = Fmcf.run ~max_depth:depth (Library.unconstrained library) in
+    Format.printf "census with and without the reasonable-product constraint:@.";
+    Format.printf "%-16s" "cost k";
+    List.iter (fun (k, _) -> Format.printf " %6d" k) (Fmcf.counts constrained);
+    Format.printf "@.%-16s" "constrained";
+    List.iter (fun (_, n) -> Format.printf " %6d" n) (Fmcf.counts constrained);
+    Format.printf "@.%-16s" "unconstrained";
+    List.iter (fun (_, n) -> Format.printf " %6d" n) (Fmcf.counts unconstrained);
+    Format.printf "@.";
+    (* exhibit an unsound witness *)
+    let unsound =
+      List.find_map
+        (fun level ->
+          List.find_map
+            (fun (m : Fmcf.member) ->
+              let cascade = Fmcf.cascade_of_member unconstrained m in
+              if Verify.cascade_implements ~qubits:3 cascade m.Fmcf.func then None
+              else Some (cascade, m.Fmcf.func))
+            level.Fmcf.members)
+        (Fmcf.levels unconstrained)
+    in
+    match unsound with
+    | Some (cascade, func) ->
+        Format.printf
+          "unsound witness: %a claims %a in the multiple-valued model but its exact \
+           unitary does not implement it — this is why Definition 1 bans mixed \
+           control values.@."
+          Cascade.pp cascade Reversible.Revfun.pp func
+    | None -> Format.printf "no unsound witness within this depth.@."
+  in
+  let depth_arg =
+    Arg.(value & opt int 4 & info [ "d"; "depth" ] ~docv:"K" ~doc:"Census depth.")
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Ablate the reasonable-product constraint and show the search \
+             becomes unsound.")
+    Term.(const run $ depth_arg)
+
+let () =
+  let doc = "Exact synthesis of 3-qubit quantum circuits (DATE 2005 reproduction)." in
+  let info = Cmd.info "qsynth" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            census_cmd;
+            synth_cmd;
+            table1_cmd;
+            universal_cmd;
+            simulate_cmd;
+            draw_cmd;
+            weighted_cmd;
+            ablation_cmd;
+            spectrum_cmd;
+            classical_cmd;
+            describe_cmd;
+          ]))

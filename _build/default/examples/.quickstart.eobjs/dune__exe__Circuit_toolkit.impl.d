@@ -1,0 +1,1 @@
+examples/circuit_toolkit.ml: Cascade Cost_model Draw Format Library List Mce Mvl Reversible Rewrite Synthesis Weighted

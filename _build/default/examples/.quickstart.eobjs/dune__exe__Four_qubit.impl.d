@@ -1,0 +1,1 @@
+examples/four_qubit.ml: Cascade Draw Fmcf Format Gate Library List Mce Mvl Reversible Search Synthesis Unix Verify

@@ -1,0 +1,1 @@
+examples/full_synthesis.ml: Fmcf Format Hashtbl Int Library List Mce Mvl Option Permgroup Random Reversible Spectrum Synthesis Universality Unix Verify

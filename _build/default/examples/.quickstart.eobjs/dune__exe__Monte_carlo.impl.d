@@ -1,0 +1,1 @@
+examples/monte_carlo.ml: Array Automata Cascade Format Hmm Library List Markov Mvl Prob_circuit Qfsm Qsim Random Sampler Synthesis

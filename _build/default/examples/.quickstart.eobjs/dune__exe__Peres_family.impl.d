@@ -1,0 +1,1 @@
+examples/peres_family.ml: Fmcf Format Gate Library List Mvl Reversible String Synthesis Universality

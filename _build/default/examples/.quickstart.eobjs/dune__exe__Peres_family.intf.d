@@ -1,0 +1,1 @@
+examples/peres_family.mli:

@@ -1,0 +1,1 @@
+examples/quantum_rng.ml: Array Automata Behavior Cascade Format Hmm Library List Mvl Printf Prob_circuit Qfsm Qsim String Synthesis

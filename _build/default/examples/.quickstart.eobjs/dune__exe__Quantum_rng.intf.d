@@ -1,0 +1,1 @@
+examples/quantum_rng.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cascade Format Gate Library Mce Mvl Permgroup Reversible Synthesis Verify

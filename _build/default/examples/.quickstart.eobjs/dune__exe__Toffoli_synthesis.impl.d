@@ -1,0 +1,1 @@
+examples/toffoli_synthesis.ml: Cascade Format Library List Mce Mvl Reversible Synthesis Unix Verify

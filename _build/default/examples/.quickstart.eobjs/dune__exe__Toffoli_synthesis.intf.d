@@ -1,0 +1,1 @@
+examples/toffoli_synthesis.mli:

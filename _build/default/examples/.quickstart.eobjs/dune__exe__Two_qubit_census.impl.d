@@ -1,0 +1,1 @@
+examples/two_qubit_census.ml: Cascade Fmcf Format Gate Library List Mce Mvl Printf Reversible Synthesis Universality Verify

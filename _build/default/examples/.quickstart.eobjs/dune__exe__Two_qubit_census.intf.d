@@ -1,0 +1,1 @@
+examples/two_qubit_census.mli:

@@ -1,0 +1,82 @@
+(* Monte-Carlo validation of the exact probabilistic semantics: sample
+   the QRNG circuits and state machines of Section 4 and compare the
+   empirical frequencies with the exact dyadic distributions.
+
+   Run with: dune exec examples/monte_carlo.exe *)
+
+open Synthesis
+open Automata
+
+let () =
+  let library = Library.make (Mvl.Encoding.make ~qubits:3) in
+  let rng = Random.State.make [| 2005; 7; 6 |] in
+
+  (* 1. Sample the controlled coin 100k times; the empirical distribution
+     must sit within a small total-variation distance of the exact one. *)
+  let coin = Prob_circuit.controlled_coin library in
+  let exact = Prob_circuit.output_distribution coin ~input:4 in
+  let empirical =
+    Sampler.empirical rng ~samples:100_000 ~outcomes:8 (fun state ->
+        Sampler.run_circuit state coin ~input:4)
+  in
+  Format.printf "controlled coin, input 4:@.";
+  Array.iteri
+    (fun code p ->
+      if not (Qsim.Prob.is_zero p) then
+        Format.printf "  code %d: exact %a, empirical %.4f@." code Qsim.Prob.pp p
+          empirical.(code))
+    exact;
+  Format.printf "total variation: %.4f (100k samples)@."
+    (Sampler.total_variation empirical exact);
+
+  (* 2. A random-walk machine: exact k-step distributions vs sampled
+     trajectories. *)
+  let machine =
+    Qfsm.make
+      ~circuit:
+        (Prob_circuit.of_cascade library (Cascade.of_string ~qubits:3 "VCA*VAB"))
+      ~state_wires:[ 0 ] ~input_wires:[ 1 ] ~obs_wires:[ 2 ]
+  in
+  let matrix = Qfsm.transition_matrix machine ~input:1 in
+  Format.printf "@.random-walk machine (input 1), stochastic: %b@."
+    (Markov.is_stochastic matrix);
+  let start = [| Qsim.Prob.one; Qsim.Prob.zero |] in
+  let after3 = Markov.power matrix 3 start in
+  Format.printf "exact state distribution after 3 steps: [%a; %a]@." Qsim.Prob.pp
+    after3.(0) Qsim.Prob.pp after3.(1);
+  let empirical_states =
+    Sampler.empirical rng ~samples:20_000 ~outcomes:2 (fun state ->
+        match List.rev (Sampler.trajectory state machine ~inputs:[ 1; 1; 1 ] ~init:0) with
+        | (final, _) :: _ -> final
+        | [] -> 0)
+  in
+  Format.printf "empirical after 3 steps: [%.4f; %.4f]@." empirical_states.(0)
+    empirical_states.(1);
+
+  (* 3. Entropy accounting: each armed clock of the walk emits one fair
+     coin on the observation wire and one on the state wire. *)
+  let pi = Qfsm.stationary machine ~input:1 in
+  Format.printf "@.stationary distribution: [%.3f; %.3f]@." pi.(0) pi.(1);
+  Format.printf "entropy rate of the state process: %.3f bits/step@."
+    (Markov.entropy_rate ~stationary:pi matrix);
+  Format.printf "entropy of a single armed-coin output: %.3f bits@."
+    (Markov.entropy (Prob_circuit.output_distribution coin ~input:4));
+
+  (* 4. HMM sequence likelihoods: exact forward vs empirical frequency of
+     the observation word. *)
+  let hmm = Hmm.of_machine machine ~input:1 in
+  let init = [| Qsim.Prob.one; Qsim.Prob.zero |] in
+  let word = [ 0; 1 ] in
+  let exact_likelihood = Hmm.forward hmm ~init ~observations:word in
+  let trials = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let observations =
+      List.map snd (Sampler.trajectory rng machine ~inputs:[ 1; 1 ] ~init:0)
+    in
+    if observations = word then incr hits
+  done;
+  Format.printf "@.P(observations = 01): exact %a = %.4f, empirical %.4f@." Qsim.Prob.pp
+    exact_likelihood
+    (Qsim.Prob.to_float exact_likelihood)
+    (float_of_int !hits /. float_of_int trials)

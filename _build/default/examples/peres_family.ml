@@ -1,0 +1,84 @@
+(* Reproduction of the paper's group-theoretic findings (Sections 3 and 5):
+
+   - Table 2 census of minimal-cost circuits;
+   - the split of G[4] into 60 Feynman-realizable circuits and the
+     24-member Peres family;
+   - universality of each family member: adding NOT and Feynman gates
+     generates all of S8 (order 40320, checked with Schreier-Sims);
+   - the family's 4 orbits of 6 under wire relabeling (g1..g4);
+   - Theorem 2: |G| = 5040 and the 8-coset decomposition of S8.
+
+   Run with: dune exec examples/peres_family.exe *)
+
+open Synthesis
+
+let () =
+  let library = Library.make (Mvl.Encoding.make ~qubits:3) in
+  let census = Fmcf.run ~max_depth:7 library in
+
+  Format.printf "Table 2 (as-specified semantics):@.";
+  List.iter (fun (k, n) -> Format.printf "  |G[%d]| = %d@." k n) (Fmcf.counts census);
+  Format.printf "Table 2 (as printed in the paper):@.";
+  List.iter (fun (k, n) -> Format.printf "  |G[%d]| = %d@." k n) (Fmcf.paper_counts census);
+
+  let linear, family = Universality.split_g4 census in
+  Format.printf "@.G[4] = %d Feynman-realizable + %d Peres-family@." (List.length linear)
+    (List.length family);
+
+  (* Universality of all 24, via stabilizer chains instead of GAP. *)
+  let universal =
+    List.filter (fun (m : Fmcf.member) -> Universality.is_universal m.Fmcf.func) family
+  in
+  Format.printf "universal members: %d of %d@." (List.length universal)
+    (List.length family);
+
+  (* Orbits under wire relabeling; the paper's four representatives. *)
+  let orbits =
+    Universality.wire_orbits (List.map (fun (m : Fmcf.member) -> m.Fmcf.func) family)
+  in
+  Format.printf "orbits under wire relabeling: %s@."
+    (String.concat " + " (List.map (fun o -> string_of_int (List.length o)) orbits));
+  let named = [ ("g1", Reversible.Gates.g1); ("g2", Reversible.Gates.g2);
+                ("g3", Reversible.Gates.g3); ("g4", Reversible.Gates.g4) ] in
+  List.iter
+    (fun (name, g) ->
+      let orbit =
+        List.find_opt (List.exists (Reversible.Revfun.equal g)) orbits
+      in
+      match orbit with
+      | Some members ->
+          Format.printf "  %s = %a lies in an orbit of %d@." name Reversible.Revfun.pp g
+            (List.length members)
+      | None -> Format.printf "  %s not found in G[4] family (unexpected)@." name)
+    named;
+
+  (* Every family member has a witness cascade of 3 controlled gates and
+     1 Feynman gate, as the paper states. *)
+  let shape_ok =
+    List.for_all
+      (fun (m : Fmcf.member) ->
+        let cascade = Fmcf.cascade_of_member census m in
+        let v, f =
+          List.fold_left
+            (fun (v, f) g ->
+              match Gate.kind g with
+              | Gate.Feynman -> (v, f + 1)
+              | Gate.Controlled_v | Gate.Controlled_v_dag -> (v + 1, f))
+            (0, 0) cascade
+        in
+        v = 3 && f = 1)
+      family
+  in
+  Format.printf "every family witness uses 3 controlled gates + 1 Feynman: %b@." shape_ok;
+
+  (* Theorem 2. *)
+  let g_size, h_size = Universality.theorem2_check ~bits:3 in
+  Format.printf "@.Theorem 2: |G| = %d, |S8| = %d = 8 x %d, cosets disjoint@." g_size
+    h_size g_size;
+
+  (* |G| again via Schreier-Sims on the paper's generating set. *)
+  let order =
+    Universality.group_order ~bits:3
+      (Reversible.Gates.g1 :: Universality.cnots ~bits:3)
+  in
+  Format.printf "Schreier-Sims order of <Feynman gates, Peres> = %d@." order

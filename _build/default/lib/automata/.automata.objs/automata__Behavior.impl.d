@@ -1,0 +1,1 @@
+lib/automata/behavior.ml: Array Char Format Library List Mvl Printf Prob_circuit Search String Synthesis

@@ -1,0 +1,1 @@
+lib/automata/behavior.mli: Format Mvl Prob_circuit Synthesis

@@ -1,0 +1,1 @@
+lib/automata/hmm.ml: Array List Prob Qfsm Qsim

@@ -1,0 +1,1 @@
+lib/automata/hmm.mli: Qfsm Qsim

@@ -1,0 +1,1 @@
+lib/automata/markov.ml: Array Prob Qsim

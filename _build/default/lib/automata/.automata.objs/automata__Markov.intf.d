@@ -1,0 +1,1 @@
+lib/automata/markov.mli: Qsim

@@ -1,0 +1,1 @@
+lib/automata/measurement.ml: Array List Mvl Prob Qsim

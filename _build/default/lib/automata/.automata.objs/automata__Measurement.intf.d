@@ -1,0 +1,1 @@
+lib/automata/measurement.mli: Mvl Qsim

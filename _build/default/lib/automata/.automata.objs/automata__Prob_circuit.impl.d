@@ -1,0 +1,1 @@
+lib/automata/prob_circuit.ml: Array Cascade Char Gate Hashtbl Library List Measurement Mvl Permgroup Search String Synthesis

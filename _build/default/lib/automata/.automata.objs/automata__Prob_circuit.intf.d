@@ -1,0 +1,1 @@
+lib/automata/prob_circuit.mli: Mvl Qsim Synthesis

@@ -1,0 +1,1 @@
+lib/automata/qfsm.ml: Array Int List Measurement Mvl Prob Prob_circuit Qsim

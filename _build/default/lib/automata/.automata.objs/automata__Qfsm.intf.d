@@ -1,0 +1,1 @@
+lib/automata/qfsm.mli: Mvl Prob_circuit Qsim

@@ -1,0 +1,1 @@
+lib/automata/sampler.ml: Array Float List Mvl Prob_circuit Qfsm Qsim Random

@@ -1,0 +1,1 @@
+lib/automata/sampler.mli: Mvl Prob_circuit Qfsm Qsim Random

@@ -1,0 +1,46 @@
+(** Synthesis from behavioural examples (the paper's Section 6 program:
+    "synthesize probabilistic ... machines from examples of their
+    behaviors expressed in multiple-valued logics").
+
+    A behaviour specification constrains, for each binary input, what a
+    measurement of each output wire must look like — deterministic 0,
+    deterministic 1, a fair coin, or unconstrained — without fixing the
+    underlying quaternary value (a fair coin is V0 {e or} V1).  This is
+    strictly weaker than {!Prob_circuit.spec}: it is what an external
+    observer of input/output behaviour can actually specify. *)
+
+type wire_behavior =
+  | Zero (** measures 0 with probability 1 *)
+  | One (** measures 1 with probability 1 *)
+  | Coin (** measures 0/1 with probability 1/2 each (V0 or V1) *)
+  | Any (** unconstrained (don't care) *)
+
+type t = wire_behavior array array
+(** [spec.(input).(wire)] — one row per binary input code. *)
+
+(** [of_strings library rows] parses one row per input code; characters:
+    ['0'], ['1'], ['?'] (coin), ['*'] (any) — e.g. ["1?0"].
+    @raise Invalid_argument on bad characters or wrong arity. *)
+val of_strings : Synthesis.Library.t -> string list -> t
+
+(** [matches spec ~input pattern] checks one output pattern against the
+    row for [input]. *)
+val matches : t -> input:int -> Mvl.Pattern.t -> bool
+
+(** [satisfied_by spec circuit] checks every input row. *)
+val satisfied_by : t -> Prob_circuit.t -> bool
+
+(** [synthesize ?max_depth library spec] finds a minimal-cost circuit
+    whose observable behaviour matches the spec, or [None] within the
+    depth bound.  Where {!Prob_circuit.synthesize} needs the exact
+    quaternary output patterns, this searches over everything consistent
+    with the observations. *)
+val synthesize :
+  ?max_depth:int -> Synthesis.Library.t -> t -> Prob_circuit.t option
+
+(** [observe circuit] is the behaviour a circuit exhibits — the tightest
+    spec it satisfies (never contains [Any]). *)
+val observe : Prob_circuit.t -> t
+
+(** [pp] prints rows like ["input 4 -> 1?0"]. *)
+val pp : Format.formatter -> t -> unit

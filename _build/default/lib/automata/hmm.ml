@@ -1,0 +1,91 @@
+open Qsim
+
+type t = { joint : Prob.t array array array }
+(* joint.(s).(s').(o) = P(next = s', obs = o | state = s) *)
+
+let of_machine machine ~input =
+  let n = Qfsm.num_states machine in
+  { joint = Array.init n (fun state -> Qfsm.joint_row machine ~input ~state) }
+
+let make ~joint =
+  let n = Array.length joint in
+  if n = 0 then invalid_arg "Hmm.make: empty model";
+  let num_obs =
+    if Array.length joint.(0) = 0 then invalid_arg "Hmm.make: no states"
+    else Array.length joint.(0).(0)
+  in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Hmm.make: ragged joint";
+      let total =
+        Array.fold_left
+          (fun acc per_obs ->
+            if Array.length per_obs <> num_obs then invalid_arg "Hmm.make: ragged joint";
+            Array.fold_left Prob.add acc per_obs)
+          Prob.zero row
+      in
+      if not (Prob.equal total Prob.one) then
+        invalid_arg "Hmm.make: rows must sum to one")
+    joint;
+  { joint }
+
+let num_states t = Array.length t.joint
+let num_obs t = Array.length t.joint.(0).(0)
+let joint t ~state = t.joint.(state)
+
+let check_init t init =
+  if Array.length init <> num_states t then invalid_arg "Hmm: init distribution arity"
+
+let state_distribution t ~init ~observations =
+  check_init t init;
+  let n = num_states t in
+  List.fold_left
+    (fun alpha obs ->
+      let next = Array.make n Prob.zero in
+      for s = 0 to n - 1 do
+        if not (Prob.is_zero alpha.(s)) then
+          for s' = 0 to n - 1 do
+            next.(s') <- Prob.add next.(s') (Prob.mul alpha.(s) t.joint.(s).(s').(obs))
+          done
+      done;
+      next)
+    (Array.copy init) observations
+
+let forward t ~init ~observations =
+  Array.fold_left Prob.add Prob.zero (state_distribution t ~init ~observations)
+
+let viterbi t ~init ~observations =
+  check_init t init;
+  let n = num_states t in
+  let delta = ref (Array.copy init) in
+  let backpointers = ref [] in
+  List.iter
+    (fun obs ->
+      let next = Array.make n Prob.zero in
+      let back = Array.make n 0 in
+      for s' = 0 to n - 1 do
+        for s = 0 to n - 1 do
+          let candidate = Prob.mul !delta.(s) t.joint.(s).(s').(obs) in
+          if Prob.compare candidate next.(s') > 0 then begin
+            next.(s') <- candidate;
+            back.(s') <- s
+          end
+        done
+      done;
+      backpointers := back :: !backpointers;
+      delta := next)
+    observations;
+  if observations = [] then ([], Prob.one)
+  else begin
+    let best = ref 0 in
+    Array.iteri (fun s p -> if Prob.compare p !delta.(!best) > 0 then best := s) !delta;
+    (* [backpointers] holds the per-step arrays most recent first; walking
+       them rebuilds the state path s_1 .. s_T (s_0 is the initial state,
+       summarized by [init]). *)
+    let rec walk cursor backs acc =
+      match backs with
+      | [] -> acc
+      | back :: rest -> walk back.(cursor) rest (cursor :: acc)
+    in
+    (walk !best !backpointers [], !delta.(!best))
+  end

@@ -1,0 +1,42 @@
+(** Hidden Markov models over quantum probabilistic state machines
+    (paper Sections 4 and 6).
+
+    The hidden process is the machine's state register; the observation
+    at each clock is the measured value of the observation wires.  All
+    transition and emission probabilities are dyadic rationals, so
+    sequence likelihoods (forward algorithm) and best state paths
+    (Viterbi) are computed {e exactly}. *)
+
+type t
+
+(** [of_machine machine ~input] freezes a machine under a constant input
+    symbol into an HMM with joint next-state/emission distributions. *)
+val of_machine : Qfsm.t -> input:int -> t
+
+(** [make ~joint] builds an HMM directly: [joint.(s).(s').(o)] is
+    P(next state s', observation o | state s).  Rows must sum to one.
+    @raise Invalid_argument on ragged or non-stochastic input. *)
+val make : joint:Qsim.Prob.t array array array -> t
+
+val num_states : t -> int
+val num_obs : t -> int
+
+(** [joint t ~state] is the matrix [P(next, obs | state)]. *)
+val joint : t -> state:int -> Qsim.Prob.t array array
+
+(** [forward t ~init ~observations] is the exact likelihood of the
+    observation word (Mealy convention: the machine transitions and emits
+    once per observation). *)
+val forward : t -> init:Qsim.Prob.t array -> observations:int list -> Qsim.Prob.t
+
+(** [viterbi t ~init ~observations] is a most likely hidden state path
+    (the state after each emission) with its exact joint probability;
+    [([], one)] for the empty word. *)
+val viterbi :
+  t -> init:Qsim.Prob.t array -> observations:int list -> int list * Qsim.Prob.t
+
+(** [state_distribution t ~init ~observations] is the exact posterior-
+    unnormalized state distribution after the observation word (the
+    forward vector). *)
+val state_distribution :
+  t -> init:Qsim.Prob.t array -> observations:int list -> Qsim.Prob.t array

@@ -1,0 +1,36 @@
+open Qsim
+
+let entropy_float dist =
+  Array.fold_left
+    (fun acc p -> if p > 0.0 then acc -. (p *. (log p /. log 2.0)) else acc)
+    0.0 dist
+
+let entropy dist = entropy_float (Array.map Prob.to_float dist)
+let row_entropies matrix = Array.map entropy matrix
+
+let entropy_rate ~stationary matrix =
+  if Array.length stationary <> Array.length matrix then
+    invalid_arg "Markov.entropy_rate: dimension mismatch";
+  let rows = row_entropies matrix in
+  let acc = ref 0.0 in
+  Array.iteri (fun i pi -> acc := !acc +. (pi *. rows.(i))) stationary;
+  !acc
+
+let is_stochastic matrix =
+  Array.for_all
+    (fun row -> Prob.equal (Prob.sum (Array.to_list row)) Prob.one)
+    matrix
+
+let step matrix dist =
+  let n = Array.length matrix in
+  if Array.length dist <> n then invalid_arg "Markov.step: dimension mismatch";
+  let next = Array.make n Prob.zero in
+  for s = 0 to n - 1 do
+    if not (Prob.is_zero dist.(s)) then
+      for s' = 0 to n - 1 do
+        next.(s') <- Prob.add next.(s') (Prob.mul dist.(s) matrix.(s).(s'))
+      done
+  done;
+  next
+
+let rec power matrix k dist = if k <= 0 then dist else power matrix (k - 1) (step matrix dist)

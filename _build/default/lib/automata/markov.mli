@@ -1,0 +1,32 @@
+(** Information-theoretic analysis of the machines' Markov chains.
+
+    Everything that must stay exact is exact (the transition matrices
+    are dyadic); entropies and stationary analyses are floating point,
+    as they generally leave the dyadic field. *)
+
+(** [entropy dist] is the Shannon entropy (bits) of an exact
+    distribution. *)
+val entropy : Qsim.Prob.t array -> float
+
+(** [entropy_float dist] is the Shannon entropy (bits) of a float
+    distribution; zero entries contribute nothing. *)
+val entropy_float : float array -> float
+
+(** [row_entropies matrix] is the per-state transition entropy of a
+    row-stochastic matrix. *)
+val row_entropies : Qsim.Prob.t array array -> float array
+
+(** [entropy_rate ~stationary matrix] is the Markov chain's entropy rate
+    in bits per step: the stationary average of the row entropies —
+    exactly the random-bit yield per clock of a machine used as a QRNG.
+    @raise Invalid_argument on dimension mismatch. *)
+val entropy_rate : stationary:float array -> Qsim.Prob.t array array -> float
+
+(** [is_stochastic matrix] checks every row sums to exactly one. *)
+val is_stochastic : Qsim.Prob.t array array -> bool
+
+(** [step matrix dist] is one exact evolution step of a distribution. *)
+val step : Qsim.Prob.t array array -> Qsim.Prob.t array -> Qsim.Prob.t array
+
+(** [power matrix k dist] is [k] exact steps. *)
+val power : Qsim.Prob.t array array -> int -> Qsim.Prob.t array -> Qsim.Prob.t array

@@ -1,0 +1,36 @@
+open Qsim
+
+let wire_distribution value =
+  let num, e = Mvl.Quat.measure_one_probability value in
+  let p1 = Prob.make num e in
+  (Prob.sub Prob.one p1, p1)
+
+let code_probability pattern code =
+  let n = Mvl.Pattern.qubits pattern in
+  let acc = ref Prob.one in
+  for w = 0 to n - 1 do
+    let p0, p1 = wire_distribution (Mvl.Pattern.get pattern w) in
+    let bit = (code lsr (n - 1 - w)) land 1 in
+    acc := Prob.mul !acc (if bit = 1 then p1 else p0)
+  done;
+  !acc
+
+let distribution pattern =
+  Array.init (1 lsl Mvl.Pattern.qubits pattern) (code_probability pattern)
+
+let support pattern =
+  let dist = distribution pattern in
+  let acc = ref [] in
+  Array.iteri (fun code p -> if not (Prob.is_zero p) then acc := (code, p) :: !acc) dist;
+  List.rev !acc
+
+let is_deterministic pattern = Mvl.Pattern.is_binary pattern
+
+let entropy_bits pattern =
+  (* Independent wires: entropy adds; each mixed wire contributes 1 bit. *)
+  let n = Mvl.Pattern.qubits pattern in
+  let bits = ref 0.0 in
+  for w = 0 to n - 1 do
+    if Mvl.Quat.is_mixed (Mvl.Pattern.get pattern w) then bits := !bits +. 1.0
+  done;
+  !bits

@@ -1,0 +1,32 @@
+(** Measurement semantics for quaternary output patterns (paper Section 4).
+
+    Measuring a wire carrying [Zero] or [One] is deterministic; measuring
+    [V0] or [V1] yields 0 or 1 with probability 1/2 each (|(1±i)/2|² =
+    1/2).  Wires of a product state measure independently, so the joint
+    distribution over binary output codes is the product of per-wire
+    distributions — all probabilities are exact dyadic rationals. *)
+
+(** [wire_distribution value] is [(p0, p1)], the exact probabilities of
+    measuring 0 and 1. *)
+val wire_distribution : Mvl.Quat.t -> Qsim.Prob.t * Qsim.Prob.t
+
+(** [code_probability pattern code] is the probability that measuring
+    every wire of [pattern] yields the binary code [code]. *)
+val code_probability : Mvl.Pattern.t -> int -> Qsim.Prob.t
+
+(** [distribution pattern] is the full distribution over the [2^n] binary
+    codes; entries sum to exactly 1. *)
+val distribution : Mvl.Pattern.t -> Qsim.Prob.t array
+
+(** [support pattern] lists the codes of non-zero probability with their
+    probabilities. *)
+val support : Mvl.Pattern.t -> (int * Qsim.Prob.t) list
+
+(** [is_deterministic pattern] is true when the pattern is pure binary
+    (one outcome with probability 1). *)
+val is_deterministic : Mvl.Pattern.t -> bool
+
+(** [entropy_bits pattern] is the Shannon entropy of the measurement
+    outcome, in bits: the number of fair coins the measurement generates
+    (e.g. 1.0 for a single [V0] wire among binary wires). *)
+val entropy_bits : Mvl.Pattern.t -> float

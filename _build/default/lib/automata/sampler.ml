@@ -1,0 +1,61 @@
+let measure_pattern state pattern =
+  let n = Mvl.Pattern.qubits pattern in
+  let code = ref 0 in
+  for w = 0 to n - 1 do
+    let bit =
+      match Mvl.Pattern.get pattern w with
+      | Mvl.Quat.Zero -> 0
+      | Mvl.Quat.One -> 1
+      | Mvl.Quat.V0 | Mvl.Quat.V1 -> if Random.State.bool state then 1 else 0
+    in
+    code := (!code lsl 1) lor bit
+  done;
+  !code
+
+let run_circuit state circuit ~input =
+  measure_pattern state (Prob_circuit.output_pattern circuit ~input)
+
+let bits_of_wires measured ~qubits wires =
+  let value = ref 0 in
+  Array.iter
+    (fun w ->
+      let bit = (measured lsr (qubits - 1 - w)) land 1 in
+      value := (!value lsl 1) lor bit)
+    wires;
+  !value
+
+let step_machine state machine ~input ~current =
+  let circuit = Qfsm.circuit machine in
+  let qubits = Prob_circuit.qubits circuit in
+  let pattern = Qfsm.output_pattern machine ~input ~state:current in
+  let measured = measure_pattern state pattern in
+  ( bits_of_wires measured ~qubits (Qfsm.state_wires machine),
+    bits_of_wires measured ~qubits (Qfsm.obs_wires machine) )
+
+let trajectory state machine ~inputs ~init =
+  let _, steps =
+    List.fold_left
+      (fun (current, acc) input ->
+        let next, obs = step_machine state machine ~input ~current in
+        (next, (next, obs) :: acc))
+      (init, []) inputs
+  in
+  List.rev steps
+
+let empirical state ~samples ~outcomes draw =
+  if samples <= 0 then invalid_arg "Sampler.empirical: samples must be positive";
+  let counts = Array.make outcomes 0 in
+  for _ = 1 to samples do
+    let outcome = draw state in
+    counts.(outcome) <- counts.(outcome) + 1
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int samples) counts
+
+let total_variation empirical exact =
+  if Array.length empirical <> Array.length exact then
+    invalid_arg "Sampler.total_variation: length mismatch";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i e -> acc := !acc +. Float.abs (e -. Qsim.Prob.to_float exact.(i)))
+    empirical;
+  !acc /. 2.0

@@ -1,0 +1,35 @@
+(** Monte-Carlo sampling of probabilistic circuits and state machines.
+
+    The exact dyadic distributions of {!Measurement}/{!Qfsm} are the
+    ground truth; this module draws actual random samples from them —
+    what the physical QRNG of the paper's Section 4 would produce — so
+    examples and tests can compare empirical frequencies against the
+    exact probabilities. *)
+
+(** [measure_pattern state pattern] samples a binary code from measuring
+    a quaternary pattern. *)
+val measure_pattern : Random.State.t -> Mvl.Pattern.t -> int
+
+(** [run_circuit state circuit ~input] samples one measured output of a
+    probabilistic circuit. *)
+val run_circuit : Random.State.t -> Prob_circuit.t -> input:int -> int
+
+(** [step_machine state machine ~input ~current] samples
+    [(next_state, observation)] for one clock of a machine. *)
+val step_machine : Random.State.t -> Qfsm.t -> input:int -> current:int -> int * int
+
+(** [trajectory state machine ~inputs ~init] runs the machine over an
+    input word from state [init], returning the [(state, observation)]
+    sequence (one entry per clock). *)
+val trajectory :
+  Random.State.t -> Qfsm.t -> inputs:int list -> init:int -> (int * int) list
+
+(** [empirical state ~samples ~outcomes draw] estimates a distribution
+    over [0 .. outcomes-1] by calling [draw] repeatedly. *)
+val empirical : Random.State.t -> samples:int -> outcomes:int -> (Random.State.t -> int) -> float array
+
+(** [total_variation empirical exact] is the total-variation distance
+    between an empirical estimate and an exact distribution — 0 means a
+    perfect match, 1 disjoint supports.
+    @raise Invalid_argument on length mismatch. *)
+val total_variation : float array -> Qsim.Prob.t array -> float

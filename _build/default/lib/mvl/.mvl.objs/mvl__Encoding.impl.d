@@ -1,0 +1,1 @@
+lib/mvl/encoding.ml: Array Char Hashtbl List Pattern Permgroup Quat String

@@ -1,0 +1,1 @@
+lib/mvl/encoding.mli: Pattern Permgroup

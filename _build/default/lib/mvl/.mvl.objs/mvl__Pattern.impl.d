@@ -1,0 +1,1 @@
+lib/mvl/pattern.ml: Array Format List Quat String

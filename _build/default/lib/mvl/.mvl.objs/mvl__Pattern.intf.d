@@ -1,0 +1,1 @@
+lib/mvl/pattern.mli: Format Quat

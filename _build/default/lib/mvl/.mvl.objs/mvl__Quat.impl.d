@@ -1,0 +1,1 @@
+lib/mvl/quat.ml: Dyadic Format Int Qmath

@@ -1,0 +1,1 @@
+lib/mvl/quat.mli: Format Qmath

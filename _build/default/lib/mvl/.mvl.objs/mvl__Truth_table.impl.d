@@ -1,0 +1,1 @@
+lib/mvl/truth_table.ml: Format Fun List Pattern Quat String

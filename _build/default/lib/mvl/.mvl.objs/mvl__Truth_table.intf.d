@@ -1,0 +1,1 @@
+lib/mvl/truth_table.mli: Format Pattern

@@ -1,0 +1,57 @@
+type t = Quat.t array
+
+let make qubits f = Array.init qubits f
+let of_list = Array.of_list
+
+let of_binary_code ~qubits code =
+  if code < 0 || code >= 1 lsl qubits then
+    invalid_arg "Pattern.of_binary_code: out of range";
+  Array.init qubits (fun w -> Quat.of_bool ((code lsr (qubits - 1 - w)) land 1 = 1))
+
+let to_binary_code p =
+  let code = ref 0 and ok = ref true in
+  Array.iter
+    (fun v ->
+      code := (!code lsl 1) lor (match v with Quat.Zero -> 0 | Quat.One -> 1 | _ -> ok := false; 0))
+    p;
+  if !ok then Some !code else None
+
+let qubits = Array.length
+let get p w = p.(w)
+
+let set p w v =
+  let q = Array.copy p in
+  q.(w) <- v;
+  q
+
+let is_binary p = Array.for_all Quat.is_binary p
+let has_one p = Array.exists (fun v -> v = Quat.One) p
+let is_mixed_at p w = Quat.is_mixed p.(w)
+
+let mixed_signature p =
+  let s = ref 0 in
+  Array.iteri (fun w v -> if Quat.is_mixed v then s := !s lor (1 lsl w)) p;
+  !s
+
+let equal a b = a = b
+
+let compare a b =
+  let rec go i =
+    if i >= Array.length a then 0
+    else match Quat.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let all ~qubits =
+  let rec go w acc =
+    if w = 0 then acc
+    else
+      go (w - 1)
+        (List.concat_map (fun tail -> List.map (fun v -> v :: tail) Quat.all) acc)
+  in
+  List.sort compare (List.map Array.of_list (go qubits [ [] ]))
+
+let to_string p =
+  String.concat "" (Array.to_list (Array.map Quat.to_string p))
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

@@ -1,0 +1,54 @@
+(** Patterns: one {!Quat} value per wire of an n-qubit circuit.
+
+    Wire 0 is the paper's qubit A (the most significant position when a
+    binary pattern is read as a number), wire 1 is B, and so on. *)
+
+type t = Quat.t array
+
+(** [make qubits f] builds the pattern with [f wire] on each wire. *)
+val make : int -> (int -> Quat.t) -> t
+
+(** [of_list values] is the pattern with the given wire values. *)
+val of_list : Quat.t list -> t
+
+(** [of_binary_code ~qubits code] decodes an integer in [0 .. 2^qubits - 1]
+    into a binary pattern, wire 0 = most significant bit.
+    @raise Invalid_argument when out of range. *)
+val of_binary_code : qubits:int -> int -> t
+
+(** [to_binary_code p] is [Some code] for a pure binary pattern. *)
+val to_binary_code : t -> int option
+
+val qubits : t -> int
+val get : t -> int -> Quat.t
+
+(** [set p wire value] is a fresh pattern updated at [wire]. *)
+val set : t -> int -> Quat.t -> t
+
+val is_binary : t -> bool
+
+(** [has_one p] is true when some wire carries [One].  Patterns without a
+    [One] are fixed by every gate in the paper's library (a controlled gate
+    fires only on control = 1 and a Feynman changes its target only when
+    the control is 1), which is why they are excluded from the permutable
+    domain. *)
+val has_one : t -> bool
+
+(** [is_mixed_at p wire] is true when the wire carries [V0] or [V1]. *)
+val is_mixed_at : t -> int -> bool
+
+(** [mixed_signature p] is the bitmask over wires of mixed positions
+    (bit [w] set iff wire [w] is mixed). *)
+val mixed_signature : t -> int
+
+val equal : t -> t -> bool
+
+(** Lexicographic order, wire 0 most significant, values ordered
+    [Zero < One < V0 < V1] — the order behind the paper's labels. *)
+val compare : t -> t -> int
+
+(** [all ~qubits] enumerates all [4^qubits] patterns in {!compare} order. *)
+val all : qubits:int -> t list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t = Zero | One | V0 | V1
+
+let all = [ Zero; One; V0; V1 ]
+let v = function Zero -> V0 | V0 -> One | One -> V1 | V1 -> Zero
+let v_dag = function Zero -> V1 | V1 -> One | One -> V0 | V0 -> Zero
+
+let not_ = function
+  | Zero -> One
+  | One -> Zero
+  | V0 | V1 -> invalid_arg "Quat.not_: mixed value on a NOT input"
+
+let is_binary = function Zero | One -> true | V0 | V1 -> false
+let is_mixed t = not (is_binary t)
+let to_int = function Zero -> 0 | One -> 1 | V0 -> 2 | V1 -> 3
+
+let of_int = function
+  | 0 -> Zero
+  | 1 -> One
+  | 2 -> V0
+  | 3 -> V1
+  | _ -> invalid_arg "Quat.of_int: out of range"
+
+let of_bool b = if b then One else Zero
+let equal a b = a = b
+let compare a b = Int.compare (to_int a) (to_int b)
+
+let to_state_vector t =
+  let open Qmath in
+  match t with
+  | Zero -> [| Dyadic.one; Dyadic.zero |]
+  | One -> [| Dyadic.zero; Dyadic.one |]
+  | V0 -> [| Dyadic.half_one_plus_i; Dyadic.half_one_minus_i |]
+  | V1 -> [| Dyadic.half_one_minus_i; Dyadic.half_one_plus_i |]
+
+let measure_one_probability = function
+  | Zero -> (0, 0)
+  | One -> (1, 0)
+  | V0 | V1 -> (1, 1)
+
+let to_string = function Zero -> "0" | One -> "1" | V0 -> "V0" | V1 -> "V1"
+
+let of_string = function
+  | "0" -> Zero
+  | "1" -> One
+  | "V0" | "v0" -> V0
+  | "V1" | "v1" -> V1
+  | s -> invalid_arg ("Quat.of_string: " ^ s)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

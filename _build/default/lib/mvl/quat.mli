@@ -1,0 +1,63 @@
+(** The paper's four-valued signal algebra.
+
+    With pure binary primary inputs and binary-constrained control wires,
+    every wire of a circuit over {controlled-V, controlled-V{^ +}, Feynman}
+    carries one of only four values: [Zero], [One], [V0] = V|0⟩ and
+    [V1] = V|1⟩ (Section 2; V0 = V{^ +}|1⟩ and V1 = V{^ +}|0⟩, so the six
+    a-priori values collapse to four).
+
+    The action of V on these values is the 4-cycle
+    [Zero → V0 → One → V1 → Zero] and V{^ +} is its inverse — so V·V = NOT
+    and V{^ +}·V = identity, mirroring the matrix identities. *)
+
+type t = Zero | One | V0 | V1
+
+(** All four values in the canonical order [Zero; One; V0; V1] — binary
+    values first, the order used by the paper's pattern labeling. *)
+val all : t list
+
+(** [v t] is the value after a V (square root of NOT) gate. *)
+val v : t -> t
+
+(** [v_dag t] is the value after a V{^ +} gate. *)
+val v_dag : t -> t
+
+(** [not_ t] negates a binary value.
+    @raise Invalid_argument on a mixed value (NOT inputs must be binary). *)
+val not_ : t -> t
+
+val is_binary : t -> bool
+val is_mixed : t -> bool
+
+(** [to_int] / [of_int] use the canonical order (0..3).
+    @raise Invalid_argument if out of range. *)
+val to_int : t -> int
+
+val of_int : int -> t
+
+(** [of_bool b] is [One] when [b], else [Zero]. *)
+val of_bool : bool -> t
+
+val equal : t -> t -> bool
+
+(** [compare] orders by the canonical order [Zero < One < V0 < V1]. *)
+val compare : t -> t -> int
+
+(** [to_state_vector t] is the exact qubit state, a 2-element amplitude
+    vector: [Zero] = |0⟩, [One] = |1⟩, [V0] = V|0⟩, [V1] = V|1⟩.  This is
+    the bridge between the multiple-valued abstraction and the unitary
+    semantics, used to validate the former against the latter. *)
+val to_state_vector : t -> Qmath.Dyadic.t array
+
+(** [measure_one_probability t] is the exact probability of measuring |1⟩,
+    as a dyadic rational [(num, e)] meaning [num / 2^e]:
+    0 for [Zero], 1 for [One], 1/2 for [V0] and [V1]. *)
+val measure_one_probability : t -> int * int
+
+val to_string : t -> string
+
+(** [of_string s] parses ["0"], ["1"], ["V0"], ["V1"].
+    @raise Invalid_argument otherwise. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

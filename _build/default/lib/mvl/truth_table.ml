@@ -1,0 +1,47 @@
+let full_table ~qubits action =
+  List.map (fun p -> (p, action p)) (Pattern.all ~qubits)
+
+let table1_order =
+  let binary = [ Quat.Zero; Quat.One ] and mixed = [ Quat.V0; Quat.V1 ] in
+  let block choices_a choices_b =
+    List.concat_map
+      (fun a -> List.map (fun b -> Pattern.of_list [ a; b ]) choices_b)
+      choices_a
+  in
+  block binary binary @ block binary mixed @ block mixed binary @ block mixed mixed
+
+let labeled_rows ~order action =
+  let label_of p =
+    let rec find i = function
+      | [] -> invalid_arg "Truth_table.labeled_rows: output pattern not in order"
+      | q :: rest -> if Pattern.equal p q then i else find (i + 1) rest
+    in
+    find 1 order
+  in
+  List.mapi
+    (fun i input ->
+      let output = action input in
+      (i + 1, input, output, label_of output))
+    order
+
+let pp_table ~wires ppf rows =
+  let width = 3 in
+  let cell s = Format.sprintf "%-*s" width s in
+  let header =
+    Format.sprintf "%-5s %s | %s %-5s" "Label"
+      (String.concat " " (List.map cell wires))
+      (String.concat " " (List.map cell wires))
+      "Label"
+  in
+  Format.fprintf ppf "%s@." header;
+  Format.fprintf ppf "%s@." (String.make (String.length header) '-');
+  List.iter
+    (fun (li, input, output, lo) ->
+      let cells p =
+        String.concat " "
+          (List.map
+             (fun w -> cell (Quat.to_string (Pattern.get p w)))
+             (List.init (Pattern.qubits p) Fun.id))
+      in
+      Format.fprintf ppf "%-5d %s | %s %-5d@." li (cells input) (cells output) lo)
+    rows

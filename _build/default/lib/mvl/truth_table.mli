@@ -1,0 +1,30 @@
+(** Truth tables over quaternary patterns and the paper's Table 1.
+
+    A gate's behaviour on the multiple-valued domain is a function from
+    patterns to patterns; these helpers tabulate it over the full
+    [4^qubits] pattern space (don't-care rows included, rendered with the
+    input-equals-output convention the paper adopts) and render the
+    2-qubit controlled-V table in exactly the row order the paper prints. *)
+
+(** [full_table ~qubits action] tabulates [action] over every pattern in
+    lexicographic order. *)
+val full_table : qubits:int -> (Pattern.t -> Pattern.t) -> (Pattern.t * Pattern.t) list
+
+(** [table1_order] is the 16 two-qubit patterns in the row order of the
+    paper's Table 1: binary rows, then binary-A/mixed-B, then
+    mixed-A/binary-B, then both mixed (lexicographic inside each block). *)
+val table1_order : Pattern.t list
+
+(** [labeled_rows ~order action] numbers the rows of [order] 1-based and
+    pairs every input row with its output pattern and the output's label
+    within the same order — Table 1's Label/Input/Output/Label columns.
+    @raise Invalid_argument if an output pattern is missing from [order]. *)
+val labeled_rows :
+  order:Pattern.t list ->
+  (Pattern.t -> Pattern.t) ->
+  (int * Pattern.t * Pattern.t * int) list
+
+(** [pp_table ~wires ppf rows] renders rows from {!labeled_rows} with the
+    given wire names, e.g. [~wires:["A"; "B"]]. *)
+val pp_table :
+  wires:string list -> Format.formatter -> (int * Pattern.t * Pattern.t * int) list -> unit

@@ -1,0 +1,1 @@
+lib/permgroup/closure.ml: Hashtbl List Perm

@@ -1,0 +1,1 @@
+lib/permgroup/coset.ml: List Perm

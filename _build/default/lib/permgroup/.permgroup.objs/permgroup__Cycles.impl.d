@@ -1,0 +1,1 @@
+lib/permgroup/cycles.ml: Array Format List Perm String

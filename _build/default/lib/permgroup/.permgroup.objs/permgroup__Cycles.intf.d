@@ -1,0 +1,1 @@
+lib/permgroup/cycles.mli: Perm

@@ -1,0 +1,1 @@
+lib/permgroup/perm.ml: Array Char Format Hashtbl Int List Stdlib String

@@ -1,0 +1,1 @@
+lib/permgroup/perm.mli: Format

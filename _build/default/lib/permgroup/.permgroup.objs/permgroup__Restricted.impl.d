@@ -1,0 +1,1 @@
+lib/permgroup/restricted.ml: Array Hashtbl List Perm

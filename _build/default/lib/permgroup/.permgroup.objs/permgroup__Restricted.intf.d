@@ -1,0 +1,1 @@
+lib/permgroup/restricted.mli: Perm

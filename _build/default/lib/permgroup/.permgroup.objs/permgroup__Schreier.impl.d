@@ -1,0 +1,1 @@
+lib/permgroup/schreier.ml: Hashtbl List Perm Queue

@@ -1,0 +1,1 @@
+lib/permgroup/schreier.mli: Perm

@@ -1,0 +1,51 @@
+type t = {
+  degree : int;
+  table : (string, Perm.t * int) Hashtbl.t; (* key -> (element, BFS level) *)
+}
+
+let generate ?(limit = 10_000_000) gens =
+  let degree =
+    match gens with
+    | [] -> invalid_arg "Closure.generate: empty generating set"
+    | g :: rest ->
+        let d = Perm.degree g in
+        if List.exists (fun h -> Perm.degree h <> d) rest then
+          invalid_arg "Closure.generate: degree mismatch";
+        d
+  in
+  let table = Hashtbl.create 1024 in
+  let id = Perm.identity degree in
+  Hashtbl.add table (Perm.key id) (id, 0);
+  let frontier = ref [ id ] and level = ref 0 in
+  while !frontier <> [] do
+    incr level;
+    let next = ref [] in
+    List.iter
+      (fun p ->
+        List.iter
+          (fun g ->
+            let q = Perm.mul p g in
+            let k = Perm.key q in
+            if not (Hashtbl.mem table k) then begin
+              if Hashtbl.length table >= limit then
+                invalid_arg "Closure.generate: group exceeds size limit";
+              Hashtbl.add table k (q, !level);
+              next := q :: !next
+            end)
+          gens)
+      !frontier;
+    frontier := !next
+  done;
+  { degree; table }
+
+let size g = Hashtbl.length g.table
+let degree g = g.degree
+let mem g p = Perm.degree p = g.degree && Hashtbl.mem g.table (Perm.key p)
+let elements g = Hashtbl.fold (fun _ (p, _) acc -> p :: acc) g.table []
+let iter f g = Hashtbl.iter (fun _ (p, _) -> f p) g.table
+let fold f g init = Hashtbl.fold (fun _ (p, _) acc -> f p acc) g.table init
+let elements_by_length g = Hashtbl.fold (fun _ pl acc -> pl :: acc) g.table []
+
+let is_subgroup_of sub sup =
+  sub.degree = sup.degree
+  && Hashtbl.fold (fun k _ acc -> acc && Hashtbl.mem sup.table k) sub.table true

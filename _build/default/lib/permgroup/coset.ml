@@ -1,0 +1,20 @@
+let decompose ~reps ~mem g =
+  let rec go = function
+    | [] -> None
+    | a :: rest ->
+        let h = Perm.mul (Perm.inverse a) g in
+        if mem h then Some (a, h) else go rest
+  in
+  go reps
+
+let disjoint ~reps ~mem =
+  let rec go = function
+    | [] -> true
+    | a :: rest ->
+        List.for_all (fun b -> not (mem (Perm.mul (Perm.inverse a) b))) rest
+        && go rest
+  in
+  go reps
+
+let covers ~reps ~subgroup_size ~group_size =
+  List.length reps * subgroup_size = group_size

@@ -1,0 +1,20 @@
+(** Left-coset decompositions, as used by the paper's Theorem 2:
+    H = ⋃_{a ∈ N} a*G with pairwise disjoint cosets, where N is the group
+    of NOT-gate layers and G the circuits fixing the all-zero pattern. *)
+
+(** [decompose ~reps ~mem g] finds the first representative [a] in [reps]
+    such that [a^-1 * g] belongs to the subgroup recognized by [mem], and
+    returns [Some (a, h)] with [g = a * h] (product = apply left first),
+    or [None] when no representative works. *)
+val decompose :
+  reps:Perm.t list -> mem:(Perm.t -> bool) -> Perm.t -> (Perm.t * Perm.t) option
+
+(** [disjoint ~reps ~mem] is true when the cosets [a * G] for [a] in [reps]
+    are pairwise disjoint, i.e. [mem (a^-1 * b)] fails for distinct
+    representatives [a], [b]. *)
+val disjoint : reps:Perm.t list -> mem:(Perm.t -> bool) -> bool
+
+(** [covers ~reps ~subgroup_size ~group_size] is the counting check that
+    the cosets partition the group: [|reps| * subgroup_size = group_size]
+    (valid only together with {!disjoint}). *)
+val covers : reps:Perm.t list -> subgroup_size:int -> group_size:int -> bool

@@ -1,0 +1,78 @@
+let to_cycles p =
+  let n = Perm.degree p in
+  let seen = Array.make n false in
+  let cycles = ref [] in
+  for i = 0 to n - 1 do
+    if (not seen.(i)) && Perm.apply p i <> i then begin
+      let cyc = ref [] and j = ref i in
+      while not seen.(!j) do
+        seen.(!j) <- true;
+        cyc := !j :: !cyc;
+        j := Perm.apply p !j
+      done;
+      cycles := List.rev !cyc :: !cycles
+    end
+  done;
+  List.rev !cycles
+
+let of_cycles ~degree cycles =
+  let img = Array.init degree (fun i -> i) in
+  let seen = Array.make degree false in
+  let mark x =
+    if x < 0 || x >= degree then invalid_arg "Cycles.of_cycles: point out of range";
+    if seen.(x) then invalid_arg "Cycles.of_cycles: repeated point";
+    seen.(x) <- true
+  in
+  let set_cycle cyc =
+    match cyc with
+    | [] | [ _ ] -> List.iter mark cyc
+    | first :: _ ->
+        List.iter mark cyc;
+        let rec link = function
+          | [ last ] -> img.(last) <- first
+          | x :: (y :: _ as rest) ->
+              img.(x) <- y;
+              link rest
+          | [] -> ()
+        in
+        link cyc
+  in
+  List.iter set_cycle cycles;
+  Perm.of_array img
+
+let of_string ~degree s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let skip_ws () = while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n') do incr pos done in
+  let fail msg = invalid_arg ("Cycles.of_string: " ^ msg) in
+  let read_int () =
+    skip_ws ();
+    let start = !pos in
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do incr pos done;
+    if !pos = start then fail "expected integer";
+    int_of_string (String.sub s start (!pos - start))
+  in
+  let cycles = ref [] in
+  skip_ws ();
+  while !pos < n do
+    if s.[!pos] <> '(' then fail "expected '('";
+    incr pos;
+    skip_ws ();
+    if !pos < n && s.[!pos] = ')' then incr pos (* "()" : identity factor *)
+    else begin
+      let cyc = ref [ read_int () ] in
+      skip_ws ();
+      while !pos < n && (s.[!pos] = ',' || s.[!pos] = ' ') do
+        incr pos;
+        cyc := read_int () :: !cyc;
+        skip_ws ()
+      done;
+      if !pos >= n || s.[!pos] <> ')' then fail "expected ')'";
+      incr pos;
+      cycles := List.rev_map (fun x -> x - 1) !cyc :: !cycles
+    end;
+    skip_ws ()
+  done;
+  of_cycles ~degree (List.rev !cycles)
+
+let to_string p = Format.asprintf "%a" Perm.pp p

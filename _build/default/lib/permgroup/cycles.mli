@@ -1,0 +1,20 @@
+(** Disjoint-cycle notation, 1-based as printed in the paper and in GAP.
+
+    [of_string ~degree "(5,17,7,21)(6,18,8,22)"] parses the paper's cycle
+    products; [to_string] inverts it ([Perm.pp] prints the same format). *)
+
+(** [to_cycles p] lists the non-trivial cycles of [p], each starting from
+    its smallest point, cycles ordered by smallest point; points 0-based. *)
+val to_cycles : Perm.t -> int list list
+
+(** [of_cycles ~degree cycles] builds a permutation from 0-based cycles.
+    @raise Invalid_argument on out-of-range or repeated points. *)
+val of_cycles : degree:int -> int list list -> Perm.t
+
+(** [of_string ~degree s] parses 1-based cycle notation, e.g.
+    ["(3,7,4,8)"] or ["()"] for the identity.  Whitespace is ignored.
+    @raise Invalid_argument on malformed input. *)
+val of_string : degree:int -> string -> Perm.t
+
+(** [to_string p] renders 1-based cycle notation; identity is ["()"]. *)
+val to_string : Perm.t -> string

@@ -1,0 +1,133 @@
+type t = int array
+
+let validate img =
+  let n = Array.length img in
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then
+        invalid_arg "Perm.of_array: not a permutation";
+      seen.(x) <- true)
+    img
+
+let of_array img =
+  validate img;
+  Array.copy img
+
+let unsafe_of_array img = img
+let identity n = Array.init n (fun i -> i)
+
+let transposition n a b =
+  if a < 0 || a >= n || b < 0 || b >= n then
+    invalid_arg "Perm.transposition: point out of range";
+  let p = Array.init n (fun i -> i) in
+  p.(a) <- b;
+  p.(b) <- a;
+  p
+
+let of_mapping n pairs =
+  let p = Array.init n (fun i -> i) in
+  List.iter
+    (fun (x, y) ->
+      if x < 0 || x >= n || y < 0 || y >= n then
+        invalid_arg "Perm.of_mapping: point out of range";
+      p.(x) <- y)
+    pairs;
+  validate p;
+  p
+
+let degree = Array.length
+let apply p x = p.(x)
+let to_array = Array.copy
+
+let mul a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Perm.mul: degree mismatch";
+  Array.init n (fun i -> b.(a.(i)))
+
+let inverse p =
+  let n = Array.length p in
+  let q = Array.make n 0 in
+  for i = 0 to n - 1 do
+    q.(p.(i)) <- i
+  done;
+  q
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let is_identity p =
+  let rec go i = i >= Array.length p || (p.(i) = i && go (i + 1)) in
+  go 0
+
+let rec pow p k =
+  if k < 0 then pow (inverse p) (-k)
+  else if k = 0 then identity (degree p)
+  else
+    let h = pow p (k / 2) in
+    let h2 = mul h h in
+    if k land 1 = 1 then mul h2 p else h2
+
+let conjugate p q = mul (mul (inverse q) p) q
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let order p =
+  (* lcm of cycle lengths *)
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let result = ref 1 in
+  for i = 0 to n - 1 do
+    if not seen.(i) then begin
+      let len = ref 0 and j = ref i in
+      while not seen.(!j) do
+        seen.(!j) <- true;
+        incr len;
+        j := p.(!j)
+      done;
+      result := lcm !result !len
+    end
+  done;
+  !result
+
+let support p =
+  let acc = ref [] in
+  for i = Array.length p - 1 downto 0 do
+    if p.(i) <> i then acc := i :: !acc
+  done;
+  !acc
+
+let fixes p x = p.(x) = x
+let image p s = List.sort Int.compare (List.map (fun x -> p.(x)) s)
+let preserves p s = image p s = s
+
+let key p = String.init (Array.length p) (fun i -> Char.chr p.(i))
+let hash p = Hashtbl.hash (key p)
+
+let pad p n =
+  let d = degree p in
+  if n < d then invalid_arg "Perm.pad: smaller degree";
+  Array.init n (fun i -> if i < d then p.(i) else i)
+
+let pp ppf p =
+  (* Disjoint-cycle notation, 1-based as in the paper; identity prints "()" *)
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let printed = ref false in
+  for i = 0 to n - 1 do
+    if (not seen.(i)) && p.(i) <> i then begin
+      printed := true;
+      Format.fprintf ppf "(";
+      let j = ref i and first = ref true in
+      while not seen.(!j) do
+        seen.(!j) <- true;
+        if not !first then Format.fprintf ppf ",";
+        first := false;
+        Format.fprintf ppf "%d" (!j + 1);
+        j := p.(!j)
+      done;
+      Format.fprintf ppf ")"
+    end
+  done;
+  if not !printed then Format.fprintf ppf "()"

@@ -1,0 +1,94 @@
+(** Permutations of [{0, ..., degree-1}] as image arrays.
+
+    The product convention follows the paper (and GAP): [mul a b] means
+    {e apply [a] first, then [b]}, so [(mul a b) x = b (a x)].
+
+    Values are immutable once built; the constructors validate that the
+    image array is a bijection.  [key] gives a compact string usable as a
+    hash-table key — the breadth-first searches in [synthesis] store
+    millions of permutations, so keys are byte strings rather than boxed
+    arrays. *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [of_array img] takes ownership of a validated copy of [img].
+    @raise Invalid_argument if [img] is not a permutation of [0..len-1]. *)
+val of_array : int array -> t
+
+(** [unsafe_of_array img] skips validation and does not copy; for internal
+    hot paths where [img] is constructed correct and never aliased. *)
+val unsafe_of_array : int array -> t
+
+val identity : int -> t
+
+(** [transposition degree a b] swaps points [a] and [b]. *)
+val transposition : int -> int -> int -> t
+
+(** [of_mapping degree pairs] builds the permutation sending [x] to [y]
+    for each [(x, y)] in [pairs], fixing unmentioned points.
+    @raise Invalid_argument if the result is not a bijection. *)
+val of_mapping : int -> (int * int) list -> t
+
+(** {1 Accessors} *)
+
+val degree : t -> int
+
+(** [apply p x] is the image of point [x]. *)
+val apply : t -> int -> int
+
+(** [to_array p] is a fresh copy of the image array. *)
+val to_array : t -> int array
+
+(** {1 Algebra} *)
+
+(** [mul a b] applies [a] then [b].
+    @raise Invalid_argument if degrees differ. *)
+val mul : t -> t -> t
+
+val inverse : t -> t
+
+(** [pow p k] is the [k]-th power; [k] may be negative. *)
+val pow : t -> int -> t
+
+(** [conjugate p q] is [q^-1 * p * q]. *)
+val conjugate : t -> t -> t
+
+(** {1 Queries} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_identity : t -> bool
+
+(** [order p] is the least positive [k] with [pow p k] the identity. *)
+val order : t -> int
+
+(** [support p] lists the moved points in increasing order. *)
+val support : t -> int list
+
+(** [fixes p x] is true when [apply p x = x]. *)
+val fixes : t -> int -> bool
+
+(** [image p s] is the image of the point set [s], sorted. *)
+val image : t -> int list -> int list
+
+(** [preserves p s] is true when [image p s] equals [s] as a set
+    ([s] must be sorted). *)
+val preserves : t -> int list -> bool
+
+(** {1 Hashing support} *)
+
+(** [key p] is a compact byte-string key; equal permutations have equal
+    keys.  Only valid for degrees below 256. *)
+val key : t -> string
+
+val hash : t -> int
+
+(** {1 Extension and restriction} *)
+
+(** [pad p degree] reinterprets [p] on a larger degree, fixing new points.
+    @raise Invalid_argument if [degree < degree p]. *)
+val pad : t -> int -> t
+
+val pp : Format.formatter -> t -> unit

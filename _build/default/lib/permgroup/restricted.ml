@@ -1,0 +1,34 @@
+let restrict b s =
+  let n = Perm.degree b in
+  let rec check_sorted = function
+    | [] | [ _ ] -> ()
+    | x :: (y :: _ as rest) ->
+        if x >= y then invalid_arg "Restricted.restrict: subset not sorted";
+        check_sorted rest
+  in
+  check_sorted s;
+  List.iter
+    (fun x -> if x < 0 || x >= n then invalid_arg "Restricted.restrict: point out of domain")
+    s;
+  let points = Array.of_list s in
+  let k = Array.length points in
+  (* position of a point within the sorted subset, or -1 *)
+  let pos = Hashtbl.create (2 * k) in
+  Array.iteri (fun i x -> Hashtbl.add pos x i) points;
+  let img = Array.make k 0 in
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      match Hashtbl.find_opt pos (Perm.apply b x) with
+      | Some j -> img.(i) <- j
+      | None -> ok := false)
+    points;
+  if !ok then Some (Perm.unsafe_of_array img) else None
+
+let preserves_prefix b k =
+  let rec go i = i >= k || (Perm.apply b i < k && go (i + 1)) in
+  go 0
+
+let restrict_prefix b k =
+  if preserves_prefix b k then Some (Perm.unsafe_of_array (Array.init k (Perm.apply b)))
+  else None

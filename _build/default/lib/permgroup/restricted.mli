@@ -1,0 +1,20 @@
+(** GAP's [RestrictedPerm], the keystone of the paper's FMCF algorithm.
+
+    Given a permutation [b] of a large domain and a subset [s] of points,
+    if [b] maps [s] onto itself then the restriction of [b] to [s] is a
+    permutation of [s]; re-indexing [s] by its sorted position gives a
+    permutation of [{0, ..., |s|-1}]. *)
+
+(** [restrict b s] is [Some] of the re-indexed restriction when the sorted
+    point list [s] satisfies [b s = s] (as sets), [None] otherwise.
+    @raise Invalid_argument if [s] is not sorted strictly increasing or
+    mentions points outside the domain of [b]. *)
+val restrict : Perm.t -> int list -> Perm.t option
+
+(** [restrict_prefix b k] is the common special case [restrict b [0..k-1]]:
+    the paper restricts to the first 8 points (the binary patterns).
+    Implemented without allocation of the subset. *)
+val restrict_prefix : Perm.t -> int -> Perm.t option
+
+(** [preserves_prefix b k] is true iff [b] maps [{0..k-1}] onto itself. *)
+val preserves_prefix : Perm.t -> int -> bool

@@ -1,0 +1,152 @@
+type level = {
+  base : int;
+  mutable gens : Perm.t list;
+  (* orbit point -> group element mapping [base] to that point *)
+  mutable transversal : (int, Perm.t) Hashtbl.t;
+}
+
+type t = { degree : int; mutable levels : level list }
+
+let degree chain = chain.degree
+
+let first_moved p =
+  let rec go i =
+    if i >= Perm.degree p then None
+    else if Perm.apply p i <> i then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let recompute_orbit degree level =
+  let transversal = Hashtbl.create 16 in
+  Hashtbl.add transversal level.base (Perm.identity degree);
+  let queue = Queue.create () in
+  Queue.add level.base queue;
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    let rep = Hashtbl.find transversal x in
+    List.iter
+      (fun s ->
+        let y = Perm.apply s x in
+        if not (Hashtbl.mem transversal y) then begin
+          Hashtbl.add transversal y (Perm.mul rep s);
+          Queue.add y queue
+        end)
+      level.gens
+  done;
+  level.transversal <- transversal
+
+(* Sift [g] through levels [i..]; [None] when [g] factors completely into
+   transversal representatives (i.e. is a member of the level-[i] group),
+   [Some (j, residue)] when sifting stops: either the image of base [j]
+   left the orbit, or ([j] = chain length) the chain must grow. *)
+let sift_from chain i g =
+  let rec go levels j g =
+    match levels with
+    | [] -> if Perm.is_identity g then None else Some (j, g)
+    | level :: rest -> (
+        let x = Perm.apply g level.base in
+        match Hashtbl.find_opt level.transversal x with
+        | None -> Some (j, g)
+        | Some rep -> go rest (j + 1) (Perm.mul g (Perm.inverse rep)))
+  in
+  let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+  go (drop i chain.levels) i g
+
+(* A residue [r] found while verifying level [i], with sifting stopped at
+   level [j], fixes the base points of levels [0..j-1] and therefore belongs
+   to the stabilizer groups of every level in [i+1..j]: add it to all their
+   generating sets (creating level [j] when the chain must grow). *)
+let insert_residue chain ~low ~stop r =
+  let len = List.length chain.levels in
+  if stop = len then begin
+    let base =
+      match first_moved r with
+      | Some b -> b
+      | None -> invalid_arg "Schreier.insert_residue: identity residue"
+    in
+    let level = { base; gens = []; transversal = Hashtbl.create 16 } in
+    chain.levels <- chain.levels @ [ level ]
+  end;
+  List.iteri
+    (fun m level -> if m >= low && m <= stop then level.gens <- r :: level.gens)
+    chain.levels
+
+(* Complete level [i], assuming deeper levels are complete: recompute the
+   orbit and sift every Schreier generator through the subchain; each
+   surviving residue is a missing generator of the deeper stabilizers. *)
+let rec complete chain i =
+  if i < List.length chain.levels then begin
+    let level = List.nth chain.levels i in
+    recompute_orbit chain.degree level;
+    let again = ref true in
+    while !again do
+      again := false;
+      let points = Hashtbl.fold (fun x _ acc -> x :: acc) level.transversal [] in
+      (try
+         List.iter
+           (fun x ->
+             let rep_x = Hashtbl.find level.transversal x in
+             List.iter
+               (fun s ->
+                 let u = Perm.mul rep_x s in
+                 let y = Perm.apply u level.base in
+                 let rep_y = Hashtbl.find level.transversal y in
+                 let schreier = Perm.mul u (Perm.inverse rep_y) in
+                 if not (Perm.is_identity schreier) then
+                   match sift_from chain (i + 1) schreier with
+                   | None -> ()
+                   | Some (j, residue) ->
+                       insert_residue chain ~low:(i + 1) ~stop:j residue;
+                       for m = j downto i + 1 do
+                         complete chain m
+                       done;
+                       again := true;
+                       raise Exit)
+               level.gens)
+           points
+       with Exit -> ())
+    done
+  end
+
+let of_generators ~degree gens =
+  List.iter
+    (fun g ->
+      if Perm.degree g <> degree then
+        invalid_arg "Schreier.of_generators: degree mismatch")
+    gens;
+  let gens = List.filter (fun g -> not (Perm.is_identity g)) gens in
+  let chain = { degree; levels = [] } in
+  (match gens with
+  | [] -> ()
+  | first :: _ ->
+      let base =
+        match first_moved first with Some b -> b | None -> assert false
+      in
+      chain.levels <- [ { base; gens; transversal = Hashtbl.create 16 } ];
+      complete chain 0);
+  chain
+
+let orbit_sizes chain =
+  List.map (fun level -> Hashtbl.length level.transversal) chain.levels
+
+let order chain =
+  List.fold_left
+    (fun acc n ->
+      let product = acc * n in
+      if product / n <> acc then failwith "Schreier.order: overflow";
+      product)
+    1 (orbit_sizes chain)
+
+let base chain = List.map (fun level -> level.base) chain.levels
+
+let mem chain g =
+  Perm.degree g = chain.degree
+  && match sift_from chain 0 g with None -> true | Some _ -> false
+
+let sift chain g =
+  match sift_from chain 0 g with None -> None | Some (_, residue) -> Some residue
+
+let is_symmetric_group chain =
+  let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1) in
+  chain.degree <= 20 && order chain = factorial chain.degree

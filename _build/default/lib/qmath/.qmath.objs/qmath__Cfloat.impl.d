@@ -1,0 +1,1 @@
+lib/qmath/cfloat.ml: Dyadic Float Format

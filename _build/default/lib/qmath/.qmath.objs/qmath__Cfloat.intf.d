@@ -1,0 +1,1 @@
+lib/qmath/cfloat.mli: Dyadic Format

@@ -1,0 +1,1 @@
+lib/qmath/dmatrix.ml: Array Dyadic Format List

@@ -1,0 +1,1 @@
+lib/qmath/dmatrix.mli: Dyadic Format

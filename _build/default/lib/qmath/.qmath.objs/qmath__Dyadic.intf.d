@@ -1,0 +1,1 @@
+lib/qmath/dyadic.mli: Format

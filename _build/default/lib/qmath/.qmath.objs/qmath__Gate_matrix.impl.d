@@ -1,0 +1,1 @@
+lib/qmath/gate_matrix.ml: Dmatrix Dyadic

@@ -1,0 +1,26 @@
+type t = { re : float; im : float }
+
+let zero = { re = 0.0; im = 0.0 }
+let one = { re = 1.0; im = 0.0 }
+let i = { re = 0.0; im = 1.0 }
+let make re im = { re; im }
+let of_float re = { re; im = 0.0 }
+let add a b = { re = a.re +. b.re; im = a.im +. b.im }
+let sub a b = { re = a.re -. b.re; im = a.im -. b.im }
+let neg a = { re = -.a.re; im = -.a.im }
+
+let mul a b =
+  { re = (a.re *. b.re) -. (a.im *. b.im); im = (a.re *. b.im) +. (a.im *. b.re) }
+
+let conj a = { a with im = -.a.im }
+let scale k a = { re = k *. a.re; im = k *. a.im }
+let norm_sq a = (a.re *. a.re) +. (a.im *. a.im)
+
+let approx_equal ?(tol = 1e-9) a b =
+  Float.abs (a.re -. b.re) <= tol && Float.abs (a.im -. b.im) <= tol
+
+let of_dyadic d =
+  let re, im = Dyadic.to_floats d in
+  { re; im }
+
+let pp ppf a = Format.fprintf ppf "%g%+gi" a.re a.im

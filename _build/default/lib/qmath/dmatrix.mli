@@ -1,0 +1,76 @@
+(** Dense matrices over the exact {!Dyadic} ring.
+
+    Everything needed to treat quantum gates as unitary matrices, exactly:
+    products, Kronecker products, Hermitian adjoints, unitarity checks and
+    application to state vectors.  Dimensions in this repository are tiny
+    (2{^ n} for n <= 4 qubits), so the representation is a plain [array array]
+    and the algorithms are the textbook O(n^3) ones. *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [make rows cols f] builds the [rows * cols] matrix with entry
+    [f row col]. *)
+val make : int -> int -> (int -> int -> Dyadic.t) -> t
+
+(** [of_rows entries] builds a matrix from a row-major list of lists.
+    @raise Invalid_argument on ragged input or an empty matrix. *)
+val of_rows : Dyadic.t list list -> t
+
+val identity : int -> t
+
+(** [permutation_matrix p] is the matrix of the basis permutation
+    [col j -> row p.(j)]: entry [(p.(j), j)] is one.
+    @raise Invalid_argument if [p] is not a permutation of [0..len-1]. *)
+val permutation_matrix : int array -> t
+
+val zero : int -> int -> t
+
+(** {1 Accessors} *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Dyadic.t
+
+(** {1 Algebra} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [mul a b] is the matrix product [a * b].
+    @raise Invalid_argument on dimension mismatch. *)
+val mul : t -> t -> t
+
+val scale : Dyadic.t -> t -> t
+
+(** [kron a b] is the Kronecker (tensor) product; the row index of [a]
+    is the high-order part. *)
+val kron : t -> t -> t
+
+(** [adjoint m] is the conjugate transpose (Hermitian adjoint). *)
+val adjoint : t -> t
+
+(** [apply m v] is the matrix-vector product.
+    @raise Invalid_argument on dimension mismatch. *)
+val apply : t -> Dyadic.t array -> Dyadic.t array
+
+(** {1 Queries} *)
+
+val equal : t -> t -> bool
+val is_identity : t -> bool
+
+(** [is_unitary m] checks [m * adjoint m = identity] exactly. *)
+val is_unitary : t -> bool
+
+(** [is_permutation m] is [Some p] when [m] is exactly a permutation
+    matrix, with [p.(j)] the row of the unit entry in column [j]. *)
+val is_permutation : t -> int array option
+
+(** [rank m] is the rank over the complex rationals, computed exactly by
+    fraction-free Gaussian elimination (cross-multiplication — entries
+    stay in the dyadic ring; fine for the small matrices of this
+    repository). *)
+val rank : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+type t = { re : int; im : int; exp : int }
+
+(* Normalization invariant: exp = 0, or re or im is odd.  All constructors
+   go through [norm], so structural equality is semantic equality. *)
+
+let rec norm re im exp =
+  if exp = 0 then { re; im; exp }
+  else if re land 1 = 0 && im land 1 = 0 then norm (re asr 1) (im asr 1) (exp - 1)
+  else { re; im; exp }
+
+(* Amplitudes in this repository stay far below this bound; exceeding it
+   signals a misuse (e.g. multiplying unnormalized huge scalars). *)
+let max_component = 1 lsl 60
+
+let check_range re im =
+  if abs re >= max_component || abs im >= max_component then
+    invalid_arg "Dyadic: component magnitude exceeds 2^60"
+
+let make ~re ~im ~exp =
+  if exp < 0 then invalid_arg "Dyadic.make: negative exponent";
+  check_range re im;
+  norm re im exp
+
+let zero = { re = 0; im = 0; exp = 0 }
+let one = { re = 1; im = 0; exp = 0 }
+let minus_one = { re = -1; im = 0; exp = 0 }
+let i = { re = 0; im = 1; exp = 0 }
+let half_one_plus_i = { re = 1; im = 1; exp = 1 }
+let half_one_minus_i = { re = 1; im = -1; exp = 1 }
+let of_int n = { re = n; im = 0; exp = 0 }
+let re_num t = t.re
+let im_num t = t.im
+let exp t = t.exp
+
+let add a b =
+  (* Align denominators to the larger exponent. *)
+  let e = max a.exp b.exp in
+  let sa = e - a.exp and sb = e - b.exp in
+  let re = (a.re lsl sa) + (b.re lsl sb) and im = (a.im lsl sa) + (b.im lsl sb) in
+  check_range re im;
+  norm re im e
+
+let neg a = { a with re = -a.re; im = -a.im }
+let sub a b = add a (neg b)
+
+let mul a b =
+  let re = (a.re * b.re) - (a.im * b.im) and im = (a.re * b.im) + (a.im * b.re) in
+  check_range re im;
+  norm re im (a.exp + b.exp)
+
+let conj a = { a with im = -a.im }
+
+let mul_int a k =
+  let re = a.re * k and im = a.im * k in
+  check_range re im;
+  norm re im a.exp
+
+let div2 a = norm a.re a.im (a.exp + 1)
+let equal a b = a.re = b.re && a.im = b.im && a.exp = b.exp
+
+let compare a b =
+  match Int.compare a.exp b.exp with
+  | 0 -> ( match Int.compare a.re b.re with 0 -> Int.compare a.im b.im | c -> c)
+  | c -> c
+
+let is_zero a = a.re = 0 && a.im = 0
+let is_real a = a.im = 0
+
+let norm_sq a =
+  let num = (a.re * a.re) + (a.im * a.im) in
+  let e = 2 * a.exp in
+  (* Reduce to lowest terms. *)
+  let rec reduce num e = if e > 0 && num land 1 = 0 then reduce (num asr 1) (e - 1) else (num, e) in
+  if num = 0 then (0, 0) else reduce num e
+
+let to_floats a =
+  let d = ldexp 1.0 (-a.exp) in
+  (float_of_int a.re *. d, float_of_int a.im *. d)
+
+let pp ppf a =
+  if is_zero a then Format.pp_print_string ppf "0"
+  else if a.exp = 0 then
+    if a.im = 0 then Format.fprintf ppf "%d" a.re
+    else if a.re = 0 then Format.fprintf ppf "%di" a.im
+    else Format.fprintf ppf "(%d%+di)" a.re a.im
+  else if a.im = 0 then Format.fprintf ppf "%d/2^%d" a.re a.exp
+  else if a.re = 0 then Format.fprintf ppf "%di/2^%d" a.im a.exp
+  else Format.fprintf ppf "(%d%+di)/2^%d" a.re a.im a.exp
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,53 @@
+let d = Dyadic.make
+
+let not_gate =
+  Dmatrix.of_rows
+    [ [ Dyadic.zero; Dyadic.one ]; [ Dyadic.one; Dyadic.zero ] ]
+
+(* V = [[ (1+i)/2, (1-i)/2 ], [ (1-i)/2, (1+i)/2 ]] — the paper writes the
+   entries as 0.5+0.5i and 0.5-0.5i. *)
+let v =
+  Dmatrix.of_rows
+    [ [ d ~re:1 ~im:1 ~exp:1; d ~re:1 ~im:(-1) ~exp:1 ];
+      [ d ~re:1 ~im:(-1) ~exp:1; d ~re:1 ~im:1 ~exp:1 ] ]
+
+let v_dag = Dmatrix.adjoint v
+
+let check_wire qubits wire name =
+  if wire < 0 || wire >= qubits then invalid_arg (name ^ ": wire out of range")
+
+(* Bit of wire [w] inside index [j]; wire 0 is the most significant bit. *)
+let bit_of ~qubits ~wire j = (j lsr (qubits - 1 - wire)) land 1
+let with_bit ~qubits ~wire j b =
+  let mask = 1 lsl (qubits - 1 - wire) in
+  if b = 1 then j lor mask else j land lnot mask
+
+let single ~qubits ~wire u =
+  check_wire qubits wire "Gate_matrix.single";
+  if Dmatrix.rows u <> 2 || Dmatrix.cols u <> 2 then
+    invalid_arg "Gate_matrix.single: operator must be 2x2";
+  let dim = 1 lsl qubits in
+  Dmatrix.make dim dim (fun r c ->
+      if with_bit ~qubits ~wire r 0 <> with_bit ~qubits ~wire c 0 then Dyadic.zero
+      else Dmatrix.get u (bit_of ~qubits ~wire r) (bit_of ~qubits ~wire c))
+
+let controlled ~qubits ~control ~target u =
+  check_wire qubits control "Gate_matrix.controlled";
+  check_wire qubits target "Gate_matrix.controlled";
+  if control = target then invalid_arg "Gate_matrix.controlled: control = target";
+  if Dmatrix.rows u <> 2 || Dmatrix.cols u <> 2 then
+    invalid_arg "Gate_matrix.controlled: operator must be 2x2";
+  let dim = 1 lsl qubits in
+  Dmatrix.make dim dim (fun r c ->
+      if bit_of ~qubits ~wire:control c = 0 then
+        if r = c then Dyadic.one else Dyadic.zero
+      else if
+        bit_of ~qubits ~wire:control r = 1
+        && with_bit ~qubits ~wire:target r 0 = with_bit ~qubits ~wire:target c 0
+      then Dmatrix.get u (bit_of ~qubits ~wire:target r) (bit_of ~qubits ~wire:target c)
+      else Dyadic.zero)
+
+let controlled_v ~qubits ~control ~target = controlled ~qubits ~control ~target v
+let controlled_v_dag ~qubits ~control ~target = controlled ~qubits ~control ~target v_dag
+let feynman ~qubits ~control ~target = controlled ~qubits ~control ~target not_gate
+let not_on ~qubits ~wire = single ~qubits ~wire not_gate

@@ -1,0 +1,47 @@
+(** Exact unitary matrices for the paper's elementary quantum gates.
+
+    Conventions: an [n]-qubit system has dimension [2^n]; basis state index
+    [j] encodes the classical pattern with {e qubit 0 as the most significant
+    bit} (so for 3 qubits, wire A = qubit 0, B = 1, C = 2, and the index of
+    pattern A=1,B=0,C=0 is 4).  This matches the pattern codes used across
+    the repository. *)
+
+(** {1 One-qubit primitives (2 x 2)} *)
+
+(** Pauli X, i.e. the NOT gate. *)
+val not_gate : Dmatrix.t
+
+(** The square root of NOT: V = ((1+i)/2) * [[1, -i], [-i, 1]], exactly the
+    matrix printed in the paper's Section 2. *)
+val v : Dmatrix.t
+
+(** V{^ +}, the Hermitian adjoint of {!v}; [v * v_dag] is the identity and
+    [v * v] is {!not_gate}. *)
+val v_dag : Dmatrix.t
+
+(** {1 Lifting to n qubits} *)
+
+(** [single ~qubits ~wire u] applies the 2x2 matrix [u] on wire [wire] of a
+    [qubits]-qubit system (identity elsewhere).
+    @raise Invalid_argument if [wire] is out of range or [u] is not 2x2. *)
+val single : qubits:int -> wire:int -> Dmatrix.t -> Dmatrix.t
+
+(** [controlled ~qubits ~control ~target u] applies [u] on wire [target]
+    when wire [control] carries 1.
+    @raise Invalid_argument if wires coincide or are out of range. *)
+val controlled : qubits:int -> control:int -> target:int -> Dmatrix.t -> Dmatrix.t
+
+(** {1 The paper's 2-qubit library on n wires} *)
+
+(** [controlled_v ~qubits ~control ~target] is the controlled-V gate. *)
+val controlled_v : qubits:int -> control:int -> target:int -> Dmatrix.t
+
+(** [controlled_v_dag ~qubits ~control ~target] is the controlled-V{^ +}. *)
+val controlled_v_dag : qubits:int -> control:int -> target:int -> Dmatrix.t
+
+(** [feynman ~qubits ~control ~target] is the Feynman (CNOT) gate:
+    [target := target XOR control]. *)
+val feynman : qubits:int -> control:int -> target:int -> Dmatrix.t
+
+(** [not_on ~qubits ~wire] inverts one wire. *)
+val not_on : qubits:int -> wire:int -> Dmatrix.t

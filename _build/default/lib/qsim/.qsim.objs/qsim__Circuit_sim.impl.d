@@ -1,0 +1,1 @@
+lib/qsim/circuit_sim.ml: Dmatrix List Qmath State

@@ -1,0 +1,1 @@
+lib/qsim/circuit_sim.mli: Mvl Qmath State

@@ -1,0 +1,1 @@
+lib/qsim/prob.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/qsim/prob.mli: Format

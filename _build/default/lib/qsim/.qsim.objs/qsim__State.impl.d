@@ -1,0 +1,1 @@
+lib/qsim/state.ml: Array Dmatrix Dyadic Format List Mvl Prob Qmath

@@ -1,0 +1,1 @@
+lib/qsim/state.mli: Format Mvl Prob Qmath

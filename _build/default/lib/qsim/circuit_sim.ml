@@ -1,0 +1,13 @@
+open Qmath
+
+let unitary_of_cascade ~qubits gates =
+  (* The cascade g1; g2 acts on a column state as matrix g2 * g1. *)
+  List.fold_left (fun acc g -> Dmatrix.mul g acc) (Dmatrix.identity (1 lsl qubits)) gates
+
+let run ~qubits gates state = State.apply (unitary_of_cascade ~qubits gates) state
+
+let classical_function ~qubits gates =
+  Dmatrix.is_permutation (unitary_of_cascade ~qubits gates)
+
+let output_pattern ~qubits gates input =
+  State.to_pattern (run ~qubits gates (State.of_pattern input))

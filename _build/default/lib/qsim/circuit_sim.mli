@@ -1,0 +1,28 @@
+(** Simulation of gate cascades as exact unitaries.
+
+    A cascade is a list of unitary matrices applied left-to-right (the
+    first list element acts first), matching the paper's product
+    convention [g = d1 * d2 * ... * dt]. *)
+
+(** [unitary_of_cascade ~qubits gates] multiplies the gate matrices in
+    application order into one [2^qubits]-dimensional unitary; the empty
+    cascade gives the identity.
+    @raise Invalid_argument on dimension mismatch. *)
+val unitary_of_cascade : qubits:int -> Qmath.Dmatrix.t list -> Qmath.Dmatrix.t
+
+(** [run ~qubits gates state] applies the cascade to a state. *)
+val run : qubits:int -> Qmath.Dmatrix.t list -> State.t -> State.t
+
+(** [classical_function ~qubits gates] is [Some outputs] when the cascade
+    maps every computational basis state to a computational basis state;
+    [outputs.(code)] is the image code.  This is how a synthesized quantum
+    cascade is certified to implement a classical reversible function. *)
+val classical_function : qubits:int -> Qmath.Dmatrix.t list -> int array option
+
+(** [output_pattern ~qubits gates input] runs the cascade on a quaternary
+    input pattern and recovers the output pattern, or [None] when the
+    output state is not a product of quaternary wire values (cannot happen
+    for cascades respecting the paper's control-purity constraint, but can
+    for arbitrary cascades). *)
+val output_pattern :
+  qubits:int -> Qmath.Dmatrix.t list -> Mvl.Pattern.t -> Mvl.Pattern.t option

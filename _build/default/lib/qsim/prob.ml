@@ -1,0 +1,41 @@
+type t = { num : int; exp : int }
+
+let rec normalize num exp =
+  if exp > 0 && num land 1 = 0 then normalize (num asr 1) (exp - 1) else { num; exp }
+
+let make num exp =
+  if num < 0 || exp < 0 then invalid_arg "Prob.make: negative component";
+  if num = 0 then { num = 0; exp = 0 } else normalize num exp
+
+let zero = { num = 0; exp = 0 }
+let one = { num = 1; exp = 0 }
+let half = { num = 1; exp = 1 }
+let num t = t.num
+let exp t = t.exp
+
+let add a b =
+  let e = max a.exp b.exp in
+  make ((a.num lsl (e - a.exp)) + (b.num lsl (e - b.exp))) e
+
+let sub a b =
+  let e = max a.exp b.exp in
+  let n = (a.num lsl (e - a.exp)) - (b.num lsl (e - b.exp)) in
+  if n < 0 then invalid_arg "Prob.sub: negative result";
+  make n e
+
+let mul a b = make (a.num * b.num) (a.exp + b.exp)
+let equal a b = a.num = b.num && a.exp = b.exp
+
+let compare a b =
+  let e = max a.exp b.exp in
+  Int.compare (a.num lsl (e - a.exp)) (b.num lsl (e - b.exp))
+
+let is_zero t = t.num = 0
+let to_float t = ldexp (float_of_int t.num) (-t.exp)
+
+let pp ppf t =
+  if t.exp = 0 then Format.fprintf ppf "%d" t.num
+  else Format.fprintf ppf "%d/%d" t.num (1 lsl t.exp)
+
+let sum l = List.fold_left add zero l
+let of_norm_sq (n, e) = make n e

@@ -1,0 +1,38 @@
+(** Exact dyadic probabilities: non-negative rationals [num / 2^exp].
+
+    All measurement probabilities arising from the paper's gate set are of
+    this form (amplitudes live in the Gaussian-dyadic ring), so the
+    automata analyses can be carried out with no rounding at all. *)
+
+type t
+
+val zero : t
+val one : t
+val half : t
+
+(** [make num exp] is [num / 2^exp], normalized to lowest terms.
+    @raise Invalid_argument if [num < 0] or [exp < 0]. *)
+val make : int -> int -> t
+
+(** [num t] and [exp t] expose the lowest-terms representation. *)
+val num : t -> int
+
+val exp : t -> int
+val add : t -> t -> t
+
+(** [sub a b] requires [a >= b].
+    @raise Invalid_argument otherwise. *)
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_zero : t -> bool
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+
+(** [sum l] adds a list of probabilities. *)
+val sum : t list -> t
+
+(** [of_norm_sq d] converts {!Qmath.Dyadic.norm_sq} output. *)
+val of_norm_sq : int * int -> t

@@ -1,0 +1,108 @@
+open Qmath
+
+type t = { qubits : int; amps : Dyadic.t array }
+
+let log2_exact n =
+  let rec go k m = if m = 1 then Some k else if m land 1 = 1 then None else go (k + 1) (m asr 1) in
+  if n <= 0 then None else go 0 n
+
+let of_amplitudes amps =
+  match log2_exact (Array.length amps) with
+  | Some qubits -> { qubits; amps = Array.copy amps }
+  | None -> invalid_arg "State.of_amplitudes: length is not a power of two"
+
+let basis ~qubits code =
+  let dim = 1 lsl qubits in
+  if code < 0 || code >= dim then invalid_arg "State.basis: code out of range";
+  { qubits; amps = Array.init dim (fun i -> if i = code then Dyadic.one else Dyadic.zero) }
+
+let vec_kron a b =
+  let nb = Array.length b in
+  Array.init (Array.length a * nb) (fun i -> Dyadic.mul a.(i / nb) b.(i mod nb))
+
+let of_pattern p =
+  let qubits = Mvl.Pattern.qubits p in
+  let amps = ref [| Dyadic.one |] in
+  for w = 0 to qubits - 1 do
+    amps := vec_kron !amps (Mvl.Quat.to_state_vector (Mvl.Pattern.get p w))
+  done;
+  { qubits; amps = !amps }
+
+let qubits s = s.qubits
+let dimension s = Array.length s.amps
+let amplitude s i = s.amps.(i)
+
+let apply m s =
+  if Dmatrix.cols m <> Array.length s.amps then
+    invalid_arg "State.apply: dimension mismatch";
+  { s with amps = Dmatrix.apply m s.amps }
+
+let equal a b = a.qubits = b.qubits && Array.for_all2 Dyadic.equal a.amps b.amps
+
+let total_probability s =
+  Prob.sum (Array.to_list (Array.map (fun a -> Prob.of_norm_sq (Dyadic.norm_sq a)) s.amps))
+
+let is_normalized s = Prob.equal (total_probability s) Prob.one
+let basis_probability s code = Prob.of_norm_sq (Dyadic.norm_sq s.amps.(code))
+
+let one_probability s ~wire =
+  if wire < 0 || wire >= s.qubits then invalid_arg "State.one_probability: wire out of range";
+  let acc = ref Prob.zero in
+  Array.iteri
+    (fun code a ->
+      if (code lsr (s.qubits - 1 - wire)) land 1 = 1 then
+        acc := Prob.add !acc (Prob.of_norm_sq (Dyadic.norm_sq a)))
+    s.amps;
+  !acc
+
+let distribution s = Array.init (dimension s) (basis_probability s)
+
+let to_pattern s =
+  List.find_opt
+    (fun p -> equal (of_pattern p) s)
+    (Mvl.Pattern.all ~qubits:s.qubits)
+
+let product_across s ~cut =
+  if cut <= 0 || cut >= s.qubits then invalid_arg "State.product_across: bad cut";
+  let cols = 1 lsl (s.qubits - cut) in
+  let rows = 1 lsl cut in
+  let amp r c = s.amps.((r lsl (s.qubits - cut)) lor c) in
+  (* rank <= 1 iff every 2x2 minor vanishes *)
+  let ok = ref true in
+  for r1 = 0 to rows - 2 do
+    for r2 = r1 + 1 to rows - 1 do
+      for c1 = 0 to cols - 2 do
+        for c2 = c1 + 1 to cols - 1 do
+          let minor =
+            Dyadic.sub
+              (Dyadic.mul (amp r1 c1) (amp r2 c2))
+              (Dyadic.mul (amp r1 c2) (amp r2 c1))
+          in
+          if not (Dyadic.is_zero minor) then ok := false
+        done
+      done
+    done
+  done;
+  !ok
+
+let is_product s =
+  let rec go cut = cut >= s.qubits || (product_across s ~cut && go (cut + 1)) in
+  s.qubits <= 1 || go 1
+
+let is_entangled s = not (is_product s)
+
+let schmidt_rank s ~cut =
+  if cut <= 0 || cut >= s.qubits then invalid_arg "State.schmidt_rank: bad cut";
+  let cols = 1 lsl (s.qubits - cut) in
+  let rows = 1 lsl cut in
+  Dmatrix.rank
+    (Dmatrix.make rows cols (fun r c -> s.amps.((r lsl (s.qubits - cut)) lor c)))
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun code a ->
+      if not (Dyadic.is_zero a) then
+        Format.fprintf ppf "%a |%d⟩@," Dyadic.pp a code)
+    s.amps;
+  Format.fprintf ppf "@]"

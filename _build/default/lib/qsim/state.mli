@@ -1,0 +1,75 @@
+(** Exact state vectors for n-qubit systems.
+
+    Amplitudes live in the Gaussian-dyadic ring {!Qmath.Dyadic}, so two
+    states are equal iff they compare equal — no tolerance knobs.  Basis
+    index convention matches the rest of the repository: qubit 0 (the
+    paper's A) is the most significant bit. *)
+
+type t
+
+(** [basis ~qubits code] is the computational basis state |code⟩.
+    @raise Invalid_argument when the code is out of range. *)
+val basis : qubits:int -> int -> t
+
+(** [of_pattern p] is the product state whose wires carry the quaternary
+    values of [p] — e.g. the pattern [1,V0,0] denotes |1⟩ ⊗ V|0⟩ ⊗ |0⟩.
+    This realizes the paper's claim that the multiple-valued abstraction
+    describes genuine quantum states. *)
+val of_pattern : Mvl.Pattern.t -> t
+
+(** [of_amplitudes amps] wraps an amplitude vector whose length must be a
+    power of two.
+    @raise Invalid_argument otherwise. *)
+val of_amplitudes : Qmath.Dyadic.t array -> t
+
+val qubits : t -> int
+val dimension : t -> int
+val amplitude : t -> int -> Qmath.Dyadic.t
+
+(** [apply m s] applies a unitary (as a matrix) to the state.
+    @raise Invalid_argument on dimension mismatch. *)
+val apply : Qmath.Dmatrix.t -> t -> t
+
+val equal : t -> t -> bool
+
+(** [is_normalized s] checks that the squared amplitudes sum to exactly 1. *)
+val is_normalized : t -> bool
+
+(** [basis_probability s code] is the exact probability of observing
+    |code⟩ when measuring all wires. *)
+val basis_probability : t -> int -> Prob.t
+
+(** [one_probability s ~wire] is the exact probability that measuring
+    [wire] yields 1. *)
+val one_probability : t -> wire:int -> Prob.t
+
+(** [distribution s] is the full measurement distribution over codes. *)
+val distribution : t -> Prob.t array
+
+(** [to_pattern s] recovers a quaternary pattern when the state is exactly
+    a product of the four {!Mvl.Quat} wire states, [None] otherwise (e.g.
+    for entangled states). *)
+val to_pattern : t -> Mvl.Pattern.t option
+
+(** [product_across s ~cut] is true when the state factorizes as
+    (wires 0..cut-1) ⊗ (wires cut..n-1): exactly, the amplitude matrix
+    reshaped to [2^cut x 2^(n-cut)] has rank at most 1 (all 2x2 minors
+    vanish — checked in the dyadic ring, no tolerance).
+    @raise Invalid_argument unless [0 < cut < qubits]. *)
+val product_across : t -> cut:int -> bool
+
+(** [is_product s] is true when the state is a full product of one-qubit
+    states (not necessarily {!Mvl.Quat} states): product across every
+    prefix cut. *)
+val is_product : t -> bool
+
+(** [is_entangled s] is [not (is_product s)]. *)
+val is_entangled : t -> bool
+
+(** [schmidt_rank s ~cut] is the exact Schmidt rank across the
+    bipartition (wires [0..cut-1] | wires [cut..n-1]): 1 for product
+    states, up to [min 2^cut 2^(n-cut)] for maximally entangled ones.
+    @raise Invalid_argument unless [0 < cut < qubits]. *)
+val schmidt_rank : t -> cut:int -> int
+
+val pp : Format.formatter -> t -> unit

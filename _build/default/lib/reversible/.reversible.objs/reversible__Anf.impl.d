@@ -1,0 +1,1 @@
+lib/reversible/anf.ml: Array Char Fun Int List Printf Revfun String

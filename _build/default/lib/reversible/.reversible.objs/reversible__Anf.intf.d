@@ -1,0 +1,1 @@
+lib/reversible/anf.mli: Revfun

@@ -1,0 +1,1 @@
+lib/reversible/boolexpr.ml: Anf Char Format List Printf Revfun String

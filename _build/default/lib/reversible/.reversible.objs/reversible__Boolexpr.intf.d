@@ -1,0 +1,1 @@
+lib/reversible/boolexpr.mli: Anf Format Revfun

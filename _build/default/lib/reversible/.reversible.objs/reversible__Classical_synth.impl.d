@@ -1,0 +1,1 @@
+lib/reversible/classical_synth.ml: Array Char Format Fun Gates Hashtbl Int List Option Perm Permgroup Printf Revfun String

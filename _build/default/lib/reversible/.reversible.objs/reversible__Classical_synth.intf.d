@@ -1,0 +1,1 @@
+lib/reversible/classical_synth.mli: Format Revfun

@@ -1,0 +1,1 @@
+lib/reversible/gates.ml: List Revfun

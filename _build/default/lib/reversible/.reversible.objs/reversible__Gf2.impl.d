@@ -1,0 +1,1 @@
+lib/reversible/gf2.ml: Anf Array List Revfun

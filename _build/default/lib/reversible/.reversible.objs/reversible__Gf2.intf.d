@@ -1,0 +1,1 @@
+lib/reversible/gf2.mli: Revfun

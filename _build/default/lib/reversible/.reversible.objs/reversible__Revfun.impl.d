@@ -1,0 +1,1 @@
+lib/reversible/revfun.ml: Array Format Int List Perm Permgroup

@@ -1,0 +1,1 @@
+lib/reversible/revfun.mli: Format Permgroup

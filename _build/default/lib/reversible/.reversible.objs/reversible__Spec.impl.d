@@ -1,0 +1,1 @@
+lib/reversible/spec.ml: Boolexpr Gates List Permgroup Revfun String

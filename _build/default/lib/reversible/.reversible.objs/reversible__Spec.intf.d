@@ -1,0 +1,1 @@
+lib/reversible/spec.mli: Revfun

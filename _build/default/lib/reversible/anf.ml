@@ -1,0 +1,77 @@
+type monomial = int
+type t = monomial list
+
+let of_outputs ~bits column =
+  let n = 1 lsl bits in
+  if List.length column <> n then invalid_arg "Anf.of_outputs: column length";
+  (* Moebius transform in code space: a.(s) = XOR of f over subsets of s. *)
+  let a = Array.of_list (List.map (fun b -> if b then 1 else 0) column) in
+  for i = 0 to bits - 1 do
+    let bit = 1 lsl i in
+    for s = 0 to n - 1 do
+      if s land bit <> 0 then a.(s) <- a.(s) lxor a.(s lxor bit)
+    done
+  done;
+  (* Convert code-space masks (bit i = code bit i) to wire-space masks
+     (bit w = wire w, where wire 0 is the most significant code bit). *)
+  let to_wire_mask mask =
+    let out = ref 0 in
+    for w = 0 to bits - 1 do
+      if mask land (1 lsl (bits - 1 - w)) <> 0 then out := !out lor (1 lsl w)
+    done;
+    !out
+  in
+  let monomials = ref [] in
+  for s = n - 1 downto 0 do
+    if a.(s) = 1 then monomials := to_wire_mask s :: !monomials
+  done;
+  List.sort Int.compare !monomials
+
+let of_wire f ~wire = of_outputs ~bits:(Revfun.bits f) (Revfun.wire_outputs f ~wire)
+
+let eval ~bits anf code =
+  let monomial_value mask =
+    let rec go w = w >= bits || ((mask land (1 lsl w) = 0 || (code lsr (bits - 1 - w)) land 1 = 1) && go (w + 1)) in
+    go 0
+  in
+  List.fold_left (fun acc m -> if monomial_value m then not acc else acc) false anf
+
+let wire_letter w = String.make 1 (Char.chr (Char.code 'A' + w))
+
+let to_string ~bits anf =
+  match anf with
+  | [] -> "0"
+  | monomials ->
+      String.concat "+"
+        (List.map
+           (fun mask ->
+             if mask = 0 then "1"
+             else
+               String.concat ""
+                 (List.filter_map
+                    (fun w -> if mask land (1 lsl w) <> 0 then Some (wire_letter w) else None)
+                    (List.init bits Fun.id)))
+           monomials)
+
+let output_name bits wire =
+  if bits <= 3 then String.make 1 "PQR".[wire] else Printf.sprintf "O%d" (wire + 1)
+
+let describe f =
+  let bits = Revfun.bits f in
+  String.concat ", "
+    (List.init bits (fun wire ->
+         Printf.sprintf "%s = %s" (output_name bits wire)
+           (to_string ~bits (of_wire f ~wire))))
+
+let degree anf =
+  let popcount mask =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go mask 0
+  in
+  List.fold_left (fun acc m -> max acc (popcount m)) 0 anf
+
+let is_linear f =
+  let bits = Revfun.bits f in
+  List.for_all
+    (fun wire -> degree (of_wire f ~wire) <= 1)
+    (List.init bits Fun.id)

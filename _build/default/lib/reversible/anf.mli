@@ -1,0 +1,48 @@
+(** Algebraic normal form (positive-polarity Reed–Muller expansion) of the
+    output wires of a reversible function.
+
+    The paper describes its circuits by per-output XOR formulas — e.g.
+    Peres is "P = A, Q = B⊕A, R = C⊕AB".  Each output bit of a boolean
+    function has a unique representation as an XOR of AND-monomials over
+    the inputs; this module computes it (Möbius transform) and prints it
+    in the paper's style, so synthesized functions can be reported exactly
+    the way the paper reports them. *)
+
+type monomial = int
+(** A monomial is a bitmask over wires: bit [w] set means wire [w] is a
+    factor; [0] is the constant-1 monomial. *)
+
+type t = monomial list
+(** An ANF: the XOR of its monomials, sorted ascending; [[]] is the
+    constant 0. *)
+
+(** [of_outputs ~bits column] is the ANF of a single-output boolean
+    function given as its truth-table column (index = input code, wire 0
+    = most significant bit).
+    @raise Invalid_argument if the column length is not [2^bits]. *)
+val of_outputs : bits:int -> bool list -> t
+
+(** [of_wire f ~wire] is the ANF of one output wire of a reversible
+    function. *)
+val of_wire : Revfun.t -> wire:int -> t
+
+(** [eval ~bits anf code] evaluates the ANF on an input code. *)
+val eval : bits:int -> t -> int -> bool
+
+(** [to_string ~bits anf] prints e.g. ["C + AB"] ("+" is XOR, juxtaposition
+    is AND, ["1"] the constant); ["0"] for the empty ANF. *)
+val to_string : bits:int -> t -> string
+
+(** [describe f] prints all output wires in the paper's style, e.g.
+    ["P = A, Q = A+B, R = AB+C"] for Peres (output names P, Q, R, ...
+    for up to three wires, then O4, O5, ...). *)
+val describe : Revfun.t -> string
+
+(** [degree anf] is the largest monomial size (0 for constants); the
+    function is linear over GF(2) iff every output wire has degree <= 1. *)
+val degree : t -> int
+
+(** [is_linear f] is true when every output wire of [f] has an ANF of
+    degree at most 1 — exactly the functions realizable with CNOT and NOT
+    gates alone. *)
+val is_linear : Revfun.t -> bool

@@ -1,0 +1,129 @@
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+(* Recursive-descent parser.  Grammar, low precedence first:
+     or    := xor ('|' xor)*
+     xor   := and (('^'|'+') and)*
+     and   := unary (('&')? unary)*      juxtaposition is AND
+     unary := '!' unary | atom '''*
+     atom  := variable | '0' | '1' | '(' or ')' *)
+let parse ~bits s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = invalid_arg ("Boolexpr.parse: " ^ msg) in
+  let skip () = while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do incr pos done in
+  let peek () =
+    skip ();
+    if !pos < n then Some s.[!pos] else None
+  in
+  let starts_atom c =
+    (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c = '0' || c = '1' || c = '('
+  in
+  let rec parse_or () =
+    let left = parse_xor () in
+    match peek () with
+    | Some '|' ->
+        incr pos;
+        Or (left, parse_or ())
+    | _ -> left
+  and parse_xor () =
+    let left = parse_and () in
+    match peek () with
+    | Some ('^' | '+') ->
+        incr pos;
+        Xor (left, parse_xor ())
+    | _ -> left
+  and parse_and () =
+    let left = parse_unary () in
+    match peek () with
+    | Some '&' ->
+        incr pos;
+        And (left, parse_and ())
+    | Some c when c = '!' || starts_atom c -> And (left, parse_and ())
+    | _ -> left
+  and parse_unary () =
+    match peek () with
+    | Some '!' ->
+        incr pos;
+        Not (parse_unary ())
+    | _ ->
+        let atom = parse_atom () in
+        let rec primes acc =
+          match peek () with
+          | Some '\'' ->
+              incr pos;
+              primes (Not acc)
+          | _ -> acc
+        in
+        primes atom
+  and parse_atom () =
+    match peek () with
+    | Some '0' ->
+        incr pos;
+        Const false
+    | Some '1' ->
+        incr pos;
+        Const true
+    | Some '(' ->
+        incr pos;
+        let inner = parse_or () in
+        (match peek () with
+        | Some ')' -> incr pos
+        | _ -> fail "expected ')'");
+        inner
+    | Some c when (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ->
+        incr pos;
+        let wire = Char.code (Char.uppercase_ascii c) - Char.code 'A' in
+        if wire >= bits then fail (Printf.sprintf "variable %c exceeds %d wires" c bits);
+        Var wire
+    | _ -> fail "expected an atom"
+  in
+  let expr = parse_or () in
+  skip ();
+  if !pos <> n then fail "trailing input";
+  expr
+
+let rec eval ~bits expr code =
+  match expr with
+  | Const b -> b
+  | Var w -> (code lsr (bits - 1 - w)) land 1 = 1
+  | Not e -> not (eval ~bits e code)
+  | And (a, b) -> eval ~bits a code && eval ~bits b code
+  | Or (a, b) -> eval ~bits a code || eval ~bits b code
+  | Xor (a, b) -> eval ~bits a code <> eval ~bits b code
+
+let to_anf ~bits expr =
+  Anf.of_outputs ~bits (List.init (1 lsl bits) (eval ~bits expr))
+
+let rec pp ppf = function
+  | Const b -> Format.pp_print_string ppf (if b then "1" else "0")
+  | Var w -> Format.fprintf ppf "%c" (Char.chr (Char.code 'A' + w))
+  | Not e -> Format.fprintf ppf "%a'" pp_atom e
+  | And (a, b) -> Format.fprintf ppf "%a%a" pp_atom a pp_atom b
+  | Or (a, b) -> Format.fprintf ppf "%a|%a" pp a pp b
+  | Xor (a, b) -> Format.fprintf ppf "%a^%a" pp a pp b
+
+and pp_atom ppf e =
+  match e with
+  | Const _ | Var _ | Not _ -> pp ppf e
+  | And _ | Or _ | Xor _ -> Format.fprintf ppf "(%a)" pp e
+
+let revfun_of_formulas ~bits formulas =
+  if List.length formulas <> bits then
+    invalid_arg "Boolexpr.revfun_of_formulas: one formula per wire";
+  let exprs = List.map (parse ~bits) formulas in
+  let outputs =
+    List.init (1 lsl bits) (fun code ->
+        List.fold_left
+          (fun acc expr -> (acc lsl 1) lor (if eval ~bits expr code then 1 else 0))
+          0 exprs)
+  in
+  match Revfun.of_outputs ~bits outputs with
+  | f -> f
+  | exception Invalid_argument _ ->
+      invalid_arg "Boolexpr.revfun_of_formulas: formulas are not reversible"

@@ -1,0 +1,42 @@
+(** Boolean formulas over wire variables, for specifying reversible
+    functions the way the paper writes them: g2 is
+    "P = A, Q = B⊕AC', R = C⊕A", which parses here as the three formulas
+    ["A"], ["B^AC'"], ["C^A"].
+
+    Syntax (precedence low to high):
+    - [|] : OR
+    - [^] or [+] : XOR
+    - [&] or juxtaposition : AND  (so ["AB"] is A AND B)
+    - postfix ['] or prefix [!] : NOT
+    - atoms: variables [A]..[Z] (wire 0 = A), constants [0] and [1],
+      parenthesized formulas. *)
+
+type t =
+  | Const of bool
+  | Var of int (** wire index *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+(** [parse ~bits s] parses a formula; variables must name wires below
+    [bits].
+    @raise Invalid_argument on syntax errors or out-of-range variables. *)
+val parse : bits:int -> string -> t
+
+(** [eval expr code] evaluates with wire [w] bound to bit
+    [bits-1-w] of [code] — i.e. wire 0 (A) is the most significant bit.
+    The code's width is implied by the largest variable; pass codes from
+    the same [bits] used to parse. *)
+val eval : bits:int -> t -> int -> bool
+
+(** [to_anf ~bits expr] is the algebraic normal form. *)
+val to_anf : bits:int -> t -> Anf.t
+
+val pp : Format.formatter -> t -> unit
+
+(** [revfun_of_formulas ~bits formulas] builds the reversible function
+    whose output wire [w] computes the [w]-th formula.
+    @raise Invalid_argument if the arity is wrong or the resulting map is
+    not a bijection (the spec is not reversible). *)
+val revfun_of_formulas : bits:int -> string list -> Revfun.t

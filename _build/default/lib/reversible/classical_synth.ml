@@ -1,0 +1,229 @@
+open Permgroup
+
+type gate = { name : string; func : Revfun.t; quantum_cost : int }
+type library = { label : string; gates : gate list }
+
+let all_wire_permutations bits =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x -> List.map (fun rest -> x :: rest) (perms (List.filter (( <> ) x) l)))
+          l
+  in
+  List.map Array.of_list (perms (List.init bits Fun.id))
+
+let all_placements ~bits ~name ~quantum_cost f =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun sigma ->
+      let placed = Revfun.relabel f sigma in
+      let key = Perm.key (Revfun.to_perm placed) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        let wires =
+          String.concat ""
+            (List.map
+               (fun w -> String.make 1 (Char.chr (Char.code 'A' + w)))
+               (Array.to_list sigma))
+        in
+        Some { name = Printf.sprintf "%s[%s]" name wires; func = placed; quantum_cost }
+      end)
+    (all_wire_permutations bits)
+
+let nots ~bits =
+  List.init bits (fun wire ->
+      {
+        name = Printf.sprintf "NOT[%c]" (Char.chr (Char.code 'A' + wire));
+        func = Gates.not_ ~bits ~wire;
+        quantum_cost = 0;
+      })
+
+let cnots ~bits =
+  List.concat_map
+    (fun control ->
+      List.filter_map
+        (fun target ->
+          if target = control then None
+          else
+            Some
+              {
+                name =
+                  Printf.sprintf "CNOT[%c<-%c]"
+                    (Char.chr (Char.code 'A' + target))
+                    (Char.chr (Char.code 'A' + control));
+                func = Gates.cnot ~bits ~control ~target;
+                quantum_cost = 1;
+              })
+        (List.init bits Fun.id))
+    (List.init bits Fun.id)
+
+let ncp_linear = { label = "NOT+CNOT"; gates = nots ~bits:3 @ cnots ~bits:3 }
+
+let ncp_toffoli =
+  {
+    label = "NOT+CNOT+Toffoli";
+    gates =
+      nots ~bits:3 @ cnots ~bits:3
+      @ all_placements ~bits:3 ~name:"Toffoli" ~quantum_cost:5 Gates.toffoli3;
+  }
+
+let ncp_peres =
+  {
+    label = "NOT+CNOT+Peres";
+    gates =
+      nots ~bits:3 @ cnots ~bits:3
+      @ all_placements ~bits:3 ~name:"Peres" ~quantum_cost:4 Gates.g1
+      @ all_placements ~bits:3 ~name:"Peres'" ~quantum_cost:4 (Revfun.inverse Gates.g1);
+  }
+
+type result = {
+  library : library;
+  reachable : int;
+  by_gate_count : (int * int) list;
+  average_gates : float;
+  by_quantum_cost : (int * int) list;
+  average_quantum_cost : float;
+}
+
+(* Breadth-first exploration of the whole function space by gate count. *)
+let explore_gate_counts ~bits library =
+  let table = Hashtbl.create (1 lsl 16) in
+  let id = Revfun.identity ~bits in
+  Hashtbl.replace table (Perm.key (Revfun.to_perm id)) (0, []);
+  let frontier = ref [ id ] and level = ref 0 in
+  while !frontier <> [] do
+    incr level;
+    let next = ref [] in
+    List.iter
+      (fun f ->
+        List.iter
+          (fun g ->
+            let h = Revfun.compose f g.func in
+            let key = Perm.key (Revfun.to_perm h) in
+            if not (Hashtbl.mem table key) then begin
+              Hashtbl.replace table key (!level, []);
+              next := h :: !next
+            end)
+          library.gates)
+      !frontier;
+    frontier := !next
+  done;
+  Hashtbl.fold (fun _ (count, _) acc -> count :: acc) table []
+
+(* Dijkstra over total quantum cost; NOT gates cost 0, so each bucket is
+   processed as a worklist. *)
+let explore_quantum_costs ~bits library =
+  let max_cost = 256 in
+  let best = Hashtbl.create (1 lsl 16) in
+  let settled = Hashtbl.create (1 lsl 16) in
+  let buckets = Array.make (max_cost + 1) [] in
+  let id = Revfun.identity ~bits in
+  let key_of f = Perm.key (Revfun.to_perm f) in
+  Hashtbl.replace best (key_of id) 0;
+  buckets.(0) <- [ id ];
+  let results = ref [] in
+  for c = 0 to max_cost do
+    while buckets.(c) <> [] do
+      let bucket = buckets.(c) in
+      buckets.(c) <- [];
+      List.iter
+        (fun f ->
+          let key = key_of f in
+          match Hashtbl.find_opt best key with
+          | Some cost when cost = c && not (Hashtbl.mem settled key) ->
+              Hashtbl.add settled key ();
+              results := c :: !results;
+              List.iter
+                (fun g ->
+                  let child = Revfun.compose f g.func in
+                  let child_cost = c + g.quantum_cost in
+                  if child_cost <= max_cost then begin
+                    let child_key = key_of child in
+                    let better =
+                      match Hashtbl.find_opt best child_key with
+                      | Some existing -> child_cost < existing
+                      | None -> true
+                    in
+                    if better && not (Hashtbl.mem settled child_key) then begin
+                      Hashtbl.replace best child_key child_cost;
+                      buckets.(child_cost) <- child :: buckets.(child_cost)
+                    end
+                  end)
+                library.gates
+          | Some _ | None -> ())
+        bucket
+    done
+  done;
+  !results
+
+let histogram values =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun v -> Hashtbl.replace table v (1 + Option.value ~default:0 (Hashtbl.find_opt table v)))
+    values;
+  Hashtbl.fold (fun v n acc -> (v, n) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let average values =
+  match values with
+  | [] -> 0.0
+  | _ ->
+      float_of_int (List.fold_left ( + ) 0 values) /. float_of_int (List.length values)
+
+let census ~bits library =
+  let gate_counts = explore_gate_counts ~bits library in
+  let quantum_costs = explore_quantum_costs ~bits library in
+  {
+    library;
+    reachable = List.length gate_counts;
+    by_gate_count = histogram gate_counts;
+    average_gates = average gate_counts;
+    by_quantum_cost = histogram quantum_costs;
+    average_quantum_cost = average quantum_costs;
+  }
+
+let synthesize ~bits library target =
+  let table = Hashtbl.create (1 lsl 16) in
+  let id = Revfun.identity ~bits in
+  let key_of f = Perm.key (Revfun.to_perm f) in
+  Hashtbl.replace table (key_of id) [];
+  if Revfun.is_identity target then Some ([], 0)
+  else begin
+    let frontier = ref [ (id, []) ] and answer = ref None and level = ref 0 in
+    while !answer = None && !frontier <> [] do
+      incr level;
+      let next = ref [] in
+      List.iter
+        (fun (f, path) ->
+          if !answer = None then
+            List.iter
+              (fun g ->
+                if !answer = None then begin
+                  let h = Revfun.compose f g.func in
+                  let key = key_of h in
+                  if not (Hashtbl.mem table key) then begin
+                    let path = g :: path in
+                    Hashtbl.replace table key path;
+                    if Revfun.equal h target then answer := Some (List.rev path, !level)
+                    else next := (h, path) :: !next
+                  end
+                end)
+              library.gates)
+        !frontier;
+      frontier := !next
+    done;
+    !answer
+  end
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>library %s (%d gates):@," r.library.label
+    (List.length r.library.gates);
+  Format.fprintf ppf "  reachable functions: %d@," r.reachable;
+  Format.fprintf ppf "  by gate count:";
+  List.iter (fun (k, n) -> Format.fprintf ppf " %d:%d" k n) r.by_gate_count;
+  Format.fprintf ppf "@,  average gates: %.3f@," r.average_gates;
+  Format.fprintf ppf "  by quantum cost:";
+  List.iter (fun (k, n) -> Format.fprintf ppf " %d:%d" k n) r.by_quantum_cost;
+  Format.fprintf ppf "@,  average quantum cost: %.3f@]" r.average_quantum_cost

@@ -1,0 +1,75 @@
+let check_wires ~bits wires name =
+  let rec distinct = function
+    | [] -> true
+    | w :: rest -> (not (List.mem w rest)) && distinct rest
+  in
+  if List.exists (fun w -> w < 0 || w >= bits) wires || not (distinct wires) then
+    invalid_arg (name ^ ": bad wires")
+
+(* Build a Revfun from a code-level transformer; wire 0 = MSB. *)
+let of_code_map ~bits f =
+  Revfun.of_outputs ~bits (List.init (1 lsl bits) f)
+
+let bit ~bits code w = (code lsr (bits - 1 - w)) land 1
+let flip ~bits code w = code lxor (1 lsl (bits - 1 - w))
+
+let not_ ~bits ~wire =
+  check_wires ~bits [ wire ] "Gates.not_";
+  of_code_map ~bits (fun code -> flip ~bits code wire)
+
+let cnot ~bits ~control ~target =
+  check_wires ~bits [ control; target ] "Gates.cnot";
+  of_code_map ~bits (fun code ->
+      if bit ~bits code control = 1 then flip ~bits code target else code)
+
+let toffoli ~bits ~control1 ~control2 ~target =
+  check_wires ~bits [ control1; control2; target ] "Gates.toffoli";
+  of_code_map ~bits (fun code ->
+      if bit ~bits code control1 = 1 && bit ~bits code control2 = 1 then
+        flip ~bits code target
+      else code)
+
+let swap ~bits ~wire1 ~wire2 =
+  check_wires ~bits [ wire1; wire2 ] "Gates.swap";
+  of_code_map ~bits (fun code ->
+      let b1 = bit ~bits code wire1 and b2 = bit ~bits code wire2 in
+      if b1 = b2 then code else flip ~bits (flip ~bits code wire1) wire2)
+
+let fredkin ~bits ~control ~swap1 ~swap2 =
+  check_wires ~bits [ control; swap1; swap2 ] "Gates.fredkin";
+  of_code_map ~bits (fun code ->
+      if bit ~bits code control = 1 then
+        let b1 = bit ~bits code swap1 and b2 = bit ~bits code swap2 in
+        if b1 = b2 then code else flip ~bits (flip ~bits code swap1) swap2
+      else code)
+
+let peres ~bits ~control1 ~control2 ~target =
+  check_wires ~bits [ control1; control2; target ] "Gates.peres";
+  of_code_map ~bits (fun code ->
+      let a = bit ~bits code control1 and b = bit ~bits code control2 in
+      let code = if a = 1 && b = 1 then flip ~bits code target else code in
+      if a = 1 then flip ~bits code control2 else code)
+
+let g1 = peres ~bits:3 ~control1:0 ~control2:1 ~target:2
+
+let g2 =
+  of_code_map ~bits:3 (fun code ->
+      let a = bit ~bits:3 code 0 and c = bit ~bits:3 code 2 in
+      let code = if a = 1 && c = 0 then flip ~bits:3 code 1 else code in
+      if a = 1 then flip ~bits:3 code 2 else code)
+
+let g3 =
+  of_code_map ~bits:3 (fun code ->
+      let a = bit ~bits:3 code 0 and b = bit ~bits:3 code 1 in
+      let code = if a = 0 && b = 1 then flip ~bits:3 code 2 else code in
+      if a = 1 then flip ~bits:3 code 1 else code)
+
+let g4 =
+  of_code_map ~bits:3 (fun code ->
+      let a = bit ~bits:3 code 0 and b = bit ~bits:3 code 1 in
+      (* R = C' XOR A'B': invert C unless A = 0 and B = 0. *)
+      let code = if not (a = 0 && b = 0) then flip ~bits:3 code 2 else code in
+      if a = 1 then flip ~bits:3 code 1 else code)
+
+let toffoli3 = toffoli ~bits:3 ~control1:0 ~control2:1 ~target:2
+let fredkin3 = fredkin ~bits:3 ~control:0 ~swap1:1 ~swap2:2

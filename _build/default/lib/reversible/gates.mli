@@ -1,0 +1,50 @@
+(** The classical reversible gate zoo, as {!Revfun} values.
+
+    Wires are 0-based with wire 0 = the paper's qubit A (most significant
+    bit).  The paper's named circuits g1..g4 are the four representative
+    cost-4 Peres-family circuits of its Section 5. *)
+
+(** [not_ ~bits ~wire] inverts one wire. *)
+val not_ : bits:int -> wire:int -> Revfun.t
+
+(** [cnot ~bits ~control ~target] is the Feynman gate
+    [target := target XOR control].
+    @raise Invalid_argument if wires collide or are out of range. *)
+val cnot : bits:int -> control:int -> target:int -> Revfun.t
+
+(** [toffoli ~bits ~control1 ~control2 ~target] is the doubly-controlled
+    NOT. *)
+val toffoli : bits:int -> control1:int -> control2:int -> target:int -> Revfun.t
+
+(** [fredkin ~bits ~control ~swap1 ~swap2] swaps two wires when the
+    control is 1. *)
+val fredkin : bits:int -> control:int -> swap1:int -> swap2:int -> Revfun.t
+
+(** [swap ~bits ~wire1 ~wire2] exchanges two wires. *)
+val swap : bits:int -> wire1:int -> wire2:int -> Revfun.t
+
+(** [peres ~bits ~control1 ~control2 ~target] computes
+    [control2 := control2 XOR control1] and
+    [target := target XOR (control1 AND control2_in)] — the paper's g1
+    when applied to wires A, B, C of a 3-bit function. *)
+val peres : bits:int -> control1:int -> control2:int -> target:int -> Revfun.t
+
+(** {1 The paper's four representative cost-4 circuits (3 bits)} *)
+
+(** g1 = (5,7,6,8): P = A, Q = B⊕A, R = C⊕AB — the Peres gate. *)
+val g1 : Revfun.t
+
+(** g2 = (5,8,7,6): P = A, Q = B⊕AC', R = C⊕A. *)
+val g2 : Revfun.t
+
+(** g3 = (3,4)(5,7)(6,8): P = A, Q = B⊕A, R = C⊕A'B. *)
+val g3 : Revfun.t
+
+(** g4 = (3,4)(5,8)(6,7): P = A, Q = B⊕A, R = C'⊕A'B'. *)
+val g4 : Revfun.t
+
+(** The standard 3-bit Toffoli (controls A, B, target C): (7,8). *)
+val toffoli3 : Revfun.t
+
+(** The standard 3-bit Fredkin (control A, swaps B, C): (6,7). *)
+val fredkin3 : Revfun.t

@@ -1,0 +1,143 @@
+type matrix = bool array array
+
+let dimension m = Array.length m
+let identity n = Array.init n (fun r -> Array.init n (fun c -> r = c))
+let copy m = Array.map Array.copy m
+let equal (a : matrix) b = a = b
+
+let mul a b =
+  let n = dimension a in
+  if dimension b <> n then invalid_arg "Gf2.mul: dimension mismatch";
+  Array.init n (fun r ->
+      Array.init n (fun c ->
+          let acc = ref false in
+          for k = 0 to n - 1 do
+            if a.(r).(k) && b.(k).(c) then acc := not !acc
+          done;
+          !acc))
+
+(* Row-reduce a working copy; returns (rank, ops) where each op (t, c)
+   records the row operation R_t := R_t XOR R_c, applied in order. *)
+let eliminate m =
+  let n = dimension m in
+  let work = copy m in
+  let ops = ref [] in
+  let row_op t c =
+    for k = 0 to n - 1 do
+      work.(t).(k) <- work.(t).(k) <> work.(c).(k)
+    done;
+    ops := (t, c) :: !ops
+  in
+  let rank = ref 0 in
+  for col = 0 to n - 1 do
+    (* find a pivot at or below the diagonal *)
+    let pivot = ref (-1) in
+    for r = col to n - 1 do
+      if !pivot < 0 && work.(r).(col) then pivot := r
+    done;
+    if !pivot >= 0 then begin
+      incr rank;
+      if !pivot <> col then row_op col !pivot;
+      for r = 0 to n - 1 do
+        if r <> col && work.(r).(col) then row_op r col
+      done
+    end
+  done;
+  (!rank, List.rev !ops, work)
+
+let rank m =
+  let r, _, _ = eliminate m in
+  r
+
+let is_invertible m = rank m = dimension m
+
+let inverse m =
+  let n = dimension m in
+  let r, ops, _ = eliminate m in
+  if r < n then None
+  else begin
+    (* Applying the same row ops to I yields M^-1. *)
+    let inv = identity n in
+    List.iter
+      (fun (t, c) ->
+        for k = 0 to n - 1 do
+          inv.(t).(k) <- inv.(t).(k) <> inv.(c).(k)
+        done)
+      ops;
+    Some inv
+  end
+
+(* wire-indexed vector <-> code (wire 0 = most significant code bit) *)
+let vector_of_code ~bits code =
+  Array.init bits (fun w -> (code lsr (bits - 1 - w)) land 1 = 1)
+
+let code_of_vector v =
+  Array.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 v
+
+let apply_matrix m v =
+  let n = dimension m in
+  Array.init n (fun r ->
+      let acc = ref false in
+      for c = 0 to n - 1 do
+        if m.(r).(c) && v.(c) then acc := not !acc
+      done;
+      !acc)
+
+let of_revfun f =
+  let bits = Revfun.bits f in
+  let affine = ref true in
+  let matrix = Array.make_matrix bits bits false in
+  for r = 0 to bits - 1 do
+    let anf = Anf.of_wire f ~wire:r in
+    List.iter
+      (fun monomial ->
+        if monomial = 0 then () (* constant term, captured by the shift *)
+        else begin
+          let rec split mask w found =
+            if mask = 0 then found
+            else if mask land 1 = 1 then
+              if found >= 0 then -2 else split (mask lsr 1) (w + 1) w
+            else split (mask lsr 1) (w + 1) found
+          in
+          match split monomial 0 (-1) with
+          | -2 -> affine := false (* degree >= 2 *)
+          | c when c >= 0 -> matrix.(r).(c) <- true
+          | _ -> ()
+        end)
+      anf
+  done;
+  if !affine then Some (matrix, Revfun.apply f 0) else None
+
+let to_revfun ~bits matrix shift_code =
+  if dimension matrix <> bits then invalid_arg "Gf2.to_revfun: dimension";
+  if not (is_invertible matrix) then invalid_arg "Gf2.to_revfun: singular matrix";
+  Revfun.of_outputs ~bits
+    (List.init (1 lsl bits) (fun code ->
+         code_of_vector (apply_matrix matrix (vector_of_code ~bits code))
+         lxor shift_code))
+
+let synthesize_cnots m =
+  let n = dimension m in
+  let r, ops, _ = eliminate m in
+  if r < n then invalid_arg "Gf2.synthesize_cnots: singular matrix";
+  (* E_k ... E_1 M = I with E_i the recorded op, so M = E_1 ... E_k (each
+     self-inverse).  A cascade applies its head first and composes as
+     g_last * ... * g_first on vectors, so emit the ops reversed; the op
+     R_t += R_c is the CNOT with control c and target t. *)
+  List.rev_map (fun (t, c) -> (c, t)) ops
+
+let synthesize f =
+  match of_revfun f with
+  | None -> None
+  | Some (matrix, shift) ->
+      let bits = Revfun.bits f in
+      let inverse_matrix =
+        match inverse matrix with
+        | Some inv -> inv
+        | None -> invalid_arg "Gf2.synthesize: function matrix is singular"
+      in
+      (* f x = M x XOR shift = M (x XOR M^-1 shift): NOT layer first. *)
+      let not_mask =
+        code_of_vector (apply_matrix inverse_matrix (vector_of_code ~bits shift))
+      in
+      Some (not_mask, synthesize_cnots matrix)

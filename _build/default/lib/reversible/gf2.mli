@@ -1,0 +1,61 @@
+(** Linear algebra over GF(2) and constructive synthesis of linear
+    reversible circuits.
+
+    The Feynman-only fragment of the paper's library generates exactly
+    the invertible linear maps over GF(2) (with NOT layers: the affine
+    maps).  Gaussian elimination both {e decides} linearity structurally
+    and {e synthesizes}: reducing the matrix to the identity with row
+    operations reads out a CNOT sequence — a direct algorithm where the
+    paper's framework would search. *)
+
+type matrix = bool array array
+(** Row-major square matrix over GF(2); [m.(r).(c)]. *)
+
+(** {1 Matrix basics} *)
+
+val identity : int -> matrix
+val copy : matrix -> matrix
+val equal : matrix -> matrix -> bool
+
+(** [mul a b] is the matrix product over GF(2).
+    @raise Invalid_argument on dimension mismatch. *)
+val mul : matrix -> matrix -> matrix
+
+(** [rank m] via Gaussian elimination. *)
+val rank : matrix -> int
+
+(** [is_invertible m] is [rank m = dimension]. *)
+val is_invertible : matrix -> bool
+
+(** [inverse m] is [Some] of the inverse when invertible. *)
+val inverse : matrix -> matrix option
+
+(** {1 Linear reversible functions}
+
+    A linear reversible function acts on column vectors of wire values:
+    output wire [r] = XOR over [c] with [m.(r).(c)] of input wire [c],
+    then XOR with the affine constant [shift] (bit [w] = wire [w]'s
+    inversion). *)
+
+(** [of_revfun f] is [Some (matrix, shift_code)] when [f] is affine
+    (every output's ANF has degree <= 1); [shift_code] is [f 0]. *)
+val of_revfun : Revfun.t -> (matrix * int) option
+
+(** [to_revfun ~bits matrix shift_code] builds the affine function.
+    @raise Invalid_argument when the matrix is singular or dimensions
+    disagree. *)
+val to_revfun : bits:int -> matrix -> int -> Revfun.t
+
+(** {1 CNOT synthesis} *)
+
+(** [synthesize_cnots matrix] is a list of [(control, target)] pairs
+    whose CNOT product implements the linear map, obtained by Gaussian
+    elimination (at most n² gates; not necessarily minimal).
+    @raise Invalid_argument when the matrix is singular. *)
+val synthesize_cnots : matrix -> (int * int) list
+
+(** [synthesize f] factors an affine reversible function into an input
+    NOT layer plus CNOTs: [Some (not_mask, cnots)]; [None] when [f] is
+    not affine.  The test suite verifies the factorization recomposes to
+    [f] exactly. *)
+val synthesize : Revfun.t -> (int * (int * int) list) option

@@ -1,0 +1,71 @@
+open Permgroup
+
+type t = { bits : int; perm : Perm.t }
+
+let of_perm ~bits perm =
+  if bits < 1 then invalid_arg "Revfun.of_perm: bits must be positive";
+  if Perm.degree perm <> 1 lsl bits then invalid_arg "Revfun.of_perm: degree mismatch";
+  { bits; perm }
+
+let of_outputs ~bits outputs =
+  of_perm ~bits (Perm.of_array (Array.of_list outputs))
+
+let identity ~bits = of_perm ~bits (Perm.identity (1 lsl bits))
+let bits f = f.bits
+let to_perm f = f.perm
+let apply f code = Perm.apply f.perm code
+
+let compose f g =
+  if f.bits <> g.bits then invalid_arg "Revfun.compose: bits mismatch";
+  { f with perm = Perm.mul f.perm g.perm }
+
+let inverse f = { f with perm = Perm.inverse f.perm }
+let equal f g = f.bits = g.bits && Perm.equal f.perm g.perm
+
+let compare f g =
+  match Int.compare f.bits g.bits with 0 -> Perm.compare f.perm g.perm | c -> c
+
+let is_identity f = Perm.is_identity f.perm
+
+let xor_layer ~bits mask =
+  if mask < 0 || mask >= 1 lsl bits then invalid_arg "Revfun.xor_layer: mask out of range";
+  { bits; perm = Perm.unsafe_of_array (Array.init (1 lsl bits) (fun code -> code lxor mask)) }
+
+let not_layer_group ~bits = List.init (1 lsl bits) (fun mask -> xor_layer ~bits mask)
+let fixes_zero f = apply f 0 = 0
+let output_column f = List.init (1 lsl f.bits) (apply f)
+
+let wire_outputs f ~wire =
+  if wire < 0 || wire >= f.bits then invalid_arg "Revfun.wire_outputs: wire out of range";
+  List.init (1 lsl f.bits) (fun code -> (apply f code lsr (f.bits - 1 - wire)) land 1 = 1)
+
+let relabel f sigma =
+  if Array.length sigma <> f.bits then invalid_arg "Revfun.relabel: arity";
+  let wire_perm = Perm.of_array sigma in
+  let code_map code =
+    let out = ref 0 in
+    for w = 0 to f.bits - 1 do
+      if (code lsr (f.bits - 1 - w)) land 1 = 1 then
+        out := !out lor (1 lsl (f.bits - 1 - Perm.apply wire_perm w))
+    done;
+    !out
+  in
+  let sigma_fun = Perm.of_array (Array.init (1 lsl f.bits) code_map) in
+  (* f' = sigma^-1 ; f ; sigma (apply left first) *)
+  { f with perm = Perm.mul (Perm.mul (Perm.inverse sigma_fun) f.perm) sigma_fun }
+
+let pp ppf f = Perm.pp ppf f.perm
+
+let pp_truth_table ppf f =
+  let bit code w = (code lsr (f.bits - 1 - w)) land 1 in
+  for code = 0 to (1 lsl f.bits) - 1 do
+    let out = apply f code in
+    for w = 0 to f.bits - 1 do
+      Format.fprintf ppf "%d" (bit code w)
+    done;
+    Format.fprintf ppf " -> ";
+    for w = 0 to f.bits - 1 do
+      Format.fprintf ppf "%d" (bit out w)
+    done;
+    Format.fprintf ppf "@."
+  done

@@ -1,0 +1,67 @@
+(** Reversible boolean functions on [bits] wires, i.e. permutations of the
+    [2^bits] binary codes.  Wire 0 is the most significant bit of a code
+    (the paper's qubit A), matching the pattern encoding, so the
+    restriction of a 38-point circuit permutation to its binary block is
+    directly a [Revfun.t] on the same codes.
+
+    The paper labels binary patterns 1..8; our codes are 0-based, so the
+    paper's cycle [(5,7,6,8)] (Peres) is code cycle [(4,6,5,7)] — the
+    printer adds the 1 back. *)
+
+type t
+
+(** [of_perm ~bits perm] wraps a permutation of degree [2^bits].
+    @raise Invalid_argument on degree mismatch. *)
+val of_perm : bits:int -> Permgroup.Perm.t -> t
+
+(** [of_outputs ~bits outputs] builds the function with truth-table output
+    column [outputs] (input codes in increasing order).
+    @raise Invalid_argument if not a permutation of the codes. *)
+val of_outputs : bits:int -> int list -> t
+
+val identity : bits:int -> t
+val bits : t -> int
+val to_perm : t -> Permgroup.Perm.t
+
+(** [apply f code] evaluates the function on an input code. *)
+val apply : t -> int -> int
+
+(** [compose f g] applies [f] first, then [g]. *)
+val compose : t -> t -> t
+
+val inverse : t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_identity : t -> bool
+
+(** [xor_layer ~bits mask] is the NOT-gate layer [code -> code XOR mask] —
+    an element of the paper's group N.
+    @raise Invalid_argument if [mask] is out of range. *)
+val xor_layer : bits:int -> int -> t
+
+(** [not_layer_group ~bits] is all [2^bits] elements of N, indexed by mask. *)
+val not_layer_group : bits:int -> t list
+
+(** [fixes_zero f] is true when [f] fixes the all-zero code — membership
+    in the paper's subgroup G (Theorem 2). *)
+val fixes_zero : t -> bool
+
+(** [output_column f] is the truth-table output column. *)
+val output_column : t -> int list
+
+(** [relabel f sigma] renames wire [w] to [sigma.(w)] (conjugation by the
+    induced code permutation) — "the same circuit with the wires
+    permuted".
+    @raise Invalid_argument if [sigma] is not a permutation of the
+    wires. *)
+val relabel : t -> int array -> t
+
+(** [wire_outputs f ~wire] is the output bit of [wire] for each input code
+    — one column of the classical truth table. *)
+val wire_outputs : t -> wire:int -> bool list
+
+(** [pp] prints 1-based cycle notation (the paper's format). *)
+val pp : Format.formatter -> t -> unit
+
+(** [pp_truth_table] prints the full binary truth table. *)
+val pp_truth_table : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/synthesis/cascade.ml: Format Gate Library List Mvl Perm Permgroup Qsim Restricted Reversible String

@@ -1,0 +1,1 @@
+lib/synthesis/cascade.mli: Format Gate Library Permgroup Qmath Reversible

@@ -1,0 +1,1 @@
+lib/synthesis/census_io.ml: Cascade Fmcf Format Fun Library List Permgroup Printf Reversible String

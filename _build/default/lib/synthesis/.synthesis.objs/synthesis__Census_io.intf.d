@@ -1,0 +1,1 @@
+lib/synthesis/census_io.mli: Cascade Fmcf Library Reversible

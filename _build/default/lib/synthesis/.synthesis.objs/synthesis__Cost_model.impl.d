@@ -1,0 +1,1 @@
+lib/synthesis/cost_model.ml: Gate List

@@ -1,0 +1,1 @@
+lib/synthesis/cost_model.mli: Cascade Gate

@@ -1,0 +1,1 @@
+lib/synthesis/draw.ml: Char Format Gate List String

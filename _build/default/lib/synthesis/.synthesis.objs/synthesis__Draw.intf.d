@@ -1,0 +1,1 @@
+lib/synthesis/draw.mli: Cascade Format

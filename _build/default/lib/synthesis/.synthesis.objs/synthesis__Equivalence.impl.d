@@ -1,0 +1,1 @@
+lib/synthesis/equivalence.ml: Array Cascade Fun Gate Hashtbl Int List Option Permgroup Reversible String

@@ -1,0 +1,1 @@
+lib/synthesis/equivalence.mli: Cascade Library

@@ -1,0 +1,1 @@
+lib/synthesis/fmcf.ml: Hashtbl Library List Permgroup Reversible Search

@@ -1,0 +1,1 @@
+lib/synthesis/fmcf.mli: Cascade Library Reversible Search

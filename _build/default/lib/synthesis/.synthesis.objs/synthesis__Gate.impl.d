@@ -1,0 +1,1 @@
+lib/synthesis/gate.ml: Char Format Fun Gate_matrix List Mvl Pattern Qmath Quat Stdlib String

@@ -1,0 +1,1 @@
+lib/synthesis/gate.mli: Format Mvl Qmath

@@ -1,0 +1,1 @@
+lib/synthesis/library.ml: Array Encoding Gate List Mvl Permgroup

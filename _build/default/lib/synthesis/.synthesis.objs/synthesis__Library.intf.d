@@ -1,0 +1,1 @@
+lib/synthesis/library.mli: Gate Mvl Permgroup

@@ -1,0 +1,1 @@
+lib/synthesis/mce.ml: Cascade List Reversible Revfun Search

@@ -1,0 +1,1 @@
+lib/synthesis/mce.mli: Cascade Library Reversible

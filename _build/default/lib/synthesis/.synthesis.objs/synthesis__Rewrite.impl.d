@@ -1,0 +1,1 @@
+lib/synthesis/rewrite.ml: Cascade Gate List Qmath

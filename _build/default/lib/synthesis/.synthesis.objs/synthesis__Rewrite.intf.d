@@ -1,0 +1,1 @@
+lib/synthesis/rewrite.mli: Cascade Gate

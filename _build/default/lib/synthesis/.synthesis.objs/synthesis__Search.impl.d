@@ -1,0 +1,1 @@
+lib/synthesis/search.ml: Array Bytes Char Hashtbl Library List Logs Mvl Perm Permgroup Reversible String

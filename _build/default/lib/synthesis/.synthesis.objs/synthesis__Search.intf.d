@@ -1,0 +1,1 @@
+lib/synthesis/search.mli: Cascade Hashtbl Library Permgroup Reversible

@@ -1,0 +1,1 @@
+lib/synthesis/spectrum.ml: Array Closure Fmcf Gates Hashtbl Int Library List Mce Option Perm Permgroup Reversible Revfun Search Universality

@@ -1,0 +1,1 @@
+lib/synthesis/spectrum.mli: Fmcf Mce Reversible

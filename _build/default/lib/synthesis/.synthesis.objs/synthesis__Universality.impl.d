@@ -1,0 +1,1 @@
+lib/synthesis/universality.ml: Array Closure Coset Fmcf Fun Gates Hashtbl List Perm Permgroup Reversible Revfun Schreier

@@ -1,0 +1,1 @@
+lib/synthesis/universality.mli: Fmcf Permgroup Reversible

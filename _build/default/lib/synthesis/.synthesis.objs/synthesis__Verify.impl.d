@@ -1,0 +1,1 @@
+lib/synthesis/verify.ml: Array Cascade Dmatrix Gate Library List Mce Mvl Permgroup Qmath Qsim Reversible

@@ -1,0 +1,1 @@
+lib/synthesis/verify.mli: Cascade Library Mce Mvl Reversible

@@ -1,0 +1,1 @@
+lib/synthesis/weighted.ml: Array Bytes Cascade Char Cost_model Hashtbl Int Library List Mce Mvl Option Permgroup Reversible Revfun String

@@ -1,0 +1,1 @@
+lib/synthesis/weighted.mli: Cascade Cost_model Library Reversible

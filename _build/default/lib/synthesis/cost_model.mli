@@ -1,0 +1,39 @@
+(** Gate cost models.
+
+    The paper's experiments charge every 2-qubit gate one unit, but its
+    Section 2 notes the method "can be easily modified to take into
+    account the precise NMR costs" of Lee et al. [4].  A cost model maps
+    each library gate to a positive integer cost; {!Weighted} runs the
+    synthesis under any such model. *)
+
+type t
+
+(** [make ~name gate_cost] wraps a cost function; every cost must be
+    positive (checked lazily at lookup). *)
+val make : name:string -> (Gate.t -> int) -> t
+
+val name : t -> string
+
+(** [gate_cost t g] is the cost of one gate.
+    @raise Invalid_argument when the underlying function returns a
+    non-positive cost. *)
+val gate_cost : t -> Gate.t -> int
+
+(** [cascade_cost t cascade] sums the gate costs. *)
+val cascade_cost : t -> Cascade.t -> int
+
+(** {1 Canned models} *)
+
+(** Every 2-qubit gate costs 1 — the paper's model. *)
+val unit : t
+
+(** Feynman gates cost 1, controlled-V/V{^ +} cost 2 — technologies with
+    a native CNOT. *)
+val feynman_cheap : t
+
+(** Controlled-V/V{^ +} cost 1, Feynman costs 2 — an NMR-flavoured model
+    where partial rotations are cheaper than full ones. *)
+val v_cheap : t
+
+(** [by_kind ~name ~v ~v_dag ~feynman] assigns one cost per gate kind. *)
+val by_kind : name:string -> v:int -> v_dag:int -> feynman:int -> t

@@ -1,0 +1,19 @@
+(** ASCII rendering of gate cascades, in the style of the paper's
+    figures: one row per wire, one column per gate, controls drawn as
+    [*], Feynman targets as [(+)], V / V{^ +} targets as boxed labels.
+
+    Example — the Peres circuit of Figure 4 ([VCB*FBA*VCA*V+CB]):
+    {v
+A: --------*-----*---------
+B: --*----(+)----|-----*---
+C: -[V]---------[V]---[V+]-
+    v} *)
+
+(** [to_ascii ~qubits ?not_mask ?labels cascade] renders the circuit.
+    [not_mask] draws the free input NOT layer as [N] boxes in a first
+    column (a code mask as in {!Mce.result}: wire 0 = most significant
+    bit); [labels] overrides wire names (defaults A, B, C, ...). *)
+val to_ascii : qubits:int -> ?not_mask:int -> ?labels:string list -> Cascade.t -> string
+
+(** [pp ~qubits ppf cascade] prints {!to_ascii} output. *)
+val pp : qubits:int -> Format.formatter -> Cascade.t -> unit

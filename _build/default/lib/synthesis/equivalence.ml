@@ -1,0 +1,82 @@
+let relabel_cascade cascade sigma =
+  let wire w =
+    if w < 0 || w >= Array.length sigma then
+      invalid_arg "Equivalence.relabel_cascade: wire out of range"
+    else sigma.(w)
+  in
+  (* validate sigma is a permutation *)
+  ignore (Permgroup.Perm.of_array sigma);
+  List.map
+    (fun g ->
+      Gate.make (Gate.kind g) ~target:(wire (Gate.target g)) ~control:(wire (Gate.control g)))
+    cascade
+
+let same_function library a b =
+  match (Cascade.restriction library a, Cascade.restriction library b) with
+  | Some fa, Some fb -> Reversible.Revfun.equal fa fb
+  | _ -> false
+
+let same_circuit library a b =
+  Permgroup.Perm.equal (Cascade.perm_of library a) (Cascade.perm_of library b)
+
+let group_by_circuit library cascades =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun cascade ->
+      let key = Permgroup.Perm.key (Cascade.perm_of library cascade) in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+      Hashtbl.replace groups key (cascade :: existing))
+    cascades;
+  Hashtbl.fold (fun _ group acc -> List.rev group :: acc) groups []
+  |> List.sort (fun a b -> compare (List.map Cascade.to_string a) (List.map Cascade.to_string b))
+
+let vdag_closed library cascades =
+  ignore library;
+  let member c = List.exists (Cascade.equal c) cascades in
+  let paired = ref 0 in
+  List.iter
+    (fun cascade ->
+      let partner = Cascade.swap_v_dag cascade in
+      if not (member partner) then
+        invalid_arg "Equivalence.vdag_closed: set not closed under V <-> V+";
+      if not (Cascade.equal partner cascade) then incr paired)
+    cascades;
+  !paired
+
+let xor_wires cascade =
+  List.sort_uniq Int.compare
+    (List.filter_map
+       (fun g ->
+         match Gate.kind g with
+         | Gate.Feynman -> Some (Gate.target g)
+         | Gate.Controlled_v | Gate.Controlled_v_dag -> None)
+       cascade)
+
+let all_wire_permutations qubits =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x -> List.map (fun rest -> x :: rest) (perms (List.filter (( <> ) x) l)))
+          l
+  in
+  List.map Array.of_list (perms (List.init qubits Fun.id))
+
+let relabel_orbits ~qubits cascades =
+  let sigmas = all_wire_permutations qubits in
+  let canonical cascade =
+    List.fold_left
+      (fun best sigma ->
+        let candidate = Cascade.to_string (relabel_cascade cascade sigma) in
+        if String.compare candidate best < 0 then candidate else best)
+      (Cascade.to_string cascade) sigmas
+  in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun cascade ->
+      let key = canonical cascade in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+      Hashtbl.replace groups key (cascade :: existing))
+    cascades;
+  Hashtbl.fold (fun _ group acc -> List.rev group :: acc) groups []
+  |> List.sort (fun a b -> compare (List.map Cascade.to_string a) (List.map Cascade.to_string b))

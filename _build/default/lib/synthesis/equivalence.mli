@@ -1,0 +1,43 @@
+(** Symmetry analysis of cascade sets.
+
+    The paper observes structure among the minimal implementations it
+    finds: Figure 9's Toffoli circuits come in Hermitian-adjoint pairs
+    obtained "by simply exchanging V and V{^ +} gates", and differ in
+    "the qubit where they perform XOR operations"; the 24 universal
+    circuits split into wire-relabeling families.  This module makes
+    those statements checkable for any set of cascades. *)
+
+(** [relabel_cascade cascade sigma] renames wire [w] to [sigma.(w)] in
+    every gate.
+    @raise Invalid_argument if [sigma] is not a wire permutation. *)
+val relabel_cascade : Cascade.t -> int array -> Cascade.t
+
+(** [same_function library a b] — equal binary restrictions (both must
+    restrict). *)
+val same_function : Library.t -> Cascade.t -> Cascade.t -> bool
+
+(** [same_circuit library a b] — equal full-domain permutations (the
+    granularity at which the paper counts "implementations"). *)
+val same_circuit : Library.t -> Cascade.t -> Cascade.t -> bool
+
+(** [group_by_circuit library cascades] partitions cascades by their
+    full-domain permutation; Figure 9's 40 minimal Toffoli cascades fall
+    into 4 groups of 10. *)
+val group_by_circuit : Library.t -> Cascade.t list -> Cascade.t list list
+
+(** [vdag_closed library cascades] checks the set is closed under the
+    V ↔ V{^ +} exchange, and returns the number of cascades paired with a
+    {e distinct} partner (the rest are self-paired).
+    @raise Invalid_argument when the set is not closed (the paper's
+    minimal sets always are: the exchange preserves minimality). *)
+val vdag_closed : Library.t -> Cascade.t list -> int
+
+(** [xor_wires cascade] is the set of wires targeted by Feynman gates —
+    the "qubit where they perform XOR" axis of Figure 9's discussion. *)
+val xor_wires : Cascade.t -> int list
+
+(** [relabel_orbits ~qubits cascades] partitions a set of cascades into
+    orbits under wire relabeling of the cascade text (not the function):
+    two cascades are equivalent when some renaming maps one gate list to
+    the other. *)
+val relabel_orbits : qubits:int -> Cascade.t list -> Cascade.t list list

@@ -1,0 +1,98 @@
+type member = { func : Reversible.Revfun.t; witness : string; cost : int }
+
+type level = {
+  cost : int;
+  frontier_size : int;
+  members : member list;
+  paper_count : int;
+}
+
+type t = { library : Library.t; search : Search.t; levels : level list }
+
+let func_key func = Permgroup.Perm.key (Reversible.Revfun.to_perm func)
+
+let run ?(max_depth = 7) library =
+  let search = Search.create library in
+  let found = Hashtbl.create 4096 in
+  let paper_found = Hashtbl.create 4096 in
+  let identity_func = Reversible.Revfun.identity ~bits:(Library.qubits library) in
+  (* G[0] = {identity}; the paper's variant never subtracts it. *)
+  Hashtbl.add found (func_key identity_func) ();
+  let root = List.hd (Search.frontier search) in
+  let level0 =
+    {
+      cost = 0;
+      frontier_size = 1;
+      members = [ { func = identity_func; witness = root; cost = 0 } ];
+      paper_count = 1;
+    }
+  in
+  let levels = ref [ level0 ] in
+  for cost = 1 to max_depth do
+    let fresh = Search.step search in
+    let members = ref [] in
+    let level_restrictions = Hashtbl.create 256 in
+    List.iter
+      (fun key ->
+        match Search.restriction_of_key search key with
+        | None -> ()
+        | Some func ->
+            let fk = func_key func in
+            (* pre_G[cost] as a set: dedupe within the level. *)
+            if not (Hashtbl.mem level_restrictions fk) then begin
+              Hashtbl.add level_restrictions fk key;
+              if not (Hashtbl.mem found fk) then begin
+                Hashtbl.add found fk ();
+                members := { func; witness = key; cost } :: !members
+              end
+            end)
+      fresh;
+    (* Paper-variant count: level 2 skips subtraction of earlier levels;
+       other levels subtract everything recorded so far (which never
+       includes the identity, G[0]). *)
+    let paper_count = ref 0 in
+    Hashtbl.iter
+      (fun fk _ ->
+        if cost = 2 || not (Hashtbl.mem paper_found fk) then incr paper_count)
+      level_restrictions;
+    Hashtbl.iter
+      (fun fk _ -> if not (Hashtbl.mem paper_found fk) then Hashtbl.add paper_found fk ())
+      level_restrictions;
+    levels :=
+      {
+        cost;
+        frontier_size = List.length fresh;
+        members = List.rev !members;
+        paper_count = !paper_count;
+      }
+      :: !levels
+  done;
+  { library; search; levels = List.rev !levels }
+
+let levels t = t.levels
+let search t = t.search
+let counts t = List.map (fun l -> (l.cost, List.length l.members)) t.levels
+let paper_counts t = List.map (fun l -> (l.cost, l.paper_count)) t.levels
+
+let s8_counts t =
+  let factor = 1 lsl Library.qubits t.library in
+  List.map (fun (cost, n) -> (cost, factor * n)) (counts t)
+
+let total_found t =
+  List.fold_left (fun acc l -> acc + List.length l.members) 0 t.levels
+
+let find t func =
+  let rec go = function
+    | [] -> None
+    | l :: rest -> (
+        match List.find_opt (fun m -> Reversible.Revfun.equal m.func func) l.members with
+        | Some m -> Some m
+        | None -> go rest)
+  in
+  go t.levels
+
+let cascade_of_member t member = Search.cascade_of_key t.search member.witness
+let members_at t ~cost =
+  match List.find_opt (fun l -> l.cost = cost) t.levels with
+  | Some l -> l.members
+  | None -> []

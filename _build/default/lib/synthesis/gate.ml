@@ -1,0 +1,95 @@
+type kind = Controlled_v | Controlled_v_dag | Feynman
+type t = { kind : kind; target : int; control : int }
+
+let make kind ~target ~control =
+  if target < 0 || control < 0 then invalid_arg "Gate.make: negative wire";
+  if target = control then invalid_arg "Gate.make: target equals control";
+  { kind; target; control }
+
+let all ~qubits =
+  let pairs =
+    List.concat_map
+      (fun target ->
+        List.filter_map
+          (fun control -> if control <> target then Some (target, control) else None)
+          (List.init qubits Fun.id))
+      (List.init qubits Fun.id)
+  in
+  List.concat_map
+    (fun kind -> List.map (fun (target, control) -> { kind; target; control }) pairs)
+    [ Controlled_v; Controlled_v_dag; Feynman ]
+
+let kind g = g.kind
+let target g = g.target
+let control g = g.control
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let adjoint g =
+  match g.kind with
+  | Controlled_v -> { g with kind = Controlled_v_dag }
+  | Controlled_v_dag -> { g with kind = Controlled_v }
+  | Feynman -> g
+
+let purity_wires g =
+  match g.kind with
+  | Controlled_v | Controlled_v_dag -> [ g.control ]
+  | Feynman -> [ min g.control g.target; max g.control g.target ]
+
+let purity_mask g = List.fold_left (fun m w -> m lor (1 lsl w)) 0 (purity_wires g)
+
+let apply g p =
+  let open Mvl in
+  match g.kind with
+  | Controlled_v ->
+      if Pattern.get p g.control = Quat.One then
+        Pattern.set p g.target (Quat.v (Pattern.get p g.target))
+      else p
+  | Controlled_v_dag ->
+      if Pattern.get p g.control = Quat.One then
+        Pattern.set p g.target (Quat.v_dag (Pattern.get p g.target))
+      else p
+  | Feynman ->
+      if Pattern.get p g.control = Quat.One && Quat.is_binary (Pattern.get p g.target)
+      then Pattern.set p g.target (Quat.not_ (Pattern.get p g.target))
+      else p
+
+let matrix ~qubits g =
+  let open Qmath in
+  match g.kind with
+  | Controlled_v -> Gate_matrix.controlled_v ~qubits ~control:g.control ~target:g.target
+  | Controlled_v_dag ->
+      Gate_matrix.controlled_v_dag ~qubits ~control:g.control ~target:g.target
+  | Feynman -> Gate_matrix.feynman ~qubits ~control:g.control ~target:g.target
+
+let wire_letter w =
+  if w < 0 || w > 25 then invalid_arg "Gate.wire_letter: wire out of range";
+  String.make 1 (Char.chr (Char.code 'A' + w))
+
+let name g =
+  let prefix =
+    match g.kind with Controlled_v -> "V" | Controlled_v_dag -> "V+" | Feynman -> "F"
+  in
+  prefix ^ wire_letter g.target ^ wire_letter g.control
+
+let of_name ~qubits s =
+  let fail () = invalid_arg ("Gate.of_name: cannot parse " ^ s) in
+  let s = String.uppercase_ascii (String.trim s) in
+  let kind, rest =
+    if String.length s >= 2 && s.[0] = 'V' && s.[1] = '+' then
+      (Controlled_v_dag, String.sub s 2 (String.length s - 2))
+    else if String.length s >= 1 && s.[0] = 'V' then
+      (Controlled_v, String.sub s 1 (String.length s - 1))
+    else if String.length s >= 1 && s.[0] = 'F' then
+      (Feynman, String.sub s 1 (String.length s - 1))
+    else fail ()
+  in
+  if String.length rest <> 2 then fail ();
+  let wire c =
+    let w = Char.code c - Char.code 'A' in
+    if w < 0 || w >= qubits then fail ();
+    w
+  in
+  make kind ~target:(wire rest.[0]) ~control:(wire rest.[1])
+
+let pp ppf g = Format.pp_print_string ppf (name g)

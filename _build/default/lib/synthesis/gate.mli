@@ -1,0 +1,62 @@
+(** The paper's elementary 2-qubit quantum gates on an n-qubit circuit.
+
+    Three kinds: controlled-V, controlled-V{^ +} and Feynman (CNOT).
+    Following the paper's subscript convention, the {e first} wire of the
+    name is the data/target wire and the {e second} is the control:
+    V_BA has data B and control A; F_CA XORs A into C.
+
+    NOT gates are deliberately absent: the paper treats them as a free
+    input-side layer (Theorem 2), handled by {!Mce}. *)
+
+type kind = Controlled_v | Controlled_v_dag | Feynman
+
+type t = private { kind : kind; target : int; control : int }
+
+(** [make kind ~target ~control] builds a gate.
+    @raise Invalid_argument if [target = control] or a wire is negative. *)
+val make : kind -> target:int -> control:int -> t
+
+(** [all ~qubits] is the paper's library L for an n-qubit circuit:
+    [3 * n * (n-1)] gates (18 when n = 3), ordered V, V{^ +}, F. *)
+val all : qubits:int -> t list
+
+val kind : t -> kind
+val target : t -> int
+val control : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [adjoint g] is the Hermitian adjoint: V and V{^ +} swap, Feynman is
+    self-adjoint. *)
+val adjoint : t -> t
+
+(** [purity_wires g] lists the wires that must carry pure binary values
+    for the gate to be legally cascaded: the control for controlled gates,
+    both wires for Feynman (paper, Section 2). *)
+val purity_wires : t -> int list
+
+(** [purity_mask g] is {!purity_wires} as a bitmask (bit [w] = wire [w]). *)
+val purity_mask : t -> int
+
+(** [apply g p] is the multiple-valued semantics on a pattern:
+    - controlled-V (V{^ +}): when the control is [One], the data value
+      advances along the V (V{^ +}) cycle; when the control is [Zero] or
+      mixed, nothing changes (the mixed case is the paper's don't-care,
+      fixed as the identity to keep gates permutations);
+    - Feynman: when the control is [One] and the target binary, the target
+      flips; any other case (including mixed values, again don't-care) is
+      the identity. *)
+val apply : t -> Mvl.Pattern.t -> Mvl.Pattern.t
+
+(** [matrix ~qubits g] is the exact unitary of the gate. *)
+val matrix : qubits:int -> t -> Qmath.Dmatrix.t
+
+(** [name g] renders the paper's subscript naming with wires A..Z:
+    ["VBA"], ["V+AB"], ["FCA"]. *)
+val name : t -> string
+
+(** [of_name ~qubits s] parses {!name} output (case-insensitive).
+    @raise Invalid_argument on malformed names or out-of-range wires. *)
+val of_name : qubits:int -> string -> t
+
+val pp : Format.formatter -> t -> unit

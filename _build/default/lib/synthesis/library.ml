@@ -1,0 +1,63 @@
+open Mvl
+
+type entry = {
+  gate : Gate.t;
+  perm : Permgroup.Perm.t;
+  perm_array : int array;
+  purity_mask : int;
+}
+
+type t = { encoding : Encoding.t; entries : entry array }
+
+let compile encoding gate =
+  let qubits = Encoding.qubits encoding in
+  if Gate.target gate >= qubits || Gate.control gate >= qubits then
+    invalid_arg "Library.make: gate wire outside the encoding";
+  let perm = Encoding.perm_of_action encoding (Gate.apply gate) in
+  {
+    gate;
+    perm;
+    perm_array = Permgroup.Perm.to_array perm;
+    purity_mask = Gate.purity_mask gate;
+  }
+
+let make ?gates encoding =
+  let gates =
+    match gates with Some gs -> gs | None -> Gate.all ~qubits:(Encoding.qubits encoding)
+  in
+  { encoding; entries = Array.of_list (List.map (compile encoding) gates) }
+
+let encoding t = t.encoding
+let entries t = t.entries
+let qubits t = Encoding.qubits t.encoding
+let size t = Array.length t.entries
+
+let entry_of_gate t g =
+  match Array.find_opt (fun e -> Gate.equal e.gate g) t.entries with
+  | Some e -> e
+  | None -> raise Not_found
+
+let perm_of_gate t g = (entry_of_gate t g).perm
+let signature_allows ~signature entry = signature land entry.purity_mask = 0
+
+let banned_set t g =
+  let entry = entry_of_gate t g in
+  let acc = ref [] in
+  for point = Encoding.size t.encoding - 1 downto 0 do
+    if Encoding.mixed_signature t.encoding point land entry.purity_mask <> 0 then
+      acc := point :: !acc
+  done;
+  !acc
+
+let unconstrained t =
+  { t with entries = Array.map (fun e -> { e with purity_mask = 0 }) t.entries }
+
+let feynman_only t =
+  let gates =
+    Array.to_list t.entries
+    |> List.filter_map (fun e ->
+           match Gate.kind e.gate with
+           | Gate.Feynman -> Some e.gate
+           | Gate.Controlled_v | Gate.Controlled_v_dag -> None)
+  in
+  make ~gates t.encoding

@@ -1,0 +1,59 @@
+(** A gate library compiled against a pattern encoding.
+
+    Pre-computes, per gate: its permutation of the encoding's points and
+    the purity mask implementing the paper's banned sets (a gate may
+    follow a circuit [f] iff the image f(S) of the binary block contains
+    no pattern that is mixed on one of the gate's purity wires — the
+    "reasonable product" condition of Definition 1). *)
+
+type entry = private {
+  gate : Gate.t;
+  perm : Permgroup.Perm.t;        (** action on the encoding's points *)
+  perm_array : int array;          (** same, as a raw image array (hot path) *)
+  purity_mask : int;               (** wires that must stay pure, as bits *)
+}
+
+type t
+
+(** [make ?gates encoding] compiles a library; [gates] defaults to
+    {!Gate.all} for the encoding's width.
+    @raise Invalid_argument if a gate mentions a wire outside the
+    encoding. *)
+val make : ?gates:Gate.t list -> Mvl.Encoding.t -> t
+
+val encoding : t -> Mvl.Encoding.t
+val entries : t -> entry array
+val qubits : t -> int
+
+(** [size t] is the number of gates. *)
+val size : t -> int
+
+(** [entry_of_gate t g] finds the entry of a gate.
+    @raise Not_found when the gate is not in the library. *)
+val entry_of_gate : t -> Gate.t -> entry
+
+(** [perm_of_gate t g] is the gate's point permutation.
+    @raise Not_found when the gate is not in the library. *)
+val perm_of_gate : t -> Gate.t -> Permgroup.Perm.t
+
+(** [signature_allows ~signature entry] decides the reasonable-product
+    condition given the OR of mixed signatures over the current binary
+    block image. *)
+val signature_allows : signature:int -> entry -> bool
+
+(** [banned_set t g] is the paper's banned set for gate [g]: the points
+    (0-based) whose pattern is mixed on one of [g]'s purity wires.
+    Adding 1 to each reproduces the paper's N_A .. N_BC verbatim. *)
+val banned_set : t -> Gate.t -> int list
+
+(** [feynman_only t] is the sub-library of Feynman gates (used for the
+    linear-circuit classification of the paper's Section 5). *)
+val feynman_only : t -> t
+
+(** [unconstrained t] is the same library with every purity mask cleared:
+    the reasonable-product constraint of Definition 1 is disabled, so any
+    gate can follow any circuit.  {e This makes the search unsound} — it
+    finds multiple-valued permutations whose cascades do not implement
+    the claimed function as unitaries — and exists purely as the ablation
+    that demonstrates why the paper needs the banned sets. *)
+val unconstrained : t -> t

@@ -1,0 +1,79 @@
+open Reversible
+
+type result = {
+  target : Revfun.t;
+  not_mask : int;
+  cascade : Cascade.t;
+  cost : int;
+}
+
+let strip_not_layer target =
+  let bits = Revfun.bits target in
+  (* Want remainder(0) = 0 where target = d0 * remainder, i.e.
+     remainder(x) = target(x XOR mask): pick mask = target^-1(0). *)
+  let mask = Revfun.apply (Revfun.inverse target) 0 in
+  let remainder = Revfun.compose (Revfun.xor_layer ~bits mask) target in
+  assert (Revfun.fixes_zero remainder);
+  (mask, remainder)
+
+(* Run the BFS until some key restricts to [remainder]; return the level's
+   witnesses.  Depth 0 (identity) handled by the caller. *)
+let search_until ~max_depth library remainder =
+  let search = Search.create library in
+  let rec go () =
+    if Search.depth search >= max_depth then None
+    else begin
+      let fresh = Search.step search in
+      if fresh = [] then None
+      else
+        let witnesses =
+          List.filter
+            (fun key ->
+              match Search.restriction_of_key search key with
+              | Some func -> Revfun.equal func remainder
+              | None -> false)
+            fresh
+        in
+        if witnesses = [] then go () else Some (search, witnesses)
+    end
+  in
+  go ()
+
+let express ?(max_depth = 7) library target =
+  let mask, remainder = strip_not_layer target in
+  if Revfun.is_identity remainder then
+    Some { target; not_mask = mask; cascade = []; cost = 0 }
+  else
+    match search_until ~max_depth library remainder with
+    | None -> None
+    | Some (search, witness :: _) ->
+        let cascade = Search.cascade_of_key search witness in
+        Some { target; not_mask = mask; cascade; cost = List.length cascade }
+    | Some (_, []) -> assert false
+
+let all_realizations ?(max_depth = 7) ?(limit = 10_000) library target =
+  let mask, remainder = strip_not_layer target in
+  if Revfun.is_identity remainder then
+    [ { target; not_mask = mask; cascade = []; cost = 0 } ]
+  else
+    match search_until ~max_depth library remainder with
+    | None -> []
+    | Some (search, witnesses) ->
+        let remaining = ref limit in
+        List.concat_map
+          (fun key ->
+            let cascades = Search.all_cascades ~limit:!remaining search key in
+            remaining := max 0 (!remaining - List.length cascades);
+            List.map
+              (fun cascade ->
+                { target; not_mask = mask; cascade; cost = List.length cascade })
+              cascades)
+          witnesses
+
+let distinct_witnesses ?(max_depth = 7) library target =
+  let _, remainder = strip_not_layer target in
+  if Revfun.is_identity remainder then 1
+  else
+    match search_until ~max_depth library remainder with
+    | None -> 0
+    | Some (_, witnesses) -> List.length witnesses

@@ -1,0 +1,41 @@
+(** The paper's Minimum_Cost_Expressing algorithm (MCE).
+
+    Given a reversible specification g, strip a free input-side layer of
+    NOT gates d0 so that the remainder fixes the all-zero pattern
+    (Theorem 2: H = ⋃_{a∈N} a·G), then search breadth-first until the
+    remainder appears among the cost-k circuits and back-track a cascade
+    g = d0 * d1 * ... * dt of minimal t (Theorem 3). *)
+
+type result = {
+  target : Reversible.Revfun.t;
+  not_mask : int;
+      (** d0: wires to invert at the input, bit [w] = wire [w]'s NOT
+          (wire 0 = qubit A = most significant pattern bit) *)
+  cascade : Cascade.t; (** d1 .. dt, applied after the NOT layer *)
+  cost : int; (** t, the quantum cost (NOT gates are free) *)
+}
+
+(** [express ?max_depth library target] synthesizes a minimal-cost quantum
+    cascade for [target]; [None] when the cost exceeds [max_depth]
+    (default 7, the paper's cb).  The search stops at the level where the
+    target first appears, so cheap targets return quickly. *)
+val express : ?max_depth:int -> Library.t -> Reversible.Revfun.t -> result option
+
+(** [all_realizations ?max_depth ?limit library target] enumerates
+    minimal-cost realizations: every cascade of minimal length whose
+    restriction is the target (the paper reports 2 such circuits for
+    Peres and 4 for Toffoli without claiming completeness; this is the
+    complete list up to [limit], default 10_000). *)
+val all_realizations :
+  ?max_depth:int -> ?limit:int -> Library.t -> Reversible.Revfun.t -> result list
+
+(** [distinct_witnesses ?max_depth library target] counts the distinct
+    full-domain circuit permutations of minimal cost restricting to the
+    target — the granularity at which the paper's B[k] scan finds
+    "implementations". *)
+val distinct_witnesses :
+  ?max_depth:int -> Library.t -> Reversible.Revfun.t -> int
+
+(** [strip_not_layer target] is the pair (mask, remainder) with
+    [target = xor_layer mask ∘ remainder] and [remainder] fixing zero. *)
+val strip_not_layer : Reversible.Revfun.t -> int * Reversible.Revfun.t

@@ -1,0 +1,37 @@
+(** Peephole rewriting of gate cascades.
+
+    Sound local simplifications over the {e unitary} semantics:
+    - cancellation: V·V{^ +}, V{^ +}·V and F·F on the same wires vanish;
+    - merging: V·V and V{^ +}·V{^ +} on the same wires become the Feynman
+      gate (V² = NOT as a matrix identity);
+    - commutation: adjacent independent gates are reordered into a
+      canonical order so that cancellations separated by unrelated gates
+      are still found.
+
+    Note on semantics: rewriting preserves the exact unitary (and hence
+    the computed reversible function), but may change the 38-point
+    multiple-valued permutation, because the V·V → F merge alters the
+    don't-care rows (F is defined as the identity on mixed targets while
+    V·V maps V0 ↔ V1).  The test suite pins both facts. *)
+
+(** [commute g1 g2] is true when the two gates' unitaries commute for a
+    {e structural} reason recognized by the rewriter: disjoint wire sets,
+    a shared control with distinct targets, shared target with both gates
+    diagonal in the same basis (both controlled-V/V{^ +}), two Feynman
+    gates sharing only their target, or identical wires with compatible
+    kinds. *)
+val commute : Gate.t -> Gate.t -> bool
+
+(** [cancel_once cascade] removes the first adjacent inverse pair or
+    merges the first adjacent V·V pair; [None] when no rule fires. *)
+val cancel_once : Cascade.t -> Cascade.t option
+
+(** [normalize ?max_rounds cascade] repeatedly applies cancellation,
+    merging and canonical reordering of commuting neighbours until a
+    fixpoint (or [max_rounds], default 64). The result never has more
+    gates than the input and implements the same unitary. *)
+val normalize : ?max_rounds:int -> Cascade.t -> Cascade.t
+
+(** [equivalent_unitary ~qubits a b] compares two cascades as exact
+    unitaries. *)
+val equivalent_unitary : qubits:int -> Cascade.t -> Cascade.t -> bool

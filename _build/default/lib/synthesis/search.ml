@@ -1,0 +1,189 @@
+open Permgroup
+
+let log_src = Logs.Src.create "qsynth.search" ~doc:"BFS search engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type node = { depth : int; via : int; parent : string }
+(* [via] is the library entry index of the last gate, -1 at the root. *)
+
+type t = {
+  library : Library.t;
+  signatures : int array; (* mixed signature per point *)
+  num_binary : int;
+  degree : int;
+  table : (string, node) Hashtbl.t;
+  mutable frontier : string list;
+  mutable depth : int;
+}
+
+let identity_key degree = String.init degree Char.chr
+
+let create library =
+  let encoding = Library.encoding library in
+  let degree = Mvl.Encoding.size encoding in
+  if degree > 255 then invalid_arg "Search.create: encoding too large for byte keys";
+  let table = Hashtbl.create (1 lsl 16) in
+  let root = identity_key degree in
+  Hashtbl.add table root { depth = 0; via = -1; parent = "" };
+  {
+    library;
+    signatures = Array.init degree (Mvl.Encoding.mixed_signature encoding);
+    num_binary = Mvl.Encoding.num_binary encoding;
+    degree;
+    table;
+    frontier = [ root ];
+    depth = 0;
+  }
+
+let library t = t.library
+let depth t = t.depth
+let size t = Hashtbl.length t.table
+let frontier t = t.frontier
+
+let image_signature t key =
+  let s = ref 0 in
+  for i = 0 to t.num_binary - 1 do
+    s := !s lor t.signatures.(Char.code (String.unsafe_get key i))
+  done;
+  !s
+
+let compose_key t key perm_array =
+  let child = Bytes.create t.degree in
+  for i = 0 to t.degree - 1 do
+    Bytes.unsafe_set child i
+      (Char.unsafe_chr perm_array.(Char.code (String.unsafe_get key i)))
+  done;
+  Bytes.unsafe_to_string child
+
+let step t =
+  let entries = Library.entries t.library in
+  let next_depth = t.depth + 1 in
+  let next = ref [] in
+  List.iter
+    (fun key ->
+      let signature = image_signature t key in
+      Array.iteri
+        (fun via entry ->
+          if Library.signature_allows ~signature entry then begin
+            let child = compose_key t key entry.Library.perm_array in
+            if not (Hashtbl.mem t.table child) then begin
+              Hashtbl.add t.table child { depth = next_depth; via; parent = key };
+              next := child :: !next
+            end
+          end)
+        entries)
+    t.frontier;
+  t.frontier <- !next;
+  t.depth <- next_depth;
+  Log.debug (fun m ->
+      m "level %d: %d new states, %d total" next_depth (List.length !next)
+        (Hashtbl.length t.table));
+  !next
+
+let probe_restrictions t ~steps =
+  if steps < 1 || steps > 2 then invalid_arg "Search.probe_restrictions: steps in {1,2}";
+  let entries = Library.entries t.library in
+  let nb = t.num_binary in
+  let found = Hashtbl.create (1 lsl 12) in
+  (* Track only the binary-block image vector; that is all the signature
+     test, the next gate application, and the restriction key need. *)
+  let images = Array.make nb 0 in
+  let scratch = Array.make nb 0 in
+  let signature_of block =
+    let s = ref 0 in
+    for i = 0 to nb - 1 do
+      s := !s lor t.signatures.(block.(i))
+    done;
+    !s
+  in
+  let record block =
+    let rec binary i = i >= nb || (block.(i) < nb && binary (i + 1)) in
+    if binary 0 then begin
+      let key = String.init nb (fun i -> Char.chr block.(i)) in
+      if not (Hashtbl.mem found key) then Hashtbl.add found key ()
+    end
+  in
+  List.iter
+    (fun key ->
+      let signature = image_signature t key in
+      Array.iter
+        (fun entry ->
+          if Library.signature_allows ~signature entry then begin
+            let pa = entry.Library.perm_array in
+            for i = 0 to nb - 1 do
+              images.(i) <- pa.(Char.code (String.unsafe_get key i))
+            done;
+            if steps = 1 then record images
+            else begin
+              let signature2 = signature_of images in
+              Array.iter
+                (fun entry2 ->
+                  if Library.signature_allows ~signature:signature2 entry2 then begin
+                    let pa2 = entry2.Library.perm_array in
+                    for i = 0 to nb - 1 do
+                      scratch.(i) <- pa2.(images.(i))
+                    done;
+                    record scratch
+                  end)
+                entries
+            end
+          end)
+        entries)
+    t.frontier;
+  found
+
+let perm_of_key key =
+  Perm.unsafe_of_array (Array.init (String.length key) (fun i -> Char.code key.[i]))
+
+let restriction_of_key t key =
+  let nb = t.num_binary in
+  let rec binary_block i = i >= nb || (Char.code key.[i] < nb && binary_block (i + 1)) in
+  if binary_block 0 then
+    let perm = Perm.unsafe_of_array (Array.init nb (fun i -> Char.code key.[i])) in
+    Some (Reversible.Revfun.of_perm ~bits:(Library.qubits t.library) perm)
+  else None
+
+let depth_of_key t key =
+  match Hashtbl.find_opt t.table key with Some n -> Some n.depth | None -> None
+
+let cascade_of_key t key =
+  let entries = Library.entries t.library in
+  let rec walk key acc =
+    match Hashtbl.find_opt t.table key with
+    | None -> invalid_arg "Search.cascade_of_key: unknown key"
+    | Some node ->
+        if node.via < 0 then acc
+        else walk node.parent (entries.(node.via).Library.gate :: acc)
+  in
+  walk key []
+
+let all_cascades ?(limit = 10_000) t key =
+  let entries = Library.entries t.library in
+  let results = ref [] and count = ref 0 in
+  let exception Done in
+  (* Walk every minimal parent chain: a valid parent sits one level up and
+     its binary-block image admits the connecting gate. *)
+  let rec walk key depth suffix =
+    if !count >= limit then raise Done;
+    if depth = 0 then begin
+      results := suffix :: !results;
+      incr count
+    end
+    else
+      Array.iter
+        (fun entry ->
+          let inverse = Perm.to_array (Perm.inverse entry.Library.perm) in
+          let parent = compose_key t key inverse in
+          match Hashtbl.find_opt t.table parent with
+          | Some node when node.depth = depth - 1 ->
+              let signature = image_signature t parent in
+              if Library.signature_allows ~signature entry then
+                walk parent (depth - 1) (entry.Library.gate :: suffix)
+          | Some _ | None -> ())
+        entries
+  in
+  (match Hashtbl.find_opt t.table key with
+  | None -> invalid_arg "Search.all_cascades: unknown key"
+  | Some node -> ( try walk key node.depth [] with Done -> ()));
+  !results

@@ -1,0 +1,73 @@
+(** The breadth-first search engine shared by FMCF and MCE.
+
+    States are circuit permutations of the encoding's points, stored as
+    compact byte-string keys.  Level [k] of the search discovers exactly
+    the paper's B[k]: the circuits constructible with [k] gates under the
+    reasonable-product constraint and with no shorter realization.  Parent
+    pointers record one minimal cascade per state for factorization.
+
+    The paper's memory bound cb = 7 came from GAP on 2004 hardware; this
+    engine handles depth 8 comfortably on a present-day machine (the
+    frontier grows roughly 4.5x per level). *)
+
+type t
+
+(** [create library] starts a search at the identity circuit (depth 0). *)
+val create : Library.t -> t
+
+val library : t -> Library.t
+
+(** [depth t] is the last expanded level (0 after [create]). *)
+val depth : t -> int
+
+(** [size t] is the number of distinct circuit states discovered. *)
+val size : t -> int
+
+(** [frontier t] is the keys of the states discovered at [depth t]. *)
+val frontier : t -> string list
+
+(** [step t] expands one level and returns the new frontier (the keys of
+    B[depth+1]); an empty result means the reachable set is exhausted. *)
+val step : t -> string list
+
+(** [probe_restrictions t ~steps] returns the binary-block restrictions
+    (as {!Permgroup.Perm.key} strings over the [2^n] binary codes) of the
+    circuits reachable in exactly [depth t + steps] gates whose length-
+    [depth t] prefix lies on the current frontier — {e without storing any
+    new state}.  Only the binary-block images are tracked, so the memory
+    cost is a table of function keys; the price is no deduplication of
+    intermediate states (do not use for [steps > 2]).
+
+    This is sound for census completion: a function whose minimal cost is
+    [depth t + steps] must have a minimal cascade whose every proper
+    prefix is also minimal, so its length-[depth t] prefix state sits
+    exactly on the frontier.
+    @raise Invalid_argument unless [steps] is 1 or 2. *)
+val probe_restrictions : t -> steps:int -> (string, unit) Hashtbl.t
+
+(** {1 Key decoding} *)
+
+(** [perm_of_key key] decodes a state key into a point permutation. *)
+val perm_of_key : string -> Permgroup.Perm.t
+
+(** [restriction_of_key t key] is the binary reversible function computed
+    by the state, when it maps the binary block onto itself. *)
+val restriction_of_key : t -> string -> Reversible.Revfun.t option
+
+(** [depth_of_key t key] is the level at which the state was discovered
+    (its minimal gate count), or [None] for unseen states. *)
+val depth_of_key : t -> string -> int option
+
+(** {1 Factorization} *)
+
+(** [cascade_of_key t key] rebuilds the recorded minimal cascade reaching
+    the state.
+    @raise Invalid_argument when the key is unknown. *)
+val cascade_of_key : t -> string -> Cascade.t
+
+(** [all_cascades ?limit t key] enumerates {e all} minimal-length cascades
+    reaching the state, by walking every valid parent chain in the BFS
+    graph (a parent must sit one level up and satisfy the
+    reasonable-product condition for the connecting gate).  Stops after
+    [limit] results (default 10_000). *)
+val all_cascades : ?limit:int -> t -> string -> Cascade.t list

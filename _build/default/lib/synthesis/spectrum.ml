@@ -1,0 +1,200 @@
+open Reversible
+open Permgroup
+
+type element_bound = { func : Revfun.t; lower : int; upper : int }
+type t = { exact : (int * int) list; bounds : element_bound list; tight : int }
+
+let analyze census =
+  let library = Search.library (Fmcf.search census) in
+  if Library.qubits library <> 3 then
+    invalid_arg "Spectrum.analyze: only 3-qubit libraries are supported";
+  (* Exact costs from the census. *)
+  let cost_of = Hashtbl.create 8192 in
+  List.iter
+    (fun level ->
+      List.iter
+        (fun (m : Fmcf.member) ->
+          Hashtbl.replace cost_of (Perm.key (Revfun.to_perm m.Fmcf.func)) m.Fmcf.cost)
+        level.Fmcf.members)
+    (Fmcf.levels census);
+  let found =
+    List.concat_map
+      (fun level -> List.map (fun (m : Fmcf.member) -> m.Fmcf.func) level.Fmcf.members)
+      (Fmcf.levels census)
+  in
+  let census_depth =
+    List.fold_left (fun acc level -> max acc level.Fmcf.cost) 0 (Fmcf.levels census)
+  in
+  (* The full group G: zero-fixing circuits, order 5040. *)
+  let group = Universality.closure_of (Gates.g1 :: Universality.cnots ~bits:3) in
+  let remaining =
+    Closure.fold
+      (fun p acc ->
+        if Hashtbl.mem cost_of (Perm.key p) then acc
+        else Revfun.of_perm ~bits:3 p :: acc)
+      group []
+  in
+  (* Two-split upper bound: cost(h) + cost(h^-1 * g) over census members h.
+     Iterating h over the cheap members first lets us stop early once the
+     bound matches the lower bound. *)
+  let by_cost =
+    List.sort
+      (fun a b ->
+        Int.compare
+          (Hashtbl.find cost_of (Perm.key (Revfun.to_perm a)))
+          (Hashtbl.find cost_of (Perm.key (Revfun.to_perm b))))
+      found
+  in
+  let lower = census_depth + 1 in
+  let bound_of g =
+    let best = ref max_int in
+    (try
+       List.iter
+         (fun h ->
+           let ch = Hashtbl.find cost_of (Perm.key (Revfun.to_perm h)) in
+           if ch + 1 >= !best then raise Exit
+           else
+             let rest = Revfun.compose (Revfun.inverse h) g in
+             match Hashtbl.find_opt cost_of (Perm.key (Revfun.to_perm rest)) with
+             | Some c ->
+                 if ch + c < !best then best := ch + c;
+                 if !best <= lower then raise Exit
+             | None -> ())
+         by_cost
+     with Exit -> ());
+    { func = g; lower; upper = !best }
+  in
+  let bounds = List.map bound_of remaining in
+  let tight = List.length (List.filter (fun b -> b.lower = b.upper) bounds) in
+  { exact = Fmcf.counts census; bounds; tight }
+
+type completion = {
+  census_histogram : (int * int) list;
+  probe_one : int;
+  probe_two : int;
+  resolved_tail : (int * int) list;
+  unresolved : int;
+}
+
+let complete census t =
+  let search = Fmcf.search census in
+  let depth = Search.depth search in
+  let known = Hashtbl.create 8192 in
+  List.iter
+    (fun level ->
+      List.iter
+        (fun (m : Fmcf.member) ->
+          Hashtbl.replace known (Perm.key (Revfun.to_perm m.Fmcf.func)) ())
+        level.Fmcf.members)
+    (Fmcf.levels census);
+  let fresh probe =
+    Hashtbl.fold (fun key () acc -> if Hashtbl.mem known key then acc else key :: acc) probe []
+  in
+  let level1 = fresh (Search.probe_restrictions search ~steps:1) in
+  List.iter (fun key -> Hashtbl.replace known key ()) level1;
+  let level2 = fresh (Search.probe_restrictions search ~steps:2) in
+  List.iter (fun key -> Hashtbl.replace known key ()) level2;
+  (* Elements beyond d+2: cost >= d+3; exact when the two-split upper
+     bound meets that. *)
+  let tail = Hashtbl.create 8 in
+  let unresolved = ref 0 in
+  List.iter
+    (fun b ->
+      let key = Perm.key (Revfun.to_perm b.func) in
+      if not (Hashtbl.mem known key) then
+        if b.upper = depth + 3 then
+          Hashtbl.replace tail b.upper
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tail b.upper))
+        else incr unresolved)
+    t.bounds;
+  {
+    census_histogram = t.exact;
+    probe_one = List.length level1;
+    probe_two = List.length level2;
+    resolved_tail =
+      Hashtbl.fold (fun cost n acc -> (cost, n) :: acc) tail []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    unresolved = !unresolved;
+  }
+
+let composer census =
+  let library = Search.library (Fmcf.search census) in
+  if Library.qubits library <> 3 then
+    invalid_arg "Spectrum.composer: only 3-qubit libraries are supported";
+  let members =
+    List.concat_map (fun level -> level.Fmcf.members) (Fmcf.levels census)
+  in
+  let generators =
+    List.filter_map
+      (fun (m : Fmcf.member) ->
+        if m.Fmcf.cost = 0 then None
+        else Some (m, Revfun.to_perm m.Fmcf.func))
+      members
+  in
+  (* Dijkstra over the zero-fixing group (order 5040 for 3 qubits); edges
+     are right-multiplications by census members, weighted by their cost.
+     The settled table records, per function, the last member used and
+     the predecessor — unwinding gives the factor sequence. *)
+  let max_cost = 64 in
+  let best : (string, int) Hashtbl.t = Hashtbl.create 8192 in
+  let parent : (string, Fmcf.member * string) Hashtbl.t = Hashtbl.create 8192 in
+  let settled : (string, unit) Hashtbl.t = Hashtbl.create 8192 in
+  let buckets = Array.make (max_cost + 1) [] in
+  let id = Perm.identity 8 in
+  Hashtbl.replace best (Perm.key id) 0;
+  buckets.(0) <- [ id ];
+  for c = 0 to max_cost do
+    List.iter
+      (fun p ->
+        let key = Perm.key p in
+        match Hashtbl.find_opt best key with
+        | Some cost when cost = c && not (Hashtbl.mem settled key) ->
+            Hashtbl.add settled key ();
+            List.iter
+              (fun ((m : Fmcf.member), gen) ->
+                let child = Perm.mul p gen in
+                let child_cost = c + m.Fmcf.cost in
+                if child_cost <= max_cost then begin
+                  let child_key = Perm.key child in
+                  let improves =
+                    match Hashtbl.find_opt best child_key with
+                    | Some existing -> child_cost < existing
+                    | None -> true
+                  in
+                  if improves && not (Hashtbl.mem settled child_key) then begin
+                    Hashtbl.replace best child_key child_cost;
+                    Hashtbl.replace parent child_key (m, key);
+                    buckets.(child_cost) <- child :: buckets.(child_cost)
+                  end
+                end)
+              generators
+        | Some _ | None -> ())
+      buckets.(c)
+  done;
+  fun target ->
+    let mask, remainder = Mce.strip_not_layer target in
+    let finish cascade =
+      Some { Mce.target; not_mask = mask; cascade; cost = List.length cascade }
+    in
+    let rec unwind key acc =
+      match Hashtbl.find_opt parent key with
+      | None -> acc
+      | Some (m, predecessor) ->
+          unwind predecessor (Fmcf.cascade_of_member census m @ acc)
+    in
+    let key = Perm.key (Revfun.to_perm remainder) in
+    if Revfun.is_identity remainder then finish []
+    else if Hashtbl.mem settled key then finish (unwind key [])
+    else None
+
+let express_upper census target = composer census target
+
+let upper_histogram t =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace table b.upper
+        (1 + Option.value ~default:0 (Hashtbl.find_opt table b.upper)))
+    t.bounds;
+  Hashtbl.fold (fun cost n acc -> (cost, n) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,89 @@
+open Reversible
+open Permgroup
+
+let not_layers ~bits = Revfun.not_layer_group ~bits
+
+let cnots ~bits =
+  List.concat_map
+    (fun control ->
+      List.filter_map
+        (fun target ->
+          if target <> control then Some (Gates.cnot ~bits ~control ~target) else None)
+        (List.init bits Fun.id))
+    (List.init bits Fun.id)
+
+let closure_of fns = Closure.generate (List.map Revfun.to_perm fns)
+
+let schreier_of ~bits fns =
+  Schreier.of_generators ~degree:(1 lsl bits) (List.map Revfun.to_perm fns)
+
+let group_order ~bits fns = Schreier.order (schreier_of ~bits fns)
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let is_universal g =
+  let bits = Revfun.bits g in
+  let gens = (g :: not_layers ~bits) @ cnots ~bits in
+  group_order ~bits gens = factorial (1 lsl bits)
+
+let linear_functions ~bits = closure_of (cnots ~bits)
+
+let split_g4 census =
+  let linear = linear_functions ~bits:3 in
+  List.partition
+    (fun (m : Fmcf.member) -> Closure.mem linear (Revfun.to_perm m.Fmcf.func))
+    (Fmcf.members_at census ~cost:4)
+
+let relabel_wires f sigma = Revfun.relabel f sigma
+
+let all_wire_permutations bits =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x -> List.map (fun rest -> x :: rest) (perms (List.filter (( <> ) x) l)))
+          l
+  in
+  List.map Array.of_list (perms (List.init bits Fun.id))
+
+let wire_orbits fns =
+  match fns with
+  | [] -> []
+  | first :: _ ->
+      let bits = Revfun.bits first in
+      let sigmas = all_wire_permutations bits in
+      let canonical f =
+        List.fold_left
+          (fun best sigma ->
+            let candidate = relabel_wires f sigma in
+            if Revfun.compare candidate best < 0 then candidate else best)
+          f sigmas
+      in
+      let groups = Hashtbl.create 16 in
+      List.iter
+        (fun f ->
+          let key = Perm.key (Revfun.to_perm (canonical f)) in
+          let existing = try Hashtbl.find groups key with Not_found -> [] in
+          Hashtbl.replace groups key (f :: existing))
+        fns;
+      Hashtbl.fold (fun _ members acc -> List.rev members :: acc) groups []
+      |> List.sort (fun a b ->
+             Revfun.compare (List.hd a) (List.hd b))
+
+let theorem2_check ~bits =
+  if bits < 2 || bits > 3 then invalid_arg "Universality.theorem2_check: bits in {2,3}";
+  let generators =
+    if bits = 3 then Gates.g1 :: cnots ~bits else cnots ~bits
+  in
+  let subgroup = closure_of generators in
+  let subgroup_size = Closure.size subgroup in
+  if not (Closure.fold (fun p acc -> acc && Perm.apply p 0 = 0) subgroup true) then
+    failwith "Universality.theorem2_check: subgroup does not fix zero";
+  let reps = List.map Revfun.to_perm (not_layers ~bits) in
+  let mem p = Closure.mem subgroup p in
+  if not (Coset.disjoint ~reps ~mem) then
+    failwith "Universality.theorem2_check: cosets intersect";
+  let full_order = group_order ~bits (generators @ not_layers ~bits) in
+  if not (Coset.covers ~reps ~subgroup_size ~group_size:full_order) then
+    failwith "Universality.theorem2_check: cosets do not cover";
+  (subgroup_size, full_order)

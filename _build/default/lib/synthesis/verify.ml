@@ -1,0 +1,63 @@
+open Qmath
+
+let not_layer_matrix ~qubits mask =
+  Dmatrix.permutation_matrix (Array.init (1 lsl qubits) (fun code -> code lxor mask))
+
+let classical_function ~qubits ?(not_mask = 0) cascade =
+  let gates = not_layer_matrix ~qubits not_mask :: Cascade.matrices ~qubits cascade in
+  match Qsim.Circuit_sim.classical_function ~qubits gates with
+  | Some outputs ->
+      Some (Reversible.Revfun.of_perm ~bits:qubits (Permgroup.Perm.of_array outputs))
+  | None -> None
+
+let cascade_implements ~qubits ?(not_mask = 0) cascade target =
+  match classical_function ~qubits ~not_mask cascade with
+  | Some f -> Reversible.Revfun.equal f target
+  | None -> false
+
+let result_valid library (result : Mce.result) =
+  let qubits = Library.qubits library in
+  Cascade.is_reasonable library result.Mce.cascade
+  && (match Cascade.restriction library result.Mce.cascade with
+     | Some f ->
+         Reversible.Revfun.equal
+           (Reversible.Revfun.compose
+              (Reversible.Revfun.xor_layer ~bits:qubits result.Mce.not_mask)
+              f)
+           result.Mce.target
+     | None -> false)
+  && cascade_implements ~qubits ~not_mask:result.Mce.not_mask result.Mce.cascade
+       result.Mce.target
+
+let trajectory_is_pure cascade pattern =
+  let rec go p = function
+    | [] -> true
+    | g :: rest ->
+        let pure =
+          List.for_all
+            (fun w -> Mvl.Quat.is_binary (Mvl.Pattern.get p w))
+            (Gate.purity_wires g)
+        in
+        pure && go (Gate.apply g p) rest
+  in
+  go pattern cascade
+
+let mv_agrees_with_unitary library cascade =
+  let encoding = Library.encoding library in
+  let qubits = Library.qubits library in
+  let matrices = Cascade.matrices ~qubits cascade in
+  let size = Mvl.Encoding.size encoding in
+  let perm = Cascade.perm_of library cascade in
+  let rec check point =
+    point >= size
+    ||
+    let input = Mvl.Encoding.pattern encoding point in
+    if not (trajectory_is_pure cascade input) then check (point + 1)
+    else
+      let mv_output = Mvl.Encoding.pattern encoding (Permgroup.Perm.apply perm point) in
+      match Qsim.Circuit_sim.output_pattern ~qubits matrices input with
+      | Some unitary_output ->
+          Mvl.Pattern.equal mv_output unitary_output && check (point + 1)
+      | None -> false
+  in
+  check 0

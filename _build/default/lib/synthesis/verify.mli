@@ -1,0 +1,38 @@
+(** Exact verification of synthesis results against the unitary semantics.
+
+    FMCF/MCE work entirely in the multiple-valued abstraction; this module
+    closes the loop by re-simulating cascades as products of exact unitary
+    matrices over the Gaussian-dyadic ring and checking that they really
+    implement the target classical function — the paper's claim that the
+    abstraction is sound. *)
+
+(** [classical_function ~qubits ?not_mask cascade] simulates the full
+    circuit (optional input NOT layer, then the cascade) as an exact
+    unitary and extracts the classical function it implements; [None]
+    when the unitary is not a permutation matrix (i.e. the circuit is not
+    permutative — e.g. a proper prefix of a synthesis result). *)
+val classical_function :
+  qubits:int -> ?not_mask:int -> Cascade.t -> Reversible.Revfun.t option
+
+(** [cascade_implements ~qubits ?not_mask cascade target] checks the
+    circuit against a target function, exactly. *)
+val cascade_implements :
+  qubits:int -> ?not_mask:int -> Cascade.t -> Reversible.Revfun.t -> bool
+
+(** [result_valid library result] verifies an MCE result end to end:
+    the cascade is reasonable (Definition 1), its multiple-valued
+    restriction is the target, and its exact unitary implements the
+    target. *)
+val result_valid : Library.t -> Mce.result -> bool
+
+(** [trajectory_is_pure cascade pattern] is true when every gate along
+    the cascade sees pure binary values on its purity wires while
+    processing this input pattern — the regime where the multiple-valued
+    abstraction is claimed faithful. *)
+val trajectory_is_pure : Cascade.t -> Mvl.Pattern.t -> bool
+
+(** [mv_agrees_with_unitary library cascade] checks, for every pattern of
+    the encoding's domain with a pure trajectory, that the multiple-valued
+    output pattern equals the exact state-vector output.  This is the
+    soundness statement of the paper's Section 2 reduction. *)
+val mv_agrees_with_unitary : Library.t -> Cascade.t -> bool

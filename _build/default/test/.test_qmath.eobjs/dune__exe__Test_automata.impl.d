@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Automata Behavior Fun Hmm List Measurement Mvl Printf Prob Prob_circuit QCheck2 QCheck_alcotest Qfsm Qsim State String Synthesis

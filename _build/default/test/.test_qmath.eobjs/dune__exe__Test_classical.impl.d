@@ -1,0 +1,1 @@
+test/test_classical.ml: Alcotest Anf Array Boolexpr Classical_synth Fun Gates Gf2 List Mvl Permgroup Printf QCheck2 QCheck_alcotest Random Reversible Revfun Spec Synthesis

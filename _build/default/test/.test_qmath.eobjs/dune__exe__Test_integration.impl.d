@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Automata Cascade Fmcf Gate Library List Map Mce Mvl Permgroup QCheck2 QCheck_alcotest Qsim Random Reversible String Synthesis Verify

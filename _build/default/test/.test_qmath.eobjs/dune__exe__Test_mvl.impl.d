@@ -1,0 +1,1 @@
+test/test_mvl.ml: Alcotest Array Encoding List Mvl Pattern Permgroup QCheck2 QCheck_alcotest Qmath Qsim Quat Synthesis Truth_table

@@ -1,0 +1,1 @@
+test/test_permgroup.ml: Alcotest Array Closure Coset Cycles Format Fun List Perm Permgroup QCheck2 QCheck_alcotest Random Restricted Schreier

@@ -1,0 +1,1 @@
+test/test_qmath.ml: Alcotest Array Cfloat Dmatrix Dyadic Gate_matrix List QCheck2 QCheck_alcotest Qmath Random

@@ -1,0 +1,1 @@
+test/test_qsim.ml: Alcotest Array Circuit_sim Float List Mvl Prob QCheck2 QCheck_alcotest Qmath Qsim State

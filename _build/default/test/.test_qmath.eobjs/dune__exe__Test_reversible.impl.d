@@ -1,0 +1,1 @@
+test/test_reversible.ml: Alcotest Array Format Fun Gates List Permgroup QCheck2 QCheck_alcotest Random Reversible Revfun Spec

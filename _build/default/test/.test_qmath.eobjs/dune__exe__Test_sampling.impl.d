@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Automata List Markov Mvl Prob Prob_circuit Qfsm Qsim Random Sampler Synthesis

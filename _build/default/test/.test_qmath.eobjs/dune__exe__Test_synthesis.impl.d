@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Array Cascade Fmcf Gate Hashtbl Lazy Library List Mce Mvl Permgroup QCheck2 QCheck_alcotest Qmath Reversible Search Synthesis Universality Verify

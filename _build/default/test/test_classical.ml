@@ -1,0 +1,381 @@
+(* Tests for ANF extraction and classical gate-library synthesis — the
+   machinery behind the paper's Peres-vs-Toffoli library claim. *)
+
+open Reversible
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let revfun = Alcotest.testable Revfun.pp Revfun.equal
+
+let qcheck_test ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let revfun_gen bits =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let state = Random.State.make [| seed |] in
+        let n = 1 lsl bits in
+        let a = Array.init n Fun.id in
+        for i = n - 1 downto 1 do
+          let j = Random.State.int state (i + 1) in
+          let tmp = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- tmp
+        done;
+        Revfun.of_perm ~bits (Permgroup.Perm.of_array a))
+      int)
+
+(* Anf *)
+
+let test_anf_paper_formulas () =
+  (* The paper's own formulas: Peres is P = A, Q = B xor A, R = C xor AB. *)
+  check Alcotest.string "peres" "P = A, Q = A+B, R = AB+C" (Anf.describe Gates.g1);
+  check Alcotest.string "toffoli" "P = A, Q = B, R = AB+C" (Anf.describe Gates.toffoli3);
+  (* g3: R = C xor A'B = C + B + AB over GF(2). *)
+  check Alcotest.string "g3" "P = A, Q = A+B, R = B+AB+C" (Anf.describe Gates.g3)
+
+let test_anf_constants () =
+  check Alcotest.string "zero" "0" (Anf.to_string ~bits:2 []);
+  check Alcotest.string "one" "1" (Anf.to_string ~bits:2 [ 0 ]);
+  let const_one = Anf.of_outputs ~bits:2 [ true; true; true; true ] in
+  check Alcotest.string "constant column" "1" (Anf.to_string ~bits:2 const_one);
+  let xor = Anf.of_outputs ~bits:2 [ false; true; true; false ] in
+  check Alcotest.string "xor column" "A+B" (Anf.to_string ~bits:2 xor)
+
+let test_anf_degree_linear () =
+  check Alcotest.int "xor degree" 1
+    (Anf.degree (Anf.of_outputs ~bits:2 [ false; true; true; false ]));
+  check Alcotest.int "and degree" 2
+    (Anf.degree (Anf.of_outputs ~bits:2 [ false; false; false; true ]));
+  checkb "cnot linear" true (Anf.is_linear (Gates.cnot ~bits:3 ~control:2 ~target:0));
+  checkb "toffoli not linear" false (Anf.is_linear Gates.toffoli3);
+  checkb "fredkin not linear" false (Anf.is_linear Gates.fredkin3);
+  checkb "not layer linear" true (Anf.is_linear (Revfun.xor_layer ~bits:3 5))
+
+let anf_props =
+  [
+    qcheck_test "anf evaluates back to the wire" (revfun_gen 3) (fun f ->
+        List.for_all
+          (fun wire ->
+            let anf = Anf.of_wire f ~wire in
+            List.for_all2
+              (fun code expected -> Anf.eval ~bits:3 anf code = expected)
+              (List.init 8 Fun.id)
+              (Revfun.wire_outputs f ~wire))
+          [ 0; 1; 2 ]);
+    qcheck_test "linear iff in the CNOT/NOT closure" (revfun_gen 3) (fun f ->
+        (* the affine group on 3 bits has 1344 elements *)
+        let linear = Anf.is_linear f in
+        let affine_reachable =
+          match
+            Classical_synth.synthesize ~bits:3 Classical_synth.ncp_linear f
+          with
+          | Some _ -> true
+          | None -> false
+        in
+        linear = affine_reachable);
+  ]
+
+(* Boolexpr *)
+
+let test_boolexpr_parse_eval () =
+  let e = Boolexpr.parse ~bits:3 "C^AB" in
+  (* code 6 = A=1,B=1,C=0: 0 xor (1 and 1) = 1 *)
+  checkb "110" true (Boolexpr.eval ~bits:3 e 6);
+  checkb "100" false (Boolexpr.eval ~bits:3 e 4);
+  checkb "001" true (Boolexpr.eval ~bits:3 e 1);
+  let prime = Boolexpr.parse ~bits:3 "B^AC'" in
+  (* g2's Q: code 4 = A=1,B=0,C=0: 0 xor (1 and 1) = 1 *)
+  checkb "postfix not" true (Boolexpr.eval ~bits:3 prime 4);
+  checkb "postfix not off" false (Boolexpr.eval ~bits:3 prime 5);
+  let ops = Boolexpr.parse ~bits:2 "!A | B & 1 ^ 0" in
+  checkb "mixed operators" true (Boolexpr.eval ~bits:2 ops 0)
+
+let test_boolexpr_errors () =
+  List.iter
+    (fun s ->
+      checkb s true
+        (match Boolexpr.parse ~bits:2 s with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ "A^"; "(A"; "A)"; "C"; "A @ B"; "" ]
+
+let test_boolexpr_paper_formulas () =
+  (* The paper's formulas for g1..g4 parse to exactly those functions. *)
+  let expect name formulas gate =
+    check revfun name (Spec.of_formulas ~bits:3 formulas) gate
+  in
+  expect "g1" "A; B^A; C^AB" Gates.g1;
+  expect "g2" "A; B^AC'; C^A" Gates.g2;
+  expect "g3" "A; B^A; C^A'B" Gates.g3;
+  expect "g4" "A; B^A; C'^A'B'" Gates.g4;
+  expect "toffoli" "A; B; C^AB" Gates.toffoli3;
+  expect "fredkin via mux" "A; A'B^AC; A'C^AB" Gates.fredkin3
+
+let test_boolexpr_not_reversible () =
+  checkb "constant formulas rejected" true
+    (match Boolexpr.revfun_of_formulas ~bits:2 [ "0"; "B" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let boolexpr_props =
+  [
+    qcheck_test "anf of parsed formula evaluates the same"
+      QCheck2.Gen.(int_range 0 7)
+      (fun code ->
+        let e = Boolexpr.parse ~bits:3 "A^BC'|C" in
+        let anf = Boolexpr.to_anf ~bits:3 e in
+        Boolexpr.eval ~bits:3 e code = Anf.eval ~bits:3 anf code);
+    qcheck_test "pp then parse roundtrips semantics" (revfun_gen 3) (fun f ->
+        List.for_all
+          (fun wire ->
+            let anf = Anf.of_wire f ~wire in
+            let printed = Anf.to_string ~bits:3 anf in
+            let reparsed = Boolexpr.parse ~bits:3 printed in
+            List.for_all
+              (fun code ->
+                Boolexpr.eval ~bits:3 reparsed code = Anf.eval ~bits:3 anf code)
+              (List.init 8 Fun.id))
+          [ 0; 1; 2 ]);
+  ]
+
+(* Revfun.relabel *)
+
+let test_relabel () =
+  let sigma = [| 1; 0; 2 |] in
+  check revfun "cnot wires swapped"
+    (Gates.cnot ~bits:3 ~control:1 ~target:0)
+    (Revfun.relabel (Gates.cnot ~bits:3 ~control:0 ~target:1) sigma);
+  check revfun "identity sigma" Gates.g1 (Revfun.relabel Gates.g1 [| 0; 1; 2 |]);
+  Alcotest.check_raises "arity" (Invalid_argument "Revfun.relabel: arity") (fun () ->
+      ignore (Revfun.relabel Gates.g1 [| 0; 1 |]))
+
+let relabel_props =
+  [
+    qcheck_test "relabel by sigma then inverse sigma" (revfun_gen 3) (fun f ->
+        let sigma = [| 2; 0; 1 |] and inverse = [| 1; 2; 0 |] in
+        Revfun.equal f (Revfun.relabel (Revfun.relabel f sigma) inverse));
+    qcheck_test "relabel preserves cycle structure" (revfun_gen 3) (fun f ->
+        Permgroup.Perm.order (Revfun.to_perm f)
+        = Permgroup.Perm.order (Revfun.to_perm (Revfun.relabel f [| 1; 2; 0 |])));
+  ]
+
+(* Gf2 *)
+
+let test_gf2_basics () =
+  let i3 = Gf2.identity 3 in
+  checkb "identity invertible" true (Gf2.is_invertible i3);
+  check Alcotest.int "identity rank" 3 (Gf2.rank i3);
+  checkb "identity self-inverse" true
+    (match Gf2.inverse i3 with Some inv -> Gf2.equal inv i3 | None -> false);
+  let singular = [| [| true; true |]; [| true; true |] |] in
+  check Alcotest.int "singular rank" 1 (Gf2.rank singular);
+  checkb "singular has no inverse" true (Gf2.inverse singular = None);
+  checkb "mul identity" true (Gf2.equal (Gf2.mul i3 i3) i3)
+
+let test_gf2_of_revfun () =
+  (match Gf2.of_revfun (Gates.cnot ~bits:3 ~control:0 ~target:1) with
+  | Some (m, shift) ->
+      check Alcotest.int "no shift" 0 shift;
+      checkb "B row has A and B" true (m.(1).(0) && m.(1).(1));
+      checkb "A row is A" true (m.(0).(0) && not (m.(0).(1)) && not (m.(0).(2)))
+  | None -> Alcotest.fail "cnot is linear");
+  (match Gf2.of_revfun (Revfun.xor_layer ~bits:3 5) with
+  | Some (m, shift) ->
+      check Alcotest.int "shift" 5 shift;
+      checkb "identity matrix" true (Gf2.equal m (Gf2.identity 3))
+  | None -> Alcotest.fail "xor layer is affine");
+  checkb "toffoli not affine" true (Gf2.of_revfun Gates.toffoli3 = None)
+
+let test_gf2_roundtrip () =
+  let f = Revfun.compose (Gates.cnot ~bits:3 ~control:0 ~target:1)
+            (Revfun.compose (Gates.cnot ~bits:3 ~control:2 ~target:0)
+               (Revfun.xor_layer ~bits:3 3)) in
+  match Gf2.of_revfun f with
+  | Some (m, shift) -> check revfun "roundtrip" f (Gf2.to_revfun ~bits:3 m shift)
+  | None -> Alcotest.fail "f is affine"
+
+let test_gf2_synthesize () =
+  let check_synthesis f =
+    match Gf2.synthesize f with
+    | Some (not_mask, cnots) ->
+        (* recompose: NOT layer then the CNOTs in order *)
+        let bits = Revfun.bits f in
+        let recomposed =
+          List.fold_left
+            (fun acc (control, target) ->
+              Revfun.compose acc (Gates.cnot ~bits ~control ~target))
+            (Revfun.xor_layer ~bits not_mask)
+            cnots
+        in
+        checkb "recomposes exactly" true (Revfun.equal recomposed f);
+        checkb "gate count bounded" true (List.length cnots <= bits * bits)
+    | None -> Alcotest.fail "affine function expected"
+  in
+  check_synthesis (Gates.cnot ~bits:3 ~control:1 ~target:2);
+  check_synthesis (Gates.swap ~bits:3 ~wire1:0 ~wire2:2);
+  check_synthesis (Revfun.xor_layer ~bits:3 7);
+  check_synthesis (Revfun.identity ~bits:3);
+  checkb "nonlinear rejected" true (Gf2.synthesize Gates.toffoli3 = None)
+
+let gf2_props =
+  [
+    qcheck_test ~count:60 "synthesize every affine function" QCheck2.Gen.int (fun seed ->
+        (* random invertible matrix by composing random row ops *)
+        let state = Random.State.make [| seed |] in
+        let m = ref (Gf2.identity 3) in
+        for _ = 1 to 6 do
+          let t = Random.State.int state 3 in
+          let c = Random.State.int state 3 in
+          if t <> c then begin
+            let op = Gf2.identity 3 in
+            op.(t).(c) <- true;
+            m := Gf2.mul op !m
+          end
+        done;
+        let shift = Random.State.int state 8 in
+        let f = Gf2.to_revfun ~bits:3 !m shift in
+        match Gf2.synthesize f with
+        | Some (not_mask, cnots) ->
+            let recomposed =
+              List.fold_left
+                (fun acc (control, target) ->
+                  Revfun.compose acc (Gates.cnot ~bits:3 ~control ~target))
+                (Revfun.xor_layer ~bits:3 not_mask)
+                cnots
+            in
+            Revfun.equal recomposed f
+        | None -> false);
+    qcheck_test "linearity agrees between Anf and Gf2" (revfun_gen 3) (fun f ->
+        Anf.is_linear f = (Gf2.of_revfun f <> None));
+  ]
+
+(* Classical_synth *)
+
+let test_placements () =
+  check Alcotest.int "toffoli placements" 3
+    (List.length
+       (Classical_synth.all_placements ~bits:3 ~name:"To" ~quantum_cost:5
+          Gates.toffoli3));
+  check Alcotest.int "peres placements" 6
+    (List.length
+       (Classical_synth.all_placements ~bits:3 ~name:"Pe" ~quantum_cost:4 Gates.g1));
+  check Alcotest.int "fredkin placements" 3
+    (List.length
+       (Classical_synth.all_placements ~bits:3 ~name:"Fr" ~quantum_cost:5
+          Gates.fredkin3))
+
+let test_library_sizes () =
+  check Alcotest.int "linear" 9
+    (List.length Classical_synth.ncp_linear.Classical_synth.gates);
+  check Alcotest.int "toffoli" 12
+    (List.length Classical_synth.ncp_toffoli.Classical_synth.gates);
+  check Alcotest.int "peres" 21
+    (List.length Classical_synth.ncp_peres.Classical_synth.gates)
+
+let test_linear_census () =
+  let result = Classical_synth.census ~bits:3 Classical_synth.ncp_linear in
+  (* affine group: 2^3 * |GL(3,2)| = 8 * 168 *)
+  check Alcotest.int "affine functions" 1344 result.Classical_synth.reachable
+
+let test_toffoli_census () =
+  let result = Classical_synth.census ~bits:3 Classical_synth.ncp_toffoli in
+  check Alcotest.int "all of S8" 40320 result.Classical_synth.reachable;
+  (* Shende et al.: every 3-bit reversible function needs at most 8
+     NOT/CNOT/Toffoli gates. *)
+  let worst = List.fold_left (fun acc (k, _) -> max acc k) 0 result.Classical_synth.by_gate_count in
+  check Alcotest.int "worst case 8 gates" 8 worst
+
+let test_peres_census_beats_toffoli () =
+  let toffoli = Classical_synth.census ~bits:3 Classical_synth.ncp_toffoli in
+  let peres = Classical_synth.census ~bits:3 Classical_synth.ncp_peres in
+  check Alcotest.int "peres reaches everything" 40320 peres.Classical_synth.reachable;
+  (* The paper's conclusion: Peres libraries need fewer gates... *)
+  checkb "fewer gates on average" true
+    (peres.Classical_synth.average_gates < toffoli.Classical_synth.average_gates);
+  (* ...and lower total quantum cost. *)
+  checkb "lower quantum cost on average" true
+    (peres.Classical_synth.average_quantum_cost
+    < toffoli.Classical_synth.average_quantum_cost);
+  let worst = List.fold_left (fun acc (k, _) -> max acc k) 0 peres.Classical_synth.by_gate_count in
+  check Alcotest.int "peres worst case 6 gates" 6 worst
+
+let test_quantum_cost_histogram_matches_elementary_census () =
+  (* The Peres-library quantum-cost census agrees with the
+     elementary-gate census |S8[k]| for every k the census covers — the
+     two models measure the same quantity. *)
+  let peres = Classical_synth.census ~bits:3 Classical_synth.ncp_peres in
+  let library = Synthesis.Library.make (Mvl.Encoding.make ~qubits:3) in
+  let elementary = Synthesis.Fmcf.run ~max_depth:6 library in
+  List.iter
+    (fun (k, n) ->
+      match List.assoc_opt k peres.Classical_synth.by_quantum_cost with
+      | Some m -> check Alcotest.int (Printf.sprintf "cost %d" k) (8 * n) m
+      | None -> if n > 0 then Alcotest.fail "missing cost bucket")
+    (Synthesis.Fmcf.counts elementary)
+
+let test_synthesize_known () =
+  (match Classical_synth.synthesize ~bits:3 Classical_synth.ncp_peres Gates.fredkin3 with
+  | Some (gates, count) ->
+      check Alcotest.int "fredkin = 3 peres" 3 count;
+      (* verify the factorization *)
+      let product =
+        List.fold_left
+          (fun acc g -> Revfun.compose acc g.Classical_synth.func)
+          (Revfun.identity ~bits:3) gates
+      in
+      checkb "factorization valid" true (Revfun.equal product Gates.fredkin3)
+  | None -> Alcotest.fail "fredkin reachable");
+  (match Classical_synth.synthesize ~bits:3 Classical_synth.ncp_linear Gates.toffoli3 with
+  | Some _ -> Alcotest.fail "toffoli is not affine"
+  | None -> ());
+  match
+    Classical_synth.synthesize ~bits:3 Classical_synth.ncp_toffoli
+      (Revfun.identity ~bits:3)
+  with
+  | Some ([], 0) -> ()
+  | _ -> Alcotest.fail "identity is free"
+
+let () =
+  Alcotest.run "classical"
+    [
+      ( "anf",
+        [
+          Alcotest.test_case "paper formulas" `Quick test_anf_paper_formulas;
+          Alcotest.test_case "constants" `Quick test_anf_constants;
+          Alcotest.test_case "degree and linearity" `Quick test_anf_degree_linear;
+        ] );
+      ("anf properties", anf_props);
+      ( "boolexpr",
+        [
+          Alcotest.test_case "parse and eval" `Quick test_boolexpr_parse_eval;
+          Alcotest.test_case "errors" `Quick test_boolexpr_errors;
+          Alcotest.test_case "paper formulas" `Quick test_boolexpr_paper_formulas;
+          Alcotest.test_case "non-reversible rejected" `Quick
+            test_boolexpr_not_reversible;
+        ] );
+      ("boolexpr properties", boolexpr_props);
+      ( "relabel",
+        [ Alcotest.test_case "relabel wires" `Quick test_relabel ] );
+      ("relabel properties", relabel_props);
+      ( "gf2",
+        [
+          Alcotest.test_case "basics" `Quick test_gf2_basics;
+          Alcotest.test_case "of_revfun" `Quick test_gf2_of_revfun;
+          Alcotest.test_case "roundtrip" `Quick test_gf2_roundtrip;
+          Alcotest.test_case "synthesize" `Quick test_gf2_synthesize;
+        ] );
+      ("gf2 properties", gf2_props);
+      ( "classical_synth",
+        [
+          Alcotest.test_case "placements" `Quick test_placements;
+          Alcotest.test_case "library sizes" `Quick test_library_sizes;
+          Alcotest.test_case "linear census" `Quick test_linear_census;
+          Alcotest.test_case "toffoli census" `Slow test_toffoli_census;
+          Alcotest.test_case "peres beats toffoli" `Slow test_peres_census_beats_toffoli;
+          Alcotest.test_case "quantum costs match elementary census" `Slow
+            test_quantum_cost_histogram_matches_elementary_census;
+          Alcotest.test_case "synthesize known circuits" `Quick test_synthesize_known;
+        ] );
+    ]

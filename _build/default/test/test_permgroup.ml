@@ -1,0 +1,344 @@
+(* Tests for the permgroup substrate: permutations, cycle notation,
+   RestrictedPerm, closure enumeration, Schreier-Sims and cosets. *)
+
+open Permgroup
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let perm = Alcotest.testable Perm.pp Perm.equal
+
+let qcheck_test ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Random permutation generator (Fisher-Yates driven by a qcheck seed). *)
+let perm_gen degree =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let state = Random.State.make [| seed |] in
+        let a = Array.init degree Fun.id in
+        for i = degree - 1 downto 1 do
+          let j = Random.State.int state (i + 1) in
+          let tmp = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- tmp
+        done;
+        Perm.of_array a)
+      int)
+
+(* Perm unit tests *)
+
+let test_validation () =
+  Alcotest.check_raises "repeat" (Invalid_argument "Perm.of_array: not a permutation")
+    (fun () -> ignore (Perm.of_array [| 0; 0; 1 |]));
+  Alcotest.check_raises "range" (Invalid_argument "Perm.of_array: not a permutation")
+    (fun () -> ignore (Perm.of_array [| 0; 3 |]))
+
+let test_product_convention () =
+  (* mul a b applies a first: (a*b)(x) = b(a(x)) — the paper's and GAP's
+     convention. *)
+  let a = Perm.transposition 3 0 1 in
+  let b = Perm.transposition 3 1 2 in
+  let ab = Perm.mul a b in
+  check Alcotest.int "(a*b)(0) = b(a(0)) = b(1) = 2" 2 (Perm.apply ab 0);
+  check Alcotest.int "(a*b)(2) = b(2) = 1" 1 (Perm.apply ab 2)
+
+let test_order () =
+  check Alcotest.int "transposition order" 2 (Perm.order (Perm.transposition 5 1 3));
+  check Alcotest.int "identity order" 1 (Perm.order (Perm.identity 4));
+  let c = Perm.of_array [| 1; 2; 0; 4; 3 |] in
+  check Alcotest.int "3-cycle x 2-cycle" 6 (Perm.order c)
+
+let test_support_fixes () =
+  let p = Perm.transposition 5 1 3 in
+  check (Alcotest.list Alcotest.int) "support" [ 1; 3 ] (Perm.support p);
+  checkb "fixes 0" true (Perm.fixes p 0);
+  checkb "moves 1" false (Perm.fixes p 1)
+
+let test_image_preserves () =
+  let p = Perm.of_array [| 1; 0; 3; 2 |] in
+  check (Alcotest.list Alcotest.int) "image" [ 0; 1 ] (Perm.image p [ 0; 1 ]);
+  checkb "preserves" true (Perm.preserves p [ 0; 1 ]);
+  checkb "not preserves" false (Perm.preserves p [ 1; 2 ])
+
+let test_of_mapping () =
+  let p = Perm.of_mapping 4 [ (0, 2); (2, 0) ] in
+  check perm "swap via mapping" (Perm.transposition 4 0 2) p;
+  Alcotest.check_raises "non-bijective"
+    (Invalid_argument "Perm.of_array: not a permutation") (fun () ->
+      ignore (Perm.of_mapping 4 [ (0, 2) ]))
+
+let test_pad () =
+  let p = Perm.transposition 3 0 1 in
+  let q = Perm.pad p 5 in
+  check Alcotest.int "degree" 5 (Perm.degree q);
+  check Alcotest.int "old part" 1 (Perm.apply q 0);
+  check Alcotest.int "new part fixed" 4 (Perm.apply q 4)
+
+let test_pp_identity () =
+  check Alcotest.string "identity prints ()" "()"
+    (Format.asprintf "%a" Perm.pp (Perm.identity 6))
+
+let perm_props =
+  let open QCheck2.Gen in
+  let g = perm_gen 8 in
+  [
+    qcheck_test "inverse cancels" g (fun p ->
+        Perm.is_identity (Perm.mul p (Perm.inverse p)));
+    qcheck_test "inverse left cancels" g (fun p ->
+        Perm.is_identity (Perm.mul (Perm.inverse p) p));
+    qcheck_test "mul associative" (triple g g g) (fun (a, b, c) ->
+        Perm.equal (Perm.mul (Perm.mul a b) c) (Perm.mul a (Perm.mul b c)));
+    qcheck_test "pow order is identity" g (fun p ->
+        Perm.is_identity (Perm.pow p (Perm.order p)));
+    qcheck_test "pow negative is inverse pow" g (fun p ->
+        Perm.equal (Perm.pow p (-3)) (Perm.inverse (Perm.pow p 3)));
+    qcheck_test "key injective on samples" (pair g g) (fun (a, b) ->
+        Perm.equal a b = (Perm.key a = Perm.key b));
+    qcheck_test "conjugate preserves order" (pair g g) (fun (p, q) ->
+        Perm.order (Perm.conjugate p q) = Perm.order p);
+    qcheck_test "roundtrip to_array" g (fun p ->
+        Perm.equal p (Perm.of_array (Perm.to_array p)));
+  ]
+
+(* Cycles *)
+
+let test_cycles_paper_strings () =
+  let p =
+    Cycles.of_string ~degree:38 "(5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24)"
+  in
+  check Alcotest.int "5 -> 17 (1-based)" 16 (Perm.apply p 4);
+  check Alcotest.int "21 -> 5 (1-based)" 4 (Perm.apply p 20);
+  check Alcotest.string "roundtrip"
+    "(5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24)" (Cycles.to_string p)
+
+let test_cycles_identity () =
+  check perm "empty string" (Perm.identity 5) (Cycles.of_string ~degree:5 "");
+  check perm "() string" (Perm.identity 5) (Cycles.of_string ~degree:5 "()");
+  check Alcotest.string "identity prints" "()" (Cycles.to_string (Perm.identity 5))
+
+let test_cycles_errors () =
+  Alcotest.check_raises "repeated point"
+    (Invalid_argument "Cycles.of_cycles: repeated point") (fun () ->
+      ignore (Cycles.of_string ~degree:5 "(1,2)(2,3)"));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Cycles.of_cycles: point out of range") (fun () ->
+      ignore (Cycles.of_string ~degree:3 "(1,7)"))
+
+let test_to_cycles () =
+  let p = Perm.of_array [| 1; 0; 2; 4; 3 |] in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "cycles" [ [ 0; 1 ]; [ 3; 4 ] ] (Cycles.to_cycles p)
+
+let cycles_props =
+  [
+    qcheck_test "string roundtrip" (perm_gen 12) (fun p ->
+        Perm.equal p (Cycles.of_string ~degree:12 (Cycles.to_string p)));
+    qcheck_test "of_cycles . to_cycles" (perm_gen 10) (fun p ->
+        Perm.equal p (Cycles.of_cycles ~degree:10 (Cycles.to_cycles p)));
+  ]
+
+(* Restricted *)
+
+let test_restrict () =
+  let p = Cycles.of_string ~degree:6 "(1,2)(5,6)" in
+  (match Restricted.restrict p [ 0; 1 ] with
+  | Some r -> check perm "restriction" (Perm.transposition 2 0 1) r
+  | None -> Alcotest.fail "expected restriction");
+  checkb "not preserved" true
+    (Restricted.restrict (Cycles.of_string ~degree:6 "(2,3)") [ 0; 1 ] = None)
+
+let test_restrict_prefix () =
+  let p = Cycles.of_string ~degree:6 "(1,2)(5,6)" in
+  checkb "prefix preserved" true (Restricted.preserves_prefix p 2);
+  checkb "prefix not preserved" false
+    (Restricted.preserves_prefix (Cycles.of_string ~degree:6 "(2,3)") 2);
+  match Restricted.restrict_prefix p 4 with
+  | Some r -> check Alcotest.int "degree" 4 (Perm.degree r)
+  | None -> Alcotest.fail "expected restriction"
+
+let test_restrict_errors () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Restricted.restrict: subset not sorted") (fun () ->
+      ignore (Restricted.restrict (Perm.identity 5) [ 2; 1 ]))
+
+let restricted_props =
+  [
+    qcheck_test "prefix agrees with general restrict" (perm_gen 9) (fun p ->
+        let general = Restricted.restrict p [ 0; 1; 2; 3 ] in
+        let prefix = Restricted.restrict_prefix p 4 in
+        match (general, prefix) with
+        | None, None -> true
+        | Some a, Some b -> Perm.equal a b
+        | _ -> false);
+  ]
+
+(* Closure *)
+
+let test_closure_s3 () =
+  let g = Closure.generate [ Perm.transposition 3 0 1; Perm.transposition 3 1 2 ] in
+  check Alcotest.int "S3 size" 6 (Closure.size g);
+  checkb "mem 3-cycle" true (Closure.mem g (Perm.of_array [| 1; 2; 0 |]))
+
+let test_closure_klein () =
+  let a = Cycles.of_string ~degree:4 "(1,2)(3,4)" in
+  let b = Cycles.of_string ~degree:4 "(1,3)(2,4)" in
+  let g = Closure.generate [ a; b ] in
+  check Alcotest.int "Klein four-group" 4 (Closure.size g)
+
+let test_closure_levels () =
+  let g = Closure.generate [ Perm.transposition 3 0 1 ] in
+  let by_len = List.sort compare (List.map snd (Closure.elements_by_length g)) in
+  check (Alcotest.list Alcotest.int) "word lengths" [ 0; 1 ] by_len
+
+let test_closure_limit () =
+  checkb "limit raises" true
+    (match Closure.generate ~limit:5 [ Perm.of_array [| 1; 2; 3; 4; 5; 6; 7; 0 |] ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_closure_subgroup () =
+  let s3 = Closure.generate [ Perm.transposition 3 0 1; Perm.transposition 3 1 2 ] in
+  let a3 = Closure.generate [ Perm.of_array [| 1; 2; 0 |] ] in
+  checkb "A3 <= S3" true (Closure.is_subgroup_of a3 s3);
+  checkb "S3 </= A3" false (Closure.is_subgroup_of s3 a3)
+
+(* Schreier-Sims *)
+
+let test_schreier_s8 () =
+  let chain =
+    Schreier.of_generators ~degree:8
+      [ Perm.transposition 8 0 1; Perm.of_array [| 1; 2; 3; 4; 5; 6; 7; 0 |] ]
+  in
+  check Alcotest.int "S8 order" 40320 (Schreier.order chain);
+  checkb "is symmetric" true (Schreier.is_symmetric_group chain)
+
+let test_schreier_a5 () =
+  let chain =
+    Schreier.of_generators ~degree:5
+      [ Cycles.of_string ~degree:5 "(1,2,3)"; Cycles.of_string ~degree:5 "(3,4,5)" ]
+  in
+  check Alcotest.int "A5 order" 60 (Schreier.order chain);
+  checkb "odd perm not member" false (Schreier.mem chain (Perm.transposition 5 0 1));
+  checkb "even perm member" true
+    (Schreier.mem chain (Cycles.of_string ~degree:5 "(1,2)(3,4)"));
+  checkb "sift member to None" true
+    (Schreier.sift chain (Cycles.of_string ~degree:5 "(1,2,3)") = None)
+
+let test_schreier_trivial () =
+  let chain = Schreier.of_generators ~degree:5 [] in
+  check Alcotest.int "trivial order" 1 (Schreier.order chain);
+  checkb "only identity" true (Schreier.mem chain (Perm.identity 5));
+  checkb "transposition not member" false (Schreier.mem chain (Perm.transposition 5 0 1))
+
+let test_schreier_orbit_sizes () =
+  let chain =
+    Schreier.of_generators ~degree:4
+      [ Perm.transposition 4 0 1; Perm.of_array [| 1; 2; 3; 0 |] ]
+  in
+  let product = List.fold_left ( * ) 1 (Schreier.orbit_sizes chain) in
+  check Alcotest.int "orbit product = order" (Schreier.order chain) product;
+  check Alcotest.int "S4" 24 (Schreier.order chain)
+
+let schreier_props =
+  let open QCheck2.Gen in
+  let small_gens = list_size (int_range 1 3) (perm_gen 6) in
+  [
+    qcheck_test ~count:60 "order matches closure" small_gens (fun gens ->
+        let chain = Schreier.of_generators ~degree:6 gens in
+        let closure = Closure.generate gens in
+        Schreier.order chain = Closure.size closure);
+    qcheck_test ~count:60 "membership matches closure" (pair small_gens (perm_gen 6))
+      (fun (gens, candidate) ->
+        let chain = Schreier.of_generators ~degree:6 gens in
+        let closure = Closure.generate gens in
+        Schreier.mem chain candidate = Closure.mem closure candidate);
+    qcheck_test ~count:60 "generators are members" small_gens (fun gens ->
+        let chain = Schreier.of_generators ~degree:6 gens in
+        List.for_all (Schreier.mem chain) gens);
+    qcheck_test ~count:60 "products of generators are members" small_gens (fun gens ->
+        let chain = Schreier.of_generators ~degree:6 gens in
+        List.for_all
+          (fun g -> List.for_all (fun h -> Schreier.mem chain (Perm.mul g h)) gens)
+          gens);
+  ]
+
+(* Coset *)
+
+let test_coset () =
+  (* Cosets of the stabilizer of point 0 inside S3. *)
+  let s3 = Closure.generate [ Perm.transposition 3 0 1; Perm.transposition 3 1 2 ] in
+  let stab = Closure.generate [ Perm.transposition 3 1 2 ] in
+  let reps =
+    [ Perm.identity 3; Perm.of_array [| 1; 2; 0 |]; Perm.of_array [| 2; 0; 1 |] ]
+  in
+  let mem p = Closure.mem stab p in
+  checkb "disjoint" true (Coset.disjoint ~reps ~mem);
+  checkb "covers" true
+    (Coset.covers ~reps ~subgroup_size:(Closure.size stab)
+       ~group_size:(Closure.size s3));
+  Closure.iter
+    (fun g ->
+      match Coset.decompose ~reps ~mem g with
+      | Some (a, h) -> checkb "decomposition valid" true (Perm.equal g (Perm.mul a h))
+      | None -> Alcotest.fail "every element decomposes")
+    s3
+
+let test_coset_failure () =
+  let reps = [ Perm.identity 3; Perm.transposition 3 0 1 ] in
+  (* With the full group as "subgroup" the cosets must intersect. *)
+  checkb "not disjoint" false (Coset.disjoint ~reps ~mem:(fun _ -> true))
+
+let () =
+  Alcotest.run "permgroup"
+    [
+      ( "perm",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "product convention" `Quick test_product_convention;
+          Alcotest.test_case "order" `Quick test_order;
+          Alcotest.test_case "support and fixes" `Quick test_support_fixes;
+          Alcotest.test_case "image and preserves" `Quick test_image_preserves;
+          Alcotest.test_case "of_mapping" `Quick test_of_mapping;
+          Alcotest.test_case "pad" `Quick test_pad;
+          Alcotest.test_case "pp identity" `Quick test_pp_identity;
+        ] );
+      ("perm properties", perm_props);
+      ( "cycles",
+        [
+          Alcotest.test_case "paper strings" `Quick test_cycles_paper_strings;
+          Alcotest.test_case "identity" `Quick test_cycles_identity;
+          Alcotest.test_case "errors" `Quick test_cycles_errors;
+          Alcotest.test_case "to_cycles" `Quick test_to_cycles;
+        ] );
+      ("cycles properties", cycles_props);
+      ( "restricted",
+        [
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "restrict_prefix" `Quick test_restrict_prefix;
+          Alcotest.test_case "errors" `Quick test_restrict_errors;
+        ] );
+      ("restricted properties", restricted_props);
+      ( "closure",
+        [
+          Alcotest.test_case "S3" `Quick test_closure_s3;
+          Alcotest.test_case "Klein group" `Quick test_closure_klein;
+          Alcotest.test_case "word lengths" `Quick test_closure_levels;
+          Alcotest.test_case "limit" `Quick test_closure_limit;
+          Alcotest.test_case "subgroup" `Quick test_closure_subgroup;
+        ] );
+      ( "schreier",
+        [
+          Alcotest.test_case "S8" `Quick test_schreier_s8;
+          Alcotest.test_case "A5" `Quick test_schreier_a5;
+          Alcotest.test_case "trivial group" `Quick test_schreier_trivial;
+          Alcotest.test_case "orbit sizes" `Quick test_schreier_orbit_sizes;
+        ] );
+      ("schreier properties", schreier_props);
+      ( "coset",
+        [
+          Alcotest.test_case "S3 decomposition" `Quick test_coset;
+          Alcotest.test_case "non-disjoint detected" `Quick test_coset_failure;
+        ] );
+    ]

@@ -1,0 +1,294 @@
+(* Tests for the qmath substrate: exact Gaussian-dyadic arithmetic, float
+   complex numbers, matrices and gate builders. *)
+
+open Qmath
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+let dyadic = Alcotest.testable Dyadic.pp Dyadic.equal
+let dmatrix = Alcotest.testable Dmatrix.pp Dmatrix.equal
+
+(* A generator of arbitrary dyadic values with small components. *)
+let dyadic_gen =
+  QCheck2.Gen.(
+    map3 (fun re im exp -> Dyadic.make ~re ~im ~exp) (int_range (-64) 64)
+      (int_range (-64) 64) (int_range 0 6))
+
+let qcheck_test ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* Dyadic unit tests *)
+
+let test_constants () =
+  check dyadic "zero" (Dyadic.make ~re:0 ~im:0 ~exp:5) Dyadic.zero;
+  check dyadic "one" (Dyadic.of_int 1) Dyadic.one;
+  check dyadic "i squared" (Dyadic.mul Dyadic.i Dyadic.i) Dyadic.minus_one
+
+let test_normalization () =
+  (* 4/2^2 normalizes to 1 *)
+  check dyadic "4/4 = 1" (Dyadic.make ~re:4 ~im:0 ~exp:2) Dyadic.one;
+  check Alcotest.int "exp reduced" 0 (Dyadic.exp (Dyadic.make ~re:2 ~im:2 ~exp:1));
+  check Alcotest.int "odd keeps exp" 3 (Dyadic.exp (Dyadic.make ~re:1 ~im:2 ~exp:3))
+
+let test_v_entry_arithmetic () =
+  (* ((1+i)/2)^2 = i/2 and ((1+i)/2)((1-i)/2) = 1/2: the identities behind
+     V*V = NOT and V*V+ = I. *)
+  let a = Dyadic.half_one_plus_i and b = Dyadic.half_one_minus_i in
+  check dyadic "a*a" (Dyadic.make ~re:0 ~im:1 ~exp:1) (Dyadic.mul a a);
+  check dyadic "a*b" (Dyadic.make ~re:1 ~im:0 ~exp:1) (Dyadic.mul a b);
+  check dyadic "a+b" Dyadic.one (Dyadic.add a b);
+  check dyadic "conj a = b" b (Dyadic.conj a)
+
+let test_norm_sq () =
+  check (Alcotest.pair Alcotest.int Alcotest.int) "norm of (1+i)/2" (1, 1)
+    (Dyadic.norm_sq Dyadic.half_one_plus_i);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "norm of 1" (1, 0)
+    (Dyadic.norm_sq Dyadic.one);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "norm of 0" (0, 0)
+    (Dyadic.norm_sq Dyadic.zero)
+
+let test_div2_mul_int () =
+  check dyadic "div2 of 1" (Dyadic.make ~re:1 ~im:0 ~exp:1) (Dyadic.div2 Dyadic.one);
+  check dyadic "mul_int" (Dyadic.of_int 6) (Dyadic.mul_int (Dyadic.of_int 3) 2);
+  check dyadic "mul_int renormalizes" Dyadic.one
+    (Dyadic.mul_int (Dyadic.make ~re:1 ~im:0 ~exp:1) 2)
+
+let test_errors () =
+  Alcotest.check_raises "negative exponent" (Invalid_argument "Dyadic.make: negative exponent")
+    (fun () -> ignore (Dyadic.make ~re:1 ~im:0 ~exp:(-1)));
+  checkb "overflow guard" true
+    (match Dyadic.mul_int (Dyadic.of_int (1 lsl 59)) 4 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_pp () =
+  check Alcotest.string "pp one" "1" (Dyadic.to_string Dyadic.one);
+  check Alcotest.string "pp zero" "0" (Dyadic.to_string Dyadic.zero);
+  check Alcotest.string "pp half(1+i)" "(1+1i)/2^1" (Dyadic.to_string Dyadic.half_one_plus_i)
+
+(* Dyadic properties *)
+
+let prop_tests =
+  let open QCheck2.Gen in
+  [
+    qcheck_test "add commutative" (pair dyadic_gen dyadic_gen) (fun (a, b) ->
+        Dyadic.equal (Dyadic.add a b) (Dyadic.add b a));
+    qcheck_test "add associative" (triple dyadic_gen dyadic_gen dyadic_gen)
+      (fun (a, b, c) ->
+        Dyadic.equal (Dyadic.add (Dyadic.add a b) c) (Dyadic.add a (Dyadic.add b c)));
+    qcheck_test "mul commutative" (pair dyadic_gen dyadic_gen) (fun (a, b) ->
+        Dyadic.equal (Dyadic.mul a b) (Dyadic.mul b a));
+    qcheck_test "mul associative" (triple dyadic_gen dyadic_gen dyadic_gen)
+      (fun (a, b, c) ->
+        Dyadic.equal (Dyadic.mul (Dyadic.mul a b) c) (Dyadic.mul a (Dyadic.mul b c)));
+    qcheck_test "distributivity" (triple dyadic_gen dyadic_gen dyadic_gen)
+      (fun (a, b, c) ->
+        Dyadic.equal (Dyadic.mul a (Dyadic.add b c))
+          (Dyadic.add (Dyadic.mul a b) (Dyadic.mul a c)));
+    qcheck_test "sub self is zero" dyadic_gen (fun a ->
+        Dyadic.is_zero (Dyadic.sub a a));
+    qcheck_test "neg involutive" dyadic_gen (fun a ->
+        Dyadic.equal a (Dyadic.neg (Dyadic.neg a)));
+    qcheck_test "conj involutive" dyadic_gen (fun a ->
+        Dyadic.equal a (Dyadic.conj (Dyadic.conj a)));
+    qcheck_test "conj multiplicative" (pair dyadic_gen dyadic_gen) (fun (a, b) ->
+        Dyadic.equal (Dyadic.conj (Dyadic.mul a b))
+          (Dyadic.mul (Dyadic.conj a) (Dyadic.conj b)));
+    qcheck_test "norm_sq = a * conj a" dyadic_gen (fun a ->
+        let n, e = Dyadic.norm_sq a in
+        Dyadic.equal (Dyadic.make ~re:n ~im:0 ~exp:e) (Dyadic.mul a (Dyadic.conj a)));
+    qcheck_test "compare total order reflexive" dyadic_gen (fun a ->
+        Dyadic.compare a a = 0);
+    qcheck_test "float conversion matches" (pair dyadic_gen dyadic_gen) (fun (a, b) ->
+        let open Cfloat in
+        approx_equal
+          (of_dyadic (Dyadic.mul a b))
+          (mul (of_dyadic a) (of_dyadic b)));
+    qcheck_test "float addition matches" (pair dyadic_gen dyadic_gen) (fun (a, b) ->
+        Cfloat.approx_equal
+          (Cfloat.of_dyadic (Dyadic.add a b))
+          (Cfloat.add (Cfloat.of_dyadic a) (Cfloat.of_dyadic b)));
+  ]
+
+(* Cfloat *)
+
+let test_cfloat_basics () =
+  let open Cfloat in
+  checkb "i*i = -1" true (approx_equal (mul i i) (of_float (-1.0)));
+  checkb "conj" true (approx_equal (conj (make 1.0 2.0)) (make 1.0 (-2.0)));
+  check (Alcotest.float 1e-12) "norm_sq" 5.0 (norm_sq (make 1.0 2.0));
+  checkb "scale" true (approx_equal (scale 2.0 (make 1.0 1.0)) (make 2.0 2.0));
+  checkb "sub" true (approx_equal (sub (make 3.0 1.0) (make 1.0 1.0)) (make 2.0 0.0));
+  checkb "neg" true (approx_equal (neg one) (of_float (-1.0)))
+
+(* Dmatrix *)
+
+let test_matrix_identities () =
+  checkb "V unitary" true (Dmatrix.is_unitary Gate_matrix.v);
+  checkb "V+ unitary" true (Dmatrix.is_unitary Gate_matrix.v_dag);
+  check dmatrix "V*V = NOT" Gate_matrix.not_gate (Dmatrix.mul Gate_matrix.v Gate_matrix.v);
+  check dmatrix "V+*V+ = NOT" Gate_matrix.not_gate
+    (Dmatrix.mul Gate_matrix.v_dag Gate_matrix.v_dag);
+  checkb "V*V+ = I" true (Dmatrix.is_identity (Dmatrix.mul Gate_matrix.v Gate_matrix.v_dag));
+  check dmatrix "V+ is adjoint of V" Gate_matrix.v_dag (Dmatrix.adjoint Gate_matrix.v)
+
+let test_matrix_algebra () =
+  let a = Dmatrix.of_rows [ [ Dyadic.one; Dyadic.i ]; [ Dyadic.zero; Dyadic.one ] ] in
+  check dmatrix "add sub" a (Dmatrix.sub (Dmatrix.add a a) a);
+  check dmatrix "identity neutral" a (Dmatrix.mul a (Dmatrix.identity 2));
+  check dmatrix "scale by one" a (Dmatrix.scale Dyadic.one a);
+  checkb "zero matrix" true
+    (Dmatrix.equal (Dmatrix.zero 2 2) (Dmatrix.sub a a));
+  check Alcotest.int "kron dims" 4 (Dmatrix.rows (Dmatrix.kron a a))
+
+let test_kron_mixed_product () =
+  (* (A kron B)(C kron D) = AC kron BD *)
+  let a = Gate_matrix.v and b = Gate_matrix.not_gate in
+  let c = Gate_matrix.v_dag and d = Gate_matrix.v in
+  check dmatrix "mixed product"
+    (Dmatrix.kron (Dmatrix.mul a c) (Dmatrix.mul b d))
+    (Dmatrix.mul (Dmatrix.kron a b) (Dmatrix.kron c d))
+
+let test_permutation_matrix () =
+  let p = [| 2; 0; 1 |] in
+  let m = Dmatrix.permutation_matrix p in
+  checkb "unitary" true (Dmatrix.is_unitary m);
+  (match Dmatrix.is_permutation m with
+  | Some q -> check (Alcotest.array Alcotest.int) "roundtrip" p q
+  | None -> Alcotest.fail "expected a permutation");
+  checkb "V is not a permutation" true (Dmatrix.is_permutation Gate_matrix.v = None);
+  Alcotest.check_raises "invalid permutation"
+    (Invalid_argument "Dmatrix.permutation_matrix: not a permutation") (fun () ->
+      ignore (Dmatrix.permutation_matrix [| 0; 0 |]))
+
+let test_apply () =
+  let v0 = Dmatrix.apply Gate_matrix.v [| Dyadic.one; Dyadic.zero |] in
+  check dyadic "V|0> first" Dyadic.half_one_plus_i v0.(0);
+  check dyadic "V|0> second" Dyadic.half_one_minus_i v0.(1)
+
+let test_rank () =
+  check Alcotest.int "identity" 4 (Dmatrix.rank (Dmatrix.identity 4));
+  check Alcotest.int "V full rank" 2 (Dmatrix.rank Gate_matrix.v);
+  check Alcotest.int "zero" 0 (Dmatrix.rank (Dmatrix.zero 3 3));
+  (* rank-1 outer product: all rows proportional *)
+  let v = [| Dyadic.one; Dyadic.half_one_plus_i; Dyadic.i |] in
+  let outer = Dmatrix.make 3 3 (fun r c -> Dyadic.mul v.(r) v.(c)) in
+  check Alcotest.int "outer product" 1 (Dmatrix.rank outer);
+  (* rectangular *)
+  let rect =
+    Dmatrix.of_rows
+      [ [ Dyadic.one; Dyadic.zero; Dyadic.one ]; [ Dyadic.one; Dyadic.zero; Dyadic.one ] ]
+  in
+  check Alcotest.int "rectangular" 1 (Dmatrix.rank rect)
+
+let rank_props =
+  [
+    qcheck_test ~count:60 "unitary gates have full rank" QCheck2.Gen.int (fun seed ->
+        let state = Random.State.make [| seed |] in
+        let pick () =
+          match Random.State.int state 3 with
+          | 0 -> Gate_matrix.v
+          | 1 -> Gate_matrix.v_dag
+          | _ -> Gate_matrix.not_gate
+        in
+        let m = Dmatrix.mul (pick ()) (Dmatrix.mul (pick ()) (pick ())) in
+        Dmatrix.rank m = 2);
+    qcheck_test ~count:60 "kron multiplies ranks for rank-1 factors" dyadic_gen
+      (fun a ->
+        let row = Dmatrix.of_rows [ [ a; Dyadic.one ] ] in
+        Dmatrix.rank (Dmatrix.kron row row) = 1);
+  ]
+
+let test_of_rows_errors () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Dmatrix.of_rows: ragged or empty rows")
+    (fun () -> ignore (Dmatrix.of_rows [ [ Dyadic.one ]; [] ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Dmatrix.of_rows: empty matrix")
+    (fun () -> ignore (Dmatrix.of_rows []))
+
+(* Gate_matrix *)
+
+let test_controlled_v_2q () =
+  (* Matches the paper's V0/V1 columns: C-V|10> = |1> (x) V|0>. *)
+  let cv = Gate_matrix.controlled_v ~qubits:2 ~control:0 ~target:1 in
+  checkb "unitary" true (Dmatrix.is_unitary cv);
+  let state = Array.init 4 (fun i -> if i = 2 then Dyadic.one else Dyadic.zero) in
+  let out = Dmatrix.apply cv state in
+  check dyadic "amp |10>" Dyadic.half_one_plus_i out.(2);
+  check dyadic "amp |11>" Dyadic.half_one_minus_i out.(3);
+  check dyadic "amp |00>" Dyadic.zero out.(0)
+
+let test_controlled_no_fire () =
+  let cv = Gate_matrix.controlled_v ~qubits:2 ~control:0 ~target:1 in
+  let state = Array.init 4 (fun i -> if i = 1 then Dyadic.one else Dyadic.zero) in
+  let out = Dmatrix.apply cv state in
+  check dyadic "control 0 passes through" Dyadic.one out.(1)
+
+let test_feynman_matrix () =
+  let f = Gate_matrix.feynman ~qubits:2 ~control:0 ~target:1 in
+  match Dmatrix.is_permutation f with
+  | Some p -> check (Alcotest.array Alcotest.int) "cnot codes" [| 0; 1; 3; 2 |] p
+  | None -> Alcotest.fail "feynman must be a permutation"
+
+let test_not_on () =
+  let m = Gate_matrix.not_on ~qubits:3 ~wire:0 in
+  match Dmatrix.is_permutation m with
+  | Some p ->
+      check (Alcotest.array Alcotest.int) "xor msb" [| 4; 5; 6; 7; 0; 1; 2; 3 |] p
+  | None -> Alcotest.fail "not_on must be a permutation"
+
+let test_gate_matrix_errors () =
+  Alcotest.check_raises "control = target"
+    (Invalid_argument "Gate_matrix.controlled: control = target") (fun () ->
+      ignore (Gate_matrix.controlled ~qubits:2 ~control:1 ~target:1 Gate_matrix.v));
+  Alcotest.check_raises "wire range"
+    (Invalid_argument "Gate_matrix.single: wire out of range") (fun () ->
+      ignore (Gate_matrix.single ~qubits:2 ~wire:5 Gate_matrix.v))
+
+let test_all_library_gates_unitary () =
+  List.iter
+    (fun build ->
+      List.iter
+        (fun (control, target) ->
+          checkb "unitary" true
+            (Dmatrix.is_unitary (build ~qubits:3 ~control ~target)))
+        [ (0, 1); (1, 0); (0, 2); (2, 0); (1, 2); (2, 1) ])
+    [ Gate_matrix.controlled_v; Gate_matrix.controlled_v_dag; Gate_matrix.feynman ]
+
+let () =
+  Alcotest.run "qmath"
+    [
+      ( "dyadic",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "V entries" `Quick test_v_entry_arithmetic;
+          Alcotest.test_case "norm_sq" `Quick test_norm_sq;
+          Alcotest.test_case "div2 and mul_int" `Quick test_div2_mul_int;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "printing" `Quick test_pp;
+        ] );
+      ("dyadic properties", prop_tests);
+      ("cfloat", [ Alcotest.test_case "basics" `Quick test_cfloat_basics ]);
+      ( "dmatrix",
+        [
+          Alcotest.test_case "V identities" `Quick test_matrix_identities;
+          Alcotest.test_case "algebra" `Quick test_matrix_algebra;
+          Alcotest.test_case "kron mixed product" `Quick test_kron_mixed_product;
+          Alcotest.test_case "permutation matrices" `Quick test_permutation_matrix;
+          Alcotest.test_case "apply" `Quick test_apply;
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "of_rows errors" `Quick test_of_rows_errors;
+        ] );
+      ("rank properties", rank_props);
+      ( "gate_matrix",
+        [
+          Alcotest.test_case "controlled-V on 2 qubits" `Quick test_controlled_v_2q;
+          Alcotest.test_case "control off" `Quick test_controlled_no_fire;
+          Alcotest.test_case "feynman" `Quick test_feynman_matrix;
+          Alcotest.test_case "not_on" `Quick test_not_on;
+          Alcotest.test_case "errors" `Quick test_gate_matrix_errors;
+          Alcotest.test_case "all gates unitary" `Quick test_all_library_gates_unitary;
+        ] );
+    ]

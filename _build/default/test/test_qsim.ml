@@ -1,0 +1,232 @@
+(* Tests for the exact state-vector simulator: probabilities, states,
+   and cascade simulation. *)
+
+open Qsim
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let prob = Alcotest.testable Prob.pp Prob.equal
+
+let qcheck_test ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let prob_gen = QCheck2.Gen.(map2 (fun n e -> Prob.make n e) (int_range 0 64) (int_range 0 6))
+let quat_gen = QCheck2.Gen.(map Mvl.Quat.of_int (int_range 0 3))
+
+let pattern_gen qubits =
+  QCheck2.Gen.(map Mvl.Pattern.of_list (list_repeat qubits quat_gen))
+
+(* Prob *)
+
+let test_prob_basics () =
+  check prob "half + half" Prob.one (Prob.add Prob.half Prob.half);
+  check prob "normalization" Prob.half (Prob.make 2 2);
+  check prob "mul" (Prob.make 1 2) (Prob.mul Prob.half Prob.half);
+  check prob "sub" Prob.half (Prob.sub Prob.one Prob.half);
+  check (Alcotest.float 1e-12) "to_float" 0.25 (Prob.to_float (Prob.make 1 2));
+  Alcotest.check_raises "negative sub" (Invalid_argument "Prob.sub: negative result")
+    (fun () -> ignore (Prob.sub Prob.half Prob.one));
+  Alcotest.check_raises "negative make" (Invalid_argument "Prob.make: negative component")
+    (fun () -> ignore (Prob.make (-1) 0))
+
+let test_prob_compare () =
+  checkb "half < one" true (Prob.compare Prob.half Prob.one < 0);
+  checkb "equal" true (Prob.compare (Prob.make 2 2) Prob.half = 0);
+  check prob "sum" Prob.one (Prob.sum [ Prob.make 1 2; Prob.make 1 2; Prob.half ])
+
+let prob_props =
+  let open QCheck2.Gen in
+  [
+    qcheck_test "add commutative" (pair prob_gen prob_gen) (fun (a, b) ->
+        Prob.equal (Prob.add a b) (Prob.add b a));
+    qcheck_test "mul distributes" (triple prob_gen prob_gen prob_gen) (fun (a, b, c) ->
+        Prob.equal (Prob.mul a (Prob.add b c)) (Prob.add (Prob.mul a b) (Prob.mul a c)));
+    qcheck_test "float consistent" (pair prob_gen prob_gen) (fun (a, b) ->
+        Float.abs (Prob.to_float (Prob.add a b) -. (Prob.to_float a +. Prob.to_float b))
+        < 1e-9);
+  ]
+
+(* State *)
+
+let test_basis () =
+  let s = State.basis ~qubits:2 2 in
+  check Alcotest.int "dimension" 4 (State.dimension s);
+  checkb "normalized" true (State.is_normalized s);
+  check prob "P(|10>) = 1" Prob.one (State.basis_probability s 2);
+  check prob "P(|00>) = 0" Prob.zero (State.basis_probability s 0);
+  Alcotest.check_raises "range" (Invalid_argument "State.basis: code out of range")
+    (fun () -> ignore (State.basis ~qubits:2 4))
+
+let test_of_pattern_binary () =
+  let p = Mvl.Pattern.of_binary_code ~qubits:3 5 in
+  checkb "binary pattern is basis state" true
+    (State.equal (State.of_pattern p) (State.basis ~qubits:3 5))
+
+let test_of_pattern_mixed () =
+  let p = Mvl.Pattern.of_list [ Mvl.Quat.One; Mvl.Quat.V0 ] in
+  let s = State.of_pattern p in
+  checkb "normalized" true (State.is_normalized s);
+  check prob "wire B yields 1 with 1/2" Prob.half (State.one_probability s ~wire:1);
+  check prob "wire A yields 1 surely" Prob.one (State.one_probability s ~wire:0)
+
+let test_apply_v () =
+  (* V on |0> produces the V0 wire state. *)
+  let s = State.apply Qmath.Gate_matrix.v (State.basis ~qubits:1 0) in
+  checkb "V|0> = V0 state" true
+    (State.equal s (State.of_pattern (Mvl.Pattern.of_list [ Mvl.Quat.V0 ])))
+
+let test_to_pattern_entangled () =
+  (* V0 (x) |0> then CNOT(B <- A) is entangled: no quaternary pattern. *)
+  let s = State.of_pattern (Mvl.Pattern.of_list [ Mvl.Quat.V0; Mvl.Quat.Zero ]) in
+  let cnot = Qmath.Gate_matrix.feynman ~qubits:2 ~control:0 ~target:1 in
+  let s' = State.apply cnot s in
+  checkb "still normalized" true (State.is_normalized s');
+  checkb "no product pattern" true (State.to_pattern s' = None)
+
+let test_distribution () =
+  let s = State.of_pattern (Mvl.Pattern.of_list [ Mvl.Quat.V0; Mvl.Quat.V1 ]) in
+  let dist = State.distribution s in
+  Array.iter (fun p -> check prob "uniform" (Prob.make 1 2) p) dist;
+  check prob "total" Prob.one (Prob.sum (Array.to_list dist))
+
+let state_props =
+  [
+    qcheck_test "pattern states normalized" (pattern_gen 3) (fun p ->
+        State.is_normalized (State.of_pattern p));
+    qcheck_test "to_pattern inverts of_pattern" (pattern_gen 2) (fun p ->
+        match State.to_pattern (State.of_pattern p) with
+        | Some q -> Mvl.Pattern.equal p q
+        | None -> false);
+    qcheck_test "unitary preserves norm" (pattern_gen 2) (fun p ->
+        let s = State.of_pattern p in
+        let u = Qmath.Gate_matrix.controlled_v ~qubits:2 ~control:0 ~target:1 in
+        State.is_normalized (State.apply u s));
+    qcheck_test "one_probability from distribution" (pattern_gen 2) (fun p ->
+        let s = State.of_pattern p in
+        let dist = State.distribution s in
+        let by_sum =
+          Prob.sum
+            (List.filter_map
+               (fun code -> if code land 1 = 1 then Some dist.(code) else None)
+               [ 0; 1; 2; 3 ])
+        in
+        Prob.equal by_sum (State.one_probability s ~wire:1));
+  ]
+
+(* Circuit_sim *)
+
+let test_cascade_order () =
+  (* V;V on the data wire equals NOT: check the composition order. *)
+  let v = Qmath.Gate_matrix.v in
+  let u = Circuit_sim.unitary_of_cascade ~qubits:1 [ v; v ] in
+  checkb "V*V = NOT" true (Qmath.Dmatrix.equal u Qmath.Gate_matrix.not_gate)
+
+let test_classical_function () =
+  let cnot = Qmath.Gate_matrix.feynman ~qubits:2 ~control:0 ~target:1 in
+  (match Circuit_sim.classical_function ~qubits:2 [ cnot ] with
+  | Some outputs -> check (Alcotest.array Alcotest.int) "cnot" [| 0; 1; 3; 2 |] outputs
+  | None -> Alcotest.fail "cnot is classical");
+  (* A lone controlled-V is not classical. *)
+  let cv = Qmath.Gate_matrix.controlled_v ~qubits:2 ~control:0 ~target:1 in
+  checkb "controlled-V not classical" true
+    (Circuit_sim.classical_function ~qubits:2 [ cv ] = None)
+
+let test_output_pattern () =
+  let cv = Qmath.Gate_matrix.controlled_v ~qubits:2 ~control:0 ~target:1 in
+  let input = Mvl.Pattern.of_binary_code ~qubits:2 2 in
+  (match Circuit_sim.output_pattern ~qubits:2 [ cv ] input with
+  | Some out ->
+      checkb "1,0 -> 1,V0" true
+        (Mvl.Pattern.equal out (Mvl.Pattern.of_list [ Mvl.Quat.One; Mvl.Quat.V0 ]))
+  | None -> Alcotest.fail "product state expected");
+  (* entangling cascade has no pattern *)
+  let cnot = Qmath.Gate_matrix.feynman ~qubits:2 ~control:1 ~target:0 in
+  let mixed = Mvl.Pattern.of_list [ Mvl.Quat.One; Mvl.Quat.V0 ] in
+  checkb "entangled output" true (Circuit_sim.output_pattern ~qubits:2 [ cnot ] mixed = None)
+
+(* Entanglement detection *)
+
+let test_product_detection () =
+  let product = State.of_pattern (Mvl.Pattern.of_list [ Mvl.Quat.V0; Mvl.Quat.One ]) in
+  checkb "product state" true (State.is_product product);
+  checkb "not entangled" false (State.is_entangled product);
+  checkb "across the cut" true (State.product_across product ~cut:1)
+
+let test_entangled_detection () =
+  (* V0 on A, then CNOT(B <- A): a Bell-like state with dyadic amplitudes. *)
+  let s = State.of_pattern (Mvl.Pattern.of_list [ Mvl.Quat.V0; Mvl.Quat.Zero ]) in
+  let cnot = Qmath.Gate_matrix.feynman ~qubits:2 ~control:0 ~target:1 in
+  let bell = State.apply cnot s in
+  checkb "entangled" true (State.is_entangled bell);
+  checkb "not product across cut" false (State.product_across bell ~cut:1);
+  Alcotest.check_raises "bad cut" (Invalid_argument "State.product_across: bad cut")
+    (fun () -> ignore (State.product_across bell ~cut:0))
+
+let test_schmidt_rank () =
+  let product = State.of_pattern (Mvl.Pattern.of_list [ Mvl.Quat.V0; Mvl.Quat.One ]) in
+  check Alcotest.int "product rank 1" 1 (State.schmidt_rank product ~cut:1);
+  let s = State.of_pattern (Mvl.Pattern.of_list [ Mvl.Quat.V0; Mvl.Quat.Zero ]) in
+  let cnot = Qmath.Gate_matrix.feynman ~qubits:2 ~control:0 ~target:1 in
+  let bell = State.apply cnot s in
+  check Alcotest.int "bell rank 2" 2 (State.schmidt_rank bell ~cut:1)
+
+let test_partial_entanglement () =
+  (* Entangle A and B, keep C separable: entangled overall, but the AB|C
+     cut still factorizes. *)
+  let s =
+    State.of_pattern (Mvl.Pattern.of_list [ Mvl.Quat.V0; Mvl.Quat.Zero; Mvl.Quat.V1 ])
+  in
+  let cnot = Qmath.Gate_matrix.feynman ~qubits:3 ~control:0 ~target:1 in
+  let partial = State.apply cnot s in
+  checkb "entangled overall" true (State.is_entangled partial);
+  checkb "A|BC cut entangled" false (State.product_across partial ~cut:1);
+  checkb "AB|C cut separable" true (State.product_across partial ~cut:2)
+
+let entanglement_props =
+  [
+    qcheck_test "pattern states are products" (pattern_gen 3) (fun p ->
+        State.is_product (State.of_pattern p));
+    qcheck_test "to_pattern implies product" (pattern_gen 2) (fun p ->
+        let s = State.of_pattern p in
+        match State.to_pattern s with Some _ -> State.is_product s | None -> true);
+  ]
+
+let test_empty_cascade () =
+  checkb "identity" true
+    (Qmath.Dmatrix.is_identity (Circuit_sim.unitary_of_cascade ~qubits:2 []))
+
+let () =
+  Alcotest.run "qsim"
+    [
+      ( "prob",
+        [
+          Alcotest.test_case "basics" `Quick test_prob_basics;
+          Alcotest.test_case "compare and sum" `Quick test_prob_compare;
+        ] );
+      ("prob properties", prob_props);
+      ( "state",
+        [
+          Alcotest.test_case "basis" `Quick test_basis;
+          Alcotest.test_case "of_pattern binary" `Quick test_of_pattern_binary;
+          Alcotest.test_case "of_pattern mixed" `Quick test_of_pattern_mixed;
+          Alcotest.test_case "apply V" `Quick test_apply_v;
+          Alcotest.test_case "entangled has no pattern" `Quick test_to_pattern_entangled;
+          Alcotest.test_case "distribution" `Quick test_distribution;
+        ] );
+      ("state properties", state_props);
+      ( "entanglement",
+        [
+          Alcotest.test_case "product detection" `Quick test_product_detection;
+          Alcotest.test_case "entangled detection" `Quick test_entangled_detection;
+          Alcotest.test_case "partial entanglement" `Quick test_partial_entanglement;
+          Alcotest.test_case "schmidt rank" `Quick test_schmidt_rank;
+        ] );
+      ("entanglement properties", entanglement_props);
+      ( "circuit_sim",
+        [
+          Alcotest.test_case "cascade order" `Quick test_cascade_order;
+          Alcotest.test_case "classical function" `Quick test_classical_function;
+          Alcotest.test_case "output pattern" `Quick test_output_pattern;
+          Alcotest.test_case "empty cascade" `Quick test_empty_cascade;
+        ] );
+    ]

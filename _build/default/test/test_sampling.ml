@@ -1,0 +1,152 @@
+(* Tests for the Monte-Carlo sampler and Markov-chain analysis. *)
+
+open Automata
+open Qsim
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let prob = Alcotest.testable Prob.pp Prob.equal
+
+let library3 = Synthesis.Library.make (Mvl.Encoding.make ~qubits:3)
+let fixed_rng () = Random.State.make [| 123456 |]
+
+(* Sampler *)
+
+let test_measure_binary_pattern () =
+  let rng = fixed_rng () in
+  let p = Mvl.Pattern.of_binary_code ~qubits:3 6 in
+  for _ = 1 to 50 do
+    check Alcotest.int "binary measures to itself" 6 (Sampler.measure_pattern rng p)
+  done
+
+let test_measure_mixed_support () =
+  let rng = fixed_rng () in
+  let p = Mvl.Pattern.of_list [ Mvl.Quat.One; Mvl.Quat.V0; Mvl.Quat.Zero ] in
+  for _ = 1 to 100 do
+    let code = Sampler.measure_pattern rng p in
+    checkb "support" true (code = 4 || code = 6)
+  done
+
+let test_empirical_coin () =
+  let rng = fixed_rng () in
+  let coin = Prob_circuit.controlled_coin library3 in
+  let exact = Prob_circuit.output_distribution coin ~input:4 in
+  let empirical =
+    Sampler.empirical rng ~samples:20_000 ~outcomes:8 (fun state ->
+        Sampler.run_circuit state coin ~input:4)
+  in
+  checkb "close to exact" true (Sampler.total_variation empirical exact < 0.02)
+
+let test_trajectory_shape () =
+  let rng = fixed_rng () in
+  let machine =
+    Qfsm.make
+      ~circuit:
+        (Prob_circuit.of_cascade library3
+           (Synthesis.Cascade.of_string ~qubits:3 "VCA*VAB"))
+      ~state_wires:[ 0 ] ~input_wires:[ 1 ] ~obs_wires:[ 2 ]
+  in
+  let steps = Sampler.trajectory rng machine ~inputs:[ 0; 1; 0 ] ~init:1 in
+  check Alcotest.int "one entry per clock" 3 (List.length steps);
+  (* With input 0 the state is deterministic: starting at 1 it stays 1. *)
+  match steps with
+  | (s1, _) :: _ -> check Alcotest.int "first step keeps state" 1 s1
+  | [] -> Alcotest.fail "non-empty"
+
+let test_trajectory_deterministic_machine () =
+  let rng = fixed_rng () in
+  (* A purely classical machine: state flips each clock (F with constant
+     1?) — use the CNOT from an input wire held at 1. *)
+  let machine =
+    Qfsm.make
+      ~circuit:
+        (Prob_circuit.of_cascade library3 (Synthesis.Cascade.of_string ~qubits:3 "FAB"))
+      ~state_wires:[ 0 ] ~input_wires:[ 1 ] ~obs_wires:[ 0 ]
+  in
+  let steps = Sampler.trajectory rng machine ~inputs:[ 1; 1; 1; 1 ] ~init:0 in
+  check (Alcotest.list Alcotest.int) "alternating state" [ 1; 0; 1; 0 ]
+    (List.map fst steps);
+  check (Alcotest.list Alcotest.int) "observation tracks the state wire" [ 1; 0; 1; 0 ]
+    (List.map snd steps)
+
+let test_empirical_validation () =
+  Alcotest.check_raises "samples > 0"
+    (Invalid_argument "Sampler.empirical: samples must be positive") (fun () ->
+      ignore (Sampler.empirical (fixed_rng ()) ~samples:0 ~outcomes:2 (fun _ -> 0)));
+  Alcotest.check_raises "tv arity"
+    (Invalid_argument "Sampler.total_variation: length mismatch") (fun () ->
+      ignore (Sampler.total_variation [| 1.0 |] [| Prob.one; Prob.zero |]))
+
+(* Markov *)
+
+let test_entropy () =
+  check (Alcotest.float 1e-9) "uniform pair" 1.0 (Markov.entropy [| Prob.half; Prob.half |]);
+  check (Alcotest.float 1e-9) "deterministic" 0.0 (Markov.entropy [| Prob.one; Prob.zero |]);
+  check (Alcotest.float 1e-9) "uniform four" 2.0
+    (Markov.entropy [| Prob.make 1 2; Prob.make 1 2; Prob.make 1 2; Prob.make 1 2 |]);
+  check (Alcotest.float 1e-9) "float version" 1.0 (Markov.entropy_float [| 0.5; 0.5; 0.0 |])
+
+let test_stochastic_and_step () =
+  let matrix = [| [| Prob.half; Prob.half |]; [| Prob.one; Prob.zero |] |] in
+  checkb "stochastic" true (Markov.is_stochastic matrix);
+  let bad = [| [| Prob.half; Prob.half |]; [| Prob.half; Prob.zero |] |] in
+  checkb "non-stochastic" false (Markov.is_stochastic bad);
+  let dist = Markov.step matrix [| Prob.one; Prob.zero |] in
+  check prob "step" Prob.half dist.(0);
+  let dist2 = Markov.power matrix 2 [| Prob.one; Prob.zero |] in
+  (* from state 0: 1/2 (stay then split) ... compute: after 1: (1/2,1/2);
+     after 2: (1/2*1/2 + 1/2*1, 1/2*1/2) = (3/4, 1/4) *)
+  check prob "power" (Prob.make 3 2) dist2.(0);
+  check prob "power" (Prob.make 1 2) dist2.(1)
+
+let test_entropy_rate () =
+  (* Fair-coin chain: every row uniform -> rate 1 bit/step. *)
+  let matrix = [| [| Prob.half; Prob.half |]; [| Prob.half; Prob.half |] |] in
+  check (Alcotest.float 1e-9) "coin chain" 1.0
+    (Markov.entropy_rate ~stationary:[| 0.5; 0.5 |] matrix);
+  (* Deterministic cycle: rate 0. *)
+  let cycle = [| [| Prob.zero; Prob.one |]; [| Prob.one; Prob.zero |] |] in
+  check (Alcotest.float 1e-9) "cycle" 0.0
+    (Markov.entropy_rate ~stationary:[| 0.5; 0.5 |] cycle)
+
+let test_machine_round_trip () =
+  (* Exact chain from a machine matches sampled behaviour in law. *)
+  let machine =
+    Qfsm.make
+      ~circuit:
+        (Prob_circuit.of_cascade library3
+           (Synthesis.Cascade.of_string ~qubits:3 "VCA*VAB"))
+      ~state_wires:[ 0 ] ~input_wires:[ 1 ] ~obs_wires:[ 2 ]
+  in
+  let matrix = Qfsm.transition_matrix machine ~input:1 in
+  checkb "stochastic" true (Markov.is_stochastic matrix);
+  let exact = Markov.power matrix 4 [| Prob.one; Prob.zero |] in
+  let empirical =
+    Sampler.empirical (fixed_rng ()) ~samples:20_000 ~outcomes:2 (fun state ->
+        match List.rev (Sampler.trajectory state machine ~inputs:[ 1; 1; 1; 1 ] ~init:0) with
+        | (final, _) :: _ -> final
+        | [] -> 0)
+  in
+  checkb "law agreement" true (Sampler.total_variation empirical exact < 0.02)
+
+let () =
+  Alcotest.run "sampling"
+    [
+      ( "sampler",
+        [
+          Alcotest.test_case "binary pattern" `Quick test_measure_binary_pattern;
+          Alcotest.test_case "mixed support" `Quick test_measure_mixed_support;
+          Alcotest.test_case "empirical coin" `Quick test_empirical_coin;
+          Alcotest.test_case "trajectory shape" `Quick test_trajectory_shape;
+          Alcotest.test_case "deterministic machine" `Quick
+            test_trajectory_deterministic_machine;
+          Alcotest.test_case "validation" `Quick test_empirical_validation;
+        ] );
+      ( "markov",
+        [
+          Alcotest.test_case "entropy" `Quick test_entropy;
+          Alcotest.test_case "stochastic and step" `Quick test_stochastic_and_step;
+          Alcotest.test_case "entropy rate" `Quick test_entropy_rate;
+          Alcotest.test_case "machine round trip" `Quick test_machine_round_trip;
+        ] );
+    ]

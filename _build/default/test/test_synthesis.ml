@@ -1,0 +1,633 @@
+(* Tests for the core synthesis library: gates, the compiled library,
+   cascades, the BFS engine, FMCF, MCE, universality and verification. *)
+
+open Synthesis
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let perm = Alcotest.testable Permgroup.Perm.pp Permgroup.Perm.equal
+let revfun = Alcotest.testable Reversible.Revfun.pp Reversible.Revfun.equal
+
+let qcheck_test ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let encoding3 = Mvl.Encoding.make ~qubits:3
+let library3 = Library.make encoding3
+
+(* One shared depth-7 census: several suites read from it. *)
+let census7 = lazy (Fmcf.run ~max_depth:7 library3)
+
+let gate_gen =
+  QCheck2.Gen.(
+    map
+      (fun i -> List.nth (Gate.all ~qubits:3) (abs i mod 18))
+      int)
+
+let cascade_gen = QCheck2.Gen.(list_size (int_range 0 6) gate_gen)
+
+(* Gate *)
+
+let test_gate_all () =
+  check Alcotest.int "18 gates for 3 qubits" 18 (List.length (Gate.all ~qubits:3));
+  check Alcotest.int "6 gates for 2 qubits" 6 (List.length (Gate.all ~qubits:2));
+  check Alcotest.int "36 gates for 4 qubits" 36 (List.length (Gate.all ~qubits:4))
+
+let test_gate_names () =
+  let vba = Gate.make Gate.Controlled_v ~target:1 ~control:0 in
+  check Alcotest.string "VBA" "VBA" (Gate.name vba);
+  check Alcotest.string "V+AB" "V+AB"
+    (Gate.name (Gate.make Gate.Controlled_v_dag ~target:0 ~control:1));
+  check Alcotest.string "FCA" "FCA"
+    (Gate.name (Gate.make Gate.Feynman ~target:2 ~control:0));
+  checkb "roundtrip" true (Gate.equal vba (Gate.of_name ~qubits:3 "VBA"));
+  checkb "case insensitive" true (Gate.equal vba (Gate.of_name ~qubits:3 "vba"))
+
+let test_gate_name_errors () =
+  List.iter
+    (fun s ->
+      checkb s true
+        (match Gate.of_name ~qubits:3 s with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ "XAB"; "V"; "VAD"; "VAA"; "FABC" ]
+
+let test_gate_adjoint () =
+  let vba = Gate.make Gate.Controlled_v ~target:1 ~control:0 in
+  check Alcotest.string "adjoint kind" "V+BA" (Gate.name (Gate.adjoint vba));
+  checkb "involution" true (Gate.equal vba (Gate.adjoint (Gate.adjoint vba)));
+  let fab = Gate.make Gate.Feynman ~target:0 ~control:1 in
+  checkb "feynman self-adjoint" true (Gate.equal fab (Gate.adjoint fab))
+
+let test_gate_purity () =
+  let vba = Gate.make Gate.Controlled_v ~target:1 ~control:0 in
+  check (Alcotest.list Alcotest.int) "controlled purity" [ 0 ] (Gate.purity_wires vba);
+  check Alcotest.int "mask" 1 (Gate.purity_mask vba);
+  let fca = Gate.make Gate.Feynman ~target:2 ~control:0 in
+  check (Alcotest.list Alcotest.int) "feynman purity" [ 0; 2 ] (Gate.purity_wires fca);
+  check Alcotest.int "mask" 5 (Gate.purity_mask fca)
+
+let test_gate_apply_dont_care () =
+  let vba = Gate.make Gate.Controlled_v ~target:1 ~control:0 in
+  let mixed_control = Mvl.Pattern.of_list [ Mvl.Quat.V0; Mvl.Quat.One; Mvl.Quat.Zero ] in
+  checkb "mixed control is identity" true
+    (Mvl.Pattern.equal mixed_control (Gate.apply vba mixed_control))
+
+let test_gate_errors () =
+  Alcotest.check_raises "same wire" (Invalid_argument "Gate.make: target equals control")
+    (fun () -> ignore (Gate.make Gate.Feynman ~target:1 ~control:1))
+
+let gate_props =
+  [
+    qcheck_test "name roundtrip" gate_gen (fun g ->
+        Gate.equal g (Gate.of_name ~qubits:3 (Gate.name g)));
+    qcheck_test "adjoint matrix is matrix adjoint" gate_gen (fun g ->
+        Qmath.Dmatrix.equal
+          (Gate.matrix ~qubits:3 (Gate.adjoint g))
+          (Qmath.Dmatrix.adjoint (Gate.matrix ~qubits:3 g)));
+    qcheck_test "gate matrices unitary" gate_gen (fun g ->
+        Qmath.Dmatrix.is_unitary (Gate.matrix ~qubits:3 g));
+    qcheck_test "gate perm order divides 4" gate_gen (fun g ->
+        let order = Permgroup.Perm.order (Library.perm_of_gate library3 g) in
+        order = 1 || order = 2 || order = 4);
+  ]
+
+(* Library *)
+
+let test_library_paper_perms () =
+  let expect name cycles =
+    check perm name
+      (Permgroup.Cycles.of_string ~degree:38 cycles)
+      (Library.perm_of_gate library3 (Gate.of_name ~qubits:3 name))
+  in
+  expect "VBA" "(5,17,7,21)(6,18,8,22)(13,19,15,23)(14,20,16,24)";
+  expect "V+AB" "(3,33,7,26)(4,34,8,27)(9,35,15,28)(10,36,16,29)";
+  expect "FCA" "(5,6)(7,8)(17,18)(21,22)"
+
+let test_library_banned_sets () =
+  let banned name =
+    List.map (fun p -> p + 1) (Library.banned_set library3 (Gate.of_name ~qubits:3 name))
+  in
+  check (Alcotest.list Alcotest.int) "N_A for VBA"
+    [ 25; 26; 27; 28; 29; 30; 31; 32; 33; 34; 35; 36; 37; 38 ]
+    (banned "VBA");
+  check (Alcotest.list Alcotest.int) "N_AB for FAB"
+    [ 11; 12; 17; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27; 28; 29; 30; 31; 32; 33; 34;
+      35; 36; 37; 38 ]
+    (banned "FAB");
+  check (Alcotest.list Alcotest.int) "N_BC for FCB"
+    [ 9; 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20; 21; 22; 23; 24; 28; 29; 30; 31;
+      35; 36; 37; 38 ]
+    (banned "FCB")
+
+let test_library_feynman_only () =
+  check Alcotest.int "6 feynman gates" 6 (Library.size (Library.feynman_only library3))
+
+let test_library_signature () =
+  let entry = Library.entry_of_gate library3 (Gate.of_name ~qubits:3 "VBA") in
+  checkb "pure signature allowed" true (Library.signature_allows ~signature:0 entry);
+  checkb "mixed control banned" false (Library.signature_allows ~signature:1 entry);
+  checkb "mixed elsewhere fine" true (Library.signature_allows ~signature:6 entry)
+
+let test_library_gate_perms_fix_no_one_patterns () =
+  (* Points outside the domain were dropped because gates fix them; inside
+     the domain every gate must be a bijection (checked at build) and the
+     all-zero point must be fixed by every gate. *)
+  Array.iter
+    (fun entry ->
+      check Alcotest.int "zero fixed" 0 (Permgroup.Perm.apply entry.Library.perm 0))
+    (Library.entries library3)
+
+(* Cascade *)
+
+let paper_peres = Cascade.of_string ~qubits:3 "VCB*FBA*VCA*V+CB"
+
+let test_cascade_parse_print () =
+  check Alcotest.string "roundtrip" "VCB*FBA*VCA*V+CB" (Cascade.to_string paper_peres);
+  check Alcotest.int "cost 4" 4 (Cascade.cost paper_peres);
+  checkb "empty" true (Cascade.equal [] (Cascade.of_string ~qubits:3 "()"));
+  check Alcotest.string "empty prints" "()" (Cascade.to_string [])
+
+let test_cascade_weighted_cost () =
+  (* An NMR-style cost model: V gates cheaper than Feynman. *)
+  let gate_cost g = match Gate.kind g with Gate.Feynman -> 2 | _ -> 1 in
+  check Alcotest.int "weighted" 5 (Cascade.weighted_cost ~gate_cost paper_peres)
+
+let test_cascade_restriction () =
+  (match Cascade.restriction library3 paper_peres with
+  | Some f -> check revfun "peres" Reversible.Gates.g1 f
+  | None -> Alcotest.fail "peres cascade restricts");
+  checkb "lone V has no restriction" true
+    (Cascade.restriction library3 (Cascade.of_string ~qubits:3 "VBA") = None)
+
+let test_cascade_reasonable () =
+  checkb "paper peres reasonable" true (Cascade.is_reasonable library3 paper_peres);
+  (* V_BA leaves B mixed on binary inputs; a Feynman on B then violates
+     Definition 1. *)
+  checkb "unreasonable detected" false
+    (Cascade.is_reasonable library3 (Cascade.of_string ~qubits:3 "VBA*FBA"));
+  checkb "empty reasonable" true (Cascade.is_reasonable library3 [])
+
+let test_cascade_swap_v_dag () =
+  check Alcotest.string "figure 8" "V+CB*FBA*V+CA*VCB"
+    (Cascade.to_string (Cascade.swap_v_dag paper_peres));
+  checkb "involution" true
+    (Cascade.equal paper_peres (Cascade.swap_v_dag (Cascade.swap_v_dag paper_peres)))
+
+let cascade_props =
+  [
+    qcheck_test "string roundtrip" cascade_gen (fun c ->
+        Cascade.equal c (Cascade.of_string ~qubits:3 (Cascade.to_string c)));
+    qcheck_test "adjoint inverts the permutation" cascade_gen (fun c ->
+        Permgroup.Perm.equal
+          (Cascade.perm_of library3 (Cascade.adjoint c))
+          (Permgroup.Perm.inverse (Cascade.perm_of library3 c)));
+    qcheck_test "adjoint inverts the unitary" ~count:40 cascade_gen (fun c ->
+        Qmath.Dmatrix.equal
+          (Cascade.unitary ~qubits:3 (Cascade.adjoint c))
+          (Qmath.Dmatrix.adjoint (Cascade.unitary ~qubits:3 c)));
+    qcheck_test "unitary is unitary" ~count:40 cascade_gen (fun c ->
+        Qmath.Dmatrix.is_unitary (Cascade.unitary ~qubits:3 c));
+    qcheck_test "perm compose splits" (QCheck2.Gen.pair cascade_gen cascade_gen)
+      (fun (a, b) ->
+        Permgroup.Perm.equal
+          (Cascade.perm_of library3 (a @ b))
+          (Permgroup.Perm.mul (Cascade.perm_of library3 a) (Cascade.perm_of library3 b)));
+  ]
+
+(* Search *)
+
+let test_search_levels () =
+  let search = Search.create library3 in
+  check Alcotest.int "B1" 18 (List.length (Search.step search));
+  check Alcotest.int "B2" 162 (List.length (Search.step search));
+  check Alcotest.int "B3" 1017 (List.length (Search.step search));
+  check Alcotest.int "size after 3 levels" (1 + 18 + 162 + 1017) (Search.size search)
+
+let test_search_factorization () =
+  let search = Search.create library3 in
+  ignore (Search.step search);
+  ignore (Search.step search);
+  List.iter
+    (fun key ->
+      let cascade = Search.cascade_of_key search key in
+      check Alcotest.int "cascade length = depth" 2 (Cascade.cost cascade);
+      check perm "cascade rebuilds the permutation" (Search.perm_of_key key)
+        (Cascade.perm_of library3 cascade);
+      checkb "cascade reasonable" true (Cascade.is_reasonable library3 cascade))
+    (List.filteri (fun i _ -> i < 20) (Search.frontier search))
+
+let test_search_all_cascades () =
+  let search = Search.create library3 in
+  ignore (Search.step search);
+  ignore (Search.step search);
+  let key = List.hd (Search.frontier search) in
+  let all = Search.all_cascades search key in
+  checkb "non-empty" true (all <> []);
+  checkb "recorded cascade among them" true
+    (List.exists (Cascade.equal (Search.cascade_of_key search key)) all);
+  List.iter
+    (fun c ->
+      check perm "same permutation" (Search.perm_of_key key)
+        (Cascade.perm_of library3 c))
+    all
+
+let test_search_probe_matches_census () =
+  (* Probing 1 and 2 levels past a depth-2 search recovers exactly the
+     new functions of G[3] and G[4]. *)
+  let census = Lazy.force census7 in
+  let search = Search.create library3 in
+  ignore (Search.step search);
+  ignore (Search.step search);
+  let known = Hashtbl.create 64 in
+  List.iter
+    (fun cost ->
+      List.iter
+        (fun (m : Fmcf.member) ->
+          Hashtbl.replace known (Permgroup.Perm.key (Reversible.Revfun.to_perm m.Fmcf.func)) ())
+        (Fmcf.members_at census ~cost))
+    [ 0; 1; 2 ];
+  let fresh probe =
+    Hashtbl.fold (fun k () acc -> if Hashtbl.mem known k then acc else k :: acc) probe []
+  in
+  let level3 = fresh (Search.probe_restrictions search ~steps:1) in
+  check Alcotest.int "G[3] via probe" 51 (List.length level3);
+  List.iter (fun k -> Hashtbl.replace known k ()) level3;
+  let level4 = fresh (Search.probe_restrictions search ~steps:2) in
+  check Alcotest.int "G[4] via probe" 84 (List.length level4);
+  checkb "steps out of range" true
+    (match Search.probe_restrictions search ~steps:3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_search_restriction_of_key () =
+  let search = Search.create library3 in
+  let root = List.hd (Search.frontier search) in
+  (match Search.restriction_of_key search root with
+  | Some f -> checkb "root is identity" true (Reversible.Revfun.is_identity f)
+  | None -> Alcotest.fail "root restricts");
+  check (Alcotest.option Alcotest.int) "root depth" (Some 0)
+    (Search.depth_of_key search root)
+
+(* FMCF *)
+
+let test_fmcf_counts () =
+  let census = Lazy.force census7 in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "as-specified counts"
+    [ (0, 1); (1, 6); (2, 24); (3, 51); (4, 84); (5, 156); (6, 398); (7, 540) ]
+    (Fmcf.counts census)
+
+let test_fmcf_paper_counts () =
+  let census = Lazy.force census7 in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "paper's Table 2"
+    [ (0, 1); (1, 6); (2, 30); (3, 52); (4, 84); (5, 156); (6, 398); (7, 540) ]
+    (Fmcf.paper_counts census)
+
+let test_fmcf_s8_counts () =
+  let census = Lazy.force census7 in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "Table 2 bottom row (as-specified semantics)"
+    [ (0, 8); (1, 48); (2, 192); (3, 408); (4, 672); (5, 1248); (6, 3184); (7, 4320) ]
+    (Fmcf.s8_counts census)
+
+let test_fmcf_level1_is_cnots () =
+  let census = Lazy.force census7 in
+  let level1 = List.map (fun m -> m.Fmcf.func) (Fmcf.members_at census ~cost:1) in
+  check Alcotest.int "6 members" 6 (List.length level1);
+  List.iter
+    (fun f -> checkb "is a cnot" true (List.exists (Reversible.Revfun.equal f) level1))
+    (Universality.cnots ~bits:3)
+
+let test_fmcf_total () =
+  let census = Lazy.force census7 in
+  check Alcotest.int "1260 functions within cost 7" 1260 (Fmcf.total_found census)
+
+let test_fmcf_find () =
+  let census = Lazy.force census7 in
+  (match Fmcf.find census Reversible.Gates.toffoli3 with
+  | Some m -> check Alcotest.int "toffoli cost 5" 5 m.Fmcf.cost
+  | None -> Alcotest.fail "toffoli in census");
+  (match Fmcf.find census Reversible.Gates.g1 with
+  | Some m -> check Alcotest.int "peres cost 4" 4 m.Fmcf.cost
+  | None -> Alcotest.fail "peres in census");
+  match Fmcf.find census Reversible.Gates.fredkin3 with
+  | Some m -> check Alcotest.int "fredkin cost 7" 7 m.Fmcf.cost
+  | None -> Alcotest.fail "fredkin is within cost 7"
+
+let test_fmcf_witnesses_verify () =
+  (* Spot-check: the witness cascade of every cost<=4 member implements
+     its function, exactly. *)
+  let census = Lazy.force census7 in
+  List.iter
+    (fun cost ->
+      List.iter
+        (fun (m : Fmcf.member) ->
+          let cascade = Fmcf.cascade_of_member census m in
+          check Alcotest.int "cost matches" m.Fmcf.cost (Cascade.cost cascade);
+          checkb "reasonable" true (Cascade.is_reasonable library3 cascade);
+          checkb "implements" true
+            (Verify.cascade_implements ~qubits:3 cascade m.Fmcf.func))
+        (Fmcf.members_at census ~cost))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_fmcf_members_fix_zero () =
+  (* Theorem 2: NOT-free circuits all fix the all-zero pattern. *)
+  let census = Lazy.force census7 in
+  List.iter
+    (fun level ->
+      List.iter
+        (fun (m : Fmcf.member) ->
+          checkb "fixes zero" true (Reversible.Revfun.fixes_zero m.Fmcf.func))
+        level.Fmcf.members)
+    (Fmcf.levels census)
+
+(* MCE *)
+
+let test_mce_identity () =
+  match Mce.express library3 (Reversible.Revfun.identity ~bits:3) with
+  | Some r ->
+      check Alcotest.int "cost 0" 0 r.Mce.cost;
+      check Alcotest.int "mask 0" 0 r.Mce.not_mask
+  | None -> Alcotest.fail "identity expressible"
+
+let test_mce_not_layer () =
+  match Mce.express library3 (Reversible.Revfun.xor_layer ~bits:3 5) with
+  | Some r ->
+      check Alcotest.int "cost 0" 0 r.Mce.cost;
+      check Alcotest.int "mask 5" 5 r.Mce.not_mask;
+      checkb "valid" true (Verify.result_valid library3 r)
+  | None -> Alcotest.fail "NOT layer expressible"
+
+let test_mce_costs () =
+  let expect name target cost =
+    match Mce.express library3 target with
+    | Some r ->
+        check Alcotest.int (name ^ " cost") cost r.Mce.cost;
+        checkb (name ^ " valid") true (Verify.result_valid library3 r)
+    | None -> Alcotest.fail (name ^ " not expressible")
+  in
+  expect "cnot" (Reversible.Gates.cnot ~bits:3 ~control:0 ~target:1) 1;
+  expect "swap AB" (Reversible.Gates.swap ~bits:3 ~wire1:0 ~wire2:1) 3;
+  expect "peres" Reversible.Gates.g1 4;
+  expect "g2" Reversible.Gates.g2 4;
+  expect "g3" Reversible.Gates.g3 4;
+  expect "g4" Reversible.Gates.g4 4;
+  expect "toffoli" Reversible.Gates.toffoli3 5
+
+let test_mce_with_not_layer () =
+  (* A target that moves zero: NOT on A composed with CNOT. *)
+  let target =
+    Reversible.Revfun.compose
+      (Reversible.Revfun.xor_layer ~bits:3 4)
+      (Reversible.Gates.cnot ~bits:3 ~control:0 ~target:2)
+  in
+  match Mce.express library3 target with
+  | Some r ->
+      checkb "mask nonzero" true (r.Mce.not_mask <> 0);
+      checkb "valid" true (Verify.result_valid library3 r)
+  | None -> Alcotest.fail "expressible"
+
+let test_mce_witness_counts () =
+  check Alcotest.int "peres 2 witnesses" 2
+    (Mce.distinct_witnesses library3 Reversible.Gates.g1);
+  check Alcotest.int "toffoli 4 witnesses" 4
+    (Mce.distinct_witnesses library3 Reversible.Gates.toffoli3)
+
+let test_mce_all_realizations () =
+  let results = Mce.all_realizations library3 Reversible.Gates.toffoli3 in
+  check Alcotest.int "40 minimal toffoli cascades" 40 (List.length results);
+  checkb "all cost 5" true (List.for_all (fun r -> r.Mce.cost = 5) results);
+  checkb "all valid" true (List.for_all (Verify.result_valid library3) results);
+  (* All four printed circuits of Figure 9 occur. *)
+  List.iter
+    (fun printed ->
+      let cascade = Cascade.of_string ~qubits:3 printed in
+      checkb printed true
+        (List.exists (fun r -> Cascade.equal r.Mce.cascade cascade) results))
+    [
+      "FBA*V+CB*FBA*VCA*VCB";
+      "FBA*VCB*FBA*V+CA*V+CB";
+      "FAB*V+CA*FAB*VCA*VCB";
+      "FAB*VCA*FAB*V+CA*V+CB";
+    ]
+
+let test_mce_strip_not_layer () =
+  let target = Reversible.Revfun.xor_layer ~bits:3 3 in
+  let mask, remainder = Mce.strip_not_layer target in
+  check Alcotest.int "mask" 3 mask;
+  checkb "remainder identity" true (Reversible.Revfun.is_identity remainder)
+
+let test_mce_depth_bound () =
+  checkb "fredkin not found at depth 5" true
+    (Mce.express ~max_depth:5 library3 Reversible.Gates.fredkin3 = None)
+
+let mce_props =
+  [
+    qcheck_test ~count:25 "census costs agree with express"
+      QCheck2.Gen.(int_range 0 10_000)
+      (fun seed ->
+        let census = Lazy.force census7 in
+        (* pick a pseudo-random member of a pseudo-random level *)
+        let level = (seed mod 5) + 1 in
+        let members = Fmcf.members_at census ~cost:level in
+        let m = List.nth members (seed * 7 mod List.length members) in
+        match Mce.express library3 m.Fmcf.func with
+        | Some r -> r.Mce.cost = level && r.Mce.not_mask = 0
+        | None -> false);
+  ]
+
+(* Universality *)
+
+let test_split_g4 () =
+  let census = Lazy.force census7 in
+  let linear, family = Universality.split_g4 census in
+  check Alcotest.int "60 linear" 60 (List.length linear);
+  check Alcotest.int "24 family" 24 (List.length family)
+
+let test_universality_of_family () =
+  let census = Lazy.force census7 in
+  let _, family = Universality.split_g4 census in
+  checkb "all 24 universal" true
+    (List.for_all (fun (m : Fmcf.member) -> Universality.is_universal m.Fmcf.func) family)
+
+let test_non_universal () =
+  checkb "cnot not universal" false
+    (Universality.is_universal (Reversible.Gates.cnot ~bits:3 ~control:0 ~target:1));
+  checkb "identity not universal" false
+    (Universality.is_universal (Reversible.Revfun.identity ~bits:3));
+  checkb "toffoli IS universal" true (Universality.is_universal Reversible.Gates.toffoli3)
+
+let test_wire_orbits () =
+  let census = Lazy.force census7 in
+  let _, family = Universality.split_g4 census in
+  let orbits =
+    Universality.wire_orbits (List.map (fun (m : Fmcf.member) -> m.Fmcf.func) family)
+  in
+  check (Alcotest.list Alcotest.int) "4 orbits of 6" [ 6; 6; 6; 6 ]
+    (List.map List.length orbits);
+  (* g1..g4 land in distinct orbits *)
+  let reps = [ Reversible.Gates.g1; Reversible.Gates.g2; Reversible.Gates.g3;
+               Reversible.Gates.g4 ] in
+  List.iter
+    (fun g ->
+      check Alcotest.int "each gi in exactly one orbit" 1
+        (List.length (List.filter (List.exists (Reversible.Revfun.equal g)) orbits)))
+    reps
+
+let test_relabel_wires () =
+  let sigma = [| 1; 0; 2 |] in
+  let relabeled = Universality.relabel_wires (Reversible.Gates.cnot ~bits:3 ~control:0 ~target:1) sigma in
+  check revfun "cnot relabeled" (Reversible.Gates.cnot ~bits:3 ~control:1 ~target:0) relabeled;
+  let idperm = [| 0; 1; 2 |] in
+  check revfun "identity relabel" Reversible.Gates.g1
+    (Universality.relabel_wires Reversible.Gates.g1 idperm)
+
+let test_linear_functions () =
+  let linear = Universality.linear_functions ~bits:3 in
+  check Alcotest.int "GL(3,2) order" 168 (Permgroup.Closure.size linear);
+  checkb "toffoli not linear" false
+    (Permgroup.Closure.mem linear (Reversible.Revfun.to_perm Reversible.Gates.toffoli3))
+
+let test_theorem2 () =
+  let g, h = Universality.theorem2_check ~bits:3 in
+  check Alcotest.int "|G|" 5040 g;
+  check Alcotest.int "|S8|" 40320 h;
+  let g2, h2 = Universality.theorem2_check ~bits:2 in
+  check Alcotest.int "|G| n=2" 6 g2;
+  check Alcotest.int "|S4|" 24 h2
+
+let test_group_order () =
+  check Alcotest.int "<cnots, peres> = 5040" 5040
+    (Universality.group_order ~bits:3
+       (Reversible.Gates.g1 :: Universality.cnots ~bits:3));
+  check Alcotest.int "<cnots> = 168" 168
+    (Universality.group_order ~bits:3 (Universality.cnots ~bits:3))
+
+(* Verify *)
+
+let test_verify_paper_figures () =
+  List.iter
+    (fun (cascade, target) ->
+      let c = Cascade.of_string ~qubits:3 cascade in
+      checkb cascade true (Verify.cascade_implements ~qubits:3 c target);
+      checkb (cascade ^ " mv-sound") true (Verify.mv_agrees_with_unitary library3 c))
+    [
+      ("VCB*FBA*VCA*V+CB", Reversible.Gates.g1);
+      ("V+CB*FBA*V+CA*VCB", Reversible.Gates.g1);
+      ("V+BC*FCA*VBA*VBC", Reversible.Gates.g2);
+      ("VCB*FBA*V+CA*VCB", Reversible.Gates.g3);
+      ("VCB*FBA*VCA*VCB", Reversible.Gates.g4);
+      ("FBA*V+CB*FBA*VCA*VCB", Reversible.Gates.toffoli3);
+      ("FBA*VCB*FBA*V+CA*V+CB", Reversible.Gates.toffoli3);
+      ("FAB*V+CA*FAB*VCA*VCB", Reversible.Gates.toffoli3);
+      ("FAB*VCA*FAB*V+CA*V+CB", Reversible.Gates.toffoli3);
+    ]
+
+let test_verify_negative () =
+  (* A wrong cascade must be rejected. *)
+  let c = Cascade.of_string ~qubits:3 "FBA" in
+  checkb "cnot is not toffoli" false
+    (Verify.cascade_implements ~qubits:3 c Reversible.Gates.toffoli3);
+  (* A non-permutative cascade has no classical function. *)
+  checkb "lone V not classical" true
+    (Verify.classical_function ~qubits:3 (Cascade.of_string ~qubits:3 "VBA") = None)
+
+let test_verify_not_mask () =
+  let target = Reversible.Revfun.xor_layer ~bits:3 7 in
+  checkb "pure NOT layer" true
+    (Verify.cascade_implements ~qubits:3 ~not_mask:7 [] target)
+
+let test_trajectory_purity () =
+  let peres = paper_peres in
+  checkb "binary input pure" true
+    (Verify.trajectory_is_pure peres (Mvl.Pattern.of_binary_code ~qubits:3 7));
+  (* input with V on wire B: the first gate V_CB needs B pure *)
+  let mixed = Mvl.Pattern.of_list [ Mvl.Quat.One; Mvl.Quat.V0; Mvl.Quat.Zero ] in
+  checkb "mixed control impure" false (Verify.trajectory_is_pure peres mixed)
+
+let () =
+  Alcotest.run "synthesis"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "all" `Quick test_gate_all;
+          Alcotest.test_case "names" `Quick test_gate_names;
+          Alcotest.test_case "name errors" `Quick test_gate_name_errors;
+          Alcotest.test_case "adjoint" `Quick test_gate_adjoint;
+          Alcotest.test_case "purity" `Quick test_gate_purity;
+          Alcotest.test_case "don't-care semantics" `Quick test_gate_apply_dont_care;
+          Alcotest.test_case "errors" `Quick test_gate_errors;
+        ] );
+      ("gate properties", gate_props);
+      ( "library",
+        [
+          Alcotest.test_case "paper permutations" `Quick test_library_paper_perms;
+          Alcotest.test_case "paper banned sets" `Quick test_library_banned_sets;
+          Alcotest.test_case "feynman sub-library" `Quick test_library_feynman_only;
+          Alcotest.test_case "signature gating" `Quick test_library_signature;
+          Alcotest.test_case "zero pattern fixed" `Quick
+            test_library_gate_perms_fix_no_one_patterns;
+        ] );
+      ( "cascade",
+        [
+          Alcotest.test_case "parse and print" `Quick test_cascade_parse_print;
+          Alcotest.test_case "weighted cost" `Quick test_cascade_weighted_cost;
+          Alcotest.test_case "restriction" `Quick test_cascade_restriction;
+          Alcotest.test_case "reasonable product" `Quick test_cascade_reasonable;
+          Alcotest.test_case "swap V/V+" `Quick test_cascade_swap_v_dag;
+        ] );
+      ("cascade properties", cascade_props);
+      ( "search",
+        [
+          Alcotest.test_case "level sizes" `Quick test_search_levels;
+          Alcotest.test_case "factorization" `Quick test_search_factorization;
+          Alcotest.test_case "all cascades" `Quick test_search_all_cascades;
+          Alcotest.test_case "probe matches census" `Slow test_search_probe_matches_census;
+          Alcotest.test_case "key utilities" `Quick test_search_restriction_of_key;
+        ] );
+      ( "fmcf",
+        [
+          Alcotest.test_case "as-specified counts" `Slow test_fmcf_counts;
+          Alcotest.test_case "paper Table 2" `Slow test_fmcf_paper_counts;
+          Alcotest.test_case "S8 row" `Slow test_fmcf_s8_counts;
+          Alcotest.test_case "level 1 is the CNOTs" `Slow test_fmcf_level1_is_cnots;
+          Alcotest.test_case "total found" `Slow test_fmcf_total;
+          Alcotest.test_case "find" `Slow test_fmcf_find;
+          Alcotest.test_case "witnesses verify" `Slow test_fmcf_witnesses_verify;
+          Alcotest.test_case "members fix zero" `Slow test_fmcf_members_fix_zero;
+        ] );
+      ( "mce",
+        [
+          Alcotest.test_case "identity" `Quick test_mce_identity;
+          Alcotest.test_case "NOT layer" `Quick test_mce_not_layer;
+          Alcotest.test_case "known costs" `Quick test_mce_costs;
+          Alcotest.test_case "with NOT layer" `Quick test_mce_with_not_layer;
+          Alcotest.test_case "witness counts" `Quick test_mce_witness_counts;
+          Alcotest.test_case "all realizations" `Quick test_mce_all_realizations;
+          Alcotest.test_case "strip NOT layer" `Quick test_mce_strip_not_layer;
+          Alcotest.test_case "depth bound" `Quick test_mce_depth_bound;
+        ] );
+      ("mce properties", mce_props);
+      ( "universality",
+        [
+          Alcotest.test_case "G[4] split" `Slow test_split_g4;
+          Alcotest.test_case "all 24 universal" `Slow test_universality_of_family;
+          Alcotest.test_case "non-universal gates" `Quick test_non_universal;
+          Alcotest.test_case "wire orbits" `Slow test_wire_orbits;
+          Alcotest.test_case "relabel wires" `Quick test_relabel_wires;
+          Alcotest.test_case "linear functions" `Quick test_linear_functions;
+          Alcotest.test_case "theorem 2" `Quick test_theorem2;
+          Alcotest.test_case "group orders" `Quick test_group_order;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "paper figures" `Quick test_verify_paper_figures;
+          Alcotest.test_case "negatives" `Quick test_verify_negative;
+          Alcotest.test_case "NOT mask" `Quick test_verify_not_mask;
+          Alcotest.test_case "trajectory purity" `Quick test_trajectory_purity;
+        ] );
+    ]

@@ -1,0 +1,538 @@
+(* Tests for the toolkit extensions: cost models, weighted synthesis,
+   peephole rewriting, ASCII drawing, and the no-pruning ablation. *)
+
+open Synthesis
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+let qcheck_test ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let library3 = Library.make (Mvl.Encoding.make ~qubits:3)
+
+let gate_gen =
+  QCheck2.Gen.(map (fun i -> List.nth (Gate.all ~qubits:3) (abs i mod 18)) int)
+
+let cascade_gen = QCheck2.Gen.(list_size (int_range 0 8) gate_gen)
+
+(* Cost_model *)
+
+let test_cost_models () =
+  let vba = Gate.of_name ~qubits:3 "VBA" in
+  let fab = Gate.of_name ~qubits:3 "FAB" in
+  check Alcotest.int "unit" 1 (Cost_model.gate_cost Cost_model.unit vba);
+  check Alcotest.int "v-cheap V" 1 (Cost_model.gate_cost Cost_model.v_cheap vba);
+  check Alcotest.int "v-cheap F" 2 (Cost_model.gate_cost Cost_model.v_cheap fab);
+  check Alcotest.int "feynman-cheap V" 2
+    (Cost_model.gate_cost Cost_model.feynman_cheap vba);
+  check Alcotest.int "feynman-cheap F" 1
+    (Cost_model.gate_cost Cost_model.feynman_cheap fab);
+  check Alcotest.int "cascade cost" 6
+    (Cost_model.cascade_cost Cost_model.v_cheap
+       (Cascade.of_string ~qubits:3 "VBA*FAB*VCA*FBC"));
+  check Alcotest.string "name" "unit" (Cost_model.name Cost_model.unit)
+
+let test_cost_model_validation () =
+  let broken = Cost_model.make ~name:"broken" (fun _ -> 0) in
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Cost_model.gate_cost: non-positive cost") (fun () ->
+      ignore (Cost_model.gate_cost broken (Gate.of_name ~qubits:3 "VBA")))
+
+(* Weighted *)
+
+let test_weighted_unit_matches_bfs () =
+  List.iter
+    (fun target ->
+      match
+        ( Weighted.express library3 ~model:Cost_model.unit target,
+          Mce.express library3 target )
+      with
+      | Some w, Some m ->
+          check Alcotest.int "unit model = BFS cost" m.Mce.cost w.Weighted.cost;
+          checkb "verified" true
+            (Verify.cascade_implements ~qubits:3 ~not_mask:w.Weighted.not_mask
+               w.Weighted.cascade target)
+      | _ -> Alcotest.fail "both searches must succeed")
+    [
+      Reversible.Gates.g1;
+      Reversible.Gates.g2;
+      Reversible.Gates.g3;
+      Reversible.Gates.g4;
+      Reversible.Gates.toffoli3;
+      Reversible.Gates.cnot ~bits:3 ~control:1 ~target:2;
+      Reversible.Gates.swap ~bits:3 ~wire1:0 ~wire2:2;
+    ]
+
+let test_weighted_known_costs () =
+  (* Minimal Toffoli circuits use 2 Feynman + 3 controlled gates, so the
+     v-cheap optimum is 3*1 + 2*2 = 7 and the feynman-cheap optimum is
+     2*1 + 3*2 = 8. *)
+  (match Weighted.express library3 ~model:Cost_model.v_cheap Reversible.Gates.toffoli3 with
+  | Some r -> check Alcotest.int "toffoli v-cheap" 7 r.Weighted.cost
+  | None -> Alcotest.fail "found");
+  (match
+     Weighted.express ~max_cost:9 library3 ~model:Cost_model.feynman_cheap
+       Reversible.Gates.toffoli3
+   with
+  | Some r -> check Alcotest.int "toffoli feynman-cheap" 8 r.Weighted.cost
+  | None -> Alcotest.fail "found");
+  (* swap = 3 CNOTs; no V-realization beats 3 Feynman gates even when V is
+     cheap (6 = 3 * 2). *)
+  match
+    Weighted.express library3 ~model:Cost_model.v_cheap
+      (Reversible.Gates.swap ~bits:3 ~wire1:0 ~wire2:1)
+  with
+  | Some r -> check Alcotest.int "swap v-cheap" 6 r.Weighted.cost
+  | None -> Alcotest.fail "found"
+
+let test_weighted_identity_and_not () =
+  (match Weighted.express library3 ~model:Cost_model.v_cheap (Reversible.Revfun.identity ~bits:3) with
+  | Some r -> check Alcotest.int "identity" 0 r.Weighted.cost
+  | None -> Alcotest.fail "identity");
+  match
+    Weighted.express library3 ~model:Cost_model.v_cheap
+      (Reversible.Revfun.xor_layer ~bits:3 6)
+  with
+  | Some r ->
+      check Alcotest.int "free NOT" 0 r.Weighted.cost;
+      check Alcotest.int "mask" 6 r.Weighted.not_mask
+  | None -> Alcotest.fail "not layer"
+
+let test_weighted_census () =
+  (* Unit-model weighted census must equal the FMCF census. *)
+  let weighted = Weighted.census ~max_cost:4 library3 ~model:Cost_model.unit in
+  let bfs =
+    List.filter (fun (_, n) -> n > 0) (Fmcf.counts (Fmcf.run ~max_depth:4 library3))
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "censuses agree" bfs weighted
+
+let test_weighted_census_v_cheap () =
+  (* With v-cheap costs the cheapest non-trivial functions cost 2 (one
+     Feynman = 2, or two V gates); nothing costs 1. *)
+  let census = Weighted.census ~max_cost:4 library3 ~model:Cost_model.v_cheap in
+  checkb "no cost-1 functions" true (not (List.mem_assoc 1 census));
+  (match List.assoc_opt 2 census with
+  | Some n -> checkb "cost-2 includes the 6 CNOTs" true (n >= 6)
+  | None -> Alcotest.fail "cost 2 exists")
+
+let weighted_props =
+  [
+    qcheck_test ~count:6 "weighted beats re-pricing the unit optimum"
+      QCheck2.Gen.(pair (int_range 1 2) (int_range 1 2))
+      (fun (v, f) ->
+        let model = Cost_model.by_kind ~name:"random" ~v ~v_dag:v ~feynman:f in
+        List.for_all
+          (fun target ->
+            match
+              ( Weighted.express ~max_cost:10 library3 ~model target,
+                Mce.express library3 target )
+            with
+            | Some weighted, Some unit_result ->
+                (* the model-optimal cascade costs no more, under the
+                   model, than the gate-count-optimal cascade does *)
+                weighted.Weighted.cost
+                <= Cost_model.cascade_cost model unit_result.Mce.cascade
+            | _ -> false)
+          [ Reversible.Gates.g1; Reversible.Gates.cnot ~bits:3 ~control:1 ~target:0 ]);
+  ]
+
+let test_weighted_depth_bound () =
+  checkb "bound respected" true
+    (Weighted.express ~max_cost:4 library3 ~model:Cost_model.unit
+       Reversible.Gates.toffoli3
+    = None)
+
+(* Rewrite *)
+
+let test_cancel_rules () =
+  let norm s = Cascade.to_string (Rewrite.normalize (Cascade.of_string ~qubits:3 s)) in
+  check Alcotest.string "V V+ cancels" "()" (norm "VBA*V+BA");
+  check Alcotest.string "F F cancels" "()" (norm "FCA*FCA");
+  check Alcotest.string "V V merges to F" "FBA" (norm "VBA*VBA");
+  check Alcotest.string "V+ V+ merges to F" "FBA" (norm "V+BA*V+BA");
+  check Alcotest.string "triple V" "FBA*VBA" (norm "VBA*VBA*VBA");
+  check Alcotest.string "commuting detour" "()" (norm "VBA*FCA*V+BA*FCA");
+  check Alcotest.string "non-cancelling stays" "VBA*FBA" (norm "VBA*FBA")
+
+let test_cancel_once () =
+  checkb "no rule fires" true (Rewrite.cancel_once (Cascade.of_string ~qubits:3 "VBA*FBA") = None);
+  match Rewrite.cancel_once (Cascade.of_string ~qubits:3 "FCA*VBA*V+BA*FCB") with
+  | Some c -> check Alcotest.string "inner pair removed" "FCA*FCB" (Cascade.to_string c)
+  | None -> Alcotest.fail "rule must fire"
+
+let test_commute_structure () =
+  let g = Gate.of_name ~qubits:3 in
+  checkb "disjoint" true (Rewrite.commute (g "VBA") (g "VBA"));
+  checkb "same control" true (Rewrite.commute (g "VBA") (g "FCA"));
+  checkb "same target both V" true (Rewrite.commute (g "VBA") (g "V+BC"));
+  checkb "same target both F" true (Rewrite.commute (g "FBA") (g "FBC"));
+  checkb "same target V vs F" false (Rewrite.commute (g "VBA") (g "FBC"));
+  checkb "control feeds target" false (Rewrite.commute (g "FBA") (g "FAC"))
+
+let rewrite_props =
+  [
+    qcheck_test "commute is sound on unitaries" (QCheck2.Gen.pair gate_gen gate_gen)
+      (fun (a, b) ->
+        (not (Rewrite.commute a b))
+        || Qmath.Dmatrix.equal
+             (Cascade.unitary ~qubits:3 [ a; b ])
+             (Cascade.unitary ~qubits:3 [ b; a ]));
+    qcheck_test ~count:60 "normalize preserves the unitary" cascade_gen (fun c ->
+        Rewrite.equivalent_unitary ~qubits:3 c (Rewrite.normalize c));
+    qcheck_test "normalize never grows" cascade_gen (fun c ->
+        Cascade.cost (Rewrite.normalize c) <= Cascade.cost c);
+    qcheck_test ~count:60 "normalize is idempotent" cascade_gen (fun c ->
+        let once = Rewrite.normalize c in
+        Cascade.equal once (Rewrite.normalize once));
+  ]
+
+(* Draw *)
+
+let test_draw_peres () =
+  let peres = Cascade.of_string ~qubits:3 "VCB*FBA*VCA*V+CB" in
+  check Alcotest.string "figure 4"
+    "A: --------*-----*---------\n\
+     B: --*----(+)----|-----*---\n\
+     C: -[V]---------[V]---[V+]-"
+    (Draw.to_ascii ~qubits:3 peres)
+
+let test_draw_not_mask () =
+  (* not_mask is a code mask: 4 = wire A on 3 qubits. *)
+  let drawing = Draw.to_ascii ~qubits:3 ~not_mask:4 [ Gate.of_name ~qubits:3 "FBA" ] in
+  (match String.split_on_char '\n' drawing with
+  | [ a; b; c ] ->
+      checkb "A has the NOT box" true (String.length a > 3 && String.sub a 3 6 = "-[N]--");
+      checkb "B has no NOT box" true (String.sub b 3 6 = "------");
+      checkb "C has no NOT box" true (String.sub c 3 6 = "------")
+  | _ -> Alcotest.fail "three wires expected")
+
+let test_draw_labels () =
+  let drawing =
+    Draw.to_ascii ~qubits:2 ~labels:[ "ctl"; "tgt" ] [ Gate.of_name ~qubits:2 "FBA" ]
+  in
+  checkb "custom labels" true
+    (String.length drawing > 3 && String.sub drawing 0 3 = "ctl");
+  Alcotest.check_raises "label arity" (Invalid_argument "Draw.to_ascii: label count")
+    (fun () -> ignore (Draw.to_ascii ~qubits:2 ~labels:[ "x" ] []))
+
+let test_draw_crossing () =
+  (* A gate between A and C must draw a crossing on B. *)
+  let drawing = Draw.to_ascii ~qubits:3 [ Gate.of_name ~qubits:3 "VCA" ] in
+  match String.split_on_char '\n' drawing with
+  | [ _; b; _ ] -> checkb "crossing on B" true (String.contains b '|')
+  | _ -> Alcotest.fail "three wires expected"
+
+(* Ablation *)
+
+let test_ablation_diverges_and_is_unsound () =
+  let unconstrained = Fmcf.run ~max_depth:3 (Library.unconstrained library3) in
+  let constrained = Fmcf.run ~max_depth:3 library3 in
+  check Alcotest.int "constrained G[3]" 51
+    (List.length (Fmcf.members_at constrained ~cost:3));
+  check Alcotest.int "unconstrained G[3] is larger" 66
+    (List.length (Fmcf.members_at unconstrained ~cost:3));
+  (* Every extra member's witness fails exact verification... *)
+  let constrained_funcs =
+    List.map (fun (m : Fmcf.member) -> m.Fmcf.func) (Fmcf.members_at constrained ~cost:3)
+  in
+  let extras =
+    List.filter
+      (fun (m : Fmcf.member) ->
+        not (List.exists (Reversible.Revfun.equal m.Fmcf.func) constrained_funcs))
+      (Fmcf.members_at unconstrained ~cost:3)
+  in
+  checkb "extras exist" true (extras <> []);
+  List.iter
+    (fun (m : Fmcf.member) ->
+      let cascade = Fmcf.cascade_of_member unconstrained m in
+      checkb "unsound witness" false
+        (Verify.cascade_implements ~qubits:3 cascade m.Fmcf.func))
+    extras;
+  (* ...while every constrained witness passes (soundness of Definition 1). *)
+  List.iter
+    (fun (m : Fmcf.member) ->
+      let cascade = Fmcf.cascade_of_member constrained m in
+      checkb "sound witness" true
+        (Verify.cascade_implements ~qubits:3 cascade m.Fmcf.func))
+    (Fmcf.members_at constrained ~cost:3)
+
+(* Spectrum *)
+
+let test_subadditivity_premise () =
+  (* Concatenating witness cascades of two binary-preserving circuits is
+     reasonable (the first ends with an empty mixed signature), and the
+     restriction composes — the fact Spectrum.analyze relies on. *)
+  let census = Fmcf.run ~max_depth:5 library3 in
+  let witness target =
+    match Fmcf.find census target with
+    | Some m -> Fmcf.cascade_of_member census m
+    | None -> Alcotest.fail "census member expected"
+  in
+  let toffoli = witness Reversible.Gates.toffoli3 in
+  let peres = witness Reversible.Gates.g1 in
+  let combined = toffoli @ peres in
+  checkb "concatenation reasonable" true (Cascade.is_reasonable library3 combined);
+  match Cascade.restriction library3 combined with
+  | Some f ->
+      checkb "restriction composes" true
+        (Reversible.Revfun.equal f
+           (Reversible.Revfun.compose Reversible.Gates.toffoli3 Reversible.Gates.g1))
+  | None -> Alcotest.fail "combined cascade restricts"
+
+let test_spectrum_bounds () =
+  let census = Fmcf.run ~max_depth:5 library3 in
+  let spectrum = Spectrum.analyze census in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "exact part is the census" (Fmcf.counts census) spectrum.Spectrum.exact;
+  check Alcotest.int "remaining elements" (5040 - 322)
+    (List.length spectrum.Spectrum.bounds);
+  checkb "all lower bounds are 6" true
+    (List.for_all (fun b -> b.Spectrum.lower = 6) spectrum.Spectrum.bounds);
+  (* Upper bounds are genuine: they can never undercut the true cost, so
+     the cost-6 bucket has at most |G[6]| = 398 members; subadditivity
+     turns out tight here, so it has exactly 398. *)
+  (match List.assoc_opt 6 (Spectrum.upper_histogram spectrum) with
+  | Some n -> check Alcotest.int "cost-6 bucket" 398 n
+  | None -> Alcotest.fail "cost-6 bucket expected");
+  check Alcotest.int "tight count" 398 spectrum.Spectrum.tight
+
+let test_spectrum_upper_bounds_sound () =
+  (* Every upper bound from a depth-4 analysis is >= the true cost known
+     from a deeper census. *)
+  let shallow = Spectrum.analyze (Fmcf.run ~max_depth:4 library3) in
+  let deep = Fmcf.run ~max_depth:7 library3 in
+  List.iter
+    (fun b ->
+      match Fmcf.find deep b.Spectrum.func with
+      | Some m -> checkb "sound" true (b.Spectrum.upper >= m.Fmcf.cost)
+      | None -> checkb "beyond depth 7" true (b.Spectrum.upper >= 8 || b.Spectrum.upper = max_int))
+    shallow.Spectrum.bounds
+
+let test_composer_matches_exact_costs () =
+  (* The composer's costs agree with MCE on census-range functions... *)
+  let census = Fmcf.run ~max_depth:6 library3 in
+  let express = Spectrum.composer census in
+  List.iter
+    (fun target ->
+      match (express target, Mce.express library3 target) with
+      | Some composed, Some exact ->
+          check Alcotest.int "optimal" exact.Mce.cost composed.Mce.cost;
+          checkb "verified" true (Verify.result_valid library3 composed)
+      | _ -> Alcotest.fail "both must synthesize")
+    [
+      Reversible.Gates.g1;
+      Reversible.Gates.toffoli3;
+      Reversible.Gates.cnot ~bits:3 ~control:2 ~target:1;
+      Reversible.Revfun.compose (Reversible.Revfun.xor_layer ~bits:3 3)
+        Reversible.Gates.g2;
+    ];
+  (* ...and constructs a verified cascade for Fredkin (cost 7, beyond this
+     census depth 6) at its exact cost. *)
+  match express Reversible.Gates.fredkin3 with
+  | Some r ->
+      check Alcotest.int "fredkin composed at 7" 7 r.Mce.cost;
+      checkb "verified" true (Verify.result_valid library3 r)
+  | None -> Alcotest.fail "fredkin composable"
+
+let test_composer_covers_the_group () =
+  let census = Fmcf.run ~max_depth:7 library3 in
+  let express = Spectrum.composer census in
+  let group =
+    Universality.closure_of (Reversible.Gates.g1 :: Universality.cnots ~bits:3)
+  in
+  let histogram = Hashtbl.create 16 in
+  Permgroup.Closure.iter
+    (fun p ->
+      match express (Reversible.Revfun.of_perm ~bits:3 p) with
+      | Some r ->
+          Hashtbl.replace histogram r.Mce.cost
+            (1 + Option.value ~default:0 (Hashtbl.find_opt histogram r.Mce.cost))
+      | None -> Alcotest.fail "every function must be composable")
+    group;
+  (* The constructed-cost histogram equals the exact spectrum; each
+     construction is an upper bound, so multiset equality proves
+     per-function optimality. *)
+  let expected =
+    [ (0, 1); (1, 6); (2, 24); (3, 51); (4, 84); (5, 156); (6, 398); (7, 540);
+      (8, 444); (9, 1440); (10, 552); (12, 1232); (13, 112) ]
+  in
+  List.iter
+    (fun (cost, n) ->
+      check Alcotest.int (Printf.sprintf "cost %d" cost) n
+        (Option.value ~default:0 (Hashtbl.find_opt histogram cost)))
+    expected;
+  checkb "nothing at cost 11" true (Hashtbl.find_opt histogram 11 = None)
+
+(* Equivalence *)
+
+let toffoli_cascades =
+  lazy
+    (List.map
+       (fun r -> r.Mce.cascade)
+       (Mce.all_realizations library3 Reversible.Gates.toffoli3))
+
+let test_equivalence_fig9_structure () =
+  let cascades = Lazy.force toffoli_cascades in
+  let groups = Equivalence.group_by_circuit library3 cascades in
+  check Alcotest.int "4 circuit groups" 4 (List.length groups);
+  List.iter (fun g -> check Alcotest.int "10 orderings each" 10 (List.length g)) groups;
+  (* closed under V <-> V+, every cascade has a distinct partner *)
+  check Alcotest.int "all vdag-paired" 40 (Equivalence.vdag_closed library3 cascades);
+  (* the XOR wire is A or B, never C — the paper's observation *)
+  List.iter
+    (fun cascade ->
+      match Equivalence.xor_wires cascade with
+      | [ w ] -> checkb "xor on A or B" true (w = 0 || w = 1)
+      | _ -> Alcotest.fail "exactly one XOR wire expected")
+    cascades;
+  (* relabeling A <-> B maps minimal cascades to minimal cascades *)
+  let orbits = Equivalence.relabel_orbits ~qubits:3 cascades in
+  check Alcotest.int "20 orbits" 20 (List.length orbits);
+  List.iter (fun o -> check Alcotest.int "pairs" 2 (List.length o)) orbits
+
+let test_equivalence_basics () =
+  let a = Cascade.of_string ~qubits:3 "VCB*FBA*VCA*V+CB" in
+  let b = Cascade.of_string ~qubits:3 "V+CB*FBA*V+CA*VCB" in
+  checkb "same function" true (Equivalence.same_function library3 a b);
+  checkb "different circuits" false (Equivalence.same_circuit library3 a b);
+  checkb "same circuit reflexive" true (Equivalence.same_circuit library3 a a);
+  check (Alcotest.list Alcotest.int) "xor wires" [ 1 ] (Equivalence.xor_wires a)
+
+let test_relabel_cascade () =
+  let a = Cascade.of_string ~qubits:3 "VCB*FBA" in
+  let swapped = Equivalence.relabel_cascade a [| 1; 0; 2 |] in
+  check Alcotest.string "relabeled" "VCA*FAB" (Cascade.to_string swapped);
+  checkb "bad sigma" true
+    (match Equivalence.relabel_cascade a [| 0; 0; 2 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_vdag_not_closed () =
+  checkb "open set rejected" true
+    (match Equivalence.vdag_closed library3 [ Cascade.of_string ~qubits:3 "VBA" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Census_io *)
+
+let test_census_io_roundtrip () =
+  let census = Fmcf.run ~max_depth:4 library3 in
+  let path = Filename.temp_file "qsynth_census" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Census_io.save census path;
+      let entries = Census_io.load library3 path in
+      check Alcotest.int "entry count" (Fmcf.total_found census) (List.length entries);
+      (* lookups agree with the census *)
+      List.iter
+        (fun target ->
+          match (Census_io.lookup entries target, Fmcf.find census target) with
+          | Some e, Some m -> check Alcotest.int "cost" m.Fmcf.cost e.Census_io.cost
+          | None, None -> ()
+          | _ -> Alcotest.fail "lookup disagrees with census")
+        [ Reversible.Gates.g1; Reversible.Gates.toffoli3;
+          Reversible.Gates.cnot ~bits:3 ~control:2 ~target:0 ])
+
+let test_census_io_validation () =
+  let reject content message =
+    let path = Filename.temp_file "qsynth_census" ".tsv" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let out = open_out path in
+        output_string out content;
+        close_out out;
+        checkb message true
+          (match Census_io.load library3 path with
+          | exception Invalid_argument _ -> true
+          | _ -> false))
+  in
+  reject "nonsense line\n" "malformed line rejected";
+  reject "3\t(7,8)\tFBA\n" "cost mismatch rejected";
+  reject "1\t(7,8)\tFBA\n" "wrong function rejected";
+  reject "2\t()\tVBA*FBA\n" "unreasonable cascade rejected"
+
+let test_census_io_comments_and_valid () =
+  let path = Filename.temp_file "qsynth_census" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let out = open_out path in
+      output_string out "# comment\n\n1\t(5,7)(6,8)\tFBA\n";
+      close_out out;
+      match Census_io.load library3 path with
+      | [ entry ] ->
+          check Alcotest.int "cost" 1 entry.Census_io.cost;
+          checkb "function" true
+            (Reversible.Revfun.equal entry.Census_io.func
+               (Reversible.Gates.cnot ~bits:3 ~control:0 ~target:1))
+      | _ -> Alcotest.fail "one entry expected")
+
+let () =
+  Alcotest.run "toolkit"
+    [
+      ( "cost_model",
+        [
+          Alcotest.test_case "canned models" `Quick test_cost_models;
+          Alcotest.test_case "validation" `Quick test_cost_model_validation;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "unit model matches BFS" `Quick
+            test_weighted_unit_matches_bfs;
+          Alcotest.test_case "known weighted costs" `Quick test_weighted_known_costs;
+          Alcotest.test_case "identity and NOT layers" `Quick
+            test_weighted_identity_and_not;
+          Alcotest.test_case "unit census matches" `Quick test_weighted_census;
+          Alcotest.test_case "v-cheap census" `Quick test_weighted_census_v_cheap;
+          Alcotest.test_case "cost bound" `Quick test_weighted_depth_bound;
+        ] );
+      ("weighted properties", weighted_props);
+      ( "rewrite",
+        [
+          Alcotest.test_case "cancellation rules" `Quick test_cancel_rules;
+          Alcotest.test_case "cancel_once" `Quick test_cancel_once;
+          Alcotest.test_case "commutation structure" `Quick test_commute_structure;
+        ] );
+      ("rewrite properties", rewrite_props);
+      ( "draw",
+        [
+          Alcotest.test_case "peres figure" `Quick test_draw_peres;
+          Alcotest.test_case "NOT layer" `Quick test_draw_not_mask;
+          Alcotest.test_case "labels" `Quick test_draw_labels;
+          Alcotest.test_case "crossing" `Quick test_draw_crossing;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "pruning is what makes FMCF sound" `Slow
+            test_ablation_diverges_and_is_unsound;
+        ] );
+      ( "spectrum",
+        [
+          Alcotest.test_case "subadditivity premise" `Quick test_subadditivity_premise;
+          Alcotest.test_case "bounds at depth 5" `Slow test_spectrum_bounds;
+          Alcotest.test_case "upper bounds sound" `Slow test_spectrum_upper_bounds_sound;
+          Alcotest.test_case "composer optimal on samples" `Slow
+            test_composer_matches_exact_costs;
+          Alcotest.test_case "composer covers the group" `Slow
+            test_composer_covers_the_group;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "figure 9 structure" `Slow test_equivalence_fig9_structure;
+          Alcotest.test_case "basics" `Quick test_equivalence_basics;
+          Alcotest.test_case "relabel cascade" `Quick test_relabel_cascade;
+          Alcotest.test_case "vdag closure check" `Quick test_vdag_not_closed;
+        ] );
+      ( "census_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_census_io_roundtrip;
+          Alcotest.test_case "validation" `Quick test_census_io_validation;
+          Alcotest.test_case "comments" `Quick test_census_io_comments_and_valid;
+        ] );
+    ]
