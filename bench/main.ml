@@ -1,12 +1,16 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (printed first, with wall-clock timings), then runs one Bechamel
-   micro-benchmark per experiment.
+   micro-benchmark per experiment, and finally writes the machine-readable
+   perf artifact BENCH_1.json (named experiment timings + bechamel
+   estimates + the telemetry snapshot of the depth-7 census).  Later PRs
+   append BENCH_N.json in the same schema to track the perf trajectory;
+   the schema is documented in doc/OBSERVABILITY.md.
 
    Paper: Yang, Hung, Song, Perkowski, "Exact Synthesis of 3-qubit Quantum
    Circuits from Non-binary Quantum Gates Using Multiple-Valued Logic and
    Group Theory" (DATE 2005).
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe   (set BENCH_OUT to change the path) *)
 
 open Synthesis
 
@@ -17,6 +21,16 @@ let time name f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
   Format.printf "  [%-28s %8.3fs]@." name (Unix.gettimeofday () -. t0);
+  result
+
+(* Named experiment timings, accumulated for BENCH_1.json. *)
+let timings : (string * float) list ref = ref []
+
+let experiment name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  timings := (name, dt) :: !timings;
   result
 
 let hr title = Format.printf "@.==== %s ====@." title
@@ -400,6 +414,7 @@ let bechamel_tests =
            Verify.cascade_implements ~qubits:3 peres_cascade Reversible.Gates.g1));
   ]
 
+(* Runs the micro-benchmarks and returns [(name, ns_per_run)] rows. *)
 let run_bechamel () =
   hr "Bechamel micro-benchmarks (time per run)";
   let open Bechamel in
@@ -428,24 +443,67 @@ let run_bechamel () =
       results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  List.iter (fun (name, ns) -> Format.printf "%-32s %s@." name (pretty ns)) rows
+  List.iter (fun (name, ns) -> Format.printf "%-32s %s@." name (pretty ns)) rows;
+  rows
+
+(* BENCH_N.json: the perf-trajectory artifact.  Every PR regenerates it so
+   per-experiment wall-clock and engine counters can be compared across
+   the repository's history. *)
+
+let write_bench_json ~telemetry_snapshot ~bechamel_rows path =
+  let open Telemetry in
+  let json =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("bench_id", Json.Int 1);
+        ("generated_by", Json.String "bench/main.ml");
+        ("unix_time", Json.Float (Unix.time ()));
+        ("ocaml_version", Json.String Sys.ocaml_version);
+        ("word_size", Json.Int Sys.word_size);
+        ( "experiments",
+          Json.List
+            (List.rev_map
+               (fun (name, seconds) ->
+                 Json.Obj
+                   [ ("name", Json.String name); ("seconds", Json.Float seconds) ])
+               !timings) );
+        ( "bechamel_ns_per_run",
+          Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) bechamel_rows) );
+        ("telemetry", telemetry_snapshot);
+      ]
+  in
+  let oc = open_out path in
+  Telemetry.Json.to_channel ~pretty:true oc json;
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote %s@." path
 
 let () =
   Format.printf "Reproduction harness: exact 3-qubit quantum circuit synthesis@.";
-  reproduce_table1 ();
-  let census = reproduce_table2 () in
-  reproduce_figures_4_to_8 ();
-  reproduce_figure_9 ();
-  reproduce_figure_9_structure ();
-  reproduce_group_results census;
-  reproduce_timing ();
-  reproduce_two_qubit ();
-  reproduce_fredkin ();
-  reproduce_weighted ();
-  reproduce_classical_libraries ();
-  reproduce_composer census;
-  reproduce_behavior ();
-  reproduce_ablation ();
-  reproduce_rewrite ();
-  reproduce_qrng ();
-  run_bechamel ()
+  experiment "table1" reproduce_table1;
+  (* Telemetry is scoped to the canonical depth-7 census: the experiments
+     after it run further censuses (cost-family probes, 2-qubit, ablation)
+     over the same global series registry, and letting them all write would
+     leave BENCH_1.json with per-level series that belong to no single run. *)
+  Telemetry.set_enabled true;
+  let census = experiment "table2/census-depth7" reproduce_table2 in
+  let telemetry_snapshot = Telemetry.snapshot () in
+  Telemetry.set_enabled false;
+  experiment "figs4-8/cost-4-family" reproduce_figures_4_to_8;
+  experiment "fig9/toffoli" reproduce_figure_9;
+  experiment "fig9/symmetry-structure" reproduce_figure_9_structure;
+  experiment "sec5/group-results" (fun () -> reproduce_group_results census);
+  experiment "sec5/timings" reproduce_timing;
+  experiment "x2/two-qubit-census" reproduce_two_qubit;
+  experiment "ext/fredkin" reproduce_fredkin;
+  experiment "ext/weighted" reproduce_weighted;
+  experiment "ext/classical-libraries" reproduce_classical_libraries;
+  experiment "ext/composer" (fun () -> reproduce_composer census);
+  experiment "sec6/behavior" reproduce_behavior;
+  experiment "ablation/unconstrained" reproduce_ablation;
+  experiment "ext/rewrite" reproduce_rewrite;
+  experiment "sec4/qrng" reproduce_qrng;
+  let bechamel_rows = run_bechamel () in
+  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_1.json" in
+  write_bench_json ~telemetry_snapshot ~bechamel_rows path

@@ -4,13 +4,52 @@
 open Cmdliner
 open Synthesis
 
-let setup_logs verbose =
+let setup_logs verbosity =
   Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+  Logs.set_level
+    (match verbosity with
+    | 0 -> Some Logs.Warning
+    | 1 -> Some Logs.Info
+    | _ -> Some Logs.Debug)
 
 let verbose_arg =
-  let doc = "Print search progress (levels, state counts) to stderr." in
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+  let doc =
+    "Increase log verbosity: -v prints per-level progress (info), -vv full \
+     search traces (debug)."
+  in
+  Term.(const List.length $ Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc))
+
+(* telemetry plumbing shared by the search-heavy subcommands *)
+
+let metrics_arg =
+  let doc =
+    "Enable telemetry and write a JSON snapshot (counters, gauges, \
+     histograms, per-level series, span tree) to $(docv) on exit.  The \
+     schema is documented in doc/OBSERVABILITY.md."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc = "Enable telemetry and print the live span tree to stderr." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+(* [setup_telemetry verbosity metrics trace] configures logs and the
+   telemetry switch; returns the snapshot writer to run after the work. *)
+let setup_telemetry verbosity metrics trace =
+  setup_logs verbosity;
+  if metrics <> None || trace then Telemetry.set_enabled true;
+  Telemetry.set_trace trace;
+  fun () ->
+    match metrics with
+    | None -> ()
+    | Some path -> (
+        try
+          Telemetry.write_snapshot path;
+          Format.eprintf "telemetry snapshot written to %s@." path
+        with Sys_error msg ->
+          Format.eprintf "error: cannot write telemetry snapshot: %s@." msg)
+
+let telemetry_term = Term.(const setup_telemetry $ verbose_arg $ metrics_arg $ trace_arg)
 
 let make_library qubits = Library.make (Mvl.Encoding.make ~qubits)
 
@@ -25,8 +64,7 @@ let depth_arg =
 (* census *)
 
 let census_cmd =
-  let run verbose qubits depth paper_variant save =
-    setup_logs verbose;
+  let run finish_telemetry qubits depth paper_variant save =
     let library = make_library qubits in
     let t0 = Unix.gettimeofday () in
     let census = Fmcf.run ~max_depth:depth library in
@@ -48,7 +86,9 @@ let census_cmd =
     Format.printf "@.total functions found: %d; search states: %d; %.2fs@."
       (Fmcf.total_found census)
       (Search.size (Fmcf.search census))
-      elapsed
+      elapsed;
+    if Telemetry.enabled () then Telemetry.log_summary ();
+    finish_telemetry ()
   in
   let paper_flag =
     Arg.(value & flag & info [ "paper-variant" ]
@@ -60,12 +100,12 @@ let census_cmd =
            ~doc:"Save the census (cost, function, witness cascade) as TSV.")
   in
   Cmd.v (Cmd.info "census" ~doc:"Reproduce Table 2: |G[k]| for k = 0..depth.")
-    Term.(const run $ verbose_arg $ qubits_arg $ depth_arg $ paper_flag $ save_arg)
+    Term.(const run $ telemetry_term $ qubits_arg $ depth_arg $ paper_flag $ save_arg)
 
 (* synth *)
 
 let synth_cmd =
-  let run qubits depth all spec =
+  let run finish_telemetry qubits depth all spec =
     let library = make_library qubits in
     let target = Reversible.Spec.parse ~bits:qubits spec in
     Format.printf "target: %a@." Reversible.Revfun.pp target;
@@ -88,7 +128,7 @@ let synth_cmd =
             results)
     end
     else
-      match Mce.express ~max_depth:depth library target with
+      (match Mce.express ~max_depth:depth library target with
       | None -> Format.printf "no realization within depth %d@." depth
       | Some r ->
           Format.printf "cost %d (%.3fs): %s%a  [verified: %b]@." r.Mce.cost
@@ -96,7 +136,8 @@ let synth_cmd =
             (if r.Mce.not_mask = 0 then ""
              else Printf.sprintf "NOT(mask=%d) * " r.Mce.not_mask)
             Cascade.pp r.Mce.cascade
-            (Verify.result_valid library r)
+            (Verify.result_valid library r));
+    finish_telemetry ()
   in
   let all_flag =
     Arg.(value & flag & info [ "a"; "all" ] ~doc:"Enumerate all minimal realizations.")
@@ -111,7 +152,7 @@ let synth_cmd =
     (Cmd.info "synth"
        ~doc:"Synthesize a minimal-cost quantum cascade for a reversible function \
              (the paper's MCE algorithm).")
-    Term.(const run $ qubits_arg $ depth_arg $ all_flag $ spec_arg)
+    Term.(const run $ telemetry_term $ qubits_arg $ depth_arg $ all_flag $ spec_arg)
 
 (* table1 *)
 
@@ -135,7 +176,7 @@ let table1_cmd =
 (* universal *)
 
 let universal_cmd =
-  let run () =
+  let run finish_telemetry =
     let library = make_library 3 in
     let census = Fmcf.run ~max_depth:4 library in
     let linear, family = Universality.split_g4 census in
@@ -158,13 +199,14 @@ let universal_cmd =
           (List.hd orbit))
       orbits;
     let g_size, h_size = Universality.theorem2_check ~bits:3 in
-    Format.printf "|G| = %d, |S8| = %d (Theorem 2 coset checks passed)@." g_size h_size
+    Format.printf "|G| = %d, |S8| = %d (Theorem 2 coset checks passed)@." g_size h_size;
+    finish_telemetry ()
   in
   Cmd.v
     (Cmd.info "universal"
        ~doc:"Reproduce the Section 5 group-theory results: the 24 universal \
              cost-4 circuits, their orbits, |G| = 5040 and Theorem 2.")
-    Term.(const run $ const ())
+    Term.(const run $ telemetry_term)
 
 (* simulate *)
 
@@ -288,7 +330,7 @@ let describe_cmd =
 (* spectrum *)
 
 let spectrum_cmd =
-  let run depth probe =
+  let run finish_telemetry depth probe =
     let library = make_library 3 in
     let t0 = Unix.gettimeofday () in
     let census = Fmcf.run ~max_depth:depth library in
@@ -322,7 +364,8 @@ let spectrum_cmd =
         (fun (c, n) -> Format.printf " %d:%d" c n)
         completion.Spectrum.resolved_tail;
       Format.printf "@.unresolved: %d@." completion.Spectrum.unresolved
-    end
+    end;
+    finish_telemetry ()
   in
   let depth_arg =
     Arg.(value & opt int 7 & info [ "d"; "depth" ] ~docv:"K" ~doc:"Census depth.")
@@ -337,7 +380,7 @@ let spectrum_cmd =
     (Cmd.info "spectrum"
        ~doc:"Complete the minimal-cost spectrum of all 5040 NOT-free reversible \
              functions: exact costs up to the census depth, provable bounds beyond.")
-    Term.(const run $ depth_arg $ probe_flag)
+    Term.(const run $ telemetry_term $ depth_arg $ probe_flag)
 
 (* draw *)
 

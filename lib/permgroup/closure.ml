@@ -1,9 +1,20 @@
+let log_src = Logs.Src.create "qsynth.closure" ~doc:"Group closure enumeration"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_elements = Telemetry.Counter.create "closure.elements"
+let m_levels = Telemetry.Counter.create "closure.levels"
+let s_orbit_growth = Telemetry.Series.create "closure.level_sizes"
+let h_generate = Telemetry.Histogram.create "closure.generate.seconds"
+
 type t = {
   degree : int;
   table : (string, Perm.t * int) Hashtbl.t; (* key -> (element, BFS level) *)
 }
 
 let generate ?(limit = 10_000_000) gens =
+  Telemetry.Histogram.time h_generate @@ fun () ->
+  Telemetry.Span.with_span "closure.generate" @@ fun () ->
   let degree =
     match gens with
     | [] -> invalid_arg "Closure.generate: empty generating set"
@@ -17,9 +28,10 @@ let generate ?(limit = 10_000_000) gens =
   let id = Perm.identity degree in
   Hashtbl.add table (Perm.key id) (id, 0);
   let frontier = ref [ id ] and level = ref 0 in
+  Telemetry.Series.set s_orbit_growth ~index:0 1;
   while !frontier <> [] do
     incr level;
-    let next = ref [] in
+    let next = ref [] and fresh = ref 0 in
     List.iter
       (fun p ->
         List.iter
@@ -30,12 +42,22 @@ let generate ?(limit = 10_000_000) gens =
               if Hashtbl.length table >= limit then
                 invalid_arg "Closure.generate: group exceeds size limit";
               Hashtbl.add table k (q, !level);
-              next := q :: !next
+              next := q :: !next;
+              incr fresh
             end)
           gens)
       !frontier;
+    Telemetry.Series.set s_orbit_growth ~index:!level !fresh;
+    Telemetry.Counter.incr m_levels;
+    Log.debug (fun m ->
+        m "level %d: %d new elements, %d total" !level !fresh (Hashtbl.length table));
     frontier := !next
   done;
+  Telemetry.Counter.add m_elements (Hashtbl.length table);
+  Telemetry.Span.set_attr "size" (Telemetry.Json.Int (Hashtbl.length table));
+  Log.info (fun m ->
+      m "closure of %d generator(s): %d elements in %d level(s)" (List.length gens)
+        (Hashtbl.length table) !level);
   { degree; table }
 
 let size g = Hashtbl.length g.table

@@ -1,3 +1,9 @@
+let m_sifts = Telemetry.Counter.create "schreier.sifts"
+let m_residues = Telemetry.Counter.create "schreier.residues"
+let m_orbit_points = Telemetry.Counter.create "schreier.orbit.points"
+let g_chain_length = Telemetry.Gauge.create "schreier.chain.length"
+let h_build = Telemetry.Histogram.create "schreier.build.seconds"
+
 type level = {
   base : int;
   mutable gens : Perm.t list;
@@ -34,6 +40,7 @@ let recompute_orbit degree level =
         end)
       level.gens
   done;
+  Telemetry.Counter.add m_orbit_points (Hashtbl.length transversal);
   level.transversal <- transversal
 
 (* Sift [g] through levels [i..]; [None] when [g] factors completely into
@@ -41,6 +48,7 @@ let recompute_orbit degree level =
    [Some (j, residue)] when sifting stops: either the image of base [j]
    left the orbit, or ([j] = chain length) the chain must grow. *)
 let sift_from chain i g =
+  Telemetry.Counter.incr m_sifts;
   let rec go levels j g =
     match levels with
     | [] -> if Perm.is_identity g then None else Some (j, g)
@@ -58,6 +66,7 @@ let sift_from chain i g =
    to the stabilizer groups of every level in [i+1..j]: add it to all their
    generating sets (creating level [j] when the chain must grow). *)
 let insert_residue chain ~low ~stop r =
+  Telemetry.Counter.incr m_residues;
   let len = List.length chain.levels in
   if stop = len then begin
     let base =
@@ -110,6 +119,8 @@ let rec complete chain i =
   end
 
 let of_generators ~degree gens =
+  Telemetry.Histogram.time h_build @@ fun () ->
+  Telemetry.Span.with_span "schreier.build" @@ fun () ->
   List.iter
     (fun g ->
       if Perm.degree g <> degree then
@@ -125,6 +136,8 @@ let of_generators ~degree gens =
       in
       chain.levels <- [ { base; gens; transversal = Hashtbl.create 16 } ];
       complete chain 0);
+  Telemetry.Gauge.set_int g_chain_length (List.length chain.levels);
+  Telemetry.Span.set_attr "levels" (Telemetry.Json.Int (List.length chain.levels));
   chain
 
 let orbit_sizes chain =

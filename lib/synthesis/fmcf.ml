@@ -1,3 +1,15 @@
+let log_src = Logs.Src.create "qsynth.fmcf" ~doc:"FMCF census (Table 2)"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let s_frontier = Telemetry.Series.create "fmcf.level.frontier"
+let s_pre_g = Telemetry.Series.create "fmcf.level.pre_g"
+let s_g = Telemetry.Series.create "fmcf.level.g"
+let s_paper_g = Telemetry.Series.create "fmcf.level.paper_g"
+let m_dedupe_level = Telemetry.Counter.create "fmcf.dedupe.level_hits"
+let m_dedupe_global = Telemetry.Counter.create "fmcf.dedupe.global_hits"
+let h_restrict = Telemetry.Histogram.create "fmcf.restriction.seconds"
+
 type member = { func : Reversible.Revfun.t; witness : string; cost : int }
 
 type level = {
@@ -7,46 +19,67 @@ type level = {
   paper_count : int;
 }
 
-type t = { library : Library.t; search : Search.t; levels : level list }
+type t = {
+  library : Library.t;
+  search : Search.t;
+  levels : level list;
+  index : (string, member) Hashtbl.t; (* func_key -> member, built at census time *)
+}
 
 let func_key func = Permgroup.Perm.key (Reversible.Revfun.to_perm func)
 
 let run ?(max_depth = 7) library =
+  Telemetry.Span.with_span "fmcf.run"
+    ~attrs:[ ("max_depth", Telemetry.Json.Int max_depth) ]
+  @@ fun () ->
   let search = Search.create library in
   let found = Hashtbl.create 4096 in
   let paper_found = Hashtbl.create 4096 in
+  let index = Hashtbl.create 4096 in
   let identity_func = Reversible.Revfun.identity ~bits:(Library.qubits library) in
   (* G[0] = {identity}; the paper's variant never subtracts it. *)
-  Hashtbl.add found (func_key identity_func) ();
   let root = List.hd (Search.frontier search) in
+  let identity_member = { func = identity_func; witness = root; cost = 0 } in
+  Hashtbl.add found (func_key identity_func) ();
+  Hashtbl.add index (func_key identity_func) identity_member;
   let level0 =
-    {
-      cost = 0;
-      frontier_size = 1;
-      members = [ { func = identity_func; witness = root; cost = 0 } ];
-      paper_count = 1;
-    }
+    { cost = 0; frontier_size = 1; members = [ identity_member ]; paper_count = 1 }
   in
+  Telemetry.Series.set s_frontier ~index:0 1;
+  Telemetry.Series.set s_pre_g ~index:0 1;
+  Telemetry.Series.set s_g ~index:0 1;
+  Telemetry.Series.set s_paper_g ~index:0 1;
   let levels = ref [ level0 ] in
   for cost = 1 to max_depth do
+    Telemetry.Span.with_span "fmcf.level"
+      ~attrs:[ ("cost", Telemetry.Json.Int cost) ]
+    @@ fun () ->
     let fresh = Search.step search in
     let members = ref [] in
+    let member_count = ref 0 in
+    let level_hits = ref 0 and global_hits = ref 0 in
     let level_restrictions = Hashtbl.create 256 in
-    List.iter
-      (fun key ->
-        match Search.restriction_of_key search key with
-        | None -> ()
-        | Some func ->
-            let fk = func_key func in
-            (* pre_G[cost] as a set: dedupe within the level. *)
-            if not (Hashtbl.mem level_restrictions fk) then begin
-              Hashtbl.add level_restrictions fk key;
-              if not (Hashtbl.mem found fk) then begin
-                Hashtbl.add found fk ();
-                members := { func; witness = key; cost } :: !members
-              end
-            end)
-      fresh;
+    Telemetry.Histogram.time h_restrict (fun () ->
+        List.iter
+          (fun key ->
+            match Search.restriction_of_key search key with
+            | None -> ()
+            | Some func ->
+                let fk = func_key func in
+                (* pre_G[cost] as a set: dedupe within the level. *)
+                if not (Hashtbl.mem level_restrictions fk) then begin
+                  Hashtbl.add level_restrictions fk key;
+                  if not (Hashtbl.mem found fk) then begin
+                    Hashtbl.add found fk ();
+                    let member = { func; witness = key; cost } in
+                    Hashtbl.add index fk member;
+                    members := member :: !members;
+                    incr member_count
+                  end
+                  else incr global_hits
+                end
+                else incr level_hits)
+          fresh);
     (* Paper-variant count: level 2 skips subtraction of earlier levels;
        other levels subtract everything recorded so far (which never
        includes the identity, G[0]). *)
@@ -58,16 +91,28 @@ let run ?(max_depth = 7) library =
     Hashtbl.iter
       (fun fk _ -> if not (Hashtbl.mem paper_found fk) then Hashtbl.add paper_found fk ())
       level_restrictions;
+    let frontier_size = List.length fresh in
+    Telemetry.Series.set s_frontier ~index:cost frontier_size;
+    Telemetry.Series.set s_pre_g ~index:cost (Hashtbl.length level_restrictions);
+    Telemetry.Series.set s_g ~index:cost !member_count;
+    Telemetry.Series.set s_paper_g ~index:cost !paper_count;
+    Telemetry.Counter.add m_dedupe_level !level_hits;
+    Telemetry.Counter.add m_dedupe_global !global_hits;
+    Log.info (fun m ->
+        m "level %d: frontier %d, pre-G %d, |G[%d]| = %d (dedupe: %d in-level, %d global)"
+          cost frontier_size
+          (Hashtbl.length level_restrictions)
+          cost !member_count !level_hits !global_hits);
     levels :=
       {
         cost;
-        frontier_size = List.length fresh;
+        frontier_size;
         members = List.rev !members;
         paper_count = !paper_count;
       }
       :: !levels
   done;
-  { library; search; levels = List.rev !levels }
+  { library; search; levels = List.rev !levels; index }
 
 let levels t = t.levels
 let search t = t.search
@@ -81,15 +126,7 @@ let s8_counts t =
 let total_found t =
   List.fold_left (fun acc l -> acc + List.length l.members) 0 t.levels
 
-let find t func =
-  let rec go = function
-    | [] -> None
-    | l :: rest -> (
-        match List.find_opt (fun m -> Reversible.Revfun.equal m.func func) l.members with
-        | Some m -> Some m
-        | None -> go rest)
-  in
-  go t.levels
+let find t func = Hashtbl.find_opt t.index (func_key func)
 
 let cascade_of_member t member = Search.cascade_of_key t.search member.witness
 let members_at t ~cost =

@@ -55,7 +55,9 @@ val s8_counts : t -> (int * int) list
     synthesized within the depth bound. *)
 val total_found : t -> int
 
-(** [find t func] locates a function in the census. *)
+(** [find t func] locates a function in the census — O(1) via a
+    hashtable keyed on the function's permutation key, built at census
+    time. *)
 val find : t -> Reversible.Revfun.t -> member option
 
 (** [cascade_of_member t member] rebuilds the witness cascade. *)

@@ -1,5 +1,14 @@
 open Reversible
 
+let log_src = Logs.Src.create "qsynth.mce" ~doc:"Minimum-cost expression (MCE)"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_queries = Telemetry.Counter.create "mce.queries"
+let m_realizations = Telemetry.Counter.create "mce.realizations"
+let g_depth_reached = Telemetry.Gauge.create "mce.depth_reached"
+let h_search = Telemetry.Histogram.create "mce.search.seconds"
+
 type result = {
   target : Revfun.t;
   not_mask : int;
@@ -19,11 +28,20 @@ let strip_not_layer target =
 (* Run the BFS until some key restricts to [remainder]; return the level's
    witnesses.  Depth 0 (identity) handled by the caller. *)
 let search_until ~max_depth library remainder =
+  Telemetry.Counter.incr m_queries;
+  Telemetry.Histogram.time h_search @@ fun () ->
+  Telemetry.Span.with_span "mce.search"
+    ~attrs:[ ("max_depth", Telemetry.Json.Int max_depth) ]
+  @@ fun () ->
   let search = Search.create library in
   let rec go () =
-    if Search.depth search >= max_depth then None
+    if Search.depth search >= max_depth then begin
+      Log.debug (fun m -> m "depth bound %d reached without a witness" max_depth);
+      None
+    end
     else begin
       let fresh = Search.step search in
+      Telemetry.Gauge.set_int g_depth_reached (Search.depth search);
       if fresh = [] then None
       else
         let witnesses =
@@ -34,7 +52,16 @@ let search_until ~max_depth library remainder =
               | None -> false)
             fresh
         in
-        if witnesses = [] then go () else Some (search, witnesses)
+        if witnesses = [] then go ()
+        else begin
+          Telemetry.Counter.add m_realizations (List.length witnesses);
+          Telemetry.Span.set_attr "witnesses"
+            (Telemetry.Json.Int (List.length witnesses));
+          Log.info (fun m ->
+              m "found %d witness(es) at depth %d (%d states explored)"
+                (List.length witnesses) (Search.depth search) (Search.size search));
+          Some (search, witnesses)
+        end
     end
   in
   go ()

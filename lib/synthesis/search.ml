@@ -4,6 +4,14 @@ let log_src = Logs.Src.create "qsynth.search" ~doc:"BFS search engine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+let m_states_new = Telemetry.Counter.create "search.states.new"
+let m_states_dup = Telemetry.Counter.create "search.states.duplicate"
+let m_sig_rejected = Telemetry.Counter.create "search.expansions.signature_rejected"
+let g_frontier = Telemetry.Gauge.create "search.frontier.size"
+let g_table_size = Telemetry.Gauge.create "search.table.size"
+let g_table_load = Telemetry.Gauge.create "search.table.load"
+let h_step = Telemetry.Histogram.create "search.step.seconds"
+
 type node = { depth : int; via : int; parent : string }
 (* [via] is the library entry index of the last gate, -1 at the root. *)
 
@@ -57,9 +65,12 @@ let compose_key t key perm_array =
   Bytes.unsafe_to_string child
 
 let step t =
+  Telemetry.Histogram.time h_step @@ fun () ->
+  Telemetry.Span.with_span "search.step" @@ fun () ->
   let entries = Library.entries t.library in
   let next_depth = t.depth + 1 in
   let next = ref [] in
+  let fresh = ref 0 and dup = ref 0 and rejected = ref 0 in
   List.iter
     (fun key ->
       let signature = image_signature t key in
@@ -69,20 +80,41 @@ let step t =
             let child = compose_key t key entry.Library.perm_array in
             if not (Hashtbl.mem t.table child) then begin
               Hashtbl.add t.table child { depth = next_depth; via; parent = key };
-              next := child :: !next
+              next := child :: !next;
+              incr fresh
             end
-          end)
+            else incr dup
+          end
+          else incr rejected)
         entries)
     t.frontier;
   t.frontier <- !next;
   t.depth <- next_depth;
+  Telemetry.Counter.add m_states_new !fresh;
+  Telemetry.Counter.add m_states_dup !dup;
+  Telemetry.Counter.add m_sig_rejected !rejected;
+  Telemetry.Gauge.set_int g_frontier !fresh;
+  Telemetry.Gauge.set_int g_table_size (Hashtbl.length t.table);
+  if Telemetry.enabled () then begin
+    let stats = Hashtbl.stats t.table in
+    Telemetry.Gauge.set g_table_load
+      (float_of_int stats.Hashtbl.num_bindings
+      /. float_of_int (max 1 stats.Hashtbl.num_buckets));
+    Telemetry.Span.set_attr "level" (Telemetry.Json.Int next_depth);
+    Telemetry.Span.set_attr "new" (Telemetry.Json.Int !fresh);
+    Telemetry.Span.set_attr "duplicate" (Telemetry.Json.Int !dup);
+    Telemetry.Span.set_attr "signature_rejected" (Telemetry.Json.Int !rejected)
+  end;
   Log.debug (fun m ->
-      m "level %d: %d new states, %d total" next_depth (List.length !next)
-        (Hashtbl.length t.table));
+      m "level %d: %d new states (%d duplicate, %d rejected), %d total" next_depth
+        !fresh !dup !rejected (Hashtbl.length t.table));
   !next
 
 let probe_restrictions t ~steps =
   if steps < 1 || steps > 2 then invalid_arg "Search.probe_restrictions: steps in {1,2}";
+  Telemetry.Span.with_span "search.probe"
+    ~attrs:[ ("steps", Telemetry.Json.Int steps) ]
+  @@ fun () ->
   let entries = Library.entries t.library in
   let nb = t.num_binary in
   let found = Hashtbl.create (1 lsl 12) in

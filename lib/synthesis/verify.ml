@@ -1,5 +1,7 @@
 open Qmath
 
+let h_verify = Telemetry.Histogram.create "verify.unitary.seconds"
+
 let not_layer_matrix ~qubits mask =
   Dmatrix.permutation_matrix (Array.init (1 lsl qubits) (fun code -> code lxor mask))
 
@@ -11,6 +13,7 @@ let classical_function ~qubits ?(not_mask = 0) cascade =
   | None -> None
 
 let cascade_implements ~qubits ?(not_mask = 0) cascade target =
+  Telemetry.Histogram.time h_verify @@ fun () ->
   match classical_function ~qubits ~not_mask cascade with
   | Some f -> Reversible.Revfun.equal f target
   | None -> false

@@ -1,0 +1,351 @@
+module Json = Json
+
+let enabled_ref = ref false
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b
+let now_s = Unix.gettimeofday
+
+let log_src = Logs.Src.create "qsynth.telemetry" ~doc:"Telemetry reporting"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* instruments *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_lo : float;
+  h_buckets : int array; (* last bucket is the overflow bucket *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type series = { s_name : string; mutable s_values : int array; mutable s_len : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
+let series_tbl : (string, series) Hashtbl.t = Hashtbl.create 64
+
+let find_or_create tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      Hashtbl.add tbl name v;
+      v
+
+module Counter = struct
+  type t = counter
+
+  let create name = find_or_create counters name (fun () -> { c_name = name; c_value = 0 })
+  let incr c = if !enabled_ref then c.c_value <- c.c_value + 1
+  let add c n = if !enabled_ref then c.c_value <- c.c_value + n
+  let value c = c.c_value
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let create name = find_or_create gauges name (fun () -> { g_name = name; g_value = 0. })
+  let set g v = if !enabled_ref then g.g_value <- v
+  let set_int g v = if !enabled_ref then g.g_value <- float_of_int v
+  let value g = g.g_value
+  let name g = g.g_name
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let create ?(lo = 1e-6) ?(buckets = 28) name =
+    if lo <= 0. then invalid_arg "Telemetry.Histogram.create: lo must be positive";
+    if buckets < 2 then invalid_arg "Telemetry.Histogram.create: need >= 2 buckets";
+    find_or_create histograms name (fun () ->
+        {
+          h_name = name;
+          h_lo = lo;
+          h_buckets = Array.make buckets 0;
+          h_count = 0;
+          h_sum = 0.;
+          h_min = Float.nan;
+          h_max = Float.nan;
+        })
+
+  let observe h v =
+    if !enabled_ref then begin
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if Float.is_nan h.h_min || v < h.h_min then h.h_min <- v;
+      if Float.is_nan h.h_max || v > h.h_max then h.h_max <- v;
+      let n = Array.length h.h_buckets in
+      let idx =
+        if v <= h.h_lo then 0
+        else
+          let i = int_of_float (Float.ceil (Float.log2 (v /. h.h_lo))) in
+          if i >= n then n - 1 else i
+      in
+      h.h_buckets.(idx) <- h.h_buckets.(idx) + 1
+    end
+
+  let time h f =
+    if !enabled_ref then begin
+      let t0 = now_s () in
+      Fun.protect ~finally:(fun () -> observe h (now_s () -. t0)) f
+    end
+    else f ()
+
+  let count h = h.h_count
+  let sum h = h.h_sum
+  let min_value h = h.h_min
+  let max_value h = h.h_max
+
+  let buckets h =
+    let n = Array.length h.h_buckets in
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if h.h_buckets.(i) > 0 then begin
+        let le =
+          if i = n - 1 then Float.infinity else h.h_lo *. Float.pow 2. (float_of_int i)
+        in
+        acc := (le, h.h_buckets.(i)) :: !acc
+      end
+    done;
+    !acc
+
+  let name h = h.h_name
+end
+
+module Series = struct
+  type t = series
+
+  let create name =
+    find_or_create series_tbl name (fun () ->
+        { s_name = name; s_values = [||]; s_len = 0 })
+
+  let set s ~index v =
+    if !enabled_ref then begin
+      if index < 0 then invalid_arg "Telemetry.Series.set: negative index";
+      if index >= Array.length s.s_values then begin
+        let grown = Array.make (max 8 (2 * (index + 1))) 0 in
+        Array.blit s.s_values 0 grown 0 (Array.length s.s_values);
+        s.s_values <- grown
+      end;
+      s.s_values.(index) <- v;
+      if index + 1 > s.s_len then s.s_len <- index + 1
+    end
+
+  let get s ~index = if index >= 0 && index < s.s_len then Some s.s_values.(index) else None
+  let to_list s = Array.to_list (Array.sub s.s_values 0 s.s_len)
+  let name s = s.s_name
+end
+
+(* spans *)
+
+type span = {
+  sp_name : string;
+  sp_start : float;
+  mutable sp_end : float;
+  mutable sp_attrs : (string * Json.t) list;
+  mutable sp_children : span list; (* reversed *)
+  sp_depth : int;
+}
+
+let span_roots : span list ref = ref []
+let span_stack : span list ref = ref []
+let span_count = ref 0
+let trace_ref = ref false
+let jsonl_ref : out_channel option ref = ref None
+
+let set_trace b = trace_ref := b
+let set_jsonl oc = jsonl_ref := oc
+
+let span_dur sp = if Float.is_nan sp.sp_end then Float.nan else sp.sp_end -. sp.sp_start
+
+let rec span_to_json sp =
+  let base =
+    [
+      ("name", Json.String sp.sp_name);
+      ("start_s", Json.Float sp.sp_start);
+      ("dur_s", Json.Float (span_dur sp));
+    ]
+  in
+  let attrs =
+    if sp.sp_attrs = [] then [] else [ ("attrs", Json.Obj (List.rev sp.sp_attrs)) ]
+  in
+  let children =
+    if sp.sp_children = [] then []
+    else [ ("children", Json.List (List.rev_map span_to_json sp.sp_children)) ]
+  in
+  Json.Obj (base @ attrs @ children)
+
+let jsonl_emit sp =
+  match !jsonl_ref with
+  | None -> ()
+  | Some oc ->
+      let line =
+        Json.Obj
+          [
+            ("type", Json.String "span");
+            ("name", Json.String sp.sp_name);
+            ("depth", Json.Int sp.sp_depth);
+            ("start_s", Json.Float sp.sp_start);
+            ("dur_s", Json.Float (span_dur sp));
+            ("attrs", Json.Obj (List.rev sp.sp_attrs));
+          ]
+      in
+      output_string oc (Json.to_string line);
+      output_char oc '\n';
+      flush oc
+
+module Span = struct
+  let max_spans = 50_000
+
+  let set_attr key v =
+    if !enabled_ref then
+      match !span_stack with
+      | sp :: _ -> sp.sp_attrs <- (key, v) :: List.remove_assoc key sp.sp_attrs
+      | [] -> ()
+
+  let with_span ?(attrs = []) name f =
+    if (not !enabled_ref) || !span_count >= max_spans then f ()
+    else begin
+      incr span_count;
+      let depth = List.length !span_stack in
+      let sp =
+        {
+          sp_name = name;
+          sp_start = now_s ();
+          sp_end = Float.nan;
+          sp_attrs = List.rev attrs;
+          sp_children = [];
+          sp_depth = depth;
+        }
+      in
+      (match !span_stack with
+      | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+      | [] -> span_roots := sp :: !span_roots);
+      span_stack := sp :: !span_stack;
+      if !trace_ref then
+        Printf.eprintf "%s> %s\n%!" (String.make (2 * depth) ' ') name;
+      Fun.protect
+        ~finally:(fun () ->
+          sp.sp_end <- now_s ();
+          (match !span_stack with
+          | top :: rest when top == sp -> span_stack := rest
+          | _ -> ());
+          if !trace_ref then
+            Printf.eprintf "%s< %s (%.3f ms)\n%!"
+              (String.make (2 * depth) ' ')
+              name
+              (1e3 *. span_dur sp);
+          jsonl_emit sp)
+        f
+    end
+end
+
+(* snapshot *)
+
+let sorted_bindings tbl key_of =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> String.compare (key_of a) (key_of b))
+
+let float_or_null f = if Float.is_nan f then Json.Null else Json.Float f
+
+let histogram_to_json h =
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Float h.h_sum);
+      ("min", float_or_null h.h_min);
+      ("max", float_or_null h.h_max);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, c) ->
+               Json.Obj
+                 [
+                   ("le", if le = Float.infinity then Json.Null else Json.Float le);
+                   ("count", Json.Int c);
+                 ])
+             (Histogram.buckets h)) );
+    ]
+
+let snapshot () =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun c -> (c.c_name, Json.Int c.c_value))
+             (sorted_bindings counters (fun c -> c.c_name))) );
+      ( "gauges",
+        Json.Obj
+          (List.map
+             (fun g -> (g.g_name, Json.Float g.g_value))
+             (sorted_bindings gauges (fun g -> g.g_name))) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun h -> (h.h_name, histogram_to_json h))
+             (sorted_bindings histograms (fun h -> h.h_name))) );
+      ( "series",
+        Json.Obj
+          (List.map
+             (fun s -> (s.s_name, Json.List (List.map (fun v -> Json.Int v) (Series.to_list s))))
+             (sorted_bindings series_tbl (fun s -> s.s_name))) );
+      ("spans", Json.List (List.rev_map span_to_json !span_roots));
+    ]
+
+let write_snapshot path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel ~pretty:true oc (snapshot ());
+      output_char oc '\n')
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.;
+      h.h_min <- Float.nan;
+      h.h_max <- Float.nan)
+    histograms;
+  Hashtbl.iter (fun _ s -> s.s_len <- 0) series_tbl;
+  span_roots := [];
+  span_stack := [];
+  span_count := 0
+
+let log_summary () =
+  List.iter
+    (fun c -> if c.c_value <> 0 then Log.info (fun m -> m "counter %s = %d" c.c_name c.c_value))
+    (sorted_bindings counters (fun c -> c.c_name));
+  List.iter
+    (fun g -> if g.g_value <> 0. then Log.info (fun m -> m "gauge %s = %g" g.g_name g.g_value))
+    (sorted_bindings gauges (fun g -> g.g_name));
+  List.iter
+    (fun h ->
+      if h.h_count > 0 then
+        Log.info (fun m ->
+            m "histogram %s: count %d, sum %.6fs, min %.6fs, max %.6fs" h.h_name
+              h.h_count h.h_sum h.h_min h.h_max))
+    (sorted_bindings histograms (fun h -> h.h_name));
+  List.iter
+    (fun s ->
+      if s.s_len > 0 then
+        Log.info (fun m ->
+            m "series %s = [%s]" s.s_name
+              (String.concat "; " (List.map string_of_int (Series.to_list s)))))
+    (sorted_bindings series_tbl (fun s -> s.s_name));
+  List.iter
+    (fun sp -> Log.info (fun m -> m "span %s: %.3f ms" sp.sp_name (1e3 *. span_dur sp)))
+    (List.rev !span_roots)

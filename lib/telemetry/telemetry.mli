@@ -1,0 +1,152 @@
+(** In-process telemetry for the synthesis engine: counters, gauges,
+    log-bucketed histograms, per-level series, monotonic timers and
+    nestable named spans, with pluggable sinks (a human-readable reporter
+    through {!Logs} and a JSON-lines span exporter).
+
+    Design constraints (see doc/OBSERVABILITY.md):
+    - zero dependencies beyond [unix] and [logs];
+    - a single global switch ({!set_enabled}); while disabled every
+      operation is a one-branch no-op, so library users pay nothing by
+      default;
+    - instruments register themselves once by name at module
+      initialization — {!create} is find-or-create, so re-registration
+      returns the existing instrument;
+    - single-threaded: no locking is performed.
+
+    The registry is global and process-wide.  {!snapshot} captures every
+    registered instrument as one JSON document — the payload written by
+    [qsynth --metrics FILE] and embedded in [BENCH_*.json]. *)
+
+module Json = Json
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+
+(** [set_enabled b] turns recording on or off globally (default: off). *)
+val set_enabled : bool -> unit
+
+(** [now_s ()] is the wall-clock in seconds (the time base of all spans
+    and timers). *)
+val now_s : unit -> float
+
+(** {1 Instruments} *)
+
+module Counter : sig
+  type t
+
+  (** [create name] finds or registers the counter [name]. *)
+  val create : string -> t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val create : string -> t
+  val set : t -> float -> unit
+  val set_int : t -> int -> unit
+  val value : t -> float
+  val name : t -> string
+end
+
+module Histogram : sig
+  type t
+
+  (** [create ?lo ?buckets name] finds or registers a histogram whose
+      bucket [i] counts observations [v] with
+      [lo *. 2.^(i-1) < v <= lo *. 2.^i] (bucket 0 catches [v <= lo];
+      the last bucket catches overflow).  Defaults suit durations in
+      seconds: [lo = 1e-6] (1 µs) and [buckets = 28] (~134 s). *)
+  val create : ?lo:float -> ?buckets:int -> string -> t
+
+  val observe : t -> float -> unit
+
+  (** [time h f] runs [f ()] and observes its wall-clock duration; when
+      telemetry is disabled it is exactly [f ()]. *)
+  val time : t -> (unit -> 'a) -> 'a
+
+  val count : t -> int
+  val sum : t -> float
+  val min_value : t -> float (** [nan] until the first observation *)
+
+  val max_value : t -> float (** [nan] until the first observation *)
+
+  (** [buckets h] lists the non-empty buckets as [(upper_bound, count)];
+      the overflow bucket reports [infinity] as its bound. *)
+  val buckets : t -> (float * int) list
+
+  val name : t -> string
+end
+
+module Series : sig
+  (** A named integer vector indexed by a small non-negative index —
+      the natural shape for per-level BFS statistics (G[k], frontier
+      sizes, orbit growth).  Re-running the producer overwrites the
+      previous values. *)
+
+  type t
+
+  val create : string -> t
+  val set : t -> index:int -> int -> unit
+  val get : t -> index:int -> int option
+  val to_list : t -> int list
+  val name : t -> string
+end
+
+(** {1 Spans} *)
+
+module Span : sig
+  (** [with_span ?attrs name f] runs [f ()] inside a named span nested
+      under the currently open span.  Disabled mode runs [f] directly.
+      Spans are capped process-wide (see {!val-max_spans}); beyond the
+      cap, [f] still runs but no span is recorded. *)
+  val with_span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+  (** [set_attr key v] attaches an attribute to the innermost open span
+      (replacing any previous binding of [key]); no-op when disabled or
+      outside any span. *)
+  val set_attr : string -> Json.t -> unit
+
+  (** Recording cap on the total number of spans kept in memory. *)
+  val max_spans : int
+end
+
+(** {1 Sinks} *)
+
+(** [set_trace b] mirrors span open/close events to stderr as a live
+    indented tree ([qsynth --trace]). *)
+val set_trace : bool -> unit
+
+(** [set_jsonl oc] exports every {e closed} span to [oc] as one JSON
+    object per line ([{"type":"span","name":...,"depth":...,
+    "start_s":...,"dur_s":...,"attrs":{...}}]); [None] (default)
+    disables the exporter.  The channel is flushed per line and is not
+    closed by this module. *)
+val set_jsonl : out_channel option -> unit
+
+(** [log_summary ()] reports every instrument and top-level span through
+    {!Logs} at info level on the [qsynth.telemetry] source — the
+    human-readable sink. *)
+val log_summary : unit -> unit
+
+val log_src : Logs.src
+
+(** {1 Snapshot} *)
+
+(** [snapshot ()] captures all registered instruments:
+    [{"counters":{..}, "gauges":{..}, "histograms":{..}, "series":{..},
+      "spans":[..]}] — instrument maps are sorted by name; the span
+    forest is in recording order. *)
+val snapshot : unit -> Json.t
+
+(** [write_snapshot path] pretty-prints {!snapshot} to [path]. *)
+val write_snapshot : string -> unit
+
+(** [reset ()] zeroes every instrument and drops all recorded spans;
+    registrations (and the enabled switch) survive. *)
+val reset : unit -> unit

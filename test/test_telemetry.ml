@@ -1,0 +1,346 @@
+(* Tests for the telemetry subsystem: counter/gauge/histogram/series
+   arithmetic, span nesting and timing monotonicity, JSON round-trips,
+   the disabled-switch no-op path, the JSON-lines exporter, and a
+   regression test that a census metrics snapshot (what
+   `qsynth census --metrics FILE` writes) parses back as JSON with the
+   Table 2 per-level counts. *)
+
+open Telemetry
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* Every test starts from a clean, enabled registry. *)
+let fresh () =
+  set_enabled true;
+  set_trace false;
+  set_jsonl None;
+  reset ()
+
+(* JSON *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bool", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("whole_float", Json.Float 2.0);
+        ("string", Json.String "line\nquote\" back\\slash \t end");
+        ("list", Json.List [ Json.Int 1; Json.Float 0.25; Json.String "x" ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  let compact = Json.of_string (Json.to_string v) in
+  let pretty = Json.of_string (Json.to_string ~pretty:true v) in
+  checkb "compact round-trip" true (Json.equal v compact);
+  checkb "pretty round-trip" true (Json.equal v pretty)
+
+let test_json_parse () =
+  checkb "escapes" true
+    (Json.equal
+       (Json.of_string {|{"a": "A\n\"", "b": [1, 2.5, -3, true, false, null]}|})
+       (Json.Obj
+          [
+            ("a", Json.String "A\n\"");
+            ( "b",
+              Json.List
+                [
+                  Json.Int 1;
+                  Json.Float 2.5;
+                  Json.Int (-3);
+                  Json.Bool true;
+                  Json.Bool false;
+                  Json.Null;
+                ] );
+          ]));
+  checkb "surrogate pair" true
+    (Json.equal (Json.of_string {|"😀"|}) (Json.String "\xf0\x9f\x98\x80"));
+  checkb "non-finite floats print as null" true
+    (Json.equal (Json.of_string (Json.to_string (Json.Float Float.nan))) Json.Null);
+  Alcotest.check_raises "trailing garbage"
+    (Json.Parse_error "trailing garbage at offset 2") (fun () ->
+      ignore (Json.of_string "1 2"));
+  (match Json.of_string "{}" with
+  | Json.Obj [] -> ()
+  | _ -> Alcotest.fail "empty object");
+  check
+    Alcotest.(option int)
+    "path lookup" (Some 7)
+    (match Json.path [ "a"; "b" ] (Json.of_string {|{"a":{"b":7}}|}) with
+    | Some (Json.Int i) -> Some i
+    | _ -> None)
+
+(* counters, gauges, histograms, series *)
+
+let test_counter_arithmetic () =
+  fresh ();
+  let c = Counter.create "test.counter" in
+  checki "fresh counter" 0 (Counter.value c);
+  Counter.incr c;
+  Counter.incr c;
+  Counter.add c 40;
+  checki "incr and add" 42 (Counter.value c);
+  let c' = Counter.create "test.counter" in
+  checki "find-or-create returns the same instrument" 42 (Counter.value c');
+  reset ();
+  checki "reset zeroes" 0 (Counter.value c)
+
+let test_gauge () =
+  fresh ();
+  let g = Gauge.create "test.gauge" in
+  Gauge.set g 2.5;
+  check (Alcotest.float 0.0) "set" 2.5 (Gauge.value g);
+  Gauge.set_int g 7;
+  check (Alcotest.float 0.0) "set_int" 7.0 (Gauge.value g)
+
+let test_histogram_arithmetic () =
+  fresh ();
+  let h = Histogram.create ~lo:1e-6 ~buckets:28 "test.histogram" in
+  checkb "min is nan before observations" true (Float.is_nan (Histogram.min_value h));
+  List.iter (Histogram.observe h) [ 5e-7; 3e-6; 1e-3; 0.5; 1e9 ];
+  checki "count" 5 (Histogram.count h);
+  check (Alcotest.float 1e-9) "sum" (5e-7 +. 3e-6 +. 1e-3 +. 0.5 +. 1e9) (Histogram.sum h);
+  check (Alcotest.float 0.0) "min" 5e-7 (Histogram.min_value h);
+  check (Alcotest.float 0.0) "max" 1e9 (Histogram.max_value h);
+  let buckets = Histogram.buckets h in
+  checki "bucket mass equals count" (Histogram.count h)
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 buckets);
+  checkb "log-scaled: observations spread over distinct buckets" true
+    (List.length buckets = 5);
+  (* 5e-7 <= lo goes to bucket 0; 1e9 overflows into the +Inf bucket *)
+  (match buckets with
+  | (first_le, 1) :: _ -> check (Alcotest.float 0.0) "underflow bound" 1e-6 first_le
+  | _ -> Alcotest.fail "missing underflow bucket");
+  match List.rev buckets with
+  | (last_le, 1) :: _ -> checkb "overflow bound is infinite" true (last_le = Float.infinity)
+  | _ -> Alcotest.fail "missing overflow bucket"
+
+let test_histogram_time () =
+  fresh ();
+  let h = Histogram.create "test.timer" in
+  let result = Histogram.time h (fun () -> 1 + 1) in
+  checki "time returns the result" 2 result;
+  checki "one observation" 1 (Histogram.count h);
+  checkb "duration is non-negative" true (Histogram.sum h >= 0.)
+
+let test_series () =
+  fresh ();
+  let s = Series.create "test.series" in
+  Series.set s ~index:0 1;
+  Series.set s ~index:3 51;
+  check Alcotest.(list int) "gaps fill with zero" [ 1; 0; 0; 51 ] (Series.to_list s);
+  check Alcotest.(option int) "get" (Some 51) (Series.get s ~index:3);
+  check Alcotest.(option int) "out of range" None (Series.get s ~index:4)
+
+(* spans *)
+
+let test_span_nesting_and_timing () =
+  fresh ();
+  let inner_ran = ref false in
+  Span.with_span "outer" (fun () ->
+      Span.set_attr "k" (Json.Int 3);
+      Span.with_span "inner" (fun () -> inner_ran := true));
+  checkb "span bodies run" true !inner_ran;
+  match snapshot () with
+  | Json.Obj _ as snap -> (
+      match Json.member "spans" snap with
+      | Some (Json.List [ outer ]) -> (
+          check
+            Alcotest.(option string)
+            "root span name" (Some "outer")
+            (match Json.member "name" outer with
+            | Some (Json.String s) -> Some s
+            | _ -> None);
+          check
+            Alcotest.(option int)
+            "attrs recorded" (Some 3)
+            (match Json.path [ "attrs"; "k" ] outer with
+            | Some (Json.Int i) -> Some i
+            | _ -> None);
+          let dur j =
+            match Json.member "dur_s" j with Some (Json.Float f) -> f | _ -> Float.nan
+          in
+          match Json.member "children" outer with
+          | Some (Json.List [ inner ]) ->
+              check
+                Alcotest.(option string)
+                "child span name" (Some "inner")
+                (match Json.member "name" inner with
+                | Some (Json.String s) -> Some s
+                | _ -> None);
+              checkb "durations non-negative" true (dur inner >= 0. && dur outer >= 0.);
+              checkb "child duration bounded by parent" true (dur inner <= dur outer)
+          | _ -> Alcotest.fail "expected one child span")
+      | _ -> Alcotest.fail "expected one root span")
+  | _ -> Alcotest.fail "snapshot is not an object"
+
+let test_span_exception_safety () =
+  fresh ();
+  (try Span.with_span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  Span.with_span "after" (fun () -> ());
+  match Json.member "spans" (snapshot ()) with
+  | Some (Json.List spans) ->
+      checki "both spans closed at the root" 2 (List.length spans)
+  | _ -> Alcotest.fail "missing spans"
+
+(* disabled-switch no-op path *)
+
+let test_disabled_noop () =
+  fresh ();
+  reset ();
+  set_enabled false;
+  let c = Counter.create "test.disabled.counter" in
+  let g = Gauge.create "test.disabled.gauge" in
+  let h = Histogram.create "test.disabled.histogram" in
+  let s = Series.create "test.disabled.series" in
+  Counter.incr c;
+  Counter.add c 100;
+  Gauge.set g 5.0;
+  Histogram.observe h 1.0;
+  checki "disabled timer still runs the body" 3 (Histogram.time h (fun () -> 3));
+  Series.set s ~index:2 9;
+  Span.with_span "disabled.span" (fun () -> Span.set_attr "x" Json.Null);
+  checki "counter untouched" 0 (Counter.value c);
+  check (Alcotest.float 0.0) "gauge untouched" 0.0 (Gauge.value g);
+  checki "histogram untouched" 0 (Histogram.count h);
+  check Alcotest.(list int) "series untouched" [] (Series.to_list s);
+  (match Json.member "spans" (snapshot ()) with
+  | Some (Json.List []) -> ()
+  | _ -> Alcotest.fail "disabled mode must record no spans");
+  set_enabled true
+
+(* JSON-lines exporter *)
+
+let test_jsonl_export () =
+  fresh ();
+  let path = Filename.temp_file "telemetry" ".jsonl" in
+  let oc = open_out path in
+  set_jsonl (Some oc);
+  Span.with_span "a" (fun () -> Span.with_span "b" (fun () -> ()));
+  set_jsonl None;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let parsed = List.rev_map Json.of_string !lines in
+  checki "one line per closed span" 2 (List.length parsed);
+  (* children close before parents in the stream *)
+  check
+    Alcotest.(list (option string))
+    "close order and names"
+    [ Some "b"; Some "a" ]
+    (List.map
+       (fun j ->
+         match Json.member "name" j with Some (Json.String s) -> Some s | _ -> None)
+       parsed);
+  List.iter
+    (fun j ->
+      match Json.member "type" j with
+      | Some (Json.String "span") -> ()
+      | _ -> Alcotest.fail "missing type tag")
+    parsed
+
+(* census metrics snapshot: the `qsynth census --metrics FILE` payload *)
+
+let test_census_metrics_snapshot () =
+  fresh ();
+  let library = Synthesis.Library.make (Mvl.Encoding.make ~qubits:3) in
+  let census = Synthesis.Fmcf.run ~max_depth:3 library in
+  let path = Filename.temp_file "census" ".json" in
+  write_snapshot path;
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let snap = Json.of_string contents in
+  let series name =
+    match Json.path [ "series"; name ] snap with
+    | Some (Json.List items) ->
+        List.map (function Json.Int i -> i | _ -> -1) items
+    | _ -> Alcotest.fail ("missing series " ^ name)
+  in
+  (* the snapshot's per-level G[k] counts match the census itself (the
+     printed Table 2 row) *)
+  check
+    Alcotest.(list int)
+    "fmcf.level.g matches Table 2" [ 1; 6; 24; 51 ] (series "fmcf.level.g");
+  check
+    Alcotest.(list int)
+    "fmcf.level.g agrees with Fmcf.counts"
+    (List.map snd (Synthesis.Fmcf.counts census))
+    (series "fmcf.level.g");
+  check
+    Alcotest.(list int)
+    "paper-variant counts" [ 1; 6; 30; 52 ] (series "fmcf.level.paper_g");
+  let frontier = series "fmcf.level.frontier" in
+  checki "one frontier entry per level" 4 (List.length frontier);
+  check Alcotest.(list int) "frontier sizes" [ 1; 18; 162; 1017 ] frontier;
+  (* counters survived the trip *)
+  match Json.path [ "counters"; "search.states.new" ] snap with
+  | Some (Json.Int n) -> checki "state counter" (18 + 162 + 1017) n
+  | _ -> Alcotest.fail "missing search.states.new counter"
+
+(* O(1) census lookup regression (Fmcf.find via the func_key index) *)
+
+let test_fmcf_find_index () =
+  fresh ();
+  set_enabled false;
+  let library = Synthesis.Library.make (Mvl.Encoding.make ~qubits:3) in
+  let census = Synthesis.Fmcf.run ~max_depth:4 library in
+  List.iter
+    (fun level ->
+      List.iter
+        (fun (m : Synthesis.Fmcf.member) ->
+          match Synthesis.Fmcf.find census m.Synthesis.Fmcf.func with
+          | Some found ->
+              checki "find returns the member's own cost" m.Synthesis.Fmcf.cost
+                found.Synthesis.Fmcf.cost
+          | None -> Alcotest.fail "census member not found by find")
+        level.Synthesis.Fmcf.members)
+    (Synthesis.Fmcf.levels census);
+  (* a function beyond the census depth is absent *)
+  let missing = Reversible.Gates.toffoli3 in
+  checkb "deep function absent from shallow census" true
+    (Synthesis.Fmcf.find census missing = None)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+        ] );
+      ( "instruments",
+        [
+          Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram arithmetic" `Quick test_histogram_arithmetic;
+          Alcotest.test_case "histogram timing" `Quick test_histogram_time;
+          Alcotest.test_case "series" `Quick test_series;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and timing" `Quick test_span_nesting_and_timing;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "jsonl export" `Quick test_jsonl_export;
+        ] );
+      ( "switch",
+        [ Alcotest.test_case "disabled no-op" `Quick test_disabled_noop ] );
+      ( "census",
+        [
+          Alcotest.test_case "metrics snapshot parses" `Quick
+            test_census_metrics_snapshot;
+          Alcotest.test_case "find uses the index" `Quick test_fmcf_find_index;
+        ] );
+    ]
