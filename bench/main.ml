@@ -1,9 +1,10 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (printed first, with wall-clock timings), then runs one Bechamel
    micro-benchmark per experiment, and finally writes the machine-readable
-   perf artifact BENCH_1.json (named experiment timings + bechamel
-   estimates + the telemetry snapshot of the depth-7 census).  Later PRs
-   append BENCH_N.json in the same schema to track the perf trajectory;
+   perf artifact BENCH_2.json (named experiment timings + bechamel
+   estimates + parallel-census rows for jobs = 1/2/4 + the telemetry
+   snapshot of the depth-7 census).  Each PR that moves performance
+   appends BENCH_N.json in the same schema to track the perf trajectory;
    the schema is documented in doc/OBSERVABILITY.md.
 
    Paper: Yang, Hung, Song, Perkowski, "Exact Synthesis of 3-qubit Quantum
@@ -334,6 +335,39 @@ let reproduce_qrng () =
   Format.printf "HMM forward P(obs = 101) = %a (exact dyadic)@." Qsim.Prob.pp
     (Automata.Hmm.forward hmm ~init ~observations:[ 1; 0; 1 ])
 
+(* Parallel census: the BENCH_2 experiment.  Times the depth-7 census at
+   jobs = 1, 2 and 4 and records the words allocated per run (the arena
+   engine's allocation win over the boxed-node engine shows up here: the
+   jobs=1 census allocates a few tens of Mwords where the string-keyed
+   Hashtbl engine allocated one box and one key per state and probe).
+   Every census row is identical across jobs — Search determinism. *)
+let reproduce_parallel_census () =
+  hr "Parallel census: depth 7 at jobs = 1, 2, 4";
+  let reference = ref None in
+  List.map
+    (fun jobs ->
+      let g0 = Gc.quick_stat () in
+      let t0 = Unix.gettimeofday () in
+      let census = Fmcf.run ~max_depth:7 ~jobs library3 in
+      let dt = Unix.gettimeofday () -. t0 in
+      let g1 = Gc.quick_stat () in
+      let words g = g.Gc.minor_words +. g.Gc.major_words -. g.Gc.promoted_words in
+      let allocated = words g1 -. words g0 in
+      let states = Search.size (Fmcf.search census) in
+      let arena = Search.arena_bytes (Fmcf.search census) in
+      let counts = Fmcf.counts census in
+      (match !reference with
+      | None -> reference := Some counts
+      | Some expected ->
+          if counts <> expected then
+            failwith (Printf.sprintf "census diverged at jobs=%d" jobs));
+      timings := (Printf.sprintf "census-depth7/jobs=%d" jobs, dt) :: !timings;
+      Format.printf "jobs=%d: %7.3fs, %d states, %6.1f Mwords allocated, %.1f MB arena@."
+        jobs dt states (allocated /. 1e6)
+        (float_of_int arena /. 1e6);
+      (jobs, dt, allocated, states, arena))
+    [ 1; 2; 4 ]
+
 (* Bechamel micro-benchmarks: one per experiment *)
 
 let bechamel_tests =
@@ -450,13 +484,13 @@ let run_bechamel () =
    per-experiment wall-clock and engine counters can be compared across
    the repository's history. *)
 
-let write_bench_json ~telemetry_snapshot ~bechamel_rows path =
+let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows path =
   let open Telemetry in
   let json =
     Json.Obj
       [
         ("schema_version", Json.Int 1);
-        ("bench_id", Json.Int 1);
+        ("bench_id", Json.Int 2);
         ("generated_by", Json.String "bench/main.ml");
         ("unix_time", Json.Float (Unix.time ()));
         ("ocaml_version", Json.String Sys.ocaml_version);
@@ -470,6 +504,19 @@ let write_bench_json ~telemetry_snapshot ~bechamel_rows path =
                !timings) );
         ( "bechamel_ns_per_run",
           Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) bechamel_rows) );
+        ( "parallel_census",
+          Json.List
+            (List.map
+               (fun (jobs, dt, allocated, states, arena) ->
+                 Json.Obj
+                   [
+                     ("jobs", Json.Int jobs);
+                     ("seconds", Json.Float dt);
+                     ("allocated_words", Json.Float allocated);
+                     ("states", Json.Int states);
+                     ("arena_bytes", Json.Int arena);
+                   ])
+               parallel_rows) );
         ("telemetry", telemetry_snapshot);
       ]
   in
@@ -504,6 +551,7 @@ let () =
   experiment "ablation/unconstrained" reproduce_ablation;
   experiment "ext/rewrite" reproduce_rewrite;
   experiment "sec4/qrng" reproduce_qrng;
+  let parallel_rows = reproduce_parallel_census () in
   let bechamel_rows = run_bechamel () in
-  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_1.json" in
-  write_bench_json ~telemetry_snapshot ~bechamel_rows path
+  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_2.json" in
+  write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows path

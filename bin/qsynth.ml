@@ -61,13 +61,31 @@ let depth_arg =
   let doc = "Search depth bound (the paper's cb)." in
   Arg.(value & opt int 7 & info [ "d"; "depth" ] ~docv:"K" ~doc)
 
+let jobs_arg =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ -> Error (`Msg "JOBS must be at least 1")
+      | None -> Error (`Msg (Printf.sprintf "invalid JOBS value %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let doc =
+    "Number of worker domains for the breadth-first search (default 1).  \
+     Every value produces identical results; values above 1 parallelize \
+     each level across domains.  The effective value appears as the \
+     $(b,search.jobs) gauge in the $(b,--metrics) snapshot."
+  in
+  Arg.(value & opt pos_int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 (* census *)
 
 let census_cmd =
-  let run finish_telemetry qubits depth paper_variant save =
+  let run finish_telemetry qubits depth jobs paper_variant save =
     let library = make_library qubits in
     let t0 = Unix.gettimeofday () in
-    let census = Fmcf.run ~max_depth:depth library in
+    let census = Fmcf.run ~max_depth:depth ~jobs library in
     let elapsed = Unix.gettimeofday () -. t0 in
     (match save with
     | Some path ->
@@ -100,18 +118,20 @@ let census_cmd =
            ~doc:"Save the census (cost, function, witness cascade) as TSV.")
   in
   Cmd.v (Cmd.info "census" ~doc:"Reproduce Table 2: |G[k]| for k = 0..depth.")
-    Term.(const run $ telemetry_term $ qubits_arg $ depth_arg $ paper_flag $ save_arg)
+    Term.(
+      const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ paper_flag
+      $ save_arg)
 
 (* synth *)
 
 let synth_cmd =
-  let run finish_telemetry qubits depth all spec =
+  let run finish_telemetry qubits depth jobs all spec =
     let library = make_library qubits in
     let target = Reversible.Spec.parse ~bits:qubits spec in
     Format.printf "target: %a@." Reversible.Revfun.pp target;
     let t0 = Unix.gettimeofday () in
     if all then begin
-      let results = Mce.all_realizations ~max_depth:depth library target in
+      let results = Mce.all_realizations ~max_depth:depth ~jobs library target in
       (match results with
       | [] -> Format.printf "no realization within depth %d@." depth
       | { Mce.cost; _ } :: _ ->
@@ -128,7 +148,7 @@ let synth_cmd =
             results)
     end
     else
-      (match Mce.express ~max_depth:depth library target with
+      (match Mce.express ~max_depth:depth ~jobs library target with
       | None -> Format.printf "no realization within depth %d@." depth
       | Some r ->
           Format.printf "cost %d (%.3fs): %s%a  [verified: %b]@." r.Mce.cost
@@ -152,7 +172,9 @@ let synth_cmd =
     (Cmd.info "synth"
        ~doc:"Synthesize a minimal-cost quantum cascade for a reversible function \
              (the paper's MCE algorithm).")
-    Term.(const run $ telemetry_term $ qubits_arg $ depth_arg $ all_flag $ spec_arg)
+    Term.(
+      const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ all_flag
+      $ spec_arg)
 
 (* table1 *)
 
@@ -176,9 +198,9 @@ let table1_cmd =
 (* universal *)
 
 let universal_cmd =
-  let run finish_telemetry =
+  let run finish_telemetry jobs =
     let library = make_library 3 in
-    let census = Fmcf.run ~max_depth:4 library in
+    let census = Fmcf.run ~max_depth:4 ~jobs library in
     let linear, family = Universality.split_g4 census in
     Format.printf "G[4]: %d circuits = %d Feynman-realizable + %d Peres-family@."
       (List.length linear + List.length family)
@@ -206,7 +228,7 @@ let universal_cmd =
     (Cmd.info "universal"
        ~doc:"Reproduce the Section 5 group-theory results: the 24 universal \
              cost-4 circuits, their orbits, |G| = 5040 and Theorem 2.")
-    Term.(const run $ telemetry_term)
+    Term.(const run $ telemetry_term $ jobs_arg)
 
 (* simulate *)
 
@@ -330,10 +352,10 @@ let describe_cmd =
 (* spectrum *)
 
 let spectrum_cmd =
-  let run finish_telemetry depth probe =
+  let run finish_telemetry depth jobs probe =
     let library = make_library 3 in
     let t0 = Unix.gettimeofday () in
-    let census = Fmcf.run ~max_depth:depth library in
+    let census = Fmcf.run ~max_depth:depth ~jobs library in
     Format.printf "census to depth %d: %.1fs, %d functions@." depth
       (Unix.gettimeofday () -. t0)
       (Fmcf.total_found census);
@@ -380,7 +402,7 @@ let spectrum_cmd =
     (Cmd.info "spectrum"
        ~doc:"Complete the minimal-cost spectrum of all 5040 NOT-free reversible \
              functions: exact costs up to the census depth, provable bounds beyond.")
-    Term.(const run $ telemetry_term $ depth_arg $ probe_flag)
+    Term.(const run $ telemetry_term $ depth_arg $ jobs_arg $ probe_flag)
 
 (* draw *)
 

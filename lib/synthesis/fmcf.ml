@@ -28,17 +28,17 @@ type t = {
 
 let func_key func = Permgroup.Perm.key (Reversible.Revfun.to_perm func)
 
-let run ?(max_depth = 7) library =
+let run ?(max_depth = 7) ?(jobs = 1) library =
   Telemetry.Span.with_span "fmcf.run"
     ~attrs:[ ("max_depth", Telemetry.Json.Int max_depth) ]
   @@ fun () ->
-  let search = Search.create library in
+  let search = Search.create ~jobs library in
   let found = Hashtbl.create 4096 in
   let paper_found = Hashtbl.create 4096 in
   let index = Hashtbl.create 4096 in
   let identity_func = Reversible.Revfun.identity ~bits:(Library.qubits library) in
   (* G[0] = {identity}; the paper's variant never subtracts it. *)
-  let root = List.hd (Search.frontier search) in
+  let root = Search.key_of_handle search (Search.frontier_handles search).(0) in
   let identity_member = { func = identity_func; witness = root; cost = 0 } in
   Hashtbl.add found (func_key identity_func) ();
   Hashtbl.add index (func_key identity_func) identity_member;
@@ -54,20 +54,24 @@ let run ?(max_depth = 7) library =
     Telemetry.Span.with_span "fmcf.level"
       ~attrs:[ ("cost", Telemetry.Json.Int cost) ]
     @@ fun () ->
-    let fresh = Search.step search in
+    let fresh = Search.step_handles search in
+    (* step_handles already counted the level: no O(n) List.length pass. *)
+    let frontier_size = Array.length fresh in
     let members = ref [] in
     let member_count = ref 0 in
     let level_hits = ref 0 and global_hits = ref 0 in
     let level_restrictions = Hashtbl.create 256 in
     Telemetry.Histogram.time h_restrict (fun () ->
-        List.iter
-          (fun key ->
-            match Search.restriction_of_key search key with
+        Array.iter
+          (fun h ->
+            match Search.restriction_of_handle search h with
             | None -> ()
             | Some func ->
                 let fk = func_key func in
-                (* pre_G[cost] as a set: dedupe within the level. *)
+                (* pre_G[cost] as a set: dedupe within the level.  Keys
+                   are only materialized for first-in-level witnesses. *)
                 if not (Hashtbl.mem level_restrictions fk) then begin
+                  let key = Search.key_of_handle search h in
                   Hashtbl.add level_restrictions fk key;
                   if not (Hashtbl.mem found fk) then begin
                     Hashtbl.add found fk ();
@@ -91,7 +95,6 @@ let run ?(max_depth = 7) library =
     Hashtbl.iter
       (fun fk _ -> if not (Hashtbl.mem paper_found fk) then Hashtbl.add paper_found fk ())
       level_restrictions;
-    let frontier_size = List.length fresh in
     Telemetry.Series.set s_frontier ~index:cost frontier_size;
     Telemetry.Series.set s_pre_g ~index:cost (Hashtbl.length level_restrictions);
     Telemetry.Series.set s_g ~index:cost !member_count;

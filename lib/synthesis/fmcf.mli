@@ -33,9 +33,11 @@ type level = {
 
 type t
 
-(** [run ?max_depth library] executes the census up to [max_depth]
-    (default 7, the paper's cb). *)
-val run : ?max_depth:int -> Library.t -> t
+(** [run ?max_depth ?jobs library] executes the census up to [max_depth]
+    (default 7, the paper's cb).  [jobs] (default 1) is the number of
+    domains the underlying BFS uses per level; every census row is
+    identical for every jobs value (see {!Search.create}). *)
+val run : ?max_depth:int -> ?jobs:int -> Library.t -> t
 
 val levels : t -> level list
 val search : t -> Search.t

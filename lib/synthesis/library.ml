@@ -4,6 +4,7 @@ type entry = {
   gate : Gate.t;
   perm : Permgroup.Perm.t;
   perm_array : int array;
+  inverse_array : int array;
   purity_mask : int;
 }
 
@@ -18,6 +19,7 @@ let compile encoding gate =
     gate;
     perm;
     perm_array = Permgroup.Perm.to_array perm;
+    inverse_array = Permgroup.Perm.to_array (Permgroup.Perm.inverse perm);
     purity_mask = Gate.purity_mask gate;
   }
 

@@ -10,6 +10,10 @@ type entry = private {
   gate : Gate.t;
   perm : Permgroup.Perm.t;        (** action on the encoding's points *)
   perm_array : int array;          (** same, as a raw image array (hot path) *)
+  inverse_array : int array;       (** inverse image array, pre-computed once
+                                       at compile time so backward walks
+                                       ([Search.all_cascades]) never invert
+                                       permutations per node *)
   purity_mask : int;               (** wires that must stay pure, as bits *)
 }
 

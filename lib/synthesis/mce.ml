@@ -25,32 +25,32 @@ let strip_not_layer target =
   assert (Revfun.fixes_zero remainder);
   (mask, remainder)
 
-(* Run the BFS until some key restricts to [remainder]; return the level's
-   witnesses.  Depth 0 (identity) handled by the caller. *)
-let search_until ~max_depth library remainder =
+(* Run the BFS until some state restricts to [remainder]; return the
+   level's witness keys.  Depth 0 (identity) handled by the caller. *)
+let search_until ~max_depth ~jobs library remainder =
   Telemetry.Counter.incr m_queries;
   Telemetry.Histogram.time h_search @@ fun () ->
   Telemetry.Span.with_span "mce.search"
     ~attrs:[ ("max_depth", Telemetry.Json.Int max_depth) ]
   @@ fun () ->
-  let search = Search.create library in
+  let search = Search.create ~jobs library in
   let rec go () =
     if Search.depth search >= max_depth then begin
       Log.debug (fun m -> m "depth bound %d reached without a witness" max_depth);
       None
     end
     else begin
-      let fresh = Search.step search in
+      let fresh = Search.step_handles search in
       Telemetry.Gauge.set_int g_depth_reached (Search.depth search);
-      if fresh = [] then None
+      if Array.length fresh = 0 then None
       else
         let witnesses =
-          List.filter
-            (fun key ->
-              match Search.restriction_of_key search key with
-              | Some func -> Revfun.equal func remainder
-              | None -> false)
-            fresh
+          Array.to_list fresh
+          |> List.filter_map (fun h ->
+                 match Search.restriction_of_handle search h with
+                 | Some func when Revfun.equal func remainder ->
+                     Some (Search.key_of_handle search h)
+                 | Some _ | None -> None)
         in
         if witnesses = [] then go ()
         else begin
@@ -66,24 +66,24 @@ let search_until ~max_depth library remainder =
   in
   go ()
 
-let express ?(max_depth = 7) library target =
+let express ?(max_depth = 7) ?(jobs = 1) library target =
   let mask, remainder = strip_not_layer target in
   if Revfun.is_identity remainder then
     Some { target; not_mask = mask; cascade = []; cost = 0 }
   else
-    match search_until ~max_depth library remainder with
+    match search_until ~max_depth ~jobs library remainder with
     | None -> None
     | Some (search, witness :: _) ->
         let cascade = Search.cascade_of_key search witness in
         Some { target; not_mask = mask; cascade; cost = List.length cascade }
     | Some (_, []) -> assert false
 
-let all_realizations ?(max_depth = 7) ?(limit = 10_000) library target =
+let all_realizations ?(max_depth = 7) ?(limit = 10_000) ?(jobs = 1) library target =
   let mask, remainder = strip_not_layer target in
   if Revfun.is_identity remainder then
     [ { target; not_mask = mask; cascade = []; cost = 0 } ]
   else
-    match search_until ~max_depth library remainder with
+    match search_until ~max_depth ~jobs library remainder with
     | None -> []
     | Some (search, witnesses) ->
         let remaining = ref limit in
@@ -97,10 +97,10 @@ let all_realizations ?(max_depth = 7) ?(limit = 10_000) library target =
               cascades)
           witnesses
 
-let distinct_witnesses ?(max_depth = 7) library target =
+let distinct_witnesses ?(max_depth = 7) ?(jobs = 1) library target =
   let _, remainder = strip_not_layer target in
   if Revfun.is_identity remainder then 1
   else
-    match search_until ~max_depth library remainder with
+    match search_until ~max_depth ~jobs library remainder with
     | None -> 0
     | Some (_, witnesses) -> List.length witnesses

@@ -15,11 +15,13 @@ type result = {
   cost : int; (** t, the quantum cost (NOT gates are free) *)
 }
 
-(** [express ?max_depth library target] synthesizes a minimal-cost quantum
-    cascade for [target]; [None] when the cost exceeds [max_depth]
-    (default 7, the paper's cb).  The search stops at the level where the
-    target first appears, so cheap targets return quickly. *)
-val express : ?max_depth:int -> Library.t -> Reversible.Revfun.t -> result option
+(** [express ?max_depth ?jobs library target] synthesizes a minimal-cost
+    quantum cascade for [target]; [None] when the cost exceeds
+    [max_depth] (default 7, the paper's cb).  The search stops at the
+    level where the target first appears, so cheap targets return
+    quickly.  [jobs] (default 1) is the BFS worker-domain count. *)
+val express :
+  ?max_depth:int -> ?jobs:int -> Library.t -> Reversible.Revfun.t -> result option
 
 (** [all_realizations ?max_depth ?limit library target] enumerates
     minimal-cost realizations: every cascade of minimal length whose
@@ -27,14 +29,19 @@ val express : ?max_depth:int -> Library.t -> Reversible.Revfun.t -> result optio
     Peres and 4 for Toffoli without claiming completeness; this is the
     complete list up to [limit], default 10_000). *)
 val all_realizations :
-  ?max_depth:int -> ?limit:int -> Library.t -> Reversible.Revfun.t -> result list
+  ?max_depth:int ->
+  ?limit:int ->
+  ?jobs:int ->
+  Library.t ->
+  Reversible.Revfun.t ->
+  result list
 
 (** [distinct_witnesses ?max_depth library target] counts the distinct
     full-domain circuit permutations of minimal cost restricting to the
     target — the granularity at which the paper's B[k] scan finds
     "implementations". *)
 val distinct_witnesses :
-  ?max_depth:int -> Library.t -> Reversible.Revfun.t -> int
+  ?max_depth:int -> ?jobs:int -> Library.t -> Reversible.Revfun.t -> int
 
 (** [strip_not_layer target] is the pair (mask, remainder) with
     [target = xor_layer mask ∘ remainder] and [remainder] fixing zero. *)

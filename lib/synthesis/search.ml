@@ -10,105 +10,438 @@ let m_sig_rejected = Telemetry.Counter.create "search.expansions.signature_rejec
 let g_frontier = Telemetry.Gauge.create "search.frontier.size"
 let g_table_size = Telemetry.Gauge.create "search.table.size"
 let g_table_load = Telemetry.Gauge.create "search.table.load"
+let g_jobs = Telemetry.Gauge.create "search.jobs"
+let g_arena = Telemetry.Gauge.create "search.arena.bytes"
 let h_step = Telemetry.Histogram.create "search.step.seconds"
+let h_expand = Telemetry.Histogram.create "search.step.expand.seconds"
+let h_merge = Telemetry.Histogram.create "search.step.merge.seconds"
+let s_domain_states = Telemetry.Series.create "search.domain.states"
 
-type node = { depth : int; via : int; parent : string }
-(* [via] is the library entry index of the last gate, -1 at the root. *)
+type handle = int
+
+let num_shards = State_arena.num_shards
+
+(* Candidate children produced by one (domain, target shard) pair during
+   the expansion phase: packed keys plus, per candidate, the full key hash
+   and the (parent handle, gate index) provenance packed into one int. *)
+type candbuf = {
+  mutable ckeys : Bytes.t; (* clen * degree bytes *)
+  mutable cmeta : int array; (* (parent lsl via_bits) lor via *)
+  mutable chashes : int array;
+  mutable clen : int;
+}
+
+let via_bits = 6 (* a library holds < 64 gates (36 at 4 qubits) *)
+
+let make_candbuf degree =
+  { ckeys = Bytes.create (64 * degree); cmeta = Array.make 64 0; chashes = Array.make 64 0; clen = 0 }
+
+let grow_ints a len =
+  let a' = Array.make (2 * len) 0 in
+  Array.blit a 0 a' 0 len;
+  a'
+
+let cand_append buf ~degree scratch ~hash ~meta =
+  let i = buf.clen in
+  if i = Array.length buf.cmeta then begin
+    let cap = 2 * i in
+    buf.cmeta <- grow_ints buf.cmeta i;
+    buf.chashes <- grow_ints buf.chashes i;
+    let keys' = Bytes.create (cap * degree) in
+    Bytes.blit buf.ckeys 0 keys' 0 (i * degree);
+    buf.ckeys <- keys'
+  end;
+  Bytes.blit scratch 0 buf.ckeys (i * degree) degree;
+  buf.cmeta.(i) <- meta;
+  buf.chashes.(i) <- hash;
+  buf.clen <- i + 1
+
+(* A growable int vector (the stdlib gains Dynarray only in 5.2). *)
+type ibuf = { mutable ints : int array; mutable ilen : int }
+
+let make_ibuf () = { ints = Array.make 64 0; ilen = 0 }
+
+let ibuf_push b v =
+  if b.ilen = Array.length b.ints then b.ints <- grow_ints b.ints b.ilen;
+  b.ints.(b.ilen) <- v;
+  b.ilen <- b.ilen + 1
 
 type t = {
   library : Library.t;
-  signatures : int array; (* mixed signature per point *)
-  num_binary : int;
+  store : State_arena.t;
+  jobs : int;
   degree : int;
-  table : (string, node) Hashtbl.t;
-  mutable frontier : string list;
+  num_binary : int;
+  signatures : int array; (* mixed signature per point *)
+  perm_arrays : int array array; (* hoisted from the library entries *)
+  purity_masks : int array;
+  mutable frontier : handle array;
   mutable depth : int;
+  (* per-step scratch, reused across levels *)
+  cand : candbuf array array; (* jobs x shards *)
+  fresh_by_shard : ibuf array;
+  scratch : Bytes.t array; (* one compose buffer per domain *)
+  rejected_d : int array; (* per-domain counters, summed after the join *)
+  fresh_d : int array;
+  dup_d : int array;
+  domain_states : int array; (* cumulative states inserted per domain *)
 }
 
-let identity_key degree = String.init degree Char.chr
+let max_jobs = num_shards
 
-let create library =
+let create ?(jobs = 1) library =
+  if jobs < 1 then invalid_arg "Search.create: jobs must be >= 1";
+  let jobs = min jobs max_jobs in
   let encoding = Library.encoding library in
   let degree = Mvl.Encoding.size encoding in
   if degree > 255 then invalid_arg "Search.create: encoding too large for byte keys";
-  let table = Hashtbl.create (1 lsl 16) in
-  let root = identity_key degree in
-  Hashtbl.add table root { depth = 0; via = -1; parent = "" };
+  let signatures = Array.init degree (Mvl.Encoding.mixed_signature encoding) in
+  let num_binary = Mvl.Encoding.num_binary encoding in
+  let store = State_arena.create ~degree ~num_binary ~signatures in
+  let root_key = Bytes.init degree Char.chr in
+  let root_hash = State_arena.hash_key root_key ~off:0 ~len:degree in
+  let root =
+    State_arena.try_insert store ~key:root_key ~off:0 ~hash:root_hash ~depth:0 ~via:(-1)
+      ~parent:(-1)
+  in
+  let entries = Library.entries library in
+  Telemetry.Gauge.set_int g_jobs jobs;
   {
     library;
-    signatures = Array.init degree (Mvl.Encoding.mixed_signature encoding);
-    num_binary = Mvl.Encoding.num_binary encoding;
+    store;
+    jobs;
     degree;
-    table;
-    frontier = [ root ];
+    num_binary;
+    signatures;
+    perm_arrays = Array.map (fun e -> e.Library.perm_array) entries;
+    purity_masks = Array.map (fun e -> e.Library.purity_mask) entries;
+    frontier = [| root |];
     depth = 0;
+    cand = Array.init jobs (fun _ -> Array.init num_shards (fun _ -> make_candbuf degree));
+    fresh_by_shard = Array.init num_shards (fun _ -> make_ibuf ());
+    scratch = Array.init jobs (fun _ -> Bytes.create degree);
+    rejected_d = Array.make jobs 0;
+    fresh_d = Array.make jobs 0;
+    dup_d = Array.make jobs 0;
+    domain_states = Array.make jobs 0;
   }
 
 let library t = t.library
+let jobs t = t.jobs
 let depth t = t.depth
-let size t = Hashtbl.length t.table
-let frontier t = t.frontier
+let size t = State_arena.size t.store
+let arena_bytes t = State_arena.arena_bytes t.store
+let frontier_handles t = t.frontier
+let key_of_handle t h = State_arena.key_of t.store h
+let depth_of_handle t h = State_arena.depth_of t.store h
+let frontier t = Array.to_list (Array.map (key_of_handle t) t.frontier)
 
-let image_signature t key =
-  let s = ref 0 in
-  for i = 0 to t.num_binary - 1 do
-    s := !s lor t.signatures.(Char.code (String.unsafe_get key i))
+(* [run_workers ~parallel jobs f] runs [f 0 .. f (jobs-1)], either on
+   [jobs] domains or sequentially on the calling one.  Every [f r] writes
+   only rank-[r]-owned slots (candidate row [r], counter index [r], shards
+   congruent to [r]), so the two modes compute identical states; the
+   domain joins publish all writes back to the coordinator. *)
+let run_workers ~parallel jobs f =
+  if not parallel then
+    for r = 0 to jobs - 1 do
+      f r
+    done
+  else begin
+    let workers = Array.init (jobs - 1) (fun r -> Domain.spawn (fun () -> f (r + 1))) in
+    f 0;
+    Array.iter Domain.join workers
+  end
+
+(* Phase 1: expand the frontier chunk of rank [r] into per-shard candidate
+   buffers.  Read-only on the store. *)
+let expand_chunk t r =
+  let degree = t.degree in
+  let n = Array.length t.frontier in
+  let lo = r * n / t.jobs and hi = (r + 1) * n / t.jobs in
+  let row = t.cand.(r) in
+  for s = 0 to num_shards - 1 do
+    row.(s).clen <- 0
   done;
-  !s
-
-let compose_key t key perm_array =
-  let child = Bytes.create t.degree in
-  for i = 0 to t.degree - 1 do
-    Bytes.unsafe_set child i
-      (Char.unsafe_chr perm_array.(Char.code (String.unsafe_get key i)))
+  let scratch = t.scratch.(r) in
+  let ngates = Array.length t.perm_arrays in
+  let rejected = ref 0 in
+  for i = lo to hi - 1 do
+    let h = t.frontier.(i) in
+    let signature = State_arena.signature_of t.store h in
+    let src = State_arena.shard_arena t.store (State_arena.shard_of_handle h) in
+    let soff = State_arena.key_offset t.store h in
+    for via = 0 to ngates - 1 do
+      if signature land t.purity_masks.(via) = 0 then begin
+        let pa = t.perm_arrays.(via) in
+        let acc = ref 0 in
+        for j = 0 to degree - 1 do
+          let b = Array.unsafe_get pa (Char.code (Bytes.unsafe_get src (soff + j))) in
+          Bytes.unsafe_set scratch j (Char.unsafe_chr b);
+          acc := (!acc * 131) + b
+        done;
+        (* finalize exactly as State_arena.hash_key *)
+        let hv = !acc in
+        let hv = hv lxor (hv lsr 23) in
+        let hv = hv * 0x2545F4914F6CDD1 in
+        let hv = hv lxor (hv lsr 29) in
+        let hash = hv land max_int in
+        cand_append
+          row.(State_arena.shard_of_hash hash)
+          ~degree scratch ~hash
+          ~meta:((h lsl via_bits) lor via)
+      end
+      else incr rejected
+    done
   done;
-  Bytes.unsafe_to_string child
+  t.rejected_d.(r) <- t.rejected_d.(r) + !rejected
 
-let step t =
+(* Single-domain fast path: expand and insert in one pass, with no
+   candidate buffering.  Children are inserted in (frontier order, gate
+   order); within any given shard that is exactly the order in which the
+   three-phase path replays its candidates, so the stored states, their
+   handles, and the per-shard fresh lists coincide with the parallel
+   engine's — only the buffering is skipped. *)
+let expand_insert_sequential t ~next_depth =
+  let degree = t.degree in
+  let scratch = t.scratch.(0) in
+  let ngates = Array.length t.perm_arrays in
+  let rejected = ref 0 and fresh = ref 0 and dup = ref 0 in
+  for s = 0 to num_shards - 1 do
+    t.fresh_by_shard.(s).ilen <- 0
+  done;
+  let n = Array.length t.frontier in
+  for i = 0 to n - 1 do
+    let h = t.frontier.(i) in
+    let signature = State_arena.signature_of t.store h in
+    let src = State_arena.shard_arena t.store (State_arena.shard_of_handle h) in
+    let soff = State_arena.key_offset t.store h in
+    for via = 0 to ngates - 1 do
+      if signature land t.purity_masks.(via) = 0 then begin
+        let pa = t.perm_arrays.(via) in
+        let acc = ref 0 in
+        for j = 0 to degree - 1 do
+          let b = Array.unsafe_get pa (Char.code (Bytes.unsafe_get src (soff + j))) in
+          Bytes.unsafe_set scratch j (Char.unsafe_chr b);
+          acc := (!acc * 131) + b
+        done;
+        let hv = !acc in
+        let hv = hv lxor (hv lsr 23) in
+        let hv = hv * 0x2545F4914F6CDD1 in
+        let hv = hv lxor (hv lsr 29) in
+        let hash = hv land max_int in
+        let child =
+          State_arena.try_insert t.store ~key:scratch ~off:0 ~hash ~depth:next_depth
+            ~via ~parent:h
+        in
+        if child >= 0 then begin
+          ibuf_push t.fresh_by_shard.(State_arena.shard_of_hash hash) child;
+          incr fresh
+        end
+        else incr dup
+      end
+      else incr rejected
+    done
+  done;
+  t.rejected_d.(0) <- !rejected;
+  t.fresh_d.(0) <- !fresh;
+  t.dup_d.(0) <- !dup;
+  t.domain_states.(0) <- t.domain_states.(0) + !fresh
+
+(* Phase 2: rank [r] dedupes and inserts the candidates of its owned
+   shards (s mod jobs = r), scanning domain rows in rank order so each
+   shard sees its candidates in global frontier order — the processing
+   order, and hence the stored states and per-shard output lists, do not
+   depend on the number of domains. *)
+let dedupe_shards t r ~next_depth =
+  let degree = t.degree in
+  let via_mask = (1 lsl via_bits) - 1 in
+  let fresh = ref 0 and dup = ref 0 in
+  let s = ref r in
+  while !s < num_shards do
+    let out = t.fresh_by_shard.(!s) in
+    out.ilen <- 0;
+    for d = 0 to t.jobs - 1 do
+      let buf = t.cand.(d).(!s) in
+      for i = 0 to buf.clen - 1 do
+        let meta = buf.cmeta.(i) in
+        let h =
+          State_arena.try_insert t.store ~key:buf.ckeys ~off:(i * degree)
+            ~hash:buf.chashes.(i) ~depth:next_depth ~via:(meta land via_mask)
+            ~parent:(meta asr via_bits)
+        in
+        if h >= 0 then begin
+          ibuf_push out h;
+          incr fresh
+        end
+        else incr dup
+      done
+    done;
+    s := !s + t.jobs
+  done;
+  t.fresh_d.(r) <- !fresh;
+  t.dup_d.(r) <- !dup;
+  t.domain_states.(r) <- t.domain_states.(r) + !fresh
+
+(* Phase 3: concatenate the per-shard output lists in shard order.  The
+   resulting frontier order is canonical for every jobs value. *)
+let merge_frontier t =
+  let total = ref 0 in
+  Array.iter (fun b -> total := !total + b.ilen) t.fresh_by_shard;
+  let next = Array.make !total 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun b ->
+      Array.blit b.ints 0 next !pos b.ilen;
+      pos := !pos + b.ilen)
+    t.fresh_by_shard;
+  next
+
+let step_handles t =
   Telemetry.Histogram.time h_step @@ fun () ->
   Telemetry.Span.with_span "search.step" @@ fun () ->
-  let entries = Library.entries t.library in
   let next_depth = t.depth + 1 in
-  let next = ref [] in
-  let fresh = ref 0 and dup = ref 0 and rejected = ref 0 in
-  List.iter
-    (fun key ->
-      let signature = image_signature t key in
-      Array.iteri
-        (fun via entry ->
-          if Library.signature_allows ~signature entry then begin
-            let child = compose_key t key entry.Library.perm_array in
-            if not (Hashtbl.mem t.table child) then begin
-              Hashtbl.add t.table child { depth = next_depth; via; parent = key };
-              next := child :: !next;
-              incr fresh
-            end
-            else incr dup
-          end
-          else incr rejected)
-        entries)
-    t.frontier;
-  t.frontier <- !next;
+  (* Spawning domains for tiny frontiers costs more than it saves; the
+     sequential fallback runs the identical rank functions, so results do
+     not change, only scheduling. *)
+  let parallel = t.jobs > 1 && Array.length t.frontier >= 256 in
+  Array.fill t.fresh_d 0 t.jobs 0;
+  Array.fill t.dup_d 0 t.jobs 0;
+  Array.fill t.rejected_d 0 t.jobs 0;
+  if t.jobs = 1 then
+    Telemetry.Histogram.time h_expand (fun () ->
+        expand_insert_sequential t ~next_depth)
+  else begin
+    Telemetry.Histogram.time h_expand (fun () ->
+        run_workers ~parallel t.jobs (fun r -> expand_chunk t r));
+    Telemetry.Histogram.time h_merge (fun () ->
+        run_workers ~parallel t.jobs (fun r -> dedupe_shards t r ~next_depth))
+  end;
+  let next = merge_frontier t in
+  t.frontier <- next;
   t.depth <- next_depth;
-  Telemetry.Counter.add m_states_new !fresh;
-  Telemetry.Counter.add m_states_dup !dup;
-  Telemetry.Counter.add m_sig_rejected !rejected;
-  Telemetry.Gauge.set_int g_frontier !fresh;
-  Telemetry.Gauge.set_int g_table_size (Hashtbl.length t.table);
+  let sum a = Array.fold_left ( + ) 0 a in
+  let fresh = sum t.fresh_d and dup = sum t.dup_d and rejected = sum t.rejected_d in
+  Telemetry.Counter.add m_states_new fresh;
+  Telemetry.Counter.add m_states_dup dup;
+  Telemetry.Counter.add m_sig_rejected rejected;
+  Telemetry.Gauge.set_int g_frontier fresh;
+  Telemetry.Gauge.set_int g_table_size (State_arena.size t.store);
   if Telemetry.enabled () then begin
-    let stats = Hashtbl.stats t.table in
+    Telemetry.Gauge.set_int g_arena (State_arena.arena_bytes t.store);
     Telemetry.Gauge.set g_table_load
-      (float_of_int stats.Hashtbl.num_bindings
-      /. float_of_int (max 1 stats.Hashtbl.num_buckets));
+      (float_of_int (State_arena.size t.store)
+      /. float_of_int (max 1 (State_arena.table_capacity t.store)));
+    for r = 0 to t.jobs - 1 do
+      Telemetry.Series.set s_domain_states ~index:r t.domain_states.(r)
+    done;
     Telemetry.Span.set_attr "level" (Telemetry.Json.Int next_depth);
-    Telemetry.Span.set_attr "new" (Telemetry.Json.Int !fresh);
-    Telemetry.Span.set_attr "duplicate" (Telemetry.Json.Int !dup);
-    Telemetry.Span.set_attr "signature_rejected" (Telemetry.Json.Int !rejected)
+    Telemetry.Span.set_attr "new" (Telemetry.Json.Int fresh);
+    Telemetry.Span.set_attr "duplicate" (Telemetry.Json.Int dup);
+    Telemetry.Span.set_attr "signature_rejected" (Telemetry.Json.Int rejected);
+    Telemetry.Span.set_attr "parallel" (Telemetry.Json.Bool parallel)
   end;
   Log.debug (fun m ->
-      m "level %d: %d new states (%d duplicate, %d rejected), %d total" next_depth
-        !fresh !dup !rejected (Hashtbl.length t.table));
-  !next
+      m "level %d: %d new states (%d duplicate, %d rejected), %d total" next_depth fresh
+        dup rejected (State_arena.size t.store));
+  next
+
+let step t = Array.to_list (Array.map (key_of_handle t) (step_handles t))
+
+(* {1 Key-based lookups (legacy string interface)} *)
+
+let find_key t key =
+  if String.length key <> t.degree then -1
+  else
+    let b = Bytes.unsafe_of_string key in
+    let hash = State_arena.hash_key b ~off:0 ~len:t.degree in
+    State_arena.find t.store b ~off:0 ~hash
+
+let perm_of_key key =
+  Perm.unsafe_of_array (Array.init (String.length key) (fun i -> Char.code key.[i]))
+
+let restriction_of_key t key =
+  let nb = t.num_binary in
+  let rec binary_block i = i >= nb || (Char.code key.[i] < nb && binary_block (i + 1)) in
+  if binary_block 0 then
+    let perm = Perm.unsafe_of_array (Array.init nb (fun i -> Char.code key.[i])) in
+    Some (Reversible.Revfun.of_perm ~bits:(Library.qubits t.library) perm)
+  else None
+
+let restriction_of_handle t h =
+  let nb = t.num_binary in
+  let src = State_arena.shard_arena t.store (State_arena.shard_of_handle h) in
+  let off = State_arena.key_offset t.store h in
+  let rec binary_block i =
+    i >= nb || (Char.code (Bytes.unsafe_get src (off + i)) < nb && binary_block (i + 1))
+  in
+  if binary_block 0 then
+    let perm =
+      Perm.unsafe_of_array (Array.init nb (fun i -> Char.code (Bytes.get src (off + i))))
+    in
+    Some (Reversible.Revfun.of_perm ~bits:(Library.qubits t.library) perm)
+  else None
+
+let depth_of_key t key =
+  match find_key t key with -1 -> None | h -> Some (State_arena.depth_of t.store h)
+
+let cascade_of_handle t h =
+  let entries = Library.entries t.library in
+  let rec walk h acc =
+    let via = State_arena.via_of t.store h in
+    if via < 0 then acc
+    else walk (State_arena.parent_of t.store h) (entries.(via).Library.gate :: acc)
+  in
+  walk h []
+
+let cascade_of_key t key =
+  match find_key t key with
+  | -1 -> invalid_arg "Search.cascade_of_key: unknown key"
+  | h -> cascade_of_handle t h
+
+let all_cascades ?(limit = 10_000) t key =
+  let entries = Library.entries t.library in
+  let degree = t.degree in
+  let scratch = Bytes.create degree in
+  let results = ref [] and count = ref 0 in
+  let exception Done in
+  (* Walk every minimal parent chain: a valid parent sits one level up and
+     its binary-block image admits the connecting gate.  The inverse image
+     arrays are pre-computed once per library (Library.compile), not per
+     node. *)
+  let rec walk h depth suffix =
+    if !count >= limit then raise Done;
+    if depth = 0 then begin
+      results := suffix :: !results;
+      incr count
+    end
+    else begin
+      let src = State_arena.shard_arena t.store (State_arena.shard_of_handle h) in
+      let soff = State_arena.key_offset t.store h in
+      Array.iter
+        (fun entry ->
+          let inv = entry.Library.inverse_array in
+          (* scratch is free again once the parent lookup is done, so the
+             recursive call may reuse it *)
+          for j = 0 to degree - 1 do
+            Bytes.unsafe_set scratch j
+              (Char.unsafe_chr inv.(Char.code (Bytes.unsafe_get src (soff + j))))
+          done;
+          let hash = State_arena.hash_key scratch ~off:0 ~len:degree in
+          match State_arena.find t.store scratch ~off:0 ~hash with
+          | -1 -> ()
+          | parent ->
+              if
+                State_arena.depth_of t.store parent = depth - 1
+                && State_arena.signature_of t.store parent land entry.Library.purity_mask
+                   = 0
+              then walk parent (depth - 1) (entry.Library.gate :: suffix))
+        entries
+    end
+  in
+  (match find_key t key with
+  | -1 -> invalid_arg "Search.all_cascades: unknown key"
+  | h -> ( try walk h (State_arena.depth_of t.store h) [] with Done -> ()));
+  !results
 
 let probe_restrictions t ~steps =
   if steps < 1 || steps > 2 then invalid_arg "Search.probe_restrictions: steps in {1,2}";
@@ -136,15 +469,17 @@ let probe_restrictions t ~steps =
       if not (Hashtbl.mem found key) then Hashtbl.add found key ()
     end
   in
-  List.iter
-    (fun key ->
-      let signature = image_signature t key in
+  Array.iter
+    (fun h ->
+      let signature = State_arena.signature_of t.store h in
+      let src = State_arena.shard_arena t.store (State_arena.shard_of_handle h) in
+      let soff = State_arena.key_offset t.store h in
       Array.iter
         (fun entry ->
           if Library.signature_allows ~signature entry then begin
             let pa = entry.Library.perm_array in
             for i = 0 to nb - 1 do
-              images.(i) <- pa.(Char.code (String.unsafe_get key i))
+              images.(i) <- pa.(Char.code (Bytes.unsafe_get src (soff + i)))
             done;
             if steps = 1 then record images
             else begin
@@ -164,58 +499,3 @@ let probe_restrictions t ~steps =
         entries)
     t.frontier;
   found
-
-let perm_of_key key =
-  Perm.unsafe_of_array (Array.init (String.length key) (fun i -> Char.code key.[i]))
-
-let restriction_of_key t key =
-  let nb = t.num_binary in
-  let rec binary_block i = i >= nb || (Char.code key.[i] < nb && binary_block (i + 1)) in
-  if binary_block 0 then
-    let perm = Perm.unsafe_of_array (Array.init nb (fun i -> Char.code key.[i])) in
-    Some (Reversible.Revfun.of_perm ~bits:(Library.qubits t.library) perm)
-  else None
-
-let depth_of_key t key =
-  match Hashtbl.find_opt t.table key with Some n -> Some n.depth | None -> None
-
-let cascade_of_key t key =
-  let entries = Library.entries t.library in
-  let rec walk key acc =
-    match Hashtbl.find_opt t.table key with
-    | None -> invalid_arg "Search.cascade_of_key: unknown key"
-    | Some node ->
-        if node.via < 0 then acc
-        else walk node.parent (entries.(node.via).Library.gate :: acc)
-  in
-  walk key []
-
-let all_cascades ?(limit = 10_000) t key =
-  let entries = Library.entries t.library in
-  let results = ref [] and count = ref 0 in
-  let exception Done in
-  (* Walk every minimal parent chain: a valid parent sits one level up and
-     its binary-block image admits the connecting gate. *)
-  let rec walk key depth suffix =
-    if !count >= limit then raise Done;
-    if depth = 0 then begin
-      results := suffix :: !results;
-      incr count
-    end
-    else
-      Array.iter
-        (fun entry ->
-          let inverse = Perm.to_array (Perm.inverse entry.Library.perm) in
-          let parent = compose_key t key inverse in
-          match Hashtbl.find_opt t.table parent with
-          | Some node when node.depth = depth - 1 ->
-              let signature = image_signature t parent in
-              if Library.signature_allows ~signature entry then
-                walk parent (depth - 1) (entry.Library.gate :: suffix)
-          | Some _ | None -> ())
-        entries
-  in
-  (match Hashtbl.find_opt t.table key with
-  | None -> invalid_arg "Search.all_cascades: unknown key"
-  | Some node -> ( try walk key node.depth [] with Done -> ()));
-  !results

@@ -1,10 +1,23 @@
 (** The breadth-first search engine shared by FMCF and MCE.
 
-    States are circuit permutations of the encoding's points, stored as
-    compact byte-string keys.  Level [k] of the search discovers exactly
-    the paper's B[k]: the circuits constructible with [k] gates under the
-    reasonable-product constraint and with no shorter realization.  Parent
-    pointers record one minimal cascade per state for factorization.
+    States are circuit permutations of the encoding's points, packed into
+    the sharded byte arena of {!State_arena} and addressed by integer
+    handles — no per-state heap objects.  Level [k] of the search
+    discovers exactly the paper's B[k]: the circuits constructible with
+    [k] gates under the reasonable-product constraint and with no shorter
+    realization.  Parent pointers record one minimal cascade per state
+    for factorization.
+
+    Frontier expansion is domain-parallel ([?jobs]): each step expands
+    the frontier in contiguous chunks across domains into per-(domain,
+    shard) candidate buffers, then each domain dedupes and inserts the
+    candidates of the shards it owns, and the per-shard outputs are
+    concatenated in shard order.  Because a state's shard is a pure
+    function of its key and each shard processes its candidates in
+    global frontier order, the discovered states, their handles, and the
+    frontier order are {e identical for every jobs value} — [jobs] only
+    changes scheduling.  See doc/PERFORMANCE.md for the determinism
+    argument.
 
     The paper's memory bound cb = 7 came from GAP on 2004 hardware; this
     engine handles depth 8 comfortably on a present-day machine (the
@@ -12,16 +25,54 @@
 
 type t
 
-(** [create library] starts a search at the identity circuit (depth 0). *)
-val create : Library.t -> t
+(** A state handle: an index into the packed store, stable for the
+    lifetime of the search. *)
+type handle = int
+
+(** [create ?jobs library] starts a search at the identity circuit
+    (depth 0).  [jobs] (default 1) is the number of domains used per
+    step; it is clamped to the shard count of the store.
+    @raise Invalid_argument when [jobs < 1]. *)
+val create : ?jobs:int -> Library.t -> t
 
 val library : t -> Library.t
+
+(** [jobs t] is the effective worker count (after clamping). *)
+val jobs : t -> int
 
 (** [depth t] is the last expanded level (0 after [create]). *)
 val depth : t -> int
 
 (** [size t] is the number of distinct circuit states discovered. *)
 val size : t -> int
+
+(** [arena_bytes t] is the total key-arena memory reserved by the store. *)
+val arena_bytes : t -> int
+
+(** {1 Handle interface (hot paths)} *)
+
+(** [frontier_handles t] is the states discovered at [depth t], in the
+    engine's canonical order.  The returned array is owned by the engine;
+    do not mutate. *)
+val frontier_handles : t -> handle array
+
+(** [step_handles t] expands one level and returns the new frontier; its
+    length is the |B[depth+1]| count (no extra pass needed).  An empty
+    result means the reachable set is exhausted. *)
+val step_handles : t -> handle array
+
+val key_of_handle : t -> handle -> string
+val depth_of_handle : t -> handle -> int
+
+(** [restriction_of_handle t h] is the binary reversible function
+    computed by the state, when it maps the binary block onto itself —
+    read straight from the arena, no key materialization. *)
+val restriction_of_handle : t -> handle -> Reversible.Revfun.t option
+
+(** [cascade_of_handle t h] rebuilds the recorded minimal cascade. *)
+val cascade_of_handle : t -> handle -> Cascade.t
+
+(** {1 String-key interface (legacy, kept for existing callers)} *)
 
 (** [frontier t] is the keys of the states discovered at [depth t]. *)
 val frontier : t -> string list

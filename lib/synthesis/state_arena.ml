@@ -1,0 +1,173 @@
+let shard_bits = 6
+let num_shards = 1 lsl shard_bits
+
+type shard = {
+  mutable arena : Bytes.t; (* count * degree key bytes, then slack *)
+  mutable depths : int array;
+  mutable vias : int array;
+  mutable parents : int array;
+  mutable sigs : int array;
+  mutable hashes : int array;
+  mutable count : int;
+  mutable table : int array; (* open addressing: -1 empty, else local index *)
+  mutable mask : int; (* table capacity - 1, a power of two minus one *)
+}
+
+type t = {
+  degree : int;
+  num_binary : int;
+  signatures : int array;
+  shards : shard array;
+}
+
+let initial_slots = 256
+let initial_states = 64
+
+let make_shard degree =
+  {
+    arena = Bytes.create (initial_states * degree);
+    depths = Array.make initial_states 0;
+    vias = Array.make initial_states 0;
+    parents = Array.make initial_states 0;
+    sigs = Array.make initial_states 0;
+    hashes = Array.make initial_states 0;
+    count = 0;
+    table = Array.make initial_slots (-1);
+    mask = initial_slots - 1;
+  }
+
+let create ~degree ~num_binary ~signatures =
+  { degree; num_binary; signatures; shards = Array.init num_shards (fun _ -> make_shard degree) }
+
+let degree t = t.degree
+
+let size t =
+  let n = ref 0 in
+  Array.iter (fun s -> n := !n + s.count) t.shards;
+  !n
+
+let arena_bytes t =
+  let n = ref 0 in
+  Array.iter (fun s -> n := !n + Bytes.length s.arena) t.shards;
+  !n
+
+let table_capacity t =
+  let n = ref 0 in
+  Array.iter (fun s -> n := !n + s.mask + 1) t.shards;
+  !n
+
+(* A multiplicative byte hash with a final avalanche; keys are short
+   permutation vectors, so quality matters mostly in the low (shard) and
+   middle (slot) bits. *)
+let hash_key b ~off ~len =
+  let h = ref 0 in
+  for i = off to off + len - 1 do
+    h := (!h * 131) + Char.code (Bytes.unsafe_get b i)
+  done;
+  let h = !h in
+  let h = h lxor (h lsr 23) in
+  let h = h * 0x2545F4914F6CDD1 in
+  let h = h lxor (h lsr 29) in
+  h land max_int
+
+let shard_of_hash h = h land (num_shards - 1)
+let shard_of_handle h = h land (num_shards - 1)
+let index_of_handle h = h asr shard_bits
+let handle ~shard ~index = (index lsl shard_bits) lor shard
+let shard_arena t s = t.shards.(s).arena
+let key_offset t h = index_of_handle h * t.degree
+
+let key_of t h =
+  let s = t.shards.(shard_of_handle h) in
+  Bytes.sub_string s.arena (index_of_handle h * t.degree) t.degree
+
+let depth_of t h = t.shards.(shard_of_handle h).depths.(index_of_handle h)
+let via_of t h = t.shards.(shard_of_handle h).vias.(index_of_handle h)
+let parent_of t h = t.shards.(shard_of_handle h).parents.(index_of_handle h)
+let signature_of t h = t.shards.(shard_of_handle h).sigs.(index_of_handle h)
+
+let key_equal arena aoff key koff degree =
+  let rec go i =
+    i >= degree
+    || Char.equal (Bytes.unsafe_get arena (aoff + i)) (Bytes.unsafe_get key (koff + i))
+       && go (i + 1)
+  in
+  go 0
+
+(* Finds the slot holding an equal key, or the first empty slot; the
+   caller inspects [table.(slot)] to tell the two apart.  Terminates
+   because the load factor is kept under 3/4. *)
+let probe t sh key ~off ~hash =
+  let degree = t.degree in
+  let mask = sh.mask in
+  let i = ref ((hash lsr shard_bits) land mask) in
+  let looking = ref true in
+  while !looking do
+    let idx = sh.table.(!i) in
+    if idx < 0 then looking := false
+    else if sh.hashes.(idx) = hash && key_equal sh.arena (idx * degree) key off degree
+    then looking := false
+    else i := (!i + 1) land mask
+  done;
+  !i
+
+let find t key ~off ~hash =
+  let s = shard_of_hash hash in
+  let sh = t.shards.(s) in
+  let idx = sh.table.(probe t sh key ~off ~hash) in
+  if idx < 0 then -1 else handle ~shard:s ~index:idx
+
+let grow_states t sh =
+  let cap = Array.length sh.depths in
+  let cap' = 2 * cap in
+  let extend a =
+    let a' = Array.make cap' 0 in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  sh.depths <- extend sh.depths;
+  sh.vias <- extend sh.vias;
+  sh.parents <- extend sh.parents;
+  sh.sigs <- extend sh.sigs;
+  sh.hashes <- extend sh.hashes;
+  let arena' = Bytes.create (cap' * t.degree) in
+  Bytes.blit sh.arena 0 arena' 0 (sh.count * t.degree);
+  sh.arena <- arena'
+
+let grow_table sh =
+  let mask' = (2 * (sh.mask + 1)) - 1 in
+  let table' = Array.make (mask' + 1) (-1) in
+  for idx = 0 to sh.count - 1 do
+    let i = ref ((sh.hashes.(idx) lsr shard_bits) land mask') in
+    while table'.(!i) >= 0 do
+      i := (!i + 1) land mask'
+    done;
+    table'.(!i) <- idx
+  done;
+  sh.table <- table';
+  sh.mask <- mask'
+
+let try_insert t ~key ~off ~hash ~depth ~via ~parent =
+  let s = shard_of_hash hash in
+  let sh = t.shards.(s) in
+  let slot = probe t sh key ~off ~hash in
+  if sh.table.(slot) >= 0 then -1
+  else begin
+    let idx = sh.count in
+    if idx = Array.length sh.depths then grow_states t sh;
+    Bytes.blit key off sh.arena (idx * t.degree) t.degree;
+    sh.depths.(idx) <- depth;
+    sh.vias.(idx) <- via;
+    sh.parents.(idx) <- parent;
+    sh.hashes.(idx) <- hash;
+    let sg = ref 0 in
+    for i = 0 to t.num_binary - 1 do
+      sg := !sg lor t.signatures.(Char.code (Bytes.unsafe_get key (off + i)))
+    done;
+    sh.sigs.(idx) <- !sg;
+    sh.table.(slot) <- idx;
+    sh.count <- idx + 1;
+    (* keep the load factor under 3/4 *)
+    if 4 * sh.count > 3 * (sh.mask + 1) then grow_table sh;
+    handle ~shard:s ~index:idx
+  end

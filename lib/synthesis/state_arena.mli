@@ -1,0 +1,97 @@
+(** Sharded, arena-packed store of BFS circuit states.
+
+    Replaces the seed engine's per-state [string] key + boxed node record
+    with [2^{!shard_bits}] shards, each holding a growable [Bytes] arena of
+    packed state vectors plus flat [int] arrays for the per-state metadata
+    (BFS depth, the library index of the last gate, the parent handle, the
+    memoized binary-block signature, and the full key hash).  A state is
+    addressed by an integer {e handle} [(local_index lsl shard_bits) lor
+    shard]; no per-state heap object exists.
+
+    A state's shard is a pure function of its key bytes
+    ({!shard_of_hash} of {!hash_key}), so the store's contents — including
+    every handle — are independent of how insertions are scheduled across
+    domains.  Concurrency contract: {!try_insert} mutates only the
+    addressed shard, so distinct domains may insert into distinct shards
+    concurrently; all read-only accessors are safe while no insertion into
+    the relevant shard is in flight. *)
+
+type t
+
+val shard_bits : int
+(** Shard count is fixed (not a function of the worker count) so handles
+    and frontier order are identical for every [jobs] value. *)
+
+val num_shards : int
+
+(** [create ~degree ~num_binary ~signatures] is an empty store for state
+    vectors of [degree] bytes; [signatures.(p)] is the mixed signature of
+    encoding point [p], OR-ed over the first [num_binary] bytes of a key
+    to form the memoized reasonable-product signature. *)
+val create : degree:int -> num_binary:int -> signatures:int array -> t
+
+val degree : t -> int
+
+(** [size t] is the number of states stored across all shards. *)
+val size : t -> int
+
+(** [arena_bytes t] is the total number of key-arena bytes reserved. *)
+val arena_bytes : t -> int
+
+(** [table_capacity t] is the total number of open-addressing slots
+    (across shards) — the denominator of the load factor. *)
+val table_capacity : t -> int
+
+(** {1 Hashing} *)
+
+(** [hash_key b ~off ~len] hashes the key bytes at [b.[off .. off+len-1]];
+    deterministic and domain-independent. *)
+val hash_key : Bytes.t -> off:int -> len:int -> int
+
+val shard_of_hash : int -> int
+
+(** {1 Handle accessors} *)
+
+val shard_of_handle : int -> int
+val index_of_handle : int -> int
+
+(** [shard_arena t shard] is the current key arena of [shard]; state
+    [idx] of the shard occupies bytes [idx*degree .. (idx+1)*degree-1].
+    The returned value is invalidated by the next insertion that grows
+    the shard. *)
+val shard_arena : t -> int -> Bytes.t
+
+(** [key_offset t handle] is the byte offset of [handle]'s key inside
+    [shard_arena t (shard_of_handle handle)]. *)
+val key_offset : t -> int -> int
+
+(** [key_of t handle] materializes the key as a fresh string (legacy
+    interface; the hot paths read the arena directly). *)
+val key_of : t -> int -> string
+
+val depth_of : t -> int -> int
+
+(** [via_of t handle] is the library index of the last gate, -1 at the
+    root. *)
+val via_of : t -> int -> int
+
+(** [parent_of t handle] is the parent handle, -1 at the root. *)
+val parent_of : t -> int -> int
+
+(** [signature_of t handle] is the memoized binary-block mixed signature
+    (the OR that the seed engine recomputed per expansion). *)
+val signature_of : t -> int -> int
+
+(** {1 Lookup and insertion} *)
+
+(** [find t key ~off ~hash] is the handle of the stored state whose key
+    equals [key.[off .. off+degree-1]] (with [hash = hash_key] of those
+    bytes), or -1. *)
+val find : t -> Bytes.t -> off:int -> hash:int -> int
+
+(** [try_insert t ~key ~off ~hash ~depth ~via ~parent] inserts the state
+    into the shard dictated by [hash] and returns its new handle, or -1
+    if an equal key is already present.  Only the addressed shard is
+    mutated. *)
+val try_insert :
+  t -> key:Bytes.t -> off:int -> hash:int -> depth:int -> via:int -> parent:int -> int
