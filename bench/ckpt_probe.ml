@@ -1,0 +1,45 @@
+(* Quick A/B probe for checkpoint overhead: interleaves plain and
+   checkpoint-every-1 depth-7 censuses and prints per-rep and best-of
+   timings.  The full harness (bench/main.exe) reports the canonical
+   number in BENCH_3.json; this probe exists for fast iteration on the
+   durability layer without paying the bechamel suite.
+
+   Run with: dune exec bench/ckpt_probe.exe [reps] *)
+
+open Synthesis
+
+let library3 = Library.make (Mvl.Encoding.make ~qubits:3)
+
+let () =
+  let reps = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 5 in
+  let path = Filename.temp_file "qsynth_ckpt_probe" ".bin" in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let plain () = ignore (Fmcf.run ~max_depth:7 library3) in
+  let checkpointed () =
+    let census, reason =
+      Fmcf.run_guarded ~max_depth:7
+        ~on_level:(fun search ~cost:_ -> Checkpoint.save_async search path)
+        library3
+    in
+    Checkpoint.drain ();
+    if reason <> Fmcf.Completed then failwith "stopped early";
+    ignore (Fmcf.counts census)
+  in
+  let best_p = ref infinity and best_c = ref infinity in
+  for i = 1 to reps do
+    let p = timed plain in
+    let c = timed checkpointed in
+    if p < !best_p then best_p := p;
+    if c < !best_c then best_c := c;
+    Printf.printf "rep %d: plain %.3fs  ckpt %.3fs\n%!" i p c
+  done;
+  let size = (Unix.stat path).Unix.st_size in
+  Sys.remove path;
+  Printf.printf "best: plain %.3fs  ckpt %.3fs  overhead %+.1f%%  snapshot %.1f MB\n"
+    !best_p !best_c
+    (100. *. ((!best_c -. !best_p) /. !best_p))
+    (float_of_int size /. 1e6)

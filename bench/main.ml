@@ -1,9 +1,10 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (printed first, with wall-clock timings), then runs one Bechamel
    micro-benchmark per experiment, and finally writes the machine-readable
-   perf artifact BENCH_2.json (named experiment timings + bechamel
-   estimates + parallel-census rows for jobs = 1/2/4 + the telemetry
-   snapshot of the depth-7 census).  Each PR that moves performance
+   perf artifact BENCH_3.json (named experiment timings + bechamel
+   estimates + parallel-census rows for jobs = 1/2/4 + the checkpoint
+   durability overhead row + the telemetry snapshot of the depth-7
+   census).  Each PR that moves performance
    appends BENCH_N.json in the same schema to track the perf trajectory;
    the schema is documented in doc/OBSERVABILITY.md.
 
@@ -368,6 +369,54 @@ let reproduce_parallel_census () =
       (jobs, dt, allocated, states, arena))
     [ 1; 2; 4 ]
 
+(* Checkpoint durability overhead: the BENCH_3 experiment.  Times the
+   depth-7 census with a snapshot written at every level boundary
+   (--checkpoint-every 1: seven saves, the largest covering all ~660k
+   states) against the plain census.  Snapshots store ~11 bytes of
+   metadata per state (keys are replayed from the gate log on load) and
+   are written by a background domain overlapping the next level's
+   expansion, so the target is < 5% overhead.  The arms are interleaved
+   (plain, checkpointed, plain, …) and each takes its best of 3, so both
+   see the same heap history and machine drift. *)
+let reproduce_checkpoint_overhead () =
+  hr "Checkpoint overhead: depth-7 census at --checkpoint-every 1 vs none";
+  let path = Filename.temp_file "qsynth_bench_ckpt" ".bin" in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let run_plain () = ignore (Fmcf.run ~max_depth:7 library3) in
+  let bytes = ref 0 in
+  let run_checkpointed () =
+    let census, reason =
+      Fmcf.run_guarded ~max_depth:7
+        ~on_level:(fun search ~cost:_ -> Checkpoint.save_async search path)
+        library3
+    in
+    Checkpoint.drain ();
+    if reason <> Fmcf.Completed then failwith "guarded census stopped early";
+    bytes := (Unix.stat path).Unix.st_size;
+    ignore (Fmcf.counts census)
+  in
+  let plain = ref infinity and checkpointed = ref infinity in
+  for _ = 1 to 3 do
+    let p = timed run_plain in
+    if p < !plain then plain := p;
+    let c = timed run_checkpointed in
+    if c < !checkpointed then checkpointed := c
+  done;
+  let plain = !plain and checkpointed = !checkpointed in
+  Sys.remove path;
+  let overhead = (checkpointed -. plain) /. plain in
+  timings := ("checkpoint-depth7/every=1", checkpointed) :: !timings;
+  timings := ("checkpoint-depth7/none", plain) :: !timings;
+  Format.printf
+    "plain: %7.3fs   checkpointed: %7.3fs   overhead: %+5.1f%%   snapshot: %.1f MB@."
+    plain checkpointed (100. *. overhead)
+    (float_of_int !bytes /. 1e6);
+  (plain, checkpointed, overhead, !bytes)
+
 (* Bechamel micro-benchmarks: one per experiment *)
 
 let bechamel_tests =
@@ -484,13 +533,15 @@ let run_bechamel () =
    per-experiment wall-clock and engine counters can be compared across
    the repository's history. *)
 
-let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows path =
+let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoint_row
+    path =
   let open Telemetry in
+  let plain, checkpointed, overhead, snapshot_bytes = checkpoint_row in
   let json =
     Json.Obj
       [
         ("schema_version", Json.Int 1);
-        ("bench_id", Json.Int 2);
+        ("bench_id", Json.Int 3);
         ("generated_by", Json.String "bench/main.ml");
         ("unix_time", Json.Float (Unix.time ()));
         ("ocaml_version", Json.String Sys.ocaml_version);
@@ -517,6 +568,16 @@ let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows path =
                      ("arena_bytes", Json.Int arena);
                    ])
                parallel_rows) );
+        ( "checkpoint_overhead",
+          Json.Obj
+            [
+              ("depth", Json.Int 7);
+              ("every", Json.Int 1);
+              ("plain_seconds", Json.Float plain);
+              ("checkpointed_seconds", Json.Float checkpointed);
+              ("overhead_ratio", Json.Float overhead);
+              ("snapshot_bytes", Json.Int snapshot_bytes);
+            ] );
         ("telemetry", telemetry_snapshot);
       ]
   in
@@ -552,6 +613,7 @@ let () =
   experiment "ext/rewrite" reproduce_rewrite;
   experiment "sec4/qrng" reproduce_qrng;
   let parallel_rows = reproduce_parallel_census () in
+  let checkpoint_row = reproduce_checkpoint_overhead () in
   let bechamel_rows = run_bechamel () in
-  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_2.json" in
-  write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows path
+  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_3.json" in
+  write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoint_row path

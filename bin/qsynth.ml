@@ -4,6 +4,55 @@
 open Cmdliner
 open Synthesis
 
+(* {1 Exit-code contract}
+
+   0 success; 1 runtime error; 2 usage error; 124 wall-clock budget
+   expired (partial census); 125 state/memory budget reached (partial
+   census); 130 interrupted by SIGINT/SIGTERM after the final checkpoint
+   was written.  See doc/ROBUSTNESS.md. *)
+
+let exit_ok = 0
+let exit_runtime = 1
+let exit_usage = 2
+let exit_timeout = 124
+let exit_budget = 125
+let exit_interrupt = 130
+
+let contract_exits =
+  [
+    Cmd.Exit.info exit_ok ~doc:"on success.";
+    Cmd.Exit.info exit_runtime
+      ~doc:
+        "on runtime errors: corrupt or mismatched snapshots, invalid \
+         specifications, I/O failures, injected faults.";
+    Cmd.Exit.info exit_usage ~doc:"on command-line parse errors.";
+    Cmd.Exit.info exit_timeout
+      ~doc:"when $(b,--timeout) expired; the reported census is partial.";
+    Cmd.Exit.info exit_budget
+      ~doc:
+        "when $(b,--max-states) or $(b,--max-mem) was reached; the reported \
+         census is partial.";
+    Cmd.Exit.info exit_interrupt
+      ~doc:
+        "when interrupted (SIGINT/SIGTERM); the final checkpoint, if \
+         requested, was written first.";
+  ]
+
+(* The single error boundary: every subcommand body runs under [guarded],
+   which maps known exceptions to [exit_runtime] with a one-line message
+   instead of a backtrace, and always runs [finish] (the telemetry
+   snapshot writer). *)
+let guarded ?(finish = fun () -> ()) f =
+  Fun.protect ~finally:finish @@ fun () ->
+  let fail fmt = Format.kasprintf (fun m -> Format.eprintf "qsynth: %s@." m; exit_runtime) fmt in
+  try f () with
+  | Checkpoint.Corrupt msg -> fail "snapshot is corrupt: %s" msg
+  | Checkpoint.Mismatch msg -> fail "snapshot mismatch: %s" msg
+  | Faultsim.Injected point -> fail "injected fault %S fired (QSYNTH_FAULT)" point
+  | Invalid_argument msg | Failure msg | Sys_error msg -> fail "%s" msg
+  | Unix.Unix_error (e, fn, arg) ->
+      fail "%s: %s(%s)" (Unix.error_message e) fn arg
+
 let setup_logs verbosity =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level
@@ -53,6 +102,92 @@ let telemetry_term = Term.(const setup_telemetry $ verbose_arg $ metrics_arg $ t
 
 let make_library qubits = Library.make (Mvl.Encoding.make ~qubits)
 
+(* {1 Cooperative cancellation}
+
+   SIGINT/SIGTERM set an atomic flag that the search polls between
+   expansion chunks; nothing happens inside the handler beyond the
+   store.  [install_cancel ()] returns the polling closure. *)
+
+let cancel_requested = Atomic.make false
+
+let install_cancel () =
+  Atomic.set cancel_requested false;
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set cancel_requested true) in
+  Sys.set_signal Sys.sigint handler;
+  (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+  fun () -> Atomic.get cancel_requested
+
+(* {1 Argument converters with up-front validation} *)
+
+let pos_int ~what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%s must be at least 1" what))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s value %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let byte_size =
+  let parse s =
+    let len = String.length s in
+    let mult, digits =
+      if len = 0 then (1, s)
+      else
+        match s.[len - 1] with
+        | 'k' | 'K' -> (1024, String.sub s 0 (len - 1))
+        | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (len - 1))
+        | 'g' | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (len - 1))
+        | _ -> (1, s)
+    in
+    match int_of_string_opt digits with
+    | Some n when n >= 1 -> Ok (n * mult)
+    | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "invalid size %S (positive integer with optional K/M/G suffix)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let pos_float ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0. -> Ok f
+    | Some _ -> Error (`Msg (Printf.sprintf "%s must be positive" what))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s value %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+(* Checkpoint destinations are validated at parse time so a doomed run
+   fails before the search starts, not hours into it. *)
+let checkpoint_path =
+  let parse path =
+    let dir = Filename.dirname path in
+    if not (Sys.file_exists dir) then
+      Error (`Msg (Printf.sprintf "checkpoint directory %s does not exist" dir))
+    else if not (Sys.is_directory dir) then
+      Error (`Msg (Printf.sprintf "checkpoint directory %s is not a directory" dir))
+    else if Sys.file_exists path && Sys.is_directory path then
+      Error (`Msg (Printf.sprintf "checkpoint path %s is a directory" path))
+    else
+      match Unix.access dir [ Unix.W_OK ] with
+      | () -> Ok path
+      | exception Unix.Unix_error _ ->
+          Error (`Msg (Printf.sprintf "checkpoint directory %s is not writable" dir))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let snapshot_path =
+  let parse path =
+    if not (Sys.file_exists path) then
+      Error (`Msg (Printf.sprintf "snapshot %s does not exist" path))
+    else if Sys.is_directory path then
+      Error (`Msg (Printf.sprintf "snapshot path %s is a directory" path))
+    else Ok path
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let qubits_arg =
   let doc = "Number of qubits." in
   Arg.(value & opt int 3 & info [ "q"; "qubits" ] ~docv:"N" ~doc)
@@ -62,34 +197,92 @@ let depth_arg =
   Arg.(value & opt int 7 & info [ "d"; "depth" ] ~docv:"K" ~doc)
 
 let jobs_arg =
-  let pos_int =
-    let parse s =
-      match int_of_string_opt s with
-      | Some n when n >= 1 -> Ok n
-      | Some _ -> Error (`Msg "JOBS must be at least 1")
-      | None -> Error (`Msg (Printf.sprintf "invalid JOBS value %S" s))
-    in
-    Arg.conv (parse, Format.pp_print_int)
-  in
   let doc =
     "Number of worker domains for the breadth-first search (default 1).  \
      Every value produces identical results; values above 1 parallelize \
      each level across domains.  The effective value appears as the \
      $(b,search.jobs) gauge in the $(b,--metrics) snapshot."
   in
-  Arg.(value & opt pos_int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+  Arg.(value & opt (pos_int ~what:"JOBS") 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
 
 (* census *)
 
 let census_cmd =
-  let run finish_telemetry qubits depth jobs paper_variant save =
+  let run finish_telemetry qubits depth jobs paper_variant save checkpoint every
+      resume max_states max_mem timeout =
+    (* An async checkpoint write may be in flight when an exception
+       escapes; let it finish (best effort) so the file keeps the last
+       boundary — the primary error is what gets reported. *)
+    let finish () =
+      (try Checkpoint.drain () with _ -> ());
+      finish_telemetry ()
+    in
+    guarded ~finish @@ fun () ->
     let library = make_library qubits in
+    let last_saved = ref (-1) in
+    let resume_search =
+      match resume with
+      | None -> (
+          match checkpoint with
+          | Some path when not (Sys.file_exists path) ->
+              (* Seed the checkpoint at level 0 before searching, so a
+                 crash at any point of the run leaves a resumable file. *)
+              let s = Search.create ~jobs library in
+              Checkpoint.save s path;
+              last_saved := 0;
+              Some s
+          | Some _ | None -> None)
+      | Some path ->
+          let h = Checkpoint.peek path in
+          if h.Checkpoint.depth > depth then
+            failwith
+              (Printf.sprintf
+                 "snapshot %s is already at level %d, beyond --depth %d; pass a \
+                  deeper --depth to continue it"
+                 path h.Checkpoint.depth depth);
+          Some (Checkpoint.load ~jobs library path)
+    in
+    let should_stop = install_cancel () in
+    let save_checkpoint search =
+      match checkpoint with
+      | Some path when Search.depth search <> !last_saved ->
+          Checkpoint.save search path;
+          last_saved := Search.depth search
+      | Some _ | None ->
+          (* Nothing new to write, but the last async write must land
+             before we report success. *)
+          Checkpoint.drain ()
+    in
+    let on_level search ~cost =
+      match checkpoint with
+      | Some path when cost mod every = 0 ->
+          Checkpoint.save_async search path;
+          last_saved := cost
+      | Some _ | None -> ()
+    in
     let t0 = Unix.gettimeofday () in
-    let census = Fmcf.run ~max_depth:depth ~jobs library in
+    let census, reason =
+      Fmcf.run_guarded ~max_depth:depth ~jobs ?resume:resume_search ?max_states
+        ?max_mem ?timeout ~should_stop ~on_level library
+    in
     let elapsed = Unix.gettimeofday () -. t0 in
+    let reached = Search.depth (Fmcf.search census) in
+    (* final checkpoint at the boundary we stopped on, whatever the
+       reason — interrupted runs keep their progress *)
+    save_checkpoint (Fmcf.search census);
+    let note =
+      match reason with
+      | Fmcf.Completed -> None
+      | r ->
+          Some
+            (Printf.sprintf
+               "PARTIAL census: %s at level %d of %d; deeper levels were not \
+                searched"
+               (Fmcf.describe_stop r) reached depth)
+    in
     (match save with
     | Some path ->
-        Census_io.save census path;
+        Census_io.save ?note census path;
         Format.printf "saved census to %s@." path
     | None -> ());
     let counts = if paper_variant then Fmcf.paper_counts census else Fmcf.counts census in
@@ -105,8 +298,15 @@ let census_cmd =
       (Fmcf.total_found census)
       (Search.size (Fmcf.search census))
       elapsed;
+    (match note with
+    | Some n -> Format.printf "*** %s ***@." n
+    | None -> ());
     if Telemetry.enabled () then Telemetry.log_summary ();
-    finish_telemetry ()
+    match reason with
+    | Fmcf.Completed -> exit_ok
+    | Fmcf.Timed_out -> exit_timeout
+    | Fmcf.Budget_states | Fmcf.Budget_mem -> exit_budget
+    | Fmcf.Cancelled -> exit_interrupt
   in
   let paper_flag =
     Arg.(value & flag & info [ "paper-variant" ]
@@ -115,23 +315,65 @@ let census_cmd =
   in
   let save_arg =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
-           ~doc:"Save the census (cost, function, witness cascade) as TSV.")
+           ~doc:"Save the census (cost, function, witness cascade) as TSV.  \
+                 Interrupted or budget-limited runs are marked with a \
+                 '# PARTIAL' comment.")
   in
-  Cmd.v (Cmd.info "census" ~doc:"Reproduce Table 2: |G[k]| for k = 0..depth.")
+  let checkpoint_arg =
+    Arg.(value & opt (some checkpoint_path) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Write a crash-safe snapshot of the search to $(docv) at level \
+                 boundaries (atomically: temp file + rename), and a final one \
+                 on any early stop.  Resume with $(b,--resume).")
+  in
+  let every_arg =
+    Arg.(value & opt (pos_int ~what:"K") 1 & info [ "checkpoint-every" ] ~docv:"K"
+           ~doc:"Snapshot every $(docv)-th level (default 1: every level).")
+  in
+  let resume_arg =
+    Arg.(value & opt (some snapshot_path) None & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Restore the search from a snapshot written by $(b,--checkpoint) \
+                 and continue to --depth.  The resumed census is identical to an \
+                 uninterrupted run's.  The snapshot must come from the same gate \
+                 library (checked by fingerprint).")
+  in
+  let max_states_arg =
+    Arg.(value & opt (some (pos_int ~what:"N")) None & info [ "max-states" ] ~docv:"N"
+           ~doc:"Stop before expanding the next level once $(docv) search states \
+                 are stored; the census is reported as partial (exit 125).")
+  in
+  let max_mem_arg =
+    Arg.(value & opt (some byte_size) None & info [ "max-mem" ] ~docv:"BYTES"
+           ~doc:"Stop before expanding the next level once the state arenas \
+                 reserve $(docv) bytes (K/M/G suffixes accepted); the census is \
+                 reported as partial (exit 125).")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some (pos_float ~what:"SECONDS")) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Stop after $(docv) seconds of wall clock, abandoning any \
+                   half-expanded level cleanly; the census is reported as \
+                   partial (exit 124).")
+  in
+  Cmd.v
+    (Cmd.info "census" ~exits:contract_exits
+       ~doc:"Reproduce Table 2: |G[k]| for k = 0..depth.")
     Term.(
       const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ paper_flag
-      $ save_arg)
+      $ save_arg $ checkpoint_arg $ every_arg $ resume_arg $ max_states_arg
+      $ max_mem_arg $ timeout_arg)
 
 (* synth *)
 
 let synth_cmd =
   let run finish_telemetry qubits depth jobs all spec =
+    guarded ~finish:finish_telemetry @@ fun () ->
     let library = make_library qubits in
     let target = Reversible.Spec.parse ~bits:qubits spec in
     Format.printf "target: %a@." Reversible.Revfun.pp target;
+    let should_stop = install_cancel () in
     let t0 = Unix.gettimeofday () in
     if all then begin
-      let results = Mce.all_realizations ~max_depth:depth ~jobs library target in
+      let results = Mce.all_realizations ~max_depth:depth ~jobs ~should_stop library target in
       (match results with
       | [] -> Format.printf "no realization within depth %d@." depth
       | { Mce.cost; _ } :: _ ->
@@ -148,7 +390,7 @@ let synth_cmd =
             results)
     end
     else
-      (match Mce.express ~max_depth:depth ~jobs library target with
+      (match Mce.express ~max_depth:depth ~jobs ~should_stop library target with
       | None -> Format.printf "no realization within depth %d@." depth
       | Some r ->
           Format.printf "cost %d (%.3fs): %s%a  [verified: %b]@." r.Mce.cost
@@ -157,7 +399,11 @@ let synth_cmd =
              else Printf.sprintf "NOT(mask=%d) * " r.Mce.not_mask)
             Cascade.pp r.Mce.cascade
             (Verify.result_valid library r));
-    finish_telemetry ()
+    if should_stop () then begin
+      Format.eprintf "qsynth: search interrupted@.";
+      exit_interrupt
+    end
+    else exit_ok
   in
   let all_flag =
     Arg.(value & flag & info [ "a"; "all" ] ~doc:"Enumerate all minimal realizations.")
@@ -169,7 +415,7 @@ let synth_cmd =
                  like '0,1,2,3,4,5,7,6'.")
   in
   Cmd.v
-    (Cmd.info "synth"
+    (Cmd.info "synth" ~exits:contract_exits
        ~doc:"Synthesize a minimal-cost quantum cascade for a reversible function \
              (the paper's MCE algorithm).")
     Term.(
@@ -180,6 +426,7 @@ let synth_cmd =
 
 let table1_cmd =
   let run () =
+    guarded @@ fun () ->
     let gate = Gate.make Gate.Controlled_v ~target:1 ~control:0 in
     let rows =
       Mvl.Truth_table.labeled_rows ~order:Mvl.Truth_table.table1_order (Gate.apply gate)
@@ -190,7 +437,8 @@ let table1_cmd =
     let img = Array.make (List.length rows) 0 in
     List.iter (fun (li, _, _, lo) -> img.(li - 1) <- lo - 1) rows;
     Format.printf "permutation representation: %a@." Permgroup.Perm.pp
-      (Permgroup.Perm.of_array img)
+      (Permgroup.Perm.of_array img);
+    exit_ok
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 (2-qubit controlled-V truth table).")
     Term.(const run $ const ())
@@ -199,6 +447,7 @@ let table1_cmd =
 
 let universal_cmd =
   let run finish_telemetry jobs =
+    guarded ~finish:finish_telemetry @@ fun () ->
     let library = make_library 3 in
     let census = Fmcf.run ~max_depth:4 ~jobs library in
     let linear, family = Universality.split_g4 census in
@@ -222,7 +471,7 @@ let universal_cmd =
       orbits;
     let g_size, h_size = Universality.theorem2_check ~bits:3 in
     Format.printf "|G| = %d, |S8| = %d (Theorem 2 coset checks passed)@." g_size h_size;
-    finish_telemetry ()
+    exit_ok
   in
   Cmd.v
     (Cmd.info "universal"
@@ -234,6 +483,7 @@ let universal_cmd =
 
 let simulate_cmd =
   let run qubits cascade_str input_str =
+    guarded @@ fun () ->
     let library = make_library qubits in
     let cascade = Cascade.of_string ~qubits cascade_str in
     Format.printf "cascade: %a (cost %d, reasonable: %b)@." Cascade.pp cascade
@@ -257,7 +507,8 @@ let simulate_cmd =
             (Automata.Measurement.support pattern);
           Format.printf "@."
         end)
-      inputs
+      inputs;
+    exit_ok
   in
   let cascade_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"CASCADE"
@@ -277,6 +528,7 @@ let simulate_cmd =
 
 let classical_cmd =
   let run spec_opt =
+    guarded @@ fun () ->
     let libraries =
       [
         Reversible.Classical_synth.ncp_linear;
@@ -284,7 +536,7 @@ let classical_cmd =
         Reversible.Classical_synth.ncp_peres;
       ]
     in
-    match spec_opt with
+    (match spec_opt with
     | None ->
         List.iter
           (fun library ->
@@ -306,7 +558,8 @@ let classical_cmd =
             | None ->
                 Format.printf "%-18s unreachable@."
                   library.Reversible.Classical_synth.label)
-          libraries
+          libraries);
+    exit_ok
   in
   let spec_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC"
@@ -323,6 +576,7 @@ let classical_cmd =
 
 let describe_cmd =
   let run qubits spec =
+    guarded @@ fun () ->
     let library = make_library qubits in
     let target = Reversible.Spec.parse ~bits:qubits spec in
     Format.printf "cycles:   %a@." Reversible.Revfun.pp target;
@@ -333,11 +587,12 @@ let describe_cmd =
         Format.printf "affine decomposition: NOT(mask=%d) then %d CNOT(s)@." not_mask
           (List.length cnots)
     | None -> ());
-    match Mce.express library target with
+    (match Mce.express library target with
     | Some r ->
         Format.printf "quantum cost: %d@.@.%s@." r.Mce.cost
           (Draw.to_ascii ~qubits ~not_mask:r.Mce.not_mask r.Mce.cascade)
-    | None -> Format.printf "quantum cost: beyond the default depth bound@."
+    | None -> Format.printf "quantum cost: beyond the default depth bound@.");
+    exit_ok
   in
   let spec_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
@@ -353,6 +608,7 @@ let describe_cmd =
 
 let spectrum_cmd =
   let run finish_telemetry depth jobs probe =
+    guarded ~finish:finish_telemetry @@ fun () ->
     let library = make_library 3 in
     let t0 = Unix.gettimeofday () in
     let census = Fmcf.run ~max_depth:depth ~jobs library in
@@ -387,7 +643,7 @@ let spectrum_cmd =
         completion.Spectrum.resolved_tail;
       Format.printf "@.unresolved: %d@." completion.Spectrum.unresolved
     end;
-    finish_telemetry ()
+    exit_ok
   in
   let depth_arg =
     Arg.(value & opt int 7 & info [ "d"; "depth" ] ~docv:"K" ~doc:"Census depth.")
@@ -408,14 +664,16 @@ let spectrum_cmd =
 
 let draw_cmd =
   let run qubits depth spec =
+    guarded @@ fun () ->
     let library = make_library qubits in
     let target = Reversible.Spec.parse ~bits:qubits spec in
-    match Mce.express ~max_depth:depth library target with
+    (match Mce.express ~max_depth:depth library target with
     | None -> Format.printf "no realization within depth %d@." depth
     | Some r ->
         Format.printf "%a  (cost %d)@.@." Reversible.Revfun.pp target r.Mce.cost;
         Format.printf "%s@."
-          (Draw.to_ascii ~qubits ~not_mask:r.Mce.not_mask r.Mce.cascade)
+          (Draw.to_ascii ~qubits ~not_mask:r.Mce.not_mask r.Mce.cascade));
+    exit_ok
   in
   let spec_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
@@ -428,17 +686,11 @@ let draw_cmd =
 (* weighted *)
 
 let weighted_cmd =
-  let run qubits max_cost model_name spec =
+  let run qubits max_cost model spec =
+    guarded @@ fun () ->
     let library = make_library qubits in
     let target = Reversible.Spec.parse ~bits:qubits spec in
-    let model =
-      match model_name with
-      | "unit" -> Cost_model.unit
-      | "v-cheap" -> Cost_model.v_cheap
-      | "feynman-cheap" -> Cost_model.feynman_cheap
-      | other -> failwith ("unknown cost model: " ^ other)
-    in
-    match Weighted.express ~max_cost library ~model target with
+    (match Weighted.express ~max_cost library ~model target with
     | None -> Format.printf "no realization within cost %d@." max_cost
     | Some r ->
         Format.printf "model %s: cost %d, cascade %s%a  [verified: %b]@."
@@ -447,11 +699,22 @@ let weighted_cmd =
            else Printf.sprintf "NOT(mask=%d) * " r.Weighted.not_mask)
           Cascade.pp r.Weighted.cascade
           (Verify.cascade_implements ~qubits ~not_mask:r.Weighted.not_mask
-             r.Weighted.cascade target)
+             r.Weighted.cascade target));
+    exit_ok
   in
   let model_arg =
-    Arg.(value & opt string "unit" & info [ "m"; "model" ] ~docv:"MODEL"
-           ~doc:"Cost model: unit, v-cheap or feynman-cheap.")
+    (* Cmdliner enum: an unknown model is a usage error (exit 2) listing
+       the alternatives, not a runtime failure. *)
+    let models =
+      [
+        ("unit", Cost_model.unit);
+        ("v-cheap", Cost_model.v_cheap);
+        ("feynman-cheap", Cost_model.feynman_cheap);
+      ]
+    in
+    Arg.(value & opt (enum models) Cost_model.unit & info [ "m"; "model" ] ~docv:"MODEL"
+           ~doc:
+             (Printf.sprintf "Cost model: %s." (Arg.doc_alts_enum models)))
   in
   let max_cost_arg =
     Arg.(value & opt int 8 & info [ "c"; "max-cost" ] ~docv:"C"
@@ -471,6 +734,7 @@ let weighted_cmd =
 
 let ablation_cmd =
   let run depth =
+    guarded @@ fun () ->
     let library = make_library 3 in
     let constrained = Fmcf.run ~max_depth:depth library in
     let unconstrained = Fmcf.run ~max_depth:depth (Library.unconstrained library) in
@@ -494,14 +758,15 @@ let ablation_cmd =
             level.Fmcf.members)
         (Fmcf.levels unconstrained)
     in
-    match unsound with
+    (match unsound with
     | Some (cascade, func) ->
         Format.printf
           "unsound witness: %a claims %a in the multiple-valued model but its exact \
            unitary does not implement it — this is why Definition 1 bans mixed \
            control values.@."
           Cascade.pp cascade Reversible.Revfun.pp func
-    | None -> Format.printf "no unsound witness within this depth.@."
+    | None -> Format.printf "no unsound witness within this depth.@.");
+    exit_ok
   in
   let depth_arg =
     Arg.(value & opt int 4 & info [ "d"; "depth" ] ~docv:"K" ~doc:"Census depth.")
@@ -512,13 +777,41 @@ let ablation_cmd =
              becomes unsound.")
     Term.(const run $ depth_arg)
 
+(* Known fault-injection points; kept in sync with the Faultsim.hit call
+   sites (see doc/ROBUSTNESS.md). *)
+let fault_points = [ "checkpoint"; "grow"; "merge" ]
+
+(* QSYNTH_FAULT is validated before any command runs: a typo'd spec is a
+   usage error (exit 2) with a diagnostic, never a silently disarmed
+   fault plan.  (The Faultsim module itself swallows parse errors at
+   link time, since it initializes inside every binary.) *)
+let validate_fault_env () =
+  match Sys.getenv_opt "QSYNTH_FAULT" with
+  | None -> ()
+  | Some spec -> (
+      match Faultsim.parse_spec spec with
+      | pairs ->
+          List.iter
+            (fun (point, _) ->
+              if not (List.mem point fault_points) then begin
+                Format.eprintf
+                  "qsynth: QSYNTH_FAULT: unknown fault point %S (known: %s)@." point
+                  (String.concat ", " fault_points);
+                exit exit_usage
+              end)
+            pairs;
+          Faultsim.configure (Some spec)
+      | exception Invalid_argument msg ->
+          Format.eprintf "qsynth: QSYNTH_FAULT: %s@." msg;
+          exit exit_usage)
+
 let () =
+  validate_fault_env ();
   let doc = "Exact synthesis of 3-qubit quantum circuits (DATE 2005 reproduction)." in
-  let info = Cmd.info "qsynth" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
+  let info = Cmd.info "qsynth" ~version:"1.0.0" ~doc ~exits:contract_exits in
+  let group =
+    Cmd.group info
+      [
             census_cmd;
             synth_cmd;
             table1_cmd;
@@ -530,4 +823,14 @@ let () =
             spectrum_cmd;
             classical_cmd;
             describe_cmd;
-          ]))
+      ]
+  in
+  (* Cmdliner's stock codes (124/125) collide with the timeout/budget
+     contract above, so map evaluation outcomes explicitly: every usage
+     problem is 2, an escaped exception is 1. *)
+  exit
+    (match Cmd.eval_value group with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> exit_ok
+    | Error (`Parse | `Term) -> exit_usage
+    | Error `Exn -> exit_runtime)

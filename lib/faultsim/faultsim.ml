@@ -1,0 +1,72 @@
+exception Injected of string
+
+(* One cell per armed point: (name, remaining hits before firing). *)
+type cell = { point : string; mutable remaining : int }
+
+let cells : cell list ref = ref []
+let live = ref false (* mirrors cells <> []; the only read on the fast path *)
+let spec_string : string option ref = ref None
+
+let parse_pair pair =
+  match String.index_opt pair ':' with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Faultsim: %S is not of the form point:count" pair)
+  | Some i ->
+      let point = String.sub pair 0 i in
+      let count_str = String.sub pair (i + 1) (String.length pair - i - 1) in
+      if point = "" then invalid_arg "Faultsim: empty fault point name";
+      (match int_of_string_opt count_str with
+      | Some count when count >= 1 -> (point, count)
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf "Faultsim: count for %S must be >= 1" point)
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Faultsim: invalid count %S for point %S" count_str
+               point))
+
+let parse_spec spec =
+  String.split_on_char ',' spec
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.map (fun s -> parse_pair (String.trim s))
+
+let configure spec =
+  match spec with
+  | None ->
+      cells := [];
+      live := false;
+      spec_string := None
+  | Some s ->
+      let pairs = parse_spec s in
+      cells := List.map (fun (point, count) -> { point; remaining = count }) pairs;
+      live := !cells <> [];
+      spec_string := if !cells = [] then None else Some s
+
+let armed () = !spec_string
+
+let fire point =
+  List.iter
+    (fun c ->
+      if String.equal c.point point then begin
+        c.remaining <- c.remaining - 1;
+        if c.remaining = 0 then begin
+          (* disarm before raising so a handler that keeps running does
+             not re-trigger on the next hit *)
+          cells := List.filter (fun c' -> c' != c) !cells;
+          live := !cells <> [];
+          raise (Injected point)
+        end
+      end)
+    !cells
+
+let hit point = if !live then fire point
+
+(* A malformed environment spec must not abort module initialization of
+   every linked binary; it is left disarmed here and rejected with a
+   proper diagnostic by the CLI's up-front validation (which re-parses
+   the variable through [parse_spec]). *)
+let () =
+  match Sys.getenv_opt "QSYNTH_FAULT" with
+  | None -> ()
+  | Some s -> ( try configure (Some s) with Invalid_argument _ -> ())

@@ -4,12 +4,15 @@ type entry = {
   cascade : Cascade.t;
 }
 
-let save census path =
+let save ?note census path =
   let out = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out out)
     (fun () ->
       Printf.fprintf out "# qsynth census: cost <TAB> cycles <TAB> cascade\n";
+      (match note with
+      | Some n -> Printf.fprintf out "# %s\n" n
+      | None -> ());
       List.iter
         (fun level ->
           List.iter

@@ -17,9 +17,12 @@ type entry = {
   cascade : Cascade.t;
 }
 
-(** [save census path] writes every census member with its witness
-    cascade. *)
-val save : Fmcf.t -> string -> unit
+(** [save ?note census path] writes every census member with its witness
+    cascade.  [note], when given, is emitted as a [#] comment right after
+    the format banner — used to mark {e partial} censuses (interrupted or
+    budget-limited runs) so a reader cannot mistake them for complete
+    ones. *)
+val save : ?note:string -> Fmcf.t -> string -> unit
 
 (** [load library path] reads and re-validates a census file.
     @raise Invalid_argument on malformed or inconsistent entries (with

@@ -9,6 +9,10 @@ let s_paper_g = Telemetry.Series.create "fmcf.level.paper_g"
 let m_dedupe_level = Telemetry.Counter.create "fmcf.dedupe.level_hits"
 let m_dedupe_global = Telemetry.Counter.create "fmcf.dedupe.global_hits"
 let h_restrict = Telemetry.Histogram.create "fmcf.restriction.seconds"
+let m_budget_states = Telemetry.Counter.create "search.budget.states.hit"
+let m_budget_mem = Telemetry.Counter.create "search.budget.mem.hit"
+let m_timeout = Telemetry.Counter.create "search.timeout.hit"
+let m_cancelled = Telemetry.Counter.create "search.cancelled"
 
 type member = { func : Reversible.Revfun.t; witness : string; cost : int }
 
@@ -26,96 +30,175 @@ type t = {
   index : (string, member) Hashtbl.t; (* func_key -> member, built at census time *)
 }
 
+type stop_reason = Completed | Budget_states | Budget_mem | Timed_out | Cancelled
+
+let describe_stop = function
+  | Completed -> "completed"
+  | Budget_states -> "state budget exhausted (--max-states)"
+  | Budget_mem -> "memory budget exhausted (--max-mem)"
+  | Timed_out -> "wall-clock budget exhausted (--timeout)"
+  | Cancelled -> "cancelled (SIGINT/SIGTERM)"
+
 let func_key func = Permgroup.Perm.key (Reversible.Revfun.to_perm func)
 
-let run ?(max_depth = 7) ?(jobs = 1) library =
-  Telemetry.Span.with_span "fmcf.run"
-    ~attrs:[ ("max_depth", Telemetry.Json.Int max_depth) ]
+(* Shared census state threaded through level processing; deterministic
+   given the frontier sequence, so replaying the frontiers of a restored
+   arena reproduces the levels of the interrupted run exactly. *)
+type acc = {
+  found : (string, unit) Hashtbl.t;
+  paper_found : (string, unit) Hashtbl.t;
+  idx : (string, member) Hashtbl.t;
+}
+
+let process_level search acc ~cost frontier =
+  Telemetry.Span.with_span "fmcf.level" ~attrs:[ ("cost", Telemetry.Json.Int cost) ]
   @@ fun () ->
-  let search = Search.create ~jobs library in
-  let found = Hashtbl.create 4096 in
-  let paper_found = Hashtbl.create 4096 in
-  let index = Hashtbl.create 4096 in
+  let frontier_size = Array.length frontier in
+  let members = ref [] in
+  let member_count = ref 0 in
+  let level_hits = ref 0 and global_hits = ref 0 in
+  let level_restrictions = Hashtbl.create 256 in
+  Telemetry.Histogram.time h_restrict (fun () ->
+      Array.iter
+        (fun h ->
+          match Search.restriction_of_handle search h with
+          | None -> ()
+          | Some func ->
+              let fk = func_key func in
+              (* pre_G[cost] as a set: dedupe within the level.  Keys
+                 are only materialized for first-in-level witnesses. *)
+              if not (Hashtbl.mem level_restrictions fk) then begin
+                let key = Search.key_of_handle search h in
+                Hashtbl.add level_restrictions fk key;
+                if not (Hashtbl.mem acc.found fk) then begin
+                  Hashtbl.add acc.found fk ();
+                  let member = { func; witness = key; cost } in
+                  Hashtbl.add acc.idx fk member;
+                  members := member :: !members;
+                  incr member_count
+                end
+                else incr global_hits
+              end
+              else incr level_hits)
+        frontier);
+  (* Paper-variant count: level 2 skips subtraction of earlier levels;
+     other levels subtract everything recorded so far (which never
+     includes the identity, G[0]). *)
+  let paper_count = ref 0 in
+  Hashtbl.iter
+    (fun fk _ ->
+      if cost = 2 || not (Hashtbl.mem acc.paper_found fk) then incr paper_count)
+    level_restrictions;
+  Hashtbl.iter
+    (fun fk _ ->
+      if not (Hashtbl.mem acc.paper_found fk) then Hashtbl.add acc.paper_found fk ())
+    level_restrictions;
+  Telemetry.Series.set s_frontier ~index:cost frontier_size;
+  Telemetry.Series.set s_pre_g ~index:cost (Hashtbl.length level_restrictions);
+  Telemetry.Series.set s_g ~index:cost !member_count;
+  Telemetry.Series.set s_paper_g ~index:cost !paper_count;
+  Telemetry.Counter.add m_dedupe_level !level_hits;
+  Telemetry.Counter.add m_dedupe_global !global_hits;
+  Log.info (fun m ->
+      m "level %d: frontier %d, pre-G %d, |G[%d]| = %d (dedupe: %d in-level, %d global)"
+        cost frontier_size
+        (Hashtbl.length level_restrictions)
+        cost !member_count !level_hits !global_hits);
+  { cost; frontier_size; members = List.rev !members; paper_count = !paper_count }
+
+let level_zero search acc library =
   let identity_func = Reversible.Revfun.identity ~bits:(Library.qubits library) in
   (* G[0] = {identity}; the paper's variant never subtracts it. *)
-  let root = Search.key_of_handle search (Search.frontier_handles search).(0) in
+  let root = Search.key_of_handle search (Search.handles_at_depth search 0).(0) in
   let identity_member = { func = identity_func; witness = root; cost = 0 } in
-  Hashtbl.add found (func_key identity_func) ();
-  Hashtbl.add index (func_key identity_func) identity_member;
-  let level0 =
-    { cost = 0; frontier_size = 1; members = [ identity_member ]; paper_count = 1 }
-  in
+  Hashtbl.add acc.found (func_key identity_func) ();
+  Hashtbl.add acc.idx (func_key identity_func) identity_member;
   Telemetry.Series.set s_frontier ~index:0 1;
   Telemetry.Series.set s_pre_g ~index:0 1;
   Telemetry.Series.set s_g ~index:0 1;
   Telemetry.Series.set s_paper_g ~index:0 1;
-  let levels = ref [ level0 ] in
-  for cost = 1 to max_depth do
-    Telemetry.Span.with_span "fmcf.level"
-      ~attrs:[ ("cost", Telemetry.Json.Int cost) ]
-    @@ fun () ->
-    let fresh = Search.step_handles search in
-    (* step_handles already counted the level: no O(n) List.length pass. *)
-    let frontier_size = Array.length fresh in
-    let members = ref [] in
-    let member_count = ref 0 in
-    let level_hits = ref 0 and global_hits = ref 0 in
-    let level_restrictions = Hashtbl.create 256 in
-    Telemetry.Histogram.time h_restrict (fun () ->
-        Array.iter
-          (fun h ->
-            match Search.restriction_of_handle search h with
-            | None -> ()
-            | Some func ->
-                let fk = func_key func in
-                (* pre_G[cost] as a set: dedupe within the level.  Keys
-                   are only materialized for first-in-level witnesses. *)
-                if not (Hashtbl.mem level_restrictions fk) then begin
-                  let key = Search.key_of_handle search h in
-                  Hashtbl.add level_restrictions fk key;
-                  if not (Hashtbl.mem found fk) then begin
-                    Hashtbl.add found fk ();
-                    let member = { func; witness = key; cost } in
-                    Hashtbl.add index fk member;
-                    members := member :: !members;
-                    incr member_count
-                  end
-                  else incr global_hits
-                end
-                else incr level_hits)
-          fresh);
-    (* Paper-variant count: level 2 skips subtraction of earlier levels;
-       other levels subtract everything recorded so far (which never
-       includes the identity, G[0]). *)
-    let paper_count = ref 0 in
-    Hashtbl.iter
-      (fun fk _ ->
-        if cost = 2 || not (Hashtbl.mem paper_found fk) then incr paper_count)
-      level_restrictions;
-    Hashtbl.iter
-      (fun fk _ -> if not (Hashtbl.mem paper_found fk) then Hashtbl.add paper_found fk ())
-      level_restrictions;
-    Telemetry.Series.set s_frontier ~index:cost frontier_size;
-    Telemetry.Series.set s_pre_g ~index:cost (Hashtbl.length level_restrictions);
-    Telemetry.Series.set s_g ~index:cost !member_count;
-    Telemetry.Series.set s_paper_g ~index:cost !paper_count;
-    Telemetry.Counter.add m_dedupe_level !level_hits;
-    Telemetry.Counter.add m_dedupe_global !global_hits;
-    Log.info (fun m ->
-        m "level %d: frontier %d, pre-G %d, |G[%d]| = %d (dedupe: %d in-level, %d global)"
-          cost frontier_size
-          (Hashtbl.length level_restrictions)
-          cost !member_count !level_hits !global_hits);
-    levels :=
-      {
-        cost;
-        frontier_size;
-        members = List.rev !members;
-        paper_count = !paper_count;
-      }
-      :: !levels
+  { cost = 0; frontier_size = 1; members = [ identity_member ]; paper_count = 1 }
+
+let no_stop () = false
+
+let run_guarded ?(max_depth = 7) ?(jobs = 1) ?resume ?max_states ?max_mem ?timeout
+    ?(should_stop = no_stop) ?on_level library =
+  Telemetry.Span.with_span "fmcf.run"
+    ~attrs:[ ("max_depth", Telemetry.Json.Int max_depth) ]
+  @@ fun () ->
+  let started = Unix.gettimeofday () in
+  let search =
+    match resume with
+    | None -> Search.create ~jobs library
+    | Some s ->
+        if Search.library s != library then
+          invalid_arg "Fmcf.run_guarded: resumed search was built for another library";
+        s
+  in
+  if Search.depth search > max_depth then
+    invalid_arg
+      (Printf.sprintf
+         "Fmcf.run_guarded: resumed search is already at level %d, beyond max_depth %d"
+         (Search.depth search) max_depth);
+  let acc =
+    { found = Hashtbl.create 4096; paper_found = Hashtbl.create 4096;
+      idx = Hashtbl.create 4096 }
+  in
+  let levels = ref [ level_zero search acc library ] in
+  (* Replay the completed levels of a restored arena through the same
+     processing path: the reconstructed frontiers are byte-identical to
+     the original run's (Search.handles_at_depth returns canonical
+     order), so the replayed members, witnesses and counts are too. *)
+  for cost = 1 to Search.depth search do
+    levels := process_level search acc ~cost (Search.handles_at_depth search cost)
+              :: !levels
   done;
-  { library; search; levels = List.rev !levels; index }
+  let deadline = Option.map (fun s -> started +. s) timeout in
+  let deadline_passed () =
+    match deadline with None -> false | Some d -> Unix.gettimeofday () >= d
+  in
+  let cancel () = should_stop () || deadline_passed () in
+  let over_states () =
+    match max_states with None -> false | Some n -> Search.size search >= n
+  in
+  let over_mem () =
+    match max_mem with None -> false | Some n -> Search.arena_bytes search >= n
+  in
+  let stop = ref None in
+  while !stop = None && Search.depth search < max_depth do
+    if should_stop () then stop := Some Cancelled
+    else if deadline_passed () then stop := Some Timed_out
+    else if over_states () then stop := Some Budget_states
+    else if over_mem () then stop := Some Budget_mem
+    else
+      match Search.try_step search ~cancel with
+      | None ->
+          (* mid-level abandon: the engine rolled back to the last
+             complete level; decide which guard fired *)
+          stop := Some (if should_stop () then Cancelled else Timed_out)
+      | Some fresh ->
+          let cost = Search.depth search in
+          (* The hook fires before the level's members are extracted so an
+             asynchronous checkpoint write can overlap that processing. *)
+          (match on_level with None -> () | Some f -> f search ~cost);
+          levels := process_level search acc ~cost fresh :: !levels
+  done;
+  let reason = Option.value ~default:Completed !stop in
+  (match reason with
+  | Completed -> ()
+  | Budget_states -> Telemetry.Counter.incr m_budget_states
+  | Budget_mem -> Telemetry.Counter.incr m_budget_mem
+  | Timed_out -> Telemetry.Counter.incr m_timeout
+  | Cancelled -> Telemetry.Counter.incr m_cancelled);
+  if reason <> Completed then
+    Log.warn (fun m ->
+        m "census stopped early at level %d/%d: %s" (Search.depth search) max_depth
+          (describe_stop reason));
+  if Telemetry.enabled () then
+    Telemetry.Span.set_attr "stop_reason" (Telemetry.Json.String (describe_stop reason));
+  ({ library; search; levels = List.rev !levels; index = acc.idx }, reason)
+
+let run ?max_depth ?jobs library = fst (run_guarded ?max_depth ?jobs library)
 
 let levels t = t.levels
 let search t = t.search

@@ -33,11 +33,65 @@ type level = {
 
 type t
 
+(** Why a census run ended.  Anything but [Completed] marks a {e partial}
+    census: every level up to [Search.depth (search t)] is exact, deeper
+    levels were never expanded. *)
+type stop_reason =
+  | Completed  (** reached [max_depth] *)
+  | Budget_states  (** [max_states] reached before the next level *)
+  | Budget_mem  (** [max_mem] arena bytes reached before the next level *)
+  | Timed_out  (** [timeout] seconds elapsed (checked between levels and
+                   polled during expansion) *)
+  | Cancelled  (** [should_stop] fired (e.g. SIGINT/SIGTERM) *)
+
+(** [describe_stop r] is a one-line human-readable description. *)
+val describe_stop : stop_reason -> string
+
 (** [run ?max_depth ?jobs library] executes the census up to [max_depth]
     (default 7, the paper's cb).  [jobs] (default 1) is the number of
     domains the underlying BFS uses per level; every census row is
     identical for every jobs value (see {!Search.create}). *)
 val run : ?max_depth:int -> ?jobs:int -> Library.t -> t
+
+(** [run_guarded ?max_depth ?jobs ?resume ?max_states ?max_mem ?timeout
+    ?should_stop ?on_level library] is {!run} with resource guards and
+    durability hooks:
+
+    - [resume]: continue from a restored engine (see {!Checkpoint.load})
+      instead of starting at the identity.  The completed levels of the
+      restored arena are {e replayed} through the same member-extraction
+      path — frontier reconstruction is canonical, so the replayed
+      members, witnesses and counts match the uninterrupted run exactly.
+      [jobs] is ignored (the worker count was fixed at load time).
+    - [max_states] / [max_mem]: stop {e before} expanding the next level
+      once [Search.size] / [Search.arena_bytes] reaches the budget; the
+      census returned covers every complete level.
+    - [timeout]: wall-clock budget in seconds, measured from this call;
+      also polled cooperatively during expansion, abandoning a
+      mid-flight level cleanly (the engine rolls back to the last
+      complete level).
+    - [should_stop]: cooperative cancellation flag, polled between
+      levels and between expansion chunks; must be cheap, domain-safe
+      and monotonic (an [Atomic.t] set by a signal handler qualifies).
+    - [on_level]: called as soon as each {e newly expanded} level
+      completes (not for replayed levels), with the engine sitting at
+      the level boundary and before the level's members are extracted —
+      the checkpoint-writing hook ({!Checkpoint.save_async} overlaps its
+      write with that extraction).
+
+    @raise Invalid_argument when [resume] was built for a different
+    library or already sits beyond [max_depth]. *)
+val run_guarded :
+  ?max_depth:int ->
+  ?jobs:int ->
+  ?resume:Search.t ->
+  ?max_states:int ->
+  ?max_mem:int ->
+  ?timeout:float ->
+  ?should_stop:(unit -> bool) ->
+  ?on_level:(Search.t -> cost:int -> unit) ->
+  Library.t ->
+  t * stop_reason
 
 val levels : t -> level list
 val search : t -> Search.t

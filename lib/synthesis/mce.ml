@@ -27,7 +27,9 @@ let strip_not_layer target =
 
 (* Run the BFS until some state restricts to [remainder]; return the
    level's witness keys.  Depth 0 (identity) handled by the caller. *)
-let search_until ~max_depth ~jobs library remainder =
+let no_stop () = false
+
+let search_until ~max_depth ~jobs ~should_stop library remainder =
   Telemetry.Counter.incr m_queries;
   Telemetry.Histogram.time h_search @@ fun () ->
   Telemetry.Span.with_span "mce.search"
@@ -35,12 +37,21 @@ let search_until ~max_depth ~jobs library remainder =
   @@ fun () ->
   let search = Search.create ~jobs library in
   let rec go () =
-    if Search.depth search >= max_depth then begin
+    if should_stop () then begin
+      Log.info (fun m -> m "search cancelled at depth %d" (Search.depth search));
+      None
+    end
+    else if Search.depth search >= max_depth then begin
       Log.debug (fun m -> m "depth bound %d reached without a witness" max_depth);
       None
     end
     else begin
-      let fresh = Search.step_handles search in
+      match Search.try_step search ~cancel:should_stop with
+      | None ->
+          Log.info (fun m ->
+              m "search cancelled mid-level at depth %d" (Search.depth search));
+          None
+      | Some fresh ->
       Telemetry.Gauge.set_int g_depth_reached (Search.depth search);
       if Array.length fresh = 0 then None
       else
@@ -66,24 +77,25 @@ let search_until ~max_depth ~jobs library remainder =
   in
   go ()
 
-let express ?(max_depth = 7) ?(jobs = 1) library target =
+let express ?(max_depth = 7) ?(jobs = 1) ?(should_stop = no_stop) library target =
   let mask, remainder = strip_not_layer target in
   if Revfun.is_identity remainder then
     Some { target; not_mask = mask; cascade = []; cost = 0 }
   else
-    match search_until ~max_depth ~jobs library remainder with
+    match search_until ~max_depth ~jobs ~should_stop library remainder with
     | None -> None
     | Some (search, witness :: _) ->
         let cascade = Search.cascade_of_key search witness in
         Some { target; not_mask = mask; cascade; cost = List.length cascade }
     | Some (_, []) -> assert false
 
-let all_realizations ?(max_depth = 7) ?(limit = 10_000) ?(jobs = 1) library target =
+let all_realizations ?(max_depth = 7) ?(limit = 10_000) ?(jobs = 1)
+    ?(should_stop = no_stop) library target =
   let mask, remainder = strip_not_layer target in
   if Revfun.is_identity remainder then
     [ { target; not_mask = mask; cascade = []; cost = 0 } ]
   else
-    match search_until ~max_depth ~jobs library remainder with
+    match search_until ~max_depth ~jobs ~should_stop library remainder with
     | None -> []
     | Some (search, witnesses) ->
         let remaining = ref limit in
@@ -97,10 +109,11 @@ let all_realizations ?(max_depth = 7) ?(limit = 10_000) ?(jobs = 1) library targ
               cascades)
           witnesses
 
-let distinct_witnesses ?(max_depth = 7) ?(jobs = 1) library target =
+let distinct_witnesses ?(max_depth = 7) ?(jobs = 1) ?(should_stop = no_stop) library
+    target =
   let _, remainder = strip_not_layer target in
   if Revfun.is_identity remainder then 1
   else
-    match search_until ~max_depth ~jobs library remainder with
+    match search_until ~max_depth ~jobs ~should_stop library remainder with
     | None -> 0
     | Some (_, witnesses) -> List.length witnesses

@@ -19,9 +19,18 @@ type result = {
     quantum cascade for [target]; [None] when the cost exceeds
     [max_depth] (default 7, the paper's cb).  The search stops at the
     level where the target first appears, so cheap targets return
-    quickly.  [jobs] (default 1) is the BFS worker-domain count. *)
+    quickly.  [jobs] (default 1) is the BFS worker-domain count.
+    [should_stop] is a cooperative cancellation flag polled between
+    levels and between expansion chunks (see {!Search.try_step}); when
+    it fires the search stops cleanly and the result is [None], as for
+    an exhausted depth bound. *)
 val express :
-  ?max_depth:int -> ?jobs:int -> Library.t -> Reversible.Revfun.t -> result option
+  ?max_depth:int ->
+  ?jobs:int ->
+  ?should_stop:(unit -> bool) ->
+  Library.t ->
+  Reversible.Revfun.t ->
+  result option
 
 (** [all_realizations ?max_depth ?limit library target] enumerates
     minimal-cost realizations: every cascade of minimal length whose
@@ -32,6 +41,7 @@ val all_realizations :
   ?max_depth:int ->
   ?limit:int ->
   ?jobs:int ->
+  ?should_stop:(unit -> bool) ->
   Library.t ->
   Reversible.Revfun.t ->
   result list
@@ -41,7 +51,12 @@ val all_realizations :
     target — the granularity at which the paper's B[k] scan finds
     "implementations". *)
 val distinct_witnesses :
-  ?max_depth:int -> ?jobs:int -> Library.t -> Reversible.Revfun.t -> int
+  ?max_depth:int ->
+  ?jobs:int ->
+  ?should_stop:(unit -> bool) ->
+  Library.t ->
+  Reversible.Revfun.t ->
+  int
 
 (** [strip_not_layer target] is the pair (mask, remainder) with
     [target = xor_layer mask ∘ remainder] and [remainder] fixing zero. *)

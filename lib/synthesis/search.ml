@@ -89,21 +89,15 @@ type t = {
 
 let max_jobs = num_shards
 
-let create ?(jobs = 1) library =
-  if jobs < 1 then invalid_arg "Search.create: jobs must be >= 1";
-  let jobs = min jobs max_jobs in
+let engine_params library =
   let encoding = Library.encoding library in
   let degree = Mvl.Encoding.size encoding in
   if degree > 255 then invalid_arg "Search.create: encoding too large for byte keys";
   let signatures = Array.init degree (Mvl.Encoding.mixed_signature encoding) in
   let num_binary = Mvl.Encoding.num_binary encoding in
-  let store = State_arena.create ~degree ~num_binary ~signatures in
-  let root_key = Bytes.init degree Char.chr in
-  let root_hash = State_arena.hash_key root_key ~off:0 ~len:degree in
-  let root =
-    State_arena.try_insert store ~key:root_key ~off:0 ~hash:root_hash ~depth:0 ~via:(-1)
-      ~parent:(-1)
-  in
+  (degree, num_binary, signatures)
+
+let make_engine ~jobs library ~store ~frontier ~depth ~degree ~num_binary ~signatures =
   let entries = Library.entries library in
   Telemetry.Gauge.set_int g_jobs jobs;
   {
@@ -115,8 +109,8 @@ let create ?(jobs = 1) library =
     signatures;
     perm_arrays = Array.map (fun e -> e.Library.perm_array) entries;
     purity_masks = Array.map (fun e -> e.Library.purity_mask) entries;
-    frontier = [| root |];
-    depth = 0;
+    frontier;
+    depth;
     cand = Array.init jobs (fun _ -> Array.init num_shards (fun _ -> make_candbuf degree));
     fresh_by_shard = Array.init num_shards (fun _ -> make_ibuf ());
     scratch = Array.init jobs (fun _ -> Bytes.create degree);
@@ -125,6 +119,54 @@ let create ?(jobs = 1) library =
     dup_d = Array.make jobs 0;
     domain_states = Array.make jobs 0;
   }
+
+let create ?(jobs = 1) library =
+  if jobs < 1 then invalid_arg "Search.create: jobs must be >= 1";
+  let jobs = min jobs max_jobs in
+  let degree, num_binary, signatures = engine_params library in
+  let store = State_arena.create ~degree ~num_binary ~signatures in
+  let root_key = Bytes.init degree Char.chr in
+  let root_hash = State_arena.hash_key root_key ~off:0 ~len:degree in
+  let root =
+    State_arena.try_insert store ~key:root_key ~off:0 ~hash:root_hash ~depth:0 ~via:(-1)
+      ~parent:(-1)
+  in
+  make_engine ~jobs library ~store ~frontier:[| root |] ~depth:0 ~degree ~num_binary
+    ~signatures
+
+(* [of_store] rebuilds a live engine around a restored arena: the
+   frontier is every depth-[depth] state in canonical (shard, index)
+   order — exactly what {!merge_frontier} would have produced — so a
+   resumed search continues byte-identically. *)
+let of_store ?(jobs = 1) library ~depth store =
+  if jobs < 1 then invalid_arg "Search.of_store: jobs must be >= 1";
+  let jobs = min jobs max_jobs in
+  let degree, num_binary, signatures = engine_params library in
+  if State_arena.degree store <> degree then
+    invalid_arg
+      (Printf.sprintf
+         "Search.of_store: store degree %d does not match the library encoding (%d)"
+         (State_arena.degree store) degree);
+  if depth < 0 then invalid_arg "Search.of_store: negative depth";
+  (* [>] not [<>]: an engine whose reachable set is exhausted sits at a
+     depth beyond its deepest stored state, with an empty frontier. *)
+  if State_arena.max_depth store > depth then
+    invalid_arg
+      (Printf.sprintf
+         "Search.of_store: store holds levels up to %d but depth %d was claimed"
+         (State_arena.max_depth store) depth);
+  (* the identity circuit must be the sole depth-0 state *)
+  let root_key = Bytes.init degree Char.chr in
+  let root_hash = State_arena.hash_key root_key ~off:0 ~len:degree in
+  (match State_arena.handles_at_depth store 0 with
+  | [| h |]
+    when h = State_arena.find store root_key ~off:0 ~hash:root_hash -> ()
+  | _ -> invalid_arg "Search.of_store: store does not contain the identity root");
+  let frontier = State_arena.handles_at_depth store depth in
+  make_engine ~jobs library ~store ~frontier ~depth ~degree ~num_binary ~signatures
+
+let store t = t.store
+let handles_at_depth t d = State_arena.handles_at_depth t.store d
 
 let library t = t.library
 let jobs t = t.jobs
@@ -152,9 +194,18 @@ let run_workers ~parallel jobs f =
     Array.iter Domain.join workers
   end
 
+(* Cooperative cancellation: [cancel] is polled between expansion chunks
+   of [cancel_poll_mask + 1] frontier states.  It must be cheap,
+   domain-safe and monotonic (once true, always true) — an [Atomic.t]
+   set by a signal handler qualifies. *)
+let cancel_poll_mask = 63
+
 (* Phase 1: expand the frontier chunk of rank [r] into per-shard candidate
-   buffers.  Read-only on the store. *)
-let expand_chunk t r =
+   buffers.  Read-only on the store.  Polls [cancel] between chunks and
+   returns early when it fires (the partially filled buffers are
+   discarded by the coordinator, which re-checks the flag after the
+   join). *)
+let expand_chunk t r ~cancel =
   let degree = t.degree in
   let n = Array.length t.frontier in
   let lo = r * n / t.jobs and hi = (r + 1) * n / t.jobs in
@@ -165,8 +216,9 @@ let expand_chunk t r =
   let scratch = t.scratch.(r) in
   let ngates = Array.length t.perm_arrays in
   let rejected = ref 0 in
-  for i = lo to hi - 1 do
-    let h = t.frontier.(i) in
+  let i = ref lo in
+  while !i < hi && not (!i land cancel_poll_mask = 0 && cancel ()) do
+    let h = t.frontier.(!i) in
     let signature = State_arena.signature_of t.store h in
     let src = State_arena.shard_arena t.store (State_arena.shard_of_handle h) in
     let soff = State_arena.key_offset t.store h in
@@ -191,7 +243,8 @@ let expand_chunk t r =
           ~meta:((h lsl via_bits) lor via)
       end
       else incr rejected
-    done
+    done;
+    incr i
   done;
   t.rejected_d.(r) <- t.rejected_d.(r) + !rejected
 
@@ -200,8 +253,12 @@ let expand_chunk t r =
    order); within any given shard that is exactly the order in which the
    three-phase path replays its candidates, so the stored states, their
    handles, and the per-shard fresh lists coincide with the parallel
-   engine's — only the buffering is skipped. *)
-let expand_insert_sequential t ~next_depth =
+   engine's — only the buffering is skipped.
+
+   Returns [false] when [cancel] fired mid-level: the partially inserted
+   level is rolled back (via {!State_arena.truncate}) and the engine is
+   exactly as before the call. *)
+let expand_insert_sequential t ~next_depth ~cancel =
   let degree = t.degree in
   let scratch = t.scratch.(0) in
   let ngates = Array.length t.perm_arrays in
@@ -209,9 +266,14 @@ let expand_insert_sequential t ~next_depth =
   for s = 0 to num_shards - 1 do
     t.fresh_by_shard.(s).ilen <- 0
   done;
+  let rollback = State_arena.shard_counts t.store in
   let n = Array.length t.frontier in
-  for i = 0 to n - 1 do
-    let h = t.frontier.(i) in
+  let i = ref 0 in
+  let cancelled = ref false in
+  while !i < n && not !cancelled do
+    if !i land cancel_poll_mask = 0 && cancel () then cancelled := true
+    else begin
+    let h = t.frontier.(!i) in
     let signature = State_arena.signature_of t.store h in
     let src = State_arena.shard_arena t.store (State_arena.shard_of_handle h) in
     let soff = State_arena.key_offset t.store h in
@@ -240,12 +302,21 @@ let expand_insert_sequential t ~next_depth =
         else incr dup
       end
       else incr rejected
-    done
+    done;
+    incr i
+    end
   done;
-  t.rejected_d.(0) <- !rejected;
-  t.fresh_d.(0) <- !fresh;
-  t.dup_d.(0) <- !dup;
-  t.domain_states.(0) <- t.domain_states.(0) + !fresh
+  if !cancelled then begin
+    State_arena.truncate t.store rollback;
+    false
+  end
+  else begin
+    t.rejected_d.(0) <- !rejected;
+    t.fresh_d.(0) <- !fresh;
+    t.dup_d.(0) <- !dup;
+    t.domain_states.(0) <- t.domain_states.(0) + !fresh;
+    true
+  end
 
 (* Phase 2: rank [r] dedupes and inserts the candidates of its owned
    shards (s mod jobs = r), scanning domain rows in rank order so each
@@ -296,7 +367,7 @@ let merge_frontier t =
     t.fresh_by_shard;
   next
 
-let step_handles t =
+let try_step t ~cancel =
   Telemetry.Histogram.time h_step @@ fun () ->
   Telemetry.Span.with_span "search.step" @@ fun () ->
   let next_depth = t.depth + 1 in
@@ -307,15 +378,33 @@ let step_handles t =
   Array.fill t.fresh_d 0 t.jobs 0;
   Array.fill t.dup_d 0 t.jobs 0;
   Array.fill t.rejected_d 0 t.jobs 0;
-  if t.jobs = 1 then
-    Telemetry.Histogram.time h_expand (fun () ->
-        expand_insert_sequential t ~next_depth)
+  let completed =
+    if t.jobs = 1 then
+      Telemetry.Histogram.time h_expand (fun () ->
+          expand_insert_sequential t ~next_depth ~cancel)
+    else begin
+      Telemetry.Histogram.time h_expand (fun () ->
+          run_workers ~parallel t.jobs (fun r -> expand_chunk t r ~cancel));
+      (* Expansion never mutates the store, so abandoning here is free.
+         Once dedupe starts we drain the level: it is short relative to
+         expansion and finishing it keeps the store at a level boundary. *)
+      if cancel () then false
+      else begin
+        Telemetry.Histogram.time h_merge (fun () ->
+            run_workers ~parallel t.jobs (fun r -> dedupe_shards t r ~next_depth));
+        true
+      end
+    end
+  in
+  if not completed then begin
+    Telemetry.Span.set_attr "cancelled" (Telemetry.Json.Bool true);
+    Log.info (fun m ->
+        m "level %d abandoned on cancellation; engine rolled back to level %d"
+          next_depth t.depth);
+    None
+  end
   else begin
-    Telemetry.Histogram.time h_expand (fun () ->
-        run_workers ~parallel t.jobs (fun r -> expand_chunk t r));
-    Telemetry.Histogram.time h_merge (fun () ->
-        run_workers ~parallel t.jobs (fun r -> dedupe_shards t r ~next_depth))
-  end;
+  Faultsim.hit "merge";
   let next = merge_frontier t in
   t.frontier <- next;
   t.depth <- next_depth;
@@ -343,7 +432,15 @@ let step_handles t =
   Log.debug (fun m ->
       m "level %d: %d new states (%d duplicate, %d rejected), %d total" next_depth fresh
         dup rejected (State_arena.size t.store));
-  next
+  Some next
+  end
+
+let never_cancel () = false
+
+let step_handles t =
+  match try_step t ~cancel:never_cancel with
+  | Some next -> next
+  | None -> assert false (* never_cancel cannot fire *)
 
 let step t = Array.to_list (Array.map (key_of_handle t) (step_handles t))
 

@@ -35,6 +35,20 @@ type handle = int
     @raise Invalid_argument when [jobs < 1]. *)
 val create : ?jobs:int -> Library.t -> t
 
+(** [of_store ?jobs library ~depth store] rebuilds a live engine around
+    a restored arena (see {!Checkpoint}): the frontier is recomputed as
+    every depth-[depth] state in canonical order, so stepping the result
+    produces byte-identical levels to the search the store came from.
+    @raise Invalid_argument when the store's degree does not match the
+    library, its deepest level exceeds [depth] (a depth beyond it is
+    legal — an exhausted search has an empty frontier), or it lacks the
+    identity root. *)
+val of_store : ?jobs:int -> Library.t -> depth:int -> State_arena.t -> t
+
+(** [store t] is the underlying packed state store (used by
+    {!Checkpoint.save}; treat as read-only). *)
+val store : t -> State_arena.t
+
 val library : t -> Library.t
 
 (** [jobs t] is the effective worker count (after clamping). *)
@@ -60,6 +74,23 @@ val frontier_handles : t -> handle array
     length is the |B[depth+1]| count (no extra pass needed).  An empty
     result means the reachable set is exhausted. *)
 val step_handles : t -> handle array
+
+(** [try_step t ~cancel] is {!step_handles} with cooperative
+    cancellation: [cancel] is polled between expansion chunks (and must
+    be cheap, domain-safe and monotonic — an [Atomic.t] flag set by a
+    signal handler qualifies).  When it fires mid-level the level is
+    abandoned cleanly — any partial insertions are rolled back and the
+    engine is exactly at the level boundary it started from — and the
+    result is [None].  When it fires after deduplication has begun the
+    level is drained normally instead (the result is [Some frontier];
+    the caller re-checks its flag).  [Some frontier] is byte-identical
+    to what [step_handles] would have returned. *)
+val try_step : t -> cancel:(unit -> bool) -> handle array option
+
+(** [handles_at_depth t d] is every state of depth [d] in the canonical
+    frontier order (the order [step_handles] returned them when level
+    [d] was expanded) — the replay primitive for checkpoint resume. *)
+val handles_at_depth : t -> int -> handle array
 
 val key_of_handle : t -> handle -> string
 val depth_of_handle : t -> handle -> int

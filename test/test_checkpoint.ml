@@ -1,0 +1,344 @@
+(* Durability tests: snapshot round-trips at several depths, rejection of
+   damaged or mismatched snapshots, crash-at-every-level fault injection
+   with resume equality against an uninterrupted census, and a QCheck
+   property that restore ∘ snapshot is the identity. *)
+
+open Synthesis
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+let qcheck_test ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let library3 = Library.make (Mvl.Encoding.make ~qubits:3)
+let library2 = Library.make (Mvl.Encoding.make ~qubits:2)
+
+let with_temp_file f =
+  let path = Filename.temp_file "qsynth_ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let search_at library depth =
+  let s = Search.create library in
+  for _ = 1 to depth do
+    ignore (Search.step_handles s)
+  done;
+  s
+
+let keys_at s d = Array.map (Search.key_of_handle s) (Search.handles_at_depth s d)
+let frontier_keys s = Array.map (Search.key_of_handle s) (Search.frontier_handles s)
+
+(* {1 Round-trips} *)
+
+let test_round_trip depth () =
+  with_temp_file @@ fun path ->
+  let s = search_at library3 depth in
+  Checkpoint.save s path;
+  let r = Checkpoint.load library3 path in
+  check Alcotest.int "depth" (Search.depth s) (Search.depth r);
+  check Alcotest.int "size" (Search.size s) (Search.size r);
+  for d = 0 to depth do
+    check
+      Alcotest.(array int)
+      (Printf.sprintf "level %d handles" d)
+      (Search.handles_at_depth s d) (Search.handles_at_depth r d);
+    check
+      Alcotest.(array string)
+      (Printf.sprintf "level %d keys" d)
+      (keys_at s d) (keys_at r d)
+  done;
+  check Alcotest.(array string) "frontier" (frontier_keys s) (frontier_keys r);
+  (* continuing the restored engine must match continuing the original,
+     byte for byte and handle for handle *)
+  for step = 1 to 2 do
+    let e = Search.step_handles s and g = Search.step_handles r in
+    check Alcotest.(array int) (Printf.sprintf "continued level +%d handles" step) e g;
+    check
+      Alcotest.(array string)
+      (Printf.sprintf "continued level +%d keys" step)
+      (Array.map (Search.key_of_handle s) e)
+      (Array.map (Search.key_of_handle r) g)
+  done
+
+let test_peek () =
+  with_temp_file @@ fun path ->
+  let s = search_at library3 3 in
+  Checkpoint.save s path;
+  let h = Checkpoint.peek path in
+  check Alcotest.int "peek depth" 3 h.Checkpoint.depth;
+  check Alcotest.int "peek states" (Search.size s) h.Checkpoint.states;
+  check Alcotest.int "peek frontier" (Array.length (Search.frontier_handles s))
+    h.Checkpoint.frontier_len;
+  check Alcotest.int "peek qubits" 3 h.Checkpoint.qubits;
+  checkb "peek fingerprint" true
+    (Int64.equal h.Checkpoint.fingerprint (Checkpoint.fingerprint library3))
+
+(* {1 Damaged snapshots} *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let expect_corrupt name load =
+  match load () with
+  | exception Checkpoint.Corrupt _ -> ()
+  | exception Checkpoint.Mismatch msg ->
+      Alcotest.failf "%s: raised Mismatch (%s) instead of Corrupt" name msg
+  | _ -> Alcotest.failf "%s: damaged snapshot loaded without error" name
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let expect_mismatch name ~substring load =
+  match load () with
+  | exception Checkpoint.Mismatch msg ->
+      checkb
+        (Printf.sprintf "%s: message %S names %S" name msg substring)
+        true
+        (contains ~sub:substring msg)
+  | exception Checkpoint.Corrupt msg ->
+      Alcotest.failf "%s: raised Corrupt (%s) instead of Mismatch" name msg
+  | _ -> Alcotest.failf "%s: mismatched snapshot loaded without error" name
+
+let test_truncation_rejected () =
+  with_temp_file @@ fun path ->
+  Checkpoint.save (search_at library3 2) path;
+  let full = read_file path in
+  let len = String.length full in
+  List.iter
+    (fun keep ->
+      write_file path (String.sub full 0 keep);
+      expect_corrupt (Printf.sprintf "truncated to %d/%d bytes" keep len) (fun () ->
+          Checkpoint.load library3 path))
+    [ len - 1; len / 2; 40; 10; 0 ]
+
+let test_bitflip_rejected () =
+  with_temp_file @@ fun path ->
+  Checkpoint.save (search_at library3 2) path;
+  let full = read_file path in
+  let len = String.length full in
+  List.iter
+    (fun pos ->
+      let damaged = Bytes.of_string full in
+      Bytes.set damaged pos (Char.chr (Char.code full.[pos] lxor 0x40));
+      write_file path (Bytes.to_string damaged);
+      expect_corrupt (Printf.sprintf "byte %d flipped" pos) (fun () ->
+          Checkpoint.load library3 path))
+    [ 2; 20; len / 2; len - 2 ]
+
+(* Patch the version field and re-seal the CRC: the version gate must
+   fire as a Mismatch (the file is intact, just from another format). *)
+let crc32 s =
+  let table =
+    Array.init 256 (fun n ->
+        let c = ref n in
+        for _ = 0 to 7 do
+          c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+        done;
+        !c)
+  in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
+  !c lxor 0xFFFFFFFF
+
+let test_version_gate () =
+  with_temp_file @@ fun path ->
+  Checkpoint.save (search_at library3 1) path;
+  let full = Bytes.of_string (read_file path) in
+  Bytes.set_int32_le full 8 99l;
+  let body = Bytes.sub_string full 0 (Bytes.length full - 4) in
+  Bytes.set_int32_le full (Bytes.length full - 4) (Int32.of_int (crc32 body));
+  write_file path (Bytes.to_string full);
+  expect_mismatch "future format version" ~substring:"version" (fun () ->
+      Checkpoint.load library3 path)
+
+let test_library_mismatch () =
+  with_temp_file @@ fun path ->
+  Checkpoint.save (search_at library3 2) path;
+  expect_mismatch "wrong qubit count" ~substring:"qubit" (fun () ->
+      Checkpoint.load library2 path);
+  (* same shape, different gate semantics: only the fingerprint differs *)
+  expect_mismatch "different gate library" ~substring:"fingerprint" (fun () ->
+      Checkpoint.load (Library.unconstrained library3) path)
+
+let test_atomic_save_crash () =
+  with_temp_file @@ fun path ->
+  let s = search_at library3 2 in
+  Checkpoint.save s path;
+  let before = read_file path in
+  (* crash injected between the temp-file fsync and the rename: the
+     previous snapshot must survive untouched and loadable *)
+  Faultsim.configure (Some "checkpoint:1");
+  Fun.protect ~finally:(fun () -> Faultsim.configure None) @@ fun () ->
+  ignore (Search.step_handles s);
+  (match Checkpoint.save s path with
+  | exception Faultsim.Injected "checkpoint" -> ()
+  | () -> Alcotest.fail "checkpoint fault did not fire");
+  check Alcotest.string "previous snapshot intact" before (read_file path);
+  let r = Checkpoint.load library3 path in
+  check Alcotest.int "previous snapshot still loads" 2 (Search.depth r)
+
+(* {1 Crash at level k, resume, compare with the uninterrupted census} *)
+
+let member_sig (m : Fmcf.member) =
+  ( m.Fmcf.cost,
+    Permgroup.Perm.key (Reversible.Revfun.to_perm m.Fmcf.func),
+    m.Fmcf.witness )
+
+let census_sig c =
+  List.map
+    (fun (l : Fmcf.level) ->
+      ( l.Fmcf.cost,
+        l.Fmcf.frontier_size,
+        l.Fmcf.paper_count,
+        List.map member_sig l.Fmcf.members ))
+    (Fmcf.levels c)
+
+let census_depth = 7
+let clean_census = lazy (Fmcf.run ~max_depth:census_depth library3)
+
+let test_crash_resume k () =
+  with_temp_file @@ fun path ->
+  Fun.protect ~finally:(fun () -> Faultsim.configure None) @@ fun () ->
+  (* a depth-0 snapshot makes even a level-1 crash resumable *)
+  Checkpoint.save (Search.create library3) path;
+  Faultsim.configure (Some (Printf.sprintf "merge:%d" k));
+  (match
+     Fmcf.run_guarded ~max_depth:census_depth
+       ~on_level:(fun s ~cost:_ -> Checkpoint.save s path)
+       library3
+   with
+  | exception Faultsim.Injected "merge" -> ()
+  | _ -> Alcotest.failf "fault merge:%d did not fire" k);
+  Faultsim.configure None;
+  let h = Checkpoint.peek path in
+  check Alcotest.int "snapshot sits at the last complete level" (k - 1)
+    h.Checkpoint.depth;
+  let census, reason =
+    Fmcf.run_guarded ~max_depth:census_depth
+      ~resume:(Checkpoint.load library3 path)
+      library3
+  in
+  checkb "resumed run completes" true (reason = Fmcf.Completed);
+  checkb
+    (Printf.sprintf "census after crash at level %d = uninterrupted census" k)
+    true
+    (census_sig census = census_sig (Lazy.force clean_census))
+
+(* {1 Resource guards} *)
+
+let prefix_of_clean census =
+  let depth = Search.depth (Fmcf.search census) in
+  let clean = census_sig (Lazy.force clean_census) in
+  census_sig census = List.filter (fun (c, _, _, _) -> c <= depth) clean
+
+let test_budget_states () =
+  let census, reason = Fmcf.run_guarded ~max_depth:census_depth ~max_states:1000 library3 in
+  checkb "stop reason" true (reason = Fmcf.Budget_states);
+  checkb "census is below the budgeted level count" true
+    (Search.depth (Fmcf.search census) < census_depth);
+  checkb "partial census is an exact prefix of the clean one" true
+    (prefix_of_clean census)
+
+let test_budget_mem () =
+  let census, reason =
+    Fmcf.run_guarded ~max_depth:census_depth ~max_mem:(64 * 1024) library3
+  in
+  checkb "stop reason" true (reason = Fmcf.Budget_mem);
+  checkb "partial census is an exact prefix of the clean one" true
+    (prefix_of_clean census)
+
+let test_cancel_immediate () =
+  let census, reason =
+    Fmcf.run_guarded ~max_depth:census_depth ~should_stop:(fun () -> true) library3
+  in
+  checkb "stop reason" true (reason = Fmcf.Cancelled);
+  check Alcotest.int "no level expanded" 0 (Search.depth (Fmcf.search census));
+  check
+    Alcotest.(list (pair int int))
+    "level 0 only" [ (0, 1) ] (Fmcf.counts census)
+
+(* Cancellation firing mid-expansion: the half-built level must be rolled
+   back, leaving an exact prefix census. *)
+let test_cancel_mid_level () =
+  let polls = ref 0 in
+  let stop () =
+    incr polls;
+    !polls > 400
+  in
+  let census, reason =
+    Fmcf.run_guarded ~max_depth:census_depth ~should_stop:stop library3
+  in
+  checkb "stop reason" true (reason = Fmcf.Cancelled);
+  checkb "some levels completed before the cancel" true
+    (Search.depth (Fmcf.search census) > 0);
+  checkb "rolled-back census is an exact prefix of the clean one" true
+    (prefix_of_clean census)
+
+(* {1 QCheck: restore ∘ snapshot = identity} *)
+
+let qcheck_round_trip =
+  qcheck_test ~count:20 "restore . snapshot = identity"
+    QCheck2.Gen.(int_range 0 4)
+    (fun depth ->
+      with_temp_file @@ fun path ->
+      let s = search_at library2 depth in
+      Checkpoint.save s path;
+      let r = Checkpoint.load library2 path in
+      Search.depth r = Search.depth s
+      && Search.size r = Search.size s
+      && frontier_keys r = frontier_keys s
+      && List.for_all
+           (fun d ->
+             Search.handles_at_depth s d = Search.handles_at_depth r d
+             && keys_at s d = keys_at r d)
+           (List.init (depth + 1) Fun.id))
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "round trip",
+        List.map
+          (fun d ->
+            Alcotest.test_case (Printf.sprintf "depth %d" d) `Quick
+              (test_round_trip d))
+          [ 0; 1; 2; 3; 4 ]
+        @ [ Alcotest.test_case "peek" `Quick test_peek ] );
+      ( "damage rejection",
+        [
+          Alcotest.test_case "truncation" `Quick test_truncation_rejected;
+          Alcotest.test_case "bit flips" `Quick test_bitflip_rejected;
+          Alcotest.test_case "version gate" `Quick test_version_gate;
+          Alcotest.test_case "library mismatch" `Quick test_library_mismatch;
+          Alcotest.test_case "atomic save under crash" `Quick test_atomic_save_crash;
+        ] );
+      ( "crash and resume",
+        List.map
+          (fun k ->
+            Alcotest.test_case (Printf.sprintf "crash at level %d" k) `Quick
+              (test_crash_resume k))
+          [ 1; 2; 3; 4; 5; 6 ] );
+      ( "resource guards",
+        [
+          Alcotest.test_case "max states" `Quick test_budget_states;
+          Alcotest.test_case "max mem" `Quick test_budget_mem;
+          Alcotest.test_case "cancel immediately" `Quick test_cancel_immediate;
+          Alcotest.test_case "cancel mid-level" `Quick test_cancel_mid_level;
+        ] );
+      ("properties", [ qcheck_round_trip ]);
+    ]
