@@ -208,8 +208,8 @@ let jobs_arg =
 (* census *)
 
 let census_cmd =
-  let run finish_telemetry qubits depth jobs paper_variant save checkpoint every
-      resume max_states max_mem timeout =
+  let run finish_telemetry qubits depth jobs paper_variant save emit_index
+      checkpoint every resume max_states max_mem timeout =
     (* An async checkpoint write may be in flight when an exception
        escapes; let it finish (best effort) so the file keeps the last
        boundary — the primary error is what gets reported. *)
@@ -285,6 +285,13 @@ let census_cmd =
         Census_io.save ?note census path;
         Format.printf "saved census to %s@." path
     | None -> ());
+    (match emit_index with
+    | Some path ->
+        let index = Census_index.build census in
+        Census_index.save index path;
+        Format.printf "census index: %d functions to cost %d -> %s@."
+          (Census_index.size index) (Census_index.depth index) path
+    | None -> ());
     let counts = if paper_variant then Fmcf.paper_counts census else Fmcf.counts census in
     Format.printf "Table 2: number of circuits with cost k (%d qubits, depth %d)@."
       qubits depth;
@@ -318,6 +325,15 @@ let census_cmd =
            ~doc:"Save the census (cost, function, witness cascade) as TSV.  \
                  Interrupted or budget-limited runs are marked with a \
                  '# PARTIAL' comment.")
+  in
+  let emit_index_arg =
+    Arg.(value & opt (some checkpoint_path) None & info [ "emit-index" ] ~docv:"FILE"
+           ~doc:"Write a persistent census index (function -> exact cost + \
+                 witness cascade, QSYNIDX1 format, written atomically) to \
+                 $(docv).  Later $(b,qsynth synth --index) runs answer indexed \
+                 functions by binary search instead of a BFS, and treat misses \
+                 as a proven cost lower bound.  A partial census indexes the \
+                 completed horizon only.")
   in
   let checkpoint_arg =
     Arg.(value & opt (some checkpoint_path) None & info [ "checkpoint" ] ~docv:"FILE"
@@ -359,20 +375,33 @@ let census_cmd =
        ~doc:"Reproduce Table 2: |G[k]| for k = 0..depth.")
     Term.(
       const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ paper_flag
-      $ save_arg $ checkpoint_arg $ every_arg $ resume_arg $ max_states_arg
-      $ max_mem_arg $ timeout_arg)
+      $ save_arg $ emit_index_arg $ checkpoint_arg $ every_arg $ resume_arg
+      $ max_states_arg $ max_mem_arg $ timeout_arg)
 
 (* synth *)
 
 let synth_cmd =
-  let run finish_telemetry qubits depth jobs all spec =
+  let run finish_telemetry qubits depth jobs all index_path use_bidir spec =
     guarded ~finish:finish_telemetry @@ fun () ->
     let library = make_library qubits in
     let target = Reversible.Spec.parse ~bits:qubits spec in
     Format.printf "target: %a@." Reversible.Revfun.pp target;
     let should_stop = install_cancel () in
+    (* the load validates magic/CRC/fingerprint/witnesses and raises
+       Checkpoint.Corrupt/Mismatch — mapped to exit 1 by [guarded] *)
+    let index = Option.map (Census_index.load library) index_path in
+    (match index with
+    | Some idx ->
+        Format.printf "index: %d functions, exact to cost %d@."
+          (Census_index.size idx) (Census_index.depth idx)
+    | None -> ());
+    let bidir = if use_bidir then Some (Bidir.create ~jobs library) else None in
     let t0 = Unix.gettimeofday () in
     if all then begin
+      if index <> None || bidir <> None then
+        Format.eprintf
+          "qsynth: note: --all enumerates realizations with the forward \
+           search; --index/--bidir accelerate single-answer queries only@.";
       let results = Mce.all_realizations ~max_depth:depth ~jobs ~should_stop library target in
       (match results with
       | [] -> Format.printf "no realization within depth %d@." depth
@@ -390,7 +419,10 @@ let synth_cmd =
             results)
     end
     else
-      (match Mce.express ~max_depth:depth ~jobs ~should_stop library target with
+      (match
+         Mce.express ~max_depth:depth ~jobs ~should_stop ?index ?bidir library
+           target
+       with
       | None -> Format.printf "no realization within depth %d@." depth
       | Some r ->
           Format.printf "cost %d (%.3fs): %s%a  [verified: %b]@." r.Mce.cost
@@ -408,6 +440,24 @@ let synth_cmd =
   let all_flag =
     Arg.(value & flag & info [ "a"; "all" ] ~doc:"Enumerate all minimal realizations.")
   in
+  let index_arg =
+    Arg.(value & opt (some snapshot_path) None & info [ "index" ] ~docv:"FILE"
+           ~doc:"Answer from a census index written by $(b,qsynth census \
+                 --emit-index): an indexed function costs one binary search \
+                 (no BFS at all), and a miss proves the cost exceeds the index \
+                 depth — certifying 'no realization' outright when the index \
+                 covers $(b,--depth), or priming $(b,--bidir) with the bound.  \
+                 The file is fully validated (CRC, library fingerprint, every \
+                 witness replayed) before use.")
+  in
+  let bidir_flag =
+    Arg.(value & flag & info [ "bidir" ]
+           ~doc:"Use the meet-in-the-middle engine: a forward wave from the \
+                 identity joins a backward wave from the target, reaching cost \
+                 2x the forward depth — functions of cost 8+ that the forward \
+                 search cannot touch synthesize in seconds, with the same \
+                 exact-minimality guarantee.")
+  in
   let spec_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
            ~doc:"Named circuit (toffoli, peres, g2, g3, g4, fredkin), 1-based \
@@ -420,7 +470,7 @@ let synth_cmd =
              (the paper's MCE algorithm).")
     Term.(
       const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ all_flag
-      $ spec_arg)
+      $ index_arg $ bidir_flag $ spec_arg)
 
 (* table1 *)
 

@@ -1,0 +1,303 @@
+open Reversible
+
+let log_src = Logs.Src.create "qsynth.census_index" ~doc:"Persistent census index"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_lookups = Telemetry.Counter.create "census_index.lookups"
+let m_hits = Telemetry.Counter.create "census_index.hits"
+let c_bytes = Telemetry.Counter.create "census_index.write.bytes"
+let h_build = Telemetry.Histogram.create "census_index.build.seconds"
+
+(* On-disk format (QSYNIDX1, little-endian), reusing the QSYNCKP1
+   atomic-write + CRC machinery from {!Checkpoint}:
+
+     magic        8 bytes  "QSYNIDX1"
+     version      u32
+     fingerprint  i64      Checkpoint.fingerprint of the library
+     qubits       u32
+     num_binary   u32      nb, the func_key length
+     num_gates    u32
+     depth        u32      census horizon: absence proves cost > depth
+     count        u32      number of records
+     log_len      u32      gate-log length in bytes
+     records      count * (nb + 1 + 4)
+                           func_key (nb bytes, sorted ascending)
+                           cost (u8)
+                           gate-log offset (u32)
+     gate log     log_len bytes, one library gate index per gate;
+                           a record's witness is log[offset .. offset+cost)
+     crc          u32      CRC-32 of everything above
+
+   Records are fixed-size and sorted by key, so lookups binary-search
+   the record block in place — the mapped file needs no unpacking. *)
+
+let magic = "QSYNIDX1"
+let version = 1
+let header_bytes = 8 + 4 + 8 + (6 * 4)
+let rec_size nb = nb + 1 + 4
+
+type t = {
+  library : Library.t;
+  depth : int;
+  nb : int;
+  count : int;
+  records : Bytes.t;
+  log : Bytes.t;
+}
+
+let depth t = t.depth
+let size t = t.count
+
+let func_key_bytes ~nb func =
+  Bytes.init nb (fun j -> Char.chr (Revfun.apply func j))
+
+(* {1 Building from a census} *)
+
+let gate_indices library =
+  let table = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (e : Library.entry) -> Hashtbl.replace table (Gate.name e.Library.gate) i)
+    (Library.entries library);
+  fun gate ->
+    match Hashtbl.find_opt table (Gate.name gate) with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Census_index.build: gate %s not in the library"
+             (Gate.name gate))
+
+let build census =
+  Telemetry.Histogram.time h_build @@ fun () ->
+  let library = Search.library (Fmcf.search census) in
+  let nb = Mvl.Encoding.num_binary (Library.encoding library) in
+  let gate_index = gate_indices library in
+  let rows = ref [] and count = ref 0 and log_len = ref 0 in
+  Fmcf.iter_members census (fun ~cost member ->
+      let key = func_key_bytes ~nb member.Fmcf.func in
+      let gates =
+        List.map gate_index (Fmcf.cascade_of_member census member)
+      in
+      if List.length gates <> cost then
+        invalid_arg "Census_index.build: witness length differs from cost";
+      rows := (Bytes.unsafe_to_string key, cost, gates) :: !rows;
+      incr count;
+      log_len := !log_len + cost);
+  let rows =
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
+  in
+  let records = Bytes.create (!count * rec_size nb) in
+  let log = Bytes.create !log_len in
+  let off = ref 0 in
+  List.iteri
+    (fun i (key, cost, gates) ->
+      let base = i * rec_size nb in
+      Bytes.blit_string key 0 records base nb;
+      Bytes.set_uint8 records (base + nb) cost;
+      Bytes.set_int32_le records (base + nb + 1) (Int32.of_int !off);
+      List.iter
+        (fun g ->
+          Bytes.set_uint8 log !off g;
+          incr off)
+        gates)
+    rows;
+  { library; depth = Fmcf.depth census; nb; count = !count; records; log }
+
+(* {1 Lookup} *)
+
+let record_key_compare t i key =
+  let base = i * rec_size t.nb in
+  let rec go j =
+    if j = t.nb then 0
+    else
+      let c = Char.compare (Bytes.get t.records (base + j)) (Bytes.get key j) in
+      if c <> 0 then c else go (j + 1)
+  in
+  go 0
+
+let witness_of_record t i =
+  let entries = Library.entries t.library in
+  let base = i * rec_size t.nb in
+  let cost = Bytes.get_uint8 t.records (base + t.nb) in
+  let off = Int32.to_int (Bytes.get_int32_le t.records (base + t.nb + 1)) in
+  ( cost,
+    List.init cost (fun k ->
+        entries.(Bytes.get_uint8 t.log (off + k)).Library.gate) )
+
+let find t func =
+  Telemetry.Counter.incr m_lookups;
+  if Revfun.bits func <> Library.qubits t.library then None
+  else begin
+    let key = func_key_bytes ~nb:t.nb func in
+    let lo = ref 0 and hi = ref (t.count - 1) and found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = record_key_compare t mid key in
+      if c = 0 then begin
+        found := mid;
+        lo := !hi + 1
+      end
+      else if c < 0 then lo := mid + 1
+      else hi := mid - 1
+    done;
+    if !found < 0 then None
+    else begin
+      Telemetry.Counter.incr m_hits;
+      Some (witness_of_record t !found)
+    end
+  end
+
+(* {1 Serialization} *)
+
+let serialize t =
+  let len = header_bytes + Bytes.length t.records + Bytes.length t.log + 4 in
+  let buf = Bytes.create len in
+  let pos = ref 0 in
+  let put_u32 v =
+    Bytes.set_int32_le buf !pos (Int32.of_int v);
+    pos := !pos + 4
+  in
+  Bytes.blit_string magic 0 buf 0 8;
+  pos := 8;
+  put_u32 version;
+  Bytes.set_int64_le buf !pos (Checkpoint.fingerprint t.library);
+  pos := !pos + 8;
+  put_u32 (Library.qubits t.library);
+  put_u32 t.nb;
+  put_u32 (Library.size t.library);
+  put_u32 t.depth;
+  put_u32 t.count;
+  put_u32 (Bytes.length t.log);
+  Bytes.blit t.records 0 buf !pos (Bytes.length t.records);
+  pos := !pos + Bytes.length t.records;
+  Bytes.blit t.log 0 buf !pos (Bytes.length t.log);
+  pos := !pos + Bytes.length t.log;
+  put_u32 (Checkpoint.crc32 buf ~off:0 ~len:(len - 4));
+  buf
+
+let save t path =
+  let buf = serialize t in
+  Checkpoint.write_atomic path buf;
+  Telemetry.Counter.add c_bytes (Bytes.length buf);
+  Log.info (fun m ->
+      m "census index: %d functions to cost %d, %d bytes -> %s" t.count t.depth
+        (Bytes.length buf) path)
+
+(* {1 Loading with validation}
+
+   Structural damage raises {!Checkpoint.Corrupt}; a well-formed file
+   for a different library or format raises {!Checkpoint.Mismatch} —
+   the same contract (and the same CLI error boundary) as snapshots.
+
+   Beyond the CRC, every record's witness is replayed through the
+   library's multiple-valued semantics: the gate chain must satisfy the
+   reasonable-product constraint at each step and its binary restriction
+   must equal the record's func_key.  A file that passes is correct by
+   construction, not merely uncorrupted — a buggy or forged emitter
+   cannot plant a wrong cost/witness pair. *)
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Checkpoint.Corrupt s)) fmt
+let mismatch fmt = Printf.ksprintf (fun s -> raise (Checkpoint.Mismatch s)) fmt
+
+let validate_witness library ~nb ~signatures record_key gates =
+  let encoding = Library.encoding library in
+  let degree = Mvl.Encoding.size encoding in
+  let entries = Library.entries library in
+  let image = Array.init degree Fun.id in
+  let scratch = Array.make degree 0 in
+  List.iter
+    (fun g ->
+      let e = entries.(g) in
+      let signature = ref 0 in
+      for j = 0 to nb - 1 do
+        signature := !signature lor signatures.(image.(j))
+      done;
+      if !signature land e.Library.purity_mask <> 0 then
+        corrupt "index witness violates the reasonable-product constraint";
+      for j = 0 to degree - 1 do
+        scratch.(j) <- e.Library.perm_array.(image.(j))
+      done;
+      Array.blit scratch 0 image 0 degree)
+    gates;
+  for j = 0 to nb - 1 do
+    if image.(j) <> Char.code (Bytes.get record_key j) then
+      corrupt "index witness does not realize its recorded function"
+  done
+
+let load library path =
+  let buf = Checkpoint.read_file path in
+  let len = Bytes.length buf in
+  if len < header_bytes + 4 then corrupt "truncated census index (%d bytes)" len;
+  if Bytes.sub_string buf 0 8 <> magic then
+    corrupt "bad magic: not a qsynth census index";
+  let stored_crc =
+    Int32.to_int (Bytes.get_int32_le buf (len - 4)) land 0xFFFFFFFF
+  in
+  let actual_crc = Checkpoint.crc32 buf ~off:0 ~len:(len - 4) in
+  if stored_crc <> actual_crc then
+    corrupt "CRC mismatch: stored %08x, computed %08x" stored_crc actual_crc;
+  let pos = ref 8 in
+  let u32 () =
+    let v = Int32.to_int (Bytes.get_int32_le buf !pos) land 0xFFFFFFFF in
+    pos := !pos + 4;
+    v
+  in
+  let v = u32 () in
+  if v <> version then mismatch "format version: file %d, supported %d" v version;
+  let fp = Bytes.get_int64_le buf !pos in
+  pos := !pos + 8;
+  let expected_fp = Checkpoint.fingerprint library in
+  if not (Int64.equal fp expected_fp) then
+    mismatch "library fingerprint: file %Lx, library %Lx" fp expected_fp;
+  let qubits = u32 () in
+  if qubits <> Library.qubits library then
+    mismatch "qubits: file %d, library %d" qubits (Library.qubits library);
+  let nb = u32 () in
+  let expected_nb = Mvl.Encoding.num_binary (Library.encoding library) in
+  if nb <> expected_nb then mismatch "num_binary: file %d, library %d" nb expected_nb;
+  let num_gates = u32 () in
+  if num_gates <> Library.size library then
+    mismatch "num_gates: file %d, library %d" num_gates (Library.size library);
+  let idx_depth = u32 () in
+  let count = u32 () in
+  let log_len = u32 () in
+  let expected_len = header_bytes + (count * rec_size nb) + log_len + 4 in
+  if len <> expected_len then
+    corrupt "census index length %d does not match header (%d expected)" len
+      expected_len;
+  let records = Bytes.sub buf !pos (count * rec_size nb) in
+  let log = Bytes.sub buf (!pos + (count * rec_size nb)) log_len in
+  let t = { library; depth = idx_depth; nb; count; records; log } in
+  (* structural record validation *)
+  let degree = Mvl.Encoding.size (Library.encoding library) in
+  let encoding = Library.encoding library in
+  let signatures = Array.init degree (Mvl.Encoding.mixed_signature encoding) in
+  for i = 0 to count - 1 do
+    let base = i * rec_size nb in
+    for j = 0 to nb - 1 do
+      if Bytes.get_uint8 records (base + j) >= nb then
+        corrupt "record %d: func_key byte outside the binary block" i
+    done;
+    if i > 0 then begin
+      let prev = Bytes.sub records ((i - 1) * rec_size nb) nb in
+      if record_key_compare t i prev <= 0 then
+        corrupt "records out of order at %d (index not sorted or duplicated)" i
+    end;
+    let cost = Bytes.get_uint8 records (base + nb) in
+    let off = Int32.to_int (Bytes.get_int32_le records (base + nb + 1)) in
+    if cost > idx_depth then corrupt "record %d: cost %d beyond depth %d" i cost idx_depth;
+    if off < 0 || off + cost > log_len then
+      corrupt "record %d: witness outside the gate log" i;
+    let gates = ref [] in
+    for k = cost - 1 downto 0 do
+      let g = Bytes.get_uint8 log (off + k) in
+      if g >= num_gates then corrupt "record %d: gate index %d out of range" i g;
+      gates := g :: !gates
+    done;
+    validate_witness library ~nb ~signatures
+      (Bytes.sub records base nb)
+      !gates
+  done;
+  Log.info (fun m ->
+      m "census index loaded: %d functions to cost %d from %s" count idx_depth path);
+  t

@@ -1,0 +1,53 @@
+(** Persistent index of a census: func_key -> (cost, witness).
+
+    A census run ({!Fmcf}) proves, for every binary reversible function
+    it finds, the {e exact} minimal cost plus one witness cascade — and,
+    just as importantly, that any function it does {e not} contain costs
+    more than the census depth.  This module freezes both facts into a
+    compact on-disk artifact ([QSYNIDX1], reusing the atomic-write and
+    CRC-32 machinery of {!Checkpoint}) so that later [qsynth synth]
+    invocations answer known functions with a binary search over a
+    [Bytes] block — no BFS, no census — and turn misses into a proven
+    cost lower bound for the meet-in-the-middle engine ({!Bidir}).
+
+    For the 3-qubit depth-7 census: 1260 records of 13 bytes plus a
+    ~5.6 kB gate log — about 22 kB, versus ~7.6 MB for a full search
+    snapshot, because the index stores only binary {e functions} (G[k]),
+    not all 689k circuit states. *)
+
+type t
+
+(** [build census] indexes every member of [census] (including the
+    identity at cost 0).  The census may be partial; {!depth} then
+    reflects the completed horizon.
+    @raise Invalid_argument if a witness is inconsistent (engine bug). *)
+val build : Fmcf.t -> t
+
+(** [depth t] is the census horizon: every function of cost [<= depth]
+    is present, so a miss proves cost [>= depth + 1]. *)
+val depth : t -> int
+
+(** [size t] is the number of indexed functions. *)
+val size : t -> int
+
+(** [find t func] is [Some (cost, witness)] with the exact minimal cost
+    and a minimal witness cascade, or [None] — which for an in-horizon
+    census means {e proven} cost [> depth t].  [None] also for a
+    function whose bit width does not match the library.  O(log n). *)
+val find : t -> Reversible.Revfun.t -> (int * Cascade.t) option
+
+(** [save t path] atomically writes the index ({!Checkpoint.write_atomic}
+    semantics: a crash never clobbers a previous file at [path]). *)
+val save : t -> string -> unit
+
+(** [load library path] reads and fully validates an index: magic and
+    CRC-32, format version, library fingerprint and shape, record
+    sortedness, and — beyond integrity — every witness is replayed
+    through the library's multiple-valued semantics (reasonable-product
+    legality at each gate, restriction equal to the recorded function),
+    so a loaded index cannot assert a wrong witness.
+    @raise Checkpoint.Corrupt on damage (truncation, CRC, structure,
+    invalid witness);
+    @raise Checkpoint.Mismatch on a well-formed index for a different
+    library or format version. *)
+val load : Library.t -> string -> t

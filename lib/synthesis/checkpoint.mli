@@ -49,6 +49,26 @@ type header = {
     snapshots with a {!Mismatch} instead of a silently wrong census. *)
 val fingerprint : Library.t -> int64
 
+(** {1 Binary-format primitives}
+
+    Shared by every durable artifact the synthesis layer writes (the
+    [QSYNCKP1] snapshots here and the [QSYNIDX1] census indexes of
+    {!Census_index}), so all of them get the same integrity and
+    crash-safety guarantees from one implementation. *)
+
+(** [crc32 bytes ~off ~len] is the CRC-32 (IEEE, slicing-by-8) of the
+    given byte range. *)
+val crc32 : Bytes.t -> off:int -> len:int -> int
+
+(** [write_atomic path bytes] writes [bytes] to [path ^ ".tmp"], fsyncs,
+    renames over [path], and fsyncs the directory (best effort): a crash
+    at any point — including the injected ["checkpoint"] fault between
+    fsync and rename — leaves any previous file at [path] intact. *)
+val write_atomic : string -> Bytes.t -> unit
+
+(** [read_file path] reads the whole file into a fresh [Bytes.t]. *)
+val read_file : string -> Bytes.t
+
 (** [save search path] atomically writes a snapshot of [search] (which
     must sit at a level boundary, as it always does between
     {!Search.step_handles} calls).  Any in-flight {!save_async} write is

@@ -202,6 +202,10 @@ let run ?max_depth ?jobs library = fst (run_guarded ?max_depth ?jobs library)
 
 let levels t = t.levels
 let search t = t.search
+let depth t = Search.depth t.search
+
+let iter_members t f =
+  List.iter (fun level -> List.iter (f ~cost:level.cost) level.members) t.levels
 let counts t = List.map (fun l -> (l.cost, List.length l.members)) t.levels
 let paper_counts t = List.map (fun l -> (l.cost, l.paper_count)) t.levels
 

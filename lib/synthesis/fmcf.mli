@@ -96,6 +96,17 @@ val run_guarded :
 val levels : t -> level list
 val search : t -> Search.t
 
+(** [depth t] is the number of completed census levels (the exactness
+    horizon: every function of cost [<= depth t] is in the census, every
+    absent function costs more).  Equal to the requested [max_depth] for
+    a [Completed] run, lower for a partial one. *)
+val depth : t -> int
+
+(** [iter_members t f] calls [f ~cost member] for every census member in
+    level order (cost 0 first) — the emission order of
+    {!Census_index.build}. *)
+val iter_members : t -> (cost:int -> member -> unit) -> unit
+
 (** [counts t] is the per-level [(cost, |G[k]|)] under set semantics. *)
 val counts : t -> (int * int) list
 

@@ -6,6 +6,9 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let m_queries = Telemetry.Counter.create "mce.queries"
 let m_realizations = Telemetry.Counter.create "mce.realizations"
+let m_plan_index = Telemetry.Counter.create "mce.plan.index"
+let m_plan_bidir = Telemetry.Counter.create "mce.plan.bidir"
+let m_plan_forward = Telemetry.Counter.create "mce.plan.forward"
 let g_depth_reached = Telemetry.Gauge.create "mce.depth_reached"
 let h_search = Telemetry.Histogram.create "mce.search.seconds"
 
@@ -77,43 +80,163 @@ let search_until ~max_depth ~jobs ~should_stop library remainder =
   in
   go ()
 
-let express ?(max_depth = 7) ?(jobs = 1) ?(should_stop = no_stop) library target =
+(* {1 Shared queries}
+
+   One BFS serves every question about a target (minimal cascade,
+   witness count, all realizations): [run_query] runs the search once
+   and the [query_*] accessors read it.  The former API entry points
+   each re-ran the census from scratch — three searches to print fig. 9's
+   three numbers. *)
+
+type outcome =
+  | Trivial  (** the remainder is the identity: cost 0, NOT layer only *)
+  | Not_found  (** no realization within the depth bound (or cancelled) *)
+  | Found of { search : Search.t; witnesses : string list }
+
+type query = { q_target : Revfun.t; q_mask : int; q_outcome : outcome }
+
+let run_query ?(max_depth = 7) ?(jobs = 1) ?(should_stop = no_stop) library target =
+  let mask, remainder = strip_not_layer target in
+  let outcome =
+    if Revfun.is_identity remainder then Trivial
+    else
+      match search_until ~max_depth ~jobs ~should_stop library remainder with
+      | None -> Not_found
+      | Some (search, witnesses) -> Found { search; witnesses }
+  in
+  { q_target = target; q_mask = mask; q_outcome = outcome }
+
+let query_result q =
+  match q.q_outcome with
+  | Trivial ->
+      Some { target = q.q_target; not_mask = q.q_mask; cascade = []; cost = 0 }
+  | Not_found -> None
+  | Found { search; witnesses } ->
+      let cascade = Search.cascade_of_key search (List.hd witnesses) in
+      Some
+        {
+          target = q.q_target;
+          not_mask = q.q_mask;
+          cascade;
+          cost = List.length cascade;
+        }
+
+let query_witnesses q =
+  match q.q_outcome with
+  | Trivial -> 1
+  | Not_found -> 0
+  | Found { witnesses; _ } -> List.length witnesses
+
+let query_realizations ?(limit = 10_000) q =
+  match q.q_outcome with
+  | Trivial ->
+      if limit <= 0 then []
+      else [ { target = q.q_target; not_mask = q.q_mask; cascade = []; cost = 0 } ]
+  | Not_found -> []
+  | Found { search; witnesses } ->
+      (* Stop walking witnesses the moment the budget runs out: each
+         [all_cascades] call is bounded by what remains, so the total
+         never exceeds [limit] and exhausted budgets cost nothing. *)
+      let remaining = ref limit in
+      let acc = ref [] in
+      List.iter
+        (fun key ->
+          if !remaining > 0 then begin
+            let cascades = Search.all_cascades ~limit:!remaining search key in
+            remaining := !remaining - List.length cascades;
+            List.iter
+              (fun cascade ->
+                acc :=
+                  {
+                    target = q.q_target;
+                    not_mask = q.q_mask;
+                    cascade;
+                    cost = List.length cascade;
+                  }
+                  :: !acc)
+              cascades
+          end)
+        witnesses;
+      List.rev !acc
+
+(* {1 Planned entry points}
+
+   [express] picks the cheapest sound plan for the query:
+   1. index hit — the exact cost and a witness in O(log n), no search;
+   2. index miss at depth d — proven lower bound cost >= d+1: answer
+      [None] outright when d >= max_depth, else fall through with the
+      bound (which lets the bidirectional engine stop at first join);
+   3. bidirectional — meet-in-the-middle over the shared context;
+   4. forward BFS — the original algorithm. *)
+
+let express ?(max_depth = 7) ?(jobs = 1) ?(should_stop = no_stop) ?index ?bidir
+    library target =
   let mask, remainder = strip_not_layer target in
   if Revfun.is_identity remainder then
     Some { target; not_mask = mask; cascade = []; cost = 0 }
-  else
-    match search_until ~max_depth ~jobs ~should_stop library remainder with
-    | None -> None
-    | Some (search, witness :: _) ->
-        let cascade = Search.cascade_of_key search witness in
-        Some { target; not_mask = mask; cascade; cost = List.length cascade }
-    | Some (_, []) -> assert false
+  else begin
+    let lower_bound = ref 1 in
+    let index_hit =
+      match index with
+      | None -> None
+      | Some idx -> (
+          match Census_index.find idx remainder with
+          | Some (cost, cascade) ->
+              Telemetry.Counter.incr m_plan_index;
+              Log.debug (fun m -> m "index hit: cost %d" cost);
+              Some
+                (if cost <= max_depth then
+                   Some { target; not_mask = mask; cascade; cost }
+                 else None)
+          | None ->
+              lower_bound := Census_index.depth idx + 1;
+              Log.debug (fun m ->
+                  m "index miss: cost >= %d proven" !lower_bound);
+              None)
+    in
+    match index_hit with
+    | Some answer -> answer
+    | None ->
+        if !lower_bound > max_depth then begin
+          (* the index horizon covers the whole depth bound: a miss is a
+             certified None, no search needed *)
+          Telemetry.Counter.incr m_plan_index;
+          None
+        end
+        else begin
+          match bidir with
+          | Some engine ->
+              Telemetry.Counter.incr m_plan_bidir;
+              (match
+                 Bidir.synthesize ~max_cost:max_depth ~lower_bound:!lower_bound
+                   ~should_stop engine remainder
+               with
+              | Some o ->
+                  Some
+                    {
+                      target;
+                      not_mask = mask;
+                      cascade = o.Bidir.cascade;
+                      cost = o.Bidir.cost;
+                    }
+              | None -> None)
+          | None ->
+              Telemetry.Counter.incr m_plan_forward;
+              query_result
+                { q_target = target;
+                  q_mask = mask;
+                  q_outcome =
+                    (match
+                       search_until ~max_depth ~jobs ~should_stop library remainder
+                     with
+                    | None -> Not_found
+                    | Some (search, witnesses) -> Found { search; witnesses });
+                }
+        end
+  end
 
-let all_realizations ?(max_depth = 7) ?(limit = 10_000) ?(jobs = 1)
-    ?(should_stop = no_stop) library target =
-  let mask, remainder = strip_not_layer target in
-  if Revfun.is_identity remainder then
-    [ { target; not_mask = mask; cascade = []; cost = 0 } ]
-  else
-    match search_until ~max_depth ~jobs ~should_stop library remainder with
-    | None -> []
-    | Some (search, witnesses) ->
-        let remaining = ref limit in
-        List.concat_map
-          (fun key ->
-            let cascades = Search.all_cascades ~limit:!remaining search key in
-            remaining := max 0 (!remaining - List.length cascades);
-            List.map
-              (fun cascade ->
-                { target; not_mask = mask; cascade; cost = List.length cascade })
-              cascades)
-          witnesses
+let all_realizations ?max_depth ?(limit = 10_000) ?jobs ?should_stop library target =
+  query_realizations ~limit (run_query ?max_depth ?jobs ?should_stop library target)
 
-let distinct_witnesses ?(max_depth = 7) ?(jobs = 1) ?(should_stop = no_stop) library
-    target =
-  let _, remainder = strip_not_layer target in
-  if Revfun.is_identity remainder then 1
-  else
-    match search_until ~max_depth ~jobs ~should_stop library remainder with
-    | None -> 0
-    | Some (_, witnesses) -> List.length witnesses
+let distinct_witnesses ?max_depth ?jobs ?should_stop library target =
+  query_witnesses (run_query ?max_depth ?jobs ?should_stop library target)

@@ -2,9 +2,22 @@
 
     Given a reversible specification g, strip a free input-side layer of
     NOT gates d0 so that the remainder fixes the all-zero pattern
-    (Theorem 2: H = ⋃_{a∈N} a·G), then search breadth-first until the
-    remainder appears among the cost-k circuits and back-track a cascade
-    g = d0 * d1 * ... * dt of minimal t (Theorem 3). *)
+    (Theorem 2: H = ⋃_{a∈N} a·G), then find a cascade
+    g = d0 * d1 * ... * dt of minimal t (Theorem 3).
+
+    Three execution plans produce that answer, tried cheapest first by
+    {!express}:
+    - a {!Census_index} lookup (exact cost + witness, no search; a miss
+      proves a cost lower bound, and certifies [None] outright when the
+      index horizon covers the depth bound);
+    - the meet-in-the-middle engine ({!Bidir}), when a shared context is
+      supplied;
+    - the forward BFS of the paper, as always.
+
+    For repeated questions about one target (minimal cascade, witness
+    count, full realization list) use {!run_query} once and the
+    [query_*] accessors: the legacy entry points each re-ran the search
+    from scratch. *)
 
 type result = {
   target : Reversible.Revfun.t;
@@ -15,11 +28,18 @@ type result = {
   cost : int; (** t, the quantum cost (NOT gates are free) *)
 }
 
-(** [express ?max_depth ?jobs library target] synthesizes a minimal-cost
-    quantum cascade for [target]; [None] when the cost exceeds
-    [max_depth] (default 7, the paper's cb).  The search stops at the
-    level where the target first appears, so cheap targets return
-    quickly.  [jobs] (default 1) is the BFS worker-domain count.
+(** [express ?max_depth ?jobs ?index ?bidir library target] synthesizes
+    a minimal-cost quantum cascade for [target]; [None] when the cost
+    exceeds [max_depth] (default 7, the paper's cb).  [jobs] (default 1)
+    is the BFS worker-domain count (forward plan only).
+
+    [index] serves known functions in O(log n) and turns misses into
+    proven lower bounds.  [bidir] is a shared meet-in-the-middle context
+    ({!Bidir.create}, which must be built for the same library): with it
+    the query can certify costs up to [max_depth] even beyond the
+    forward engine's practical depth.  With neither, the original
+    forward BFS runs.
+
     [should_stop] is a cooperative cancellation flag polled between
     levels and between expansion chunks (see {!Search.try_step}); when
     it fires the search stops cleanly and the result is [None], as for
@@ -28,9 +48,44 @@ val express :
   ?max_depth:int ->
   ?jobs:int ->
   ?should_stop:(unit -> bool) ->
+  ?index:Census_index.t ->
+  ?bidir:Bidir.t ->
   Library.t ->
   Reversible.Revfun.t ->
   result option
+
+(** {1 Shared queries} *)
+
+(** One forward search, many answers: the result of {!run_query}. *)
+type query
+
+(** [run_query ?max_depth ?jobs ?should_stop library target] strips the
+    NOT layer and runs the forward BFS (at most once — trivial targets
+    skip it) to the level where the remainder first appears.  All
+    [query_*] accessors below read this one search. *)
+val run_query :
+  ?max_depth:int ->
+  ?jobs:int ->
+  ?should_stop:(unit -> bool) ->
+  Library.t ->
+  Reversible.Revfun.t ->
+  query
+
+(** [query_result q] is the minimal-cost cascade, as {!express}. *)
+val query_result : query -> result option
+
+(** [query_witnesses q] counts the distinct full-domain circuit
+    permutations of minimal cost restricting to the target, as
+    {!distinct_witnesses}. *)
+val query_witnesses : query -> int
+
+(** [query_realizations ?limit q] enumerates minimal-cost realizations,
+    as {!all_realizations}.  Never returns more than [limit] (default
+    10_000) results; witness enumeration stops as soon as the budget is
+    exhausted. *)
+val query_realizations : ?limit:int -> query -> result list
+
+(** {1 Legacy one-shot entry points} *)
 
 (** [all_realizations ?max_depth ?limit library target] enumerates
     minimal-cost realizations: every cascade of minimal length whose

@@ -11,6 +11,7 @@ let g_frontier = Telemetry.Gauge.create "search.frontier.size"
 let g_table_size = Telemetry.Gauge.create "search.table.size"
 let g_table_load = Telemetry.Gauge.create "search.table.load"
 let g_jobs = Telemetry.Gauge.create "search.jobs"
+let g_jobs_eff = Telemetry.Gauge.create "search.jobs.effective"
 let g_arena = Telemetry.Gauge.create "search.arena.bytes"
 let h_step = Telemetry.Histogram.create "search.step.seconds"
 let h_expand = Telemetry.Histogram.create "search.step.expand.seconds"
@@ -88,6 +89,28 @@ type t = {
 }
 
 let max_jobs = num_shards
+
+(* Adaptive parallelism (the BENCH_3 jobs=4 regression fix).  Running a
+   level across [t.jobs] ranks only pays when each rank gets a
+   substantial contiguous chunk of the frontier: below [min_chunk]
+   states per rank, the fixed per-level cost (clearing candidate rows,
+   domain spawn/join, skewed rank finish times) dominates the expansion
+   itself.  Each step therefore computes an {e effective} rank count
+   from the frontier length, additionally capped by the machine's
+   recommended domain count — asking for 4 domains on a 2-core runner
+   time-slices two of them onto busy cores and makes the join wait for
+   the stragglers, which is exactly the census-depth7/jobs=4 skew
+   BENCH_3 recorded.  Phase functions are parameterized on the step's
+   rank count, never on [t.jobs]; determinism is structural (contiguous
+   chunks in frontier order, rank-order candidate replay, shard-pure
+   placement), so the states, handles and frontier order are identical
+   for every effective value. *)
+let min_chunk = 2048
+let hardware_jobs = lazy (Domain.recommended_domain_count ())
+
+let effective_jobs t n =
+  let cap = min t.jobs (Lazy.force hardware_jobs) in
+  max 1 (min cap ((n + min_chunk - 1) / min_chunk))
 
 let engine_params library =
   let encoding = Library.encoding library in
@@ -205,10 +228,10 @@ let cancel_poll_mask = 63
    returns early when it fires (the partially filled buffers are
    discarded by the coordinator, which re-checks the flag after the
    join). *)
-let expand_chunk t r ~cancel =
+let expand_chunk t r ~e ~cancel =
   let degree = t.degree in
   let n = Array.length t.frontier in
-  let lo = r * n / t.jobs and hi = (r + 1) * n / t.jobs in
+  let lo = r * n / e and hi = (r + 1) * n / e in
   let row = t.cand.(r) in
   for s = 0 to num_shards - 1 do
     row.(s).clen <- 0
@@ -319,11 +342,13 @@ let expand_insert_sequential t ~next_depth ~cancel =
   end
 
 (* Phase 2: rank [r] dedupes and inserts the candidates of its owned
-   shards (s mod jobs = r), scanning domain rows in rank order so each
+   shards (s mod e = r), scanning domain rows in rank order so each
    shard sees its candidates in global frontier order — the processing
    order, and hence the stored states and per-shard output lists, do not
-   depend on the number of domains. *)
-let dedupe_shards t r ~next_depth =
+   depend on the number of domains.  Only rows [0 .. e-1] are scanned:
+   rows beyond the step's effective rank count were not cleared this
+   step and may hold stale candidates from an earlier, wider level. *)
+let dedupe_shards t r ~e ~next_depth =
   let degree = t.degree in
   let via_mask = (1 lsl via_bits) - 1 in
   let fresh = ref 0 and dup = ref 0 in
@@ -331,7 +356,7 @@ let dedupe_shards t r ~next_depth =
   while !s < num_shards do
     let out = t.fresh_by_shard.(!s) in
     out.ilen <- 0;
-    for d = 0 to t.jobs - 1 do
+    for d = 0 to e - 1 do
       let buf = t.cand.(d).(!s) in
       for i = 0 to buf.clen - 1 do
         let meta = buf.cmeta.(i) in
@@ -347,7 +372,7 @@ let dedupe_shards t r ~next_depth =
         else incr dup
       done
     done;
-    s := !s + t.jobs
+    s := !s + e
   done;
   t.fresh_d.(r) <- !fresh;
   t.dup_d.(r) <- !dup;
@@ -371,10 +396,14 @@ let try_step t ~cancel =
   Telemetry.Histogram.time h_step @@ fun () ->
   Telemetry.Span.with_span "search.step" @@ fun () ->
   let next_depth = t.depth + 1 in
-  (* Spawning domains for tiny frontiers costs more than it saves; the
-     sequential fallback runs the identical rank functions, so results do
-     not change, only scheduling. *)
-  let parallel = t.jobs > 1 && Array.length t.frontier >= 256 in
+  (* The step's effective rank count: small frontiers collapse to one
+     rank (run inline — spawning domains for them costs more than it
+     saves), and the configured jobs are capped by the core count.  The
+     rank functions compute identical states either way; only
+     scheduling changes. *)
+  let e = effective_jobs t (Array.length t.frontier) in
+  let parallel = e > 1 in
+  Telemetry.Gauge.set_int g_jobs_eff e;
   Array.fill t.fresh_d 0 t.jobs 0;
   Array.fill t.dup_d 0 t.jobs 0;
   Array.fill t.rejected_d 0 t.jobs 0;
@@ -384,14 +413,14 @@ let try_step t ~cancel =
           expand_insert_sequential t ~next_depth ~cancel)
     else begin
       Telemetry.Histogram.time h_expand (fun () ->
-          run_workers ~parallel t.jobs (fun r -> expand_chunk t r ~cancel));
+          run_workers ~parallel e (fun r -> expand_chunk t r ~e ~cancel));
       (* Expansion never mutates the store, so abandoning here is free.
          Once dedupe starts we drain the level: it is short relative to
          expansion and finishing it keeps the store at a level boundary. *)
       if cancel () then false
       else begin
         Telemetry.Histogram.time h_merge (fun () ->
-            run_workers ~parallel t.jobs (fun r -> dedupe_shards t r ~next_depth));
+            run_workers ~parallel e (fun r -> dedupe_shards t r ~e ~next_depth));
         true
       end
     end
@@ -427,7 +456,8 @@ let try_step t ~cancel =
     Telemetry.Span.set_attr "new" (Telemetry.Json.Int fresh);
     Telemetry.Span.set_attr "duplicate" (Telemetry.Json.Int dup);
     Telemetry.Span.set_attr "signature_rejected" (Telemetry.Json.Int rejected);
-    Telemetry.Span.set_attr "parallel" (Telemetry.Json.Bool parallel)
+    Telemetry.Span.set_attr "parallel" (Telemetry.Json.Bool parallel);
+    Telemetry.Span.set_attr "effective_jobs" (Telemetry.Json.Int e)
   end;
   Log.debug (fun m ->
       m "level %d: %d new states (%d duplicate, %d rejected), %d total" next_depth fresh
@@ -480,6 +510,14 @@ let restriction_of_handle t h =
 
 let depth_of_key t key =
   match find_key t key with -1 -> None | h -> Some (State_arena.depth_of t.store h)
+
+(* The meet-in-the-middle join column: a state's image of the binary
+   block.  Suffix legality under the reasonable-product constraint and
+   the circuit's final restriction both depend only on these bytes, so
+   two states with equal binary images are interchangeable as prefixes
+   of any suffix chain. *)
+let binary_image_of_handle t h = State_arena.key_prefix t.store h ~len:t.num_binary
+let num_binary t = t.num_binary
 
 let cascade_of_handle t h =
   let entries = Library.entries t.library in

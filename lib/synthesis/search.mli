@@ -51,7 +51,12 @@ val store : t -> State_arena.t
 
 val library : t -> Library.t
 
-(** [jobs t] is the effective worker count (after clamping). *)
+(** [jobs t] is the configured worker count (after clamping to the shard
+    count).  The {e effective} rank count of any given step may be lower:
+    steps collapse to fewer ranks when the frontier is too small to give
+    each rank a substantial chunk, and are capped by the machine's
+    recommended domain count (see doc/PERFORMANCE.md, "Adaptive
+    parallelism").  Results are identical either way. *)
 val jobs : t -> int
 
 (** [depth t] is the last expanded level (0 after [create]). *)
@@ -99,6 +104,19 @@ val depth_of_handle : t -> handle -> int
     computed by the state, when it maps the binary block onto itself —
     read straight from the arena, no key materialization. *)
 val restriction_of_handle : t -> handle -> Reversible.Revfun.t option
+
+(** [binary_image_of_handle t h] is the state's image of the binary
+    block: byte [j] is the encoding point the circuit maps binary code
+    [j] to (not necessarily itself a binary code).  Under the
+    reasonable-product constraint, whether a gate sequence may legally
+    follow the circuit — and what restriction the composite computes —
+    depends {e only} on these bytes, which makes them the join column of
+    the meet-in-the-middle engine ({!Bidir}). *)
+val binary_image_of_handle : t -> handle -> string
+
+(** [num_binary t] is the number of binary codes of the encoding (the
+    length of {!binary_image_of_handle} strings). *)
+val num_binary : t -> int
 
 (** [cascade_of_handle t h] rebuilds the recorded minimal cascade. *)
 val cascade_of_handle : t -> handle -> Cascade.t

@@ -85,6 +85,10 @@ let key_of t h =
   let s = t.shards.(shard_of_handle h) in
   Bytes.sub_string s.arena (index_of_handle h * t.degree) t.degree
 
+let key_prefix t h ~len =
+  let s = t.shards.(shard_of_handle h) in
+  Bytes.sub_string s.arena (index_of_handle h * t.degree) len
+
 let depth_of t h = t.shards.(shard_of_handle h).depths.(index_of_handle h)
 let via_of t h = t.shards.(shard_of_handle h).vias.(index_of_handle h)
 let parent_of t h = t.shards.(shard_of_handle h).parents.(index_of_handle h)

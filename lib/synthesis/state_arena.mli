@@ -73,6 +73,15 @@ val key_offset : t -> int -> int
     interface; the hot paths read the arena directly). *)
 val key_of : t -> int -> string
 
+(** [key_prefix t handle ~len] is the first [len] bytes of [handle]'s key
+    — for 3-qubit searches the length-[num_binary] prefix is the state's
+    image of the binary block, which is the join column of the
+    meet-in-the-middle engine ({!Bidir}): two circuits compose into a
+    realization of a binary function exactly when the suffix chain leads
+    from that image vector to the target.  Bounds are not checked beyond
+    the shard arena itself; [len] must be within the key. *)
+val key_prefix : t -> int -> len:int -> string
+
 val depth_of : t -> int -> int
 
 (** [via_of t handle] is the library index of the last gate, -1 at the
