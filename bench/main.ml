@@ -1,13 +1,15 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (printed first, with wall-clock timings), then runs one Bechamel
    micro-benchmark per experiment, and finally writes the machine-readable
-   perf artifact BENCH_4.json (named experiment timings + bechamel
+   perf artifact BENCH_5.json (named experiment timings + bechamel
    estimates + parallel-census rows for jobs = 1/2/4 + the checkpoint
    durability overhead row + query-latency rows comparing the forward
    BFS, the persistent census index and the meet-in-the-middle engine +
-   the telemetry snapshot of the depth-7 census).  Each PR that moves
-   performance appends BENCH_N.json in the same schema to track the perf
-   trajectory; the schema is documented in doc/OBSERVABILITY.md.
+   server-latency rows comparing a warm service against one-shot cold
+   evaluation + the telemetry snapshot of the depth-7 census).  Each PR
+   that moves performance appends BENCH_N.json in the same schema to
+   track the perf trajectory; the schema is documented in
+   doc/OBSERVABILITY.md.
 
    Paper: Yang, Hung, Song, Perkowski, "Exact Synthesis of 3-qubit Quantum
    Circuits from Non-binary Quantum Gates Using Multiple-Valued Logic and
@@ -19,6 +21,41 @@ open Synthesis
 
 let library3 = Library.make (Mvl.Encoding.make ~qubits:3)
 let library2 = Library.make (Mvl.Encoding.make ~qubits:2)
+
+(* Every synthesis question in the harness goes through the unified
+   query API — the same Request/Response pair the CLI and the daemon
+   speak — so the timings here measure the code path users run. *)
+
+let request ?task ?(max_depth = 7) target =
+  let spec =
+    String.concat ","
+      (List.map string_of_int (Reversible.Revfun.output_column target))
+  in
+  Mce.Request.make ?task ~qubits:(Reversible.Revfun.bits target) ~max_depth spec
+
+let express ?index ?bidir ?max_depth library target =
+  Mce.Response.result_of (Mce.solve ?index ?bidir library (request ?max_depth target))
+
+let witnesses library target =
+  match
+    (Mce.solve library (request ~task:Mce.Request.Count_witnesses target))
+      .Mce.Response.body
+  with
+  | Ok { payload = Mce.Response.Witnesses { count }; _ } -> count
+  | _ -> failwith "witness count failed"
+
+let realizations ?(limit = 10_000) library target =
+  match
+    (Mce.solve library (request ~task:(Mce.Request.Enumerate { limit }) target))
+      .Mce.Response.body
+  with
+  | Ok { payload = Mce.Response.Realizations { target; not_mask; cost; cascades; _ }; _ }
+    ->
+      List.map
+        (fun cascade -> { Mce.target; not_mask; cascade; cost })
+        cascades
+  | Ok { payload = Mce.Response.Unrealizable _; _ } -> []
+  | _ -> failwith "enumeration failed"
 
 let time name f =
   let t0 = Unix.gettimeofday () in
@@ -77,10 +114,10 @@ let reproduce_table2 () =
 let reproduce_figures_4_to_8 () =
   hr "Figures 4-8: Peres and the cost-4 family";
   let report name target printed =
-    let result = time (name ^ " MCE") (fun () -> Mce.express library3 target) in
+    let result = time (name ^ " MCE") (fun () -> express library3 target) in
     match result with
     | Some r ->
-        let witnesses = Mce.distinct_witnesses library3 target in
+        let witnesses = witnesses library3 target in
         Format.printf "%s: %a  cost %d, %d distinct implementation(s), found %a@." name
           Reversible.Revfun.pp target r.Mce.cost witnesses Cascade.pp r.Mce.cascade;
         List.iter
@@ -109,15 +146,14 @@ let reproduce_figures_4_to_8 () =
 let reproduce_figure_9 () =
   hr "Figure 9: Toffoli implementations";
   let target = Reversible.Gates.toffoli3 in
-  (* one shared query answers all three of the figure's numbers — the
-     previous harness re-ran the census once per number *)
-  let q = time "Toffoli shared query" (fun () -> Mce.run_query library3 target) in
-  (match Mce.query_result q with
+  (* three tasks, one request shape each — the daemon's response cache
+     is what replaces the old shared-query machinery *)
+  (match time "Toffoli synthesis" (fun () -> express library3 target) with
   | Some r -> Format.printf "minimal cost %d: %a@." r.Mce.cost Cascade.pp r.Mce.cascade
   | None -> Format.printf "NOT FOUND (unexpected)@.");
   Format.printf "distinct implementations: %d (paper found 4)@."
-    (Mce.query_witnesses q);
-  let all = Mce.query_realizations q in
+    (witnesses library3 target);
+  let all = realizations library3 target in
   Format.printf "all minimal cascades: %d, all exactly verified: %b@." (List.length all)
     (List.for_all (Verify.result_valid library3) all);
   List.iter
@@ -136,7 +172,7 @@ let reproduce_figure_9_structure () =
   hr "Figure 9 discussion: symmetry structure of the minimal Toffoli set";
   let cascades =
     List.map (fun r -> r.Mce.cascade)
-      (Mce.all_realizations library3 Reversible.Gates.toffoli3)
+      (realizations library3 Reversible.Gates.toffoli3)
   in
   let groups = Equivalence.group_by_circuit library3 cascades in
   Format.printf "%d minimal cascades form %d circuit groups of sizes %s@."
@@ -187,10 +223,10 @@ let reproduce_group_results census =
 let reproduce_timing () =
   hr "Section 5 timings (paper: Peres 9 s, Toffoli 98 s on a 850 MHz P-III)";
   let t0 = Unix.gettimeofday () in
-  ignore (Mce.express library3 Reversible.Gates.g1);
+  ignore (express library3 Reversible.Gates.g1);
   let peres = Unix.gettimeofday () -. t0 in
   let t0 = Unix.gettimeofday () in
-  ignore (Mce.express library3 Reversible.Gates.toffoli3);
+  ignore (express library3 Reversible.Gates.toffoli3);
   let toffoli = Unix.gettimeofday () -. t0 in
   Format.printf "this machine: Peres %.3fs, Toffoli %.3fs, ratio %.1fx (paper: %.1fx)@."
     peres toffoli (toffoli /. peres) (98.0 /. 9.0)
@@ -207,7 +243,7 @@ let reproduce_two_qubit () =
 
 let reproduce_fredkin () =
   hr "Extension: Fredkin's exact cost (not in the paper)";
-  match time "Fredkin MCE" (fun () -> Mce.express library3 Reversible.Gates.fredkin3) with
+  match time "Fredkin MCE" (fun () -> express library3 Reversible.Gates.fredkin3) with
   | Some r ->
       Format.printf "Fredkin: cost %d, cascade %a, verified %b@." r.Mce.cost Cascade.pp
         r.Mce.cascade
@@ -463,11 +499,11 @@ let reproduce_query_latency census =
   let rows =
     List.map
       (fun (name, target) ->
-        let forward, r = best 3 (fun () -> Mce.express library3 target) in
+        let forward, r = best 3 (fun () -> express library3 target) in
         let indexed, r' =
-          best ~reps:1000 3 (fun () -> Mce.express ~index library3 target)
+          best ~reps:1000 3 (fun () -> express ~index library3 target)
         in
-        let bidir_t, r'' = best 10 (fun () -> Mce.express ~bidir library3 target) in
+        let bidir_t, r'' = best 10 (fun () -> express ~bidir library3 target) in
         let cost = cost_of r in
         if cost_of r' <> cost || cost_of r'' <> cost then
           failwith (name ^ ": plans disagree on the minimal cost");
@@ -487,7 +523,7 @@ let reproduce_query_latency census =
       ]
   in
   let bidir_t, r8 =
-    best 3 (fun () -> Mce.express ~max_depth:14 ~index ~bidir library3 cost8)
+    best 3 (fun () -> express ~max_depth:14 ~index ~bidir library3 cost8)
   in
   let cost8_cost = cost_of r8 in
   timings := ("query/cost8/bidir", bidir_t) :: !timings;
@@ -496,6 +532,90 @@ let reproduce_query_latency census =
      bidir %8.3f ms@."
     "cost8" cost8_cost (1e3 *. bidir_t);
   rows @ [ ("cost8", cost8_cost, None, None, bidir_t) ]
+
+(* Server latency: the BENCH_5 experiment.  What does a client actually
+   wait for?  The warm arm is the daemon's situation: one Service
+   created once (census index loaded, bidir forward wave grown to the
+   warm depth), every query answered against read-only engine state.
+   The cold arm is the one-shot CLI's situation: each query pays
+   Census_index.load plus Service.create (including the warm-up) before
+   it can answer.  The response cache is disabled in both arms so every
+   sample measures the engine, not the LRU; the cost-7 row spreads its
+   samples over distinct census members so no two samples share a key.
+   The cost8 row goes through a real meet-in-the-middle join (beyond
+   the index horizon) in both arms. *)
+let reproduce_server_latency census =
+  hr "Server latency: warm service vs one-shot cold (per uncached query)";
+  let warm_depth = 4 in
+  let index_path = Filename.temp_file "qsynth_bench_srv_idx" ".bin" in
+  Census_index.save (Census_index.build census) index_path;
+  let make_service () =
+    let index = Census_index.load library3 index_path in
+    Server.Service.create ~index ~warm_depth ~cache_capacity:0 library3
+  in
+  let percentile samples p =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let cost7_members =
+    let acc = ref [] in
+    Fmcf.iter_members census (fun ~cost m ->
+        if cost = 7 && List.length !acc < 100 then acc := m.Fmcf.func :: !acc);
+    List.rev !acc
+  in
+  let rows =
+    [
+      ("toffoli", [ request Reversible.Gates.toffoli3 ], 30, 5);
+      ("fredkin", [ request Reversible.Gates.fredkin3 ], 30, 5);
+      ( "cost8",
+        [ request ~max_depth:8 (Reversible.Spec.parse ~bits:3 "0,1,2,3,4,7,5,6") ],
+        5, 3 );
+      ("cost7-members", List.map request cost7_members, 100, 5);
+    ]
+  in
+  let warm_service = time "warm service create" make_service in
+  List.map
+    (fun (name, requests, warm_samples, cold_samples) ->
+      let k = List.length requests in
+      let nth i = List.nth requests (i mod k) in
+      let sample_one svc req =
+        let t0 = Unix.gettimeofday () in
+        (match (Server.Service.answer svc req).Mce.Response.body with
+        | Ok _ -> ()
+        | Error e ->
+            failwith
+              (Printf.sprintf "server-latency %s: %s" name
+                 (Mce.Response.to_string
+                    { Mce.Response.id = None; qubits = 3; body = Error e })));
+        Unix.gettimeofday () -. t0
+      in
+      let warm =
+        List.init warm_samples (fun i -> sample_one warm_service (nth i))
+      in
+      let cold =
+        List.init cold_samples (fun i ->
+            let t0 = Unix.gettimeofday () in
+            let svc = make_service () in
+            let dt_query = sample_one svc (nth i) in
+            ignore dt_query;
+            Unix.gettimeofday () -. t0)
+      in
+      let wp50 = percentile warm 0.50 and wp99 = percentile warm 0.99 in
+      let cp50 = percentile cold 0.50 and cp99 = percentile cold 0.99 in
+      timings := (Printf.sprintf "server/%s/warm_p99" name, wp99) :: !timings;
+      timings := (Printf.sprintf "server/%s/cold_p99" name, cp99) :: !timings;
+      Format.printf
+        "%-14s warm p50 %9.4f ms  p99 %9.4f ms   cold p50 %9.1f ms  p99 %9.1f ms   \
+         p99 speedup %7.0fx@."
+        name (1e3 *. wp50) (1e3 *. wp99) (1e3 *. cp50) (1e3 *. cp99)
+        (cp99 /. wp99);
+      (name, warm_samples, wp50, wp99, cold_samples, cp50, cp99))
+    rows
+  |> fun server_rows ->
+  Sys.remove index_path;
+  (warm_depth, server_rows)
 
 (* Bechamel micro-benchmarks: one per experiment *)
 
@@ -524,19 +644,19 @@ let bechamel_tests =
     Test.make ~name:"table2/census-depth4"
       (stage (fun () -> Fmcf.run ~max_depth:4 library3));
     Test.make ~name:"fig4/peres-synthesis"
-      (stage (fun () -> Mce.express library3 Reversible.Gates.g1));
+      (stage (fun () -> express library3 Reversible.Gates.g1));
     Test.make ~name:"fig5/g2-synthesis"
-      (stage (fun () -> Mce.express library3 Reversible.Gates.g2));
+      (stage (fun () -> express library3 Reversible.Gates.g2));
     Test.make ~name:"fig6/g3-synthesis"
-      (stage (fun () -> Mce.express library3 Reversible.Gates.g3));
+      (stage (fun () -> express library3 Reversible.Gates.g3));
     Test.make ~name:"fig7/g4-synthesis"
-      (stage (fun () -> Mce.express library3 Reversible.Gates.g4));
+      (stage (fun () -> express library3 Reversible.Gates.g4));
     Test.make ~name:"fig8/adjoint-verify"
       (stage (fun () ->
            Verify.cascade_implements ~qubits:3 (Cascade.swap_v_dag peres_cascade)
              Reversible.Gates.g1));
     Test.make ~name:"fig9/toffoli-synthesis"
-      (stage (fun () -> Mce.express library3 Reversible.Gates.toffoli3));
+      (stage (fun () -> express library3 Reversible.Gates.toffoli3));
     Test.make ~name:"e1/g4-split"
       (stage (fun () -> Universality.split_g4 (Fmcf.run ~max_depth:4 library3)));
     Test.make ~name:"e2/universality-check"
@@ -614,9 +734,23 @@ let run_bechamel () =
    the repository's history. *)
 
 let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoint_row
-    ~query_rows path =
+    ~query_rows ~server_latency path =
   let open Telemetry in
   let plain, checkpointed, overhead, snapshot_bytes = checkpoint_row in
+  let server_warm_depth, server_rows = server_latency in
+  let server_row_json (name, warm_samples, wp50, wp99, cold_samples, cp50, cp99) =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("warm_samples", Json.Int warm_samples);
+        ("warm_p50_seconds", Json.Float wp50);
+        ("warm_p99_seconds", Json.Float wp99);
+        ("cold_samples", Json.Int cold_samples);
+        ("cold_p50_seconds", Json.Float cp50);
+        ("cold_p99_seconds", Json.Float cp99);
+        ("p99_speedup", Json.Float (cp99 /. wp99));
+      ]
+  in
   let query_json (name, cost, forward, indexed, bidir) =
     Json.Obj
       (("name", Json.String name)
@@ -633,7 +767,7 @@ let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoi
     Json.Obj
       [
         ("schema_version", Json.Int 1);
-        ("bench_id", Json.Int 4);
+        ("bench_id", Json.Int 5);
         ("generated_by", Json.String "bench/main.ml");
         ("unix_time", Json.Float (Unix.time ()));
         ("ocaml_version", Json.String Sys.ocaml_version);
@@ -671,6 +805,13 @@ let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoi
               ("snapshot_bytes", Json.Int snapshot_bytes);
             ] );
         ("query_latency", Json.List (List.map query_json query_rows));
+        ( "server_latency",
+          Json.Obj
+            [
+              ("warm_depth", Json.Int server_warm_depth);
+              ("index_depth", Json.Int 7);
+              ("rows", Json.List (List.map server_row_json server_rows));
+            ] );
         ("telemetry", telemetry_snapshot);
       ]
   in
@@ -706,9 +847,10 @@ let () =
   experiment "ext/rewrite" reproduce_rewrite;
   experiment "sec4/qrng" reproduce_qrng;
   let query_rows = reproduce_query_latency census in
+  let server_latency = reproduce_server_latency census in
   let parallel_rows = reproduce_parallel_census () in
   let checkpoint_row = reproduce_checkpoint_overhead () in
   let bechamel_rows = run_bechamel () in
-  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_4.json" in
+  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_5.json" in
   write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoint_row
-    ~query_rows path
+    ~query_rows ~server_latency path

@@ -378,77 +378,153 @@ let census_cmd =
       $ save_arg $ emit_index_arg $ checkpoint_arg $ every_arg $ resume_arg
       $ max_states_arg $ max_mem_arg $ timeout_arg)
 
+(* {1 The unified query surface}
+
+   synth, query, batch and serve all speak Mce.Request/Mce.Response; a
+   response rendered with --json is byte-identical no matter which
+   transport produced it (doc/API.md). *)
+
+let enumerate_limit = 10_000
+
+(* Exit code for a response: Ok bodies (including certified
+   Unrealizable) succeed; Cancelled follows the interrupt contract. *)
+let response_exit (resp : Mce.Response.t) =
+  match resp.Mce.Response.body with
+  | Ok _ -> exit_ok
+  | Error Mce.Response.Cancelled -> exit_interrupt
+  | Error _ -> exit_runtime
+
+(* Human rendering shared by synth and query; verification runs here, on
+   the client side — the wire carries cost certificates, not trust. *)
+let print_response_human library t0 (resp : Mce.Response.t) =
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let pp_one (r : Mce.result) =
+    Format.printf "cost %d (%.3fs): %s%a  [verified: %b]@." r.Mce.cost elapsed
+      (if r.Mce.not_mask = 0 then ""
+       else Printf.sprintf "NOT(mask=%d) * " r.Mce.not_mask)
+      Cascade.pp r.Mce.cascade
+      (Verify.result_valid library r)
+  in
+  match resp.Mce.Response.body with
+  | Ok { payload = Mce.Response.Synthesized { target; not_mask; cascade; cost }; _ }
+    ->
+      pp_one { Mce.target; not_mask; cascade; cost }
+  | Ok { payload = Mce.Response.Unrealizable { max_depth }; _ } ->
+      Format.printf "no realization within depth %d@." max_depth
+  | Ok { payload = Mce.Response.Witnesses { count }; _ } ->
+      Format.printf "distinct minimal witnesses: %d@." count
+  | Ok
+      {
+        payload = Mce.Response.Realizations { target; not_mask; cost; cascades; complete };
+        _;
+      } ->
+      if cascades = [] then
+        Format.printf "no realization within the depth bound@."
+      else begin
+        Format.printf "%d minimal realization(s) of cost %d (%.3fs)%s:@."
+          (List.length cascades) cost elapsed
+          (if complete then "" else ", truncated at the enumeration limit");
+        List.iter
+          (fun cascade ->
+            Format.printf "  %s%a  [verified: %b]@."
+              (if not_mask = 0 then ""
+               else Printf.sprintf "NOT(mask=%d) * " not_mask)
+              Cascade.pp cascade
+              (Verify.result_valid library
+                 { Mce.target; not_mask; cascade; cost = List.length cascade }))
+          cascades
+      end
+  | Error Mce.Response.Cancelled -> Format.eprintf "qsynth: search interrupted@."
+  | Error (Mce.Response.Bad_request msg) | Error (Mce.Response.Unsupported msg)
+  | Error (Mce.Response.Internal msg) ->
+      Format.eprintf "qsynth: %s@." msg
+  | Error (Mce.Response.Overloaded { retry_after_ms }) ->
+      Format.eprintf "qsynth: server overloaded; retry after %d ms@." retry_after_ms
+  | Error Mce.Response.Deadline_exceeded ->
+      Format.eprintf "qsynth: deadline exceeded@."
+  | Error Mce.Response.Shutting_down ->
+      Format.eprintf "qsynth: server is shutting down@."
+
+(* One-shot Synthesize for an already-parsed target (describe/draw). *)
+let solve_target ?(max_depth = 7) library target =
+  let spec =
+    String.concat ","
+      (List.map string_of_int (Reversible.Revfun.output_column target))
+  in
+  let req =
+    Mce.Request.make ~qubits:(Reversible.Revfun.bits target) ~max_depth spec
+  in
+  Mce.Response.result_of (Mce.solve library req)
+
+let warm_depth_arg =
+  let doc =
+    "Build the meet-in-the-middle engine with its shared forward wave grown to \
+     exactly $(docv) and capped there.  Every query then runs against an \
+     immutable wave, which makes answers (and $(b,--json) bytes) a pure \
+     function of the request — match the daemon's $(b,--warm-depth) to \
+     reproduce its responses one-shot.  0 (the default) disables the engine."
+  in
+  Arg.(value & opt int 0 & info [ "warm-depth" ] ~docv:"D" ~doc)
+
+let index_arg =
+  Arg.(value & opt (some snapshot_path) None & info [ "index" ] ~docv:"FILE"
+         ~doc:"Answer from a census index written by $(b,qsynth census \
+               --emit-index): an indexed function costs one binary search \
+               (no BFS at all), and a miss proves the cost exceeds the index \
+               depth — certifying 'no realization' outright when the index \
+               covers $(b,--depth), or priming the bidirectional engine with \
+               the bound.  The file is fully validated (CRC, library \
+               fingerprint, every witness replayed) before use.")
+
 (* synth *)
 
 let synth_cmd =
-  let run finish_telemetry qubits depth jobs all index_path use_bidir spec =
+  let run finish_telemetry qubits depth jobs all json index_path use_bidir
+      warm_depth spec =
     guarded ~finish:finish_telemetry @@ fun () ->
     let library = make_library qubits in
-    let target = Reversible.Spec.parse ~bits:qubits spec in
-    Format.printf "target: %a@." Reversible.Revfun.pp target;
     let should_stop = install_cancel () in
     (* the load validates magic/CRC/fingerprint/witnesses and raises
        Checkpoint.Corrupt/Mismatch — mapped to exit 1 by [guarded] *)
     let index = Option.map (Census_index.load library) index_path in
-    (match index with
-    | Some idx ->
-        Format.printf "index: %d functions, exact to cost %d@."
-          (Census_index.size idx) (Census_index.depth idx)
-    | None -> ());
-    let bidir = if use_bidir then Some (Bidir.create ~jobs library) else None in
+    if not json then begin
+      let target = Reversible.Spec.parse ~bits:qubits spec in
+      Format.printf "target: %a@." Reversible.Revfun.pp target;
+      match index with
+      | Some idx ->
+          Format.printf "index: %d functions, exact to cost %d@."
+            (Census_index.size idx) (Census_index.depth idx)
+      | None -> ()
+    end;
+    let bidir =
+      if warm_depth > 0 then begin
+        let engine = Bidir.create ~jobs ~max_fwd_depth:warm_depth library in
+        Bidir.warm ~should_stop engine ~depth:warm_depth;
+        Some engine
+      end
+      else if use_bidir then Some (Bidir.create ~jobs library)
+      else None
+    in
+    let task =
+      if all then Mce.Request.Enumerate { limit = enumerate_limit }
+      else Mce.Request.Synthesize
+    in
+    let req = Mce.Request.make ~qubits ~task ~max_depth:depth spec in
     let t0 = Unix.gettimeofday () in
-    if all then begin
-      if index <> None || bidir <> None then
-        Format.eprintf
-          "qsynth: note: --all enumerates realizations with the forward \
-           search; --index/--bidir accelerate single-answer queries only@.";
-      let results = Mce.all_realizations ~max_depth:depth ~jobs ~should_stop library target in
-      (match results with
-      | [] -> Format.printf "no realization within depth %d@." depth
-      | { Mce.cost; _ } :: _ ->
-          Format.printf "%d minimal realization(s) of cost %d (%.3fs):@."
-            (List.length results) cost
-            (Unix.gettimeofday () -. t0);
-          List.iter
-            (fun r ->
-              Format.printf "  %s%a  [verified: %b]@."
-                (if r.Mce.not_mask = 0 then ""
-                 else Printf.sprintf "NOT(mask=%d) * " r.Mce.not_mask)
-                Cascade.pp r.Mce.cascade
-                (Verify.result_valid library r))
-            results)
-    end
-    else
-      (match
-         Mce.express ~max_depth:depth ~jobs ~should_stop ?index ?bidir library
-           target
-       with
-      | None -> Format.printf "no realization within depth %d@." depth
-      | Some r ->
-          Format.printf "cost %d (%.3fs): %s%a  [verified: %b]@." r.Mce.cost
-            (Unix.gettimeofday () -. t0)
-            (if r.Mce.not_mask = 0 then ""
-             else Printf.sprintf "NOT(mask=%d) * " r.Mce.not_mask)
-            Cascade.pp r.Mce.cascade
-            (Verify.result_valid library r));
-    if should_stop () then begin
-      Format.eprintf "qsynth: search interrupted@.";
-      exit_interrupt
-    end
-    else exit_ok
+    let resp = Mce.solve ~jobs ~should_stop ?index ?bidir library req in
+    if json then print_endline (Mce.Response.to_string resp)
+    else print_response_human library t0 resp;
+    response_exit resp
   in
   let all_flag =
     Arg.(value & flag & info [ "a"; "all" ] ~doc:"Enumerate all minimal realizations.")
   in
-  let index_arg =
-    Arg.(value & opt (some snapshot_path) None & info [ "index" ] ~docv:"FILE"
-           ~doc:"Answer from a census index written by $(b,qsynth census \
-                 --emit-index): an indexed function costs one binary search \
-                 (no BFS at all), and a miss proves the cost exceeds the index \
-                 depth — certifying 'no realization' outright when the index \
-                 covers $(b,--depth), or priming $(b,--bidir) with the bound.  \
-                 The file is fully validated (CRC, library fingerprint, every \
-                 witness replayed) before use.")
+  let json_flag =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the response as one line of JSON — the exact bytes the \
+                 $(b,qsynth serve) daemon would answer for the same request \
+                 and engine resources (schema: doc/API.md).  Suppresses the \
+                 human report and client-side verification.")
   in
   let bidir_flag =
     Arg.(value & flag & info [ "bidir" ]
@@ -470,7 +546,218 @@ let synth_cmd =
              (the paper's MCE algorithm).")
     Term.(
       const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ all_flag
-      $ index_arg $ bidir_flag $ spec_arg)
+      $ json_flag $ index_arg $ bidir_flag $ warm_depth_arg $ spec_arg)
+
+(* serve *)
+
+let socket_arg =
+  let doc =
+    "Unix-domain socket path of the daemon (the transport endpoint of the \
+     length-prefixed JSON protocol, doc/API.md)."
+  in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run finish_telemetry qubits jobs socket index_path warm_depth workers
+      queue_capacity cache_capacity =
+    guarded ~finish:finish_telemetry @@ fun () ->
+    let library = make_library qubits in
+    let index = Option.map (Census_index.load library) index_path in
+    (match index with
+    | Some idx ->
+        Format.printf "index: %d functions, exact to cost %d@."
+          (Census_index.size idx) (Census_index.depth idx)
+    | None -> ());
+    let service =
+      Server.Service.create ~jobs ?index ~warm_depth ~cache_capacity library
+    in
+    Server.Daemon.run ~workers ~queue_capacity ~socket service;
+    exit_ok
+  in
+  let workers_arg =
+    Arg.(value & opt (pos_int ~what:"WORKERS") 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains evaluating queries in parallel.")
+  in
+  let queue_arg =
+    Arg.(value & opt (pos_int ~what:"QUEUE") 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Bound on the accepted-but-unstarted request queue; beyond it \
+                 requests are rejected immediately with the 'overloaded' error \
+                 and a retry-after hint (backpressure, not buffering).")
+  in
+  let cache_arg =
+    Arg.(value & opt int 1024 & info [ "cache" ] ~docv:"N"
+           ~doc:"LRU response-cache capacity (0 disables).  Hits and misses \
+                 appear as $(b,server.cache.hit)/$(b,server.cache.miss) in \
+                 $(b,--metrics) snapshots.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits:contract_exits
+       ~doc:"Run the synthesis daemon: one warm engine (census index + \
+             fixed-depth forward wave + meet-in-the-middle), shared by every \
+             client over a Unix-domain socket.  Drains gracefully on \
+             SIGTERM/SIGINT: stops accepting, answers everything already \
+             accepted, unlinks the socket, exits 0.")
+    Term.(
+      const run $ telemetry_term $ qubits_arg $ jobs_arg $ socket_arg
+      $ index_arg $ warm_depth_arg $ workers_arg $ queue_arg $ cache_arg)
+
+(* query *)
+
+let query_cmd =
+  let run socket qubits depth plan count enumerate id deadline_ms spec =
+    guarded @@ fun () ->
+    let task =
+      match (count, enumerate) with
+      | true, Some _ ->
+          failwith "--count and --enumerate are mutually exclusive"
+      | true, None -> Mce.Request.Count_witnesses
+      | false, Some limit -> Mce.Request.Enumerate { limit }
+      | false, None -> Mce.Request.Synthesize
+    in
+    let req =
+      Mce.Request.make ?id ~qubits ~task ~max_depth:depth ~plan ?deadline_ms spec
+    in
+    let fd = Server.Protocol.connect socket in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    match Server.Protocol.call fd req with
+    | Error msg -> failwith msg
+    | Ok resp ->
+        print_endline (Mce.Response.to_string resp);
+        response_exit resp
+  in
+  let plan_arg =
+    let plans =
+      [
+        ("auto", Mce.Request.Auto);
+        ("index", Mce.Request.Index);
+        ("bidir", Mce.Request.Bidir);
+        ("forward", Mce.Request.Forward);
+      ]
+    in
+    Arg.(value & opt (enum plans) Mce.Request.Auto & info [ "plan" ] ~docv:"PLAN"
+           ~doc:(Printf.sprintf
+                   "Pin the execution plan: %s.  $(b,auto) picks the cheapest \
+                    sound plan the daemon holds; pinned plans fail with the \
+                    'unsupported' error when the daemon lacks the engine."
+                   (Arg.doc_alts_enum plans)))
+  in
+  let count_flag =
+    Arg.(value & flag & info [ "count" ]
+           ~doc:"Ask for the number of distinct minimal witnesses instead of a \
+                 cascade.")
+  in
+  let enumerate_arg =
+    Arg.(value & opt (some int) None & info [ "enumerate" ] ~docv:"LIMIT"
+           ~doc:"Ask for every minimal realization, up to $(docv).")
+  in
+  let id_arg =
+    Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID"
+           ~doc:"Correlation token echoed verbatim in the response.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some (pos_int ~what:"MS")) None & info [ "deadline" ] ~docv:"MS"
+           ~doc:"Per-request compute budget in milliseconds; past it the \
+                 daemon answers the 'deadline-exceeded' error.")
+  in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
+           ~doc:"Target (same formats as synth).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~exits:contract_exits
+       ~doc:"Send one request to a running $(b,qsynth serve) daemon and print \
+             the JSON response line — byte-identical to $(b,qsynth synth \
+             --json) under the same engine resources.")
+    Term.(
+      const run $ socket_arg $ qubits_arg $ depth_arg $ plan_arg
+      $ count_flag $ enumerate_arg $ id_arg $ deadline_arg $ spec_arg)
+
+(* batch *)
+
+let batch_cmd =
+  let run finish_telemetry qubits jobs socket index_path warm_depth file =
+    guarded ~finish:finish_telemetry @@ fun () ->
+    let ic = if file = "-" then stdin else open_in file in
+    Fun.protect ~finally:(fun () -> if file <> "-" then close_in_noerr ic)
+    @@ fun () ->
+    let answer =
+      match socket with
+      | Some path ->
+          let fd = Server.Protocol.connect path in
+          at_exit (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+          fun req ->
+            (match Server.Protocol.call fd req with
+            | Ok resp -> resp
+            | Error msg -> failwith msg)
+      | None ->
+          (* no daemon: evaluate locally against one warm service, so a
+             whole file amortizes the same warm-up a daemon would *)
+          let library = make_library qubits in
+          let index = Option.map (Census_index.load library) index_path in
+          let service =
+            Server.Service.create ~jobs ?index ~warm_depth library
+          in
+          let should_stop = install_cancel () in
+          fun req -> Server.Service.answer ~should_stop service req
+    in
+    let failures = ref 0 in
+    let lineno = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         if String.trim line <> "" then begin
+           let resp =
+             match Telemetry.Json.of_string line with
+             | exception Telemetry.Json.Parse_error msg ->
+                 incr failures;
+                 {
+                   Mce.Response.id = None;
+                   qubits = 0;
+                   body =
+                     Error
+                       (Mce.Response.Bad_request
+                          (Printf.sprintf "line %d: invalid JSON: %s" !lineno msg));
+                 }
+             | json -> (
+                 match Mce.Request.of_json json with
+                 | Error msg ->
+                     incr failures;
+                     {
+                       Mce.Response.id = None;
+                       qubits = 0;
+                       body =
+                         Error
+                           (Mce.Response.Bad_request
+                              (Printf.sprintf "line %d: %s" !lineno msg));
+                     }
+                 | Ok req -> answer req)
+           in
+           print_endline (Mce.Response.to_string resp)
+         end
+       done
+     with End_of_file -> ());
+    if !failures = 0 then exit_ok else exit_runtime
+  in
+  let socket_opt_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Send the batch to a running daemon instead of evaluating \
+                 locally.")
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"JSONL file of requests, one JSON object per line ('-' for \
+                 stdin).  Responses stream to stdout in input order, one line \
+                 each.")
+  in
+  Cmd.v
+    (Cmd.info "batch" ~exits:contract_exits
+       ~doc:"Evaluate a JSONL file of requests — locally against one warm \
+             engine, or through a daemon with $(b,--socket).")
+    Term.(
+      const run $ telemetry_term $ qubits_arg $ jobs_arg $ socket_opt_arg
+      $ index_arg $ warm_depth_arg $ file_arg)
 
 (* table1 *)
 
@@ -637,7 +924,7 @@ let describe_cmd =
         Format.printf "affine decomposition: NOT(mask=%d) then %d CNOT(s)@." not_mask
           (List.length cnots)
     | None -> ());
-    (match Mce.express library target with
+    (match solve_target library target with
     | Some r ->
         Format.printf "quantum cost: %d@.@.%s@." r.Mce.cost
           (Draw.to_ascii ~qubits ~not_mask:r.Mce.not_mask r.Mce.cascade)
@@ -717,7 +1004,7 @@ let draw_cmd =
     guarded @@ fun () ->
     let library = make_library qubits in
     let target = Reversible.Spec.parse ~bits:qubits spec in
-    (match Mce.express ~max_depth:depth library target with
+    (match solve_target ~max_depth:depth library target with
     | None -> Format.printf "no realization within depth %d@." depth
     | Some r ->
         Format.printf "%a  (cost %d)@.@." Reversible.Revfun.pp target r.Mce.cost;
@@ -864,6 +1151,9 @@ let () =
       [
             census_cmd;
             synth_cmd;
+            serve_cmd;
+            query_cmd;
+            batch_cmd;
             table1_cmd;
             universal_cmd;
             simulate_cmd;

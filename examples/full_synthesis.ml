@@ -79,4 +79,32 @@ let () =
      function (any function outside the depth-10 census with two-split
      bound 13 works); take the worst constructed cost observed. *)
   let worst_cost = List.fold_left (fun acc (c, _) -> max acc c) 0 costs in
-  Format.printf "worst constructed cost: %d (exact worst case is 13)@." worst_cost
+  Format.printf "worst constructed cost: %d (exact worst case is 13)@." worst_cost;
+
+  (* Cross-check the composer against the unified query API: index the
+     census and ask [Mce.solve] — the same call behind [qsynth synth
+     --json] and the serve daemon — for a few exact costs.  Composition
+     gives upper bounds; within the census horizon they must be exact. *)
+  let index = Census_index.build census in
+  List.iter
+    (fun (name, target) ->
+      let req =
+        Mce.Request.make ~qubits:3
+          (String.concat ","
+             (List.map string_of_int (Reversible.Revfun.output_column target)))
+      in
+      match Mce.Response.result_of (Mce.solve ~index library req) with
+      | Some exact ->
+          let constructed =
+            match express target with
+            | Some r -> r.Mce.cost
+            | None -> failwith "composer missed a census function"
+          in
+          Format.printf "%s: exact cost %d (index), constructed %d@." name
+            exact.Mce.cost constructed
+      | None -> Format.printf "%s: beyond the census horizon@." name)
+    [
+      ("peres", Reversible.Gates.g1);
+      ("toffoli", Reversible.Gates.toffoli3);
+      ("fredkin", Reversible.Gates.fredkin3);
+    ]

@@ -2,6 +2,11 @@
    Figures 4-9 — Peres (cost 4, two implementations), its Hermitian-adjoint
    form, the g2/g3/g4 circuits, and Toffoli (cost 5, four implementations).
 
+   Every question goes through the unified query API: build a
+   [Mce.Request.t], call [Mce.solve], read the typed [Mce.Response.t] —
+   the same records [qsynth synth --json], [qsynth query] and the
+   [qsynth serve] daemon exchange as JSON.
+
    Run with: dune exec examples/toffoli_synthesis.exe *)
 
 open Synthesis
@@ -11,17 +16,31 @@ let time f =
   let result = f () in
   (result, Unix.gettimeofday () -. t0)
 
+(* A request for a target we already hold as a [Revfun.t]: hand [solve]
+   the truth-table output column, the one spec syntax every transport
+   accepts. *)
+let request ?task target =
+  Mce.Request.make ?task
+    ~qubits:(Reversible.Revfun.bits target)
+    (String.concat ","
+       (List.map string_of_int (Reversible.Revfun.output_column target)))
+
+let witness_count library target =
+  match (Mce.solve library (request ~task:Mce.Request.Count_witnesses target)).body with
+  | Ok { payload = Mce.Response.Witnesses { count }; _ } -> count
+  | _ -> failwith "witness count failed"
+
 let report library name target ~expected_cost ~paper_cascades =
   Format.printf "@.=== %s: %a ===@." name Reversible.Revfun.pp target;
-  let result, elapsed = time (fun () -> Mce.express library target) in
-  (match result with
+  let response, elapsed = time (fun () -> Mce.solve library (request target)) in
+  (match Mce.Response.result_of response with
   | None -> Format.printf "not found (unexpected)@."
   | Some r ->
       Format.printf "minimal cost %d (expected %d), %.3fs: %a@." r.Mce.cost expected_cost
         elapsed Cascade.pp r.Mce.cascade;
       Format.printf "exact verification: %b@." (Verify.result_valid library r));
-  let witnesses = Mce.distinct_witnesses library target in
-  Format.printf "distinct minimal circuit permutations: %d@." witnesses;
+  Format.printf "distinct minimal circuit permutations: %d@."
+    (witness_count library target);
   List.iter
     (fun printed ->
       let cascade = Cascade.of_string ~qubits:3 printed in
@@ -64,14 +83,32 @@ let () =
 
   (* Enumerate every minimal Toffoli cascade (the paper stops at four
      witnesses; each witness admits several gate orderings). *)
-  let all = Mce.all_realizations library Reversible.Gates.toffoli3 in
-  Format.printf "@.all minimal Toffoli cascades: %d, all verified: %b@." (List.length all)
-    (List.for_all (Verify.result_valid library) all);
+  (match
+     (Mce.solve library
+        (request
+           ~task:(Mce.Request.Enumerate { limit = 10_000 })
+           Reversible.Gates.toffoli3))
+       .body
+   with
+  | Ok { payload = Mce.Response.Realizations { cascades; complete; cost; _ }; _ } ->
+      Format.printf "@.all minimal Toffoli cascades: %d (complete %b), all implement: %b@."
+        (List.length cascades) complete
+        (List.for_all
+           (fun c ->
+             Verify.cascade_implements ~qubits:3 c Reversible.Gates.toffoli3)
+           cascades);
+      ignore cost
+  | _ -> Format.printf "@.enumeration failed (unexpected)@.");
 
-  (* Fredkin needs NOT-free cost > 5; find its exact cost. *)
-  let result, elapsed = time (fun () -> Mce.express library Reversible.Gates.fredkin3) in
-  match result with
+  (* Fredkin needs NOT-free cost > 5; find its exact cost.  The response
+     is also printed in its wire encoding — exactly the line [qsynth
+     synth --json fredkin] emits and the daemon frames on the socket. *)
+  let response, elapsed =
+    time (fun () -> Mce.solve library (request Reversible.Gates.fredkin3))
+  in
+  (match Mce.Response.result_of response with
   | Some r ->
       Format.printf "@.Fredkin: minimal cost %d, %.3fs: %a, verified %b@." r.Mce.cost
         elapsed Cascade.pp r.Mce.cascade (Verify.result_valid library r)
-  | None -> Format.printf "@.Fredkin: beyond the default depth bound@."
+  | None -> Format.printf "@.Fredkin: beyond the default depth bound@.");
+  Format.printf "wire encoding: %s@." (Mce.Response.to_string response)

@@ -1,0 +1,324 @@
+open Synthesis
+module Json = Telemetry.Json
+
+let log_src = Logs.Src.create "qsynth.daemon" ~doc:"Synthesis daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_connections = Telemetry.Counter.create "server.connections"
+let m_requests = Telemetry.Counter.create "server.requests"
+let m_rejected = Telemetry.Counter.create "server.rejected.overload"
+let m_shutdown_replies = Telemetry.Counter.create "server.rejected.shutdown"
+let m_bad_frames = Telemetry.Counter.create "server.bad_frames"
+let g_queue_depth = Telemetry.Gauge.create "server.queue.depth"
+let h_request = Telemetry.Histogram.create "server.request.seconds"
+
+let retry_after_ms = 100
+let conn_recv_timeout_s = 10.
+
+(* A connection is closed by whoever finishes last: the reader (on EOF
+   or drain) when no response is still owed, else the worker that writes
+   the final owed response. *)
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t; (* serializes response frames *)
+  cmutex : Mutex.t; (* guards pending/eof/closed *)
+  mutable pending : int; (* responses owed by workers *)
+  mutable eof : bool; (* reader is done with this connection *)
+  mutable closed : bool;
+}
+
+type job = { j_req : Mce.Request.t; j_conn : conn; j_arrival : float }
+
+type t = {
+  service : Service.t;
+  path : string;
+  listen_fd : Unix.file_descr;
+  max_frame : int;
+  queue_capacity : int;
+  queue : job Queue.t; (* guarded by qmutex *)
+  qmutex : Mutex.t;
+  qcond : Condition.t; (* workers sleep here; broadcast on push/drain *)
+  draining : bool Atomic.t; (* authoritative flips happen under qmutex *)
+  rmutex : Mutex.t; (* guards readers *)
+  mutable readers : Thread.t list;
+  mutable accepter : Thread.t option; (* immutable after start, in effect *)
+  mutable workers : unit Domain.t list;
+  wait_mutex : Mutex.t;
+  mutable waited : bool;
+}
+
+let socket_path t = t.path
+
+let conn_close_if_done c =
+  Mutex.lock c.cmutex;
+  let close_now = c.eof && c.pending = 0 && not c.closed in
+  if close_now then c.closed <- true;
+  Mutex.unlock c.cmutex;
+  if close_now then try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let write_response t c (resp : Mce.Response.t) =
+  let payload = Mce.Response.to_string resp in
+  Mutex.lock c.wmutex;
+  (try Protocol.write_frame ~max_len:t.max_frame c.fd payload
+   with Unix.Unix_error _ | Invalid_argument _ ->
+     (* client vanished (or response exceeds the frame cap — then the
+        client's read fails anyway); nothing useful left to do *)
+     ());
+  Mutex.unlock c.wmutex
+
+(* {1 Workers} *)
+
+let process t job =
+  let resp = Service.answer t.service job.j_req in
+  write_response t job.j_conn resp;
+  Mutex.lock job.j_conn.cmutex;
+  job.j_conn.pending <- job.j_conn.pending - 1;
+  Mutex.unlock job.j_conn.cmutex;
+  conn_close_if_done job.j_conn;
+  Telemetry.Histogram.observe h_request (Unix.gettimeofday () -. job.j_arrival)
+
+let rec worker_loop t =
+  Mutex.lock t.qmutex;
+  while Queue.is_empty t.queue && not (Atomic.get t.draining) do
+    Condition.wait t.qcond t.qmutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.qmutex (* draining: exit *)
+  else begin
+    let job = Queue.pop t.queue in
+    Telemetry.Gauge.set_int g_queue_depth (Queue.length t.queue);
+    Mutex.unlock t.qmutex;
+    process t job;
+    worker_loop t
+  end
+
+(* {1 Readers} *)
+
+let error_response (req : Mce.Request.t) err : Mce.Response.t =
+  { id = req.Mce.Request.id; qubits = req.Mce.Request.qubits; body = Error err }
+
+let undecodable_response msg : Mce.Response.t =
+  { id = None; qubits = 0; body = Error (Mce.Response.Bad_request msg) }
+
+(* Enqueue under qmutex so the drain transition is race-free: a job
+   pushed here is visible to the workers before they can observe
+   "draining && empty" and exit. *)
+let enqueue t conn req arrival =
+  Mutex.lock t.qmutex;
+  if Atomic.get t.draining then begin
+    Mutex.unlock t.qmutex;
+    Telemetry.Counter.incr m_shutdown_replies;
+    write_response t conn (error_response req Mce.Response.Shutting_down)
+  end
+  else if Queue.length t.queue >= t.queue_capacity then begin
+    Mutex.unlock t.qmutex;
+    Telemetry.Counter.incr m_rejected;
+    write_response t conn
+      (error_response req (Mce.Response.Overloaded { retry_after_ms }))
+  end
+  else begin
+    Mutex.lock conn.cmutex;
+    conn.pending <- conn.pending + 1;
+    Mutex.unlock conn.cmutex;
+    Queue.push { j_req = req; j_conn = conn; j_arrival = arrival } t.queue;
+    Telemetry.Gauge.set_int g_queue_depth (Queue.length t.queue);
+    Telemetry.Counter.incr m_requests;
+    Condition.signal t.qcond;
+    Mutex.unlock t.qmutex
+  end
+
+let handle_frame t conn payload =
+  let arrival = Unix.gettimeofday () in
+  match Json.of_string payload with
+  | exception Json.Parse_error msg ->
+      Telemetry.Counter.incr m_bad_frames;
+      write_response t conn (undecodable_response ("invalid JSON: " ^ msg))
+  | json -> (
+      match Mce.Request.of_json json with
+      | Error msg ->
+          Telemetry.Counter.incr m_bad_frames;
+          write_response t conn (undecodable_response msg)
+      | Ok req -> enqueue t conn req arrival)
+
+let rec retry_select fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | r, _, _ -> r <> []
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_select fd timeout
+
+let reader t conn =
+  let finish () =
+    Mutex.lock conn.cmutex;
+    conn.eof <- true;
+    Mutex.unlock conn.cmutex;
+    conn_close_if_done conn
+  in
+  (* On drain: answer whatever frames are already in the socket buffer
+     with Shutting_down (enqueue does that once draining is set), then
+     hang up — clients blocked on a response they are owed still get it
+     from the workers before the connection closes. *)
+  let drain_sweep () =
+    let rec sweep () =
+      if retry_select conn.fd 0. then
+        match Protocol.read_frame ~max_len:t.max_frame conn.fd with
+        | Ok payload ->
+            handle_frame t conn payload;
+            sweep ()
+        | Error _ -> ()
+    in
+    sweep ()
+  in
+  let rec loop () =
+    if Atomic.get t.draining then drain_sweep ()
+    else if not (retry_select conn.fd 0.25) then loop ()
+    else
+      match Protocol.read_frame ~max_len:t.max_frame conn.fd with
+      | Ok payload ->
+          handle_frame t conn payload;
+          loop ()
+      | Error Protocol.Closed -> ()
+      | Error (Protocol.(Truncated | Timed_out | Oversized _) as e) ->
+          Telemetry.Counter.incr m_bad_frames;
+          Log.debug (fun m ->
+              m "dropping connection: %s" (Protocol.read_error_to_string e))
+  in
+  loop ();
+  finish ()
+
+(* {1 Accepting} *)
+
+let accept_loop t =
+  let rec go () =
+    if not (Atomic.get t.draining) then
+      if not (retry_select t.listen_fd 0.25) then go ()
+      else
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | fd, _ ->
+            Telemetry.Counter.incr m_connections;
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO conn_recv_timeout_s;
+            let conn =
+              {
+                fd;
+                wmutex = Mutex.create ();
+                cmutex = Mutex.create ();
+                pending = 0;
+                eof = false;
+                closed = false;
+              }
+            in
+            let th = Thread.create (reader t) conn in
+            Mutex.lock t.rmutex;
+            t.readers <- th :: t.readers;
+            Mutex.unlock t.rmutex;
+            go ()
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+            go ()
+    (* draining: fall through and tear the listener down *)
+  in
+  go ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.path with Unix.Unix_error _ -> ());
+  Log.info (fun m -> m "stopped accepting; %s unlinked" t.path)
+
+let bind_socket path =
+  (match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+      (* a socket file already exists: live daemon or stale leftover? *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () ->
+          Unix.close probe;
+          failwith (Printf.sprintf "%s: a daemon is already serving here" path)
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+          Unix.close probe;
+          Log.info (fun m -> m "replacing stale socket %s" path);
+          Unix.unlink path
+      | exception e ->
+          Unix.close probe;
+          raise e)
+  | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.bind fd (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  Unix.listen fd 64;
+  fd
+
+(* {1 Lifecycle} *)
+
+let start ?(workers = 2) ?(queue_capacity = 64)
+    ?(max_frame = Protocol.default_max_frame) ~socket service =
+  if workers < 1 then invalid_arg "Daemon.start: workers must be >= 1";
+  if queue_capacity < 1 then invalid_arg "Daemon.start: queue_capacity must be >= 1";
+  if max_frame < 1 then invalid_arg "Daemon.start: max_frame must be >= 1";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = bind_socket socket in
+  let t =
+    {
+      service;
+      path = socket;
+      listen_fd;
+      max_frame;
+      queue_capacity;
+      queue = Queue.create ();
+      qmutex = Mutex.create ();
+      qcond = Condition.create ();
+      draining = Atomic.make false;
+      rmutex = Mutex.create ();
+      readers = [];
+      accepter = None;
+      workers = [];
+      wait_mutex = Mutex.create ();
+      waited = false;
+    }
+  in
+  t.workers <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.accepter <- Some (Thread.create accept_loop t);
+  Log.app (fun m ->
+      m "serving on %s (%d workers, queue %d, warm depth %d)" socket workers
+        queue_capacity
+        (Service.warm_depth service));
+  t
+
+let stop t =
+  Mutex.lock t.qmutex;
+  let fresh = not (Atomic.get t.draining) in
+  Atomic.set t.draining true;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qmutex;
+  if fresh then Log.app (fun m -> m "drain requested")
+
+let wait t =
+  Mutex.lock t.wait_mutex;
+  if t.waited then Mutex.unlock t.wait_mutex
+  else begin
+    (* Join in dependency order: the accepter stops creating readers,
+       the workers answer every accepted job, the readers observe EOF or
+       the drain and hang up. *)
+    (match t.accepter with None -> () | Some th -> Thread.join th);
+    List.iter Domain.join t.workers;
+    let readers = Mutex.protect t.rmutex (fun () -> t.readers) in
+    List.iter Thread.join readers;
+    t.waited <- true;
+    Mutex.unlock t.wait_mutex;
+    Log.app (fun m -> m "drained: every accepted request answered")
+  end
+
+let run ?workers ?queue_capacity ?max_frame ~socket service =
+  let t = start ?workers ?queue_capacity ?max_frame ~socket service in
+  let requested = Atomic.make false in
+  let previous =
+    List.map
+      (fun s ->
+        (s, Sys.signal s (Sys.Signal_handle (fun _ -> Atomic.set requested true))))
+      [ Sys.sigterm; Sys.sigint ]
+  in
+  while not (Atomic.get requested) do
+    Thread.delay 0.05
+  done;
+  stop t;
+  wait t;
+  List.iter (fun (s, b) -> try Sys.set_signal s b with Invalid_argument _ -> ()) previous

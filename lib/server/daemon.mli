@@ -1,0 +1,59 @@
+(** The [qsynth serve] daemon: accepts connections on a Unix-domain
+    socket, decodes request frames ({!Protocol}), and evaluates them on
+    a pool of worker domains through a shared {!Service}.
+
+    Lifecycle: {!start} binds the socket and spawns the accept thread,
+    one reader thread per connection, and the worker pool; {!stop}
+    initiates a graceful drain — stop accepting, answer every request
+    already accepted, tell late frames {!Synthesis.Mce.Response.Shutting_down},
+    close every connection, unlink the socket; {!wait} blocks until the
+    drain completes.  {!run} is the CLI entry: start, park until
+    [SIGTERM]/[SIGINT], drain, return.
+
+    Backpressure: the request queue is bounded; when it is full a
+    request is rejected immediately with [Overloaded {retry_after_ms}]
+    rather than queued — the client owns the retry.  Responses to one
+    connection are written under a per-connection lock, so concurrent
+    workers never interleave frames; within one connection, pipelined
+    requests may be answered out of order (correlate with
+    [Request.id]). *)
+
+type t
+
+(** [start ?workers ?queue_capacity ?max_frame ~socket service] binds
+    [socket] (replacing a stale socket file left by a dead daemon;
+    refusing a live one or a non-socket file) and returns once the
+    daemon is accepting.
+    [workers] (default 2) is the worker-domain count; [queue_capacity]
+    (default 64) bounds the accepted-but-unstarted queue.
+    @raise Invalid_argument on nonsensical parameters;
+    @raise Failure when the socket path is unusable or busy. *)
+val start :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?max_frame:int ->
+  socket:string ->
+  Service.t ->
+  t
+
+val socket_path : t -> string
+
+(** [stop t] initiates the drain; idempotent, returns immediately. *)
+val stop : t -> unit
+
+(** [wait t] blocks until the daemon has fully drained: accept loop
+    exited, socket unlinked, every accepted request answered, worker
+    domains joined.  Idempotent. *)
+val wait : t -> unit
+
+(** [run ?workers ?queue_capacity ?max_frame ~socket service] serves
+    until [SIGTERM] or [SIGINT] arrives, then drains and returns.
+    Installs handlers for both signals (they only request the drain; the
+    drain itself runs in the calling thread). *)
+val run :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?max_frame:int ->
+  socket:string ->
+  Service.t ->
+  unit

@@ -1,0 +1,76 @@
+open Synthesis
+module Json = Telemetry.Json
+
+let default_max_frame = 16 * 1024 * 1024
+
+type read_error = Closed | Truncated | Timed_out | Oversized of int
+
+let read_error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated -> "connection closed mid-frame"
+  | Timed_out -> "receive timeout expired mid-frame"
+  | Oversized n -> Printf.sprintf "frame length %d exceeds the cap" n
+
+(* Read exactly [len] bytes into [buf]; [`Eof] only when the stream
+   ended before the first byte. *)
+let read_exact fd buf len =
+  let rec go ofs =
+    if ofs = len then `Ok
+    else
+      match Unix.read fd buf ofs (len - ofs) with
+      | 0 -> if ofs = 0 then `Eof else `Short
+      | n -> go (ofs + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          `Timeout
+  in
+  go 0
+
+let read_frame ?(max_len = default_max_frame) fd =
+  let hdr = Bytes.create 4 in
+  match read_exact fd hdr 4 with
+  | `Eof -> Error Closed
+  | `Short -> Error Truncated
+  | `Timeout -> Error Timed_out
+  | `Ok -> (
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_len then Error (Oversized len)
+      else if len = 0 then Ok ""
+      else
+        let buf = Bytes.create len in
+        match read_exact fd buf len with
+        | `Ok -> Ok (Bytes.unsafe_to_string buf)
+        | `Eof | `Short -> Error Truncated
+        | `Timeout -> Error Timed_out)
+
+let write_frame ?(max_len = default_max_frame) fd payload =
+  let n = String.length payload in
+  if n > max_len then invalid_arg "Protocol.write_frame: frame exceeds the cap";
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 buf 4 n;
+  let total = 4 + n in
+  let rec go ofs =
+    if ofs < total then
+      match Unix.write fd buf ofs (total - ofs) with
+      | k -> go (ofs + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+  in
+  go 0
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  fd
+
+let call ?max_len fd req =
+  match write_frame ?max_len fd (Json.to_string (Mce.Request.to_json req)) with
+  | () -> (
+      match read_frame ?max_len fd with
+      | Ok payload -> Mce.Response.of_string payload
+      | Error e -> Error (read_error_to_string e))
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "send failed: %s" (Unix.error_message err))

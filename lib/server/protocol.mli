@@ -1,0 +1,47 @@
+(** Wire protocol of the [qsynth serve] daemon: length-prefixed JSON
+    frames over a Unix-domain stream socket.
+
+    Each frame is a 4-byte big-endian payload length followed by exactly
+    that many bytes of UTF-8 JSON — one {!Synthesis.Mce.Request} per client frame,
+    one {!Synthesis.Mce.Response} per server frame, in request order per
+    connection.  A connection carries any number of frames; either side
+    closes by shutting down its socket.  See doc/API.md for the schema
+    and worked byte-level examples. *)
+
+(** Hard ceiling on a frame's payload length (16 MiB): a four-byte
+    header can announce up to 2 GiB, and the reader must not trust it
+    with an allocation that large.  Both sides enforce it. *)
+val default_max_frame : int
+
+type read_error =
+  | Closed  (** clean EOF at a frame boundary — the peer hung up *)
+  | Truncated  (** EOF in the middle of a frame *)
+  | Timed_out
+      (** the socket's receive timeout expired mid-frame (the daemon
+          arms [SO_RCVTIMEO] against stalled writers) *)
+  | Oversized of int  (** announced length is negative or beyond the cap *)
+
+val read_error_to_string : read_error -> string
+
+(** [read_frame fd] blocks for one complete frame.  Handles partial
+    reads and [EINTR]; never over-reads past the frame. *)
+val read_frame : ?max_len:int -> Unix.file_descr -> (string, read_error) Stdlib.result
+
+(** [write_frame fd payload] writes the header and payload, retrying
+    partial writes.  @raise Invalid_argument beyond [max_len];
+    @raise Unix.Unix_error as [write] does (notably [EPIPE] — the daemon
+    ignores [SIGPIPE] so a vanished client surfaces here, not as a
+    process kill). *)
+val write_frame : ?max_len:int -> Unix.file_descr -> string -> unit
+
+(** {1 Client side} *)
+
+(** [connect path] opens a stream connection to the daemon's socket.
+    @raise Unix.Unix_error when nothing is serving there. *)
+val connect : string -> Unix.file_descr
+
+(** [call fd request] sends one request frame and blocks for its
+    response frame — the simple lock-step client used by [qsynth query]
+    and [qsynth batch].  [Error] covers transport failures and
+    undecodable response documents. *)
+val call : ?max_len:int -> Unix.file_descr -> Synthesis.Mce.Request.t -> (Synthesis.Mce.Response.t, string) Stdlib.result

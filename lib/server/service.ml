@@ -1,0 +1,230 @@
+open Synthesis
+
+let log_src = Logs.Src.create "qsynth.service" ~doc:"Warm synthesis service"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_cache_hit = Telemetry.Counter.create "server.cache.hit"
+let m_cache_miss = Telemetry.Counter.create "server.cache.miss"
+let m_coalesced = Telemetry.Counter.create "server.coalesced"
+let m_deadline = Telemetry.Counter.create "server.deadline"
+let h_answer = Telemetry.Histogram.create "server.answer.seconds"
+
+(* LRU cache: an intrusive cyclic doubly-linked list threaded through a
+   hashtable.  The sentinel closes the cycle; sentinel.next is the most
+   recently used node, sentinel.prev the eviction candidate. *)
+module Lru = struct
+  type node = {
+    key : string;
+    mutable value : Mce.Response.t;
+    mutable prev : node;
+    mutable next : node;
+  }
+
+  type t = {
+    capacity : int;
+    table : (string, node) Hashtbl.t;
+    sentinel : node;
+  }
+
+  let dummy_response : Mce.Response.t =
+    { id = None; qubits = 0; body = Error (Mce.Response.Internal "sentinel") }
+
+  let create capacity =
+    let rec sentinel =
+      { key = ""; value = dummy_response; prev = sentinel; next = sentinel }
+    in
+    { capacity; table = Hashtbl.create (max 16 capacity); sentinel }
+
+  let unlink n =
+    n.prev.next <- n.next;
+    n.next.prev <- n.prev
+
+  let push_front t n =
+    n.next <- t.sentinel.next;
+    n.prev <- t.sentinel;
+    t.sentinel.next.prev <- n;
+    t.sentinel.next <- n
+
+  let find t key =
+    match Hashtbl.find_opt t.table key with
+    | None -> None
+    | Some n ->
+        unlink n;
+        push_front t n;
+        Some n.value
+
+  let put t key value =
+    if t.capacity > 0 then begin
+      (match Hashtbl.find_opt t.table key with
+      | Some n ->
+          n.value <- value;
+          unlink n;
+          push_front t n
+      | None ->
+          let rec n = { key; value; prev = n; next = n } in
+          push_front t n;
+          Hashtbl.add t.table key n;
+          if Hashtbl.length t.table > t.capacity then begin
+            let victim = t.sentinel.prev in
+            unlink victim;
+            Hashtbl.remove t.table victim.key
+          end)
+    end
+end
+
+(* One in-flight computation; followers block on the condition until the
+   leader publishes the shared body. *)
+type flight = {
+  f_mutex : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_result : Mce.Response.t option;
+}
+
+type t = {
+  library : Library.t;
+  index : Census_index.t option;
+  bidir : Bidir.t option;
+  warm_depth : int;
+  jobs : int;
+  mutex : Mutex.t; (* guards cache + inflight *)
+  cache : Lru.t;
+  inflight : (string, flight) Hashtbl.t;
+}
+
+let create ?(jobs = 1) ?index ?(warm_depth = 0) ?(cache_capacity = 1024) library =
+  if warm_depth < 0 then invalid_arg "Service.create: negative warm_depth";
+  if cache_capacity < 0 then invalid_arg "Service.create: negative cache_capacity";
+  if jobs < 1 then invalid_arg "Service.create: jobs must be >= 1";
+  let bidir =
+    if warm_depth = 0 then None
+    else begin
+      let engine = Bidir.create ~jobs ~max_fwd_depth:warm_depth library in
+      let t0 = Unix.gettimeofday () in
+      Bidir.warm engine ~depth:warm_depth;
+      Log.info (fun m ->
+          m "forward wave warmed to depth %d (%d states) in %.2fs"
+            (Bidir.fwd_depth engine) (Bidir.fwd_states engine)
+            (Unix.gettimeofday () -. t0));
+      Some engine
+    end
+  in
+  {
+    library;
+    index;
+    bidir;
+    warm_depth;
+    jobs;
+    mutex = Mutex.create ();
+    cache = Lru.create cache_capacity;
+    inflight = Hashtbl.create 64;
+  }
+
+let library t = t.library
+let warm_depth t = t.warm_depth
+
+let no_stop () = false
+
+(* Transient outcomes depend on timing, not on the request: sharing
+   them through the cache would replay one caller's bad luck forever. *)
+let cacheable (resp : Mce.Response.t) =
+  match resp.body with
+  | Ok _ | Error (Mce.Response.Bad_request _) | Error (Mce.Response.Unsupported _)
+    ->
+      true
+  | Error
+      ( Mce.Response.Overloaded _ | Mce.Response.Deadline_exceeded
+      | Mce.Response.Shutting_down | Mce.Response.Cancelled
+      | Mce.Response.Internal _ ) ->
+      false
+
+let evaluate t ~should_stop (req : Mce.Request.t) =
+  let deadline =
+    Option.map
+      (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+      req.Mce.Request.deadline_ms
+  in
+  let deadline_hit () =
+    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
+  let stop () = should_stop () || deadline_hit () in
+  let resp =
+    try Mce.solve ~jobs:t.jobs ~should_stop:stop ?index:t.index ?bidir:t.bidir
+          t.library req
+    with exn ->
+      {
+        Mce.Response.id = req.Mce.Request.id;
+        qubits = req.Mce.Request.qubits;
+        body = Error (Mce.Response.Internal (Printexc.to_string exn));
+      }
+  in
+  match resp.Mce.Response.body with
+  | Error Mce.Response.Cancelled when deadline_hit () && not (should_stop ()) ->
+      Telemetry.Counter.incr m_deadline;
+      { resp with body = Error Mce.Response.Deadline_exceeded }
+  | _ -> resp
+
+let answer ?(should_stop = no_stop) t req =
+  Telemetry.Histogram.time h_answer @@ fun () ->
+  let key = Mce.Request.key req in
+  let stamp resp = Mce.Response.with_id req.Mce.Request.id resp in
+  Mutex.lock t.mutex;
+  match Lru.find t.cache key with
+  | Some body ->
+      Telemetry.Counter.incr m_cache_hit;
+      Mutex.unlock t.mutex;
+      stamp body
+  | None -> (
+      match Hashtbl.find_opt t.inflight key with
+      | Some flight ->
+          Telemetry.Counter.incr m_coalesced;
+          Mutex.unlock t.mutex;
+          Mutex.lock flight.f_mutex;
+          while flight.f_result = None do
+            Condition.wait flight.f_cond flight.f_mutex
+          done;
+          let body = Option.get flight.f_result in
+          Mutex.unlock flight.f_mutex;
+          stamp body
+      | None ->
+          Telemetry.Counter.incr m_cache_miss;
+          let flight =
+            { f_mutex = Mutex.create (); f_cond = Condition.create (); f_result = None }
+          in
+          Hashtbl.add t.inflight key flight;
+          Mutex.unlock t.mutex;
+          let body =
+            Fun.protect
+              ~finally:(fun () ->
+                (* Whatever happened, unblock followers and clear the
+                   slot — a stuck flight would wedge every later caller
+                   with the same key. *)
+                let body =
+                  match
+                    Mutex.protect flight.f_mutex (fun () -> flight.f_result)
+                  with
+                  | Some body -> body
+                  | None ->
+                      {
+                        Mce.Response.id = None;
+                        qubits = req.Mce.Request.qubits;
+                        body = Error (Mce.Response.Internal "evaluation died");
+                      }
+                in
+                Mutex.lock t.mutex;
+                Hashtbl.remove t.inflight key;
+                if cacheable body then Lru.put t.cache key body;
+                Mutex.unlock t.mutex;
+                Mutex.lock flight.f_mutex;
+                flight.f_result <- Some body;
+                Condition.broadcast flight.f_cond;
+                Mutex.unlock flight.f_mutex)
+              (fun () ->
+                let body =
+                  Mce.Response.with_id None (evaluate t ~should_stop req)
+                in
+                Mutex.protect flight.f_mutex (fun () ->
+                    flight.f_result <- Some body);
+                body)
+          in
+          stamp body)

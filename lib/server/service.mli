@@ -1,0 +1,62 @@
+(** The warm evaluation core shared by every transport.
+
+    A service owns the process-wide engine resources — the gate library,
+    an optional {!Synthesis.Census_index}, and an optional
+    meet-in-the-middle context warmed to a {e fixed} forward depth — plus
+    an LRU response cache and an in-flight coalescing table.  The daemon
+    routes every socket request through {!answer}; [qsynth synth --json]
+    and [qsynth batch] build a throwaway service and call the same
+    function, which is what makes responses byte-identical across
+    transports.
+
+    Determinism and thread-safety: the bidir context is created with
+    [max_fwd_depth = warm_depth] and warmed fully at {!create}, so after
+    construction the forward wave never grows — every engine structure a
+    query touches is read-only, and {!answer} may be called from any
+    number of threads or domains concurrently with no lock on the
+    evaluation path (the cache and coalescing table take a short mutex).
+
+    Caching: responses are cached (and concurrent identical requests
+    coalesced) under {!Synthesis.Mce.Request.key}.  Only deterministic bodies are
+    cached — [Ok], [Bad_request] and [Unsupported]; transient outcomes
+    ([Deadline_exceeded], [Cancelled], [Internal], …) are not.
+    Coalesced requests share one computation {e and its outcome}: a
+    follower of a computation that exceeds the leader's deadline
+    receives that [Deadline_exceeded] too (followers are requests whose
+    key matched while the leader was still computing). *)
+
+type t
+
+(** [create ?jobs ?index ?warm_depth ?cache_capacity library] builds the
+    engine state eagerly: loads nothing (the caller loads the index),
+    but grows the bidir forward wave to [warm_depth] before returning.
+    [warm_depth = 0] (the default) runs without a bidir context —
+    queries fall back to index + forward BFS.  [jobs] is the forward
+    BFS worker-domain count used for cold forward queries and the
+    warm-up itself (results are jobs-independent).  [cache_capacity]
+    (default 1024) bounds the LRU response cache; [0] disables it.
+    @raise Invalid_argument on negative [warm_depth] or
+    [cache_capacity], or [jobs < 1]. *)
+val create :
+  ?jobs:int ->
+  ?index:Synthesis.Census_index.t ->
+  ?warm_depth:int ->
+  ?cache_capacity:int ->
+  Synthesis.Library.t ->
+  t
+
+val library : t -> Synthesis.Library.t
+
+(** [warm_depth t] is the fixed forward depth of the bidir context
+    (0 when the service runs without one). *)
+val warm_depth : t -> int
+
+(** [answer ?should_stop t request] evaluates a request against the warm
+    engine — cache, then coalescing, then {!Synthesis.Mce.solve} — and never
+    raises.  The request's [deadline_ms] is enforced here as a compute
+    budget counted from the moment evaluation starts (queueing time is
+    the daemon's concern): when it expires the search stops
+    cooperatively and the response is the [Deadline_exceeded] error.
+    [should_stop] additionally cancels on behalf of the caller
+    (SIGINT), producing [Cancelled]. *)
+val answer : ?should_stop:(unit -> bool) -> t -> Synthesis.Mce.Request.t -> Synthesis.Mce.Response.t

@@ -94,6 +94,17 @@ let library t = t.library
 let fwd_depth t = Search.depth t.search
 let fwd_states t = Search.size t.search
 
+let rec warm ?(should_stop = fun () -> false) t ~depth =
+  if depth < 0 then invalid_arg "Bidir.warm: negative depth";
+  let goal = min depth t.max_fwd_depth in
+  if (not t.fwd_exhausted) && Search.depth t.search < goal then
+    match Search.try_step t.search ~cancel:should_stop with
+    | None -> () (* cancelled: leave the wave at its current depth *)
+    | Some fresh ->
+        if Array.length fresh = 0 then t.fwd_exhausted <- true
+        else absorb_handles t fresh;
+        warm ~should_stop t ~depth
+
 exception Cancelled
 
 (* Backward states, stored in parallel growable columns: the image

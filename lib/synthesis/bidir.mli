@@ -44,6 +44,17 @@ val fwd_depth : t -> int
 (** [fwd_states t] is the number of forward states held. *)
 val fwd_states : t -> int
 
+(** [warm ?should_stop t ~depth] grows the shared forward wave to
+    [min depth max_fwd_depth] (or until the wave is exhausted) before any
+    query arrives — the daemon calls this once at startup so that, with
+    [max_fwd_depth] set to the same value, the forward side never grows
+    again and every query reads an immutable wave (the determinism
+    contract of {!Mce.solve}).  Idempotent; [should_stop] aborts the
+    warm-up early (the context stays usable at whatever depth it
+    reached).
+    @raise Invalid_argument when [depth < 0]. *)
+val warm : ?should_stop:(unit -> bool) -> t -> depth:int -> unit
+
 type outcome = {
   cascade : Cascade.t;  (** a minimum-cost realization of the target *)
   cost : int;  (** its length — exact, not an upper bound *)

@@ -3,6 +3,7 @@ open Reversible
 let log_src = Logs.Src.create "qsynth.mce" ~doc:"Minimum-cost expression (MCE)"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Json = Telemetry.Json
 
 let m_queries = Telemetry.Counter.create "mce.queries"
 let m_realizations = Telemetry.Counter.create "mce.realizations"
@@ -80,13 +81,450 @@ let search_until ~max_depth ~jobs ~should_stop library remainder =
   in
   go ()
 
+(* {1 The unified query API} *)
+
+let column_spec f = String.concat "," (List.map string_of_int (Revfun.output_column f))
+
+module Request = struct
+  type plan = Auto | Index | Bidir | Forward
+  type task = Synthesize | Count_witnesses | Enumerate of { limit : int }
+
+  type t = {
+    id : string option;
+    qubits : int;
+    spec : string;
+    task : task;
+    max_depth : int;
+    plan : plan;
+    deadline_ms : int option;
+  }
+
+  let make ?id ?(qubits = 3) ?(task = Synthesize) ?(max_depth = 7) ?(plan = Auto)
+      ?deadline_ms spec =
+    { id; qubits; spec; task; max_depth; plan; deadline_ms }
+
+  let equal a b = a = b
+
+  let target t =
+    match Spec.parse ~bits:t.qubits t.spec with
+    | f -> Ok f
+    | exception Invalid_argument msg -> Error msg
+    | exception Failure msg -> Error msg
+
+  let plan_to_string = function
+    | Auto -> "auto"
+    | Index -> "index"
+    | Bidir -> "bidir"
+    | Forward -> "forward"
+
+  let plan_of_string = function
+    | "auto" -> Ok Auto
+    | "index" -> Ok Index
+    | "bidir" -> Ok Bidir
+    | "forward" -> Ok Forward
+    | s -> Error (Printf.sprintf "unknown plan %S" s)
+
+  let task_to_json = function
+    | Synthesize -> Json.String "synthesize"
+    | Count_witnesses -> Json.String "count-witnesses"
+    | Enumerate { limit } ->
+        Json.Obj [ ("enumerate", Json.Obj [ ("limit", Json.Int limit) ]) ]
+
+  let task_of_json = function
+    | Json.String "synthesize" -> Ok Synthesize
+    | Json.String "count-witnesses" -> Ok Count_witnesses
+    | Json.Obj [ ("enumerate", Json.Obj [ ("limit", Json.Int limit) ]) ] ->
+        Ok (Enumerate { limit })
+    | Json.String s -> Error (Printf.sprintf "unknown task %S" s)
+    | _ -> Error "malformed task"
+
+  let to_json t =
+    Json.Obj
+      ((("v", Json.Int 1)
+        :: (match t.id with Some id -> [ ("id", Json.String id) ] | None -> []))
+      @ [
+          ("qubits", Json.Int t.qubits);
+          ("spec", Json.String t.spec);
+          ("task", task_to_json t.task);
+          ("max_depth", Json.Int t.max_depth);
+          ("plan", Json.String (plan_to_string t.plan));
+        ]
+      @
+      match t.deadline_ms with
+      | Some ms -> [ ("deadline_ms", Json.Int ms) ]
+      | None -> [])
+
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+  let of_json = function
+    | Json.Obj fields ->
+        let get k = List.assoc_opt k fields in
+        let* () =
+          List.fold_left
+            (fun acc (k, _) ->
+              let* () = acc in
+              match k with
+              | "v" | "id" | "qubits" | "spec" | "task" | "max_depth" | "plan"
+              | "deadline_ms" ->
+                  Ok ()
+              | other -> Error (Printf.sprintf "unknown request field %S" other))
+            (Ok ()) fields
+        in
+        let* () =
+          match get "v" with
+          | None | Some (Json.Int 1) -> Ok ()
+          | Some (Json.Int v) ->
+              Error (Printf.sprintf "unsupported protocol version %d" v)
+          | Some _ -> Error "malformed version field"
+        in
+        let* id =
+          match get "id" with
+          | None -> Ok None
+          | Some (Json.String s) -> Ok (Some s)
+          | Some _ -> Error "malformed id field (want a string)"
+        in
+        let* qubits =
+          match get "qubits" with
+          | None -> Ok 3
+          | Some (Json.Int n) when n >= 1 -> Ok n
+          | Some _ -> Error "malformed qubits field (want a positive integer)"
+        in
+        let* spec =
+          match get "spec" with
+          | Some (Json.String s) -> Ok s
+          | Some _ -> Error "malformed spec field (want a string)"
+          | None -> Error "missing spec field"
+        in
+        let* task =
+          match get "task" with None -> Ok Synthesize | Some j -> task_of_json j
+        in
+        let* max_depth =
+          match get "max_depth" with
+          | None -> Ok 7
+          | Some (Json.Int n) when n >= 0 -> Ok n
+          | Some _ -> Error "malformed max_depth field (want a non-negative integer)"
+        in
+        let* plan =
+          match get "plan" with
+          | None -> Ok Auto
+          | Some (Json.String s) -> plan_of_string s
+          | Some _ -> Error "malformed plan field (want a string)"
+        in
+        let* deadline_ms =
+          match get "deadline_ms" with
+          | None -> Ok None
+          | Some (Json.Int ms) when ms >= 1 -> Ok (Some ms)
+          | Some _ -> Error "malformed deadline_ms field (want a positive integer)"
+        in
+        Ok { id; qubits; spec; task; max_depth; plan; deadline_ms }
+    | _ -> Error "request must be a JSON object"
+
+  let key t =
+    let spec = match target t with Ok f -> column_spec f | Error _ -> t.spec in
+    Json.to_string
+      (Json.Obj
+         [
+           ("qubits", Json.Int t.qubits);
+           ("spec", Json.String spec);
+           ("task", task_to_json t.task);
+           ("max_depth", Json.Int t.max_depth);
+           ("plan", Json.String (plan_to_string t.plan));
+         ])
+end
+
+module Response = struct
+  type plan_used = Trivial | Index_hit | Index_certified | Bidir_meet | Forward_bfs
+
+  type payload =
+    | Synthesized of {
+        target : Revfun.t;
+        not_mask : int;
+        cascade : Cascade.t;
+        cost : int;
+      }
+    | Unrealizable of { max_depth : int }
+    | Witnesses of { count : int }
+    | Realizations of {
+        target : Revfun.t;
+        not_mask : int;
+        cost : int;
+        cascades : Cascade.t list;
+        complete : bool;
+      }
+
+  type error =
+    | Bad_request of string
+    | Unsupported of string
+    | Overloaded of { retry_after_ms : int }
+    | Deadline_exceeded
+    | Shutting_down
+    | Cancelled
+    | Internal of string
+
+  type ok = { plan : plan_used; payload : payload }
+
+  type t = {
+    id : string option;
+    qubits : int;
+    body : (ok, error) Stdlib.result;
+  }
+
+  let with_id id t = { t with id }
+
+  let payload_equal a b =
+    match (a, b) with
+    | ( Synthesized { target = t1; not_mask = m1; cascade = c1; cost = k1 },
+        Synthesized { target = t2; not_mask = m2; cascade = c2; cost = k2 } ) ->
+        Revfun.equal t1 t2 && m1 = m2 && Cascade.equal c1 c2 && k1 = k2
+    | Unrealizable { max_depth = a }, Unrealizable { max_depth = b } -> a = b
+    | Witnesses { count = a }, Witnesses { count = b } -> a = b
+    | ( Realizations { target = t1; not_mask = m1; cost = k1; cascades = c1; complete = f1 },
+        Realizations { target = t2; not_mask = m2; cost = k2; cascades = c2; complete = f2 }
+      ) ->
+        Revfun.equal t1 t2 && m1 = m2 && k1 = k2 && f1 = f2
+        && List.length c1 = List.length c2
+        && List.for_all2 Cascade.equal c1 c2
+    | _ -> false
+
+  let equal a b =
+    a.id = b.id && a.qubits = b.qubits
+    &&
+    match (a.body, b.body) with
+    | Ok x, Ok y -> x.plan = y.plan && payload_equal x.payload y.payload
+    | Error x, Error y -> x = y
+    | _ -> false
+
+  let plan_to_string = function
+    | Trivial -> "trivial"
+    | Index_hit -> "index"
+    | Index_certified -> "index-certified"
+    | Bidir_meet -> "bidir"
+    | Forward_bfs -> "forward"
+
+  let plan_of_string = function
+    | "trivial" -> Ok Trivial
+    | "index" -> Ok Index_hit
+    | "index-certified" -> Ok Index_certified
+    | "bidir" -> Ok Bidir_meet
+    | "forward" -> Ok Forward_bfs
+    | s -> Error (Printf.sprintf "unknown plan %S" s)
+
+  let payload_to_json = function
+    | Synthesized { target; not_mask; cascade; cost } ->
+        Json.Obj
+          [
+            ("kind", Json.String "synthesized");
+            ("target", Json.String (column_spec target));
+            ("not_mask", Json.Int not_mask);
+            ("cascade", Json.String (Cascade.to_string cascade));
+            ("cost", Json.Int cost);
+          ]
+    | Unrealizable { max_depth } ->
+        Json.Obj
+          [ ("kind", Json.String "unrealizable"); ("max_depth", Json.Int max_depth) ]
+    | Witnesses { count } ->
+        Json.Obj [ ("kind", Json.String "witnesses"); ("count", Json.Int count) ]
+    | Realizations { target; not_mask; cost; cascades; complete } ->
+        Json.Obj
+          [
+            ("kind", Json.String "realizations");
+            ("target", Json.String (column_spec target));
+            ("not_mask", Json.Int not_mask);
+            ("cost", Json.Int cost);
+            ( "cascades",
+              Json.List
+                (List.map (fun c -> Json.String (Cascade.to_string c)) cascades) );
+            ("complete", Json.Bool complete);
+          ]
+
+  let error_to_json = function
+    | Bad_request msg ->
+        Json.Obj
+          [ ("kind", Json.String "bad-request"); ("message", Json.String msg) ]
+    | Unsupported msg ->
+        Json.Obj
+          [ ("kind", Json.String "unsupported"); ("message", Json.String msg) ]
+    | Overloaded { retry_after_ms } ->
+        Json.Obj
+          [
+            ("kind", Json.String "overloaded");
+            ("retry_after_ms", Json.Int retry_after_ms);
+          ]
+    | Deadline_exceeded -> Json.Obj [ ("kind", Json.String "deadline-exceeded") ]
+    | Shutting_down -> Json.Obj [ ("kind", Json.String "shutting-down") ]
+    | Cancelled -> Json.Obj [ ("kind", Json.String "cancelled") ]
+    | Internal msg ->
+        Json.Obj [ ("kind", Json.String "internal"); ("message", Json.String msg) ]
+
+  let to_json t =
+    Json.Obj
+      ((("v", Json.Int 1)
+        :: (match t.id with Some id -> [ ("id", Json.String id) ] | None -> []))
+      @ [ ("qubits", Json.Int t.qubits) ]
+      @
+      match t.body with
+      | Ok { plan; payload } ->
+          [
+            ( "ok",
+              Json.Obj
+                [
+                  ("plan", Json.String (plan_to_string plan));
+                  ("payload", payload_to_json payload);
+                ] );
+          ]
+      | Error e -> [ ("error", error_to_json e) ])
+
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+  let parse_target ~qubits s =
+    match Spec.of_output_list ~bits:qubits s with
+    | f -> Ok f
+    | exception Invalid_argument msg ->
+        Error (Printf.sprintf "malformed target %S: %s" s msg)
+
+  let parse_cascade ~qubits s =
+    match Cascade.of_string ~qubits s with
+    | c -> Ok c
+    | exception Invalid_argument msg ->
+        Error (Printf.sprintf "malformed cascade %S: %s" s msg)
+
+  let int_field fields name =
+    match List.assoc_opt name fields with
+    | Some (Json.Int n) -> Ok n
+    | Some _ -> Error (Printf.sprintf "malformed %s field" name)
+    | None -> Error (Printf.sprintf "missing %s field" name)
+
+  let string_field fields name =
+    match List.assoc_opt name fields with
+    | Some (Json.String s) -> Ok s
+    | Some _ -> Error (Printf.sprintf "malformed %s field" name)
+    | None -> Error (Printf.sprintf "missing %s field" name)
+
+  let payload_of_json ~qubits = function
+    | Json.Obj fields -> (
+        let* kind = string_field fields "kind" in
+        match kind with
+        | "synthesized" ->
+            let* target = string_field fields "target" in
+            let* target = parse_target ~qubits target in
+            let* not_mask = int_field fields "not_mask" in
+            let* cascade = string_field fields "cascade" in
+            let* cascade = parse_cascade ~qubits cascade in
+            let* cost = int_field fields "cost" in
+            Ok (Synthesized { target; not_mask; cascade; cost })
+        | "unrealizable" ->
+            let* max_depth = int_field fields "max_depth" in
+            Ok (Unrealizable { max_depth })
+        | "witnesses" ->
+            let* count = int_field fields "count" in
+            Ok (Witnesses { count })
+        | "realizations" ->
+            let* target = string_field fields "target" in
+            let* target = parse_target ~qubits target in
+            let* not_mask = int_field fields "not_mask" in
+            let* cost = int_field fields "cost" in
+            let* cascades =
+              match List.assoc_opt "cascades" fields with
+              | Some (Json.List items) ->
+                  List.fold_left
+                    (fun acc item ->
+                      let* acc = acc in
+                      match item with
+                      | Json.String s ->
+                          let* c = parse_cascade ~qubits s in
+                          Ok (c :: acc)
+                      | _ -> Error "malformed cascades field")
+                    (Ok []) items
+                  |> Stdlib.Result.map List.rev
+              | Some _ | None -> Error "missing cascades field"
+            in
+            let* complete =
+              match List.assoc_opt "complete" fields with
+              | Some (Json.Bool b) -> Ok b
+              | Some _ | None -> Error "missing complete field"
+            in
+            Ok (Realizations { target; not_mask; cost; cascades; complete })
+        | other -> Error (Printf.sprintf "unknown payload kind %S" other))
+    | _ -> Error "payload must be a JSON object"
+
+  let error_of_json = function
+    | Json.Obj fields -> (
+        let* kind = string_field fields "kind" in
+        match kind with
+        | "bad-request" ->
+            let* msg = string_field fields "message" in
+            Ok (Bad_request msg)
+        | "unsupported" ->
+            let* msg = string_field fields "message" in
+            Ok (Unsupported msg)
+        | "overloaded" ->
+            let* retry_after_ms = int_field fields "retry_after_ms" in
+            Ok (Overloaded { retry_after_ms })
+        | "deadline-exceeded" -> Ok Deadline_exceeded
+        | "shutting-down" -> Ok Shutting_down
+        | "cancelled" -> Ok Cancelled
+        | "internal" ->
+            let* msg = string_field fields "message" in
+            Ok (Internal msg)
+        | other -> Error (Printf.sprintf "unknown error kind %S" other))
+    | _ -> Error "error body must be a JSON object"
+
+  let of_json = function
+    | Json.Obj fields ->
+        let* () =
+          match List.assoc_opt "v" fields with
+          | None | Some (Json.Int 1) -> Ok ()
+          | Some (Json.Int v) ->
+              Error (Printf.sprintf "unsupported protocol version %d" v)
+          | Some _ -> Error "malformed version field"
+        in
+        let* id =
+          match List.assoc_opt "id" fields with
+          | None -> Ok None
+          | Some (Json.String s) -> Ok (Some s)
+          | Some _ -> Error "malformed id field"
+        in
+        let* qubits = int_field fields "qubits" in
+        let* body =
+          match (List.assoc_opt "ok" fields, List.assoc_opt "error" fields) with
+          | Some (Json.Obj ok_fields), None ->
+              let* plan = string_field ok_fields "plan" in
+              let* plan = plan_of_string plan in
+              let* payload =
+                match List.assoc_opt "payload" ok_fields with
+                | Some j -> payload_of_json ~qubits j
+                | None -> Error "missing payload field"
+              in
+              Ok (Ok { plan; payload })
+          | None, Some err ->
+              let* e = error_of_json err in
+              Ok (Error e)
+          | Some _, None -> Error "malformed ok field"
+          | None, None -> Error "response carries neither ok nor error"
+          | Some _, Some _ -> Error "response carries both ok and error"
+        in
+        Ok { id; qubits; body }
+    | _ -> Error "response must be a JSON object"
+
+  let to_string t = Json.to_string (to_json t)
+
+  let of_string s =
+    match Json.of_string s with
+    | j -> of_json j
+    | exception Json.Parse_error msg -> Error ("invalid JSON: " ^ msg)
+
+  let result_of t =
+    match t.body with
+    | Ok { payload = Synthesized { target; not_mask; cascade; cost }; _ } ->
+        Some { target; not_mask; cascade; cost }
+    | _ -> None
+end
+
 (* {1 Shared queries}
 
    One BFS serves every question about a target (minimal cascade,
    witness count, all realizations): [run_query] runs the search once
-   and the [query_*] accessors read it.  The former API entry points
-   each re-ran the census from scratch — three searches to print fig. 9's
-   three numbers. *)
+   and the [query_*] accessors read it. *)
 
 type outcome =
   | Trivial  (** the remainder is the identity: cost 0, NOT layer only *)
@@ -127,6 +565,23 @@ let query_witnesses q =
   | Not_found -> 0
   | Found { witnesses; _ } -> List.length witnesses
 
+(* Walk witnesses until the budget runs out: each [all_cascades] call is
+   bounded by what remains, so the total never exceeds [limit].  Also
+   reports whether the budget survived (the enumeration is then provably
+   complete). *)
+let enumerate_cascades ~limit search witnesses =
+  let remaining = ref limit in
+  let acc = ref [] in
+  List.iter
+    (fun key ->
+      if !remaining > 0 then begin
+        let cascades = Search.all_cascades ~limit:!remaining search key in
+        remaining := !remaining - List.length cascades;
+        List.iter (fun cascade -> acc := cascade :: !acc) cascades
+      end)
+    witnesses;
+  (List.rev !acc, !remaining > 0)
+
 let query_realizations ?(limit = 10_000) q =
   match q.q_outcome with
   | Trivial ->
@@ -134,106 +589,228 @@ let query_realizations ?(limit = 10_000) q =
       else [ { target = q.q_target; not_mask = q.q_mask; cascade = []; cost = 0 } ]
   | Not_found -> []
   | Found { search; witnesses } ->
-      (* Stop walking witnesses the moment the budget runs out: each
-         [all_cascades] call is bounded by what remains, so the total
-         never exceeds [limit] and exhausted budgets cost nothing. *)
-      let remaining = ref limit in
-      let acc = ref [] in
-      List.iter
-        (fun key ->
-          if !remaining > 0 then begin
-            let cascades = Search.all_cascades ~limit:!remaining search key in
-            remaining := !remaining - List.length cascades;
-            List.iter
-              (fun cascade ->
-                acc :=
-                  {
-                    target = q.q_target;
-                    not_mask = q.q_mask;
-                    cascade;
-                    cost = List.length cascade;
-                  }
-                  :: !acc)
-              cascades
-          end)
-        witnesses;
-      List.rev !acc
+      let cascades, _complete = enumerate_cascades ~limit search witnesses in
+      List.map
+        (fun cascade ->
+          {
+            target = q.q_target;
+            not_mask = q.q_mask;
+            cascade;
+            cost = List.length cascade;
+          })
+        cascades
 
-(* {1 Planned entry points}
+(* {1 The evaluator}
 
-   [express] picks the cheapest sound plan for the query:
+   [solve] picks the cheapest sound plan for the request:
    1. index hit — the exact cost and a witness in O(log n), no search;
-   2. index miss at depth d — proven lower bound cost >= d+1: answer
-      [None] outright when d >= max_depth, else fall through with the
-      bound (which lets the bidirectional engine stop at first join);
+   2. index miss at depth d — proven lower bound cost >= d+1: a
+      certified Unrealizable when d >= max_depth, else fall through with
+      the bound (which lets the bidirectional engine stop at first join);
    3. bidirectional — meet-in-the-middle over the shared context;
    4. forward BFS — the original algorithm. *)
 
-let express ?(max_depth = 7) ?(jobs = 1) ?(should_stop = no_stop) ?index ?bidir
-    library target =
-  let mask, remainder = strip_not_layer target in
-  if Revfun.is_identity remainder then
-    Some { target; not_mask = mask; cascade = []; cost = 0 }
-  else begin
-    let lower_bound = ref 1 in
-    let index_hit =
-      match index with
-      | None -> None
-      | Some idx -> (
-          match Census_index.find idx remainder with
-          | Some (cost, cascade) ->
-              Telemetry.Counter.incr m_plan_index;
-              Log.debug (fun m -> m "index hit: cost %d" cost);
-              Some
-                (if cost <= max_depth then
-                   Some { target; not_mask = mask; cascade; cost }
-                 else None)
+let solve ?(jobs = 1) ?(should_stop = no_stop) ?index ?bidir library
+    (req : Request.t) : Response.t =
+  let open Request in
+  let respond body : Response.t = { id = req.id; qubits = req.qubits; body } in
+  let fail e = respond (Error e) in
+  let ok plan payload = respond (Ok { Response.plan; payload }) in
+  if req.qubits <> Library.qubits library then
+    fail
+      (Response.Bad_request
+         (Printf.sprintf "this engine is built for %d qubits; the request says %d"
+            (Library.qubits library) req.qubits))
+  else
+    match Request.target req with
+    | Error msg -> fail (Response.Bad_request msg)
+    | Ok target -> (
+        let mask, remainder = strip_not_layer target in
+        let found plan cascade =
+          ok plan
+            (Response.Synthesized
+               { target; not_mask = mask; cascade; cost = List.length cascade })
+        in
+        let forward_synthesize () =
+          match
+            search_until ~max_depth:req.max_depth ~jobs ~should_stop library
+              remainder
+          with
           | None ->
-              lower_bound := Census_index.depth idx + 1;
-              Log.debug (fun m ->
-                  m "index miss: cost >= %d proven" !lower_bound);
-              None)
-    in
-    match index_hit with
-    | Some answer -> answer
-    | None ->
-        if !lower_bound > max_depth then begin
-          (* the index horizon covers the whole depth bound: a miss is a
-             certified None, no search needed *)
-          Telemetry.Counter.incr m_plan_index;
-          None
-        end
-        else begin
-          match bidir with
-          | Some engine ->
-              Telemetry.Counter.incr m_plan_bidir;
-              (match
-                 Bidir.synthesize ~max_cost:max_depth ~lower_bound:!lower_bound
-                   ~should_stop engine remainder
-               with
-              | Some o ->
-                  Some
-                    {
-                      target;
-                      not_mask = mask;
-                      cascade = o.Bidir.cascade;
-                      cost = o.Bidir.cost;
-                    }
-              | None -> None)
-          | None ->
+              if should_stop () then fail Response.Cancelled
+              else
+                ok Response.Forward_bfs
+                  (Response.Unrealizable { max_depth = req.max_depth })
+          | Some (search, witnesses) ->
               Telemetry.Counter.incr m_plan_forward;
-              query_result
-                { q_target = target;
-                  q_mask = mask;
-                  q_outcome =
-                    (match
-                       search_until ~max_depth ~jobs ~should_stop library remainder
-                     with
-                    | None -> Not_found
-                    | Some (search, witnesses) -> Found { search; witnesses });
-                }
-        end
-  end
+              found Response.Forward_bfs
+                (Search.cascade_of_key search (List.hd witnesses))
+        in
+        let bidir_synthesize ~lower_bound engine =
+          Telemetry.Counter.incr m_plan_bidir;
+          match
+            Bidir.synthesize ~max_cost:req.max_depth ~lower_bound ~should_stop
+              engine remainder
+          with
+          | Some o -> found Response.Bidir_meet o.Bidir.cascade
+          | None ->
+              if should_stop () then fail Response.Cancelled
+              else
+                ok Response.Bidir_meet
+                  (Response.Unrealizable { max_depth = req.max_depth })
+        in
+        match req.task with
+        | Count_witnesses | Enumerate _
+          when req.plan <> Auto && req.plan <> Forward ->
+            fail
+              (Response.Unsupported
+                 "witness counting and enumeration run on the forward plan only")
+        | Enumerate { limit } when limit < 0 ->
+            fail (Response.Bad_request "limit must be non-negative")
+        | Count_witnesses ->
+            if Revfun.is_identity remainder then
+              ok Response.Trivial (Response.Witnesses { count = 1 })
+            else (
+              match
+                search_until ~max_depth:req.max_depth ~jobs ~should_stop library
+                  remainder
+              with
+              | None ->
+                  if should_stop () then fail Response.Cancelled
+                  else ok Response.Forward_bfs (Response.Witnesses { count = 0 })
+              | Some (_, witnesses) ->
+                  Telemetry.Counter.incr m_plan_forward;
+                  ok Response.Forward_bfs
+                    (Response.Witnesses { count = List.length witnesses }))
+        | Enumerate { limit } ->
+            if Revfun.is_identity remainder then
+              ok Response.Trivial
+                (Response.Realizations
+                   {
+                     target;
+                     not_mask = mask;
+                     cost = 0;
+                     cascades = (if limit > 0 then [ [] ] else []);
+                     complete = limit > 0;
+                   })
+            else (
+              match
+                search_until ~max_depth:req.max_depth ~jobs ~should_stop library
+                  remainder
+              with
+              | None ->
+                  if should_stop () then fail Response.Cancelled
+                  else
+                    ok Response.Forward_bfs
+                      (Response.Unrealizable { max_depth = req.max_depth })
+              | Some (search, witnesses) ->
+                  Telemetry.Counter.incr m_plan_forward;
+                  let cascades, complete =
+                    enumerate_cascades ~limit search witnesses
+                  in
+                  let cost =
+                    match cascades with c :: _ -> List.length c | [] -> 0
+                  in
+                  ok Response.Forward_bfs
+                    (Response.Realizations
+                       { target; not_mask = mask; cost; cascades; complete }))
+        | Synthesize -> (
+            if Revfun.is_identity remainder then
+              found Response.Trivial []
+            else
+              match req.plan with
+              | Forward -> forward_synthesize ()
+              | Bidir -> (
+                  match bidir with
+                  | None ->
+                      fail
+                        (Response.Unsupported
+                           "no meet-in-the-middle context on this evaluator \
+                            (daemon started without bidir, or synth run \
+                            without --bidir)")
+                  | Some engine -> bidir_synthesize ~lower_bound:1 engine)
+              | Index -> (
+                  match index with
+                  | None ->
+                      fail
+                        (Response.Unsupported
+                           "no census index on this evaluator (daemon started \
+                            without --index, or synth run without --index)")
+                  | Some idx -> (
+                      match Census_index.find idx remainder with
+                      | Some (cost, cascade) ->
+                          Telemetry.Counter.incr m_plan_index;
+                          if cost <= req.max_depth then
+                            ok Response.Index_hit
+                              (Response.Synthesized
+                                 { target; not_mask = mask; cascade; cost })
+                          else
+                            ok Response.Index_certified
+                              (Response.Unrealizable { max_depth = req.max_depth })
+                      | None ->
+                          if Census_index.depth idx >= req.max_depth then begin
+                            Telemetry.Counter.incr m_plan_index;
+                            ok Response.Index_certified
+                              (Response.Unrealizable { max_depth = req.max_depth })
+                          end
+                          else
+                            fail
+                              (Response.Unsupported
+                                 (Printf.sprintf
+                                    "index horizon %d cannot certify max_depth \
+                                     %d on a miss; use plan auto to fall \
+                                     through"
+                                    (Census_index.depth idx) req.max_depth))))
+              | Auto -> (
+                  let lower_bound = ref 1 in
+                  let index_hit =
+                    match index with
+                    | None -> None
+                    | Some idx -> (
+                        match Census_index.find idx remainder with
+                        | Some (cost, cascade) ->
+                            Telemetry.Counter.incr m_plan_index;
+                            Log.debug (fun m -> m "index hit: cost %d" cost);
+                            Some (cost, cascade)
+                        | None ->
+                            lower_bound := Census_index.depth idx + 1;
+                            Log.debug (fun m ->
+                                m "index miss: cost >= %d proven" !lower_bound);
+                            None)
+                  in
+                  match index_hit with
+                  | Some (cost, cascade) ->
+                      if cost <= req.max_depth then
+                        ok Response.Index_hit
+                          (Response.Synthesized
+                             { target; not_mask = mask; cascade; cost })
+                      else
+                        ok Response.Index_certified
+                          (Response.Unrealizable { max_depth = req.max_depth })
+                  | None ->
+                      if !lower_bound > req.max_depth then begin
+                        (* the index horizon covers the whole depth bound: a
+                           miss is a certified Unrealizable, no search needed *)
+                        Telemetry.Counter.incr m_plan_index;
+                        ok Response.Index_certified
+                          (Response.Unrealizable { max_depth = req.max_depth })
+                      end
+                      else (
+                        match bidir with
+                        | Some engine ->
+                            bidir_synthesize ~lower_bound:!lower_bound engine
+                        | None -> forward_synthesize ()))))
+
+(* {1 Legacy entry points} *)
+
+let express ?(max_depth = 7) ?jobs ?should_stop ?index ?bidir library target =
+  let req =
+    Request.make
+      ~qubits:(Revfun.bits target)
+      ~max_depth
+      (column_spec target)
+  in
+  Response.result_of (solve ?jobs ?should_stop ?index ?bidir library req)
 
 let all_realizations ?max_depth ?(limit = 10_000) ?jobs ?should_stop library target =
   query_realizations ~limit (run_query ?max_depth ?jobs ?should_stop library target)

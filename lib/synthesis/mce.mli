@@ -1,23 +1,31 @@
-(** The paper's Minimum_Cost_Expressing algorithm (MCE).
+(** The paper's Minimum_Cost_Expressing algorithm (MCE), behind the
+    unified query API shared by every transport.
 
     Given a reversible specification g, strip a free input-side layer of
     NOT gates d0 so that the remainder fixes the all-zero pattern
     (Theorem 2: H = ⋃_{a∈N} a·G), then find a cascade
     g = d0 * d1 * ... * dt of minimal t (Theorem 3).
 
-    Three execution plans produce that answer, tried cheapest first by
-    {!express}:
+    One request record ({!Request.t}) describes any question the engine
+    answers — minimal cascade, witness count, full realization list —
+    and one response record ({!Response.t}) carries the structured
+    answer: the payload, the plan actually used, and either an exact
+    cost certificate or a typed error.  {!solve} evaluates a request
+    against whatever engine resources the caller holds (a
+    {!Census_index}, a warm {!Bidir} context, or nothing but the
+    library).  The same pair travels over all four transports: the
+    one-shot [qsynth synth --json] command, the [qsynth serve] daemon's
+    socket protocol, the [qsynth query] client, and [qsynth batch]
+    JSONL files — see doc/API.md for the wire schema.
+
+    Three execution plans produce a synthesis answer, tried cheapest
+    first under {!Request.plan} [Auto]:
     - a {!Census_index} lookup (exact cost + witness, no search; a miss
-      proves a cost lower bound, and certifies [None] outright when the
-      index horizon covers the depth bound);
+      proves a cost lower bound, and certifies unrealizability outright
+      when the index horizon covers the depth bound);
     - the meet-in-the-middle engine ({!Bidir}), when a shared context is
       supplied;
-    - the forward BFS of the paper, as always.
-
-    For repeated questions about one target (minimal cascade, witness
-    count, full realization list) use {!run_query} once and the
-    [query_*] accessors: the legacy entry points each re-ran the search
-    from scratch. *)
+    - the forward BFS of the paper, as always. *)
 
 type result = {
   target : Reversible.Revfun.t;
@@ -28,22 +36,195 @@ type result = {
   cost : int; (** t, the quantum cost (NOT gates are free) *)
 }
 
-(** [express ?max_depth ?jobs ?index ?bidir library target] synthesizes
-    a minimal-cost quantum cascade for [target]; [None] when the cost
-    exceeds [max_depth] (default 7, the paper's cb).  [jobs] (default 1)
-    is the BFS worker-domain count (forward plan only).
+(** [strip_not_layer target] is the pair (mask, remainder) with
+    [target = xor_layer mask ∘ remainder] and [remainder] fixing zero. *)
+val strip_not_layer : Reversible.Revfun.t -> int * Reversible.Revfun.t
+
+(** {1 The unified query API} *)
+
+module Request : sig
+  (** Which engine may answer.  [Auto] picks the cheapest sound plan
+      available (index, then bidir, then forward); the other values pin
+      one engine and fail with [Unsupported] when the evaluator does not
+      hold it. *)
+  type plan = Auto | Index | Bidir | Forward
+
+  type task =
+    | Synthesize  (** one minimal-cost cascade (the default) *)
+    | Count_witnesses
+        (** how many distinct full-domain circuit permutations of
+            minimal cost restrict to the target (forward plan only) *)
+    | Enumerate of { limit : int }
+        (** every minimal-cost realization, up to [limit] (forward plan
+            only) *)
+
+  type t = {
+    id : string option;
+        (** client correlation token, echoed verbatim in the response;
+            not part of the canonical {!key} *)
+    qubits : int;
+    spec : string;
+        (** the target, in any syntax {!Reversible.Spec.parse} accepts:
+            a name ("toffoli"), cycles ("(7,8)"), formulas, or a
+            truth-table output column ("0,1,2,3,4,5,7,6") *)
+    task : task;
+    max_depth : int;  (** the cost bound (the paper's cb) *)
+    plan : plan;
+    deadline_ms : int option;
+        (** per-request compute budget, enforced cooperatively by the
+            daemon; ignored by one-shot evaluation.  Not part of
+            {!key}. *)
+  }
+
+  val make :
+    ?id:string ->
+    ?qubits:int ->
+    ?task:task ->
+    ?max_depth:int ->
+    ?plan:plan ->
+    ?deadline_ms:int ->
+    string ->
+    t
+  (** [make spec] with defaults [qubits = 3], [task = Synthesize],
+      [max_depth = 7], [plan = Auto], no id, no deadline. *)
+
+  val equal : t -> t -> bool
+
+  (** [key t] is the canonical cache/coalescing key: two requests with
+      equal keys are answered identically by the same engine, so the
+      daemon shares one computation (and one cached response body)
+      between them.  The key canonicalizes the spec to the parsed
+      function's truth-table output column when it parses, and omits
+      [id] and [deadline_ms]. *)
+  val key : t -> string
+
+  (** [target t] parses the spec. *)
+  val target : t -> (Reversible.Revfun.t, string) Stdlib.result
+
+  val to_json : t -> Telemetry.Json.t
+
+  (** [of_json j] decodes a request; unknown fields are rejected so a
+      typo'd field name cannot silently change a query's meaning.
+      Missing optional fields take the {!make} defaults.
+      [of_json (to_json t) = Ok t] for every [t]. *)
+  val of_json : Telemetry.Json.t -> (t, string) Stdlib.result
+end
+
+module Response : sig
+  (** The plan that actually produced the answer (the request's [Auto]
+      resolves to one of these). *)
+  type plan_used =
+    | Trivial  (** the remainder is the identity: a NOT layer alone *)
+    | Index_hit  (** answered by a {!Census_index} binary search *)
+    | Index_certified
+        (** a {!Census_index} miss whose horizon covers the depth bound:
+            unrealizability is proven without any search *)
+    | Bidir_meet  (** the meet-in-the-middle engine *)
+    | Forward_bfs  (** the paper's forward BFS *)
+
+  type payload =
+    | Synthesized of {
+        target : Reversible.Revfun.t;
+        not_mask : int;
+        cascade : Cascade.t;
+        cost : int;  (** exact minimal cost — a certificate, not a bound *)
+      }
+    | Unrealizable of { max_depth : int }
+        (** certified: no realization of cost [<= max_depth] exists *)
+    | Witnesses of { count : int }  (** 0 = none within the depth bound *)
+    | Realizations of {
+        target : Reversible.Revfun.t;
+        not_mask : int;
+        cost : int;
+        cascades : Cascade.t list;
+        complete : bool;
+            (** false when the enumeration stopped at the request's
+                [limit]; the list is then a prefix of the full set *)
+      }
+
+  type error =
+    | Bad_request of string  (** malformed request or unparsable spec *)
+    | Unsupported of string
+        (** the pinned plan is not available on this evaluator *)
+    | Overloaded of { retry_after_ms : int }
+        (** daemon queue full — retry after the hinted delay *)
+    | Deadline_exceeded  (** the request's [deadline_ms] budget expired *)
+    | Shutting_down  (** daemon draining; re-submit elsewhere or later *)
+    | Cancelled  (** cooperative cancellation (SIGINT on one-shot runs) *)
+    | Internal of string
+
+  type ok = { plan : plan_used; payload : payload }
+
+  type t = {
+    id : string option;  (** echoed from the request *)
+    qubits : int;
+    body : (ok, error) Stdlib.result;
+  }
+
+  val equal : t -> t -> bool
+
+  (** [with_id id t] re-stamps the correlation token (the daemon caches
+      response bodies and re-stamps each requester's id). *)
+  val with_id : string option -> t -> t
+
+  val to_json : t -> Telemetry.Json.t
+
+  (** [of_json j] decodes a response; [of_json (to_json t) = Ok t].
+      Cascades and targets are re-parsed, so a structurally valid
+      document with an ill-formed cascade string is an [Error]. *)
+  val of_json : Telemetry.Json.t -> (t, string) Stdlib.result
+
+  (** [to_string t] is the canonical one-line wire encoding: compact
+      (no insignificant whitespace), fields in fixed order — equal
+      responses encode to equal bytes on every transport. *)
+  val to_string : t -> string
+
+  val of_string : string -> (t, string) Stdlib.result
+
+  (** [result_of t] extracts a {!result} from a [Synthesized] body
+      (convenience for callers migrating from [express]). *)
+  val result_of : t -> result option
+end
+
+(** [solve ?jobs ?should_stop ?index ?bidir library request] evaluates a
+    request against this process's engine resources and never raises:
+    every failure mode is a typed {!Response.error}.
 
     [index] serves known functions in O(log n) and turns misses into
     proven lower bounds.  [bidir] is a shared meet-in-the-middle context
-    ({!Bidir.create}, which must be built for the same library): with it
-    the query can certify costs up to [max_depth] even beyond the
-    forward engine's practical depth.  With neither, the original
-    forward BFS runs.
+    ({!Bidir.create}, built for the same library); with it a query can
+    certify costs up to [max_depth] even beyond the forward engine's
+    practical depth.  With neither, the original forward BFS runs.
+    [jobs] (default 1) is the forward BFS worker-domain count; it does
+    not affect results (see {!Search.create}).
 
     [should_stop] is a cooperative cancellation flag polled between
-    levels and between expansion chunks (see {!Search.try_step}); when
-    it fires the search stops cleanly and the result is [None], as for
-    an exhausted depth bound. *)
+    levels and between expansion chunks; when it fires the evaluation
+    stops cleanly with the [Cancelled] error (the daemon maps its
+    deadline watchdog onto it and reports [Deadline_exceeded]).
+
+    Determinism: with a fixed library, index file, and a {!Bidir}
+    context warmed to a fixed depth ({!Bidir.warm}) and capped there,
+    [solve] is a pure function of the request — the property the
+    daemon's response cache and the cross-transport byte-identity tests
+    rely on. *)
+val solve :
+  ?jobs:int ->
+  ?should_stop:(unit -> bool) ->
+  ?index:Census_index.t ->
+  ?bidir:Bidir.t ->
+  Library.t ->
+  Request.t ->
+  Response.t
+
+(** {1 Legacy entry points}
+
+    Thin wrappers over {!solve} / the shared search, kept so existing
+    callers compile; new code should build a {!Request.t} and call
+    {!solve}.  Legacy call sites that are not worth migrating can
+    disable the alert locally with [-alert --deprecated] (see
+    [test/dune]). *)
+
 val express :
   ?max_depth:int ->
   ?jobs:int ->
@@ -53,16 +234,10 @@ val express :
   Library.t ->
   Reversible.Revfun.t ->
   result option
+[@@ocaml.deprecated "use Mce.solve with a Request.t (task Synthesize)"]
 
-(** {1 Shared queries} *)
-
-(** One forward search, many answers: the result of {!run_query}. *)
 type query
 
-(** [run_query ?max_depth ?jobs ?should_stop library target] strips the
-    NOT layer and runs the forward BFS (at most once — trivial targets
-    skip it) to the level where the remainder first appears.  All
-    [query_*] accessors below read this one search. *)
 val run_query :
   ?max_depth:int ->
   ?jobs:int ->
@@ -70,28 +245,17 @@ val run_query :
   Library.t ->
   Reversible.Revfun.t ->
   query
+[@@ocaml.deprecated "use Mce.solve; the daemon's response cache replaces shared queries"]
 
-(** [query_result q] is the minimal-cost cascade, as {!express}. *)
 val query_result : query -> result option
+[@@ocaml.deprecated "use Mce.solve with a Request.t (task Synthesize)"]
 
-(** [query_witnesses q] counts the distinct full-domain circuit
-    permutations of minimal cost restricting to the target, as
-    {!distinct_witnesses}. *)
 val query_witnesses : query -> int
+[@@ocaml.deprecated "use Mce.solve with a Request.t (task Count_witnesses)"]
 
-(** [query_realizations ?limit q] enumerates minimal-cost realizations,
-    as {!all_realizations}.  Never returns more than [limit] (default
-    10_000) results; witness enumeration stops as soon as the budget is
-    exhausted. *)
 val query_realizations : ?limit:int -> query -> result list
+[@@ocaml.deprecated "use Mce.solve with a Request.t (task Enumerate)"]
 
-(** {1 Legacy one-shot entry points} *)
-
-(** [all_realizations ?max_depth ?limit library target] enumerates
-    minimal-cost realizations: every cascade of minimal length whose
-    restriction is the target (the paper reports 2 such circuits for
-    Peres and 4 for Toffoli without claiming completeness; this is the
-    complete list up to [limit], default 10_000). *)
 val all_realizations :
   ?max_depth:int ->
   ?limit:int ->
@@ -100,11 +264,8 @@ val all_realizations :
   Library.t ->
   Reversible.Revfun.t ->
   result list
+[@@ocaml.deprecated "use Mce.solve with a Request.t (task Enumerate)"]
 
-(** [distinct_witnesses ?max_depth library target] counts the distinct
-    full-domain circuit permutations of minimal cost restricting to the
-    target — the granularity at which the paper's B[k] scan finds
-    "implementations". *)
 val distinct_witnesses :
   ?max_depth:int ->
   ?jobs:int ->
@@ -112,7 +273,4 @@ val distinct_witnesses :
   Library.t ->
   Reversible.Revfun.t ->
   int
-
-(** [strip_not_layer target] is the pair (mask, remainder) with
-    [target = xor_layer mask ∘ remainder] and [remainder] fixing zero. *)
-val strip_not_layer : Reversible.Revfun.t -> int * Reversible.Revfun.t
+[@@ocaml.deprecated "use Mce.solve with a Request.t (task Count_witnesses)"]

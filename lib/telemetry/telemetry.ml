@@ -1,22 +1,37 @@
 module Json = Json
 
-let enabled_ref = ref false
-let enabled () = !enabled_ref
-let set_enabled b = enabled_ref := b
+let enabled_ref = Atomic.make false
+let enabled () = Atomic.get enabled_ref
+let set_enabled b = Atomic.set enabled_ref b
 let now_s = Unix.gettimeofday
 
 let log_src = Logs.Src.create "qsynth.telemetry" ~doc:"Telemetry reporting"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Domain-safety (see doc/OBSERVABILITY.md): counters and gauges are
+   single atomics; histograms and series take a per-instrument mutex on
+   the write path only (reads are monitoring-grade); the registry takes
+   a global mutex on create (rare).  Spans keep a per-domain open-span
+   stack in domain-local storage — nesting is control flow, which never
+   crosses domains — while the shared root forest and the JSONL sink are
+   mutex-guarded. *)
+
+let registry_mutex = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 (* instruments *)
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : float Atomic.t }
 
 type histogram = {
   h_name : string;
   h_lo : float;
+  h_mutex : Mutex.t;
   h_buckets : int array; (* last bucket is the overflow bucket *)
   mutable h_count : int;
   mutable h_sum : float;
@@ -24,7 +39,12 @@ type histogram = {
   mutable h_max : float;
 }
 
-type series = { s_name : string; mutable s_values : int array; mutable s_len : int }
+type series = {
+  s_name : string;
+  s_mutex : Mutex.t;
+  mutable s_values : int array;
+  mutable s_len : int;
+}
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
@@ -32,6 +52,7 @@ let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
 let series_tbl : (string, series) Hashtbl.t = Hashtbl.create 64
 
 let find_or_create tbl name make =
+  with_lock registry_mutex @@ fun () ->
   match Hashtbl.find_opt tbl name with
   | Some v -> v
   | None ->
@@ -42,20 +63,24 @@ let find_or_create tbl name make =
 module Counter = struct
   type t = counter
 
-  let create name = find_or_create counters name (fun () -> { c_name = name; c_value = 0 })
-  let incr c = if !enabled_ref then c.c_value <- c.c_value + 1
-  let add c n = if !enabled_ref then c.c_value <- c.c_value + n
-  let value c = c.c_value
+  let create name =
+    find_or_create counters name (fun () -> { c_name = name; c_value = Atomic.make 0 })
+
+  let incr c = if enabled () then ignore (Atomic.fetch_and_add c.c_value 1)
+  let add c n = if enabled () then ignore (Atomic.fetch_and_add c.c_value n)
+  let value c = Atomic.get c.c_value
   let name c = c.c_name
 end
 
 module Gauge = struct
   type t = gauge
 
-  let create name = find_or_create gauges name (fun () -> { g_name = name; g_value = 0. })
-  let set g v = if !enabled_ref then g.g_value <- v
-  let set_int g v = if !enabled_ref then g.g_value <- float_of_int v
-  let value g = g.g_value
+  let create name =
+    find_or_create gauges name (fun () -> { g_name = name; g_value = Atomic.make 0. })
+
+  let set g v = if enabled () then Atomic.set g.g_value v
+  let set_int g v = if enabled () then Atomic.set g.g_value (float_of_int v)
+  let value g = Atomic.get g.g_value
   let name g = g.g_name
 end
 
@@ -69,6 +94,7 @@ module Histogram = struct
         {
           h_name = name;
           h_lo = lo;
+          h_mutex = Mutex.create ();
           h_buckets = Array.make buckets 0;
           h_count = 0;
           h_sum = 0.;
@@ -77,7 +103,8 @@ module Histogram = struct
         })
 
   let observe h v =
-    if !enabled_ref then begin
+    if enabled () then
+      with_lock h.h_mutex @@ fun () ->
       h.h_count <- h.h_count + 1;
       h.h_sum <- h.h_sum +. v;
       if Float.is_nan h.h_min || v < h.h_min then h.h_min <- v;
@@ -90,10 +117,9 @@ module Histogram = struct
           if i >= n then n - 1 else i
       in
       h.h_buckets.(idx) <- h.h_buckets.(idx) + 1
-    end
 
   let time h f =
-    if !enabled_ref then begin
+    if enabled () then begin
       let t0 = now_s () in
       Fun.protect ~finally:(fun () -> observe h (now_s () -. t0)) f
     end
@@ -125,11 +151,12 @@ module Series = struct
 
   let create name =
     find_or_create series_tbl name (fun () ->
-        { s_name = name; s_values = [||]; s_len = 0 })
+        { s_name = name; s_mutex = Mutex.create (); s_values = [||]; s_len = 0 })
 
   let set s ~index v =
-    if !enabled_ref then begin
+    if enabled () then begin
       if index < 0 then invalid_arg "Telemetry.Series.set: negative index";
+      with_lock s.s_mutex @@ fun () ->
       if index >= Array.length s.s_values then begin
         let grown = Array.make (max 8 (2 * (index + 1))) 0 in
         Array.blit s.s_values 0 grown 0 (Array.length s.s_values);
@@ -155,9 +182,13 @@ type span = {
   sp_depth : int;
 }
 
-let span_roots : span list ref = ref []
-let span_stack : span list ref = ref []
-let span_count = ref 0
+let span_mutex = Mutex.create ()
+let span_roots : span list ref = ref [] (* guarded by span_mutex *)
+let span_stack_key : span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let span_stack () = Domain.DLS.get span_stack_key
+let span_count = Atomic.make 0
 let trace_ref = ref false
 let jsonl_ref : out_channel option ref = ref None
 
@@ -198,6 +229,7 @@ let jsonl_emit sp =
             ("attrs", Json.Obj (List.rev sp.sp_attrs));
           ]
       in
+      with_lock span_mutex @@ fun () ->
       output_string oc (Json.to_string line);
       output_char oc '\n';
       flush oc
@@ -206,16 +238,17 @@ module Span = struct
   let max_spans = 50_000
 
   let set_attr key v =
-    if !enabled_ref then
-      match !span_stack with
+    if enabled () then
+      match !(span_stack ()) with
       | sp :: _ -> sp.sp_attrs <- (key, v) :: List.remove_assoc key sp.sp_attrs
       | [] -> ()
 
   let with_span ?(attrs = []) name f =
-    if (not !enabled_ref) || !span_count >= max_spans then f ()
+    if (not (enabled ())) || Atomic.get span_count >= max_spans then f ()
     else begin
-      incr span_count;
-      let depth = List.length !span_stack in
+      ignore (Atomic.fetch_and_add span_count 1);
+      let stack = span_stack () in
+      let depth = List.length !stack in
       let sp =
         {
           sp_name = name;
@@ -226,17 +259,17 @@ module Span = struct
           sp_depth = depth;
         }
       in
-      (match !span_stack with
+      (match !stack with
       | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
-      | [] -> span_roots := sp :: !span_roots);
-      span_stack := sp :: !span_stack;
+      | [] -> with_lock span_mutex (fun () -> span_roots := sp :: !span_roots));
+      stack := sp :: !stack;
       if !trace_ref then
         Printf.eprintf "%s> %s\n%!" (String.make (2 * depth) ' ') name;
       Fun.protect
         ~finally:(fun () ->
           sp.sp_end <- now_s ();
-          (match !span_stack with
-          | top :: rest when top == sp -> span_stack := rest
+          (match !stack with
+          | top :: rest when top == sp -> stack := rest
           | _ -> ());
           if !trace_ref then
             Printf.eprintf "%s< %s (%.3f ms)\n%!"
@@ -281,12 +314,12 @@ let snapshot () =
       ( "counters",
         Json.Obj
           (List.map
-             (fun c -> (c.c_name, Json.Int c.c_value))
+             (fun c -> (c.c_name, Json.Int (Counter.value c)))
              (sorted_bindings counters (fun c -> c.c_name))) );
       ( "gauges",
         Json.Obj
           (List.map
-             (fun g -> (g.g_name, Json.Float g.g_value))
+             (fun g -> (g.g_name, Json.Float (Gauge.value g)))
              (sorted_bindings gauges (fun g -> g.g_name))) );
       ( "histograms",
         Json.Obj
@@ -310,8 +343,8 @@ let write_snapshot path =
       output_char oc '\n')
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g.g_value 0.) gauges;
   Hashtbl.iter
     (fun _ h ->
       Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
@@ -321,16 +354,21 @@ let reset () =
       h.h_max <- Float.nan)
     histograms;
   Hashtbl.iter (fun _ s -> s.s_len <- 0) series_tbl;
-  span_roots := [];
-  span_stack := [];
-  span_count := 0
+  with_lock span_mutex (fun () -> span_roots := []);
+  !(span_stack ()) |> ignore;
+  span_stack () := [];
+  Atomic.set span_count 0
 
 let log_summary () =
   List.iter
-    (fun c -> if c.c_value <> 0 then Log.info (fun m -> m "counter %s = %d" c.c_name c.c_value))
+    (fun c ->
+      let v = Counter.value c in
+      if v <> 0 then Log.info (fun m -> m "counter %s = %d" c.c_name v))
     (sorted_bindings counters (fun c -> c.c_name));
   List.iter
-    (fun g -> if g.g_value <> 0. then Log.info (fun m -> m "gauge %s = %g" g.g_name g.g_value))
+    (fun g ->
+      let v = Gauge.value g in
+      if v <> 0. then Log.info (fun m -> m "gauge %s = %g" g.g_name v))
     (sorted_bindings gauges (fun g -> g.g_name));
   List.iter
     (fun h ->

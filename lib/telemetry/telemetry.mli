@@ -11,7 +11,13 @@
     - instruments register themselves once by name at module
       initialization — {!create} is find-or-create, so re-registration
       returns the existing instrument;
-    - single-threaded: no locking is performed.
+    - domain-safe hot paths: counters and gauges are single atomics;
+      histogram/series writes and registration take a short
+      per-instrument (resp. registry) mutex; spans keep the open-span
+      stack in domain-local storage, so concurrent domains each record
+      their own span trees into the shared forest.  {!snapshot},
+      {!reset} and {!log_summary} remain monitoring-grade: call them
+      from one thread at a time (the CLI does so at exit).
 
     The registry is global and process-wide.  {!snapshot} captures every
     registered instrument as one JSON document — the payload written by

@@ -1,0 +1,515 @@
+(* Server-stack tests.
+
+   Coverage, bottom of the stack upward:
+   - QCheck round-trips: [of_json (to_json x) = Ok x] for Request and
+     Response over generated specs, tasks, plans, cascades and targets —
+     the property every transport's byte-identity rests on.
+   - Protocol framing over a socketpair: round-trips (including the
+     empty payload), the oversized-announcement guard, truncation and
+     clean-close detection.
+   - Service semantics: cache hits, the hit+coalesced+miss accounting
+     invariant under concurrent identical requests, cancellation and
+     deadline mapping.
+   - A live in-process daemon: 8 client threads x 50 mixed queries on
+     one warm service, every response byte-identical to a fresh one-shot
+     service answering the same request; then a graceful drain with a
+     request in flight. *)
+
+open Synthesis
+open Reversible
+open Server
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let library3 = Library.make (Mvl.Encoding.make ~qubits:3)
+
+let jobs_under_test =
+  match Sys.getenv_opt "QSYNTH_TEST_JOBS" with
+  | None | Some "" -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+
+(* {1 Request JSON round-trip} *)
+
+let spec_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      oneofl
+        [
+          "toffoli"; "fredkin"; "peres"; "identity"; "(7,8)";
+          "0,1,2,3,4,7,5,6"; "not a spec at all"; "";
+        ];
+      map
+        (fun outs -> String.concat "," (List.map string_of_int outs))
+        (shuffle_l [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+    ]
+
+let task_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      pure Mce.Request.Synthesize;
+      pure Mce.Request.Count_witnesses;
+      map (fun limit -> Mce.Request.Enumerate { limit }) (int_range 0 500);
+    ]
+
+let plan_gen =
+  QCheck2.Gen.oneofl Mce.Request.[ Auto; Index; Bidir; Forward ]
+
+let id_gen =
+  let open QCheck2.Gen in
+  opt (string_size ~gen:printable (int_range 0 16))
+
+let request_gen : Mce.Request.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* id = id_gen in
+  let* qubits = int_range 1 4 in
+  let* spec = spec_gen in
+  let* task = task_gen in
+  let* max_depth = int_range 0 9 in
+  let* plan = plan_gen in
+  let+ deadline_ms = opt (int_range 1 60_000) in
+  { Mce.Request.id; qubits; spec; task; max_depth; plan; deadline_ms }
+
+let request_roundtrip =
+  qtest "Request: of_json (to_json r) = Ok r" request_gen (fun r ->
+      match Mce.Request.of_json (Mce.Request.to_json r) with
+      | Ok r' -> Mce.Request.equal r r'
+      | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e)
+
+let request_unknown_field_rejected () =
+  let doc =
+    {|{"v":1,"qubits":3,"spec":"toffoli","task":"synthesize","max_depth":7,"plan":"auto","bogus":1}|}
+  in
+  match Mce.Request.of_json (Telemetry.Json.of_string doc) with
+  | Ok _ -> Alcotest.fail "unknown field accepted"
+  | Error _ -> ()
+
+let request_defaults () =
+  let doc = {|{"spec":"fredkin"}|} in
+  match Mce.Request.of_json (Telemetry.Json.of_string doc) with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      checkb "defaults" true (Mce.Request.equal r (Mce.Request.make "fredkin"))
+
+let key_canonicalizes () =
+  (* Two spellings of the same function share one cache slot; the id and
+     deadline are not part of the key. *)
+  let a = Mce.Request.make ~id:"x" ~deadline_ms:5 "toffoli" in
+  let b =
+    Mce.Request.make (String.concat "," (List.map string_of_int
+        (Revfun.output_column Gates.toffoli3)))
+  in
+  check Alcotest.string "same key" (Mce.Request.key a) (Mce.Request.key b);
+  let c = Mce.Request.make ~max_depth:5 "toffoli" in
+  checkb "depth in key" true (Mce.Request.key a <> Mce.Request.key c)
+
+(* {1 Response JSON round-trip} *)
+
+let revfun3_gen =
+  let open QCheck2.Gen in
+  map (Revfun.of_outputs ~bits:3) (shuffle_l [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let gate_gen =
+  let open QCheck2.Gen in
+  let* kind = oneofl Gate.[ Controlled_v; Controlled_v_dag; Feynman ] in
+  let* target = int_range 0 2 in
+  let+ control = oneofl (List.filter (fun c -> c <> target) [ 0; 1; 2 ]) in
+  Gate.make kind ~target ~control
+
+let cascade_gen = QCheck2.Gen.(list_size (int_range 0 6) gate_gen)
+
+let plan_used_gen =
+  QCheck2.Gen.oneofl
+    Mce.Response.[ Trivial; Index_hit; Index_certified; Bidir_meet; Forward_bfs ]
+
+let payload_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      ( let* target = revfun3_gen in
+        let* not_mask = int_range 0 7 in
+        let+ cascade = cascade_gen in
+        Mce.Response.Synthesized
+          { target; not_mask; cascade; cost = Cascade.cost cascade } );
+      map (fun max_depth -> Mce.Response.Unrealizable { max_depth })
+        (int_range 0 9);
+      map (fun count -> Mce.Response.Witnesses { count }) (int_range 0 5000);
+      ( let* target = revfun3_gen in
+        let* not_mask = int_range 0 7 in
+        let* cascades = list_size (int_range 0 4) cascade_gen in
+        let* cost = int_range 0 8 in
+        let+ complete = bool in
+        Mce.Response.Realizations { target; not_mask; cost; cascades; complete }
+      );
+    ]
+
+let error_gen =
+  let open QCheck2.Gen in
+  let msg = string_size ~gen:printable (int_range 0 40) in
+  oneof
+    [
+      map (fun m -> Mce.Response.Bad_request m) msg;
+      map (fun m -> Mce.Response.Unsupported m) msg;
+      map (fun retry_after_ms -> Mce.Response.Overloaded { retry_after_ms })
+        (int_range 1 10_000);
+      pure Mce.Response.Deadline_exceeded;
+      pure Mce.Response.Shutting_down;
+      pure Mce.Response.Cancelled;
+      map (fun m -> Mce.Response.Internal m) msg;
+    ]
+
+let response_gen : Mce.Response.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* id = id_gen in
+  let* err = bool in
+  if err then
+    let* qubits = int_range 1 4 in
+    let+ e = error_gen in
+    { Mce.Response.id; qubits; body = Error e }
+  else
+    (* Ok payloads embed bits-3 targets and cascades, so qubits = 3:
+       of_json re-parses both against the document's qubit count. *)
+    let* plan = plan_used_gen in
+    let+ payload = payload_gen in
+    { Mce.Response.id; qubits = 3; body = Ok { plan; payload } }
+
+let response_roundtrip =
+  qtest "Response: of_json (to_json r) = Ok r" response_gen (fun r ->
+      match Mce.Response.of_json (Mce.Response.to_json r) with
+      | Ok r' -> Mce.Response.equal r r'
+      | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e)
+
+let response_string_roundtrip =
+  qtest "Response: of_string (to_string r) = Ok r" response_gen (fun r ->
+      match Mce.Response.of_string (Mce.Response.to_string r) with
+      | Ok r' -> Mce.Response.equal r r'
+      | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e)
+
+let encoding_is_canonical =
+  (* Equal values encode to equal bytes: decode-then-re-encode is the
+     identity on the wire, which lets clients compare raw frames. *)
+  qtest "Response: to_string is canonical" response_gen (fun r ->
+      let s = Mce.Response.to_string r in
+      match Mce.Response.of_string s with
+      | Ok r' -> String.equal s (Mce.Response.to_string r')
+      | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e)
+
+let response_bad_cascade_rejected () =
+  let doc =
+    {|{"v":1,"qubits":3,"ok":{"plan":"forward","payload":{"kind":"synthesized","target":"0,1,2,3,4,5,7,6","not_mask":0,"cascade":"XYZ*??","cost":2}}}|}
+  in
+  match Mce.Response.of_string doc with
+  | Ok _ -> Alcotest.fail "ill-formed cascade accepted"
+  | Error _ -> ()
+
+(* {1 Protocol framing} *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () -> f a b)
+
+let frame_roundtrip () =
+  with_socketpair (fun a b ->
+      List.iter
+        (fun payload ->
+          Protocol.write_frame a payload;
+          match Protocol.read_frame b with
+          | Ok got -> check Alcotest.string "payload" payload got
+          | Error e -> Alcotest.fail (Protocol.read_error_to_string e))
+        [ "hello"; ""; String.make 30_000 'x'; "{\"v\":1}" ])
+
+let frame_oversized_write () =
+  with_socketpair (fun a _ ->
+      match Protocol.write_frame ~max_len:8 a "123456789" with
+      | () -> Alcotest.fail "oversized write accepted"
+      | exception Invalid_argument _ -> ())
+
+let frame_oversized_read () =
+  with_socketpair (fun a b ->
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 0x7FFF_0000l;
+      ignore (Unix.write a header 0 4);
+      match Protocol.read_frame ~max_len:1024 b with
+      | Error (Protocol.Oversized _) -> ()
+      | Error e -> Alcotest.fail (Protocol.read_error_to_string e)
+      | Ok _ -> Alcotest.fail "oversized announcement accepted")
+
+let frame_truncated () =
+  with_socketpair (fun a b ->
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 10l;
+      ignore (Unix.write a header 0 4);
+      ignore (Unix.write a (Bytes.of_string "abc") 0 3);
+      Unix.close a;
+      match Protocol.read_frame b with
+      | Error Protocol.Truncated -> ()
+      | Error e -> Alcotest.fail (Protocol.read_error_to_string e)
+      | Ok _ -> Alcotest.fail "truncated frame accepted")
+
+let frame_closed () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Protocol.read_frame b with
+      | Error Protocol.Closed -> ()
+      | Error e -> Alcotest.fail (Protocol.read_error_to_string e)
+      | Ok _ -> Alcotest.fail "read from closed peer succeeded")
+
+(* {1 Service semantics} *)
+
+let counter name = Telemetry.Counter.value (Telemetry.Counter.create name)
+
+let service_cache_hit () =
+  Telemetry.set_enabled true;
+  let svc = Service.create ~jobs:jobs_under_test library3 in
+  let req = Mce.Request.make ~max_depth:5 "toffoli" in
+  let hits0 = counter "server.cache.hit" in
+  let first = Service.answer svc req in
+  let second = Service.answer svc req in
+  check Alcotest.string "identical bytes"
+    (Mce.Response.to_string first)
+    (Mce.Response.to_string second);
+  check Alcotest.int "one cache hit" (hits0 + 1) (counter "server.cache.hit");
+  (* A different id re-stamps the cached body without a recompute. *)
+  let third = Service.answer svc { req with Mce.Request.id = Some "abc" } in
+  check Alcotest.(option string) "id echoed" (Some "abc") third.Mce.Response.id;
+  check Alcotest.int "still a hit" (hits0 + 2) (counter "server.cache.hit")
+
+let service_accounting_under_concurrency () =
+  (* N concurrent identical requests on a fresh key: exactly one miss
+     (the leader computes); every other caller is a coalesced follower
+     or a cache hit, depending on arrival time.  All answers byte-equal. *)
+  Telemetry.set_enabled true;
+  let svc = Service.create ~jobs:1 library3 in
+  let req = Mce.Request.make ~max_depth:5 "peres" in
+  let n = 6 in
+  let hits0 = counter "server.cache.hit"
+  and misses0 = counter "server.cache.miss"
+  and coal0 = counter "server.coalesced" in
+  let results = Array.make n None in
+  let threads =
+    List.init n (fun i ->
+        Thread.create (fun () -> results.(i) <- Some (Service.answer svc req)) ())
+  in
+  List.iter Thread.join threads;
+  let bytes =
+    Array.to_list results
+    |> List.map (function
+         | Some r -> Mce.Response.to_string r
+         | None -> Alcotest.fail "thread produced no result")
+  in
+  List.iter (fun b -> check Alcotest.string "all equal" (List.hd bytes) b) bytes;
+  let hits = counter "server.cache.hit" - hits0
+  and misses = counter "server.cache.miss" - misses0
+  and coalesced = counter "server.coalesced" - coal0 in
+  check Alcotest.int "one miss" 1 misses;
+  check Alcotest.int "hit + coalesced + miss = n" n (hits + coalesced + misses)
+
+let service_cancelled () =
+  let svc = Service.create ~jobs:jobs_under_test library3 in
+  let req = Mce.Request.make ~max_depth:8 "0,1,2,3,4,7,5,6" in
+  match (Service.answer ~should_stop:(fun () -> true) svc req).Mce.Response.body with
+  | Error Mce.Response.Cancelled -> ()
+  | body ->
+      Alcotest.fail
+        (Mce.Response.to_string { id = None; qubits = 3; body })
+
+let service_deadline () =
+  let svc = Service.create ~jobs:jobs_under_test library3 in
+  let req = Mce.Request.make ~deadline_ms:1 ~max_depth:8 "0,1,2,3,4,7,5,6" in
+  match (Service.answer svc req).Mce.Response.body with
+  | Error Mce.Response.Deadline_exceeded -> ()
+  | body ->
+      Alcotest.fail
+        (Mce.Response.to_string { id = None; qubits = 3; body })
+
+let service_qubits_mismatch () =
+  let svc = Service.create library3 in
+  let req = Mce.Request.make ~qubits:2 "toffoli" in
+  match (Service.answer svc req).Mce.Response.body with
+  | Error (Mce.Response.Bad_request _) -> ()
+  | _ -> Alcotest.fail "qubit mismatch not rejected"
+
+(* {1 Live daemon: concurrent stress with byte-identity} *)
+
+let census4 = lazy (Fmcf.run ~max_depth:4 library3)
+let index4 = lazy (Census_index.build (Lazy.force census4))
+
+let temp_socket_path () =
+  let path = Filename.temp_file "qsynth_sock" ".s" in
+  Sys.remove path;
+  path
+
+(* The mixed workload: every plan family, both error paths, counting and
+   enumeration.  Depths stay small (index horizon 4, warm depth 3) so
+   the whole stress run is fast. *)
+let stress_requests =
+  [
+    Mce.Request.make ~max_depth:6 "toffoli" (* index miss -> bidir *);
+    Mce.Request.make ~max_depth:6 "fredkin";
+    Mce.Request.make "identity" (* trivial plan *);
+    Mce.Request.make ~max_depth:4 "(7,8)"
+    (* toffoli in cycle syntax, cost 5 > horizon 4: index-certified
+       unrealizable *);
+    Mce.Request.make ~plan:Mce.Request.Index ~max_depth:3 "(7,8)";
+    Mce.Request.make ~max_depth:4 "0,1,2,3,6,7,4,5" (* CNOT: an index hit *);
+    Mce.Request.make ~plan:Mce.Request.Bidir ~max_depth:6 "toffoli";
+    Mce.Request.make ~task:Mce.Request.Count_witnesses ~max_depth:5 "toffoli";
+    Mce.Request.make
+      ~task:(Mce.Request.Enumerate { limit = 5 })
+      ~max_depth:5 "toffoli";
+    Mce.Request.make ~max_depth:6 "0,1,2,3,4,7,5,6" (* certified unrealizable *);
+    Mce.Request.make "not a spec" (* Bad_request *);
+    Mce.Request.make ~qubits:2 "toffoli" (* qubit mismatch *);
+  ]
+
+let daemon_stress () =
+  let index = Lazy.force index4 in
+  let warm_depth = 3 in
+  (* One-shot oracle: a fresh service per the byte-identity contract —
+     same index and warm depth, no shared state with the daemon. *)
+  let oracle = Service.create ~jobs:jobs_under_test ~index ~warm_depth library3 in
+  let expected =
+    List.map
+      (fun r -> (r, Mce.Response.to_string (Service.answer oracle r)))
+      stress_requests
+  in
+  let svc = Service.create ~jobs:jobs_under_test ~index ~warm_depth library3 in
+  let socket = temp_socket_path () in
+  let daemon = Daemon.start ~workers:2 ~queue_capacity:64 ~socket svc in
+  let n_threads = 8 and per_thread = 50 in
+  let failures = Atomic.make 0 in
+  let fail_msg = ref "" and fail_mutex = Mutex.create () in
+  let client t_idx =
+    let fd = Protocol.connect socket in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let k = List.length expected in
+        for i = 0 to per_thread - 1 do
+          let req, want = List.nth expected ((t_idx + i) mod k) in
+          match Protocol.call fd req with
+          | Ok resp ->
+              let got = Mce.Response.to_string resp in
+              if not (String.equal got want) then begin
+                Atomic.incr failures;
+                Mutex.lock fail_mutex;
+                if !fail_msg = "" then
+                  fail_msg :=
+                    Printf.sprintf "request %s:\n  daemon:   %s\n  one-shot: %s"
+                      req.Mce.Request.spec got want;
+                Mutex.unlock fail_mutex
+              end
+          | Error e ->
+              Atomic.incr failures;
+              Mutex.lock fail_mutex;
+              if !fail_msg = "" then fail_msg := "transport: " ^ e;
+              Mutex.unlock fail_mutex
+        done)
+  in
+  let threads = List.init n_threads (fun i -> Thread.create client i) in
+  List.iter Thread.join threads;
+  Daemon.stop daemon;
+  Daemon.wait daemon;
+  if Atomic.get failures > 0 then
+    Alcotest.fail
+      (Printf.sprintf "%d/%d responses diverged; first: %s"
+         (Atomic.get failures) (n_threads * per_thread) !fail_msg);
+  checkb "socket unlinked" false (Sys.file_exists socket)
+
+let daemon_drain_in_flight () =
+  (* A request accepted before the drain begins must still be answered
+     with its real result; after [wait] the socket file is gone and new
+     connections are refused. *)
+  let svc = Service.create ~jobs:jobs_under_test library3 in
+  let socket = temp_socket_path () in
+  let daemon = Daemon.start ~workers:1 ~socket svc in
+  let fd = Protocol.connect socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let req = Mce.Request.make ~max_depth:7 "fredkin" in
+      Protocol.write_frame fd (Telemetry.Json.to_string (Mce.Request.to_json req));
+      (* Let the reader pick the frame up, then drain mid-computation. *)
+      Thread.delay 0.2;
+      Daemon.stop daemon;
+      (match Protocol.read_frame fd with
+      | Error e -> Alcotest.fail (Protocol.read_error_to_string e)
+      | Ok payload -> (
+          match Mce.Response.of_string payload with
+          | Error e -> Alcotest.fail e
+          | Ok resp -> (
+              match resp.Mce.Response.body with
+              | Ok { payload = Mce.Response.Witnesses _; _ }
+              | Ok { payload = Mce.Response.Realizations _; _ } ->
+                  Alcotest.fail "wrong payload kind"
+              | Ok { payload = Mce.Response.Synthesized { cost; _ }; _ } ->
+                  check Alcotest.int "fredkin cost" 7 cost
+              | Ok { payload = Mce.Response.Unrealizable _; _ } ->
+                  Alcotest.fail "fredkin reported unrealizable"
+              | Error e ->
+                  Alcotest.fail
+                    ("in-flight request not answered: "
+                    ^ Mce.Response.to_string
+                        { resp with Mce.Response.body = Error e }))));
+      Daemon.wait daemon;
+      checkb "socket unlinked" false (Sys.file_exists socket);
+      match Protocol.connect socket with
+      | _fd2 -> Alcotest.fail "connect succeeded after drain"
+      | exception Unix.Unix_error _ -> ())
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "codec",
+        [
+          request_roundtrip;
+          Alcotest.test_case "unknown field rejected" `Quick
+            request_unknown_field_rejected;
+          Alcotest.test_case "missing fields take defaults" `Quick
+            request_defaults;
+          Alcotest.test_case "key canonicalizes spec" `Quick key_canonicalizes;
+          response_roundtrip;
+          response_string_roundtrip;
+          encoding_is_canonical;
+          Alcotest.test_case "bad cascade rejected" `Quick
+            response_bad_cascade_rejected;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "frame round-trip" `Quick frame_roundtrip;
+          Alcotest.test_case "oversized write refused" `Quick
+            frame_oversized_write;
+          Alcotest.test_case "oversized announcement refused" `Quick
+            frame_oversized_read;
+          Alcotest.test_case "truncated frame detected" `Quick frame_truncated;
+          Alcotest.test_case "clean close detected" `Quick frame_closed;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "cache hit on repeat" `Quick service_cache_hit;
+          Alcotest.test_case "miss/hit/coalesce accounting" `Quick
+            service_accounting_under_concurrency;
+          Alcotest.test_case "cancellation" `Quick service_cancelled;
+          Alcotest.test_case "deadline maps to Deadline_exceeded" `Quick
+            service_deadline;
+          Alcotest.test_case "qubit mismatch is Bad_request" `Quick
+            service_qubits_mismatch;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "concurrent stress, byte-identical" `Slow
+            daemon_stress;
+          Alcotest.test_case "graceful drain answers in-flight" `Quick
+            daemon_drain_in_flight;
+        ] );
+    ]
