@@ -588,7 +588,7 @@ let reproduce_server_latency census =
             failwith
               (Printf.sprintf "server-latency %s: %s" name
                  (Mce.Response.to_string
-                    { Mce.Response.id = None; qubits = 3; body = Error e })));
+                    { Mce.Response.id = None; trace = None; qubits = 3; body = Error e })));
         Unix.gettimeofday () -. t0
       in
       let warm =
@@ -616,6 +616,66 @@ let reproduce_server_latency census =
   |> fun server_rows ->
   Sys.remove index_path;
   (warm_depth, server_rows)
+
+(* Server load: the BENCH_6 experiment.  The latency rows above measure
+   one client politely taking turns; this one offers an open-loop
+   Poisson stream (arrivals never wait for answers) against a live
+   in-process daemon, so queueing, response caching, coalescing and
+   backpressure all participate.  Two offered rates: one the daemon
+   absorbs comfortably, one hot enough that the bounded queue's
+   Overloaded rejections can show up in the row. *)
+let load_workers = 2
+let load_queue_capacity = 64
+let load_connections = 4
+let load_rates = [ 500.; 2000. ]
+
+let reproduce_server_load census =
+  hr "Server load: open-loop Poisson arrivals against a live daemon";
+  let index_path = Filename.temp_file "qsynth_bench_load_idx" ".bin" in
+  Census_index.save (Census_index.build census) index_path;
+  let index = Census_index.load library3 index_path in
+  let service =
+    Server.Service.create ~index ~warm_depth:4 ~cache_capacity:256 library3
+  in
+  let socket = Filename.temp_file "qsynth_bench_load" ".sock" in
+  Sys.remove socket;
+  let daemon =
+    Server.Daemon.start ~workers:load_workers
+      ~queue_capacity:load_queue_capacity ~socket service
+  in
+  let mix =
+    [
+      request Reversible.Gates.toffoli3;
+      request Reversible.Gates.fredkin3;
+      request Reversible.Gates.g1;
+      request (Reversible.Spec.parse ~bits:3 "0,1,2,3,4,5,7,6");
+    ]
+  in
+  let rows =
+    List.map
+      (fun rps ->
+        let r =
+          Server.Loadgen.run ~connections:load_connections ~socket ~rps
+            ~duration_s:3. mix
+        in
+        timings :=
+          (Printf.sprintf "server_load/rps%.0f/p99" rps,
+           r.Server.Loadgen.p99_ms /. 1e3)
+          :: !timings;
+        Format.printf
+          "%7.0f rps offered: %6d sent  %6d ok  %4d overloaded  %4d errors   \
+           p50 %8.3f ms  p99 %8.3f ms  p99.9 %8.3f ms@."
+          rps r.Server.Loadgen.sent r.Server.Loadgen.ok
+          r.Server.Loadgen.overloaded r.Server.Loadgen.errors
+          r.Server.Loadgen.p50_ms r.Server.Loadgen.p99_ms
+          r.Server.Loadgen.p999_ms;
+        r)
+      load_rates
+  in
+  Server.Daemon.stop daemon;
+  Server.Daemon.wait daemon;
+  Sys.remove index_path;
+  rows
 
 (* Bechamel micro-benchmarks: one per experiment *)
 
@@ -734,7 +794,7 @@ let run_bechamel () =
    the repository's history. *)
 
 let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoint_row
-    ~query_rows ~server_latency path =
+    ~query_rows ~server_latency ~server_load path =
   let open Telemetry in
   let plain, checkpointed, overhead, snapshot_bytes = checkpoint_row in
   let server_warm_depth, server_rows = server_latency in
@@ -767,7 +827,7 @@ let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoi
     Json.Obj
       [
         ("schema_version", Json.Int 1);
-        ("bench_id", Json.Int 5);
+        ("bench_id", Json.Int 6);
         ("generated_by", Json.String "bench/main.ml");
         ("unix_time", Json.Float (Unix.time ()));
         ("ocaml_version", Json.String Sys.ocaml_version);
@@ -812,6 +872,14 @@ let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoi
               ("index_depth", Json.Int 7);
               ("rows", Json.List (List.map server_row_json server_rows));
             ] );
+        ( "server_load",
+          Json.Obj
+            [
+              ("workers", Json.Int load_workers);
+              ("queue_capacity", Json.Int load_queue_capacity);
+              ("connections", Json.Int load_connections);
+              ("rows", Json.List (List.map Server.Loadgen.results_to_json server_load));
+            ] );
         ("telemetry", telemetry_snapshot);
       ]
   in
@@ -848,9 +916,10 @@ let () =
   experiment "sec4/qrng" reproduce_qrng;
   let query_rows = reproduce_query_latency census in
   let server_latency = reproduce_server_latency census in
+  let server_load = reproduce_server_load census in
   let parallel_rows = reproduce_parallel_census () in
   let checkpoint_row = reproduce_checkpoint_overhead () in
   let bechamel_rows = run_bechamel () in
-  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_5.json" in
+  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_6.json" in
   write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoint_row
-    ~query_rows ~server_latency path
+    ~query_rows ~server_latency ~server_load path

@@ -558,9 +558,40 @@ let socket_arg =
   Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let serve_cmd =
-  let run finish_telemetry qubits jobs socket index_path warm_depth workers
-      queue_capacity cache_capacity =
+  (* serve needs the --metrics path itself (SIGUSR1 live dump), not just
+     the snapshot-writer closure, so it pairs setup_telemetry's result
+     with the raw path instead of using [telemetry_term]. *)
+  let serve_telemetry_term =
+    Term.(
+      const (fun v m t -> (setup_telemetry v m t, m))
+      $ verbose_arg $ metrics_arg $ trace_arg)
+  in
+  let run (finish_telemetry, metrics_path) qubits jobs socket index_path
+      warm_depth workers queue_capacity cache_capacity metrics_port trace_file
+      slow_ms =
     guarded ~finish:finish_telemetry @@ fun () ->
+    (* Readiness: false until the index is loaded, the engine warmed and
+       the daemon accepting; false again the moment the drain begins —
+       scrapers see the flip before the Unix socket unlinks. *)
+    let accepting = Atomic.make false in
+    let daemon_ref = ref None in
+    let ready () =
+      match !daemon_ref with
+      | Some d -> Atomic.get accepting && not (Server.Daemon.draining d)
+      | None -> false
+    in
+    let http =
+      Option.map (fun port -> Server.Http.start ~port ~ready ()) metrics_port
+    in
+    let trace_oc =
+      Option.map
+        (fun path ->
+          let oc = open_out path in
+          Telemetry.set_enabled true;
+          Telemetry.set_jsonl (Some oc);
+          oc)
+        trace_file
+    in
     let library = make_library qubits in
     let index = Option.map (Census_index.load library) index_path in
     (match index with
@@ -571,7 +602,54 @@ let serve_cmd =
     let service =
       Server.Service.create ~jobs ?index ~warm_depth ~cache_capacity library
     in
-    Server.Daemon.run ~workers ~queue_capacity ~socket service;
+    let daemon =
+      Server.Daemon.start ~workers ~queue_capacity ?slow_ms
+        ~trace:(trace_file <> None) ~socket service
+    in
+    daemon_ref := Some daemon;
+    Atomic.set accepting true;
+    (* Park until SIGTERM/SIGINT requests the drain; SIGUSR1 dumps a
+       live snapshot to the --metrics path without restarting. *)
+    let stop_requested = Atomic.make false in
+    let usr1 = Atomic.make false in
+    let previous =
+      List.map
+        (fun s ->
+          ( s,
+            Sys.signal s
+              (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)) ))
+        [ Sys.sigterm; Sys.sigint ]
+    in
+    (try
+       Sys.set_signal Sys.sigusr1
+         (Sys.Signal_handle (fun _ -> Atomic.set usr1 true))
+     with Invalid_argument _ -> ());
+    while not (Atomic.get stop_requested) do
+      if Atomic.get usr1 then begin
+        Atomic.set usr1 false;
+        match metrics_path with
+        | Some path -> (
+            try
+              Telemetry.write_snapshot path;
+              Format.eprintf "telemetry snapshot written to %s@." path
+            with Sys_error msg ->
+              Format.eprintf "error: cannot write telemetry snapshot: %s@." msg)
+        | None -> Format.eprintf "qsynth: SIGUSR1 ignored (no --metrics FILE)@."
+      end;
+      Thread.delay 0.05
+    done;
+    Atomic.set accepting false;
+    Server.Daemon.stop daemon;
+    Server.Daemon.wait daemon;
+    Option.iter Server.Http.stop http;
+    Option.iter
+      (fun oc ->
+        Telemetry.set_jsonl None;
+        close_out oc)
+      trace_oc;
+    List.iter
+      (fun (s, b) -> try Sys.set_signal s b with Invalid_argument _ -> ())
+      previous;
     exit_ok
   in
   let workers_arg =
@@ -590,16 +668,57 @@ let serve_cmd =
                  appear as $(b,server.cache.hit)/$(b,server.cache.miss) in \
                  $(b,--metrics) snapshots.")
   in
+  let port =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 && n <= 65535 -> Ok n
+      | Some _ -> Error (`Msg "PORT must be in 0..65535")
+      | None -> Error (`Msg (Printf.sprintf "invalid PORT value %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let metrics_port_arg =
+    Arg.(value & opt (some port) None & info [ "metrics-port" ] ~docv:"PORT"
+           ~doc:"Serve observability HTTP endpoints on 127.0.0.1:$(docv): \
+                 $(b,/metrics) (Prometheus text exposition of the telemetry \
+                 registry), $(b,/healthz) (liveness) and $(b,/readyz) \
+                 (readiness: 503 until the engine is warm and again once the \
+                 drain begins).  0 picks an ephemeral port.")
+  in
+  let trace_file_arg =
+    Arg.(value & opt (some string) None & info [ "trace-file" ] ~docv:"FILE"
+           ~doc:"Enable per-request tracing: every request gets a trace id \
+                 (echoed in the response's $(b,trace) field) and its closed \
+                 span tree is appended to $(docv) as JSON lines.")
+  in
+  let slow_arg =
+    let nonneg =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> Ok n
+        | Some _ -> Error (`Msg "N must be >= 0")
+        | None -> Error (`Msg (Printf.sprintf "invalid value %S" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(value & opt (some nonneg) None & info [ "slow-ms" ] ~docv:"N"
+           ~doc:"Log every request whose total latency (queueing included) \
+                 reaches $(docv) milliseconds as one structured JSON line on \
+                 stderr: trace id, request key, plan, per-stage breakdown, \
+                 queue depth at admission.  0 logs every request.")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits:contract_exits
        ~doc:"Run the synthesis daemon: one warm engine (census index + \
              fixed-depth forward wave + meet-in-the-middle), shared by every \
              client over a Unix-domain socket.  Drains gracefully on \
              SIGTERM/SIGINT: stops accepting, answers everything already \
-             accepted, unlinks the socket, exits 0.")
+             accepted, unlinks the socket, exits 0.  SIGUSR1 dumps a live \
+             telemetry snapshot to the $(b,--metrics) path.")
     Term.(
-      const run $ telemetry_term $ qubits_arg $ jobs_arg $ socket_arg
-      $ index_arg $ warm_depth_arg $ workers_arg $ queue_arg $ cache_arg)
+      const run $ serve_telemetry_term $ qubits_arg $ jobs_arg $ socket_arg
+      $ index_arg $ warm_depth_arg $ workers_arg $ queue_arg $ cache_arg
+      $ metrics_port_arg $ trace_file_arg $ slow_arg)
 
 (* query *)
 
@@ -714,6 +833,7 @@ let batch_cmd =
                  incr failures;
                  {
                    Mce.Response.id = None;
+                   trace = None;
                    qubits = 0;
                    body =
                      Error
@@ -726,6 +846,7 @@ let batch_cmd =
                      incr failures;
                      {
                        Mce.Response.id = None;
+                       trace = None;
                        qubits = 0;
                        body =
                          Error

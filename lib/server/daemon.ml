@@ -10,7 +10,10 @@ let m_requests = Telemetry.Counter.create "server.requests"
 let m_rejected = Telemetry.Counter.create "server.rejected.overload"
 let m_shutdown_replies = Telemetry.Counter.create "server.rejected.shutdown"
 let m_bad_frames = Telemetry.Counter.create "server.bad_frames"
+let m_slow = Telemetry.Counter.create "server.slow_queries"
 let g_queue_depth = Telemetry.Gauge.create "server.queue.depth"
+let g_inflight = Telemetry.Gauge.create "server.inflight"
+let g_drain_pending = Telemetry.Gauge.create "server.drain.pending"
 let h_request = Telemetry.Histogram.create "server.request.seconds"
 
 let retry_after_ms = 100
@@ -28,7 +31,23 @@ type conn = {
   mutable closed : bool;
 }
 
-type job = { j_req : Mce.Request.t; j_conn : conn; j_arrival : float }
+type job = {
+  j_req : Mce.Request.t;
+  j_conn : conn;
+  j_arrival : float;
+  j_trace : string option; (* assigned at admission when observing *)
+  j_depth : int; (* queue depth at admission *)
+}
+
+(* Per-request observability configuration: set when [serve] runs with
+   [--trace-file] or [--slow-ms].  Requests then flow through
+   {!Service.answer_timed}, get a trace id stamped into the response,
+   and over-threshold requests are logged. *)
+type obs = {
+  o_slow_s : float option; (* threshold in seconds; [Some 0.] logs all *)
+  o_slow_oc : out_channel;
+  o_slow_mutex : Mutex.t;
+}
 
 type t = {
   service : Service.t;
@@ -36,6 +55,10 @@ type t = {
   listen_fd : Unix.file_descr;
   max_frame : int;
   queue_capacity : int;
+  obs : obs option;
+  trace_seq : int Atomic.t;
+  trace_prefix : string;
+  inflight : int Atomic.t; (* exact flips happen under qmutex *)
   queue : job Queue.t; (* guarded by qmutex *)
   qmutex : Mutex.t;
   qcond : Condition.t; (* workers sleep here; broadcast on push/drain *)
@@ -49,6 +72,10 @@ type t = {
 }
 
 let socket_path t = t.path
+let draining t = Atomic.get t.draining
+
+let next_trace_id t =
+  Printf.sprintf "%s-%06x" t.trace_prefix (Atomic.fetch_and_add t.trace_seq 1)
 
 let conn_close_if_done c =
   Mutex.lock c.cmutex;
@@ -69,9 +96,94 @@ let write_response t c (resp : Mce.Response.t) =
 
 (* {1 Workers} *)
 
+let outcome_of (resp : Mce.Response.t) =
+  match resp.body with
+  | Ok _ -> "ok"
+  | Error (Mce.Response.Bad_request _) -> "bad-request"
+  | Error (Mce.Response.Unsupported _) -> "unsupported"
+  | Error (Mce.Response.Overloaded _) -> "overloaded"
+  | Error Mce.Response.Deadline_exceeded -> "deadline-exceeded"
+  | Error Mce.Response.Shutting_down -> "shutting-down"
+  | Error Mce.Response.Cancelled -> "cancelled"
+  | Error (Mce.Response.Internal _) -> "internal"
+
+let slow_log obs job resp (timing : Service.timing) ~queue_wait_s ~write_s
+    ~total_s =
+  let line =
+    Json.Obj
+      ([ ("type", Json.String "slow_query") ]
+      @ (match job.j_trace with
+        | Some tr -> [ ("trace", Json.String tr) ]
+        | None -> [])
+      @ (match job.j_req.Mce.Request.id with
+        | Some id -> [ ("id", Json.String id) ]
+        | None -> [])
+      @ [
+          ("key", Json.String (Mce.Request.key job.j_req));
+          ( "plan",
+            match timing.Service.plan with
+            | Some p -> Json.String p
+            | None -> Json.Null );
+          ( "source",
+            Json.String
+              (match timing.Service.source with
+              | `Cache_hit -> "cache"
+              | `Coalesced -> "coalesced"
+              | `Computed -> "computed") );
+          ("outcome", Json.String (outcome_of resp));
+          ("queue_depth", Json.Int job.j_depth);
+          ("queue_wait_s", Json.Float queue_wait_s);
+          ("cache_s", Json.Float timing.Service.cache_s);
+          ("coalesce_wait_s", Json.Float timing.Service.coalesce_wait_s);
+          ("solve_s", Json.Float timing.Service.solve_s);
+          ("write_s", Json.Float write_s);
+          ("total_s", Json.Float total_s);
+        ])
+  in
+  Mutex.lock obs.o_slow_mutex;
+  output_string obs.o_slow_oc (Json.to_string line);
+  output_char obs.o_slow_oc '\n';
+  flush obs.o_slow_oc;
+  Mutex.unlock obs.o_slow_mutex
+
+(* The observed variant: clock every stage, build the request span tree,
+   stamp the trace id into the response, and feed the slow-query log.
+   The unobserved path below stays free of all of it. *)
+let process_observed t obs job =
+  let started = Unix.gettimeofday () in
+  let queue_wait_s = started -. job.j_arrival in
+  let attrs =
+    (match job.j_trace with
+    | Some tr -> [ ("trace", Json.String tr) ]
+    | None -> [])
+    @ [
+        ("key", Json.String (Mce.Request.key job.j_req));
+        ("queue_depth", Json.Int job.j_depth);
+      ]
+  in
+  Telemetry.Span.with_span ~attrs "server.request" @@ fun () ->
+  Telemetry.Span.record "server.queue_wait" ~start_s:job.j_arrival
+    ~dur_s:queue_wait_s;
+  let resp, timing = Service.answer_timed t.service job.j_req in
+  let resp = Mce.Response.with_trace job.j_trace resp in
+  let write_t0 = Unix.gettimeofday () in
+  Telemetry.Span.with_span "server.write" (fun () ->
+      write_response t job.j_conn resp);
+  let now = Unix.gettimeofday () in
+  let write_s = now -. write_t0 in
+  let total_s = now -. job.j_arrival in
+  (match obs.o_slow_s with
+  | Some threshold when total_s >= threshold ->
+      Telemetry.Counter.incr m_slow;
+      slow_log obs job resp timing ~queue_wait_s ~write_s ~total_s
+  | Some _ | None -> ())
+
 let process t job =
-  let resp = Service.answer t.service job.j_req in
-  write_response t job.j_conn resp;
+  (match t.obs with
+  | None ->
+      let resp = Service.answer t.service job.j_req in
+      write_response t job.j_conn resp
+  | Some obs -> process_observed t obs job);
   Mutex.lock job.j_conn.cmutex;
   job.j_conn.pending <- job.j_conn.pending - 1;
   Mutex.unlock job.j_conn.cmutex;
@@ -87,18 +199,25 @@ let rec worker_loop t =
   else begin
     let job = Queue.pop t.queue in
     Telemetry.Gauge.set_int g_queue_depth (Queue.length t.queue);
+    ignore (Atomic.fetch_and_add t.inflight 1);
+    Telemetry.Gauge.set_int g_inflight (Atomic.get t.inflight);
     Mutex.unlock t.qmutex;
-    process t job;
+    Fun.protect
+      ~finally:(fun () ->
+        ignore (Atomic.fetch_and_add t.inflight (-1));
+        Telemetry.Gauge.set_int g_inflight (Atomic.get t.inflight);
+        if Atomic.get t.draining then Telemetry.Gauge.add g_drain_pending (-1.))
+      (fun () -> process t job);
     worker_loop t
   end
 
 (* {1 Readers} *)
 
 let error_response (req : Mce.Request.t) err : Mce.Response.t =
-  { id = req.Mce.Request.id; qubits = req.Mce.Request.qubits; body = Error err }
+  { id = req.Mce.Request.id; trace = None; qubits = req.Mce.Request.qubits; body = Error err }
 
 let undecodable_response msg : Mce.Response.t =
-  { id = None; qubits = 0; body = Error (Mce.Response.Bad_request msg) }
+  { id = None; trace = None; qubits = 0; body = Error (Mce.Response.Bad_request msg) }
 
 (* Enqueue under qmutex so the drain transition is race-free: a job
    pushed here is visible to the workers before they can observe
@@ -120,7 +239,14 @@ let enqueue t conn req arrival =
     Mutex.lock conn.cmutex;
     conn.pending <- conn.pending + 1;
     Mutex.unlock conn.cmutex;
-    Queue.push { j_req = req; j_conn = conn; j_arrival = arrival } t.queue;
+    let trace =
+      match t.obs with None -> None | Some _ -> Some (next_trace_id t)
+    in
+    let depth = Queue.length t.queue in
+    Queue.push
+      { j_req = req; j_conn = conn; j_arrival = arrival; j_trace = trace;
+        j_depth = depth }
+      t.queue;
     Telemetry.Gauge.set_int g_queue_depth (Queue.length t.queue);
     Telemetry.Counter.incr m_requests;
     Condition.signal t.qcond;
@@ -249,12 +375,26 @@ let bind_socket path =
 (* {1 Lifecycle} *)
 
 let start ?(workers = 2) ?(queue_capacity = 64)
-    ?(max_frame = Protocol.default_max_frame) ~socket service =
+    ?(max_frame = Protocol.default_max_frame) ?slow_ms ?(slow_oc = stderr)
+    ?(trace = false) ~socket service =
   if workers < 1 then invalid_arg "Daemon.start: workers must be >= 1";
   if queue_capacity < 1 then invalid_arg "Daemon.start: queue_capacity must be >= 1";
   if max_frame < 1 then invalid_arg "Daemon.start: max_frame must be >= 1";
+  (match slow_ms with
+  | Some n when n < 0 -> invalid_arg "Daemon.start: slow_ms must be >= 0"
+  | _ -> ());
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  let obs =
+    if trace || slow_ms <> None then
+      Some
+        {
+          o_slow_s = Option.map (fun ms -> float_of_int ms /. 1000.) slow_ms;
+          o_slow_oc = slow_oc;
+          o_slow_mutex = Mutex.create ();
+        }
+    else None
+  in
   let listen_fd = bind_socket socket in
   let t =
     {
@@ -263,6 +403,12 @@ let start ?(workers = 2) ?(queue_capacity = 64)
       listen_fd;
       max_frame;
       queue_capacity;
+      obs;
+      trace_seq = Atomic.make 0;
+      trace_prefix =
+        Printf.sprintf "%x-%x" (Unix.getpid ())
+          (int_of_float (Unix.gettimeofday () *. 1000.) land 0xffffff);
+      inflight = Atomic.make 0;
       queue = Queue.create ();
       qmutex = Mutex.create ();
       qcond = Condition.create ();
@@ -286,6 +432,12 @@ let start ?(workers = 2) ?(queue_capacity = 64)
 let stop t =
   Mutex.lock t.qmutex;
   let fresh = not (Atomic.get t.draining) in
+  if fresh then begin
+    (* Everything accepted but unanswered at this instant; decremented
+       per answered job so monitors can watch the drain converge. *)
+    Telemetry.Gauge.set_int g_drain_pending
+      (Queue.length t.queue + Atomic.get t.inflight)
+  end;
   Atomic.set t.draining true;
   Condition.broadcast t.qcond;
   Mutex.unlock t.qmutex;
@@ -307,8 +459,12 @@ let wait t =
     Log.app (fun m -> m "drained: every accepted request answered")
   end
 
-let run ?workers ?queue_capacity ?max_frame ~socket service =
-  let t = start ?workers ?queue_capacity ?max_frame ~socket service in
+let run ?workers ?queue_capacity ?max_frame ?slow_ms ?slow_oc ?trace ~socket
+    service =
+  let t =
+    start ?workers ?queue_capacity ?max_frame ?slow_ms ?slow_oc ?trace ~socket
+      service
+  in
   let requested = Atomic.make false in
   let previous =
     List.map

@@ -20,23 +20,40 @@
 
 type t
 
-(** [start ?workers ?queue_capacity ?max_frame ~socket service] binds
-    [socket] (replacing a stale socket file left by a dead daemon;
-    refusing a live one or a non-socket file) and returns once the
-    daemon is accepting.
+(** [start ?workers ?queue_capacity ?max_frame ?slow_ms ?slow_oc ?trace
+    ~socket service] binds [socket] (replacing a stale socket file left
+    by a dead daemon; refusing a live one or a non-socket file) and
+    returns once the daemon is accepting.
     [workers] (default 2) is the worker-domain count; [queue_capacity]
     (default 64) bounds the accepted-but-unstarted queue.
+
+    Observability: when [trace] is true or [slow_ms] is given, every
+    accepted request is assigned a trace id (echoed in the response's
+    [trace] field and attached to its [server.request] span tree) and
+    evaluated through {!Service.answer_timed}; requests whose total
+    latency (queueing included) reaches [slow_ms] milliseconds are
+    logged as one JSON object per line on [slow_oc] (default [stderr];
+    [slow_ms = 0] logs every request).  With neither, requests take the
+    uninstrumented {!Service.answer} path and responses never carry a
+    trace id — byte-identical to one-shot evaluation.
     @raise Invalid_argument on nonsensical parameters;
     @raise Failure when the socket path is unusable or busy. *)
 val start :
   ?workers:int ->
   ?queue_capacity:int ->
   ?max_frame:int ->
+  ?slow_ms:int ->
+  ?slow_oc:out_channel ->
+  ?trace:bool ->
   socket:string ->
   Service.t ->
   t
 
 val socket_path : t -> string
+
+(** [draining t] is true from the moment {!stop} is first called — the
+    daemon's readiness complement ([/readyz] turns 503 on it). *)
+val draining : t -> bool
 
 (** [stop t] initiates the drain; idempotent, returns immediately. *)
 val stop : t -> unit
@@ -46,14 +63,17 @@ val stop : t -> unit
     domains joined.  Idempotent. *)
 val wait : t -> unit
 
-(** [run ?workers ?queue_capacity ?max_frame ~socket service] serves
-    until [SIGTERM] or [SIGINT] arrives, then drains and returns.
-    Installs handlers for both signals (they only request the drain; the
-    drain itself runs in the calling thread). *)
+(** [run ?workers ?queue_capacity ?max_frame ?slow_ms ?slow_oc ?trace
+    ~socket service] serves until [SIGTERM] or [SIGINT] arrives, then
+    drains and returns.  Installs handlers for both signals (they only
+    request the drain; the drain itself runs in the calling thread). *)
 val run :
   ?workers:int ->
   ?queue_capacity:int ->
   ?max_frame:int ->
+  ?slow_ms:int ->
+  ?slow_oc:out_channel ->
+  ?trace:bool ->
   socket:string ->
   Service.t ->
   unit

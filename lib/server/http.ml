@@ -1,0 +1,151 @@
+let log_src = Logs.Src.create "qsynth.http" ~doc:"Observability HTTP listener"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_scrapes = Telemetry.Counter.create "server.http.requests"
+
+type t = {
+  listen_fd : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let port t = t.port
+
+let rec retry_select fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | r, _, _ -> r <> []
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_select fd timeout
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else at (i + 1)
+  in
+  at 0
+
+(* Read until the end of the header block (we never use a body) or a
+   small cap — enough for any scraper's request line + headers. *)
+let read_request fd =
+  let cap = 8192 in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf >= cap then Some (Buffer.contents buf)
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          let s = Buffer.contents buf in
+          (* header block terminator, tolerant of bare-LF clients *)
+          if contains s "\r\n\r\n" || contains s "\n\n" then Some s else go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+      | exception Unix.Unix_error _ -> None
+  in
+  go ()
+
+let respond fd ~status ~content_type body =
+  let reason =
+    match status with
+    | 200 -> "OK"
+    | 404 -> "Not Found"
+    | 405 -> "Method Not Allowed"
+    | 503 -> "Service Unavailable"
+    | _ -> "Error"
+  in
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status reason content_type (String.length body)
+  in
+  let payload = Bytes.of_string (head ^ body) in
+  let rec write off =
+    if off < Bytes.length payload then
+      match Unix.write fd payload off (Bytes.length payload - off) with
+      | n -> write (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write off
+  in
+  try write 0 with Unix.Unix_error _ -> ()
+
+let handle ~ready fd =
+  match read_request fd with
+  | None -> ()
+  | Some raw -> (
+      Telemetry.Counter.incr m_scrapes;
+      let line =
+        match String.index_opt raw '\n' with
+        | Some i -> String.trim (String.sub raw 0 i)
+        | None -> String.trim raw
+      in
+      match String.split_on_char ' ' line with
+      | meth :: _ when meth <> "GET" ->
+          respond fd ~status:405 ~content_type:"text/plain" "method not allowed\n"
+      | _ :: path :: _ -> (
+          let path =
+            match String.index_opt path '?' with
+            | Some i -> String.sub path 0 i
+            | None -> path
+          in
+          match path with
+          | "/metrics" ->
+              respond fd ~status:200
+                ~content_type:Telemetry.Prometheus.content_type
+                (Telemetry.Prometheus.render ())
+          | "/healthz" -> respond fd ~status:200 ~content_type:"text/plain" "ok\n"
+          | "/readyz" ->
+              if ready () then
+                respond fd ~status:200 ~content_type:"text/plain" "ok\n"
+              else
+                respond fd ~status:503 ~content_type:"text/plain" "not ready\n"
+          | _ -> respond fd ~status:404 ~content_type:"text/plain" "not found\n")
+      | _ -> respond fd ~status:405 ~content_type:"text/plain" "bad request\n")
+
+let serve_loop t ~ready =
+  let rec go () =
+    if not (Atomic.get t.stopping) then
+      if not (retry_select t.listen_fd 0.25) then go ()
+      else
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | fd, _ ->
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.;
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () -> handle ~ready fd);
+            go ()
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+            go ()
+  in
+  go ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+
+let start ?(host = "127.0.0.1") ~port ~ready () =
+  let addr = Unix.inet_addr_of_string host in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (addr, port));
+     Unix.listen fd 16
+   with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t = { listen_fd = fd; port = bound_port; stopping = Atomic.make false; thread = None } in
+  t.thread <- Some (Thread.create (fun () -> serve_loop t ~ready) ());
+  Log.app (fun m -> m "metrics on http://%s:%d/metrics" host bound_port);
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    match t.thread with None -> () | Some th -> Thread.join th

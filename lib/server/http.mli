@@ -1,0 +1,32 @@
+(** Minimal single-threaded HTTP listener for the daemon's
+    observability endpoints — deliberately not a web framework: one
+    accept loop on one thread, [Connection: close] on every response,
+    three routes.
+
+    - [GET /metrics]: the {!Telemetry.Prometheus} exposition of the
+      whole registry.
+    - [GET /healthz]: liveness — [200 ok] whenever the listener runs.
+    - [GET /readyz]: readiness — [200 ok] while the caller's [ready]
+      callback returns true, [503] otherwise.  [serve] wires it to
+      "index and warm engine loaded, drain not begun", so it turns 503
+      the moment a drain starts (before the Unix socket unlinks) and a
+      load balancer can stop routing ahead of connection refusals.
+
+    Anything else is [404]; non-GET methods are [405].  Requests are
+    served sequentially — scrapes are cheap ({!Telemetry.Prometheus}
+    renders from atomics) and the expected client count is one
+    Prometheus server, not the public internet. *)
+
+type t
+
+(** [start ?host ~port ~ready ()] binds [host:port] (default host
+    ["127.0.0.1"]; [port = 0] picks an ephemeral port, see {!port}) and
+    serves on a background thread until {!stop}.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+val start : ?host:string -> port:int -> ready:(unit -> bool) -> unit -> t
+
+(** [port t] is the bound port (useful with [port = 0]). *)
+val port : t -> int
+
+(** [stop t] shuts the listener down and joins its thread; idempotent. *)
+val stop : t -> unit

@@ -1,0 +1,184 @@
+open Synthesis
+module Json = Telemetry.Json
+
+type results = {
+  sent : int;
+  answered : int;
+  ok : int;
+  overloaded : int;
+  shutting_down : int;
+  errors : int;
+  duration_s : float;
+  offered_rps : float;
+  achieved_rps : float;
+  mean_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  max_ms : float;
+}
+
+let float_or_null f = if Float.is_nan f then Json.Null else Json.Float f
+
+let results_to_json r =
+  Json.Obj
+    [
+      ("sent", Json.Int r.sent);
+      ("answered", Json.Int r.answered);
+      ("ok", Json.Int r.ok);
+      ("overloaded", Json.Int r.overloaded);
+      ("shutting_down", Json.Int r.shutting_down);
+      ("errors", Json.Int r.errors);
+      ("duration_s", Json.Float r.duration_s);
+      ("offered_rps", Json.Float r.offered_rps);
+      ("achieved_rps", Json.Float r.achieved_rps);
+      ("mean_ms", float_or_null r.mean_ms);
+      ("p50_ms", float_or_null r.p50_ms);
+      ("p90_ms", float_or_null r.p90_ms);
+      ("p99_ms", float_or_null r.p99_ms);
+      ("p999_ms", float_or_null r.p999_ms);
+      ("max_ms", float_or_null r.max_ms);
+    ]
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else
+    let idx = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let run ?(connections = 4) ?(seed = 42) ?(drain_timeout_s = 30.) ?max_frame
+    ~socket ~rps ~duration_s mix =
+  if mix = [] then invalid_arg "Loadgen.run: empty request mix";
+  if rps <= 0. then invalid_arg "Loadgen.run: rps must be positive";
+  if duration_s <= 0. then invalid_arg "Loadgen.run: duration_s must be positive";
+  if connections < 1 then invalid_arg "Loadgen.run: connections must be >= 1";
+  let mix = Array.of_list mix in
+  let rng = Random.State.make [| seed |] in
+  let fds = Array.init connections (fun _ -> Protocol.connect socket) in
+  (* shared accounting, guarded by [mutex]; [outstanding] is atomic so
+     the drain loop can poll it without the lock *)
+  let mutex = Mutex.create () in
+  let pending : (string, float) Hashtbl.t = Hashtbl.create 1024 in
+  let latencies = ref [] in
+  let answered = ref 0 in
+  let ok = ref 0 in
+  let overloaded = ref 0 in
+  let shutting_down = ref 0 in
+  let errors = ref 0 in
+  let outstanding = Atomic.make 0 in
+  let reader fd =
+    let rec loop () =
+      match Protocol.read_frame ?max_len:max_frame fd with
+      | Error _ -> ()
+      | Ok payload ->
+          let now = Unix.gettimeofday () in
+          (match Mce.Response.of_string payload with
+          | Ok resp ->
+              let scheduled =
+                match resp.Mce.Response.id with
+                | None -> None
+                | Some id ->
+                    Mutex.protect mutex (fun () ->
+                        match Hashtbl.find_opt pending id with
+                        | Some s ->
+                            Hashtbl.remove pending id;
+                            Some s
+                        | None -> None)
+              in
+              Mutex.lock mutex;
+              incr answered;
+              (match resp.Mce.Response.body with
+              | Ok _ -> incr ok
+              | Error (Mce.Response.Overloaded _) -> incr overloaded
+              | Error Mce.Response.Shutting_down -> incr shutting_down
+              | Error _ -> incr errors);
+              (match scheduled with
+              | Some s -> latencies := (now -. s) :: !latencies
+              | None -> ());
+              Mutex.unlock mutex
+          | Error _ ->
+              Mutex.lock mutex;
+              incr answered;
+              incr errors;
+              Mutex.unlock mutex);
+          ignore (Atomic.fetch_and_add outstanding (-1));
+          loop ()
+    in
+    loop ()
+  in
+  let readers = Array.map (fun fd -> Thread.create reader fd) fds in
+  (* Poisson dispatch: exponential inter-arrivals at [rps], each request
+     stamped with a generator-unique id and its scheduled arrival time.
+     When the dispatcher falls behind it sends immediately (no sleep) —
+     the schedule, not the socket, is the latency reference. *)
+  let seq = ref 0 in
+  let conn = ref 0 in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. duration_s in
+  let next = ref start in
+  let step () =
+    next := !next +. (-.log (1. -. Random.State.float rng 1.) /. rps)
+  in
+  step ();
+  while !next < deadline do
+    let dt = !next -. Unix.gettimeofday () in
+    if dt > 0. then Thread.delay dt;
+    let template = mix.(Random.State.int rng (Array.length mix)) in
+    let id = Printf.sprintf "lg-%06d" !seq in
+    incr seq;
+    let req = { template with Mce.Request.id = Some id } in
+    Mutex.protect mutex (fun () -> Hashtbl.replace pending id !next);
+    ignore (Atomic.fetch_and_add outstanding 1);
+    (try
+       Protocol.write_frame ?max_len:max_frame fds.(!conn)
+         (Json.to_string (Mce.Request.to_json req))
+     with Unix.Unix_error _ | Invalid_argument _ ->
+       Mutex.protect mutex (fun () ->
+           Hashtbl.remove pending id;
+           incr errors);
+       ignore (Atomic.fetch_and_add outstanding (-1)));
+    conn := (!conn + 1) mod connections;
+    step ()
+  done;
+  let dispatch_end = Unix.gettimeofday () in
+  let drain_deadline = dispatch_end +. drain_timeout_s in
+  while Atomic.get outstanding > 0 && Unix.gettimeofday () < drain_deadline do
+    Thread.delay 0.005
+  done;
+  Array.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    fds;
+  Array.iter Thread.join readers;
+  Array.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    fds;
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let to_ms s = 1000. *. s in
+  let duration = dispatch_end -. start in
+  let mean =
+    if Array.length lat = 0 then Float.nan
+    else Array.fold_left ( +. ) 0. lat /. float_of_int (Array.length lat)
+  in
+  {
+    sent = !seq;
+    answered = !answered;
+    ok = !ok;
+    overloaded = !overloaded;
+    shutting_down = !shutting_down;
+    errors = !errors;
+    duration_s = duration;
+    offered_rps = rps;
+    achieved_rps =
+      (if duration > 0. then float_of_int !answered /. duration else Float.nan);
+    mean_ms = to_ms mean;
+    p50_ms = to_ms (percentile lat 0.50);
+    p90_ms = to_ms (percentile lat 0.90);
+    p99_ms = to_ms (percentile lat 0.99);
+    p999_ms = to_ms (percentile lat 0.999);
+    max_ms =
+      (if Array.length lat = 0 then Float.nan
+       else to_ms lat.(Array.length lat - 1));
+  }

@@ -8,6 +8,7 @@ let m_cache_hit = Telemetry.Counter.create "server.cache.hit"
 let m_cache_miss = Telemetry.Counter.create "server.cache.miss"
 let m_coalesced = Telemetry.Counter.create "server.coalesced"
 let m_deadline = Telemetry.Counter.create "server.deadline"
+let g_cache_size = Telemetry.Gauge.create "server.cache.size"
 let h_answer = Telemetry.Histogram.create "server.answer.seconds"
 
 (* LRU cache: an intrusive cyclic doubly-linked list threaded through a
@@ -28,7 +29,7 @@ module Lru = struct
   }
 
   let dummy_response : Mce.Response.t =
-    { id = None; qubits = 0; body = Error (Mce.Response.Internal "sentinel") }
+    { id = None; trace = None; qubits = 0; body = Error (Mce.Response.Internal "sentinel") }
 
   let create capacity =
     let rec sentinel =
@@ -69,7 +70,8 @@ module Lru = struct
             let victim = t.sentinel.prev in
             unlink victim;
             Hashtbl.remove t.table victim.key
-          end)
+          end);
+      Telemetry.Gauge.set_int g_cache_size (Hashtbl.length t.table)
     end
 end
 
@@ -154,6 +156,7 @@ let evaluate t ~should_stop (req : Mce.Request.t) =
     with exn ->
       {
         Mce.Response.id = req.Mce.Request.id;
+        trace = None;
         qubits = req.Mce.Request.qubits;
         body = Error (Mce.Response.Internal (Printexc.to_string exn));
       }
@@ -164,28 +167,24 @@ let evaluate t ~should_stop (req : Mce.Request.t) =
       { resp with body = Error Mce.Response.Deadline_exceeded }
   | _ -> resp
 
-let answer ?(should_stop = no_stop) t req =
-  Telemetry.Histogram.time h_answer @@ fun () ->
-  let key = Mce.Request.key req in
-  let stamp resp = Mce.Response.with_id req.Mce.Request.id resp in
+(* Cache/coalesce admission: under [t.mutex], either return the cached
+   body, join another caller's flight, or claim leadership of a fresh
+   one.  Shared by {!answer} and {!answer_timed}. *)
+type claim = Hit of Mce.Response.t | Follow of flight | Lead of flight
+
+let claim t key =
   Mutex.lock t.mutex;
   match Lru.find t.cache key with
   | Some body ->
       Telemetry.Counter.incr m_cache_hit;
       Mutex.unlock t.mutex;
-      stamp body
+      Hit body
   | None -> (
       match Hashtbl.find_opt t.inflight key with
       | Some flight ->
           Telemetry.Counter.incr m_coalesced;
           Mutex.unlock t.mutex;
-          Mutex.lock flight.f_mutex;
-          while flight.f_result = None do
-            Condition.wait flight.f_cond flight.f_mutex
-          done;
-          let body = Option.get flight.f_result in
-          Mutex.unlock flight.f_mutex;
-          stamp body
+          Follow flight
       | None ->
           Telemetry.Counter.incr m_cache_miss;
           let flight =
@@ -193,38 +192,124 @@ let answer ?(should_stop = no_stop) t req =
           in
           Hashtbl.add t.inflight key flight;
           Mutex.unlock t.mutex;
-          let body =
-            Fun.protect
-              ~finally:(fun () ->
-                (* Whatever happened, unblock followers and clear the
-                   slot — a stuck flight would wedge every later caller
-                   with the same key. *)
-                let body =
-                  match
-                    Mutex.protect flight.f_mutex (fun () -> flight.f_result)
-                  with
-                  | Some body -> body
-                  | None ->
-                      {
-                        Mce.Response.id = None;
-                        qubits = req.Mce.Request.qubits;
-                        body = Error (Mce.Response.Internal "evaluation died");
-                      }
-                in
-                Mutex.lock t.mutex;
-                Hashtbl.remove t.inflight key;
-                if cacheable body then Lru.put t.cache key body;
-                Mutex.unlock t.mutex;
-                Mutex.lock flight.f_mutex;
-                flight.f_result <- Some body;
-                Condition.broadcast flight.f_cond;
-                Mutex.unlock flight.f_mutex)
-              (fun () ->
-                let body =
-                  Mce.Response.with_id None (evaluate t ~should_stop req)
-                in
-                Mutex.protect flight.f_mutex (fun () ->
-                    flight.f_result <- Some body);
-                body)
-          in
-          stamp body)
+          Lead flight)
+
+let await flight =
+  Mutex.lock flight.f_mutex;
+  while flight.f_result = None do
+    Condition.wait flight.f_cond flight.f_mutex
+  done;
+  let body = Option.get flight.f_result in
+  Mutex.unlock flight.f_mutex;
+  body
+
+(* Whatever happened, unblock followers and clear the slot — a stuck
+   flight would wedge every later caller with the same key. *)
+let publish t flight key ~qubits () =
+  let body =
+    match Mutex.protect flight.f_mutex (fun () -> flight.f_result) with
+    | Some body -> body
+    | None ->
+        {
+          Mce.Response.id = None;
+          trace = None;
+          qubits;
+          body = Error (Mce.Response.Internal "evaluation died");
+        }
+  in
+  Mutex.lock t.mutex;
+  Hashtbl.remove t.inflight key;
+  if cacheable body then Lru.put t.cache key body;
+  Mutex.unlock t.mutex;
+  Mutex.lock flight.f_mutex;
+  flight.f_result <- Some body;
+  Condition.broadcast flight.f_cond;
+  Mutex.unlock flight.f_mutex
+
+let lead t flight key ~should_stop req =
+  Fun.protect
+    ~finally:(publish t flight key ~qubits:req.Mce.Request.qubits)
+    (fun () ->
+      let body = Mce.Response.with_id None (evaluate t ~should_stop req) in
+      Mutex.protect flight.f_mutex (fun () -> flight.f_result <- Some body);
+      body)
+
+let answer ?(should_stop = no_stop) t req =
+  Telemetry.Histogram.time h_answer @@ fun () ->
+  let key = Mce.Request.key req in
+  let stamp resp = Mce.Response.with_id req.Mce.Request.id resp in
+  match claim t key with
+  | Hit body -> stamp body
+  | Follow flight -> stamp (await flight)
+  | Lead flight -> stamp (lead t flight key ~should_stop req)
+
+type timing = {
+  source : [ `Cache_hit | `Coalesced | `Computed ];
+  cache_s : float;
+  coalesce_wait_s : float;
+  solve_s : float;
+  plan : string option;
+}
+
+let plan_of (resp : Mce.Response.t) =
+  match resp.body with
+  | Ok { plan; _ } -> Some (Mce.Response.plan_to_string plan)
+  | Error _ -> None
+
+(* The instrumented twin of {!answer}: same admission/coalescing/publish
+   protocol (via the shared helpers), but each stage is clocked and
+   recorded as a span.  The daemon uses it only when tracing or the
+   slow-query log is configured, so {!answer} keeps its uninstrumented
+   cost for every other caller. *)
+let answer_timed ?(should_stop = no_stop) t req =
+  Telemetry.Histogram.time h_answer @@ fun () ->
+  let key = Mce.Request.key req in
+  let stamp resp = Mce.Response.with_id req.Mce.Request.id resp in
+  let t0 = Unix.gettimeofday () in
+  let claimed = Telemetry.Span.with_span "server.cache" (fun () -> claim t key) in
+  let cache_s = Unix.gettimeofday () -. t0 in
+  match claimed with
+  | Hit body ->
+      ( stamp body,
+        {
+          source = `Cache_hit;
+          cache_s;
+          coalesce_wait_s = 0.;
+          solve_s = 0.;
+          plan = plan_of body;
+        } )
+  | Follow flight ->
+      let t1 = Unix.gettimeofday () in
+      let body =
+        Telemetry.Span.with_span "server.coalesce_wait" (fun () -> await flight)
+      in
+      ( stamp body,
+        {
+          source = `Coalesced;
+          cache_s;
+          coalesce_wait_s = Unix.gettimeofday () -. t1;
+          solve_s = 0.;
+          plan = plan_of body;
+        } )
+  | Lead flight ->
+      let t1 = Unix.gettimeofday () in
+      let body =
+        Fun.protect
+          ~finally:(publish t flight key ~qubits:req.Mce.Request.qubits)
+          (fun () ->
+            Telemetry.Span.with_span "mce.solve" @@ fun () ->
+            let body = Mce.Response.with_id None (evaluate t ~should_stop req) in
+            (match plan_of body with
+            | Some p -> Telemetry.Span.set_attr "plan" (Telemetry.Json.String p)
+            | None -> ());
+            Mutex.protect flight.f_mutex (fun () -> flight.f_result <- Some body);
+            body)
+      in
+      ( stamp body,
+        {
+          source = `Computed;
+          cache_s;
+          coalesce_wait_s = 0.;
+          solve_s = Unix.gettimeofday () -. t1;
+          plan = plan_of body;
+        } )

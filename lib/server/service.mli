@@ -60,3 +60,28 @@ val warm_depth : t -> int
     [should_stop] additionally cancels on behalf of the caller
     (SIGINT), producing [Cancelled]. *)
 val answer : ?should_stop:(unit -> bool) -> t -> Synthesis.Mce.Request.t -> Synthesis.Mce.Response.t
+
+(** Stage breakdown of one {!answer_timed} call, the raw material of the
+    daemon's slow-query log and request traces. *)
+type timing = {
+  source : [ `Cache_hit | `Coalesced | `Computed ];
+  cache_s : float;  (** cache lookup / admission, including lock wait *)
+  coalesce_wait_s : float;
+      (** time blocked on another caller's in-flight computation *)
+  solve_s : float;  (** evaluation time ({e leader} requests only) *)
+  plan : string option;
+      (** {!Synthesis.Mce.Response.plan_to_string} of the plan that
+          answered, when the body is [Ok] *)
+}
+
+(** [answer_timed ?should_stop t request] is {!answer} with a per-stage
+    clock and [server.cache] / [server.coalesce_wait] / [mce.solve]
+    spans (the latter carrying a [plan] attribute).  Identical response
+    bytes to {!answer}; the daemon switches to it only when tracing or
+    the slow-query log is enabled so the default path stays
+    uninstrumented. *)
+val answer_timed :
+  ?should_stop:(unit -> bool) ->
+  t ->
+  Synthesis.Mce.Request.t ->
+  Synthesis.Mce.Response.t * timing

@@ -265,11 +265,13 @@ module Response = struct
 
   type t = {
     id : string option;
+    trace : string option;
     qubits : int;
     body : (ok, error) Stdlib.result;
   }
 
   let with_id id t = { t with id }
+  let with_trace trace t = { t with trace }
 
   let payload_equal a b =
     match (a, b) with
@@ -287,7 +289,7 @@ module Response = struct
     | _ -> false
 
   let equal a b =
-    a.id = b.id && a.qubits = b.qubits
+    a.id = b.id && a.trace = b.trace && a.qubits = b.qubits
     &&
     match (a.body, b.body) with
     | Ok x, Ok y -> x.plan = y.plan && payload_equal x.payload y.payload
@@ -360,6 +362,9 @@ module Response = struct
     Json.Obj
       ((("v", Json.Int 1)
         :: (match t.id with Some id -> [ ("id", Json.String id) ] | None -> []))
+      @ (match t.trace with
+        | Some tr -> [ ("trace", Json.String tr) ]
+        | None -> [])
       @ [ ("qubits", Json.Int t.qubits) ]
       @
       match t.body with
@@ -484,6 +489,12 @@ module Response = struct
           | Some (Json.String s) -> Ok (Some s)
           | Some _ -> Error "malformed id field"
         in
+        let* trace =
+          match List.assoc_opt "trace" fields with
+          | None -> Ok None
+          | Some (Json.String s) -> Ok (Some s)
+          | Some _ -> Error "malformed trace field"
+        in
         let* qubits = int_field fields "qubits" in
         let* body =
           match (List.assoc_opt "ok" fields, List.assoc_opt "error" fields) with
@@ -503,7 +514,7 @@ module Response = struct
           | None, None -> Error "response carries neither ok nor error"
           | Some _, Some _ -> Error "response carries both ok and error"
         in
-        Ok { id; qubits; body }
+        Ok { id; trace; qubits; body }
     | _ -> Error "response must be a JSON object"
 
   let to_string t = Json.to_string (to_json t)
@@ -613,7 +624,9 @@ let query_realizations ?(limit = 10_000) q =
 let solve ?(jobs = 1) ?(should_stop = no_stop) ?index ?bidir library
     (req : Request.t) : Response.t =
   let open Request in
-  let respond body : Response.t = { id = req.id; qubits = req.qubits; body } in
+  let respond body : Response.t =
+    { id = req.id; trace = None; qubits = req.qubits; body }
+  in
   let fail e = respond (Error e) in
   let ok plan payload = respond (Ok { Response.plan; payload }) in
   if req.qubits <> Library.qubits library then

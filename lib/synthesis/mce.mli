@@ -157,15 +157,30 @@ module Response : sig
 
   type t = {
     id : string option;  (** echoed from the request *)
+    trace : string option;
+        (** server-assigned trace id, stamped by the daemon only when
+            tracing is active ([serve --trace-file]/[--slow-ms]) so
+            clients can correlate a response with the server-side trace;
+            [None] everywhere else — one-shot evaluation never sets it,
+            keeping daemon and one-shot bytes identical by default *)
     qubits : int;
     body : (ok, error) Stdlib.result;
   }
 
   val equal : t -> t -> bool
 
+  (** [plan_to_string p] is the wire name of [p] ("trivial", "index",
+      "index-certified", "bidir", "forward") — also the value of the
+      slow-query log's [plan] field. *)
+  val plan_to_string : plan_used -> string
+
   (** [with_id id t] re-stamps the correlation token (the daemon caches
       response bodies and re-stamps each requester's id). *)
   val with_id : string option -> t -> t
+
+  (** [with_trace trace t] re-stamps the trace id (cached bodies store
+      [None]; the daemon stamps per delivery). *)
+  val with_trace : string option -> t -> t
 
   val to_json : t -> Telemetry.Json.t
 

@@ -80,6 +80,16 @@ module Gauge = struct
 
   let set g v = if enabled () then Atomic.set g.g_value v
   let set_int g v = if enabled () then Atomic.set g.g_value (float_of_int v)
+
+  let add g d =
+    if enabled () then begin
+      let rec loop () =
+        let cur = Atomic.get g.g_value in
+        if not (Atomic.compare_and_set g.g_value cur (cur +. d)) then loop ()
+      in
+      loop ()
+    end
+
   let value g = Atomic.get g.g_value
   let name g = g.g_name
 end
@@ -142,6 +152,33 @@ module Histogram = struct
       end
     done;
     !acc
+
+  let quantile h q =
+    if h.h_count = 0 then Float.nan
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let target = q *. float_of_int h.h_count in
+      let n = Array.length h.h_buckets in
+      let rec find i cum =
+        if i >= n then h.h_max
+        else
+          let c = h.h_buckets.(i) in
+          let cum' = cum + c in
+          if c > 0 && float_of_int cum' >= target then begin
+            let lower =
+              if i = 0 then 0. else h.h_lo *. Float.pow 2. (float_of_int (i - 1))
+            in
+            let upper =
+              if i = n - 1 then h.h_max else h.h_lo *. Float.pow 2. (float_of_int i)
+            in
+            let frac = (target -. float_of_int cum) /. float_of_int c in
+            lower +. (frac *. Float.max 0. (upper -. lower))
+          end
+          else find (i + 1) cum'
+      in
+      let v = find 0 0 in
+      if Float.is_nan v then v else Float.max h.h_min (Float.min h.h_max v)
+    end
 
   let name h = h.h_name
 end
@@ -218,6 +255,22 @@ let jsonl_emit sp =
   match !jsonl_ref with
   | None -> ()
   | Some oc ->
+      (* Correlation: a child span inherits the "trace" attribute of its
+         nearest open ancestor so every exported line of a request trace
+         carries the request's trace id. *)
+      let attrs = List.rev sp.sp_attrs in
+      let attrs =
+        if List.mem_assoc "trace" attrs then attrs
+        else
+          let rec inherited = function
+            | [] -> attrs
+            | anc :: rest -> (
+                match List.assoc_opt "trace" anc.sp_attrs with
+                | Some v -> ("trace", v) :: attrs
+                | None -> inherited rest)
+          in
+          inherited !(span_stack ())
+      in
       let line =
         Json.Obj
           [
@@ -226,7 +279,7 @@ let jsonl_emit sp =
             ("depth", Json.Int sp.sp_depth);
             ("start_s", Json.Float sp.sp_start);
             ("dur_s", Json.Float (span_dur sp));
-            ("attrs", Json.Obj (List.rev sp.sp_attrs));
+            ("attrs", Json.Obj attrs);
           ]
       in
       with_lock span_mutex @@ fun () ->
@@ -279,6 +332,27 @@ module Span = struct
           jsonl_emit sp)
         f
     end
+
+  let record ?(attrs = []) name ~start_s ~dur_s =
+    if enabled () && Atomic.get span_count < max_spans then begin
+      ignore (Atomic.fetch_and_add span_count 1);
+      let stack = span_stack () in
+      let depth = List.length !stack in
+      let sp =
+        {
+          sp_name = name;
+          sp_start = start_s;
+          sp_end = start_s +. dur_s;
+          sp_attrs = List.rev attrs;
+          sp_children = [];
+          sp_depth = depth;
+        }
+      in
+      (match !stack with
+      | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+      | [] -> with_lock span_mutex (fun () -> span_roots := sp :: !span_roots));
+      jsonl_emit sp
+    end
 end
 
 (* snapshot *)
@@ -296,6 +370,9 @@ let histogram_to_json h =
       ("sum", Json.Float h.h_sum);
       ("min", float_or_null h.h_min);
       ("max", float_or_null h.h_max);
+      ("p50", float_or_null (Histogram.quantile h 0.50));
+      ("p90", float_or_null (Histogram.quantile h 0.90));
+      ("p99", float_or_null (Histogram.quantile h 0.99));
       ( "buckets",
         Json.List
           (List.map
@@ -307,6 +384,92 @@ let histogram_to_json h =
                  ])
              (Histogram.buckets h)) );
     ]
+
+(* Prometheus text exposition (format 0.0.4).  Instrument names use dots
+   as separators; Prometheus metric names cannot, so we sanitize
+   [a.b.c] to [qsynth_a_b_c].  Histograms render as native Prometheus
+   histograms: cumulative [_bucket{le="..."}] lines ending at [+Inf],
+   then [_sum] and [_count].  Series render as a gauge family with an
+   [index] label. *)
+module Prometheus = struct
+  let content_type = "text/plain; version=0.0.4"
+
+  let sanitize_name s =
+    let s =
+      String.map
+        (fun c ->
+          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+        s
+    in
+    if s = "" then "_"
+    else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+  let escape_label_value s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let number f =
+    if Float.is_nan f then "NaN"
+    else if f = Float.infinity then "+Inf"
+    else if f = Float.neg_infinity then "-Inf"
+    else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.9g" f
+
+  let render () =
+    let buf = Buffer.create 4096 in
+    let metric name = "qsynth_" ^ sanitize_name name in
+    List.iter
+      (fun c ->
+        let m = metric c.c_name ^ "_total" in
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s counter\n%s %d\n" m m (Counter.value c)))
+      (sorted_bindings counters (fun c -> c.c_name));
+    List.iter
+      (fun g ->
+        let m = metric g.g_name in
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s gauge\n%s %s\n" m m (number (Gauge.value g))))
+      (sorted_bindings gauges (fun g -> g.g_name));
+    List.iter
+      (fun h ->
+        let m = metric h.h_name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" m);
+        let cum = ref 0 in
+        List.iter
+          (fun (le, c) ->
+            if le <> Float.infinity then begin
+              cum := !cum + c;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m (number le) !cum)
+            end)
+          (Histogram.buckets h);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m h.h_count);
+        Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" m (number h.h_sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" m h.h_count))
+      (sorted_bindings histograms (fun h -> h.h_name));
+    List.iter
+      (fun s ->
+        let values = Series.to_list s in
+        if values <> [] then begin
+          let m = metric s.s_name in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" m);
+          List.iteri
+            (fun i v ->
+              Buffer.add_string buf (Printf.sprintf "%s{index=\"%d\"} %d\n" m i v))
+            values
+        end)
+      (sorted_bindings series_tbl (fun s -> s.s_name));
+    Buffer.contents buf
+end
 
 let snapshot () =
   Json.Obj

@@ -56,6 +56,11 @@ module Gauge : sig
   val create : string -> t
   val set : t -> float -> unit
   val set_int : t -> int -> unit
+
+  (** [add g d] atomically adds [d] (possibly negative) to the gauge —
+      the shape used by in-flight / pending-work gauges. *)
+  val add : t -> float -> unit
+
   val value : t -> float
   val name : t -> string
 end
@@ -85,6 +90,13 @@ module Histogram : sig
   (** [buckets h] lists the non-empty buckets as [(upper_bound, count)];
       the overflow bucket reports [infinity] as its bound. *)
   val buckets : t -> (float * int) list
+
+  (** [quantile h q] estimates the [q]-quantile ([0. <= q <= 1.]) by
+      linear interpolation inside the log-spaced bucket that contains
+      the target rank, clamped to the observed [min]/[max]; [nan] while
+      the histogram is empty.  The estimate is monitoring-grade: its
+      error is bounded by the width of one bucket (a factor of 2). *)
+  val quantile : t -> float -> float
 
   val name : t -> string
 end
@@ -118,6 +130,15 @@ module Span : sig
       outside any span. *)
   val set_attr : string -> Json.t -> unit
 
+  (** [record ?attrs name ~start_s ~dur_s] records an already-finished
+      span backdated to [start_s] — the shape needed for phases whose
+      duration is only known after the fact, such as the time a request
+      spent queued before a worker picked it up.  The span nests under
+      the currently open span (if any) and is exported to the JSON-lines
+      sink immediately.  Subject to the same cap as {!with_span}. *)
+  val record :
+    ?attrs:(string * Json.t) list -> string -> start_s:float -> dur_s:float -> unit
+
   (** Recording cap on the total number of spans kept in memory. *)
   val max_spans : int
 end
@@ -131,8 +152,10 @@ val set_trace : bool -> unit
 (** [set_jsonl oc] exports every {e closed} span to [oc] as one JSON
     object per line ([{"type":"span","name":...,"depth":...,
     "start_s":...,"dur_s":...,"attrs":{...}}]); [None] (default)
-    disables the exporter.  The channel is flushed per line and is not
-    closed by this module. *)
+    disables the exporter.  A span without a ["trace"] attribute
+    inherits the one of its nearest open ancestor, so every line of a
+    request trace carries the request's trace id.  The channel is
+    flushed per line and is not closed by this module. *)
 val set_jsonl : out_channel option -> unit
 
 (** [log_summary ()] reports every instrument and top-level span through
@@ -142,11 +165,39 @@ val log_summary : unit -> unit
 
 val log_src : Logs.src
 
+(** {1 Prometheus exposition} *)
+
+module Prometheus : sig
+  (** Text exposition (format 0.0.4) over the whole registry, the
+      payload of the daemon's [/metrics] endpoint.  Instrument names are
+      sanitized ([.] becomes [_]) and prefixed with [qsynth_]; counters
+      gain the conventional [_total] suffix; histograms render their
+      cumulative [_bucket{le="..."}] lines (ending at [+Inf]) plus
+      [_sum]/[_count]; series render as a gauge family with an [index]
+      label.  Families are emitted counters–gauges–histograms–series,
+      each group sorted by name, so output is deterministic. *)
+
+  (** [render ()] is the full exposition document. *)
+  val render : unit -> string
+
+  (** The HTTP [Content-Type] for {!render}'s output. *)
+  val content_type : string
+
+  (** [sanitize_name s] maps an instrument name to a valid Prometheus
+      metric name (without the [qsynth_] prefix). *)
+  val sanitize_name : string -> string
+
+  (** [escape_label_value s] escapes backslash, double-quote and
+      newline for use inside a label value. *)
+  val escape_label_value : string -> string
+end
+
 (** {1 Snapshot} *)
 
 (** [snapshot ()] captures all registered instruments:
     [{"counters":{..}, "gauges":{..}, "histograms":{..}, "series":{..},
-      "spans":[..]}] — instrument maps are sorted by name; the span
+      "spans":[..]}] — instrument maps are sorted by name; histograms
+    include derived [p50]/[p90]/[p99] quantile estimates; the span
     forest is in recording order. *)
 val snapshot : unit -> Json.t
 

@@ -1,0 +1,161 @@
+(* Prometheus exposition golden tests.
+
+   This binary deliberately references ONLY [Telemetry]: instruments
+   register process-wide at [create], so a binary that linked the
+   engine or the server would start with their metric families already
+   in the registry and no golden could be exact.  Test order matters
+   for the same reason — the empty-registry golden runs first, and the
+   full golden creates every instrument it asserts about. *)
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+
+open Telemetry
+
+(* name sanitization *)
+
+let test_sanitize () =
+  check_s "dots become underscores" "server_queue_depth"
+    (Prometheus.sanitize_name "server.queue.depth");
+  check_s "valid name untouched" "mce_solve:plan"
+    (Prometheus.sanitize_name "mce_solve:plan");
+  check_s "dash and slash" "a_b_c" (Prometheus.sanitize_name "a-b/c");
+  check_s "leading digit prefixed" "_3qubit" (Prometheus.sanitize_name "3qubit");
+  check_s "empty name" "_" (Prometheus.sanitize_name "")
+
+let test_escape () =
+  check_s "backslash" {|a\\b|} (Prometheus.escape_label_value {|a\b|});
+  check_s "double quote" {|say \"hi\"|} (Prometheus.escape_label_value {|say "hi"|});
+  check_s "newline" {|line1\nline2|} (Prometheus.escape_label_value "line1\nline2");
+  check_s "plain passes through" "plan=index" (Prometheus.escape_label_value "plan=index")
+
+(* goldens *)
+
+let test_empty_registry () =
+  (* must run before any instrument is created in this binary *)
+  check_s "empty registry renders nothing" "" (Prometheus.render ())
+
+let test_full_golden () =
+  set_enabled true;
+  let c = Counter.create "req.count" in
+  Counter.add c 3;
+  let g = Gauge.create "pool.size" in
+  Gauge.set g 2.5;
+  let h = Histogram.create ~lo:1. ~buckets:4 "observe.lat" in
+  List.iter (Histogram.observe h) [ 0.5; 1.5; 3.0; 100.0 ];
+  let s = Series.create "census.levels" in
+  Series.set s ~index:0 1;
+  Series.set s ~index:1 9;
+  Series.set s ~index:2 40;
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE qsynth_req_count_total counter";
+        "qsynth_req_count_total 3";
+        "# TYPE qsynth_pool_size gauge";
+        "qsynth_pool_size 2.5";
+        "# TYPE qsynth_observe_lat histogram";
+        "qsynth_observe_lat_bucket{le=\"1\"} 1";
+        "qsynth_observe_lat_bucket{le=\"2\"} 2";
+        "qsynth_observe_lat_bucket{le=\"4\"} 3";
+        "qsynth_observe_lat_bucket{le=\"+Inf\"} 4";
+        "qsynth_observe_lat_sum 105";
+        "qsynth_observe_lat_count 4";
+        "# TYPE qsynth_census_levels gauge";
+        "qsynth_census_levels{index=\"0\"} 1";
+        "qsynth_census_levels{index=\"1\"} 9";
+        "qsynth_census_levels{index=\"2\"} 40";
+        "";
+      ]
+  in
+  check_s "full exposition" expected (Prometheus.render ())
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_bucket_cumulativity () =
+  set_enabled true;
+  let h = Histogram.create ~lo:1. ~buckets:6 "cumul.h" in
+  (* two observations in bucket 0, one in bucket 4; buckets 1-3 are
+     empty and must be skipped WITHOUT resetting the running total *)
+  List.iter (Histogram.observe h) [ 0.5; 0.7; 10.0 ];
+  let out = Prometheus.render () in
+  List.iter
+    (fun line -> check_b line true (contains out (line ^ "\n")))
+    [
+      "qsynth_cumul_h_bucket{le=\"1\"} 2";
+      "qsynth_cumul_h_bucket{le=\"16\"} 3";
+      "qsynth_cumul_h_bucket{le=\"+Inf\"} 3";
+      "qsynth_cumul_h_count 3";
+    ];
+  check_b "no le=\"2\" line for an empty bucket" false
+    (contains out "qsynth_cumul_h_bucket{le=\"2\"}")
+
+(* derived quantiles *)
+
+let test_quantiles () =
+  set_enabled true;
+  let h = Histogram.create ~lo:1. ~buckets:8 "quant.h" in
+  Alcotest.(check bool) "empty histogram is nan" true
+    (Float.is_nan (Histogram.quantile h 0.5));
+  Histogram.observe h 5.0;
+  (* a single observation: every quantile collapses to it (the
+     interpolated estimate is clamped to the observed min/max) *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "q=%.2f of single sample" q)
+        5.0 (Histogram.quantile h q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  let h2 = Histogram.create ~lo:1. ~buckets:8 "quant.h2" in
+  for _ = 1 to 90 do Histogram.observe h2 1.5 done;
+  for _ = 1 to 10 do Histogram.observe h2 100.0 done;
+  (* p50 must land in the 90%-bucket (1,2], p99 in the tail bucket *)
+  let p50 = Histogram.quantile h2 0.50 and p99 = Histogram.quantile h2 0.99 in
+  check_b "p50 within the bulk bucket" true (p50 >= 1.0 && p50 <= 2.0);
+  check_b "p99 in the tail" true (p99 > 2.0 && p99 <= 100.0);
+  (* snapshot carries the derived quantiles *)
+  match Telemetry.snapshot () with
+  | Json.Obj fields -> (
+      match List.assoc "histograms" fields with
+      | Json.Obj hs -> (
+          match List.assoc "quant.h2" hs with
+          | Json.Obj stats ->
+              check_b "snapshot has p50" true (List.mem_assoc "p50" stats);
+              check_b "snapshot has p90" true (List.mem_assoc "p90" stats);
+              check_b "snapshot has p99" true (List.mem_assoc "p99" stats)
+          | _ -> Alcotest.fail "quant.h2 not an object")
+      | _ -> Alcotest.fail "histograms not an object")
+  | _ -> Alcotest.fail "snapshot not an object"
+
+let test_gauge_add () =
+  set_enabled true;
+  let g = Gauge.create "add.g" in
+  Gauge.set g 0.;
+  Gauge.add g 3.;
+  Gauge.add g (-1.);
+  Alcotest.(check (float 1e-9)) "3 - 1" 2.0 (Gauge.value g);
+  check_b "rendered as integer" true
+    (contains (Prometheus.render ()) "qsynth_add_g 2\n")
+
+let () =
+  Alcotest.run "prometheus"
+    [
+      ( "render",
+        [
+          (* empty-registry golden MUST stay first: later tests register
+             instruments that would otherwise appear in its output *)
+          Alcotest.test_case "empty registry" `Quick test_empty_registry;
+          Alcotest.test_case "full golden" `Quick test_full_golden;
+          Alcotest.test_case "bucket cumulativity" `Quick test_bucket_cumulativity;
+          Alcotest.test_case "gauge add" `Quick test_gauge_add;
+        ] );
+      ( "names",
+        [
+          Alcotest.test_case "sanitize" `Quick test_sanitize;
+          Alcotest.test_case "escape" `Quick test_escape;
+        ] );
+      ("quantiles", [ Alcotest.test_case "histogram quantiles" `Quick test_quantiles ]);
+    ]

@@ -169,16 +169,17 @@ let response_gen : Mce.Response.t QCheck2.Gen.t =
   let open QCheck2.Gen in
   let* id = id_gen in
   let* err = bool in
+  let* trace = Option.map (Printf.sprintf "t-%x") <$> opt (int_range 0 0xffff) in
   if err then
     let* qubits = int_range 1 4 in
     let+ e = error_gen in
-    { Mce.Response.id; qubits; body = Error e }
+    { Mce.Response.id; trace; qubits; body = Error e }
   else
     (* Ok payloads embed bits-3 targets and cascades, so qubits = 3:
        of_json re-parses both against the document's qubit count. *)
     let* plan = plan_used_gen in
     let+ payload = payload_gen in
-    { Mce.Response.id; qubits = 3; body = Ok { plan; payload } }
+    { Mce.Response.id; trace; qubits = 3; body = Ok { plan; payload } }
 
 let response_roundtrip =
   qtest "Response: of_json (to_json r) = Ok r" response_gen (fun r ->
@@ -321,7 +322,7 @@ let service_cancelled () =
   | Error Mce.Response.Cancelled -> ()
   | body ->
       Alcotest.fail
-        (Mce.Response.to_string { id = None; qubits = 3; body })
+        (Mce.Response.to_string { id = None; trace = None; qubits = 3; body })
 
 let service_deadline () =
   let svc = Service.create ~jobs:jobs_under_test library3 in
@@ -330,7 +331,7 @@ let service_deadline () =
   | Error Mce.Response.Deadline_exceeded -> ()
   | body ->
       Alcotest.fail
-        (Mce.Response.to_string { id = None; qubits = 3; body })
+        (Mce.Response.to_string { id = None; trace = None; qubits = 3; body })
 
 let service_qubits_mismatch () =
   let svc = Service.create library3 in
@@ -467,6 +468,217 @@ let daemon_drain_in_flight () =
       | _fd2 -> Alcotest.fail "connect succeeded after drain"
       | exception Unix.Unix_error _ -> ())
 
+(* {1 HTTP observability endpoints} *)
+
+let find_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then None
+    else if String.sub haystack i nn = needle then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let contains haystack needle = find_sub haystack needle <> None
+
+let http_req port meth path =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf "%s %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+          meth path
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      match (String.index_opt raw ' ', find_sub raw "\r\n\r\n") with
+      | Some sp, Some sep ->
+          let code = int_of_string (String.trim (String.sub raw (sp + 1) 3)) in
+          let headers = String.sub raw 0 sep in
+          let body = String.sub raw (sep + 4) (String.length raw - sep - 4) in
+          (code, headers, body)
+      | _ -> Alcotest.fail ("malformed HTTP response: " ^ raw))
+
+let http_get port path = http_req port "GET" path
+
+let http_endpoints () =
+  let ready = ref false in
+  let srv = Http.start ~port:0 ~ready:(fun () -> !ready) () in
+  Fun.protect
+    ~finally:(fun () -> Http.stop srv)
+    (fun () ->
+      let port = Http.port srv in
+      let code, _, body = http_get port "/healthz" in
+      check Alcotest.int "healthz is 200" 200 code;
+      check Alcotest.string "healthz body" "ok" (String.trim body);
+      let code, _, _ = http_get port "/readyz" in
+      check Alcotest.int "readyz 503 before ready" 503 code;
+      ready := true;
+      let code, _, _ = http_get port "/readyz" in
+      check Alcotest.int "readyz 200 once ready" 200 code;
+      ready := false;
+      let code, _, _ = http_get port "/readyz" in
+      check Alcotest.int "readyz flips back on drain" 503 code;
+      Telemetry.set_enabled true;
+      Telemetry.Counter.incr (Telemetry.Counter.create "server.requests");
+      let code, headers, body = http_get port "/metrics" in
+      check Alcotest.int "metrics is 200" 200 code;
+      checkb "prometheus content type" true
+        (contains headers "text/plain; version=0.0.4");
+      checkb "exposition has TYPE lines" true (contains body "# TYPE qsynth_");
+      checkb "daemon counter exported" true
+        (contains body "qsynth_server_requests_total");
+      let code, _, _ = http_get port "/nope" in
+      check Alcotest.int "unknown path is 404" 404 code;
+      let code, _, _ = http_req port "POST" "/metrics" in
+      check Alcotest.int "non-GET is 405" 405 code)
+
+(* {1 Tracing through the daemon} *)
+
+let call_ok fd req =
+  match Protocol.call fd req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.fail ("transport: " ^ e)
+
+let daemon_trace_ids () =
+  (* With tracing on, every response carries a distinct trace id — and
+     the id survives the JSON round-trip (the wire is re-parsed by
+     [Protocol.call]).  Cache hits get fresh ids too: the id names the
+     request, not the computation. *)
+  let svc = Service.create ~jobs:jobs_under_test library3 in
+  let socket = temp_socket_path () in
+  let daemon = Daemon.start ~workers:1 ~trace:true ~socket svc in
+  let fd = Protocol.connect socket in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Daemon.stop daemon;
+      Daemon.wait daemon)
+    (fun () ->
+      let req = Mce.Request.make ~max_depth:5 "toffoli" in
+      let a = call_ok fd req in
+      let b = call_ok fd req in
+      (match (a.Mce.Response.trace, b.Mce.Response.trace) with
+      | Some ta, Some tb ->
+          checkb "distinct ids per request" true (not (String.equal ta tb))
+      | _ -> Alcotest.fail "tracing daemon answered without a trace id");
+      (* Overload-free sanity: the traced path must still agree with the
+         untraced result once the trace id is erased. *)
+      let oracle = Service.create ~jobs:jobs_under_test library3 in
+      let want = Mce.Response.to_string (Service.answer oracle req) in
+      let got = Mce.Response.to_string (Mce.Response.with_trace None a) in
+      check Alcotest.string "traced body equals untraced" want got)
+
+let daemon_untraced_has_no_trace () =
+  let svc = Service.create ~jobs:jobs_under_test library3 in
+  let socket = temp_socket_path () in
+  let daemon = Daemon.start ~workers:1 ~socket svc in
+  let fd = Protocol.connect socket in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Daemon.stop daemon;
+      Daemon.wait daemon)
+    (fun () ->
+      let resp = call_ok fd (Mce.Request.make ~max_depth:5 "toffoli") in
+      check Alcotest.(option string) "no trace id without observability"
+        None resp.Mce.Response.trace)
+
+(* {1 Slow-query log} *)
+
+let with_slow_daemon ~slow_ms f =
+  let path = Filename.temp_file "qsynth_slowlog" ".jsonl" in
+  let oc = open_out path in
+  let svc = Service.create ~jobs:jobs_under_test library3 in
+  let socket = temp_socket_path () in
+  let daemon = Daemon.start ~workers:1 ~slow_ms ~slow_oc:oc ~socket svc in
+  let fd = Protocol.connect socket in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Daemon.stop daemon;
+          Daemon.wait daemon;
+          close_out oc)
+        (fun () -> ignore (f fd));
+      let ic = open_in path in
+      let rec lines acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | l -> lines (l :: acc)
+      in
+      let ls = lines [] in
+      close_in ic;
+      ls)
+
+let slow_log_threshold_zero () =
+  (* slow_ms = 0: every request crosses the threshold, including cache
+     hits.  Each line is one JSON object with the documented fields. *)
+  let lines =
+    with_slow_daemon ~slow_ms:0 (fun fd ->
+        let req = Mce.Request.make ~max_depth:5 "toffoli" in
+        ignore (call_ok fd req);
+        ignore (call_ok fd req))
+  in
+  check Alcotest.int "one line per request" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      let open Telemetry in
+      match Json.of_string line with
+      | exception Json.Parse_error e -> Alcotest.fail (e ^ ": " ^ line)
+      | Json.Obj fields ->
+          check Alcotest.(option string) "type tag" (Some "slow_query")
+            (match List.assoc_opt "type" fields with
+            | Some (Json.String s) -> Some s
+            | _ -> None);
+          checkb "has trace id" true (List.mem_assoc "trace" fields);
+          List.iter
+            (fun k -> checkb ("has " ^ k) true (List.mem_assoc k fields))
+            [ "key"; "plan"; "source"; "outcome"; "queue_depth";
+              "queue_wait_s"; "cache_s"; "coalesce_wait_s"; "solve_s";
+              "write_s"; "total_s" ]
+      | _ -> Alcotest.fail ("not an object: " ^ line))
+    lines
+
+let slow_log_threshold_high () =
+  (* An unreachable threshold logs nothing, but the traced path still
+     answers normally. *)
+  let lines =
+    with_slow_daemon ~slow_ms:3_600_000 (fun fd ->
+        ignore (call_ok fd (Mce.Request.make ~max_depth:5 "toffoli")))
+  in
+  check Alcotest.int "no slow lines" 0 (List.length lines)
+
+let slow_log_negative_rejected () =
+  let svc = Service.create ~jobs:jobs_under_test library3 in
+  match Daemon.start ~workers:1 ~slow_ms:(-1) ~socket:(temp_socket_path ()) svc with
+  | _ -> Alcotest.fail "negative slow_ms accepted"
+  | exception Invalid_argument _ -> ()
+
+let daemon_draining_flag () =
+  let svc = Service.create ~jobs:jobs_under_test library3 in
+  let socket = temp_socket_path () in
+  let daemon = Daemon.start ~workers:1 ~socket svc in
+  checkb "not draining after start" false (Daemon.draining daemon);
+  Daemon.stop daemon;
+  checkb "draining right after stop" true (Daemon.draining daemon);
+  Daemon.wait daemon;
+  checkb "still draining after wait" true (Daemon.draining daemon)
+
 let () =
   Alcotest.run "server"
     [
@@ -511,5 +723,24 @@ let () =
             daemon_stress;
           Alcotest.test_case "graceful drain answers in-flight" `Quick
             daemon_drain_in_flight;
+          Alcotest.test_case "draining flag transitions" `Quick
+            daemon_draining_flag;
+        ] );
+      ( "http",
+        [ Alcotest.test_case "metrics/healthz/readyz" `Quick http_endpoints ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "trace ids round-trip" `Quick daemon_trace_ids;
+          Alcotest.test_case "no trace id when untraced" `Quick
+            daemon_untraced_has_no_trace;
+        ] );
+      ( "slow-log",
+        [
+          Alcotest.test_case "threshold 0 logs every request" `Quick
+            slow_log_threshold_zero;
+          Alcotest.test_case "unreachable threshold logs nothing" `Quick
+            slow_log_threshold_high;
+          Alcotest.test_case "negative threshold rejected" `Quick
+            slow_log_negative_rejected;
         ] );
     ]
