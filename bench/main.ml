@@ -1,13 +1,14 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (printed first, with wall-clock timings), then runs one Bechamel
    micro-benchmark per experiment, and finally writes the machine-readable
-   perf artifact BENCH_5.json (named experiment timings + bechamel
-   estimates + parallel-census rows for jobs = 1/2/4 + the checkpoint
-   durability overhead row + query-latency rows comparing the forward
-   BFS, the persistent census index and the meet-in-the-middle engine +
-   server-latency rows comparing a warm service against one-shot cold
-   evaluation + the telemetry snapshot of the depth-7 census).  Each PR
-   that moves performance appends BENCH_N.json in the same schema to
+   perf artifact BENCH_7.json (named experiment timings + bechamel
+   estimates + parallel-census rows for jobs = 1/2/4 with the effective
+   rank count + the checkpoint durability overhead row + quotient-vs-raw
+   census rows at depths 7 and 8 + query-latency rows comparing the
+   forward BFS, the persistent census index and the meet-in-the-middle
+   engine + server-latency rows comparing a warm service against one-shot
+   cold evaluation + the telemetry snapshot of the depth-7 census).  Each
+   PR that moves performance appends BENCH_N.json in the same schema to
    track the perf trajectory; the schema is documented in
    doc/OBSERVABILITY.md.
 
@@ -385,11 +386,18 @@ let reproduce_qrng () =
 let reproduce_parallel_census () =
   hr "Parallel census: depth 7 at jobs = 1, 2, 4";
   let reference = ref None in
+  let g_jobs_eff = Telemetry.Gauge.create "search.jobs.effective" in
   List.map
     (fun jobs ->
       let g0 = Gc.quick_stat () in
       let t0 = Unix.gettimeofday () in
+      (* The effective-jobs gauge is written by the engine per step;
+         telemetry is scoped to this run so the gauge reflects the final
+         (largest-frontier) level of exactly this census. *)
+      Telemetry.set_enabled true;
       let census = Fmcf.run ~max_depth:7 ~jobs library3 in
+      let effective = int_of_float (Telemetry.Gauge.value g_jobs_eff) in
+      Telemetry.set_enabled false;
       let dt = Unix.gettimeofday () -. t0 in
       let g1 = Gc.quick_stat () in
       let words g = g.Gc.minor_words +. g.Gc.major_words -. g.Gc.promoted_words in
@@ -402,11 +410,26 @@ let reproduce_parallel_census () =
       | Some expected ->
           if counts <> expected then
             failwith (Printf.sprintf "census diverged at jobs=%d" jobs));
+      (* The BENCH_3 regression guard: adaptation must be live on every
+         row.  Depth 7's deepest frontier is far above the per-rank
+         chunk threshold, so the effective count must equal the request
+         capped by the machine's recommended domain count — an
+         oversubscribed rank count here is exactly the jobs=4 skew
+         BENCH_3 recorded. *)
+      let expected_eff = min jobs (Domain.recommended_domain_count ()) in
+      if effective <> expected_eff then
+        failwith
+          (Printf.sprintf
+             "effective-jobs adaptation inactive at jobs=%d: engine ran %d \
+              ranks, expected %d"
+             jobs effective expected_eff);
       timings := (Printf.sprintf "census-depth7/jobs=%d" jobs, dt) :: !timings;
-      Format.printf "jobs=%d: %7.3fs, %d states, %6.1f Mwords allocated, %.1f MB arena@."
-        jobs dt states (allocated /. 1e6)
+      Format.printf
+        "jobs=%d (effective %d): %7.3fs, %d states, %6.1f Mwords allocated, \
+         %.1f MB arena@."
+        jobs effective dt states (allocated /. 1e6)
         (float_of_int arena /. 1e6);
-      (jobs, dt, allocated, states, arena))
+      (jobs, effective, dt, allocated, states, arena))
     [ 1; 2; 4 ]
 
 (* Checkpoint durability overhead: the BENCH_3 experiment.  Times the
@@ -456,6 +479,75 @@ let reproduce_checkpoint_overhead () =
     plain checkpointed (100. *. overhead)
     (float_of_int !bytes /. 1e6);
   (plain, checkpointed, overhead, !bytes)
+
+(* Symmetry-quotiented census: the BENCH_7 experiment.  Runs the depth-7
+   and depth-8 censuses raw and under --quotient behind the same 1 GiB
+   arena guard, checks the function tables agree wherever both modes
+   completed, and enforces the quotient's contract against the BENCH_2
+   trajectory: the depth-7 quotient arena must hold at most 1/20 of the
+   raw state count and beat the BENCH_2 jobs=1 baseline (0.82 s) by at
+   least 5x.  Stop reasons are recorded as measured — a raw depth-8 that
+   trips the guard is reported as the partial run it is, not hidden. *)
+let bench2_baseline_seconds = 0.82
+let quotient_mem_guard = 1 lsl 30
+
+let reproduce_quotient_census () =
+  hr "Symmetry quotient: census raw vs --quotient at depths 7 and 8";
+  let row ~depth ~quotient =
+    let t0 = Unix.gettimeofday () in
+    let census, reason =
+      Fmcf.run_guarded ~max_depth:depth ~quotient ~max_mem:quotient_mem_guard
+        library3
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let states = Search.size (Fmcf.search census) in
+    let arena = Search.arena_bytes (Fmcf.search census) in
+    let mode = if quotient then "quotient" else "raw" in
+    timings := (Printf.sprintf "census-depth%d/%s" depth mode, dt) :: !timings;
+    Format.printf "depth %d %-8s: %7.3fs, %8d states, %6.1f MB arena, %s@." depth
+      mode dt states
+      (float_of_int arena /. 1e6)
+      (Fmcf.describe_stop reason);
+    (depth, quotient, dt, states, arena, census, reason)
+  in
+  let rows =
+    [
+      row ~depth:7 ~quotient:false;
+      row ~depth:7 ~quotient:true;
+      row ~depth:8 ~quotient:false;
+      row ~depth:8 ~quotient:true;
+    ]
+  in
+  let census_of (_, _, _, _, _, c, _) = c in
+  let raw7 = List.nth rows 0 and q7 = List.nth rows 1 in
+  let (_, _, raw7_dt, raw7_states, _, _, raw7_reason) = raw7 in
+  let (_, _, q7_dt, q7_states, _, _, q7_reason) = q7 in
+  if raw7_reason <> Fmcf.Completed || q7_reason <> Fmcf.Completed then
+    failwith "depth-7 census did not complete under the arena guard";
+  if Fmcf.counts (census_of raw7) <> Fmcf.counts (census_of q7) then
+    failwith "quotient census diverged from raw at depth 7";
+  if q7_states * 20 > raw7_states then
+    failwith
+      (Printf.sprintf
+         "quotient arena too large: %d states vs %d raw (need <= 1/20)" q7_states
+         raw7_states);
+  if q7_dt > bench2_baseline_seconds /. 5. then
+    failwith
+      (Printf.sprintf
+         "quotient depth-7 census took %.3fs, need <= %.3fs (5x the BENCH_2 \
+          jobs=1 baseline)"
+         q7_dt
+         (bench2_baseline_seconds /. 5.));
+  let (_, _, _, _, _, _, q8_reason) = List.nth rows 3 in
+  if q8_reason <> Fmcf.Completed then
+    failwith "quotient depth-8 census did not complete under the arena guard";
+  Format.printf
+    "depth-7 reduction: %.1fx states, %.1fx time vs raw (%.0fx vs the BENCH_2 \
+     baseline)@."
+    (float_of_int raw7_states /. float_of_int (max 1 q7_states))
+    (raw7_dt /. q7_dt)
+    (bench2_baseline_seconds /. q7_dt);
+  List.map (fun (d, q, dt, s, a, _, r) -> (d, q, dt, s, a, r)) rows
 
 (* Query latency: the BENCH_4 experiment.  One synthesis question, three
    plans: the forward BFS of the paper, a binary search over the
@@ -794,7 +886,7 @@ let run_bechamel () =
    the repository's history. *)
 
 let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoint_row
-    ~query_rows ~server_latency ~server_load path =
+    ~quotient_rows ~query_rows ~server_latency ~server_load path =
   let open Telemetry in
   let plain, checkpointed, overhead, snapshot_bytes = checkpoint_row in
   let server_warm_depth, server_rows = server_latency in
@@ -827,7 +919,7 @@ let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoi
     Json.Obj
       [
         ("schema_version", Json.Int 1);
-        ("bench_id", Json.Int 6);
+        ("bench_id", Json.Int 7);
         ("generated_by", Json.String "bench/main.ml");
         ("unix_time", Json.Float (Unix.time ()));
         ("ocaml_version", Json.String Sys.ocaml_version);
@@ -844,16 +936,38 @@ let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoi
         ( "parallel_census",
           Json.List
             (List.map
-               (fun (jobs, dt, allocated, states, arena) ->
+               (fun (jobs, effective, dt, allocated, states, arena) ->
                  Json.Obj
                    [
                      ("jobs", Json.Int jobs);
+                     ("search.jobs.effective", Json.Int effective);
                      ("seconds", Json.Float dt);
                      ("allocated_words", Json.Float allocated);
                      ("states", Json.Int states);
                      ("arena_bytes", Json.Int arena);
                    ])
                parallel_rows) );
+        ( "quotient_census",
+          Json.Obj
+            [
+              ("mem_guard_bytes", Json.Int quotient_mem_guard);
+              ("bench2_baseline_seconds", Json.Float bench2_baseline_seconds);
+              ( "rows",
+                Json.List
+                  (List.map
+                     (fun (depth, quotient, dt, states, arena, reason) ->
+                       Json.Obj
+                         [
+                           ("depth", Json.Int depth);
+                           ("quotient", Json.Bool quotient);
+                           ("seconds", Json.Float dt);
+                           ("states", Json.Int states);
+                           ("arena_bytes", Json.Int arena);
+                           ( "stop_reason",
+                             Json.String (Fmcf.describe_stop reason) );
+                         ])
+                     quotient_rows) );
+            ] );
         ( "checkpoint_overhead",
           Json.Obj
             [
@@ -919,7 +1033,8 @@ let () =
   let server_load = reproduce_server_load census in
   let parallel_rows = reproduce_parallel_census () in
   let checkpoint_row = reproduce_checkpoint_overhead () in
+  let quotient_rows = reproduce_quotient_census () in
   let bechamel_rows = run_bechamel () in
-  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_6.json" in
+  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_7.json" in
   write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoint_row
-    ~query_rows ~server_latency ~server_load path
+    ~quotient_rows ~query_rows ~server_latency ~server_load path

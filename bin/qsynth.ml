@@ -207,9 +207,90 @@ let jobs_arg =
 
 (* census *)
 
+(* [--stats]: the per-depth symmetry-quotient analysis.  In quotient mode
+   the arena itself holds the orbit counts (and the search.quotient.*
+   telemetry the ISSUE names the reduction after); in raw mode the
+   analysis canonicalizes the stored arena post hoc, so the two modes
+   print mutually consistent tables. *)
+let print_quotient_stats census =
+  let search = Fmcf.search census in
+  let reached = Search.depth search in
+  let library = Search.library search in
+  match Search.symmetry search with
+  | Some sym ->
+      Format.printf
+        "Symmetry quotient: group order %d (wire relabelings), x%d NOT cosets \
+         at the function level@."
+        (Symmetry.order sym) (Symmetry.not_cosets sym);
+      Format.printf "  depth    orbits    images  img/orbit@.";
+      let tot_orbits = ref 0 and tot_images = ref 0 in
+      for d = 0 to reached do
+        let hs = Search.handles_at_depth search d in
+        let orbits = Array.length hs in
+        let images =
+          Array.fold_left
+            (fun acc h ->
+              acc
+              + List.length
+                  (Symmetry.orbit_images sym (Search.key_of_handle search h)))
+            0 hs
+        in
+        tot_orbits := !tot_orbits + orbits;
+        tot_images := !tot_images + images;
+        Format.printf "  %5d %9d %9d %10.2f@." d orbits images
+          (float_of_int images /. float_of_int (max 1 orbits))
+      done;
+      Format.printf "  total %9d %9d %10.2f@." !tot_orbits !tot_images
+        (float_of_int !tot_images /. float_of_int (max 1 !tot_orbits));
+      (match Search.quotient_collapsed search with
+      | Some (news, hits) when news + hits > 0 ->
+          Format.printf
+            "  canonicalization: %d expansions collapsed onto %d stored \
+             representatives@."
+            (hits + news) news
+      | _ -> (* resumed engines only tally levels run after the resume *) ())
+  | None ->
+      (* Raw arena: canonicalize each state's binary image after the fact. *)
+      let sym = Symmetry.create library in
+      Format.printf
+        "Symmetry analysis of the raw arena (group order %d; run with \
+         --quotient to store one representative per orbit):@."
+        (Symmetry.order sym);
+      Format.printf "  depth    states    images    orbits  reduction@.";
+      let tot_s = ref 0 and tot_i = ref 0 and tot_o = ref 0 in
+      (* Images and orbits are attributed to the first depth they appear
+         at (a state at depth d can share its binary image with a
+         shallower state), so this table matches the quotient-mode one:
+         its per-depth orbit column is what [--quotient] would store. *)
+      let images = Hashtbl.create 4096 and orbits = Hashtbl.create 4096 in
+      for d = 0 to reached do
+        let hs = Search.handles_at_depth search d in
+        let ni = ref 0 and no = ref 0 in
+        Array.iter
+          (fun h ->
+            let img = Search.binary_image_of_handle search h in
+            if not (Hashtbl.mem images img) then begin
+              Hashtbl.add images img ();
+              incr ni;
+              let c, _ = Symmetry.canon sym img in
+              if not (Hashtbl.mem orbits c) then begin
+                Hashtbl.add orbits c ();
+                incr no
+              end
+            end)
+          hs;
+        tot_s := !tot_s + Array.length hs;
+        tot_i := !tot_i + !ni;
+        tot_o := !tot_o + !no;
+        Format.printf "  %5d %9d %9d %9d %9.1fx@." d (Array.length hs) !ni !no
+          (float_of_int (Array.length hs) /. float_of_int (max 1 !no))
+      done;
+      Format.printf "  total %9d %9d %9d %9.1fx@." !tot_s !tot_i !tot_o
+        (float_of_int !tot_s /. float_of_int (max 1 !tot_o))
+
 let census_cmd =
-  let run finish_telemetry qubits depth jobs paper_variant save emit_index
-      checkpoint every resume max_states max_mem timeout =
+  let run finish_telemetry qubits depth jobs paper_variant quotient stats save
+      emit_index checkpoint every resume max_states max_mem timeout =
     (* An async checkpoint write may be in flight when an exception
        escapes; let it finish (best effort) so the file keeps the last
        boundary — the primary error is what gets reported. *)
@@ -219,6 +300,12 @@ let census_cmd =
     in
     guarded ~finish @@ fun () ->
     let library = make_library qubits in
+    if paper_variant && quotient then
+      failwith
+        "--paper-variant cannot be combined with --quotient: the paper's \
+         printed counts depend on duplicate candidates within a level, which \
+         a one-representative-per-orbit arena never re-materializes (the \
+         exact counts, |S8[k]| and all witnesses are identical in both modes)";
     let last_saved = ref (-1) in
     let resume_search =
       match resume with
@@ -227,7 +314,10 @@ let census_cmd =
           | Some path when not (Sys.file_exists path) ->
               (* Seed the checkpoint at level 0 before searching, so a
                  crash at any point of the run leaves a resumable file. *)
-              let s = Search.create ~jobs library in
+              let symmetry =
+                if quotient then Some (Symmetry.create library) else None
+              in
+              let s = Search.create ~jobs ?symmetry library in
               Checkpoint.save s path;
               last_saved := 0;
               Some s
@@ -240,6 +330,17 @@ let census_cmd =
                  "snapshot %s is already at level %d, beyond --depth %d; pass a \
                   deeper --depth to continue it"
                  path h.Checkpoint.depth depth);
+          (* The snapshot's own mode wins: a v2 file resumes quotiented,
+             a v1 file resumes raw, whatever --quotient says. *)
+          (match (h.Checkpoint.symmetry, quotient) with
+          | None, true ->
+              Format.eprintf
+                "warning: %s is a raw (v1) snapshot; resuming unquotiented@." path
+          | Some _, false ->
+              Format.eprintf
+                "warning: %s is a quotient (v2) snapshot; resuming quotiented@."
+                path
+          | _ -> ());
           Some (Checkpoint.load ~jobs library path)
     in
     let should_stop = install_cancel () in
@@ -262,8 +363,8 @@ let census_cmd =
     in
     let t0 = Unix.gettimeofday () in
     let census, reason =
-      Fmcf.run_guarded ~max_depth:depth ~jobs ?resume:resume_search ?max_states
-        ?max_mem ?timeout ~should_stop ~on_level library
+      Fmcf.run_guarded ~max_depth:depth ~jobs ~quotient ?resume:resume_search
+        ?max_states ?max_mem ?timeout ~should_stop ~on_level library
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     let reached = Search.depth (Fmcf.search census) in
@@ -293,8 +394,9 @@ let census_cmd =
           (Census_index.size index) (Census_index.depth index) path
     | None -> ());
     let counts = if paper_variant then Fmcf.paper_counts census else Fmcf.counts census in
-    Format.printf "Table 2: number of circuits with cost k (%d qubits, depth %d)@."
-      qubits depth;
+    Format.printf "Table 2: number of circuits with cost k (%d qubits, depth %d%s)@."
+      qubits depth
+      (if Fmcf.quotiented census then ", symmetry quotient" else "");
     Format.printf "Cost k  :";
     List.iter (fun (k, _) -> Format.printf " %6d" k) counts;
     Format.printf "@.|G[k]|  :";
@@ -305,6 +407,7 @@ let census_cmd =
       (Fmcf.total_found census)
       (Search.size (Fmcf.search census))
       elapsed;
+    if stats then print_quotient_stats census;
     (match note with
     | Some n -> Format.printf "*** %s ***@." n
     | None -> ());
@@ -318,7 +421,26 @@ let census_cmd =
   let paper_flag =
     Arg.(value & flag & info [ "paper-variant" ]
            ~doc:"Report the counts exactly as printed in the paper's Table 2 \
-                 (reproducing its two counting artifacts at k = 2, 3).")
+                 (reproducing its two counting artifacts at k = 2, 3).  \
+                 Incompatible with $(b,--quotient).")
+  in
+  let quotient_flag =
+    Arg.(value & flag & info [ "quotient" ]
+           ~doc:"Run the BFS over canonical orbit representatives under the \
+                 library's wire-relabeling symmetry group (Schreier-verified; \
+                 see doc/PERFORMANCE.md, 'Symmetry quotient').  The arena \
+                 stores ~200x fewer states at depth 7 and every reported \
+                 count, member, witness cascade and emitted index is \
+                 byte-identical to the unquotiented run.  Checkpoints are \
+                 written in the v2 format and resume quotiented.")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"After the census, print the per-depth symmetry-quotient \
+                 analysis: raw state counts vs orbit counts and the measured \
+                 reduction factor (from the search.quotient.* telemetry in \
+                 quotient mode; computed by canonicalizing the raw arena \
+                 otherwise).")
   in
   let save_arg =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
@@ -375,8 +497,8 @@ let census_cmd =
        ~doc:"Reproduce Table 2: |G[k]| for k = 0..depth.")
     Term.(
       const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ paper_flag
-      $ save_arg $ emit_index_arg $ checkpoint_arg $ every_arg $ resume_arg
-      $ max_states_arg $ max_mem_arg $ timeout_arg)
+      $ quotient_flag $ stats_flag $ save_arg $ emit_index_arg $ checkpoint_arg
+      $ every_arg $ resume_arg $ max_states_arg $ max_mem_arg $ timeout_arg)
 
 (* {1 The unified query surface}
 

@@ -9,6 +9,13 @@ let m_hits = Telemetry.Counter.create "census_index.hits"
 let c_bytes = Telemetry.Counter.create "census_index.write.bytes"
 let h_build = Telemetry.Histogram.create "census_index.build.seconds"
 
+(* The index is quotient-agnostic: {!build} consumes (func_key, cost,
+   witness) triples from {!Fmcf} and sorts records by func_key, and a
+   quotient census produces exactly the same triples as a raw one
+   ({!Fmcf.cascade_of_member} reconstructs the same canonical witness in
+   both modes), so QSYNIDX1 files emitted with and without [--quotient]
+   are byte-identical — the property the CI parity job diffs. *)
+
 (* On-disk format (QSYNIDX1, little-endian), reusing the QSYNCKP1
    atomic-write + CRC machinery from {!Checkpoint}:
 

@@ -18,10 +18,20 @@ type header = {
   depth : int;
   states : int;
   frontier_len : int;
+  symmetry : int64 option;
+      (* Some fp: quotient snapshot (format v2) — fp is the
+         Symmetry.fingerprint of the group the arena was canonicalized
+         under.  None: raw snapshot (format v1). *)
 }
 
 let magic = "QSYNCKP1"
-let version = 1
+
+(* v1: raw snapshots (no symmetry section, 11-byte state meta).
+   v2: quotient snapshots — an extra symmetry-group fingerprint after the
+   library fingerprint, and a per-state conjugator byte in the meta.  A
+   v1 file is explicitly "no quotient"; either version loads. *)
+let version_raw = 1
+let version_quotient = 2
 
 (* {1 CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320)} *)
 
@@ -127,8 +137,8 @@ let fingerprint library =
 
 type capture = {
   header : header;
-  shards : (int * int array * int array * int array) array;
-      (* count, depths, vias, parents *)
+  shards : (int * int array * int array * int array * Bytes.t) array;
+      (* count, depths, vias, parents, conjs *)
 }
 
 let capture search =
@@ -144,14 +154,17 @@ let capture search =
       depth = Search.depth search;
       states = State_arena.size store;
       frontier_len = Array.length (Search.frontier_handles search);
+      symmetry = Option.map Symmetry.fingerprint (Search.symmetry search);
     }
   in
   {
     header;
     shards =
       Array.init State_arena.num_shards (fun s ->
-          let count, _keys, depths, vias, parents = State_arena.shard_columns store s in
-          (count, depths, vias, parents));
+          let count, _keys, depths, vias, parents, conjs =
+            State_arena.shard_columns store s
+          in
+          (count, depths, vias, parents, conjs));
   }
 
 (* {1 Serialization}
@@ -162,10 +175,13 @@ let capture search =
 
 let header_bytes = 8 + 4 + 8 + (6 * 4) + (2 * 8)
 let meta_bytes = 2 + 1 + 8 (* depth u16, via+1 u8, parent+1 u64 *)
+let meta_bytes_q = meta_bytes + 1 (* + conjugator u8 *)
 
 let serialized_size c =
+  let mb = if c.header.symmetry = None then meta_bytes else meta_bytes_q in
   let n = ref (header_bytes + 4) in
-  Array.iter (fun (count, _, _, _) -> n := !n + 4 + (count * meta_bytes)) c.shards;
+  if c.header.symmetry <> None then n := !n + 8;
+  Array.iter (fun (count, _, _, _, _) -> n := !n + 4 + (count * mb)) c.shards;
   !n
 
 let serialize c =
@@ -182,9 +198,15 @@ let serialize c =
   in
   Bytes.blit_string magic 0 buf 0 8;
   pos := 8;
-  put_u32 version;
+  let quotient = h.symmetry <> None in
+  put_u32 (if quotient then version_quotient else version_raw);
   Bytes.set_int64_le buf !pos h.fingerprint;
   pos := !pos + 8;
+  (match h.symmetry with
+  | None -> ()
+  | Some fp ->
+      Bytes.set_int64_le buf !pos fp;
+      pos := !pos + 8);
   put_u32 h.qubits;
   put_u32 h.degree;
   put_u32 h.num_binary;
@@ -194,15 +216,20 @@ let serialize c =
   put_u64 h.frontier_len;
   put_u32 (Array.length c.shards);
   Array.iter
-    (fun (count, depths, vias, parents) ->
+    (fun (count, depths, vias, parents, conjs) ->
       put_u32 count;
       for idx = 0 to count - 1 do
         Bytes.set_int16_le buf !pos depths.(idx);
         (* via and parent are -1 at the root; bias by one so the stored
            fields are unsigned *)
         Bytes.set_uint8 buf (!pos + 2) (vias.(idx) + 1);
-        Bytes.set_int64_le buf (!pos + 3) (Int64.of_int (parents.(idx) + 1));
-        pos := !pos + meta_bytes
+        pos := !pos + 3;
+        if quotient then begin
+          Bytes.set_uint8 buf !pos (Char.code (Bytes.get conjs idx));
+          incr pos
+        end;
+        Bytes.set_int64_le buf !pos (Int64.of_int (parents.(idx) + 1));
+        pos := !pos + 8
       done)
     c.shards;
   put_u32 (crc32 buf ~off:0 ~len:(Bytes.length buf - 4));
@@ -390,11 +417,23 @@ let checked_reader path =
 
 let read_header r =
   let v = read_u32 r in
-  if v <> version then
-    raise (Mismatch (Printf.sprintf "snapshot format version %d, this build reads %d" v version));
+  if v <> version_raw && v <> version_quotient then
+    raise
+      (Mismatch
+         (Printf.sprintf "snapshot format version %d, this build reads %d and %d" v
+            version_raw version_quotient));
   need r 8;
   let fingerprint = Bytes.get_int64_le r.buf r.pos in
   r.pos <- r.pos + 8;
+  let symmetry =
+    if v = version_raw then None
+    else begin
+      need r 8;
+      let fp = Bytes.get_int64_le r.buf r.pos in
+      r.pos <- r.pos + 8;
+      Some fp
+    end
+  in
   let qubits = read_u32 r in
   let degree = read_u32 r in
   let num_binary = read_u32 r in
@@ -408,7 +447,8 @@ let read_header r =
       (Mismatch
          (Printf.sprintf "snapshot has %d shards, this build uses %d" num_shards
             State_arena.num_shards));
-  { fingerprint; qubits; degree; num_binary; num_gates; depth; states; frontier_len }
+  { fingerprint; qubits; degree; num_binary; num_gates; depth; states; frontier_len;
+    symmetry }
 
 let peek path =
   let r = checked_reader path in
@@ -420,9 +460,15 @@ let check_library library (h : header) =
   if h.qubits <> Library.qubits library then
     fail "snapshot is for a %d-qubit library, this run uses %d qubits" h.qubits
       (Library.qubits library);
-  let degree = Mvl.Encoding.size (Library.encoding library) in
+  (* a quotient arena stores num_binary-byte image keys, not full point
+     permutations *)
+  let degree =
+    match h.symmetry with
+    | None -> Mvl.Encoding.size (Library.encoding library)
+    | Some _ -> Mvl.Encoding.num_binary (Library.encoding library)
+  in
   if h.degree <> degree then
-    fail "snapshot encoding has %d points, this library's has %d" h.degree degree;
+    fail "snapshot key length is %d bytes, this library expects %d" h.degree degree;
   if h.num_gates <> Library.size library then
     fail "snapshot library has %d gates, this one has %d" h.num_gates
       (Library.size library);
@@ -485,18 +531,99 @@ let rebuild_keys library ~degree ~max_d ~counts ~depths ~vias ~parents =
   done;
   keys
 
+(* [rebuild_keys_quotient] is the v2 replay: a child's key is the
+   {e canonical form} of its parent's key mapped through its [via] gate,
+   and the conjugator that canonicalization picks must equal the recorded
+   one — a snapshot whose conjugators disagree with its own parent chain
+   is rejected as corrupt rather than silently re-derived, since the
+   conjugators are what witness reconstruction conjugates through. *)
+let rebuild_keys_quotient sym library ~klen ~max_d ~counts ~depths ~vias ~parents
+    ~conjs =
+  let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt in
+  let perms =
+    Array.map (fun (e : Library.entry) -> e.Library.perm_array) (Library.entries library)
+  in
+  let num_gates = Array.length perms in
+  let num_shards = Array.length counts in
+  let keys = Array.init num_shards (fun s -> Bytes.create (counts.(s) * klen)) in
+  let raw = Bytes.create klen in
+  let tmp = Bytes.create klen in
+  for d = 0 to max_d do
+    for s = 0 to num_shards - 1 do
+      let ds = depths.(s) in
+      for idx = 0 to counts.(s) - 1 do
+        if ds.(idx) = d then begin
+          let off = idx * klen in
+          if d = 0 then
+            for j = 0 to klen - 1 do
+              Bytes.set keys.(s) (off + j) (Char.chr j)
+            done
+          else begin
+            let via = vias.(s).(idx) in
+            let p = parents.(s).(idx) in
+            if via < 0 || via >= num_gates then
+              corrupt "state has gate index %d outside the %d-gate library" via num_gates;
+            if p < 0 then corrupt "non-root state at level %d has no parent" d;
+            let ps = State_arena.shard_of_handle p in
+            let pi = State_arena.index_of_handle p in
+            if pi >= counts.(ps) then
+              corrupt "parent handle %d points past shard %d (%d states)" p ps counts.(ps);
+            if depths.(ps).(pi) <> d - 1 then
+              corrupt "parent of a level-%d state sits at level %d" d depths.(ps).(pi);
+            let pa = perms.(via) in
+            let pkeys = keys.(ps) in
+            let poff = pi * klen in
+            for j = 0 to klen - 1 do
+              Bytes.unsafe_set raw j
+                (Char.unsafe_chr pa.(Char.code (Bytes.unsafe_get pkeys (poff + j))))
+            done;
+            let conj = Symmetry.canon_into sym ~src:raw ~soff:0 ~tmp ~dst:keys.(s) ~doff:off in
+            if conj <> Char.code (Bytes.get conjs.(s) idx) then
+              corrupt
+                "level-%d state records conjugator %d but its parent chain \
+                 canonicalizes with %d"
+                d
+                (Char.code (Bytes.get conjs.(s) idx))
+                conj
+          end
+        end
+      done
+    done
+  done;
+  keys
+
 let load ?(jobs = 1) library path =
   let r = checked_reader path in
   let header = read_header r in
   check_library library header;
   let encoding = Library.encoding library in
+  (* The quotient group is rebuilt from the library, never trusted from
+     the file: the recorded fingerprint only proves the snapshot was
+     canonicalized under the {e same} group. *)
+  let symmetry =
+    match header.symmetry with
+    | None -> None
+    | Some fp ->
+        let sym = Symmetry.create library in
+        if not (Int64.equal (Symmetry.fingerprint sym) fp) then
+          raise
+            (Mismatch
+               (Printf.sprintf
+                  "quotient snapshot was canonicalized under a different symmetry \
+                   group (fingerprint %Lx, this library's group %Lx)"
+                  fp (Symmetry.fingerprint sym)));
+        Some sym
+  in
   let degree = header.degree in
-  let signatures = Array.init degree (Mvl.Encoding.mixed_signature encoding) in
+  let signatures =
+    Array.init (Mvl.Encoding.size encoding) (Mvl.Encoding.mixed_signature encoding)
+  in
   let num_shards = State_arena.num_shards in
   let counts = Array.make num_shards 0 in
   let depths = Array.make num_shards [||] in
   let vias = Array.make num_shards [||] in
   let parents = Array.make num_shards [||] in
+  let conjs = Array.make num_shards Bytes.empty in
   let total = ref 0 and max_d = ref 0 in
   for shard = 0 to num_shards - 1 do
     let count = read_u32 r in
@@ -504,15 +631,18 @@ let load ?(jobs = 1) library path =
     let d = Array.make count 0 in
     let v = Array.make count 0 in
     let p = Array.make count 0 in
+    let cj = Bytes.make count '\000' in
     for idx = 0 to count - 1 do
       d.(idx) <- read_u16 r;
       if d.(idx) > !max_d then max_d := d.(idx);
       v.(idx) <- read_u8 r - 1;
+      if symmetry <> None then Bytes.set cj idx (Char.chr (read_u8 r));
       p.(idx) <- read_u64 r - 1
     done;
     depths.(shard) <- d;
     vias.(shard) <- v;
     parents.(shard) <- p;
+    conjs.(shard) <- cj;
     total := !total + count
   done;
   if r.pos <> r.limit then
@@ -527,7 +657,13 @@ let load ?(jobs = 1) library path =
       (Corrupt
          (Printf.sprintf "a state at level %d exceeds the header's depth %d" !max_d
             header.depth));
-  let keys = rebuild_keys library ~degree ~max_d:!max_d ~counts ~depths ~vias ~parents in
+  let keys =
+    match symmetry with
+    | None -> rebuild_keys library ~degree ~max_d:!max_d ~counts ~depths ~vias ~parents
+    | Some sym ->
+        rebuild_keys_quotient sym library ~klen:degree ~max_d:!max_d ~counts ~depths
+          ~vias ~parents ~conjs
+  in
   let store =
     State_arena.create ~degree
       ~num_binary:(Mvl.Encoding.num_binary encoding)
@@ -537,10 +673,11 @@ let load ?(jobs = 1) library path =
     try
       State_arena.restore_shard store ~shard ~count:counts.(shard) ~keys:keys.(shard)
         ~depths:depths.(shard) ~vias:vias.(shard) ~parents:parents.(shard)
+        ~conjs:conjs.(shard)
     with Invalid_argument msg -> raise (Corrupt msg)
   done;
   let search =
-    try Search.of_store ~jobs library ~depth:header.depth store
+    try Search.of_store ~jobs ?symmetry library ~depth:header.depth store
     with Invalid_argument msg -> raise (Corrupt msg)
   in
   let frontier_len = Array.length (Search.frontier_handles search) in

@@ -7,7 +7,8 @@
     its parent chain, so loading replays the recorded gates from the
     identity root (and hashes, signatures and the probe tables are in
     turn recomputed from the keys).  Snapshots are therefore ~11 bytes
-    per state regardless of the encoding degree.  Restoring yields a
+    per state regardless of the encoding degree (12 for quotient
+    snapshots, which add a per-state conjugator byte).  Restoring yields a
     {!Search.t} whose subsequent levels are {e byte-identical} to the
     ones the snapshotted engine would have produced: the arena columns
     are restored in index order, so every handle survives, and the
@@ -19,7 +20,17 @@
     fsynced, and renamed over [path] (the directory is fsynced best
     effort), so a crash during {!save} — including an injected
     ["checkpoint"] fault — leaves any previous snapshot at [path]
-    intact. *)
+    intact.
+
+    Two format versions share the [QSYNCKP1] magic: v1 is a raw
+    snapshot — explicitly "no quotient" ([header.symmetry = None]) — and
+    v2 is a quotient snapshot, which additionally records the
+    {!Symmetry.fingerprint} of the canonicalizing group and each state's
+    conjugator index.  Loading a v2 file rebuilds the group from the
+    given library and rejects the file with {!Mismatch} if the recorded
+    fingerprint differs; the replay also re-canonicalizes every parent
+    chain and rejects with {!Corrupt} any state whose recorded
+    conjugator disagrees. *)
 
 (** Raised on a snapshot that is damaged: truncated, failing its CRC, or
     structurally inconsistent.  The payload names the defect. *)
@@ -41,6 +52,10 @@ type header = {
   depth : int;  (** completed BFS levels *)
   states : int;  (** total stored states *)
   frontier_len : int;  (** states at [depth] *)
+  symmetry : int64 option;
+      (** [Some fp]: quotient snapshot (format v2), canonicalized under
+          the symmetry group fingerprinted [fp]; [None]: raw snapshot
+          (format v1). *)
 }
 
 (** [fingerprint library] digests everything the search outcome depends
@@ -98,9 +113,12 @@ val drain : unit -> unit
     @raise Corrupt or {!Mismatch} as {!load} would. *)
 val peek : string -> header
 
-(** [load ?jobs library path] restores a snapshot into a live search.
-    @raise Mismatch when the snapshot belongs to a different library or
-    format version (the message names the differing field);
+(** [load ?jobs library path] restores a snapshot into a live search — a
+    quotiented one for v2 files (the symmetry group is rebuilt from
+    [library] and checked against the recorded fingerprint).
+    @raise Mismatch when the snapshot belongs to a different library,
+    format version or symmetry group (the message names the differing
+    field);
     @raise Corrupt when the file is truncated, fails its CRC, or is
     structurally inconsistent — never a crash or a silently wrong
     search. *)

@@ -26,8 +26,12 @@ type level = {
 type t = {
   library : Library.t;
   search : Search.t;
+  symmetry : Symmetry.t option; (* Some: the search ran quotiented *)
   levels : level list;
   index : (string, member) Hashtbl.t; (* func_key -> member, built at census time *)
+  mutable image_oracle : (string, int) Hashtbl.t option;
+      (* raw mode: lazily built binary-image -> minimal-depth table, the
+         witness-reconstruction oracle (quotient mode reads the arena) *)
 }
 
 type stop_reason = Completed | Budget_states | Budget_mem | Timed_out | Cancelled
@@ -50,6 +54,51 @@ type acc = {
   idx : (string, member) Hashtbl.t;
 }
 
+let collect_restrictions ~quotient search acc ~cost frontier members member_count
+    level_hits global_hits level_restrictions =
+  (* Record one member per newly discovered function.  A quotiented
+     frontier holds one representative per orbit, so the representative's
+     whole orbit of image vectors is re-expanded here: conjugate images
+     are distinct functions of the same minimal cost (minimal depths are
+     constant on orbits), which restores exactly the raw census's G[k]
+     sets — probe-verified byte-for-byte at depth 7. *)
+  let record func witness =
+    let fk = func_key func in
+    if not (Hashtbl.mem level_restrictions fk) then begin
+      Hashtbl.add level_restrictions fk witness;
+      if not (Hashtbl.mem acc.found fk) then begin
+        Hashtbl.add acc.found fk ();
+        let member = { func; witness; cost } in
+        Hashtbl.add acc.idx fk member;
+        members := member :: !members;
+        incr member_count
+      end
+      else incr global_hits
+    end
+    else incr level_hits
+  in
+  let bits = Library.qubits (Search.library search) in
+  Array.iter
+    (fun h ->
+      match Search.restriction_of_handle search h with
+      | None -> ()
+      | Some func -> (
+          match quotient with
+          | None -> record func (Search.key_of_handle search h)
+          | Some sym ->
+              let img = Search.key_of_handle search h in
+              List.iter
+                (fun img' ->
+                  let func' =
+                    Reversible.Revfun.of_perm ~bits
+                      (Permgroup.Perm.unsafe_of_array
+                         (Array.init (String.length img') (fun i ->
+                              Char.code img'.[i])))
+                  in
+                  record func' img')
+                (Symmetry.orbit_images sym img)))
+    frontier
+
 let process_level search acc ~cost frontier =
   Telemetry.Span.with_span "fmcf.level" ~attrs:[ ("cost", Telemetry.Json.Int cost) ]
   @@ fun () ->
@@ -59,28 +108,8 @@ let process_level search acc ~cost frontier =
   let level_hits = ref 0 and global_hits = ref 0 in
   let level_restrictions = Hashtbl.create 256 in
   Telemetry.Histogram.time h_restrict (fun () ->
-      Array.iter
-        (fun h ->
-          match Search.restriction_of_handle search h with
-          | None -> ()
-          | Some func ->
-              let fk = func_key func in
-              (* pre_G[cost] as a set: dedupe within the level.  Keys
-                 are only materialized for first-in-level witnesses. *)
-              if not (Hashtbl.mem level_restrictions fk) then begin
-                let key = Search.key_of_handle search h in
-                Hashtbl.add level_restrictions fk key;
-                if not (Hashtbl.mem acc.found fk) then begin
-                  Hashtbl.add acc.found fk ();
-                  let member = { func; witness = key; cost } in
-                  Hashtbl.add acc.idx fk member;
-                  members := member :: !members;
-                  incr member_count
-                end
-                else incr global_hits
-              end
-              else incr level_hits)
-        frontier);
+      collect_restrictions ~quotient:(Search.symmetry search) search acc ~cost frontier
+        members member_count level_hits global_hits level_restrictions);
   (* Paper-variant count: level 2 skips subtraction of earlier levels;
      other levels subtract everything recorded so far (which never
      includes the identity, G[0]). *)
@@ -121,16 +150,21 @@ let level_zero search acc library =
 
 let no_stop () = false
 
-let run_guarded ?(max_depth = 7) ?(jobs = 1) ?resume ?max_states ?max_mem ?timeout
-    ?(should_stop = no_stop) ?on_level library =
+let run_guarded ?(max_depth = 7) ?(jobs = 1) ?(quotient = false) ?resume ?max_states
+    ?max_mem ?timeout ?(should_stop = no_stop) ?on_level library =
   Telemetry.Span.with_span "fmcf.run"
     ~attrs:[ ("max_depth", Telemetry.Json.Int max_depth) ]
   @@ fun () ->
   let started = Unix.gettimeofday () in
   let search =
     match resume with
-    | None -> Search.create ~jobs library
+    | None ->
+        let symmetry = if quotient then Some (Symmetry.create library) else None in
+        Search.create ~jobs ?symmetry library
     | Some s ->
+        (* A resumed engine carries its own mode (a quotient checkpoint
+           rebuilds its symmetry group at load time); [quotient] is
+           ignored, like [jobs]. *)
         if Search.library s != library then
           invalid_arg "Fmcf.run_guarded: resumed search was built for another library";
         s
@@ -196,12 +230,22 @@ let run_guarded ?(max_depth = 7) ?(jobs = 1) ?resume ?max_states ?max_mem ?timeo
           (describe_stop reason));
   if Telemetry.enabled () then
     Telemetry.Span.set_attr "stop_reason" (Telemetry.Json.String (describe_stop reason));
-  ({ library; search; levels = List.rev !levels; index = acc.idx }, reason)
+  ( { library; search; symmetry = Search.symmetry search; levels = List.rev !levels;
+      index = acc.idx; image_oracle = None },
+    reason )
 
-let run ?max_depth ?jobs library = fst (run_guarded ?max_depth ?jobs library)
+let run ?max_depth ?jobs ?quotient library =
+  fst (run_guarded ?max_depth ?jobs ?quotient library)
 
 let levels t = t.levels
 let search t = t.search
+let quotiented t = t.symmetry <> None
+
+(* The paper-variant numbers model duplicate {e candidates} inside a
+   level (V.V re-deriving a CNOT at level 2), and the quotient arena
+   keeps one state per orbit, so those duplicates never re-materialize:
+   the variant is only reproducible from a raw run. *)
+let paper_counts_exact t = t.symmetry = None
 let depth t = Search.depth t.search
 
 let iter_members t f =
@@ -218,7 +262,77 @@ let total_found t =
 
 let find t func = Hashtbl.find_opt t.index (func_key func)
 
-let cascade_of_member t member = Search.cascade_of_key t.search member.witness
+(* {1 Canonical witness reconstruction}
+
+   [cascade_of_member] rebuilds witnesses {e backward}: from the member's
+   function image, greedily peel the lexicographically least library gate
+   whose removal steps to an image of minimal depth exactly one lower
+   (respecting the reasonable-product constraint at the step).  The
+   choice depends only on the census's image -> minimal-depth relation —
+   which the quotient search preserves exactly (minimal depths are
+   constant on orbits) — so raw and quotient censuses emit byte-identical
+   cascades, and hence byte-identical QSYNIDX1 files. *)
+
+let image_min_depth t =
+  match t.symmetry with
+  | Some sym ->
+      fun img -> Search.depth_of_key t.search (fst (Symmetry.canon sym img))
+  | None -> (
+      match t.image_oracle with
+      | Some tbl -> Hashtbl.find_opt tbl
+      | None ->
+          let tbl = Hashtbl.create 4096 in
+          for d = 0 to Search.depth t.search do
+            Array.iter
+              (fun h ->
+                let img = Search.binary_image_of_handle t.search h in
+                if not (Hashtbl.mem tbl img) then Hashtbl.add tbl img d)
+              (Search.handles_at_depth t.search d)
+          done;
+          t.image_oracle <- Some tbl;
+          Hashtbl.find_opt tbl)
+
+let cascade_of_member t (member : member) =
+  if member.cost = 0 then []
+  else begin
+    let entries = Library.entries t.library in
+    let encoding = Library.encoding t.library in
+    let nb = Mvl.Encoding.num_binary encoding in
+    let signatures =
+      Array.init (Mvl.Encoding.size encoding) (Mvl.Encoding.mixed_signature encoding)
+    in
+    let depth_of = image_min_depth t in
+    let fp = Permgroup.Perm.to_array (Reversible.Revfun.to_perm member.func) in
+    let v = Bytes.init nb (fun b -> Char.chr fp.(b)) in
+    let u = Bytes.create nb in
+    let acc = ref [] in
+    for k = member.cost downto 1 do
+      let rec find g =
+        if g >= Array.length entries then
+          invalid_arg
+            "Fmcf.cascade_of_member: no backward step (member not from this census?)"
+        else begin
+          let e = entries.(g) in
+          let inv = e.Library.inverse_array in
+          let sg = ref 0 in
+          for b = 0 to nb - 1 do
+            let x = inv.(Char.code (Bytes.get v b)) in
+            Bytes.set u b (Char.chr x);
+            sg := !sg lor signatures.(x)
+          done;
+          if
+            !sg land e.Library.purity_mask = 0
+            && depth_of (Bytes.to_string u) = Some (k - 1)
+          then g
+          else find (g + 1)
+        end
+      in
+      let g = find 0 in
+      acc := entries.(g).Library.gate :: !acc;
+      Bytes.blit u 0 v 0 nb
+    done;
+    !acc
+  end
 let members_at t ~cost =
   match List.find_opt (fun l -> l.cost = cost) t.levels with
   | Some l -> l.members

@@ -20,7 +20,11 @@
 
 type member = {
   func : Reversible.Revfun.t;
-  witness : string; (** search key of the first full-domain circuit found *)
+  witness : string;
+      (** search key of the first full-domain circuit found (raw runs), or
+          the function's binary-image vector (quotient runs).  Witness
+          {e cascades} come from {!cascade_of_member}, which is
+          mode-independent. *)
   cost : int;
 }
 
@@ -47,11 +51,20 @@ type stop_reason =
 (** [describe_stop r] is a one-line human-readable description. *)
 val describe_stop : stop_reason -> string
 
-(** [run ?max_depth ?jobs library] executes the census up to [max_depth]
-    (default 7, the paper's cb).  [jobs] (default 1) is the number of
-    domains the underlying BFS uses per level; every census row is
-    identical for every jobs value (see {!Search.create}). *)
-val run : ?max_depth:int -> ?jobs:int -> Library.t -> t
+(** [run ?max_depth ?jobs ?quotient library] executes the census up to
+    [max_depth] (default 7, the paper's cb).  [jobs] (default 1) is the
+    number of domains the underlying BFS uses per level; every census row
+    is identical for every jobs value (see {!Search.create}).
+
+    [quotient] (default false) runs the BFS over canonical orbit
+    representatives under the library's wire-relabeling group (see
+    {!Symmetry}): the arena stores one state per orbit (~200x fewer at
+    depth 7) and each representative's orbit is re-expanded at member
+    extraction, so [counts], [s8_counts], the member sets (func_key and
+    cost), {!find} and {!cascade_of_member} are all {e identical} to a
+    raw run — only {!paper_counts} is not reproducible
+    ({!paper_counts_exact}). *)
+val run : ?max_depth:int -> ?jobs:int -> ?quotient:bool -> Library.t -> t
 
 (** [run_guarded ?max_depth ?jobs ?resume ?max_states ?max_mem ?timeout
     ?should_stop ?on_level library] is {!run} with resource guards and
@@ -62,7 +75,8 @@ val run : ?max_depth:int -> ?jobs:int -> Library.t -> t
       restored arena are {e replayed} through the same member-extraction
       path — frontier reconstruction is canonical, so the replayed
       members, witnesses and counts match the uninterrupted run exactly.
-      [jobs] is ignored (the worker count was fixed at load time).
+      [jobs] and [quotient] are ignored (both were fixed at load time; a
+      quotient snapshot resumes quotiented).
     - [max_states] / [max_mem]: stop {e before} expanding the next level
       once [Search.size] / [Search.arena_bytes] reaches the budget; the
       census returned covers every complete level.
@@ -84,6 +98,7 @@ val run : ?max_depth:int -> ?jobs:int -> Library.t -> t
 val run_guarded :
   ?max_depth:int ->
   ?jobs:int ->
+  ?quotient:bool ->
   ?resume:Search.t ->
   ?max_states:int ->
   ?max_mem:int ->
@@ -95,6 +110,17 @@ val run_guarded :
 
 val levels : t -> level list
 val search : t -> Search.t
+
+(** [quotiented t] is true when the census ran over the symmetry
+    quotient. *)
+val quotiented : t -> bool
+
+(** [paper_counts_exact t] is false for quotient runs: the paper-variant
+    numbers count duplicate candidates {e within} a level (the level-2
+    V.V re-derivations), which a one-representative-per-orbit arena never
+    re-materializes.  [counts], [s8_counts] and the member sets are exact
+    in both modes. *)
+val paper_counts_exact : t -> bool
 
 (** [depth t] is the number of completed census levels (the exactness
     horizon: every function of cost [<= depth t] is in the census, every
@@ -127,7 +153,13 @@ val total_found : t -> int
     time. *)
 val find : t -> Reversible.Revfun.t -> member option
 
-(** [cascade_of_member t member] rebuilds the witness cascade. *)
+(** [cascade_of_member t member] rebuilds the witness cascade — {e the
+    same bytes in raw and quotient mode}.  The cascade is reconstructed
+    backward from the member's function image, greedily peeling the least
+    library gate that steps to an image of minimal census depth exactly
+    one lower; the choice depends only on the image -> minimal-depth
+    relation, which the quotient preserves exactly.  Emitted QSYNIDX1
+    files are therefore byte-identical across modes. *)
 val cascade_of_member : t -> member -> Cascade.t
 
 (** [members_at t ~cost] is G[cost]. *)

@@ -39,6 +39,12 @@ let search_until ~max_depth ~jobs ~should_stop library remainder =
   Telemetry.Span.with_span "mce.search"
     ~attrs:[ ("max_depth", Telemetry.Json.Int max_depth) ]
   @@ fun () ->
+  (* Always a raw (unquotiented) engine: MCE needs a concrete witness
+     cascade for one target, so it walks via/parent chains directly and
+     terminates as soon as the remainder's image appears — the quotient
+     arena would save memory here but answers must stay byte-identical
+     whether or not the census that planned us ran under --quotient,
+     which this guarantees structurally. *)
   let search = Search.create ~jobs library in
   let rec go () =
     if should_stop () then begin

@@ -17,6 +17,9 @@ let h_step = Telemetry.Histogram.create "search.step.seconds"
 let h_expand = Telemetry.Histogram.create "search.step.expand.seconds"
 let h_merge = Telemetry.Histogram.create "search.step.merge.seconds"
 let s_domain_states = Telemetry.Series.create "search.domain.states"
+let m_orbits = Telemetry.Counter.create "search.quotient.orbits"
+let m_orbit_hits = Telemetry.Counter.create "search.quotient.hits"
+let s_orbits = Telemetry.Series.create "search.quotient.orbits.per_level"
 
 type handle = int
 
@@ -26,13 +29,14 @@ let num_shards = State_arena.num_shards
    the expansion phase: packed keys plus, per candidate, the full key hash
    and the (parent handle, gate index) provenance packed into one int. *)
 type candbuf = {
-  mutable ckeys : Bytes.t; (* clen * degree bytes *)
-  mutable cmeta : int array; (* (parent lsl via_bits) lor via *)
+  mutable ckeys : Bytes.t; (* clen * key_length bytes *)
+  mutable cmeta : int array; (* (parent lsl (via_bits+conj_bits)) lor (conj lsl via_bits) lor via *)
   mutable chashes : int array;
   mutable clen : int;
 }
 
 let via_bits = 6 (* a library holds < 64 gates (36 at 4 qubits) *)
+let conj_bits = 3 (* a wire-relabeling group has <= 4! = 24... 3 bits hold qubits! for qubits <= 3; checked at create *)
 
 let make_candbuf degree =
   { ckeys = Bytes.create (64 * degree); cmeta = Array.make 64 0; chashes = Array.make 64 0; clen = 0 }
@@ -71,17 +75,26 @@ type t = {
   library : Library.t;
   store : State_arena.t;
   jobs : int;
-  degree : int;
+  degree : int; (* encoding points: the gate permutations' domain *)
+  klen : int; (* stored key length: [degree], or [num_binary] when quotiented *)
   num_binary : int;
   signatures : int array; (* mixed signature per point *)
+  sym : Symmetry.t option; (* Some: quotient mode — keys are canonical image vectors *)
   perm_arrays : int array array; (* hoisted from the library entries *)
   purity_masks : int array;
   mutable frontier : handle array;
   mutable depth : int;
+  (* quotient-mode tallies, kept on the engine (unlike the telemetry
+     counters these are live even with telemetry disabled, so [census
+     --stats] can report the collapse factor of a plain run) *)
+  mutable orbit_fresh : int;
+  mutable orbit_hits : int;
   (* per-step scratch, reused across levels *)
   cand : candbuf array array; (* jobs x shards *)
   fresh_by_shard : ibuf array;
   scratch : Bytes.t array; (* one compose buffer per domain *)
+  canon_tmp : Bytes.t array; (* per-domain canonicalization scratch (quotient mode) *)
+  canon_dst : Bytes.t array;
   rejected_d : int array; (* per-domain counters, summed after the join *)
   fresh_d : int array;
   dup_d : int array;
@@ -120,56 +133,79 @@ let engine_params library =
   let num_binary = Mvl.Encoding.num_binary encoding in
   (degree, num_binary, signatures)
 
-let make_engine ~jobs library ~store ~frontier ~depth ~degree ~num_binary ~signatures =
+let key_length_of ~symmetry ~degree ~num_binary =
+  match symmetry with
+  | None -> degree
+  | Some sym ->
+      if Symmetry.num_binary sym <> num_binary then
+        invalid_arg "Search: symmetry group built for a different encoding";
+      if Symmetry.order sym > 1 lsl conj_bits then
+        invalid_arg "Search: symmetry group too large for the conjugator field";
+      num_binary
+
+let make_engine ~jobs ~symmetry library ~store ~frontier ~depth ~degree ~num_binary
+    ~signatures =
   let entries = Library.entries library in
+  let klen = key_length_of ~symmetry ~degree ~num_binary in
   Telemetry.Gauge.set_int g_jobs jobs;
   {
     library;
     store;
     jobs;
     degree;
+    klen;
     num_binary;
     signatures;
+    sym = symmetry;
     perm_arrays = Array.map (fun e -> e.Library.perm_array) entries;
     purity_masks = Array.map (fun e -> e.Library.purity_mask) entries;
     frontier;
     depth;
-    cand = Array.init jobs (fun _ -> Array.init num_shards (fun _ -> make_candbuf degree));
+    orbit_fresh = 0;
+    orbit_hits = 0;
+    cand = Array.init jobs (fun _ -> Array.init num_shards (fun _ -> make_candbuf klen));
     fresh_by_shard = Array.init num_shards (fun _ -> make_ibuf ());
-    scratch = Array.init jobs (fun _ -> Bytes.create degree);
+    scratch = Array.init jobs (fun _ -> Bytes.create klen);
+    canon_tmp = Array.init jobs (fun _ -> Bytes.create klen);
+    canon_dst = Array.init jobs (fun _ -> Bytes.create klen);
     rejected_d = Array.make jobs 0;
     fresh_d = Array.make jobs 0;
     dup_d = Array.make jobs 0;
     domain_states = Array.make jobs 0;
   }
 
-let create ?(jobs = 1) library =
+let create ?(jobs = 1) ?symmetry library =
   if jobs < 1 then invalid_arg "Search.create: jobs must be >= 1";
   let jobs = min jobs max_jobs in
   let degree, num_binary, signatures = engine_params library in
-  let store = State_arena.create ~degree ~num_binary ~signatures in
-  let root_key = Bytes.init degree Char.chr in
-  let root_hash = State_arena.hash_key root_key ~off:0 ~len:degree in
+  let klen = key_length_of ~symmetry ~degree ~num_binary in
+  let store = State_arena.create ~degree:klen ~num_binary ~signatures in
+  (* The identity's key: the identity point permutation, or — quotiented —
+     the identity image vector, which is its own canonical form (it is
+     fixed by every wire relabeling). *)
+  let root_key = Bytes.init klen Char.chr in
+  let root_hash = State_arena.hash_key root_key ~off:0 ~len:klen in
   let root =
     State_arena.try_insert store ~key:root_key ~off:0 ~hash:root_hash ~depth:0 ~via:(-1)
       ~parent:(-1)
   in
-  make_engine ~jobs library ~store ~frontier:[| root |] ~depth:0 ~degree ~num_binary
-    ~signatures
+  make_engine ~jobs ~symmetry library ~store ~frontier:[| root |] ~depth:0 ~degree
+    ~num_binary ~signatures
 
 (* [of_store] rebuilds a live engine around a restored arena: the
    frontier is every depth-[depth] state in canonical (shard, index)
    order — exactly what {!merge_frontier} would have produced — so a
    resumed search continues byte-identically. *)
-let of_store ?(jobs = 1) library ~depth store =
+let of_store ?(jobs = 1) ?symmetry library ~depth store =
   if jobs < 1 then invalid_arg "Search.of_store: jobs must be >= 1";
   let jobs = min jobs max_jobs in
   let degree, num_binary, signatures = engine_params library in
-  if State_arena.degree store <> degree then
+  let klen = key_length_of ~symmetry ~degree ~num_binary in
+  if State_arena.degree store <> klen then
     invalid_arg
       (Printf.sprintf
          "Search.of_store: store degree %d does not match the library encoding (%d)"
-         (State_arena.degree store) degree);
+         (State_arena.degree store) klen);
   if depth < 0 then invalid_arg "Search.of_store: negative depth";
   (* [>] not [<>]: an engine whose reachable set is exhausted sits at a
      depth beyond its deepest stored state, with an empty frontier. *)
@@ -179,16 +215,23 @@ let of_store ?(jobs = 1) library ~depth store =
          "Search.of_store: store holds levels up to %d but depth %d was claimed"
          (State_arena.max_depth store) depth);
   (* the identity circuit must be the sole depth-0 state *)
-  let root_key = Bytes.init degree Char.chr in
-  let root_hash = State_arena.hash_key root_key ~off:0 ~len:degree in
+  let root_key = Bytes.init klen Char.chr in
+  let root_hash = State_arena.hash_key root_key ~off:0 ~len:klen in
   (match State_arena.handles_at_depth store 0 with
   | [| h |]
     when h = State_arena.find store root_key ~off:0 ~hash:root_hash -> ()
   | _ -> invalid_arg "Search.of_store: store does not contain the identity root");
   let frontier = State_arena.handles_at_depth store depth in
-  make_engine ~jobs library ~store ~frontier ~depth ~degree ~num_binary ~signatures
+  make_engine ~jobs ~symmetry library ~store ~frontier ~depth ~degree ~num_binary
+    ~signatures
 
 let store t = t.store
+let symmetry t = t.sym
+let key_length t = t.klen
+let conj_of_handle t h = State_arena.conj_of t.store h
+
+let quotient_collapsed t =
+  match t.sym with None -> None | Some _ -> Some (t.orbit_fresh, t.orbit_hits)
 let handles_at_depth t d = State_arena.handles_at_depth t.store d
 
 let library t = t.library
@@ -229,7 +272,7 @@ let cancel_poll_mask = 63
    discarded by the coordinator, which re-checks the flag after the
    join). *)
 let expand_chunk t r ~e ~cancel =
-  let degree = t.degree in
+  let klen = t.klen in
   let n = Array.length t.frontier in
   let lo = r * n / e and hi = (r + 1) * n / e in
   let row = t.cand.(r) in
@@ -237,6 +280,7 @@ let expand_chunk t r ~e ~cancel =
     row.(s).clen <- 0
   done;
   let scratch = t.scratch.(r) in
+  let tmp = t.canon_tmp.(r) and dst = t.canon_dst.(r) in
   let ngates = Array.length t.perm_arrays in
   let rejected = ref 0 in
   let i = ref lo in
@@ -248,22 +292,42 @@ let expand_chunk t r ~e ~cancel =
     for via = 0 to ngates - 1 do
       if signature land t.purity_masks.(via) = 0 then begin
         let pa = t.perm_arrays.(via) in
-        let acc = ref 0 in
-        for j = 0 to degree - 1 do
-          let b = Array.unsafe_get pa (Char.code (Bytes.unsafe_get src (soff + j))) in
-          Bytes.unsafe_set scratch j (Char.unsafe_chr b);
-          acc := (!acc * 131) + b
-        done;
-        (* finalize exactly as State_arena.hash_key *)
-        let hv = !acc in
-        let hv = hv lxor (hv lsr 23) in
-        let hv = hv * 0x2545F4914F6CDD1 in
-        let hv = hv lxor (hv lsr 29) in
-        let hash = hv land max_int in
-        cand_append
-          row.(State_arena.shard_of_hash hash)
-          ~degree scratch ~hash
-          ~meta:((h lsl via_bits) lor via)
+        match t.sym with
+        | None ->
+            let acc = ref 0 in
+            for j = 0 to klen - 1 do
+              let b =
+                Array.unsafe_get pa (Char.code (Bytes.unsafe_get src (soff + j)))
+              in
+              Bytes.unsafe_set scratch j (Char.unsafe_chr b);
+              acc := (!acc * 131) + b
+            done;
+            (* finalize exactly as State_arena.hash_key *)
+            let hv = !acc in
+            let hv = hv lxor (hv lsr 23) in
+            let hv = hv * 0x2545F4914F6CDD1 in
+            let hv = hv lxor (hv lsr 29) in
+            let hash = hv land max_int in
+            cand_append
+              row.(State_arena.shard_of_hash hash)
+              ~degree:klen scratch ~hash
+              ~meta:((h lsl (via_bits + conj_bits)) lor via)
+        | Some sym ->
+            (* Quotiented: the stored key is a canonical image vector, so
+               applying the gate gives the child's raw image; hash only
+               its canonical form. *)
+            for j = 0 to klen - 1 do
+              Bytes.unsafe_set scratch j
+                (Char.unsafe_chr
+                   (Array.unsafe_get pa
+                      (Char.code (Bytes.unsafe_get src (soff + j)))))
+            done;
+            let conj = Symmetry.canon_into sym ~src:scratch ~soff:0 ~tmp ~dst ~doff:0 in
+            let hash = State_arena.hash_key dst ~off:0 ~len:klen in
+            cand_append
+              row.(State_arena.shard_of_hash hash)
+              ~degree:klen dst ~hash
+              ~meta:((h lsl (via_bits + conj_bits)) lor (conj lsl via_bits) lor via)
       end
       else incr rejected
     done;
@@ -282,8 +346,9 @@ let expand_chunk t r ~e ~cancel =
    level is rolled back (via {!State_arena.truncate}) and the engine is
    exactly as before the call. *)
 let expand_insert_sequential t ~next_depth ~cancel =
-  let degree = t.degree in
+  let klen = t.klen in
   let scratch = t.scratch.(0) in
+  let tmp = t.canon_tmp.(0) and dst = t.canon_dst.(0) in
   let ngates = Array.length t.perm_arrays in
   let rejected = ref 0 and fresh = ref 0 and dup = ref 0 in
   for s = 0 to num_shards - 1 do
@@ -303,23 +368,42 @@ let expand_insert_sequential t ~next_depth ~cancel =
     for via = 0 to ngates - 1 do
       if signature land t.purity_masks.(via) = 0 then begin
         let pa = t.perm_arrays.(via) in
-        let acc = ref 0 in
-        for j = 0 to degree - 1 do
-          let b = Array.unsafe_get pa (Char.code (Bytes.unsafe_get src (soff + j))) in
-          Bytes.unsafe_set scratch j (Char.unsafe_chr b);
-          acc := (!acc * 131) + b
-        done;
-        let hv = !acc in
-        let hv = hv lxor (hv lsr 23) in
-        let hv = hv * 0x2545F4914F6CDD1 in
-        let hv = hv lxor (hv lsr 29) in
-        let hash = hv land max_int in
         let child =
-          State_arena.try_insert t.store ~key:scratch ~off:0 ~hash ~depth:next_depth
-            ~via ~parent:h
+          match t.sym with
+          | None ->
+              let acc = ref 0 in
+              for j = 0 to klen - 1 do
+                let b =
+                  Array.unsafe_get pa (Char.code (Bytes.unsafe_get src (soff + j)))
+                in
+                Bytes.unsafe_set scratch j (Char.unsafe_chr b);
+                acc := (!acc * 131) + b
+              done;
+              let hv = !acc in
+              let hv = hv lxor (hv lsr 23) in
+              let hv = hv * 0x2545F4914F6CDD1 in
+              let hv = hv lxor (hv lsr 29) in
+              let hash = hv land max_int in
+              State_arena.try_insert t.store ~key:scratch ~off:0 ~hash
+                ~depth:next_depth ~via ~parent:h
+          | Some sym ->
+              for j = 0 to klen - 1 do
+                Bytes.unsafe_set scratch j
+                  (Char.unsafe_chr
+                     (Array.unsafe_get pa
+                        (Char.code (Bytes.unsafe_get src (soff + j)))))
+              done;
+              let conj =
+                Symmetry.canon_into sym ~src:scratch ~soff:0 ~tmp ~dst ~doff:0
+              in
+              let hash = State_arena.hash_key dst ~off:0 ~len:klen in
+              State_arena.try_insert t.store ~conj ~key:dst ~off:0 ~hash
+                ~depth:next_depth ~via ~parent:h
         in
         if child >= 0 then begin
-          ibuf_push t.fresh_by_shard.(State_arena.shard_of_hash hash) child;
+          ibuf_push
+            t.fresh_by_shard.(State_arena.shard_of_handle child)
+            child;
           incr fresh
         end
         else incr dup
@@ -349,8 +433,9 @@ let expand_insert_sequential t ~next_depth ~cancel =
    rows beyond the step's effective rank count were not cleared this
    step and may hold stale candidates from an earlier, wider level. *)
 let dedupe_shards t r ~e ~next_depth =
-  let degree = t.degree in
+  let klen = t.klen in
   let via_mask = (1 lsl via_bits) - 1 in
+  let conj_mask = (1 lsl conj_bits) - 1 in
   let fresh = ref 0 and dup = ref 0 in
   let s = ref r in
   while !s < num_shards do
@@ -361,9 +446,10 @@ let dedupe_shards t r ~e ~next_depth =
       for i = 0 to buf.clen - 1 do
         let meta = buf.cmeta.(i) in
         let h =
-          State_arena.try_insert t.store ~key:buf.ckeys ~off:(i * degree)
+          State_arena.try_insert t.store ~key:buf.ckeys ~off:(i * klen)
             ~hash:buf.chashes.(i) ~depth:next_depth ~via:(meta land via_mask)
-            ~parent:(meta asr via_bits)
+            ~conj:((meta asr via_bits) land conj_mask)
+            ~parent:(meta asr (via_bits + conj_bits))
         in
         if h >= 0 then begin
           ibuf_push out h;
@@ -442,6 +528,17 @@ let try_step t ~cancel =
   Telemetry.Counter.add m_states_new fresh;
   Telemetry.Counter.add m_states_dup dup;
   Telemetry.Counter.add m_sig_rejected rejected;
+  (match t.sym with
+  | None -> ()
+  | Some _ ->
+      (* In quotient mode every stored state is one orbit representative:
+         fresh counts new orbits, dup counts expansions canonicalized onto
+         an already-stored representative. *)
+      t.orbit_fresh <- t.orbit_fresh + fresh;
+      t.orbit_hits <- t.orbit_hits + dup;
+      Telemetry.Counter.add m_orbits fresh;
+      Telemetry.Counter.add m_orbit_hits dup;
+      Telemetry.Series.set s_orbits ~index:next_depth fresh);
   Telemetry.Gauge.set_int g_frontier fresh;
   Telemetry.Gauge.set_int g_table_size (State_arena.size t.store);
   if Telemetry.enabled () then begin
@@ -477,10 +574,10 @@ let step t = Array.to_list (Array.map (key_of_handle t) (step_handles t))
 (* {1 Key-based lookups (legacy string interface)} *)
 
 let find_key t key =
-  if String.length key <> t.degree then -1
+  if String.length key <> t.klen then -1
   else
     let b = Bytes.unsafe_of_string key in
-    let hash = State_arena.hash_key b ~off:0 ~len:t.degree in
+    let hash = State_arena.hash_key b ~off:0 ~len:t.klen in
     State_arena.find t.store b ~off:0 ~hash
 
 let perm_of_key key =
@@ -521,12 +618,36 @@ let num_binary t = t.num_binary
 
 let cascade_of_handle t h =
   let entries = Library.entries t.library in
-  let rec walk h acc =
-    let via = State_arena.via_of t.store h in
-    if via < 0 then acc
-    else walk (State_arena.parent_of t.store h) (entries.(via).Library.gate :: acc)
-  in
-  walk h []
+  match t.sym with
+  | None ->
+      let rec walk h acc =
+        let via = State_arena.via_of t.store h in
+        if via < 0 then acc
+        else
+          walk (State_arena.parent_of t.store h) (entries.(via).Library.gate :: acc)
+      in
+      walk h []
+  | Some sym ->
+      (* Witness reconstruction by conjugation.  A stored child is
+         [canon (g . parent)] with conjugator [c], and conjugation
+         transports cascades gate-by-gate
+         ([conj_c (g . v) = gate_map(c)(g) . conj_c v]), so walking the
+         via/parent chain while composing the per-step gate maps yields a
+         cascade implementing the representative's own image. *)
+      let ngates = Array.length entries in
+      let m = Array.init ngates Fun.id in
+      let rec walk h acc =
+        let via = State_arena.via_of t.store h in
+        if via < 0 then acc
+        else begin
+          let gm = Symmetry.gate_map sym (State_arena.conj_of t.store h) in
+          let g = m.(gm.(via)) in
+          let m' = Array.init ngates (fun i -> m.(gm.(i))) in
+          Array.blit m' 0 m 0 ngates;
+          walk (State_arena.parent_of t.store h) (entries.(g).Library.gate :: acc)
+        end
+      in
+      walk h []
 
 let cascade_of_key t key =
   match find_key t key with
@@ -534,6 +655,8 @@ let cascade_of_key t key =
   | h -> cascade_of_handle t h
 
 let all_cascades ?(limit = 10_000) t key =
+  if t.sym <> None then
+    invalid_arg "Search.all_cascades: unavailable in quotient mode";
   let entries = Library.entries t.library in
   let degree = t.degree in
   let scratch = Bytes.create degree in
@@ -579,6 +702,10 @@ let all_cascades ?(limit = 10_000) t key =
   !results
 
 let probe_restrictions t ~steps =
+  if t.sym <> None then
+    invalid_arg
+      "Search.probe_restrictions: unavailable in quotient mode (the frontier \
+       holds one representative per orbit, not every image)";
   if steps < 1 || steps > 2 then invalid_arg "Search.probe_restrictions: steps in {1,2}";
   Telemetry.Span.with_span "search.probe"
     ~attrs:[ ("steps", Telemetry.Json.Int steps) ]

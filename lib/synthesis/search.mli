@@ -29,25 +29,60 @@ type t
     lifetime of the search. *)
 type handle = int
 
-(** [create ?jobs library] starts a search at the identity circuit
-    (depth 0).  [jobs] (default 1) is the number of domains used per
-    step; it is clamped to the shard count of the store.
-    @raise Invalid_argument when [jobs < 1]. *)
-val create : ?jobs:int -> Library.t -> t
+(** [create ?jobs ?symmetry library] starts a search at the identity
+    circuit (depth 0).  [jobs] (default 1) is the number of domains used
+    per step; it is clamped to the shard count of the store.
 
-(** [of_store ?jobs library ~depth store] rebuilds a live engine around
-    a restored arena (see {!Checkpoint}): the frontier is recomputed as
-    every depth-[depth] state in canonical order, so stepping the result
-    produces byte-identical levels to the search the store came from.
+    With [?symmetry] the search runs {e quotiented}: states are
+    [num_binary]-byte canonical image vectors under the wire-relabeling
+    group (see {!Symmetry}), one representative per orbit, with the
+    conjugating element recorded next to depth/via/parent.  Level [k]
+    then discovers one state per orbit of B[k] (minimal depths are
+    constant on orbits, so the level structure is preserved); the
+    jobs-determinism contract is unchanged.  Key-facing APIs take and
+    return canonical image strings of length {!key_length};
+    {!all_cascades} and {!probe_restrictions} are unavailable.
+    @raise Invalid_argument when [jobs < 1], or when [symmetry] was
+    built for a different encoding. *)
+val create : ?jobs:int -> ?symmetry:Symmetry.t -> Library.t -> t
+
+(** [of_store ?jobs ?symmetry library ~depth store] rebuilds a live
+    engine around a restored arena (see {!Checkpoint}): the frontier is
+    recomputed as every depth-[depth] state in canonical order, so
+    stepping the result produces byte-identical levels to the search the
+    store came from.  Pass the same [?symmetry] the store was built
+    under (a quotient checkpoint records its group fingerprint).
     @raise Invalid_argument when the store's degree does not match the
-    library, its deepest level exceeds [depth] (a depth beyond it is
-    legal — an exhausted search has an empty frontier), or it lacks the
-    identity root. *)
-val of_store : ?jobs:int -> Library.t -> depth:int -> State_arena.t -> t
+    library (or the quotient key length), its deepest level exceeds
+    [depth] (a depth beyond it is legal — an exhausted search has an
+    empty frontier), or it lacks the identity root. *)
+val of_store : ?jobs:int -> ?symmetry:Symmetry.t -> Library.t -> depth:int -> State_arena.t -> t
 
 (** [store t] is the underlying packed state store (used by
     {!Checkpoint.save}; treat as read-only). *)
 val store : t -> State_arena.t
+
+(** [symmetry t] is the quotient group, or [None] for a raw search. *)
+val symmetry : t -> Symmetry.t option
+
+(** [key_length t] is the byte length of stored state keys: the encoding
+    size, or [num_binary t] when quotiented. *)
+val key_length : t -> int
+
+(** [conj_of_handle t h] is the conjugator index recorded for the state:
+    the {!Symmetry} element that canonicalized it when it was first
+    reached (0 for the representative's own expansion, and always 0 in a
+    raw search). *)
+val conj_of_handle : t -> handle -> int
+
+(** [quotient_collapsed t] is [Some (orbits, hits)] for a quotient
+    engine: [orbits] states stored (one per orbit) and [hits]
+    reasonable expansions that canonicalized onto an already-stored
+    representative, accumulated since this engine was created (a
+    resumed engine restarts the tally at its resume boundary).  [None]
+    for a raw search.  Unlike the [search.quotient.*] telemetry
+    counters, these are maintained even when telemetry is disabled. *)
+val quotient_collapsed : t -> (int * int) option
 
 val library : t -> Library.t
 
@@ -118,7 +153,11 @@ val binary_image_of_handle : t -> handle -> string
     length of {!binary_image_of_handle} strings). *)
 val num_binary : t -> int
 
-(** [cascade_of_handle t h] rebuilds the recorded minimal cascade. *)
+(** [cascade_of_handle t h] rebuilds the recorded minimal cascade.  In
+    quotient mode the stored via/parent chain connects orbit
+    representatives, so the chain's gates are transported through the
+    recorded conjugators ({!Symmetry.gate_map}) step by step; the result
+    implements the representative's own image. *)
 val cascade_of_handle : t -> handle -> Cascade.t
 
 (** {1 String-key interface (legacy, kept for existing callers)} *)
@@ -169,5 +208,5 @@ val cascade_of_key : t -> string -> Cascade.t
     reaching the state, by walking every valid parent chain in the BFS
     graph (a parent must sit one level up and satisfy the
     reasonable-product condition for the connecting gate).  Stops after
-    [limit] results (default 10_000). *)
+    [limit] results (default 10_000).  Unavailable in quotient mode. *)
 val all_cascades : ?limit:int -> t -> string -> Cascade.t list

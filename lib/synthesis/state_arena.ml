@@ -8,6 +8,7 @@ type shard = {
   mutable parents : int array;
   mutable sigs : int array;
   mutable hashes : int array;
+  mutable conjs : Bytes.t; (* one conjugator index per state; 0 outside quotient mode *)
   mutable count : int;
   mutable table : int array; (* open addressing: -1 empty, else local index *)
   mutable mask : int; (* table capacity - 1, a power of two minus one *)
@@ -31,6 +32,7 @@ let make_shard degree =
     parents = Array.make initial_states 0;
     sigs = Array.make initial_states 0;
     hashes = Array.make initial_states 0;
+    conjs = Bytes.make initial_states '\000';
     count = 0;
     table = Array.make initial_slots (-1);
     mask = initial_slots - 1;
@@ -74,7 +76,7 @@ let shard_of_hash h = h land (num_shards - 1)
 
 let shard_columns t s =
   let sh = t.shards.(s) in
-  (sh.count, sh.arena, sh.depths, sh.vias, sh.parents)
+  (sh.count, sh.arena, sh.depths, sh.vias, sh.parents, sh.conjs)
 let shard_of_handle h = h land (num_shards - 1)
 let index_of_handle h = h asr shard_bits
 let handle ~shard ~index = (index lsl shard_bits) lor shard
@@ -93,6 +95,9 @@ let depth_of t h = t.shards.(shard_of_handle h).depths.(index_of_handle h)
 let via_of t h = t.shards.(shard_of_handle h).vias.(index_of_handle h)
 let parent_of t h = t.shards.(shard_of_handle h).parents.(index_of_handle h)
 let signature_of t h = t.shards.(shard_of_handle h).sigs.(index_of_handle h)
+
+let conj_of t h =
+  Char.code (Bytes.get t.shards.(shard_of_handle h).conjs (index_of_handle h))
 
 let key_equal arena aoff key koff degree =
   let rec go i =
@@ -139,6 +144,9 @@ let grow_states t sh =
   sh.parents <- extend sh.parents;
   sh.sigs <- extend sh.sigs;
   sh.hashes <- extend sh.hashes;
+  let conjs' = Bytes.make cap' '\000' in
+  Bytes.blit sh.conjs 0 conjs' 0 sh.count;
+  sh.conjs <- conjs';
   let arena' = Bytes.create (cap' * t.degree) in
   Bytes.blit sh.arena 0 arena' 0 (sh.count * t.degree);
   sh.arena <- arena'
@@ -225,7 +233,7 @@ let max_depth t =
    store the engine would have built (capacities aside, which are not
    observable).  Every key is re-validated to hash into this shard; a
    corrupted key almost surely fails that check even before the CRC. *)
-let restore_shard t ~shard ~count ~keys ~depths ~vias ~parents =
+let restore_shard t ~shard ~count ~keys ~depths ~vias ~parents ~conjs =
   let sh = t.shards.(shard) in
   if sh.count <> 0 then invalid_arg "State_arena.restore_shard: shard not empty";
   if count < 0 then invalid_arg "State_arena.restore_shard: negative count";
@@ -235,6 +243,7 @@ let restore_shard t ~shard ~count ~keys ~depths ~vias ~parents =
     Array.length depths <> count
     || Array.length vias <> count
     || Array.length parents <> count
+    || Bytes.length conjs <> count
   then invalid_arg "State_arena.restore_shard: column lengths do not match count";
   let cap = ref (Array.length sh.depths) in
   while !cap < count do
@@ -247,6 +256,7 @@ let restore_shard t ~shard ~count ~keys ~depths ~vias ~parents =
     sh.parents <- Array.make cap' 0;
     sh.sigs <- Array.make cap' 0;
     sh.hashes <- Array.make cap' 0;
+    sh.conjs <- Bytes.make cap' '\000';
     sh.arena <- Bytes.create (cap' * t.degree)
   end;
   (* keep the load factor under 3/4, as try_insert does *)
@@ -259,6 +269,7 @@ let restore_shard t ~shard ~count ~keys ~depths ~vias ~parents =
     sh.mask <- !slots - 1
   end;
   Bytes.blit keys 0 sh.arena 0 (count * t.degree);
+  Bytes.blit conjs 0 sh.conjs 0 count;
   Array.blit depths 0 sh.depths 0 count;
   Array.blit vias 0 sh.vias 0 count;
   Array.blit parents 0 sh.parents 0 count;
@@ -290,7 +301,7 @@ let restore_shard t ~shard ~count ~keys ~depths ~vias ~parents =
   done;
   sh.count <- count
 
-let try_insert t ~key ~off ~hash ~depth ~via ~parent =
+let try_insert ?(conj = 0) t ~key ~off ~hash ~depth ~via ~parent =
   let s = shard_of_hash hash in
   let sh = t.shards.(s) in
   let slot = probe t sh key ~off ~hash in
@@ -303,6 +314,7 @@ let try_insert t ~key ~off ~hash ~depth ~via ~parent =
     sh.vias.(idx) <- via;
     sh.parents.(idx) <- parent;
     sh.hashes.(idx) <- hash;
+    Bytes.unsafe_set sh.conjs idx (Char.unsafe_chr conj);
     let sg = ref 0 in
     for i = 0 to t.num_binary - 1 do
       sg := !sg lor t.signatures.(Char.code (Bytes.unsafe_get key (off + i)))

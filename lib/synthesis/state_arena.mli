@@ -95,6 +95,13 @@ val parent_of : t -> int -> int
     (the OR that the seed engine recomputed per expansion). *)
 val signature_of : t -> int -> int
 
+(** [conj_of t handle] is the conjugating symmetry-group element index
+    recorded at insertion (see {!Symmetry}): in a quotiented search the
+    state's key is the canonical form of [conjugate_image conj] of the
+    raw candidate that discovered it.  0 for every state of an
+    unquotiented store. *)
+val conj_of : t -> int -> int
+
 (** {1 Lookup and insertion} *)
 
 (** [find t key ~off ~hash] is the handle of the stored state whose key
@@ -102,12 +109,21 @@ val signature_of : t -> int -> int
     bytes), or -1. *)
 val find : t -> Bytes.t -> off:int -> hash:int -> int
 
-(** [try_insert t ~key ~off ~hash ~depth ~via ~parent] inserts the state
-    into the shard dictated by [hash] and returns its new handle, or -1
-    if an equal key is already present.  Only the addressed shard is
-    mutated. *)
+(** [try_insert t ?conj ~key ~off ~hash ~depth ~via ~parent] inserts the
+    state into the shard dictated by [hash] and returns its new handle,
+    or -1 if an equal key is already present.  [conj] (default 0) is the
+    symmetry conjugator index stored alongside the metadata (see
+    {!conj_of}).  Only the addressed shard is mutated. *)
 val try_insert :
-  t -> key:Bytes.t -> off:int -> hash:int -> depth:int -> via:int -> parent:int -> int
+  ?conj:int ->
+  t ->
+  key:Bytes.t ->
+  off:int ->
+  hash:int ->
+  depth:int ->
+  via:int ->
+  parent:int ->
+  int
 
 (** {1 Durability support (checkpoint/resume and cancellation)} *)
 
@@ -127,14 +143,16 @@ val shard_counts : t -> int array
 val truncate : t -> int array -> unit
 
 (** [shard_columns t s] is shard [s]'s live column storage [(count, keys,
-    depths, vias, parents)] — a zero-copy capture for serialization.  The
+    depths, vias, parents, conjs)] — a zero-copy capture for
+    serialization.  The
     first [count] entries of each column are immutable for the store's
     lifetime: insertions only append past [count] (growth replaces the
     column objects, leaving captured ones intact) and {!truncate} never
     rolls a shard below a level boundary captured at one.  A capture taken
     at a level boundary may therefore be read from another domain while
     the next level is being expanded. *)
-val shard_columns : t -> int -> int * Bytes.t * int array * int array * int array
+val shard_columns :
+  t -> int -> int * Bytes.t * int array * int array * int array * Bytes.t
 
 (** [handles_at_depth t d] is the handles of every state with BFS depth
     [d], in (shard, local index) order — the engine's canonical frontier
@@ -145,11 +163,12 @@ val handles_at_depth : t -> int -> int array
 (** [max_depth t] is the largest stored depth, or -1 on an empty store. *)
 val max_depth : t -> int
 
-(** [restore_shard t ~shard ~count ~keys ~depths ~vias ~parents] rebuilds
-    shard [shard] of an {e empty} store from serialized columns ([keys]
-    holds [count * degree] bytes).  Hashes, signatures and the probe
-    table are recomputed from the keys; every key is validated to belong
-    to [shard] and to be unique within it.
+(** [restore_shard t ~shard ~count ~keys ~depths ~vias ~parents ~conjs]
+    rebuilds shard [shard] of an {e empty} store from serialized columns
+    ([keys] holds [count * degree] bytes, [conjs] holds [count]
+    conjugator indices — all zero outside quotient mode).  Hashes,
+    signatures and the probe table are recomputed from the keys; every
+    key is validated to belong to [shard] and to be unique within it.
     @raise Invalid_argument on any inconsistency (shard not empty,
     column length mismatch, foreign or duplicate key, byte outside the
     encoding). *)
@@ -161,4 +180,5 @@ val restore_shard :
   depths:int array ->
   vias:int array ->
   parents:int array ->
+  conjs:Bytes.t ->
   unit

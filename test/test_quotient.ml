@@ -1,0 +1,299 @@
+(* Symmetry-quotient parity tests: the quotiented census must be
+   observationally identical to the raw one — Table 2, |S8[k]|, the exact
+   1260 depth-7 members with equal costs and witness cascades, and
+   byte-identical QSYNIDX1 files — plus QCheck properties of the
+   canonical form, quotient (v2) checkpoint round-trips and rejection of
+   snapshots whose symmetry section is damaged or mismatched. *)
+
+open Synthesis
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+let qcheck_test ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let library3 = Library.make (Mvl.Encoding.make ~qubits:3)
+let sym3 = lazy (Symmetry.create library3)
+let raw7 = lazy (Fmcf.run ~max_depth:7 library3)
+let quot7 = lazy (Fmcf.run ~max_depth:7 ~quotient:true library3)
+
+let with_temp_file f =
+  let path = Filename.temp_file "qsynth_quot" ".bin" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let func_key m = Permgroup.Perm.key (Reversible.Revfun.to_perm m.Fmcf.func)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* {1 Census parity} *)
+
+let test_table2_parity () =
+  let raw = Lazy.force raw7 and quot = Lazy.force quot7 in
+  checkb "raw is not quotiented" false (Fmcf.quotiented raw);
+  checkb "quotient is quotiented" true (Fmcf.quotiented quot);
+  checkb "raw paper counts exact" true (Fmcf.paper_counts_exact raw);
+  checkb "quotient paper counts inexact" false (Fmcf.paper_counts_exact quot);
+  check
+    Alcotest.(list (pair int int))
+    "|G[k]|" (Fmcf.counts raw) (Fmcf.counts quot);
+  check
+    Alcotest.(list (pair int int))
+    "|S8[k]|" (Fmcf.s8_counts raw) (Fmcf.s8_counts quot);
+  check Alcotest.int "total functions" (Fmcf.total_found raw)
+    (Fmcf.total_found quot);
+  check Alcotest.int "1260 functions" 1260 (Fmcf.total_found quot)
+
+(* Every one of the 1260 members: same function set, same cost, and the
+   reconstructed witness cascade is gate-for-gate identical. *)
+let test_members_parity () =
+  let members census =
+    let tbl = Hashtbl.create 2048 in
+    Fmcf.iter_members census (fun ~cost m ->
+        Hashtbl.replace tbl (func_key m) (cost, Fmcf.cascade_of_member census m));
+    tbl
+  in
+  let raw = Lazy.force raw7 and quot = Lazy.force quot7 in
+  let rm = members raw and qm = members quot in
+  check Alcotest.int "member count" (Hashtbl.length rm) (Hashtbl.length qm);
+  Hashtbl.iter
+    (fun key (cost, cascade) ->
+      match Hashtbl.find_opt qm key with
+      | None -> Alcotest.failf "function missing from the quotient census"
+      | Some (qcost, qcascade) ->
+          if cost <> qcost then
+            Alcotest.failf "cost differs: raw %d, quotient %d" cost qcost;
+          if not (List.equal Gate.equal cascade qcascade) then
+            Alcotest.failf "witness cascade differs at cost %d" cost)
+    rm
+
+let test_index_byte_identity () =
+  with_temp_file @@ fun path_raw ->
+  with_temp_file @@ fun path_quot ->
+  Census_index.save (Census_index.build (Lazy.force raw7)) path_raw;
+  Census_index.save (Census_index.build (Lazy.force quot7)) path_quot;
+  checkb "QSYNIDX1 files byte-identical" true
+    (String.equal (read_file path_raw) (read_file path_quot))
+
+(* {1 Canonical-form properties} *)
+
+(* canon is constant on orbits and idempotent, over arbitrary image
+   vectors (any point value, not just reachable states). *)
+let test_canon_invariant_qcheck =
+  let sym = Lazy.force sym3 in
+  let size = Mvl.Encoding.size (Library.encoding library3) in
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (int_range 0 (Symmetry.order sym - 1))
+        (string_size ~gen:(map Char.chr (int_range 0 (size - 1)))
+           (pure (Symmetry.num_binary sym))))
+  in
+  qcheck_test "canon(g.s) = canon(s)" gen (fun (g, v) ->
+      let c, _ = Symmetry.canon sym v in
+      let c', _ = Symmetry.canon sym (Symmetry.conjugate_image sym g v) in
+      let c'', i = Symmetry.canon sym c in
+      String.equal c c' && String.equal c c'' && i = 0)
+
+(* The same invariance over every reachable state of a shallow raw
+   search — the vectors the engine actually canonicalizes. *)
+let test_canon_invariant_reachable () =
+  let sym = Lazy.force sym3 in
+  let s = Search.create library3 in
+  for _ = 1 to 3 do
+    ignore (Search.step_handles s)
+  done;
+  for d = 0 to 3 do
+    Array.iter
+      (fun h ->
+        let img = Search.binary_image_of_handle s h in
+        let c, _ = Symmetry.canon sym img in
+        for g = 0 to Symmetry.order sym - 1 do
+          let c', _ = Symmetry.canon sym (Symmetry.conjugate_image sym g img) in
+          if not (String.equal c c') then
+            Alcotest.failf "canon not orbit-constant at depth %d" d
+        done)
+      (Search.handles_at_depth s d)
+  done
+
+(* {1 Quotient checkpoints (v2)} *)
+
+let quotient_search_at ?(jobs = 1) depth =
+  let s = Search.create ~jobs ~symmetry:(Lazy.force sym3) library3 in
+  for _ = 1 to depth do
+    ignore (Search.step_handles s)
+  done;
+  s
+
+let keys_at s d = Array.map (Search.key_of_handle s) (Search.handles_at_depth s d)
+let conjs_at s d = Array.map (Search.conj_of_handle s) (Search.handles_at_depth s d)
+
+let test_v2_round_trip () =
+  with_temp_file @@ fun path ->
+  let s = quotient_search_at 5 in
+  Checkpoint.save s path;
+  let h = Checkpoint.peek path in
+  checkb "peek records the symmetry fingerprint" true
+    (h.Checkpoint.symmetry
+    = Some (Symmetry.fingerprint (Lazy.force sym3)));
+  let r = Checkpoint.load library3 path in
+  checkb "restored engine is quotiented" true (Search.symmetry r <> None);
+  check Alcotest.int "depth" (Search.depth s) (Search.depth r);
+  check Alcotest.int "size" (Search.size s) (Search.size r);
+  for d = 0 to 5 do
+    check Alcotest.(array string)
+      (Printf.sprintf "level %d keys" d)
+      (keys_at s d) (keys_at r d);
+    check Alcotest.(array int)
+      (Printf.sprintf "level %d conjugators" d)
+      (conjs_at s d) (conjs_at r d)
+  done;
+  (* continuing both engines stays byte-identical *)
+  let e = Search.step_handles s and g = Search.step_handles r in
+  check Alcotest.(array int) "continued handles" e g;
+  check Alcotest.(array string) "continued keys"
+    (Array.map (Search.key_of_handle s) e)
+    (Array.map (Search.key_of_handle r) g)
+
+let test_v2_resume_parity () =
+  with_temp_file @@ fun path ->
+  Checkpoint.save (quotient_search_at 4) path;
+  let resume = Checkpoint.load library3 path in
+  let resumed, reason = Fmcf.run_guarded ~max_depth:7 ~resume library3 in
+  checkb "resumed census completed" true (reason = Fmcf.Completed);
+  let fresh = Lazy.force quot7 in
+  check Alcotest.(list (pair int int)) "resumed counts" (Fmcf.counts fresh)
+    (Fmcf.counts resumed);
+  check Alcotest.int "resumed total" (Fmcf.total_found fresh)
+    (Fmcf.total_found resumed)
+
+let test_v2_jobs_determinism () =
+  with_temp_file @@ fun p1 ->
+  with_temp_file @@ fun p4 ->
+  Checkpoint.save (quotient_search_at ~jobs:1 6) p1;
+  Checkpoint.save (quotient_search_at ~jobs:4 6) p4;
+  checkb "jobs=1 and jobs=4 quotient snapshots byte-identical" true
+    (String.equal (read_file p1) (read_file p4))
+
+let test_v1_loads_unquotiented () =
+  with_temp_file @@ fun path ->
+  let s = Search.create library3 in
+  for _ = 1 to 3 do
+    ignore (Search.step_handles s)
+  done;
+  Checkpoint.save s path;
+  checkb "raw snapshot has no symmetry section" true
+    ((Checkpoint.peek path).Checkpoint.symmetry = None);
+  let r = Checkpoint.load library3 path in
+  checkb "restored engine is raw" true (Search.symmetry r = None);
+  check Alcotest.int "size" (Search.size s) (Search.size r)
+
+(* {1 Damaged symmetry sections} *)
+
+(* v2 layout: magic 8 | version u32 | library fp u64 | symmetry fp u64 at
+   offset 20 | 5 u32 (qubits, degree, num_binary, num_gates, depth) |
+   states u64 | frontier u64 | num_shards u32 at offset 64 | per shard:
+   count u32 then count x 12-byte records (depth u16, via u8, conj u8,
+   parent u64) | crc u32.  Patches below re-seal the CRC so the format
+   gates, not the checksum, must reject the file. *)
+
+let reseal buf =
+  let n = Bytes.length buf in
+  Bytes.set_int32_le buf (n - 4)
+    (Int32.of_int (Checkpoint.crc32 buf ~off:0 ~len:(n - 4)))
+
+let test_symmetry_fingerprint_mismatch () =
+  with_temp_file @@ fun path ->
+  Checkpoint.save (quotient_search_at 3) path;
+  let buf = Bytes.of_string (read_file path) in
+  Bytes.set buf 20 (Char.chr (Char.code (Bytes.get buf 20) lxor 0x01));
+  reseal buf;
+  write_file path (Bytes.to_string buf);
+  match Checkpoint.load library3 path with
+  | exception Checkpoint.Mismatch msg ->
+      checkb "message names the symmetry group" true (contains ~sub:"symmetry" msg)
+  | exception Checkpoint.Corrupt msg ->
+      Alcotest.failf "raised Corrupt (%s) instead of Mismatch" msg
+  | _ -> Alcotest.fail "mismatched symmetry fingerprint loaded without error"
+
+let test_conjugator_corruption () =
+  with_temp_file @@ fun path ->
+  Checkpoint.save (quotient_search_at 3) path;
+  let buf = Bytes.of_string (read_file path) in
+  let num_shards = Int32.to_int (Bytes.get_int32_le buf 64) in
+  (* find the first stored state of depth >= 1 and damage its conjugator *)
+  let patched = ref false in
+  let pos = ref 68 in
+  for _ = 1 to num_shards do
+    let count = Int32.to_int (Bytes.get_int32_le buf !pos) in
+    pos := !pos + 4;
+    for _ = 1 to count do
+      if (not !patched) && Bytes.get_uint16_le buf !pos >= 1 then begin
+        let conj = Bytes.get_uint8 buf (!pos + 3) in
+        Bytes.set_uint8 buf (!pos + 3)
+          ((conj + 1) mod Symmetry.order (Lazy.force sym3));
+        patched := true
+      end;
+      pos := !pos + 12
+    done
+  done;
+  checkb "found a record to damage" true !patched;
+  reseal buf;
+  write_file path (Bytes.to_string buf);
+  match Checkpoint.load library3 path with
+  | exception Checkpoint.Corrupt _ -> ()
+  | exception Checkpoint.Mismatch msg ->
+      Alcotest.failf "raised Mismatch (%s) instead of Corrupt" msg
+  | _ -> Alcotest.fail "damaged conjugator loaded without error"
+
+let () =
+  Alcotest.run "quotient"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "table 2 and |S8[k]|" `Quick test_table2_parity;
+          Alcotest.test_case "1260 members and cascades" `Quick
+            test_members_parity;
+          Alcotest.test_case "index byte-identity" `Quick
+            test_index_byte_identity;
+        ] );
+      ( "canonical form",
+        [
+          test_canon_invariant_qcheck;
+          Alcotest.test_case "reachable states" `Quick
+            test_canon_invariant_reachable;
+        ] );
+      ( "checkpoints",
+        [
+          Alcotest.test_case "v2 round trip" `Quick test_v2_round_trip;
+          Alcotest.test_case "v2 resume parity" `Quick test_v2_resume_parity;
+          Alcotest.test_case "v2 jobs determinism" `Quick
+            test_v2_jobs_determinism;
+          Alcotest.test_case "v1 loads unquotiented" `Quick
+            test_v1_loads_unquotiented;
+          Alcotest.test_case "symmetry fingerprint mismatch" `Quick
+            test_symmetry_fingerprint_mismatch;
+          Alcotest.test_case "conjugator corruption" `Quick
+            test_conjugator_corruption;
+        ] );
+    ]
