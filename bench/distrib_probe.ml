@@ -1,0 +1,51 @@
+(* Quick A/B probe for the distributed census: interleaves single-process
+   and forked-worker depth-7 censuses and prints per-rep and best-of
+   timings plus the worker/single ratio.  The full harness
+   (bench/main.exe) reports the canonical numbers in the bench JSON;
+   this probe exists for fast iteration on the coordinator/worker
+   pipeline without paying the bechamel suite.
+
+   Run with: dune exec bench/distrib_probe.exe [reps] [workers] [depth] [item_states] *)
+
+open Synthesis
+
+let library3 = Library.make (Mvl.Encoding.make ~qubits:3)
+
+let () =
+  let arg i d = if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else d in
+  let reps = arg 1 5 and nworkers = arg 2 2 and depth = arg 3 7 in
+  let item_states = arg 4 2048 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let single () =
+    let census, reason = Fmcf.run_guarded ~max_depth:depth library3 in
+    if reason <> Fmcf.Completed then failwith "single: stopped early";
+    census
+  in
+  let distributed () =
+    let census, reason, stats =
+      Distrib.census ~max_depth:depth ~item_states
+        ~workers:(List.init nworkers (fun _ -> Distrib.Fork))
+        library3
+    in
+    if reason <> Fmcf.Completed then failwith "distributed: stopped early";
+    (census, stats)
+  in
+  let best_s = ref infinity and best_d = ref infinity in
+  for i = 1 to reps do
+    let s, census_s = timed single in
+    let d, (census_d, stats) = timed distributed in
+    if Fmcf.counts census_s <> Fmcf.counts census_d then
+      failwith "distributed census disagrees with single-process";
+    if s < !best_s then best_s := s;
+    if d < !best_d then best_d := d;
+    Printf.printf
+      "rep %d: single %.3fs  %d-worker %.3fs  (%d items, %d inline, %d retries)\n%!"
+      i s nworkers d stats.Distrib.items stats.Distrib.inline_items
+      stats.Distrib.retries
+  done;
+  Printf.printf "best: single %.3fs  %d-worker %.3fs  ratio %.2fx\n" !best_s
+    nworkers !best_d (!best_d /. !best_s)

@@ -47,10 +47,11 @@ let load_mix path =
   in
   loop 1 []
 
-let main socket rps duration connections seed mix_file =
+let main socket rps duration connections seed max_retries mix_file =
   let mix = match mix_file with None -> default_mix () | Some p -> load_mix p in
   match
-    Server.Loadgen.run ~connections ~seed ~socket ~rps ~duration_s:duration mix
+    Server.Loadgen.run ~connections ~seed ~max_retries ~socket ~rps
+      ~duration_s:duration mix
   with
   | results ->
       print_endline (Json.to_string ~pretty:true (Server.Loadgen.results_to_json results));
@@ -87,6 +88,15 @@ let seed_arg =
   let doc = "Seed for the arrival process and the mix draw." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
 
+let max_retries_arg =
+  let doc =
+    "Re-send a request rejected with 'overloaded' up to $(docv) times, \
+     honoring the daemon's retry_after_ms hint with capped exponential \
+     backoff and jitter (0, the default, reports every rejection as a \
+     final outcome).  Retries are tallied in the 'retried' field."
+  in
+  Arg.(value & opt int 0 & info [ "max-retries" ] ~docv:"N" ~doc)
+
 let mix_arg =
   let doc =
     "Request mix: one request JSON document per line (the daemon's wire \
@@ -101,6 +111,6 @@ let cmd =
     (Cmd.info "loadgen" ~doc)
     Term.(
       const main $ socket_arg $ rps_arg $ duration_arg $ connections_arg
-      $ seed_arg $ mix_arg)
+      $ seed_arg $ max_retries_arg $ mix_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -290,7 +290,8 @@ let print_quotient_stats census =
 
 let census_cmd =
   let run finish_telemetry qubits depth jobs paper_variant quotient stats save
-      emit_index checkpoint every resume max_states max_mem timeout =
+      emit_index checkpoint every resume max_states max_mem timeout workers
+      worker_cmd attach =
     (* An async checkpoint write may be in flight when an exception
        escapes; let it finish (best effort) so the file keeps the last
        boundary — the primary error is what gets reported. *)
@@ -361,10 +362,34 @@ let census_cmd =
           last_saved := cost
       | Some _ | None -> ()
     in
+    let endpoints =
+      List.map (fun a -> Distrib.Attach a) attach
+      @ List.init workers (fun _ ->
+            match worker_cmd with
+            | Some cmd -> Distrib.Spawn_cmd cmd
+            | None -> Distrib.Spawn_self)
+    in
+    if endpoints <> [] && jobs > 1 then
+      Format.eprintf
+        "warning: --jobs is ignored in distributed mode (--workers/--attach); \
+         the coordinator merges deltas sequentially@.";
     let t0 = Unix.gettimeofday () in
-    let census, reason =
-      Fmcf.run_guarded ~max_depth:depth ~jobs ~quotient ?resume:resume_search
-        ?max_states ?max_mem ?timeout ~should_stop ~on_level library
+    let census, reason, dstats =
+      match endpoints with
+      | [] ->
+          let census, reason =
+            Fmcf.run_guarded ~max_depth:depth ~jobs ~quotient
+              ?resume:resume_search ?max_states ?max_mem ?timeout ~should_stop
+              ~on_level library
+          in
+          (census, reason, None)
+      | _ :: _ ->
+          let census, reason, dstats =
+            Distrib.census ~max_depth:depth ~quotient ?resume:resume_search
+              ?max_states ?max_mem ?timeout ~should_stop ~on_level
+              ~workers:endpoints library
+          in
+          (census, reason, Some dstats)
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     let reached = Search.depth (Fmcf.search census) in
@@ -408,6 +433,16 @@ let census_cmd =
       (Search.size (Fmcf.search census))
       elapsed;
     if stats then print_quotient_stats census;
+    (match dstats with
+    | Some d ->
+        Format.printf
+          "distributed: %d/%d workers; %d items (%d inline); %d retries, %d \
+           reassignments, %d rejected deltas, %d worker deaths@."
+          d.Distrib.workers_connected d.Distrib.workers_requested
+          d.Distrib.items d.Distrib.inline_items d.Distrib.retries
+          d.Distrib.reassignments d.Distrib.rejected_deltas
+          d.Distrib.worker_deaths
+    | None -> ());
     (match note with
     | Some n -> Format.printf "*** %s ***@." n
     | None -> ());
@@ -492,13 +527,60 @@ let census_cmd =
                    half-expanded level cleanly; the census is reported as \
                    partial (exit 124).")
   in
+  let workers_arg =
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+           ~doc:"Distribute each level's expansion across $(docv) worker \
+                 processes (spawned as $(b,qsynth census-worker) over a \
+                 socketpair, or with $(b,--worker-cmd)).  The merged result \
+                 is byte-identical to a single-process run; crashed, stalled \
+                 or corrupt workers are retried, reassigned, and ultimately \
+                 expanded inline by the coordinator (doc/ROBUSTNESS.md, \
+                 'Distributed census').  Default 0: in-process search.")
+  in
+  let worker_cmd_arg =
+    Arg.(value & opt (some string) None & info [ "worker-cmd" ] ~docv:"CMD"
+           ~doc:"Spawn each $(b,--workers) worker as $(b,sh -c) $(docv) \
+                 instead of re-executing this binary; the command must speak \
+                 the worker protocol on stdin/stdout (e.g. \
+                 'ssh host qsynth census-worker').")
+  in
+  let attach_arg =
+    Arg.(value & opt_all string [] & info [ "attach" ] ~docv:"ADDR"
+           ~doc:"Attach a worker already listening at $(docv) (unix:PATH or \
+                 HOST:PORT, started with $(b,qsynth census-worker --listen)).  \
+                 Repeatable; combines with $(b,--workers).")
+  in
   Cmd.v
     (Cmd.info "census" ~exits:contract_exits
        ~doc:"Reproduce Table 2: |G[k]| for k = 0..depth.")
     Term.(
       const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ paper_flag
       $ quotient_flag $ stats_flag $ save_arg $ emit_index_arg $ checkpoint_arg
-      $ every_arg $ resume_arg $ max_states_arg $ max_mem_arg $ timeout_arg)
+      $ every_arg $ resume_arg $ max_states_arg $ max_mem_arg $ timeout_arg
+      $ workers_arg $ worker_cmd_arg $ attach_arg)
+
+(* The worker half of the distributed census: speaks the QSYNDST1
+   protocol on stdin/stdout (the spawn path) or on a single accepted
+   connection (--listen, the attach path).  Hidden from help — it is an
+   implementation detail of `census --workers`. *)
+let census_worker_cmd =
+  let run listen =
+    guarded @@ fun () ->
+    (match listen with
+    | Some addr -> Distrib.worker_listen addr
+    | None -> Distrib.worker_main Unix.stdin Unix.stdout);
+    exit_ok
+  in
+  let listen_arg =
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR"
+           ~doc:"Bind $(docv) (unix:PATH or HOST:PORT), accept one \
+                 coordinator connection, serve it, and exit.  Without this \
+                 flag the worker speaks the protocol on stdin/stdout.")
+  in
+  Cmd.v
+    (Cmd.info "census-worker" ~docs:Manpage.s_none ~exits:contract_exits
+       ~doc:"(internal) worker process for $(b,qsynth census --workers).")
+    Term.(const run $ listen_arg)
 
 (* {1 The unified query surface}
 
@@ -731,9 +813,11 @@ let serve_cmd =
     daemon_ref := Some daemon;
     Atomic.set accepting true;
     (* Park until SIGTERM/SIGINT requests the drain; SIGUSR1 dumps a
-       live snapshot to the --metrics path without restarting. *)
+       live snapshot to the --metrics path, SIGHUP hot-reloads the
+       census index — both without restarting. *)
     let stop_requested = Atomic.make false in
     let usr1 = Atomic.make false in
+    let hup = Atomic.make false in
     let previous =
       List.map
         (fun s ->
@@ -746,6 +830,47 @@ let serve_cmd =
        Sys.set_signal Sys.sigusr1
          (Sys.Signal_handle (fun _ -> Atomic.set usr1 true))
      with Invalid_argument _ -> ());
+    (try
+       Sys.set_signal Sys.sighup
+         (Sys.Signal_handle (fun _ -> Atomic.set hup true))
+     with Invalid_argument _ -> ());
+    (* One structured line per reload attempt, success or failure, so
+       operators can grep the daemon's stderr for reload outcomes. *)
+    let log_reload fields =
+      let obj =
+        Telemetry.Json.Obj (("type", Telemetry.Json.String "index_reload") :: fields)
+      in
+      Format.eprintf "%s@." (Telemetry.Json.to_string obj)
+    in
+    let reload_index () =
+      match index_path with
+      | None ->
+          log_reload
+            [ ("ok", Telemetry.Json.Bool false);
+              ("error", Telemetry.Json.String "no --index configured") ]
+      | Some path -> (
+          match Server.Service.reload_index service path with
+          | size, depth ->
+              log_reload
+                [ ("ok", Telemetry.Json.Bool true);
+                  ("path", Telemetry.Json.String path);
+                  ("functions", Telemetry.Json.Int size);
+                  ("depth", Telemetry.Json.Int depth) ]
+          | exception
+              (( Checkpoint.Corrupt msg | Checkpoint.Mismatch msg
+               | Sys_error msg ) as exn) ->
+              let kind =
+                match exn with
+                | Checkpoint.Corrupt _ -> "corrupt"
+                | Checkpoint.Mismatch _ -> "mismatch"
+                | _ -> "io"
+              in
+              log_reload
+                [ ("ok", Telemetry.Json.Bool false);
+                  ("path", Telemetry.Json.String path);
+                  ("kind", Telemetry.Json.String kind);
+                  ("error", Telemetry.Json.String msg) ])
+    in
     while not (Atomic.get stop_requested) do
       if Atomic.get usr1 then begin
         Atomic.set usr1 false;
@@ -757,6 +882,10 @@ let serve_cmd =
             with Sys_error msg ->
               Format.eprintf "error: cannot write telemetry snapshot: %s@." msg)
         | None -> Format.eprintf "qsynth: SIGUSR1 ignored (no --metrics FILE)@."
+      end;
+      if Atomic.get hup then begin
+        Atomic.set hup false;
+        reload_index ()
       end;
       Thread.delay 0.05
     done;
@@ -836,7 +965,10 @@ let serve_cmd =
              client over a Unix-domain socket.  Drains gracefully on \
              SIGTERM/SIGINT: stops accepting, answers everything already \
              accepted, unlinks the socket, exits 0.  SIGUSR1 dumps a live \
-             telemetry snapshot to the $(b,--metrics) path.")
+             telemetry snapshot to the $(b,--metrics) path.  SIGHUP \
+             re-reads the $(b,--index) file and hot-swaps it atomically \
+             (validated first; kept unchanged on corruption or mismatch) \
+             without dropping in-flight requests.")
     Term.(
       const run $ serve_telemetry_term $ qubits_arg $ jobs_arg $ socket_arg
       $ index_arg $ warm_depth_arg $ workers_arg $ queue_arg $ cache_arg
@@ -916,8 +1048,11 @@ let query_cmd =
 
 (* batch *)
 
+let m_client_retries = Telemetry.Counter.create "client.retries"
+
 let batch_cmd =
-  let run finish_telemetry qubits jobs socket index_path warm_depth file =
+  let run finish_telemetry qubits jobs socket index_path warm_depth max_retries
+      file =
     guarded ~finish:finish_telemetry @@ fun () ->
     let ic = if file = "-" then stdin else open_in file in
     Fun.protect ~finally:(fun () -> if file <> "-" then close_in_noerr ic)
@@ -927,10 +1062,29 @@ let batch_cmd =
       | Some path ->
           let fd = Server.Protocol.connect path in
           at_exit (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+          let rng = Random.State.make [| 0x0b5e; max_retries |] in
           fun req ->
-            (match Server.Protocol.call fd req with
-            | Ok resp -> resp
-            | Error msg -> failwith msg)
+            (* An Overloaded reply is backpressure, not an answer: honor
+               the daemon's retry_after_ms hint with capped exponential
+               backoff plus jitter, up to --max-retries, then let the
+               last reply through so the output line records the drop. *)
+            let rec attempt n =
+              let resp =
+                match Server.Protocol.call fd req with
+                | Ok resp -> resp
+                | Error msg -> failwith msg
+              in
+              match resp.Mce.Response.body with
+              | Error (Mce.Response.Overloaded { retry_after_ms })
+                when n < max_retries ->
+                  let base = float_of_int (max 1 retry_after_ms) /. 1000. in
+                  let d = Float.min 2.0 (base *. (2. ** float_of_int n)) in
+                  Unix.sleepf (d +. Random.State.float rng (0.25 *. d));
+                  Telemetry.Counter.incr m_client_retries;
+                  attempt (n + 1)
+              | _ -> resp
+            in
+            attempt 0
       | None ->
           (* no daemon: evaluate locally against one warm service, so a
              whole file amortizes the same warm-up a daemon would *)
@@ -994,13 +1148,21 @@ let batch_cmd =
                  stdin).  Responses stream to stdout in input order, one line \
                  each.")
   in
+  let max_retries_arg =
+    Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"N"
+           ~doc:"With $(b,--socket): retry a request up to $(docv) times when \
+                 the daemon replies Overloaded, sleeping its retry_after_ms \
+                 hint with capped exponential backoff and jitter between \
+                 attempts (0 disables; retries are counted in the \
+                 client.retries telemetry counter).")
+  in
   Cmd.v
     (Cmd.info "batch" ~exits:contract_exits
        ~doc:"Evaluate a JSONL file of requests — locally against one warm \
              engine, or through a daemon with $(b,--socket).")
     Term.(
       const run $ telemetry_term $ qubits_arg $ jobs_arg $ socket_opt_arg
-      $ index_arg $ warm_depth_arg $ file_arg)
+      $ index_arg $ warm_depth_arg $ max_retries_arg $ file_arg)
 
 (* table1 *)
 
@@ -1359,7 +1521,18 @@ let ablation_cmd =
 
 (* Known fault-injection points; kept in sync with the Faultsim.hit call
    sites (see doc/ROBUSTNESS.md). *)
-let fault_points = [ "checkpoint"; "grow"; "merge" ]
+let fault_points =
+  [
+    "checkpoint";
+    "grow";
+    "merge";
+    (* distributed census (lib/synthesis/distrib.ml); the worker-side
+       points arm in the worker process via the inherited environment *)
+    "worker_crash";
+    "delta_corrupt";
+    "worker_stall";
+    "reply_drop";
+  ]
 
 (* QSYNTH_FAULT is validated before any command runs: a typo'd spec is a
    usage error (exit 2) with a diagnostic, never a silently disarmed
@@ -1393,6 +1566,7 @@ let () =
     Cmd.group info
       [
             census_cmd;
+            census_worker_cmd;
             synth_cmd;
             serve_cmd;
             query_cmd;

@@ -1,11 +1,14 @@
 open Synthesis
 module Json = Telemetry.Json
 
+let m_retries = Telemetry.Counter.create "loadgen.retries"
+
 type results = {
   sent : int;
   answered : int;
   ok : int;
   overloaded : int;
+  retried : int;
   shutting_down : int;
   errors : int;
   duration_s : float;
@@ -28,6 +31,7 @@ let results_to_json r =
       ("answered", Json.Int r.answered);
       ("ok", Json.Int r.ok);
       ("overloaded", Json.Int r.overloaded);
+      ("retried", Json.Int r.retried);
       ("shutting_down", Json.Int r.shutting_down);
       ("errors", Json.Int r.errors);
       ("duration_s", Json.Float r.duration_s);
@@ -48,26 +52,70 @@ let percentile sorted p =
     let idx = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
     sorted.(max 0 (min (n - 1) idx))
 
+(* One in-flight request: the scheduled arrival keeps charging latency
+   across retries (coordinated-omission correction applies to the whole
+   attempt chain, not just the last hop). *)
+type pending_entry = {
+  p_scheduled : float;
+  p_req : Mce.Request.t;
+  mutable p_attempts : int;  (* retries already dispatched *)
+}
+
 let run ?(connections = 4) ?(seed = 42) ?(drain_timeout_s = 30.) ?max_frame
-    ~socket ~rps ~duration_s mix =
+    ?(max_retries = 0) ~socket ~rps ~duration_s mix =
   if mix = [] then invalid_arg "Loadgen.run: empty request mix";
   if rps <= 0. then invalid_arg "Loadgen.run: rps must be positive";
   if duration_s <= 0. then invalid_arg "Loadgen.run: duration_s must be positive";
   if connections < 1 then invalid_arg "Loadgen.run: connections must be >= 1";
+  if max_retries < 0 then invalid_arg "Loadgen.run: max_retries must be >= 0";
   let mix = Array.of_list mix in
   let rng = Random.State.make [| seed |] in
   let fds = Array.init connections (fun _ -> Protocol.connect socket) in
   (* shared accounting, guarded by [mutex]; [outstanding] is atomic so
      the drain loop can poll it without the lock *)
   let mutex = Mutex.create () in
-  let pending : (string, float) Hashtbl.t = Hashtbl.create 1024 in
+  let pending : (string, pending_entry) Hashtbl.t = Hashtbl.create 1024 in
   let latencies = ref [] in
   let answered = ref 0 in
   let ok = ref 0 in
   let overloaded = ref 0 in
+  let retried = ref 0 in
   let shutting_down = ref 0 in
   let errors = ref 0 in
   let outstanding = Atomic.make 0 in
+  (* retry threads and the dispatcher may target the same connection;
+     frames must not interleave *)
+  let send_mutexes = Array.init connections (fun _ -> Mutex.create ()) in
+  let send c req =
+    Mutex.protect send_mutexes.(c) (fun () ->
+        Protocol.write_frame ?max_len:max_frame fds.(c)
+          (Json.to_string (Mce.Request.to_json req)))
+  in
+  let retry_threads = ref [] in
+  (* An Overloaded reply under the retry budget re-sends the same id
+     after the daemon's retry_after_ms hint, with capped exponential
+     backoff and deterministic jitter; the sleep runs on its own thread
+     so the reader keeps draining the connection. *)
+  let spawn_retry id e retry_after_ms =
+    let t =
+      Thread.create
+        (fun () ->
+          let base = float_of_int (max 1 retry_after_ms) /. 1000. in
+          let d = Float.min 2.0 (base *. (2. ** float_of_int (e.p_attempts - 1))) in
+          let jitter =
+            float_of_int (Hashtbl.hash (id, e.p_attempts) land 63) /. 1000.
+          in
+          Thread.delay (d +. jitter);
+          try send (Hashtbl.hash id mod connections) e.p_req
+          with Unix.Unix_error _ | Invalid_argument _ ->
+            Mutex.protect mutex (fun () ->
+                Hashtbl.remove pending id;
+                incr errors);
+            ignore (Atomic.fetch_and_add outstanding (-1)))
+        ()
+    in
+    Mutex.protect mutex (fun () -> retry_threads := t :: !retry_threads)
+  in
   let reader fd =
     let rec loop () =
       match Protocol.read_frame ?max_len:max_frame fd with
@@ -76,34 +124,46 @@ let run ?(connections = 4) ?(seed = 42) ?(drain_timeout_s = 30.) ?max_frame
           let now = Unix.gettimeofday () in
           (match Mce.Response.of_string payload with
           | Ok resp ->
-              let scheduled =
+              let action =
                 match resp.Mce.Response.id with
-                | None -> None
+                | None -> `Final None
                 | Some id ->
                     Mutex.protect mutex (fun () ->
                         match Hashtbl.find_opt pending id with
-                        | Some s ->
-                            Hashtbl.remove pending id;
-                            Some s
-                        | None -> None)
+                        | None -> `Final None
+                        | Some e -> (
+                            match resp.Mce.Response.body with
+                            | Error (Mce.Response.Overloaded { retry_after_ms })
+                              when e.p_attempts < max_retries ->
+                                e.p_attempts <- e.p_attempts + 1;
+                                incr retried;
+                                Telemetry.Counter.incr m_retries;
+                                `Retry (id, e, retry_after_ms)
+                            | _ ->
+                                Hashtbl.remove pending id;
+                                `Final (Some e.p_scheduled)))
               in
-              Mutex.lock mutex;
-              incr answered;
-              (match resp.Mce.Response.body with
-              | Ok _ -> incr ok
-              | Error (Mce.Response.Overloaded _) -> incr overloaded
-              | Error Mce.Response.Shutting_down -> incr shutting_down
-              | Error _ -> incr errors);
-              (match scheduled with
-              | Some s -> latencies := (now -. s) :: !latencies
-              | None -> ());
-              Mutex.unlock mutex
+              (match action with
+              | `Retry (id, e, hint) -> spawn_retry id e hint
+              | `Final scheduled ->
+                  Mutex.lock mutex;
+                  incr answered;
+                  (match resp.Mce.Response.body with
+                  | Ok _ -> incr ok
+                  | Error (Mce.Response.Overloaded _) -> incr overloaded
+                  | Error Mce.Response.Shutting_down -> incr shutting_down
+                  | Error _ -> incr errors);
+                  (match scheduled with
+                  | Some s -> latencies := (now -. s) :: !latencies
+                  | None -> ());
+                  Mutex.unlock mutex;
+                  ignore (Atomic.fetch_and_add outstanding (-1)))
           | Error _ ->
               Mutex.lock mutex;
               incr answered;
               incr errors;
-              Mutex.unlock mutex);
-          ignore (Atomic.fetch_and_add outstanding (-1));
+              Mutex.unlock mutex;
+              ignore (Atomic.fetch_and_add outstanding (-1)));
           loop ()
     in
     loop ()
@@ -129,11 +189,11 @@ let run ?(connections = 4) ?(seed = 42) ?(drain_timeout_s = 30.) ?max_frame
     let id = Printf.sprintf "lg-%06d" !seq in
     incr seq;
     let req = { template with Mce.Request.id = Some id } in
-    Mutex.protect mutex (fun () -> Hashtbl.replace pending id !next);
+    Mutex.protect mutex (fun () ->
+        Hashtbl.replace pending id
+          { p_scheduled = !next; p_req = req; p_attempts = 0 });
     ignore (Atomic.fetch_and_add outstanding 1);
-    (try
-       Protocol.write_frame ?max_len:max_frame fds.(!conn)
-         (Json.to_string (Mce.Request.to_json req))
+    (try send !conn req
      with Unix.Unix_error _ | Invalid_argument _ ->
        Mutex.protect mutex (fun () ->
            Hashtbl.remove pending id;
@@ -151,6 +211,10 @@ let run ?(connections = 4) ?(seed = 42) ?(drain_timeout_s = 30.) ?max_frame
     (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     fds;
   Array.iter Thread.join readers;
+  (* readers are done, so no new retries can be spawned; late retry
+     sends hit the shut-down sockets and count as errors *)
+  List.iter Thread.join
+    (Mutex.protect mutex (fun () -> !retry_threads));
   Array.iter
     (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
     fds;
@@ -167,6 +231,7 @@ let run ?(connections = 4) ?(seed = 42) ?(drain_timeout_s = 30.) ?max_frame
     answered = !answered;
     ok = !ok;
     overloaded = !overloaded;
+    retried = !retried;
     shutting_down = !shutting_down;
     errors = !errors;
     duration_s = duration;

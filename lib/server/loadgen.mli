@@ -22,7 +22,12 @@ type results = {
   sent : int;
   answered : int;  (** responses received before the drain timeout *)
   ok : int;
-  overloaded : int;  (** backpressure rejections ([Overloaded]) *)
+  overloaded : int;  (** {e final} backpressure rejections ([Overloaded]) *)
+  retried : int;
+      (** re-sends triggered by [Overloaded] replies under the
+          [max_retries] budget (each also ticks the [loadgen.retries]
+          telemetry counter); a request that ultimately succeeds after
+          retries counts in [ok], not in [overloaded] *)
   shutting_down : int;
   errors : int;  (** every other error body, or undecodable responses *)
   duration_s : float;  (** dispatch window actually used *)
@@ -46,13 +51,22 @@ val results_to_json : results -> Telemetry.Json.t
     [connections] (default 4) sizes the pipelined connection pool;
     [seed] (default 42) fixes the arrival process and the mix draw, so
     a run is reproducible against a deterministic daemon.
-    @raise Invalid_argument on an empty mix or non-positive rate or
-    duration; @raise Unix.Unix_error when nothing serves at [socket]. *)
+    [max_retries] (default 0: report every [Overloaded] as a final
+    outcome) re-sends a request rejected with [Overloaded] up to that
+    many times, sleeping the daemon's [retry_after_ms] hint with capped
+    exponential backoff and jitter between attempts; latency for a
+    retried request is still measured from its original scheduled
+    arrival, so retry delay shows up in the percentiles instead of
+    being absorbed.
+    @raise Invalid_argument on an empty mix, non-positive rate or
+    duration, or negative [max_retries];
+    @raise Unix.Unix_error when nothing serves at [socket]. *)
 val run :
   ?connections:int ->
   ?seed:int ->
   ?drain_timeout_s:float ->
   ?max_frame:int ->
+  ?max_retries:int ->
   socket:string ->
   rps:float ->
   duration_s:float ->

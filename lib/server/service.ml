@@ -55,6 +55,15 @@ module Lru = struct
         push_front t n;
         Some n.value
 
+  (* Empty the cache in place: reclose the sentinel cycle and drop the
+     table.  Used when the index is hot-swapped — cached responses may
+     embed answers the old index produced. *)
+  let clear t =
+    Hashtbl.reset t.table;
+    t.sentinel.next <- t.sentinel;
+    t.sentinel.prev <- t.sentinel;
+    Telemetry.Gauge.set_int g_cache_size 0
+
   let put t key value =
     if t.capacity > 0 then begin
       (match Hashtbl.find_opt t.table key with
@@ -85,7 +94,9 @@ type flight = {
 
 type t = {
   library : Library.t;
-  index : Census_index.t option;
+  index : Census_index.t option Atomic.t;
+      (* atomically swappable (SIGHUP hot reload); readers take one
+         consistent snapshot per request with [Atomic.get] *)
   bidir : Bidir.t option;
   warm_depth : int;
   jobs : int;
@@ -113,7 +124,7 @@ let create ?(jobs = 1) ?index ?(warm_depth = 0) ?(cache_capacity = 1024) library
   in
   {
     library;
-    index;
+    index = Atomic.make index;
     bidir;
     warm_depth;
     jobs;
@@ -124,6 +135,24 @@ let create ?(jobs = 1) ?index ?(warm_depth = 0) ?(cache_capacity = 1024) library
 
 let library t = t.library
 let warm_depth t = t.warm_depth
+
+(* Hot index reload: validate the replacement fully (Census_index.load
+   checks magic, CRC and the library fingerprint — Corrupt/Mismatch
+   escape to the caller and the old index stays in place), then publish
+   it and drop the response cache in one critical section so no later
+   answer mixes old cached bodies with new index lookups.  In-flight
+   requests that already snapshotted the old index finish against it —
+   both indexes answer with the same exact costs, only the horizon
+   differs. *)
+let reload_index t path =
+  let index = Census_index.load t.library path in
+  Mutex.protect t.mutex (fun () ->
+      Atomic.set t.index (Some index);
+      Lru.clear t.cache);
+  Log.info (fun m ->
+      m "index reloaded from %s: %d functions, exact to cost %d" path
+        (Census_index.size index) (Census_index.depth index));
+  (Census_index.size index, Census_index.depth index)
 
 let no_stop () = false
 
@@ -151,8 +180,8 @@ let evaluate t ~should_stop (req : Mce.Request.t) =
   in
   let stop () = should_stop () || deadline_hit () in
   let resp =
-    try Mce.solve ~jobs:t.jobs ~should_stop:stop ?index:t.index ?bidir:t.bidir
-          t.library req
+    try Mce.solve ~jobs:t.jobs ~should_stop:stop ?index:(Atomic.get t.index)
+          ?bidir:t.bidir t.library req
     with exn ->
       {
         Mce.Response.id = req.Mce.Request.id;

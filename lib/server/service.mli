@@ -51,6 +51,19 @@ val library : t -> Synthesis.Library.t
     (0 when the service runs without one). *)
 val warm_depth : t -> int
 
+(** [reload_index t path] hot-swaps the census index: loads and fully
+    validates the QSYNIDX1 file at [path] (magic, CRC, library
+    fingerprint), then atomically publishes it and clears the response
+    cache, without dropping or blocking in-flight requests — requests
+    already evaluating finish against the index they snapshotted.
+    Returns the new index's [(size, depth)].  On failure the old index
+    remains in service untouched.
+    @raise Synthesis.Checkpoint.Corrupt on a damaged file
+    @raise Synthesis.Checkpoint.Mismatch on a library-fingerprint
+    mismatch
+    @raise Sys_error when [path] cannot be read. *)
+val reload_index : t -> string -> int * int
+
 (** [answer ?should_stop t request] evaluates a request against the warm
     engine — cache, then coalescing, then {!Synthesis.Mce.solve} — and never
     raises.  The request's [deadline_ms] is enforced here as a compute

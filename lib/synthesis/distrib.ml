@@ -1,0 +1,1057 @@
+(* Coordinator/worker distributed census.  See distrib.mli for the
+   contract and doc/ROBUSTNESS.md, "Distributed census", for the failure
+   model.  The determinism argument is the same as Search's: a shard is
+   a pure function of the key, and merging deltas item-major (items in
+   frontier order, shard sections in shard order) presents every shard
+   its candidates in global (frontier position, gate) order — the exact
+   order expand_insert_sequential and dedupe_shards use — so the arena,
+   handles and frontier order cannot depend on scheduling, retries or
+   reassignment. *)
+
+let log_src = Logs.Src.create "qsynth.distrib" ~doc:"distributed census"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_items = Telemetry.Counter.create "distrib.items"
+let m_inline = Telemetry.Counter.create "distrib.items.inline"
+let m_retries = Telemetry.Counter.create "distrib.retries"
+let m_reassign = Telemetry.Counter.create "distrib.reassignments"
+let m_rejected = Telemetry.Counter.create "distrib.deltas.rejected"
+let m_deaths = Telemetry.Counter.create "distrib.worker.deaths"
+let g_workers = Telemetry.Gauge.create "distrib.workers.live"
+let s_states = Telemetry.Series.create "distrib.states.per_level"
+let s_retries = Telemetry.Series.create "distrib.retries.per_level"
+
+type endpoint = Spawn_self | Spawn_cmd of string | Fork | Attach of string
+
+type stats = {
+  workers_requested : int;
+  workers_connected : int;
+  items : int;
+  inline_items : int;
+  retries : int;
+  reassignments : int;
+  rejected_deltas : int;
+  worker_deaths : int;
+}
+
+exception Protocol_error of string
+
+(* {1 Frame codec}
+
+   Same framing as Server.Protocol (4-byte big-endian length prefix) —
+   re-implemented here because lib/server depends on lib/synthesis, not
+   the other way around.  Every payload is
+
+     magic "QSYNDST1" (8) | type (1) | body | CRC-32 big-endian (4)
+
+   with the CRC covering magic through body. *)
+
+let magic = "QSYNDST1"
+let header_len = 9
+let trailer_len = 4
+let max_frame = 64 * 1024 * 1024
+let t_hello = 1
+let t_hello_ack = 2
+let t_work = 3
+let t_delta = 4
+let t_heartbeat = 5
+let t_shutdown = 7
+let t_error = 8
+
+let rec write_all fd b off len =
+  if len > 0 then
+    match Unix.write fd b off len with
+    | n -> write_all fd b (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b off len
+
+let rec read_exact fd b off len =
+  if len > 0 then
+    match Unix.read fd b off len with
+    | 0 -> raise End_of_file
+    | n -> read_exact fd b (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd b off len
+
+let new_payload ~typ ~body_len =
+  let p = Bytes.create (header_len + body_len + trailer_len) in
+  Bytes.blit_string magic 0 p 0 8;
+  Bytes.set p 8 (Char.chr typ);
+  p
+
+let seal p =
+  let n = Bytes.length p in
+  let crc = Checkpoint.crc32 p ~off:0 ~len:(n - trailer_len) in
+  Bytes.set_int32_be p (n - trailer_len) (Int32.of_int crc);
+  p
+
+(* Two writes instead of one copied buffer: payloads reach tens of MB
+   per delta, and the copy costs more than the extra syscall. *)
+let send_payload fd p =
+  let n = Bytes.length p in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int n);
+  write_all fd hdr 0 4;
+  write_all fd p 0 n
+
+let recv_payload fd =
+  let hdr = Bytes.create 4 in
+  read_exact fd hdr 0 4;
+  let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  if n < header_len + trailer_len || n > max_frame then
+    raise (Protocol_error (Printf.sprintf "bad frame length %d" n));
+  let p = Bytes.create n in
+  read_exact fd p 0 n;
+  if not (String.equal (Bytes.sub_string p 0 8) magic) then
+    raise (Protocol_error "bad frame magic");
+  let crc = Checkpoint.crc32 p ~off:0 ~len:(n - trailer_len) land 0xffffffff in
+  let stored = Int32.to_int (Bytes.get_int32_be p (n - trailer_len)) land 0xffffffff in
+  if crc <> stored then raise (Protocol_error "frame CRC mismatch");
+  (Char.code (Bytes.get p 8), p)
+
+module Wire = struct
+  let max_frame = max_frame
+
+  let payload ~typ ~body =
+    let p = new_payload ~typ ~body_len:(Bytes.length body) in
+    Bytes.blit body 0 p header_len (Bytes.length body);
+    seal p
+
+  let send = send_payload
+  let recv = recv_payload
+end
+
+(* {1 Expansion parameters}
+
+   Everything a stateless worker (or the coordinator's inline fallback)
+   needs to expand an item — the exact data Search hoists out of the
+   library, plus the fingerprints every delta must echo. *)
+
+type params = {
+  library : Library.t;
+  sym : Symmetry.t option;
+  klen : int;
+  num_binary : int;
+  ngates : int;
+  signatures : int array;
+  perm_arrays : int array array;
+  purity_masks : int array;
+  lib_fp : int64;
+  sym_fp : int64;
+}
+
+let params_of ?symmetry library =
+  let encoding = Library.encoding library in
+  let degree = Mvl.Encoding.size encoding in
+  let num_binary = Mvl.Encoding.num_binary encoding in
+  let signatures = Array.init degree (Mvl.Encoding.mixed_signature encoding) in
+  let klen = match symmetry with None -> degree | Some _ -> num_binary in
+  let entries = Library.entries library in
+  {
+    library;
+    sym = symmetry;
+    klen;
+    num_binary;
+    ngates = Array.length entries;
+    signatures;
+    perm_arrays = Array.map (fun e -> e.Library.perm_array) entries;
+    purity_masks = Array.map (fun e -> e.Library.purity_mask) entries;
+    lib_fp = Checkpoint.fingerprint library;
+    sym_fp = (match symmetry with None -> 0L | Some s -> Symmetry.fingerprint s);
+  }
+
+(* A delta: the candidate children of one work item, grouped by target
+   shard, each record in wire layout
+
+     via (1) | conj (1) | parent index in the item (4, BE) | key (klen)
+
+   and, within a shard section, in (frontier position, gate) order. *)
+let num_shards = State_arena.num_shards
+
+type secbuf = { mutable sbuf : Bytes.t; mutable slen : int (* records *) }
+
+(* The candidate children of one work item, still grouped by target
+   shard in the worker's section buffers — [encode_delta] blits each
+   section straight into the wire frame, so the records are never
+   coalesced into an intermediate copy. *)
+type delta = { d_counts : int array; d_secs : secbuf array; d_nrecords : int }
+
+(* Unboxed big-endian u32 accessors: [Bytes.get_int32_be] allocates a
+   boxed [Int32.t] per call, which at one read and one write per record
+   dominates the merge loop's allocation.  [get_u32] is unsafe — its two
+   callers (validate_delta, merge_delta) have already checked that the
+   payload extends past every record they walk. *)
+let get_u32 b off =
+  (Char.code (Bytes.unsafe_get b off) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get b (off + 3))
+
+let set_u32 b off v =
+  Bytes.set b off (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.unsafe_chr (v land 0xff))
+
+(* Expand the packed [keys] of one item exactly as Search.expand_chunk
+   would: signature test, gate image, (quotiented) canonicalization,
+   shard placement by key hash.  Pure — reads no arena. *)
+let expand_item p ~keys ~off ~nkeys =
+  let klen = p.klen in
+  let stride = 6 + klen in
+  let secs = Array.init num_shards (fun _ -> { sbuf = Bytes.create (16 * stride); slen = 0 }) in
+  let push s ~via ~conj ~parent key koff =
+    let sb = secs.(s) in
+    let off = sb.slen * stride in
+    if off + stride > Bytes.length sb.sbuf then begin
+      let nb = Bytes.create (2 * Bytes.length sb.sbuf) in
+      Bytes.blit sb.sbuf 0 nb 0 off;
+      sb.sbuf <- nb
+    end;
+    Bytes.set sb.sbuf off (Char.unsafe_chr via);
+    Bytes.set sb.sbuf (off + 1) (Char.unsafe_chr conj);
+    set_u32 sb.sbuf (off + 2) parent;
+    Bytes.blit key koff sb.sbuf (off + 6) klen;
+    sb.slen <- sb.slen + 1
+  in
+  let scratch = Bytes.create klen in
+  let tmp = Bytes.create klen and dst = Bytes.create klen in
+  for i = 0 to nkeys - 1 do
+    let koff = off + (i * klen) in
+    let signature = ref 0 in
+    for j = 0 to p.num_binary - 1 do
+      signature := !signature lor p.signatures.(Char.code (Bytes.get keys (koff + j)))
+    done;
+    for via = 0 to p.ngates - 1 do
+      if !signature land p.purity_masks.(via) = 0 then begin
+        let pa = p.perm_arrays.(via) in
+        match p.sym with
+        | None ->
+            let acc = ref 0 in
+            for j = 0 to klen - 1 do
+              let b =
+                Array.unsafe_get pa (Char.code (Bytes.unsafe_get keys (koff + j)))
+              in
+              Bytes.unsafe_set scratch j (Char.unsafe_chr b);
+              acc := (!acc * 131) + b
+            done;
+            (* finalize exactly as State_arena.hash_key *)
+            let hv = !acc in
+            let hv = hv lxor (hv lsr 23) in
+            let hv = hv * 0x2545F4914F6CDD1 in
+            let hv = hv lxor (hv lsr 29) in
+            let hash = hv land max_int in
+            push (State_arena.shard_of_hash hash) ~via ~conj:0 ~parent:i scratch 0
+        | Some sym ->
+            for j = 0 to klen - 1 do
+              Bytes.unsafe_set scratch j
+                (Char.unsafe_chr
+                   (Array.unsafe_get pa (Char.code (Bytes.unsafe_get keys (koff + j)))))
+            done;
+            let conj = Symmetry.canon_into sym ~src:scratch ~soff:0 ~tmp ~dst ~doff:0 in
+            let hash = State_arena.hash_key dst ~off:0 ~len:klen in
+            push (State_arena.shard_of_hash hash) ~via ~conj ~parent:i dst 0
+      end
+    done
+  done;
+  let counts = Array.map (fun sb -> sb.slen) secs in
+  let total = Array.fold_left ( + ) 0 counts in
+  { d_counts = counts; d_secs = secs; d_nrecords = total }
+
+(* {1 Message encodings} *)
+
+let encode_hello p =
+  let b = new_payload ~typ:t_hello ~body_len:19 in
+  Bytes.set b 9 (Char.chr (Library.qubits p.library));
+  Bytes.set b 10 (Char.chr (if p.sym = None then 0 else 1));
+  Bytes.set b 11 (Char.chr p.klen);
+  Bytes.set_int64_be b 12 p.lib_fp;
+  Bytes.set_int64_be b 20 p.sym_fp;
+  seal b
+
+let encode_hello_ack p =
+  let b = new_payload ~typ:t_hello_ack ~body_len:16 in
+  Bytes.set_int64_be b 9 p.lib_fp;
+  Bytes.set_int64_be b 17 p.sym_fp;
+  seal b
+
+let encode_heartbeat ~item_id =
+  let b = new_payload ~typ:t_heartbeat ~body_len:4 in
+  Bytes.set_int32_be b 9 (Int32.of_int item_id);
+  seal b
+
+let encode_shutdown () = seal (new_payload ~typ:t_shutdown ~body_len:0)
+
+let encode_error msg =
+  let n = min (String.length msg) 1024 in
+  let b = new_payload ~typ:t_error ~body_len:n in
+  Bytes.blit_string msg 0 b 9 n;
+  seal b
+
+let encode_delta p ~item_id ~level d =
+  let stride = 6 + p.klen in
+  let counts_off = 9 + 4 + 2 + 8 + 8 + 4 in
+  let records_off = counts_off + (4 * num_shards) in
+  let b =
+    new_payload ~typ:t_delta
+      ~body_len:(records_off - 9 + (d.d_nrecords * stride))
+  in
+  Bytes.set_int32_be b 9 (Int32.of_int item_id);
+  Bytes.set_uint16_be b 13 level;
+  Bytes.set_int64_be b 15 p.lib_fp;
+  Bytes.set_int64_be b 23 p.sym_fp;
+  Bytes.set_int32_be b 31 (Int32.of_int d.d_nrecords);
+  for s = 0 to num_shards - 1 do
+    Bytes.set_int32_be b (counts_off + (4 * s)) (Int32.of_int d.d_counts.(s))
+  done;
+  let pos = ref records_off in
+  Array.iter
+    (fun sb ->
+      Bytes.blit sb.sbuf 0 b !pos (sb.slen * stride);
+      pos := !pos + (sb.slen * stride))
+    d.d_secs;
+  seal b
+
+let delta_counts_off = 9 + 4 + 2 + 8 + 8 + 4
+let delta_records_off = delta_counts_off + (4 * num_shards)
+
+(* A validated delta: structure checked, every record's hash recomputed
+   and its shard membership verified — nothing touches the arena until
+   validation has accepted the whole reply. *)
+type validated = {
+  v_counts : int array;
+  v_payload : Bytes.t;
+  v_hashes : int array;
+  v_nrecords : int;
+}
+
+(* [validate_delta p payload ~nkeys_of] checks a delta payload against
+   the run configuration and returns [(item_id, level, validated)].
+   [nkeys_of item_id] is the item's key count ([None] = unknown id).
+   @raise Protocol_error naming the defect on any violation. *)
+let validate_delta p payload ~nkeys_of =
+  let len = Bytes.length payload in
+  let fail msg = raise (Protocol_error msg) in
+  if len < delta_records_off + trailer_len then fail "delta: truncated header";
+  let item_id = Int32.to_int (Bytes.get_int32_be payload 9) in
+  let level = Bytes.get_uint16_be payload 13 in
+  if Bytes.get_int64_be payload 15 <> p.lib_fp then fail "delta: library fingerprint mismatch";
+  if Bytes.get_int64_be payload 23 <> p.sym_fp then fail "delta: symmetry fingerprint mismatch";
+  let nrecords = Int32.to_int (Bytes.get_int32_be payload 31) in
+  let nkeys =
+    match nkeys_of item_id with
+    | Some n -> n
+    | None -> fail (Printf.sprintf "delta: unknown item %d" item_id)
+  in
+  let counts = Array.make num_shards 0 in
+  let sum = ref 0 in
+  for s = 0 to num_shards - 1 do
+    let c = Int32.to_int (Bytes.get_int32_be payload (delta_counts_off + (4 * s))) in
+    if c < 0 then fail "delta: negative section count";
+    counts.(s) <- c;
+    sum := !sum + c
+  done;
+  if !sum <> nrecords then fail "delta: section counts disagree with record total";
+  let stride = 6 + p.klen in
+  if len <> delta_records_off + (nrecords * stride) + trailer_len then
+    fail "delta: payload length disagrees with record total";
+  let order = match p.sym with None -> 1 | Some s -> Symmetry.order s in
+  let hashes = Array.make nrecords 0 in
+  let pos = ref delta_records_off and ri = ref 0 in
+  for s = 0 to num_shards - 1 do
+    for _ = 1 to counts.(s) do
+      let via = Char.code (Bytes.unsafe_get payload !pos) in
+      let conj = Char.code (Bytes.unsafe_get payload (!pos + 1)) in
+      let pidx = get_u32 payload (!pos + 2) in
+      if via >= p.ngates then fail "delta: gate index out of range";
+      if conj >= order then fail "delta: conjugator out of range";
+      if pidx < 0 || pidx >= nkeys then fail "delta: parent index out of range";
+      let hash = State_arena.hash_key payload ~off:(!pos + 6) ~len:p.klen in
+      if State_arena.shard_of_hash hash <> s then fail "delta: key in wrong shard section";
+      hashes.(!ri) <- hash;
+      pos := !pos + stride;
+      incr ri
+    done
+  done;
+  (item_id, level, { v_counts = counts; v_payload = payload; v_hashes = hashes; v_nrecords = nrecords })
+
+(* The coordinator's inline fallback produces the same validated shape
+   without a round-trip (hashes recomputed by the same code path). *)
+let validated_of_delta p d =
+  let payload = encode_delta p ~item_id:0 ~level:0 d in
+  match validate_delta p payload ~nkeys_of:(fun _ -> Some max_int) with
+  | _, _, v -> v
+
+(* {1 Worker side} *)
+
+let params_of_hello payload =
+  if Bytes.length payload < 28 + trailer_len then raise (Protocol_error "hello: truncated");
+  let qubits = Char.code (Bytes.get payload 9) in
+  let quotient = Char.code (Bytes.get payload 10) <> 0 in
+  let library = Library.make (Mvl.Encoding.make ~qubits) in
+  let symmetry = if quotient then Some (Symmetry.create library) else None in
+  params_of ?symmetry library
+
+let worker_main in_fd out_fd =
+  (match Sys.os_type with "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore | _ -> ());
+  let pms = ref None in
+  let running = ref true in
+  while !running do
+    match recv_payload in_fd with
+    | exception End_of_file -> running := false
+    | typ, payload ->
+        if typ = t_hello then begin
+          let p = params_of_hello payload in
+          pms := Some p;
+          send_payload out_fd (encode_hello_ack p)
+        end
+        else if typ = t_work then begin
+          match !pms with
+          | None -> send_payload out_fd (encode_error "work before hello")
+          | Some p ->
+              (* an armed worker_crash escapes worker_main: the process
+                 dies exactly as a real crash would *)
+              Faultsim.hit "worker_crash";
+              let item_id = Int32.to_int (Bytes.get_int32_be payload 9) in
+              let level = Bytes.get_uint16_be payload 13 in
+              let nkeys = Int32.to_int (Bytes.get_int32_be payload 15) in
+              if Bytes.length payload <> 19 + (nkeys * p.klen) + trailer_len then
+                send_payload out_fd (encode_error "work: bad key block")
+              else begin
+                send_payload out_fd (encode_heartbeat ~item_id);
+                (* a stalled worker: heartbeat sent, then silence — the
+                   coordinator's item deadline must fire *)
+                (try Faultsim.hit "worker_stall"
+                 with Faultsim.Injected _ -> Unix.sleepf 3600.);
+                let d = expand_item p ~keys:payload ~off:19 ~nkeys in
+                (* corrupt the library fingerprint before the CRC is
+                   sealed: the frame passes the transport CRC and the
+                   coordinator's delta validation must reject it —
+                   retried, never merged, worker left alive *)
+                let reply =
+                  match Faultsim.hit "delta_corrupt" with
+                  | () -> encode_delta p ~item_id ~level d
+                  | exception Faultsim.Injected _ ->
+                      encode_delta
+                        { p with lib_fp = Int64.lognot p.lib_fp }
+                        ~item_id ~level d
+                in
+                match Faultsim.hit "reply_drop" with
+                | () -> send_payload out_fd reply
+                | exception Faultsim.Injected _ -> ()
+              end
+        end
+        else if typ = t_shutdown then running := false
+        else send_payload out_fd (encode_error (Printf.sprintf "unexpected frame type %d" typ))
+  done
+
+let sockaddr_of_string addr =
+  match String.index_opt addr ':' with
+  | Some i when String.sub addr 0 i = "unix" ->
+      Unix.ADDR_UNIX (String.sub addr (i + 1) (String.length addr - i - 1))
+  | Some i -> (
+      let host = String.sub addr 0 i in
+      let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+      match int_of_string_opt port with
+      | None -> invalid_arg (Printf.sprintf "Distrib: bad port in %S" addr)
+      | Some port ->
+          let ip =
+            try Unix.inet_addr_of_string host
+            with _ -> (
+              try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+              with _ -> invalid_arg (Printf.sprintf "Distrib: cannot resolve %S" host))
+          in
+          Unix.ADDR_INET (ip, port))
+  | None -> invalid_arg "Distrib: address must be unix:PATH or HOST:PORT"
+
+let worker_listen addr =
+  let sa = sockaddr_of_string addr in
+  let srv = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  (match sa with
+  | Unix.ADDR_UNIX p -> ( try Unix.unlink p with _ -> ())
+  | _ -> ());
+  Unix.bind srv sa;
+  Unix.listen srv 1;
+  let fd, _ = Unix.accept srv in
+  Unix.close srv;
+  (match sa with
+  | Unix.ADDR_UNIX p -> ( try Unix.unlink p with _ -> ())
+  | _ -> ());
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) (fun () -> worker_main fd fd)
+
+(* {1 Coordinator} *)
+
+type worker = {
+  wid : int;
+  fd : Unix.file_descr;
+  pid : int option;
+  kind : string;
+  mutable busy : int; (* in-flight item id, or -1 *)
+  mutable deadline : float;
+  mutable alive : bool;
+}
+
+type litem = {
+  id : int;
+  frame : Bytes.t; (* the sealed work frame; retries resend it verbatim *)
+  nkeys : int;
+  parents : int array; (* frontier handles of the slice *)
+  mutable attempts : int;
+  mutable eligible_at : float;
+  mutable assigned : int; (* wid, or -1 *)
+  mutable result : validated option;
+  mutable merged : bool;
+}
+
+type ibuf = { mutable ints : int array; mutable ilen : int }
+
+let ibuf_push b v =
+  if b.ilen = Array.length b.ints then begin
+    let a = Array.make (2 * b.ilen) 0 in
+    Array.blit b.ints 0 a 0 b.ilen;
+    b.ints <- a
+  end;
+  b.ints.(b.ilen) <- v;
+  b.ilen <- b.ilen + 1
+
+type tally = {
+  mutable t_items : int;
+  mutable t_inline : int;
+  mutable t_retries : int;
+  mutable t_reassign : int;
+  mutable t_rejected : int;
+  mutable t_deaths : int;
+}
+
+type coord = {
+  pms : params;
+  store : State_arena.t;
+  mutable frontier : int array;
+  mutable depth : int;
+  mutable workers : worker list;
+  fresh_by_shard : ibuf array;
+  item_states : int;
+  item_timeout : float;
+  max_attempts : int;
+  tally : tally;
+}
+
+exception Abandon of Fmcf.stop_reason
+
+let now () = Unix.gettimeofday ()
+let backoff_base = 0.05
+let backoff_cap = 1.0
+
+let backoff attempts =
+  Float.min backoff_cap (backoff_base *. (2. ** float_of_int (max 0 (attempts - 1))))
+
+let requeue c it ~reassigned =
+  it.assigned <- -1;
+  it.attempts <- it.attempts + 1;
+  it.eligible_at <- now () +. backoff it.attempts;
+  c.tally.t_retries <- c.tally.t_retries + 1;
+  Telemetry.Counter.incr m_retries;
+  if reassigned then begin
+    c.tally.t_reassign <- c.tally.t_reassign + 1;
+    Telemetry.Counter.incr m_reassign
+  end
+
+let reap pid =
+  try ignore (Unix.waitpid [] pid) with _ -> ()
+
+let worker_dead c items w reason =
+  if w.alive then begin
+    w.alive <- false;
+    Log.warn (fun m -> m "worker %d (%s) lost: %s" w.wid w.kind reason);
+    (try Unix.close w.fd with _ -> ());
+    (match w.pid with
+    | Some pid ->
+        (try Unix.kill pid Sys.sigkill with _ -> ());
+        reap pid
+    | None -> ());
+    c.workers <- List.filter (fun x -> x.wid <> w.wid) c.workers;
+    c.tally.t_deaths <- c.tally.t_deaths + 1;
+    Telemetry.Counter.incr m_deaths;
+    Telemetry.Gauge.set_int g_workers (List.length c.workers);
+    if w.busy >= 0 then begin
+      let it = items.(w.busy) in
+      w.busy <- -1;
+      if it.result = None && not it.merged then requeue c it ~reassigned:true
+    end
+  end
+
+(* Expand an item on the coordinator itself — the degradation path, and
+   the only path when no workers survive. *)
+let inline_expand c it =
+  let d = expand_item c.pms ~keys:it.frame ~off:19 ~nkeys:it.nkeys in
+  it.result <- Some (validated_of_delta c.pms d);
+  it.assigned <- -1;
+  c.tally.t_inline <- c.tally.t_inline + 1;
+  Telemetry.Counter.incr m_inline
+
+let dispatchable items t =
+  let n = Array.length items in
+  let rec go i =
+    if i >= n then None
+    else
+      let it = items.(i) in
+      if (not it.merged) && it.result = None && it.assigned < 0 && it.eligible_at <= t
+      then Some it
+      else go (i + 1)
+  in
+  go 0
+
+let pending_exists items =
+  Array.exists (fun it -> (not it.merged) && it.result = None && it.assigned < 0) items
+
+let dispatch c items =
+  let idle = List.filter (fun w -> w.alive && w.busy < 0) c.workers in
+  List.iter
+    (fun w ->
+      if w.alive && w.busy < 0 then
+        match dispatchable items (now ()) with
+        | None -> ()
+        | Some it -> (
+            match send_payload w.fd it.frame with
+            | () ->
+                w.busy <- it.id;
+                w.deadline <- now () +. c.item_timeout;
+                it.assigned <- w.wid
+            | exception _ -> worker_dead c items w "write failed"))
+    idle
+
+let handle_readable c items ~next_depth w =
+  match recv_payload w.fd with
+  | exception End_of_file -> worker_dead c items w "EOF"
+  | exception Unix.Unix_error (e, _, _) ->
+      worker_dead c items w (Unix.error_message e)
+  | exception Protocol_error msg -> worker_dead c items w msg
+  | typ, payload ->
+      if typ = t_heartbeat then begin
+        let item_id = Int32.to_int (Bytes.get_int32_be payload 9) in
+        if w.busy = item_id then w.deadline <- now () +. c.item_timeout
+      end
+      else if typ = t_delta then begin
+        let was = w.busy in
+        w.busy <- -1;
+        let nkeys_of id =
+          if id >= 0 && id < Array.length items then Some items.(id).nkeys else None
+        in
+        match validate_delta c.pms payload ~nkeys_of with
+        | exception Protocol_error msg ->
+            (* reject, never merge; the item goes back in the queue *)
+            c.tally.t_rejected <- c.tally.t_rejected + 1;
+            Telemetry.Counter.incr m_rejected;
+            Log.warn (fun m -> m "worker %d delta rejected: %s" w.wid msg);
+            if was >= 0 then begin
+              let it = items.(was) in
+              if it.result = None && not it.merged then requeue c it ~reassigned:false
+            end
+        | item_id, level, v ->
+            if level <> next_depth then begin
+              c.tally.t_rejected <- c.tally.t_rejected + 1;
+              Telemetry.Counter.incr m_rejected;
+              Log.warn (fun m ->
+                  m "worker %d delta rejected: level %d, expected %d" w.wid level
+                    next_depth);
+              if was >= 0 then begin
+                let it = items.(was) in
+                if it.result = None && not it.merged then requeue c it ~reassigned:false
+              end
+            end
+            else begin
+              let it = items.(item_id) in
+              (* first valid delta wins; late duplicates are dropped *)
+              if it.result = None && not it.merged then begin
+                it.result <- Some v;
+                it.assigned <- -1
+              end;
+              if was >= 0 && was <> item_id then begin
+                let o = items.(was) in
+                if o.result = None && not o.merged then requeue c o ~reassigned:false
+              end
+            end
+      end
+      else if typ = t_error then begin
+        let msg = Bytes.sub_string payload 9 (Bytes.length payload - header_len - trailer_len) in
+        worker_dead c items w (Printf.sprintf "worker error: %s" msg)
+      end
+      else worker_dead c items w (Printf.sprintf "unexpected frame type %d" typ)
+
+(* Merge one validated delta, chunk-major: shard sections in shard
+   order, records of a section in the worker's (frontier position,
+   gate) order.  Every record was already validated to land in its
+   section's shard. *)
+let merge_delta c ~next_depth ~parents v =
+  let stride = 6 + c.pms.klen in
+  let fresh = ref 0 and dup = ref 0 in
+  let pos = ref delta_records_off and ri = ref 0 in
+  for s = 0 to num_shards - 1 do
+    for _ = 1 to v.v_counts.(s) do
+      let via = Char.code (Bytes.unsafe_get v.v_payload !pos) in
+      let conj = Char.code (Bytes.unsafe_get v.v_payload (!pos + 1)) in
+      let pidx = get_u32 v.v_payload (!pos + 2) in
+      let h =
+        State_arena.try_insert c.store ~conj ~key:v.v_payload ~off:(!pos + 6)
+          ~hash:v.v_hashes.(!ri) ~depth:next_depth ~via ~parent:parents.(pidx)
+      in
+      if h >= 0 then begin
+        ibuf_push c.fresh_by_shard.(s) h;
+        incr fresh
+      end
+      else incr dup;
+      pos := !pos + stride;
+      incr ri
+    done
+  done;
+  (!fresh, !dup)
+
+let merge_frontier c =
+  let total = Array.fold_left (fun acc b -> acc + b.ilen) 0 c.fresh_by_shard in
+  let next = Array.make total 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun b ->
+      Array.blit b.ints 0 next !pos b.ilen;
+      pos := !pos + b.ilen)
+    c.fresh_by_shard;
+  next
+
+(* Each item's work frame is built and sealed once, with the keys
+   blitted straight from the arena: dispatch (and every retry) is then a
+   bare write of the prebuilt frame. *)
+let make_items c ~next_depth =
+  let klen = c.pms.klen in
+  let n = Array.length c.frontier in
+  let nitems = max 1 ((n + c.item_states - 1) / c.item_states) in
+  Array.init nitems (fun id ->
+      let lo = id * n / nitems and hi = (id + 1) * n / nitems in
+      let nkeys = hi - lo in
+      let frame = new_payload ~typ:t_work ~body_len:(10 + (nkeys * klen)) in
+      Bytes.set_int32_be frame 9 (Int32.of_int id);
+      Bytes.set_uint16_be frame 13 next_depth;
+      Bytes.set_int32_be frame 15 (Int32.of_int nkeys);
+      for i = 0 to nkeys - 1 do
+        let h = c.frontier.(lo + i) in
+        let src = State_arena.shard_arena c.store (State_arena.shard_of_handle h) in
+        Bytes.blit src (State_arena.key_offset c.store h) frame (19 + (i * klen)) klen
+      done;
+      {
+        id;
+        frame = seal frame;
+        nkeys;
+        parents = Array.sub c.frontier lo nkeys;
+        attempts = 0;
+        eligible_at = 0.;
+        assigned = -1;
+        result = None;
+        merged = false;
+      })
+
+let expand_level c ~next_depth ~hard_deadline ~should_stop =
+  let items = make_items c ~next_depth in
+  let nitems = Array.length items in
+  c.tally.t_items <- c.tally.t_items + nitems;
+  Telemetry.Counter.add m_items nitems;
+  let rollback = State_arena.shard_counts c.store in
+  Array.iter (fun b -> b.ilen <- 0) c.fresh_by_shard;
+  let level_fresh = ref 0 and level_dup = ref 0 in
+  let mptr = ref 0 in
+  (try
+     while !mptr < nitems do
+       if should_stop () then raise (Abandon Fmcf.Cancelled);
+       (match hard_deadline with
+       | Some d when now () > d -> raise (Abandon Fmcf.Timed_out)
+       | _ -> ());
+       (* items out of dispatch attempts fall back to the coordinator *)
+       Array.iter
+         (fun it ->
+           if
+             (not it.merged) && it.result = None && it.assigned < 0
+             && it.attempts > c.max_attempts
+           then begin
+             Log.warn (fun m ->
+                 m "item %d/%d failed %d dispatches; expanding inline" it.id nitems
+                   it.attempts);
+             inline_expand c it
+           end)
+         items;
+       if c.workers = [] then
+         (* coordinator-only degradation: expand whatever is left *)
+         Array.iter
+           (fun it ->
+             if (not it.merged) && it.result = None && it.assigned < 0 then
+               inline_expand c it)
+           items
+       else begin
+         dispatch c items;
+         let busy = List.filter (fun w -> w.alive && w.busy >= 0) c.workers in
+         if busy = [] then begin
+           (* nothing in flight: either everything is merged/arriving, or
+              every pending item is in its backoff window *)
+           if pending_exists items then Unix.sleepf 0.01
+         end
+         else begin
+           let t = now () in
+           let tmo =
+             List.fold_left (fun acc w -> Float.min acc (w.deadline -. t)) 0.5 busy
+             |> Float.max 0.01
+           in
+           (match Unix.select (List.map (fun w -> w.fd) busy) [] [] tmo with
+           | rd, _, _ ->
+               List.iter
+                 (fun w ->
+                   if w.alive && List.memq w.fd rd then
+                     handle_readable c items ~next_depth w)
+                 busy
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+           let t = now () in
+           List.iter
+             (fun w ->
+               if w.alive && w.busy >= 0 && t > w.deadline then
+                 worker_dead c items w
+                   (Printf.sprintf "item %d deadline expired (%.1fs)" w.busy
+                      c.item_timeout))
+             busy
+         end
+       end;
+       (* merge the contiguous prefix of arrived deltas, in item order *)
+       while !mptr < nitems && items.(!mptr).result <> None do
+         let it = items.(!mptr) in
+         let v = Option.get it.result in
+         let fresh, dup = merge_delta c ~next_depth ~parents:it.parents v in
+         level_fresh := !level_fresh + fresh;
+         level_dup := !level_dup + dup;
+         it.result <- None;
+         it.merged <- true;
+         incr mptr
+       done
+     done
+   with Abandon r ->
+     (* abandon the level cleanly: the arena rolls back to the boundary *)
+     State_arena.truncate c.store rollback;
+     Array.iter (fun b -> b.ilen <- 0) c.fresh_by_shard;
+     raise (Abandon r));
+  (!level_fresh, !level_dup)
+
+(* {1 Worker pool} *)
+
+let spawn_stdio argv kind =
+  let parent, child = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec parent;
+  let pid = Unix.create_process argv.(0) argv child child Unix.stderr in
+  Unix.close child;
+  (parent, Some pid, kind)
+
+let fork_worker () =
+  let parent, child = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close parent;
+      let code =
+        try
+          worker_main child child;
+          0
+        with
+        | Faultsim.Injected _ -> 1
+        | End_of_file -> 0
+        | _ -> 1
+      in
+      (* _exit: no at_exit hooks — the child shares the parent's
+         telemetry sinks and must not flush them *)
+      Unix._exit code
+  | pid ->
+      Unix.close child;
+      (parent, Some pid, "fork")
+
+let connect_endpoint ep =
+  match ep with
+  | Spawn_self ->
+      spawn_stdio [| Sys.executable_name; "census-worker" |] "spawn"
+  | Spawn_cmd cmd -> spawn_stdio [| "/bin/sh"; "-c"; cmd |] "cmd"
+  | Fork -> fork_worker ()
+  | Attach addr ->
+      let sa = sockaddr_of_string addr in
+      let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd sa
+       with e ->
+         (try Unix.close fd with _ -> ());
+         raise e);
+      (fd, None, "attach")
+
+let handshake p ~timeout fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+  send_payload fd (encode_hello p);
+  match recv_payload fd with
+  | typ, payload when typ = t_hello_ack ->
+      let lib_fp = Bytes.get_int64_be payload 9 in
+      let sym_fp = Bytes.get_int64_be payload 17 in
+      if lib_fp <> p.lib_fp then Error "library fingerprint mismatch"
+      else if sym_fp <> p.sym_fp then Error "symmetry fingerprint mismatch"
+      else Ok ()
+  | typ, _ -> Error (Printf.sprintf "handshake: unexpected frame type %d" typ)
+  | exception End_of_file -> Error "handshake: EOF"
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Protocol_error msg -> Error msg
+
+let connect_workers p ~item_timeout endpoints =
+  let wid = ref 0 in
+  List.filter_map
+    (fun ep ->
+      incr wid;
+      match connect_endpoint ep with
+      | exception e ->
+          Log.warn (fun m ->
+              m "worker %d connection failed: %s" !wid (Printexc.to_string e));
+          None
+      | fd, pid, kind -> (
+          match handshake p ~timeout:(Float.max item_timeout 5.) fd with
+          | Ok () ->
+              Some
+                { wid = !wid; fd; pid; kind; busy = -1; deadline = infinity; alive = true }
+          | Error msg ->
+              Log.warn (fun m -> m "worker %d (%s) rejected: %s" !wid kind msg);
+              (try Unix.close fd with _ -> ());
+              (match pid with
+              | Some pid ->
+                  (try Unix.kill pid Sys.sigkill with _ -> ());
+                  reap pid
+              | None -> ());
+              None))
+    endpoints
+
+let shutdown_workers c =
+  List.iter
+    (fun w ->
+      if w.alive then begin
+        (try send_payload w.fd (encode_shutdown ()) with _ -> ());
+        (try Unix.close w.fd with _ -> ());
+        match w.pid with
+        | None -> ()
+        | Some pid ->
+            (* give it a moment to exit on the shutdown frame, then make
+               sure (a stalled worker sleeps through fd closure) *)
+            let rec poll n =
+              if n = 0 then begin
+                (try Unix.kill pid Sys.sigkill with _ -> ());
+                reap pid
+              end
+              else
+                match Unix.waitpid [ Unix.WNOHANG ] pid with
+                | 0, _ -> Unix.sleepf 0.01; poll (n - 1)
+                | _ -> ()
+                | exception _ -> ()
+            in
+            poll 100
+      end)
+    c.workers;
+  c.workers <- [];
+  Telemetry.Gauge.set_int g_workers 0
+
+(* {1 The distributed census} *)
+
+let census ?(max_depth = 7) ?(quotient = false) ?resume ?(item_states = 2048)
+    ?(item_timeout = 30.) ?(max_attempts = 4) ?max_states ?max_mem ?timeout
+    ?(should_stop = fun () -> false) ?on_level ~workers:endpoints library =
+  (match Sys.os_type with "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore | _ -> ());
+  let symmetry, store, frontier, depth0 =
+    match resume with
+    | Some s -> (Search.symmetry s, Search.store s, Search.frontier_handles s, Search.depth s)
+    | None ->
+        let symmetry = if quotient then Some (Symmetry.create library) else None in
+        let p = params_of ?symmetry library in
+        let store =
+          State_arena.create ~degree:p.klen ~num_binary:p.num_binary
+            ~signatures:p.signatures
+        in
+        let root_key = Bytes.init p.klen Char.chr in
+        let root_hash = State_arena.hash_key root_key ~off:0 ~len:p.klen in
+        let root =
+          State_arena.try_insert store ~key:root_key ~off:0 ~hash:root_hash ~depth:0
+            ~via:(-1) ~parent:(-1)
+        in
+        (symmetry, store, [| root |], 0)
+  in
+  if depth0 > max_depth then
+    invalid_arg "Distrib.census: resumed engine already beyond max_depth";
+  let pms = params_of ?symmetry library in
+  let tally =
+    { t_items = 0; t_inline = 0; t_retries = 0; t_reassign = 0; t_rejected = 0; t_deaths = 0 }
+  in
+  let c =
+    {
+      pms;
+      store;
+      frontier;
+      depth = depth0;
+      workers = connect_workers pms ~item_timeout endpoints;
+      fresh_by_shard = Array.init num_shards (fun _ -> { ints = Array.make 64 0; ilen = 0 });
+      item_states = max 1 item_states;
+      item_timeout;
+      max_attempts;
+      tally;
+    }
+  in
+  let connected = List.length c.workers in
+  Telemetry.Gauge.set_int g_workers connected;
+  Log.info (fun m ->
+      m "distributed census: %d/%d workers connected, max_depth %d"
+        connected (List.length endpoints) max_depth);
+  if connected = 0 && endpoints <> [] then
+    Log.warn (fun m -> m "no workers survived the handshake; running coordinator-only");
+  let t0 = now () in
+  let hard_deadline = Option.map (fun s -> t0 +. s) timeout in
+  let stop = ref Fmcf.Completed in
+  (try
+     while
+       c.depth < max_depth && Array.length c.frontier > 0 && !stop = Fmcf.Completed
+     do
+       if should_stop () then stop := Fmcf.Cancelled
+       else if
+         match max_states with Some m -> State_arena.size c.store >= m | None -> false
+       then stop := Fmcf.Budget_states
+       else if
+         match max_mem with
+         | Some m -> State_arena.arena_bytes c.store >= m
+         | None -> false
+       then stop := Fmcf.Budget_mem
+       else if match hard_deadline with Some d -> now () > d | None -> false then
+         stop := Fmcf.Timed_out
+       else begin
+         let next_depth = c.depth + 1 in
+         let retries_before = c.tally.t_retries in
+         let fresh, dup = expand_level c ~next_depth ~hard_deadline ~should_stop in
+         Faultsim.hit "merge";
+         c.frontier <- merge_frontier c;
+         c.depth <- next_depth;
+         Telemetry.Series.set s_states ~index:next_depth fresh;
+         Telemetry.Series.set s_retries ~index:next_depth
+           (c.tally.t_retries - retries_before);
+         Log.debug (fun m ->
+             m "level %d: %d new states (%d duplicate), %d total, %d workers live"
+               next_depth fresh dup (State_arena.size c.store)
+               (List.length c.workers));
+         match on_level with
+         | None -> ()
+         | Some f ->
+             f (Search.of_store ?symmetry library ~depth:next_depth c.store)
+               ~cost:next_depth
+       end
+     done
+   with Abandon r -> stop := r);
+  shutdown_workers c;
+  let final = Search.of_store ?symmetry library ~depth:c.depth c.store in
+  let census, _ = Fmcf.run_guarded ~max_depth:c.depth ~resume:final library in
+  let stats =
+    {
+      workers_requested = List.length endpoints;
+      workers_connected = connected;
+      items = tally.t_items;
+      inline_items = tally.t_inline;
+      retries = tally.t_retries;
+      reassignments = tally.t_reassign;
+      rejected_deltas = tally.t_rejected;
+      worker_deaths = tally.t_deaths;
+    }
+  in
+  (census, !stop, stats)

@@ -1,0 +1,133 @@
+(** Coordinator/worker distributed census engine.
+
+    Distributes the BFS census across worker {e processes}: the
+    coordinator owns the {!State_arena} and, for every level, partitions
+    the frontier into contiguous work items, ships each item's packed
+    keys to a worker, and merges the returned {e dedup deltas} — the
+    candidate children a worker computed, grouped by target shard — in
+    strict item order with shard sections in shard order.  Because a
+    state's shard is a pure function of its key and every shard sees its
+    candidates in global (frontier position, gate) order, the arena
+    contents, handles, frontier order, per-level counts, and any emitted
+    QSYNIDX1 index are {e byte-identical} to a single-process
+    [--jobs 1] run, no matter how items were scheduled, retried, or
+    reassigned.  See doc/ROBUSTNESS.md, "Distributed census".
+
+    Workers are stateless: each item is expanded from the key bytes in
+    the request alone, so any item can be recomputed by any worker (or
+    by the coordinator itself) at any time.  The failure model treats a
+    worker as untrusted-but-honest infrastructure: replies are framed
+    with the same length-prefixed format as [Server.Protocol], carry a
+    CRC-32 trailer plus the library and symmetry-group fingerprints, and
+    are structurally validated (gate/conjugator/parent bounds, shard
+    membership of every key) before a single byte reaches the arena — a
+    corrupt or mismatched delta is rejected and the item retried, never
+    merged.  Worker death (EOF, kill, protocol violation) and stalls
+    (work-item deadline with worker heartbeats) requeue the in-flight
+    item with capped exponential backoff; when an item exhausts its
+    attempts or no workers remain, the coordinator expands it inline —
+    graceful degradation down to coordinator-only, not failure.
+
+    Fault-injection points (see {!Faultsim}): ["worker_crash"] kills a
+    worker at item start, ["worker_stall"] hangs it after its heartbeat,
+    ["delta_corrupt"] flips a payload byte after the CRC is computed
+    (the coordinator must reject), ["reply_drop"] computes but never
+    sends a delta (the deadline must fire).  The coordinator's own
+    ["merge"] point fires once per level, as in {!Search}. *)
+
+type endpoint =
+  | Spawn_self
+      (** spawn [Sys.executable_name census-worker] over a socketpair on
+          its stdio — the default for [census --workers N] *)
+  | Spawn_cmd of string
+      (** spawn [sh -c CMD]; the command must speak the worker protocol
+          on stdin/stdout (e.g. [qsynth census-worker] over ssh) *)
+  | Fork
+      (** fork the current process into a worker child — no exec, so
+          tests get real process isolation with inherited
+          {!Faultsim.configure} state.  OCaml 5's [Unix.fork] refuses
+          once any other domain has ever been created, so a process
+          that has run a parallel census (or any [Domain.spawn]) must
+          use an exec-based endpoint instead; the failed endpoint is
+          logged and skipped like any other connection failure. *)
+  | Attach of string
+      (** connect to a listening [census-worker --listen ADDR];
+          [unix:PATH] or [HOST:PORT] *)
+
+(** Robustness tally of one distributed run. *)
+type stats = {
+  workers_requested : int;
+  workers_connected : int;  (** endpoints that passed the handshake *)
+  items : int;  (** work items dispatched or expanded, over all levels *)
+  inline_items : int;
+      (** items the coordinator expanded itself (degradation) *)
+  retries : int;  (** item requeues, for any reason *)
+  reassignments : int;  (** requeues caused by a worker death or stall *)
+  rejected_deltas : int;  (** replies rejected by validation, not merged *)
+  worker_deaths : int;  (** workers lost to EOF, stall, or protocol error *)
+}
+
+(** Raised on a malformed or corrupt protocol frame (bad length, magic,
+    CRC, or message structure).  Internal to the engine — {!census}
+    converts it into a rejection/retry — but exposed for {!Wire} users. *)
+exception Protocol_error of string
+
+(** [census ~workers library] runs the distributed census to
+    [max_depth] (default 7) and returns the completed census, why the
+    run stopped, and the robustness tally.  The guard and hook options
+    mirror {!Fmcf.run_guarded} exactly: [on_level] is called at each
+    newly expanded level boundary with a live engine suitable for
+    {!Checkpoint.save_async}, [should_stop]/[timeout] abandon a
+    mid-flight level cleanly (the arena rolls back to the last
+    boundary, so a PARTIAL checkpoint is still exact), and [resume]
+    continues from a restored engine.  [item_states] bounds the keys
+    per work item, [item_timeout] is the per-item deadline (refreshed
+    by worker heartbeats), and an item is expanded inline after
+    [max_attempts] failed dispatches.  An empty [workers] list — or one
+    whose every endpoint fails the handshake — degrades to a
+    coordinator-only run with identical results. *)
+val census :
+  ?max_depth:int ->
+  ?quotient:bool ->
+  ?resume:Search.t ->
+  ?item_states:int ->
+  ?item_timeout:float ->
+  ?max_attempts:int ->
+  ?max_states:int ->
+  ?max_mem:int ->
+  ?timeout:float ->
+  ?should_stop:(unit -> bool) ->
+  ?on_level:(Search.t -> cost:int -> unit) ->
+  workers:endpoint list ->
+  Library.t ->
+  Fmcf.t * Fmcf.stop_reason * stats
+
+(** [worker_main in_fd out_fd] runs the worker side of the protocol
+    until a shutdown frame or EOF: handshake, then expand work items
+    and reply with deltas.  [qsynth census-worker] calls this on its
+    stdio.  Raises {!Faultsim.Injected} when an armed ["worker_crash"]
+    fires. *)
+val worker_main : Unix.file_descr -> Unix.file_descr -> unit
+
+(** [worker_listen addr] binds [addr] ([unix:PATH] or [HOST:PORT]),
+    accepts exactly one coordinator connection, and serves it with
+    {!worker_main}. *)
+val worker_listen : string -> unit
+
+(** The frame codec, exposed for protocol tests: the same 4-byte
+    big-endian length prefix as [Server.Protocol], followed by a
+    payload of [QSYNDST1] magic, type byte, body, and CRC-32 trailer. *)
+module Wire : sig
+  val max_frame : int
+
+  (** [payload ~typ ~body] assembles and seals (CRC) one payload. *)
+  val payload : typ:int -> body:Bytes.t -> Bytes.t
+
+  (** [send fd payload] writes one sealed payload as a frame. *)
+  val send : Unix.file_descr -> Bytes.t -> unit
+
+  (** [recv fd] reads one frame and returns [(type, payload)] after
+      verifying length, magic and CRC.
+      @raise Protocol_error on any violation; [End_of_file] on EOF. *)
+  val recv : Unix.file_descr -> int * Bytes.t
+end

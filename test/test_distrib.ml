@@ -1,0 +1,222 @@
+(* Distributed census: wire-format integrity, byte-identity of the
+   coordinator/worker engine against the in-process search, and the
+   failure drills — crashed workers, corrupt deltas, dropped replies —
+   each of which must leave the result untouched.
+
+   Workers are [Fork] endpoints: real child processes (real fd
+   boundaries, real SIGKILL) that inherit the test's [Faultsim]
+   arming, so the worker-side fault points fire deterministically in
+   every child without re-exec. *)
+
+open Synthesis
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let library3 = Library.make (Mvl.Encoding.make ~qubits:3)
+
+let with_spec spec f =
+  let saved = Faultsim.armed () in
+  Faultsim.configure spec;
+  Fun.protect ~finally:(fun () -> Faultsim.configure saved) f
+
+let with_temp_file f =
+  let path = Filename.temp_file "qsynth_distrib" ".bin" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* {1 Wire format} *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () -> f a b)
+
+let test_wire_round_trip () =
+  with_socketpair @@ fun a b ->
+  let body = Bytes.of_string "distributed census delta" in
+  Distrib.Wire.send a (Distrib.Wire.payload ~typ:42 ~body);
+  let typ, payload = Distrib.Wire.recv b in
+  check Alcotest.int "type byte" 42 typ;
+  check Alcotest.string "body round-trips" (Bytes.to_string body)
+    (Bytes.sub_string payload 9 (Bytes.length body))
+
+let expect_protocol_error label f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Protocol_error" label
+  | exception Distrib.Protocol_error _ -> ()
+
+let test_wire_corrupt_rejected () =
+  with_socketpair @@ fun a b ->
+  (* flip one body byte after the CRC trailer was computed *)
+  let p = Distrib.Wire.payload ~typ:4 ~body:(Bytes.of_string "payload") in
+  Bytes.set p 10 (Char.chr (Char.code (Bytes.get p 10) lxor 0x01));
+  Distrib.Wire.send a p;
+  expect_protocol_error "flipped byte" (fun () -> Distrib.Wire.recv b)
+
+let test_wire_bad_magic_rejected () =
+  with_socketpair @@ fun a b ->
+  let p = Distrib.Wire.payload ~typ:4 ~body:Bytes.empty in
+  Bytes.set p 0 'X';
+  Distrib.Wire.send a p;
+  expect_protocol_error "bad magic" (fun () -> Distrib.Wire.recv b)
+
+let test_wire_oversized_rejected () =
+  with_socketpair @@ fun a b ->
+  (* a hand-written frame header claiming more than max_frame must be
+     rejected before any allocation *)
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Distrib.Wire.max_frame + 1));
+  let n = Unix.write a hdr 0 4 in
+  check Alcotest.int "header written" 4 n;
+  expect_protocol_error "oversized frame" (fun () -> Distrib.Wire.recv b)
+
+(* {1 Byte-identity with the in-process engine} *)
+
+let index_bytes census =
+  with_temp_file @@ fun path ->
+  Census_index.save (Census_index.build census) path;
+  read_file path
+
+(* Compare the full observable state: per-level counts, every level's
+   handles and keys, and the emitted QSYNIDX1 bytes. *)
+let assert_census_equal label reference distributed =
+  check
+    Alcotest.(list (pair int int))
+    (label ^ ": counts") (Fmcf.counts reference) (Fmcf.counts distributed);
+  let rs = Fmcf.search reference and ds = Fmcf.search distributed in
+  check Alcotest.int (label ^ ": depth") (Search.depth rs) (Search.depth ds);
+  check Alcotest.int (label ^ ": size") (Search.size rs) (Search.size ds);
+  for d = 0 to Search.depth rs do
+    check
+      Alcotest.(array int)
+      (Printf.sprintf "%s: level %d handles" label d)
+      (Search.handles_at_depth rs d)
+      (Search.handles_at_depth ds d);
+    check
+      Alcotest.(array string)
+      (Printf.sprintf "%s: level %d keys" label d)
+      (Array.map (Search.key_of_handle rs) (Search.handles_at_depth rs d))
+      (Array.map (Search.key_of_handle ds) (Search.handles_at_depth ds d))
+  done;
+  check Alcotest.string
+    (label ^ ": QSYNIDX1 bytes")
+    (index_bytes reference) (index_bytes distributed)
+
+let reference_census ?(quotient = false) depth =
+  let census, reason = Fmcf.run_guarded ~max_depth:depth ~quotient library3 in
+  checkb "reference completed" true (reason = Fmcf.Completed);
+  census
+
+let distributed_census ?(quotient = false) ?(nworkers = 2) depth =
+  let census, reason, stats =
+    Distrib.census ~max_depth:depth ~quotient
+      ~workers:(List.init nworkers (fun _ -> Distrib.Fork))
+      library3
+  in
+  checkb "distributed completed" true (reason = Fmcf.Completed);
+  (census, stats)
+
+let test_clean_identity () =
+  let reference = reference_census 4 in
+  let census, stats = distributed_census 4 in
+  assert_census_equal "2 fork workers" reference census;
+  check Alcotest.int "no deaths" 0 stats.Distrib.worker_deaths;
+  check Alcotest.int "no rejections" 0 stats.Distrib.rejected_deltas;
+  check Alcotest.int "both workers connected" 2 stats.Distrib.workers_connected
+
+let test_quotient_identity () =
+  (* the quotient and raw engines must emit the same index bytes, and
+     the distributed quotient run must match the in-process one *)
+  let reference = reference_census ~quotient:true 4 in
+  let census, _ = distributed_census ~quotient:true 4 in
+  assert_census_equal "quotient mode" reference census;
+  check Alcotest.string "quotient index = raw index"
+    (index_bytes (reference_census 4))
+    (index_bytes census)
+
+let test_no_workers_degrades () =
+  let reference = reference_census 4 in
+  let census, reason, stats =
+    Distrib.census ~max_depth:4 ~workers:[] library3
+  in
+  checkb "completed" true (reason = Fmcf.Completed);
+  assert_census_equal "coordinator-only" reference census;
+  check Alcotest.int "everything inline" stats.Distrib.items
+    stats.Distrib.inline_items
+
+(* {1 Failure drills} *)
+
+let test_worker_crash_identity () =
+  let reference = reference_census 4 in
+  with_spec (Some "worker_crash:1") @@ fun () ->
+  (* every forked child inherits the armed cell: both workers die on
+     their first work item, the level is reassigned and finished inline *)
+  let census, stats = distributed_census 4 in
+  assert_census_equal "after worker crashes" reference census;
+  checkb "workers died" true (stats.Distrib.worker_deaths >= 1);
+  checkb "items reassigned" true (stats.Distrib.reassignments >= 1)
+
+let test_corrupt_delta_rejected_not_merged () =
+  let reference = reference_census 4 in
+  with_spec (Some "delta_corrupt:1") @@ fun () ->
+  let census, stats = distributed_census 4 in
+  assert_census_equal "after corrupt deltas" reference census;
+  checkb "deltas rejected" true (stats.Distrib.rejected_deltas >= 1);
+  checkb "rejection retried" true
+    (stats.Distrib.retries >= stats.Distrib.rejected_deltas);
+  (* a fingerprint-corrupt delta is a rejection, not a worker death *)
+  check Alcotest.int "workers survive" 0 stats.Distrib.worker_deaths
+
+let test_reply_drop_recovers () =
+  let reference = reference_census 3 in
+  with_spec (Some "reply_drop:1") @@ fun () ->
+  let census, reason, stats =
+    Distrib.census ~max_depth:3 ~item_timeout:0.5
+      ~workers:[ Distrib.Fork ] library3
+  in
+  checkb "completed" true (reason = Fmcf.Completed);
+  assert_census_equal "after dropped reply" reference census;
+  checkb "deadline fired" true (stats.Distrib.reassignments >= 1)
+
+let () =
+  Alcotest.run "distrib"
+    [
+      ( "wire format",
+        [
+          Alcotest.test_case "round trip" `Quick test_wire_round_trip;
+          Alcotest.test_case "corrupt frame rejected" `Quick
+            test_wire_corrupt_rejected;
+          Alcotest.test_case "bad magic rejected" `Quick
+            test_wire_bad_magic_rejected;
+          Alcotest.test_case "oversized frame rejected" `Quick
+            test_wire_oversized_rejected;
+        ] );
+      ( "byte identity",
+        [
+          Alcotest.test_case "clean 2-worker run" `Quick test_clean_identity;
+          Alcotest.test_case "quotient mode" `Quick test_quotient_identity;
+          Alcotest.test_case "no workers degrades" `Quick
+            test_no_workers_degrades;
+        ] );
+      ( "failure drills",
+        [
+          Alcotest.test_case "worker crash" `Quick test_worker_crash_identity;
+          Alcotest.test_case "corrupt delta" `Quick
+            test_corrupt_delta_rejected_not_merged;
+          Alcotest.test_case "dropped reply" `Quick test_reply_drop_recovers;
+        ] );
+    ]
