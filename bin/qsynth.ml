@@ -290,8 +290,8 @@ let print_quotient_stats census =
 
 let census_cmd =
   let run finish_telemetry qubits depth jobs paper_variant quotient stats save
-      emit_index checkpoint every resume max_states max_mem timeout workers
-      worker_cmd attach =
+      emit_index complete checkpoint every resume max_states max_mem timeout
+      workers worker_cmd attach =
     (* An async checkpoint write may be in flight when an exception
        escapes; let it finish (best effort) so the file keeps the last
        boundary — the primary error is what gets reported. *)
@@ -411,13 +411,54 @@ let census_cmd =
         Census_io.save ?note census path;
         Format.printf "saved census to %s@." path
     | None -> ());
+    (* --complete: extend the finished census to total coverage with the
+       Theorem-2 sweep, then print the coverage proof.  A partial census
+       (early stop) cannot anchor the sweep's lower bounds, so it falls
+       back to a plain partial index with a warning. *)
+    let sweep_cancelled = ref false in
+    let build_index () =
+      if complete && reason = Fmcf.Completed then begin
+        match Census_index.build_complete ~jobs ~should_stop census with
+        | Some (index, swept) ->
+            let hist = Census_index.histogram index in
+            Format.printf
+              "complete index: %d zero-fixing functions (%d from the census, %d \
+               swept), coverage %d = %d x 2^%d members of S%d, max cost %d@."
+              (Census_index.size index)
+              (Census_index.size index - swept)
+              swept
+              (Census_index.coverage index)
+              (Census_index.size index) qubits (1 lsl qubits)
+              (Census_index.depth index);
+            Format.printf "spectrum |G[k]| :";
+            Array.iter (fun n -> Format.printf " %6d" n) hist;
+            Format.printf "@.";
+            Some index
+        | None ->
+            sweep_cancelled := true;
+            Format.eprintf "complete sweep interrupted; no index emitted@.";
+            None
+      end
+      else begin
+        if complete then
+          Format.eprintf
+            "warning: census stopped early (%s); emitting a partial index \
+             instead of a complete one@."
+            (Fmcf.describe_stop reason);
+        Some (Census_index.build census)
+      end
+    in
     (match emit_index with
-    | Some path ->
-        let index = Census_index.build census in
-        Census_index.save index path;
-        Format.printf "census index: %d functions to cost %d -> %s@."
-          (Census_index.size index) (Census_index.depth index) path
-    | None -> ());
+    | Some path -> (
+        match build_index () with
+        | Some index ->
+            Census_index.save index path;
+            Format.printf "census index: %d functions to cost %d%s -> %s@."
+              (Census_index.size index) (Census_index.depth index)
+              (if Census_index.is_complete index then " (complete)" else "")
+              path
+        | None -> ())
+    | None -> if complete then ignore (build_index ()));
     let counts = if paper_variant then Fmcf.paper_counts census else Fmcf.counts census in
     Format.printf "Table 2: number of circuits with cost k (%d qubits, depth %d%s)@."
       qubits depth
@@ -448,7 +489,7 @@ let census_cmd =
     | None -> ());
     if Telemetry.enabled () then Telemetry.log_summary ();
     match reason with
-    | Fmcf.Completed -> exit_ok
+    | Fmcf.Completed -> if !sweep_cancelled then exit_interrupt else exit_ok
     | Fmcf.Timed_out -> exit_timeout
     | Fmcf.Budget_states | Fmcf.Budget_mem -> exit_budget
     | Fmcf.Cancelled -> exit_interrupt
@@ -486,11 +527,26 @@ let census_cmd =
   let emit_index_arg =
     Arg.(value & opt (some checkpoint_path) None & info [ "emit-index" ] ~docv:"FILE"
            ~doc:"Write a persistent census index (function -> exact cost + \
-                 witness cascade, QSYNIDX1 format, written atomically) to \
+                 witness cascade, QSYNIDX2 format, written atomically) to \
                  $(docv).  Later $(b,qsynth synth --index) runs answer indexed \
                  functions by binary search instead of a BFS, and treat misses \
                  as a proven cost lower bound.  A partial census indexes the \
-                 completed horizon only.")
+                 completed horizon only; see $(b,--complete) for total \
+                 coverage.")
+  in
+  let complete_flag =
+    Arg.(value & flag & info [ "complete" ]
+           ~doc:"After the census, sweep every zero-fixing function it did \
+                 not reach with one meet-in-the-middle query each (against \
+                 the census's own forward wave, frozen and shared across \
+                 $(b,--jobs) domains; Theorem 2's NOT-coset factor is \
+                 enumerated, not searched), print the coverage proof and full \
+                 cost spectrum, and mark the $(b,--emit-index) file complete — \
+                 a daemon serving it answers every realizable request from \
+                 the index alone.  The emitted bytes are identical across \
+                 $(b,--jobs), $(b,--workers) and $(b,--quotient).  Requires a \
+                 census that ran to completion (not stopped by budget or \
+                 timeout).")
   in
   let checkpoint_arg =
     Arg.(value & opt (some checkpoint_path) None & info [ "checkpoint" ] ~docv:"FILE"
@@ -555,9 +611,9 @@ let census_cmd =
        ~doc:"Reproduce Table 2: |G[k]| for k = 0..depth.")
     Term.(
       const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ paper_flag
-      $ quotient_flag $ stats_flag $ save_arg $ emit_index_arg $ checkpoint_arg
-      $ every_arg $ resume_arg $ max_states_arg $ max_mem_arg $ timeout_arg
-      $ workers_arg $ worker_cmd_arg $ attach_arg)
+      $ quotient_flag $ stats_flag $ save_arg $ emit_index_arg $ complete_flag
+      $ checkpoint_arg $ every_arg $ resume_arg $ max_states_arg $ max_mem_arg
+      $ timeout_arg $ workers_arg $ worker_cmd_arg $ attach_arg)
 
 (* The worker half of the distributed census: speaks the QSYNDST1
    protocol on stdin/stdout (the spawn path) or on a single accepted
@@ -677,27 +733,45 @@ let index_arg =
                (no BFS at all), and a miss proves the cost exceeds the index \
                depth — certifying 'no realization' outright when the index \
                covers $(b,--depth), or priming the bidirectional engine with \
-               the bound.  The file is fully validated (CRC, library \
-               fingerprint, every witness replayed) before use.")
+               the bound.  An index built with $(b,census --complete) never \
+               misses: every realizable request is answered from the file.  \
+               Integrity (CRC, library and symmetry fingerprints, record \
+               structure, cost histogram) is always validated at load, plus \
+               a deterministic sample of witness replays; $(b,--verify-index) \
+               replays them all.")
+
+let verify_index_arg =
+  Arg.(value & flag & info [ "verify-index" ]
+         ~doc:"Replay $(i,every) witness of the $(b,--index) file through the \
+               library's multiple-valued semantics at load time, proving the \
+               file correct by construction rather than merely uncorrupted.  \
+               Costs O(functions x cost) once at startup; without it a \
+               deterministic ~1/64 sample is replayed on top of the always-on \
+               CRC/fingerprint/structure checks.")
 
 (* synth *)
 
 let synth_cmd =
-  let run finish_telemetry qubits depth jobs all json index_path use_bidir
-      warm_depth spec =
+  let run finish_telemetry qubits depth jobs all json index_path verify_index
+      use_bidir warm_depth spec =
     guarded ~finish:finish_telemetry @@ fun () ->
     let library = make_library qubits in
     let should_stop = install_cancel () in
-    (* the load validates magic/CRC/fingerprint/witnesses and raises
-       Checkpoint.Corrupt/Mismatch — mapped to exit 1 by [guarded] *)
-    let index = Option.map (Census_index.load library) index_path in
+    (* the load validates magic/CRC/fingerprints/structure (and witnesses
+       per --verify-index) and raises Checkpoint.Corrupt/Mismatch —
+       mapped to exit 1 by [guarded] *)
+    let verify =
+      if verify_index then Census_index.Full else Census_index.Sample
+    in
+    let index = Option.map (Census_index.load ~verify library) index_path in
     if not json then begin
       let target = Reversible.Spec.parse ~bits:qubits spec in
       Format.printf "target: %a@." Reversible.Revfun.pp target;
       match index with
       | Some idx ->
-          Format.printf "index: %d functions, exact to cost %d@."
+          Format.printf "index: %d functions, exact to cost %d%s@."
             (Census_index.size idx) (Census_index.depth idx)
+            (if Census_index.is_complete idx then " (complete)" else "")
       | None -> ()
     end;
     let bidir =
@@ -750,7 +824,8 @@ let synth_cmd =
              (the paper's MCE algorithm).")
     Term.(
       const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ all_flag
-      $ json_flag $ index_arg $ bidir_flag $ warm_depth_arg $ spec_arg)
+      $ json_flag $ index_arg $ verify_index_arg $ bidir_flag $ warm_depth_arg
+      $ spec_arg)
 
 (* serve *)
 
@@ -771,21 +846,34 @@ let serve_cmd =
       $ verbose_arg $ metrics_arg $ trace_arg)
   in
   let run (finish_telemetry, metrics_path) qubits jobs socket index_path
-      warm_depth workers queue_capacity cache_capacity metrics_port trace_file
-      slow_ms =
+      verify_index warm_depth workers queue_capacity cache_capacity
+      metrics_port trace_file slow_ms =
     guarded ~finish:finish_telemetry @@ fun () ->
     (* Readiness: false until the index is loaded, the engine warmed and
        the daemon accepting; false again the moment the drain begins —
        scrapers see the flip before the Unix socket unlinks. *)
     let accepting = Atomic.make false in
     let daemon_ref = ref None in
+    let service_ref = ref None in
     let ready () =
       match !daemon_ref with
       | Some d -> Atomic.get accepting && not (Server.Daemon.draining d)
       | None -> false
     in
+    (* The /readyz body: one line summarizing the published index so a
+       deployment can assert completeness without the metrics scrape.
+       [Http.start] runs before the index loads, hence the ref. *)
+    let describe () =
+      match Option.bind !service_ref Server.Service.index_status with
+      | Some (size, depth, coverage, complete) ->
+          Printf.sprintf "ok functions=%d depth=%d coverage=%d complete=%b\n"
+            size depth coverage complete
+      | None -> "ok\n"
+    in
     let http =
-      Option.map (fun port -> Server.Http.start ~port ~ready ()) metrics_port
+      Option.map
+        (fun port -> Server.Http.start ~port ~ready ~describe ())
+        metrics_port
     in
     let trace_oc =
       Option.map
@@ -797,15 +885,26 @@ let serve_cmd =
         trace_file
     in
     let library = make_library qubits in
-    let index = Option.map (Census_index.load library) index_path in
+    let verify =
+      if verify_index then Census_index.Full else Census_index.Sample
+    in
+    (* mmap, not read: the daemon probes records in place off the page
+       cache, so cold start is O(header + CRC scan) instead of a full
+       heap copy, and two daemons on one host share the file's pages. *)
+    let index =
+      Option.map (Census_index.load_mmap ~verify library) index_path
+    in
     (match index with
     | Some idx ->
-        Format.printf "index: %d functions, exact to cost %d@."
+        Format.printf "index: %d functions, exact to cost %d%s@."
           (Census_index.size idx) (Census_index.depth idx)
+          (if Census_index.is_complete idx then " (complete)" else "")
     | None -> ());
     let service =
-      Server.Service.create ~jobs ?index ~warm_depth ~cache_capacity library
+      Server.Service.create ~jobs ?index ~warm_depth ~cache_capacity
+        ~index_verify:verify library
     in
+    service_ref := Some service;
     let daemon =
       Server.Daemon.start ~workers ~queue_capacity ?slow_ms
         ~trace:(trace_file <> None) ~socket service
@@ -851,11 +950,18 @@ let serve_cmd =
       | Some path -> (
           match Server.Service.reload_index service path with
           | size, depth ->
+              let coverage, complete =
+                match Server.Service.index_status service with
+                | Some (_, _, coverage, complete) -> (coverage, complete)
+                | None -> (0, false)
+              in
               log_reload
                 [ ("ok", Telemetry.Json.Bool true);
                   ("path", Telemetry.Json.String path);
                   ("functions", Telemetry.Json.Int size);
-                  ("depth", Telemetry.Json.Int depth) ]
+                  ("depth", Telemetry.Json.Int depth);
+                  ("coverage", Telemetry.Json.Int coverage);
+                  ("complete", Telemetry.Json.Bool complete) ]
           | exception
               (( Checkpoint.Corrupt msg | Checkpoint.Mismatch msg
                | Sys_error msg ) as exn) ->
@@ -934,7 +1040,9 @@ let serve_cmd =
                  $(b,/metrics) (Prometheus text exposition of the telemetry \
                  registry), $(b,/healthz) (liveness) and $(b,/readyz) \
                  (readiness: 503 until the engine is warm and again once the \
-                 drain begins).  0 picks an ephemeral port.")
+                 drain begins; the 200 body is a one-line index summary — \
+                 functions, depth, coverage, completeness).  0 picks an \
+                 ephemeral port.")
   in
   let trace_file_arg =
     Arg.(value & opt (some string) None & info [ "trace-file" ] ~docv:"FILE"
@@ -971,8 +1079,8 @@ let serve_cmd =
              without dropping in-flight requests.")
     Term.(
       const run $ serve_telemetry_term $ qubits_arg $ jobs_arg $ socket_arg
-      $ index_arg $ warm_depth_arg $ workers_arg $ queue_arg $ cache_arg
-      $ metrics_port_arg $ trace_file_arg $ slow_arg)
+      $ index_arg $ verify_index_arg $ warm_depth_arg $ workers_arg
+      $ queue_arg $ cache_arg $ metrics_port_arg $ trace_file_arg $ slow_arg)
 
 (* query *)
 
@@ -1051,8 +1159,8 @@ let query_cmd =
 let m_client_retries = Telemetry.Counter.create "client.retries"
 
 let batch_cmd =
-  let run finish_telemetry qubits jobs socket index_path warm_depth max_retries
-      file =
+  let run finish_telemetry qubits jobs socket index_path verify_index
+      warm_depth max_retries file =
     guarded ~finish:finish_telemetry @@ fun () ->
     let ic = if file = "-" then stdin else open_in file in
     Fun.protect ~finally:(fun () -> if file <> "-" then close_in_noerr ic)
@@ -1089,9 +1197,15 @@ let batch_cmd =
           (* no daemon: evaluate locally against one warm service, so a
              whole file amortizes the same warm-up a daemon would *)
           let library = make_library qubits in
-          let index = Option.map (Census_index.load library) index_path in
+          let verify =
+            if verify_index then Census_index.Full else Census_index.Sample
+          in
+          let index =
+            Option.map (Census_index.load ~verify library) index_path
+          in
           let service =
-            Server.Service.create ~jobs ?index ~warm_depth library
+            Server.Service.create ~jobs ?index ~warm_depth
+              ~index_verify:verify library
           in
           let should_stop = install_cancel () in
           fun req -> Server.Service.answer ~should_stop service req
@@ -1162,7 +1276,8 @@ let batch_cmd =
              engine, or through a daemon with $(b,--socket).")
     Term.(
       const run $ telemetry_term $ qubits_arg $ jobs_arg $ socket_opt_arg
-      $ index_arg $ warm_depth_arg $ max_retries_arg $ file_arg)
+      $ index_arg $ verify_index_arg $ warm_depth_arg $ max_retries_arg
+      $ file_arg)
 
 (* table1 *)
 

@@ -72,7 +72,7 @@ let respond fd ~status ~content_type body =
   in
   try write 0 with Unix.Unix_error _ -> ()
 
-let handle ~ready fd =
+let handle ~ready ~describe fd =
   match read_request fd with
   | None -> ()
   | Some raw -> (
@@ -99,13 +99,13 @@ let handle ~ready fd =
           | "/healthz" -> respond fd ~status:200 ~content_type:"text/plain" "ok\n"
           | "/readyz" ->
               if ready () then
-                respond fd ~status:200 ~content_type:"text/plain" "ok\n"
+                respond fd ~status:200 ~content_type:"text/plain" (describe ())
               else
                 respond fd ~status:503 ~content_type:"text/plain" "not ready\n"
           | _ -> respond fd ~status:404 ~content_type:"text/plain" "not found\n")
       | _ -> respond fd ~status:405 ~content_type:"text/plain" "bad request\n")
 
-let serve_loop t ~ready =
+let serve_loop t ~ready ~describe =
   let rec go () =
     if not (Atomic.get t.stopping) then
       if not (retry_select t.listen_fd 0.25) then go ()
@@ -116,7 +116,7 @@ let serve_loop t ~ready =
             Fun.protect
               ~finally:(fun () ->
                 try Unix.close fd with Unix.Unix_error _ -> ())
-              (fun () -> handle ~ready fd);
+              (fun () -> handle ~ready ~describe fd);
             go ()
         | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
             go ()
@@ -124,7 +124,7 @@ let serve_loop t ~ready =
   go ();
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
 
-let start ?(host = "127.0.0.1") ~port ~ready () =
+let start ?(host = "127.0.0.1") ?(describe = fun () -> "ok\n") ~port ~ready () =
   let addr = Unix.inet_addr_of_string host in
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (match
@@ -142,7 +142,7 @@ let start ?(host = "127.0.0.1") ~port ~ready () =
     | _ -> port
   in
   let t = { listen_fd = fd; port = bound_port; stopping = Atomic.make false; thread = None } in
-  t.thread <- Some (Thread.create (fun () -> serve_loop t ~ready) ());
+  t.thread <- Some (Thread.create (fun () -> serve_loop t ~ready ~describe) ());
   Log.app (fun m -> m "metrics on http://%s:%d/metrics" host bound_port);
   t
 

@@ -9,6 +9,7 @@ let m_cache_miss = Telemetry.Counter.create "server.cache.miss"
 let m_coalesced = Telemetry.Counter.create "server.coalesced"
 let m_deadline = Telemetry.Counter.create "server.deadline"
 let g_cache_size = Telemetry.Gauge.create "server.cache.size"
+let g_coverage = Telemetry.Gauge.create "server.index.coverage"
 let h_answer = Telemetry.Histogram.create "server.answer.seconds"
 
 (* LRU cache: an intrusive cyclic doubly-linked list threaded through a
@@ -100,15 +101,36 @@ type t = {
   bidir : Bidir.t option;
   warm_depth : int;
   jobs : int;
+  index_verify : Census_index.verification;
   mutex : Mutex.t; (* guards cache + inflight *)
   cache : Lru.t;
   inflight : (string, flight) Hashtbl.t;
 }
 
-let create ?(jobs = 1) ?index ?(warm_depth = 0) ?(cache_capacity = 1024) library =
+let publish_coverage index =
+  Telemetry.Gauge.set_int g_coverage
+    (match index with Some idx -> Census_index.coverage idx | None -> 0)
+
+let create ?(jobs = 1) ?index ?(warm_depth = 0) ?(cache_capacity = 1024)
+    ?(index_verify = Census_index.Sample) library =
   if warm_depth < 0 then invalid_arg "Service.create: negative warm_depth";
   if cache_capacity < 0 then invalid_arg "Service.create: negative cache_capacity";
   if jobs < 1 then invalid_arg "Service.create: jobs must be >= 1";
+  (* A complete index answers every realizable request by itself:
+     growing a forward wave behind it would burn seconds of startup (and
+     hundreds of MB) that no query can ever reach, so drop the warm-up
+     and run index-only. *)
+  let complete = match index with Some idx -> Census_index.is_complete idx | None -> false in
+  let warm_depth =
+    if complete && warm_depth > 0 then begin
+      Log.info (fun m ->
+          m "index is complete: skipping the depth-%d forward-wave warm-up \
+             (no realizable query can miss the index)"
+            warm_depth);
+      0
+    end
+    else warm_depth
+  in
   let bidir =
     if warm_depth = 0 then None
     else begin
@@ -122,12 +144,14 @@ let create ?(jobs = 1) ?index ?(warm_depth = 0) ?(cache_capacity = 1024) library
       Some engine
     end
   in
+  publish_coverage index;
   {
     library;
     index = Atomic.make index;
     bidir;
     warm_depth;
     jobs;
+    index_verify;
     mutex = Mutex.create ();
     cache = Lru.create cache_capacity;
     inflight = Hashtbl.create 64;
@@ -135,6 +159,16 @@ let create ?(jobs = 1) ?index ?(warm_depth = 0) ?(cache_capacity = 1024) library
 
 let library t = t.library
 let warm_depth t = t.warm_depth
+
+let index_status t =
+  match Atomic.get t.index with
+  | None -> None
+  | Some idx ->
+      Some
+        ( Census_index.size idx,
+          Census_index.depth idx,
+          Census_index.coverage idx,
+          Census_index.is_complete idx )
 
 (* Hot index reload: validate the replacement fully (Census_index.load
    checks magic, CRC and the library fingerprint — Corrupt/Mismatch
@@ -145,13 +179,15 @@ let warm_depth t = t.warm_depth
    both indexes answer with the same exact costs, only the horizon
    differs. *)
 let reload_index t path =
-  let index = Census_index.load t.library path in
+  let index = Census_index.load_mmap ~verify:t.index_verify t.library path in
   Mutex.protect t.mutex (fun () ->
       Atomic.set t.index (Some index);
       Lru.clear t.cache);
+  publish_coverage (Some index);
   Log.info (fun m ->
-      m "index reloaded from %s: %d functions, exact to cost %d" path
-        (Census_index.size index) (Census_index.depth index));
+      m "index reloaded from %s (mmap): %d functions, exact to cost %d%s" path
+        (Census_index.size index) (Census_index.depth index)
+        (if Census_index.is_complete index then ", complete" else ""));
   (Census_index.size index, Census_index.depth index)
 
 let no_stop () = false

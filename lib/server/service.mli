@@ -27,14 +27,21 @@
 
 type t
 
-(** [create ?jobs ?index ?warm_depth ?cache_capacity library] builds the
-    engine state eagerly: loads nothing (the caller loads the index),
-    but grows the bidir forward wave to [warm_depth] before returning.
-    [warm_depth = 0] (the default) runs without a bidir context —
-    queries fall back to index + forward BFS.  [jobs] is the forward
-    BFS worker-domain count used for cold forward queries and the
-    warm-up itself (results are jobs-independent).  [cache_capacity]
-    (default 1024) bounds the LRU response cache; [0] disables it.
+(** [create ?jobs ?index ?warm_depth ?cache_capacity ?index_verify
+    library] builds the engine state eagerly: loads nothing (the caller
+    loads the index), but grows the bidir forward wave to [warm_depth]
+    before returning.  [warm_depth = 0] (the default) runs without a
+    bidir context — queries fall back to index + forward BFS.  When
+    [index] is {e complete} ({!Synthesis.Census_index.is_complete}) any
+    requested warm-up is skipped — no realizable query can miss the
+    index, so the service runs index-only and {!warm_depth} reports 0
+    (the one observable consequence: a request {e pinning} plan [bidir]
+    gets [Unsupported]).  [jobs] is the forward BFS worker-domain count
+    used for cold forward queries and the warm-up itself (results are
+    jobs-independent).  [cache_capacity] (default 1024) bounds the LRU
+    response cache; [0] disables it.  [index_verify] (default [Sample])
+    is the witness-replay level {!reload_index} applies to replacement
+    files.
     @raise Invalid_argument on negative [warm_depth] or
     [cache_capacity], or [jobs < 1]. *)
 val create :
@@ -42,22 +49,31 @@ val create :
   ?index:Synthesis.Census_index.t ->
   ?warm_depth:int ->
   ?cache_capacity:int ->
+  ?index_verify:Synthesis.Census_index.verification ->
   Synthesis.Library.t ->
   t
 
 val library : t -> Synthesis.Library.t
 
 (** [warm_depth t] is the fixed forward depth of the bidir context
-    (0 when the service runs without one). *)
+    (0 when the service runs without one, including the complete-index
+    case above). *)
 val warm_depth : t -> int
 
-(** [reload_index t path] hot-swaps the census index: loads and fully
-    validates the QSYNIDX1 file at [path] (magic, CRC, library
-    fingerprint), then atomically publishes it and clears the response
-    cache, without dropping or blocking in-flight requests — requests
-    already evaluating finish against the index they snapshotted.
-    Returns the new index's [(size, depth)].  On failure the old index
-    remains in service untouched.
+(** [index_status t] is [Some (size, depth, coverage, complete)] for the
+    currently published index — the material of the [/readyz] body and
+    the [server.index.coverage] gauge — or [None] when the service runs
+    without one. *)
+val index_status : t -> (int * int * int * bool) option
+
+(** [reload_index t path] hot-swaps the census index: maps and validates
+    the index file at [path] ({!Synthesis.Census_index.load_mmap} — v1
+    or v2, magic, CRC, fingerprints, witness replay per the service's
+    [index_verify]), then atomically publishes it and clears the
+    response cache, without dropping or blocking in-flight requests —
+    requests already evaluating finish against the index (and mapping)
+    they snapshotted.  Returns the new index's [(size, depth)].  On
+    failure the old index remains in service untouched.
     @raise Synthesis.Checkpoint.Corrupt on a damaged file
     @raise Synthesis.Checkpoint.Mismatch on a library-fingerprint
     mismatch

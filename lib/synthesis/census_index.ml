@@ -6,28 +6,41 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let m_lookups = Telemetry.Counter.create "census_index.lookups"
 let m_hits = Telemetry.Counter.create "census_index.hits"
+let m_swept = Telemetry.Counter.create "census_index.sweep.functions"
 let c_bytes = Telemetry.Counter.create "census_index.write.bytes"
 let h_build = Telemetry.Histogram.create "census_index.build.seconds"
+let h_sweep = Telemetry.Histogram.create "census_index.sweep.seconds"
 
 (* The index is quotient-agnostic: {!build} consumes (func_key, cost,
    witness) triples from {!Fmcf} and sorts records by func_key, and a
    quotient census produces exactly the same triples as a raw one
    ({!Fmcf.cascade_of_member} reconstructs the same canonical witness in
-   both modes), so QSYNIDX1 files emitted with and without [--quotient]
-   are byte-identical — the property the CI parity job diffs. *)
+   both modes), so index files emitted with and without [--quotient] are
+   byte-identical — the property the CI parity job diffs.  The same
+   holds for {!build_complete}: the sweep order is the lexicographic
+   order of the zero-fixing universe and results are committed by
+   function position, so the emitted file is byte-identical across
+   [--jobs], [--workers] and [--quotient].
 
-(* On-disk format (QSYNIDX1, little-endian), reusing the QSYNCKP1
+   On-disk format (QSYNIDX2, little-endian), reusing the QSYNCKP1
    atomic-write + CRC machinery from {!Checkpoint}:
 
-     magic        8 bytes  "QSYNIDX1"
-     version      u32
+     magic        8 bytes  "QSYNIDX2"
+     version      u32      2
      fingerprint  i64      Checkpoint.fingerprint of the library
+     symmetry     i64      Symmetry.fingerprint of the library's group
      qubits       u32
      num_binary   u32      nb, the func_key length
      num_gates    u32
-     depth        u32      census horizon: absence proves cost > depth
+     depth        u32      cost horizon: absence proves cost > depth
      count        u32      number of records
      log_len      u32      gate-log length in bytes
+     flags        u32      bit 0: complete (count = (nb-1)!)
+     coverage     u32      count * 2^qubits — with the Theorem-2 NOT
+                           cosets enumerated, the number of members of
+                           S_{2^q} this file answers (40320 when full)
+     hist_len     u32      depth + 1
+     histogram    hist_len * u32, records per cost 0..depth
      records      count * (nb + 1 + 4)
                            func_key (nb bytes, sorted ascending)
                            cost (u8)
@@ -36,28 +49,196 @@ let h_build = Telemetry.Histogram.create "census_index.build.seconds"
                            a record's witness is log[offset .. offset+cost)
      crc          u32      CRC-32 of everything above
 
-   Records are fixed-size and sorted by key, so lookups binary-search
-   the record block in place — the mapped file needs no unpacking. *)
+   The previous QSYNIDX1 format (same layout minus the symmetry
+   fingerprint, flags, coverage and histogram fields) still loads; a v1
+   file is by definition a partial index.  Records are fixed-size and
+   sorted by key, so lookups binary-search the record block in place —
+   whether the file sits in a heap [Bytes.t] or in a read-only mmap, no
+   per-record unpacking or allocation happens on the probe path. *)
 
-let magic = "QSYNIDX1"
-let version = 1
-let header_bytes = 8 + 4 + 8 + (6 * 4)
+let magic_v2 = "QSYNIDX2"
+let magic_v1 = "QSYNIDX1"
+let version = 2
+let version_v1 = 1
+let v1_header_bytes = 8 + 4 + 8 + (6 * 4)
+let v2_header_bytes = 8 + 4 + 8 + 8 + (9 * 4)
 let rec_size nb = nb + 1 + 4
+let flag_complete = 1
+
+(* {1 Storage: one buffer holding the whole serialized file}
+
+   [Heap] is a plain in-memory copy ({!load}, and freshly built indexes,
+   whose [buf] is exactly what {!save} writes).  [Map] is a read-only
+   [Unix.map_file] mapping: lookups touch only the pages the binary
+   search walks, the OS page cache shares them across processes, and
+   dropping the value unmaps (the [Bigarray] finalizer), which is what
+   makes a SIGHUP hot swap safe — in-flight lookups keep the old mapping
+   alive until they finish. *)
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type storage = Heap of Bytes.t | Map of bigstring
+
+let st_len = function
+  | Heap b -> Bytes.length b
+  | Map m -> Bigarray.Array1.dim m
+
+let st_u8 s i =
+  match s with
+  | Heap b -> Bytes.get_uint8 b i
+  | Map m -> Char.code (Bigarray.Array1.get m i)
+
+let st_u32 s i =
+  match s with
+  | Heap b -> Int32.to_int (Bytes.get_int32_le b i) land 0xFFFFFFFF
+  | Map m ->
+      let g k = Char.code (Bigarray.Array1.get m (i + k)) in
+      g 0 lor (g 1 lsl 8) lor (g 2 lsl 16) lor (g 3 lsl 24)
+
+let st_i64 s i =
+  match s with
+  | Heap b -> Bytes.get_int64_le b i
+  | Map m ->
+      let g k = Int64.of_int (Char.code (Bigarray.Array1.get m (i + k))) in
+      let ( <| ) v k = Int64.shift_left v k in
+      let ( || ) = Int64.logor in
+      g 0 || (g 1 <| 8) || (g 2 <| 16) || (g 3 <| 24) || (g 4 <| 32)
+      || (g 5 <| 40) || (g 6 <| 48) || (g 7 <| 56)
+
+let st_sub_string s off len =
+  String.init len (fun k -> Char.chr (st_u8 s (off + k)))
+
+let st_crc s ~off ~len =
+  match s with
+  | Heap b -> Checkpoint.crc32 b ~off ~len
+  | Map m ->
+      (* Digest the mapping through a scratch buffer chunk by chunk:
+         Checkpoint's slicing-by-8 kernel reads [Bytes.t], and a 64 KiB
+         copy costs far less than a byte-at-a-time bigarray CRC. *)
+      let chunk_len = 65536 in
+      let chunk = Bytes.create chunk_len in
+      let c = ref Checkpoint.crc32_init in
+      let i = ref off in
+      let stop = off + len in
+      while !i < stop do
+        let n = min chunk_len (stop - !i) in
+        for j = 0 to n - 1 do
+          Bytes.unsafe_set chunk j (Bigarray.Array1.unsafe_get m (!i + j))
+        done;
+        c := Checkpoint.crc32_feed !c chunk ~off:0 ~len:n;
+        i := !i + n
+      done;
+      Checkpoint.crc32_finish !c
 
 type t = {
   library : Library.t;
   depth : int;
   nb : int;
   count : int;
-  records : Bytes.t;
-  log : Bytes.t;
+  complete : bool;
+  histogram : int array; (* records per cost, indices 0..depth *)
+  buf : storage; (* the whole serialized file, CRC included *)
+  records_off : int;
+  log_off : int;
+  log_len : int;
 }
 
 let depth t = t.depth
 let size t = t.count
+let is_complete t = t.complete
+let coverage t = t.count lsl Library.qubits t.library
+let histogram t = Array.copy t.histogram
+let mapped t = match t.buf with Heap _ -> false | Map _ -> true
+
+(* [Some (nb-1)!] — the number of zero-fixing members of S_{2^q}, i.e.
+   the Theorem-2 coset-representative count a complete index must hold —
+   or [None] when it exceeds the enumeration cap (4+ qubits). *)
+let zero_fixing_universe library =
+  let n = (1 lsl Library.qubits library) - 1 in
+  let cap = 10_000_000 in
+  let rec go acc k =
+    if k > n then Some acc else if acc > cap / k then None else go (acc * k) (k + 1)
+  in
+  go 1 2
 
 let func_key_bytes ~nb func =
   Bytes.init nb (fun j -> Char.chr (Revfun.apply func j))
+
+(* {1 Packing}
+
+   Everything that builds an index funnels through [pack]: rows are
+   sorted by func_key, the histogram and coverage are derived from them,
+   and [t.buf] is the exact serialized file — so {!save} is a plain
+   write and a freshly built index answers lookups from the same bytes a
+   reloaded one would. *)
+
+let pack library ~depth ~complete rows =
+  let nb = Mvl.Encoding.num_binary (Library.encoding library) in
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) rows in
+  let count = List.length rows in
+  let log_len = List.fold_left (fun acc (_, c, _) -> acc + c) 0 rows in
+  let hist_len = depth + 1 in
+  let histogram = Array.make hist_len 0 in
+  List.iter
+    (fun (_, cost, _) ->
+      if cost < 0 || cost > depth then
+        invalid_arg "Census_index: row cost outside 0..depth";
+      histogram.(cost) <- histogram.(cost) + 1)
+    rows;
+  let records_off = v2_header_bytes + (4 * hist_len) in
+  let log_off = records_off + (count * rec_size nb) in
+  let len = log_off + log_len + 4 in
+  let buf = Bytes.create len in
+  let pos = ref 0 in
+  let put_u32 v =
+    Bytes.set_int32_le buf !pos (Int32.of_int v);
+    pos := !pos + 4
+  in
+  Bytes.blit_string magic_v2 0 buf 0 8;
+  pos := 8;
+  put_u32 version;
+  Bytes.set_int64_le buf !pos (Checkpoint.fingerprint library);
+  pos := !pos + 8;
+  Bytes.set_int64_le buf !pos (Symmetry.fingerprint (Symmetry.create library));
+  pos := !pos + 8;
+  put_u32 (Library.qubits library);
+  put_u32 nb;
+  put_u32 (Library.size library);
+  put_u32 depth;
+  put_u32 count;
+  put_u32 log_len;
+  put_u32 (if complete then flag_complete else 0);
+  put_u32 (count lsl Library.qubits library);
+  put_u32 hist_len;
+  Array.iter put_u32 histogram;
+  let off = ref 0 in
+  List.iteri
+    (fun i (key, cost, gates) ->
+      let base = records_off + (i * rec_size nb) in
+      Bytes.blit_string key 0 buf base nb;
+      Bytes.set_uint8 buf (base + nb) cost;
+      Bytes.set_int32_le buf (base + nb + 1) (Int32.of_int !off);
+      List.iter
+        (fun g ->
+          Bytes.set_uint8 buf (log_off + !off) g;
+          incr off)
+        gates)
+    rows;
+  Bytes.set_int32_le buf (len - 4)
+    (Int32.of_int (Checkpoint.crc32 buf ~off:0 ~len:(len - 4)));
+  {
+    library;
+    depth;
+    nb;
+    count;
+    complete;
+    histogram;
+    buf = Heap buf;
+    records_off;
+    log_off;
+    log_len;
+  }
 
 (* {1 Building from a census} *)
 
@@ -74,72 +255,209 @@ let gate_indices library =
           (Printf.sprintf "Census_index.build: gate %s not in the library"
              (Gate.name gate))
 
-let build census =
-  Telemetry.Histogram.time h_build @@ fun () ->
+let census_rows census =
   let library = Search.library (Fmcf.search census) in
   let nb = Mvl.Encoding.num_binary (Library.encoding library) in
   let gate_index = gate_indices library in
-  let rows = ref [] and count = ref 0 and log_len = ref 0 in
+  let rows = ref [] in
   Fmcf.iter_members census (fun ~cost member ->
       let key = func_key_bytes ~nb member.Fmcf.func in
-      let gates =
-        List.map gate_index (Fmcf.cascade_of_member census member)
-      in
+      let gates = List.map gate_index (Fmcf.cascade_of_member census member) in
       if List.length gates <> cost then
         invalid_arg "Census_index.build: witness length differs from cost";
-      rows := (Bytes.unsafe_to_string key, cost, gates) :: !rows;
-      incr count;
-      log_len := !log_len + cost);
-  let rows =
-    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
+      rows := (Bytes.unsafe_to_string key, cost, gates) :: !rows);
+  (library, !rows)
+
+let build census =
+  Telemetry.Histogram.time h_build @@ fun () ->
+  let library, rows = census_rows census in
+  (* A deep-enough forward census can cover the whole zero-fixing
+     universe by itself; mark it complete so the planner trusts it. *)
+  let complete =
+    match zero_fixing_universe library with
+    | Some u -> List.length rows = u
+    | None -> false
   in
-  let records = Bytes.create (!count * rec_size nb) in
-  let log = Bytes.create !log_len in
-  let off = ref 0 in
-  List.iteri
-    (fun i (key, cost, gates) ->
-      let base = i * rec_size nb in
-      Bytes.blit_string key 0 records base nb;
-      Bytes.set_uint8 records (base + nb) cost;
-      Bytes.set_int32_le records (base + nb + 1) (Int32.of_int !off);
-      List.iter
-        (fun g ->
-          Bytes.set_uint8 log !off g;
-          incr off)
-        gates)
-    rows;
-  { library; depth = Fmcf.depth census; nb; count = !count; records; log }
+  pack library ~depth:(Fmcf.depth census) ~complete rows
+
+(* {1 The complete-index sweep}
+
+   Theorem 2 decomposes S_{2^q} into 2^q NOT cosets over the zero-fixing
+   subgroup G, and {!Mce.strip_not_layer} reduces any query to its
+   zero-fixing remainder — so the coset factor is {e enumerated} (free)
+   and completeness only requires every member of G.  The forward census
+   supplies everything within its horizon; the sweep enumerates the
+   zero-fixing universe in lexicographic order and runs one bidirectional
+   query per still-missing function against a {e shared, frozen} forward
+   wave: [Bidir.of_search] caps forward growth at the census depth, so
+   concurrent sweep domains only read the wave and grow their private
+   backward waves.  Results are committed by function position, which
+   makes the packed file byte-identical across [--jobs]. *)
+
+let next_permutation a =
+  let n = Array.length a in
+  let swap i j =
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  in
+  let i = ref (n - 2) in
+  while !i >= 0 && a.(!i) >= a.(!i + 1) do
+    decr i
+  done;
+  if !i < 0 then false
+  else begin
+    let j = ref (n - 1) in
+    while a.(!j) <= a.(!i) do
+      decr j
+    done;
+    swap !i !j;
+    let l = ref (!i + 1) and r = ref (n - 1) in
+    while !l < !r do
+      swap !l !r;
+      incr l;
+      decr r
+    done;
+    true
+  end
+
+let build_complete ?(jobs = 1) ?(should_stop = fun () -> false) census =
+  if jobs < 1 then invalid_arg "Census_index.build_complete: jobs < 1";
+  Telemetry.Histogram.time h_sweep @@ fun () ->
+  let library, rows = census_rows census in
+  let nb = Mvl.Encoding.num_binary (Library.encoding library) in
+  let depth = Fmcf.depth census in
+  (match zero_fixing_universe library with
+  | Some _ -> ()
+  | None ->
+      invalid_arg
+        "Census_index.build_complete: zero-fixing universe too large to enumerate");
+  let present = Hashtbl.create (4 * List.length rows) in
+  List.iter (fun (key, _, _) -> Hashtbl.replace present key ()) rows;
+  (* every zero-fixing function the census has not already answered *)
+  let missing = ref [] in
+  let perm = Array.init (nb - 1) (fun i -> i + 1) in
+  let continue = ref true in
+  while !continue do
+    let key =
+      String.init nb (fun j -> Char.chr (if j = 0 then 0 else perm.(j - 1)))
+    in
+    if not (Hashtbl.mem present key) then
+      missing :=
+        Revfun.of_outputs ~bits:(Library.qubits library)
+          (0 :: Array.to_list perm)
+        :: !missing;
+    continue := next_permutation perm
+  done;
+  let missing = Array.of_list (List.rev !missing) in
+  let n_missing = Array.length missing in
+  Log.info (fun m ->
+      m "complete sweep: census holds %d of the zero-fixing universe, %d to sweep"
+        (List.length rows) n_missing);
+  let cancelled () = should_stop () in
+  let sweep_rows =
+    if n_missing = 0 then Some []
+    else begin
+      (* One shared query context over the census's own forward wave (or
+         a fresh raw wave warmed to the same depth when the census ran
+         quotiented — orbit keys carry no image vectors).  Either way the
+         forward side is frozen at [depth] before any domain starts. *)
+      let bidir =
+        if Fmcf.quotiented census then begin
+          let b = Bidir.create ~max_fwd_depth:depth library in
+          Bidir.warm ~should_stop b ~depth;
+          b
+        end
+        else Bidir.of_search (Fmcf.search census)
+      in
+      if cancelled () then None
+      else begin
+        let max_cost = max 15 (2 * depth) in
+        let lower_bound = depth + 1 in
+        let results = Array.make n_missing None in
+        let cursor = Atomic.make 0 in
+        let worker () =
+          let continue = ref true in
+          while !continue do
+            let i = Atomic.fetch_and_add cursor 1 in
+            if i >= n_missing || cancelled () then continue := false
+            else
+              results.(i) <-
+                Bidir.synthesize ~max_cost ~lower_bound ~should_stop bidir
+                  missing.(i)
+          done
+        in
+        let domains =
+          List.init (min (jobs - 1) (n_missing - 1)) (fun _ ->
+              Domain.spawn worker)
+        in
+        worker ();
+        List.iter Domain.join domains;
+        if cancelled () then None
+        else begin
+          let gate_index = gate_indices library in
+          let rows = ref [] in
+          Array.iteri
+            (fun i outcome ->
+              match outcome with
+              | None ->
+                  invalid_arg
+                    "Census_index.build_complete: sweep target beyond max_cost \
+                     (library not universal?)"
+              | Some o ->
+                  let key = func_key_bytes ~nb missing.(i) in
+                  rows :=
+                    ( Bytes.unsafe_to_string key,
+                      o.Bidir.cost,
+                      List.map gate_index o.Bidir.cascade )
+                    :: !rows)
+            results;
+          Some !rows
+        end
+      end
+    end
+  in
+  match sweep_rows with
+  | None ->
+      Log.info (fun m -> m "complete sweep cancelled");
+      None
+  | Some sweep_rows ->
+      Telemetry.Counter.add m_swept n_missing;
+      let rows = List.rev_append sweep_rows rows in
+      let max_cost = List.fold_left (fun acc (_, c, _) -> max acc c) 0 rows in
+      Some (pack library ~depth:max_cost ~complete:true rows, n_missing)
 
 (* {1 Lookup} *)
 
-let record_key_compare t i key =
-  let base = i * rec_size t.nb in
+(* Compare record [i]'s key against the probe function in place: no key
+   bytes are materialized, so a binary search allocates nothing. *)
+let record_key_compare_probe t i func =
+  let base = t.records_off + (i * rec_size t.nb) in
   let rec go j =
     if j = t.nb then 0
     else
-      let c = Char.compare (Bytes.get t.records (base + j)) (Bytes.get key j) in
+      let c = compare (st_u8 t.buf (base + j)) (Revfun.apply func j) in
       if c <> 0 then c else go (j + 1)
   in
   go 0
 
 let witness_of_record t i =
   let entries = Library.entries t.library in
-  let base = i * rec_size t.nb in
-  let cost = Bytes.get_uint8 t.records (base + t.nb) in
-  let off = Int32.to_int (Bytes.get_int32_le t.records (base + t.nb + 1)) in
+  let base = t.records_off + (i * rec_size t.nb) in
+  let cost = st_u8 t.buf (base + t.nb) in
+  let off = st_u32 t.buf (base + t.nb + 1) in
   ( cost,
     List.init cost (fun k ->
-        entries.(Bytes.get_uint8 t.log (off + k)).Library.gate) )
+        entries.(st_u8 t.buf (t.log_off + off + k)).Library.gate) )
 
 let find t func =
   Telemetry.Counter.incr m_lookups;
   if Revfun.bits func <> Library.qubits t.library then None
   else begin
-    let key = func_key_bytes ~nb:t.nb func in
     let lo = ref 0 and hi = ref (t.count - 1) and found = ref (-1) in
     while !lo <= !hi do
       let mid = (!lo + !hi) / 2 in
-      let c = record_key_compare t mid key in
+      let c = record_key_compare_probe t mid func in
       if c = 0 then begin
         found := mid;
         lo := !hi + 1
@@ -157,37 +475,19 @@ let find t func =
 (* {1 Serialization} *)
 
 let serialize t =
-  let len = header_bytes + Bytes.length t.records + Bytes.length t.log + 4 in
-  let buf = Bytes.create len in
-  let pos = ref 0 in
-  let put_u32 v =
-    Bytes.set_int32_le buf !pos (Int32.of_int v);
-    pos := !pos + 4
-  in
-  Bytes.blit_string magic 0 buf 0 8;
-  pos := 8;
-  put_u32 version;
-  Bytes.set_int64_le buf !pos (Checkpoint.fingerprint t.library);
-  pos := !pos + 8;
-  put_u32 (Library.qubits t.library);
-  put_u32 t.nb;
-  put_u32 (Library.size t.library);
-  put_u32 t.depth;
-  put_u32 t.count;
-  put_u32 (Bytes.length t.log);
-  Bytes.blit t.records 0 buf !pos (Bytes.length t.records);
-  pos := !pos + Bytes.length t.records;
-  Bytes.blit t.log 0 buf !pos (Bytes.length t.log);
-  pos := !pos + Bytes.length t.log;
-  put_u32 (Checkpoint.crc32 buf ~off:0 ~len:(len - 4));
-  buf
+  match t.buf with
+  | Heap b -> b
+  | Map m ->
+      let len = Bigarray.Array1.dim m in
+      Bytes.init len (fun i -> Bigarray.Array1.get m i)
 
 let save t path =
   let buf = serialize t in
   Checkpoint.write_atomic path buf;
   Telemetry.Counter.add c_bytes (Bytes.length buf);
   Log.info (fun m ->
-      m "census index: %d functions to cost %d, %d bytes -> %s" t.count t.depth
+      m "census index: %d functions to cost %d%s, %d bytes -> %s" t.count t.depth
+        (if t.complete then " (complete)" else "")
         (Bytes.length buf) path)
 
 (* {1 Loading with validation}
@@ -196,66 +496,86 @@ let save t path =
    for a different library or format raises {!Checkpoint.Mismatch} —
    the same contract (and the same CLI error boundary) as snapshots.
 
-   Beyond the CRC, every record's witness is replayed through the
-   library's multiple-valued semantics: the gate chain must satisfy the
-   reasonable-product constraint at each step and its binary restriction
-   must equal the record's func_key.  A file that passes is correct by
-   construction, not merely uncorrupted — a buggy or forged emitter
-   cannot plant a wrong cost/witness pair. *)
+   Integrity (CRC + fingerprints + structure + histogram/coverage
+   cross-checks) is always verified.  Witness replay through the
+   library's multiple-valued semantics — the proof that an emitter
+   cannot plant a wrong cost/witness pair — is [Full] on demand and a
+   deterministic sample by default, because a full replay of a complete
+   index costs O(count·depth) at every daemon start while the CRC
+   already rules out accidental damage. *)
+
+type verification = Sample | Full
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Checkpoint.Corrupt s)) fmt
 let mismatch fmt = Printf.ksprintf (fun s -> raise (Checkpoint.Mismatch s)) fmt
 
-let validate_witness library ~nb ~signatures record_key gates =
-  let encoding = Library.encoding library in
+let validate_witness t ~signatures i =
+  let encoding = Library.encoding t.library in
   let degree = Mvl.Encoding.size encoding in
-  let entries = Library.entries library in
+  let entries = Library.entries t.library in
+  let base = t.records_off + (i * rec_size t.nb) in
+  let cost = st_u8 t.buf (base + t.nb) in
+  let off = st_u32 t.buf (base + t.nb + 1) in
   let image = Array.init degree Fun.id in
   let scratch = Array.make degree 0 in
-  List.iter
-    (fun g ->
-      let e = entries.(g) in
-      let signature = ref 0 in
-      for j = 0 to nb - 1 do
-        signature := !signature lor signatures.(image.(j))
-      done;
-      if !signature land e.Library.purity_mask <> 0 then
-        corrupt "index witness violates the reasonable-product constraint";
-      for j = 0 to degree - 1 do
-        scratch.(j) <- e.Library.perm_array.(image.(j))
-      done;
-      Array.blit scratch 0 image 0 degree)
-    gates;
-  for j = 0 to nb - 1 do
-    if image.(j) <> Char.code (Bytes.get record_key j) then
+  for k = 0 to cost - 1 do
+    let e = entries.(st_u8 t.buf (t.log_off + off + k)) in
+    let signature = ref 0 in
+    for j = 0 to t.nb - 1 do
+      signature := !signature lor signatures.(image.(j))
+    done;
+    if !signature land e.Library.purity_mask <> 0 then
+      corrupt "index witness violates the reasonable-product constraint";
+    for j = 0 to degree - 1 do
+      scratch.(j) <- e.Library.perm_array.(image.(j))
+    done;
+    Array.blit scratch 0 image 0 degree
+  done;
+  for j = 0 to t.nb - 1 do
+    if image.(j) <> st_u8 t.buf (base + j) then
       corrupt "index witness does not realize its recorded function"
   done
 
-let load library path =
-  let buf = Checkpoint.read_file path in
-  let len = Bytes.length buf in
-  if len < header_bytes + 4 then corrupt "truncated census index (%d bytes)" len;
-  if Bytes.sub_string buf 0 8 <> magic then
-    corrupt "bad magic: not a qsynth census index";
-  let stored_crc =
-    Int32.to_int (Bytes.get_int32_le buf (len - 4)) land 0xFFFFFFFF
+let of_storage ~verify library buf path =
+  let len = st_len buf in
+  if len < 12 then corrupt "truncated census index (%d bytes)" len;
+  let file_magic = st_sub_string buf 0 8 in
+  let v2 =
+    if file_magic = magic_v2 then true
+    else if file_magic = magic_v1 then false
+    else corrupt "bad magic: not a qsynth census index"
   in
-  let actual_crc = Checkpoint.crc32 buf ~off:0 ~len:(len - 4) in
+  let header_bytes = if v2 then v2_header_bytes else v1_header_bytes in
+  if len < header_bytes + 4 then corrupt "truncated census index (%d bytes)" len;
+  let stored_crc = st_u32 buf (len - 4) in
+  let actual_crc = st_crc buf ~off:0 ~len:(len - 4) in
   if stored_crc <> actual_crc then
     corrupt "CRC mismatch: stored %08x, computed %08x" stored_crc actual_crc;
   let pos = ref 8 in
   let u32 () =
-    let v = Int32.to_int (Bytes.get_int32_le buf !pos) land 0xFFFFFFFF in
+    let v = st_u32 buf !pos in
     pos := !pos + 4;
     v
   in
+  let i64 () =
+    let v = st_i64 buf !pos in
+    pos := !pos + 8;
+    v
+  in
   let v = u32 () in
-  if v <> version then mismatch "format version: file %d, supported %d" v version;
-  let fp = Bytes.get_int64_le buf !pos in
-  pos := !pos + 8;
+  let expected_version = if v2 then version else version_v1 in
+  if v <> expected_version then
+    mismatch "format version: file %d, supported %d" v expected_version;
+  let fp = i64 () in
   let expected_fp = Checkpoint.fingerprint library in
   if not (Int64.equal fp expected_fp) then
     mismatch "library fingerprint: file %Lx, library %Lx" fp expected_fp;
+  if v2 then begin
+    let sym_fp = i64 () in
+    let expected_sym = Symmetry.fingerprint (Symmetry.create library) in
+    if not (Int64.equal sym_fp expected_sym) then
+      mismatch "symmetry fingerprint: file %Lx, library %Lx" sym_fp expected_sym
+  end;
   let qubits = u32 () in
   if qubits <> Library.qubits library then
     mismatch "qubits: file %d, library %d" qubits (Library.qubits library);
@@ -268,43 +588,120 @@ let load library path =
   let idx_depth = u32 () in
   let count = u32 () in
   let log_len = u32 () in
-  let expected_len = header_bytes + (count * rec_size nb) + log_len + 4 in
+  let complete, header_histogram =
+    if not v2 then (false, None)
+    else begin
+      let flags = u32 () in
+      if flags land lnot flag_complete <> 0 then
+        corrupt "unknown flag bits %x" flags;
+      let cov = u32 () in
+      if cov <> count lsl qubits then
+        corrupt "coverage %d does not equal count %d * 2^%d" cov count qubits;
+      let hist_len = u32 () in
+      if hist_len <> idx_depth + 1 then
+        corrupt "histogram length %d does not match depth %d" hist_len idx_depth;
+      if len < header_bytes + (4 * hist_len) + 4 then
+        corrupt "truncated census index (%d bytes)" len;
+      let hist = Array.init hist_len (fun _ -> u32 ()) in
+      let complete = flags land flag_complete <> 0 in
+      if complete then begin
+        match zero_fixing_universe library with
+        | Some u when u = count -> ()
+        | Some u ->
+            corrupt "complete flag with %d records, universe %d" count u
+        | None -> corrupt "complete flag on an unenumerable universe"
+      end;
+      (complete, Some hist)
+    end
+  in
+  let records_off = !pos in
+  let log_off = records_off + (count * rec_size nb) in
+  let expected_len = log_off + log_len + 4 in
   if len <> expected_len then
     corrupt "census index length %d does not match header (%d expected)" len
       expected_len;
-  let records = Bytes.sub buf !pos (count * rec_size nb) in
-  let log = Bytes.sub buf (!pos + (count * rec_size nb)) log_len in
-  let t = { library; depth = idx_depth; nb; count; records; log } in
-  (* structural record validation *)
-  let degree = Mvl.Encoding.size (Library.encoding library) in
-  let encoding = Library.encoding library in
-  let signatures = Array.init degree (Mvl.Encoding.mixed_signature encoding) in
+  let histogram = Array.make (idx_depth + 1) 0 in
+  let t =
+    {
+      library;
+      depth = idx_depth;
+      nb;
+      count;
+      complete;
+      histogram;
+      buf;
+      records_off;
+      log_off;
+      log_len;
+    }
+  in
+  (* structural record validation — always on, every record *)
   for i = 0 to count - 1 do
-    let base = i * rec_size nb in
+    let base = records_off + (i * rec_size nb) in
     for j = 0 to nb - 1 do
-      if Bytes.get_uint8 records (base + j) >= nb then
+      if st_u8 buf (base + j) >= nb then
         corrupt "record %d: func_key byte outside the binary block" i
     done;
     if i > 0 then begin
-      let prev = Bytes.sub records ((i - 1) * rec_size nb) nb in
-      if record_key_compare t i prev <= 0 then
+      let prev = base - rec_size nb in
+      let rec cmp j =
+        if j = nb then 0
+        else
+          let c = compare (st_u8 buf (base + j)) (st_u8 buf (prev + j)) in
+          if c <> 0 then c else cmp (j + 1)
+      in
+      if cmp 0 <= 0 then
         corrupt "records out of order at %d (index not sorted or duplicated)" i
     end;
-    let cost = Bytes.get_uint8 records (base + nb) in
-    let off = Int32.to_int (Bytes.get_int32_le records (base + nb + 1)) in
-    if cost > idx_depth then corrupt "record %d: cost %d beyond depth %d" i cost idx_depth;
-    if off < 0 || off + cost > log_len then
-      corrupt "record %d: witness outside the gate log" i;
-    let gates = ref [] in
-    for k = cost - 1 downto 0 do
-      let g = Bytes.get_uint8 log (off + k) in
-      if g >= num_gates then corrupt "record %d: gate index %d out of range" i g;
-      gates := g :: !gates
+    let cost = st_u8 buf (base + nb) in
+    let off = st_u32 buf (base + nb + 1) in
+    if cost > idx_depth then
+      corrupt "record %d: cost %d beyond depth %d" i cost idx_depth;
+    if off + cost > log_len then corrupt "record %d: witness outside the gate log" i;
+    for k = 0 to cost - 1 do
+      let g = st_u8 buf (log_off + off + k) in
+      if g >= num_gates then corrupt "record %d: gate index %d out of range" i g
     done;
-    validate_witness library ~nb ~signatures
-      (Bytes.sub records base nb)
-      !gates
+    histogram.(cost) <- histogram.(cost) + 1
+  done;
+  (match header_histogram with
+  | Some hist ->
+      if hist <> histogram then
+        corrupt "header histogram does not match the records"
+  | None -> ());
+  (* witness replay: sampled by default, exhaustive on request *)
+  let encoding = Library.encoding library in
+  let degree = Mvl.Encoding.size encoding in
+  let signatures = Array.init degree (Mvl.Encoding.mixed_signature encoding) in
+  let step = match verify with Full -> 1 | Sample -> max 1 (count / 64) in
+  let verified = ref 0 in
+  let i = ref 0 in
+  while !i < count do
+    validate_witness t ~signatures !i;
+    incr verified;
+    i := !i + step
   done;
   Log.info (fun m ->
-      m "census index loaded: %d functions to cost %d from %s" count idx_depth path);
+      m "census index loaded: %d functions to cost %d%s%s from %s (%d/%d witnesses \
+         replayed)"
+        count idx_depth
+        (if complete then ", complete" else "")
+        (if mapped t then ", mmap" else "")
+        path !verified count);
   t
+
+let load ?(verify = Sample) library path =
+  of_storage ~verify library (Heap (Checkpoint.read_file path)) path
+
+let load_mmap ?(verify = Sample) library path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let map =
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        if size < 12 then corrupt "truncated census index (%d bytes)" size;
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |]))
+  in
+  of_storage ~verify library (Map map) path

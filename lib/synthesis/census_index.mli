@@ -4,50 +4,125 @@
     it finds, the {e exact} minimal cost plus one witness cascade — and,
     just as importantly, that any function it does {e not} contain costs
     more than the census depth.  This module freezes both facts into a
-    compact on-disk artifact ([QSYNIDX1], reusing the atomic-write and
+    compact on-disk artifact ([QSYNIDX2], reusing the atomic-write and
     CRC-32 machinery of {!Checkpoint}) so that later [qsynth synth]
-    invocations answer known functions with a binary search over a
-    [Bytes] block — no BFS, no census — and turn misses into a proven
-    cost lower bound for the meet-in-the-middle engine ({!Bidir}).
+    invocations answer known functions with an in-place binary search —
+    no BFS, no census — and turn misses into a proven cost lower bound
+    for the meet-in-the-middle engine ({!Bidir}).
+
+    An index can moreover be {e complete}: {!build_complete} sweeps every
+    zero-fixing function the census missed with one bidirectional query
+    each, so the file covers the whole universe — for 3 qubits, all
+    [7! = 5040] zero-fixing functions, which by the Theorem-2 coset
+    decomposition answers all [8! = 40320] members of S₈ once
+    {!Mce.strip_not_layer} has peeled the NOT layer.  A complete index
+    never misses a well-formed query, so a daemon serving one needs no
+    search engine at all.  Completeness (plus the full cost histogram
+    and a coverage count) is recorded in the v2 header; v1 files still
+    load and are by definition partial.
 
     For the 3-qubit depth-7 census: 1260 records of 13 bytes plus a
-    ~5.6 kB gate log — about 22 kB, versus ~7.6 MB for a full search
-    snapshot, because the index stores only binary {e functions} (G[k]),
-    not all 689k circuit states. *)
+    ~5.6 kB gate log — about 22 kB; the complete 5040-record index is
+    ~100 kB, versus ~7.6 MB for a full search snapshot, because the
+    index stores only binary {e functions} (G[k]), not all 689k circuit
+    states. *)
 
 type t
 
+(** How much witness replay {!load}/{!load_mmap} perform beyond the
+    always-on integrity checks (CRC-32, fingerprints, record sortedness
+    and bounds, histogram/coverage cross-checks): [Sample] replays a
+    deterministic ~64-record stride, [Full] replays every record —
+    proving the file correct by construction, not merely uncorrupted, at
+    O(count·depth) load cost. *)
+type verification = Sample | Full
+
 (** [build census] indexes every member of [census] (including the
     identity at cost 0).  The census may be partial; {!depth} then
-    reflects the completed horizon.
+    reflects the completed horizon.  A census deep enough to cover the
+    whole zero-fixing universe yields a complete index.
     @raise Invalid_argument if a witness is inconsistent (engine bug). *)
 val build : Fmcf.t -> t
 
-(** [depth t] is the census horizon: every function of cost [<= depth]
-    is present, so a miss proves cost [>= depth + 1]. *)
+(** [build_complete ?jobs ?should_stop census] extends [census] to a
+    {e complete} index: every zero-fixing function absent from the
+    census is enumerated (lexicographically — the Theorem-2 coset factor
+    costs nothing) and resolved with a bidirectional query against the
+    census's own forward wave, frozen at the census depth so [jobs]
+    worker domains share it read-only (a quotiented census gets a fresh
+    raw wave warmed to the same depth, since orbit-canonical keys carry
+    no image vectors).  Returns the index and the number of swept
+    functions; the bytes are identical regardless of [jobs] or
+    [--quotient].  [None] if [should_stop] fired before the sweep
+    finished.  The resulting {!depth} is the maximum cost over all
+    records ([2·census_depth] bounds it).
+    @raise Invalid_argument when [jobs < 1], when the universe is too
+    large to enumerate (4+ qubits), or if a sweep target exceeds every
+    bound (the library is not universal — impossible for the paper's
+    18-gate library). *)
+val build_complete :
+  ?jobs:int -> ?should_stop:(unit -> bool) -> Fmcf.t -> (t * int) option
+
+(** [depth t] is the cost horizon: every function of cost [<= depth] is
+    present, so a miss proves cost [>= depth + 1].  For a complete index
+    this is the maximum cost in the universe — 13 for 3 qubits under the
+    paper's library: the zero-fixing universe's diameter, whose spectrum
+    has a genuine empty level at cost 11 (legality constrains which gate
+    may follow which image vector, so minimal-cost levels of the binary
+    targets need not be contiguous). *)
 val depth : t -> int
 
 (** [size t] is the number of indexed functions. *)
 val size : t -> int
 
+(** [is_complete t]: every zero-fixing function of the library's
+    universe has a record, so {!find} cannot miss a well-formed query. *)
+val is_complete : t -> bool
+
+(** [coverage t] is [size t * 2^qubits] — the number of members of
+    S_{2^q} the index answers once the NOT layer is stripped (40320 for
+    a complete 3-qubit index). *)
+val coverage : t -> int
+
+(** [histogram t] is the number of records per cost, indices
+    [0..depth t].  For a complete index this is the full cost spectrum
+    of the zero-fixing universe. *)
+val histogram : t -> int array
+
+(** [mapped t] is true when the records live in a read-only mmap
+    ({!load_mmap}) rather than a heap buffer. *)
+val mapped : t -> bool
+
 (** [find t func] is [Some (cost, witness)] with the exact minimal cost
     and a minimal witness cascade, or [None] — which for an in-horizon
-    census means {e proven} cost [> depth t].  [None] also for a
-    function whose bit width does not match the library.  O(log n). *)
+    census means {e proven} cost [> depth t], and for a complete index
+    cannot happen at all on a zero-fixing function of the right width.
+    [None] also for a function whose bit width does not match the
+    library.  O(log n), allocation-free until a hit materializes its
+    cascade. *)
 val find : t -> Reversible.Revfun.t -> (int * Cascade.t) option
 
 (** [save t path] atomically writes the index ({!Checkpoint.write_atomic}
     semantics: a crash never clobbers a previous file at [path]). *)
 val save : t -> string -> unit
 
-(** [load library path] reads and fully validates an index: magic and
-    CRC-32, format version, library fingerprint and shape, record
-    sortedness, and — beyond integrity — every witness is replayed
-    through the library's multiple-valued semantics (reasonable-product
-    legality at each gate, restriction equal to the recorded function),
-    so a loaded index cannot assert a wrong witness.
+(** [load ?verify library path] reads the file into the heap and
+    validates it: magic and CRC-32, format version, library and (v2)
+    symmetry fingerprints, shape, record sortedness and bounds, and the
+    v2 histogram/coverage cross-checks; witness replay per [verify]
+    (default [Sample]).
     @raise Checkpoint.Corrupt on damage (truncation, CRC, structure,
     invalid witness);
     @raise Checkpoint.Mismatch on a well-formed index for a different
     library or format version. *)
-val load : Library.t -> string -> t
+val load : ?verify:verification -> Library.t -> string -> t
+
+(** [load_mmap ?verify library path] is {!load} over a read-only
+    [Unix.map_file] mapping instead of a heap copy: validation streams
+    the pages once (the CRC), after which lookups touch only the pages
+    the binary search walks and the OS page cache shares them across
+    replica processes.  Dropping the returned index unmaps the file via
+    the [Bigarray] finalizer, so a SIGHUP hot swap is safe: in-flight
+    lookups keep the old mapping alive until they finish.  Same
+    validation and exceptions as {!load}. *)
+val load_mmap : ?verify:verification -> Library.t -> string -> t

@@ -10,6 +10,24 @@ let m_realizations = Telemetry.Counter.create "mce.realizations"
 let m_plan_index = Telemetry.Counter.create "mce.plan.index"
 let m_plan_bidir = Telemetry.Counter.create "mce.plan.bidir"
 let m_plan_forward = Telemetry.Counter.create "mce.plan.forward"
+let m_plan_fallback = Telemetry.Counter.create "mce.plan.fallback_reason"
+
+(* One warning per process the first time a partial index fails to
+   answer and the planner silently reaches for a search engine — the
+   situation is correct but surprising (the fix is a deeper census or a
+   complete index), so say why once instead of spamming per query. *)
+let fallback_logged = Atomic.make false
+
+let note_fallback ~horizon ~max_depth ~engine =
+  Telemetry.Counter.incr m_plan_fallback;
+  if not (Atomic.exchange fallback_logged true) then
+    Log.warn (fun m ->
+        m
+          "index horizon %d cannot answer a miss at max_depth %d: falling back \
+           to %s (this partial index leaves every deeper query to a live \
+           search; build one with `census --complete --emit-index` to serve \
+           everything from the index)"
+          horizon max_depth engine)
 let g_depth_reached = Telemetry.Gauge.create "mce.depth_reached"
 let h_search = Telemetry.Histogram.create "mce.search.seconds"
 
@@ -767,7 +785,13 @@ let solve ?(jobs = 1) ?(should_stop = no_stop) ?index ?bidir library
                             ok Response.Index_certified
                               (Response.Unrealizable { max_depth = req.max_depth })
                       | None ->
-                          if Census_index.depth idx >= req.max_depth then begin
+                          if Census_index.is_complete idx then
+                            fail
+                              (Response.Internal
+                                 "complete index failed to answer a zero-fixing \
+                                  remainder — the index does not match this \
+                                  library")
+                          else if Census_index.depth idx >= req.max_depth then begin
                             Telemetry.Counter.incr m_plan_index;
                             ok Response.Index_certified
                               (Response.Unrealizable { max_depth = req.max_depth })
@@ -781,24 +805,31 @@ let solve ?(jobs = 1) ?(should_stop = no_stop) ?index ?bidir library
                                      through"
                                     (Census_index.depth idx) req.max_depth))))
               | Auto -> (
-                  let lower_bound = ref 1 in
-                  let index_hit =
+                  let probe =
                     match index with
-                    | None -> None
+                    | None -> `No_index
                     | Some idx -> (
                         match Census_index.find idx remainder with
                         | Some (cost, cascade) ->
                             Telemetry.Counter.incr m_plan_index;
                             Log.debug (fun m -> m "index hit: cost %d" cost);
-                            Some (cost, cascade)
+                            `Hit (cost, cascade)
                         | None ->
-                            lower_bound := Census_index.depth idx + 1;
-                            Log.debug (fun m ->
-                                m "index miss: cost >= %d proven" !lower_bound);
-                            None)
+                            (* A complete index cannot miss a zero-fixing
+                               remainder of the library's width: every such
+                               function has a record.  Never silently search
+                               past this — it means the file and the library
+                               disagree despite the fingerprints. *)
+                            if Census_index.is_complete idx then `Broken
+                            else begin
+                              Log.debug (fun m ->
+                                  m "index miss: cost >= %d proven"
+                                    (Census_index.depth idx + 1));
+                              `Miss (Census_index.depth idx)
+                            end)
                   in
-                  match index_hit with
-                  | Some (cost, cascade) ->
+                  match probe with
+                  | `Hit (cost, cascade) ->
                       if cost <= req.max_depth then
                         ok Response.Index_hit
                           (Response.Synthesized
@@ -806,19 +837,35 @@ let solve ?(jobs = 1) ?(should_stop = no_stop) ?index ?bidir library
                       else
                         ok Response.Index_certified
                           (Response.Unrealizable { max_depth = req.max_depth })
-                  | None ->
-                      if !lower_bound > req.max_depth then begin
+                  | `Broken ->
+                      fail
+                        (Response.Internal
+                           "complete index failed to answer a zero-fixing \
+                            remainder — the index does not match this library")
+                  | (`No_index | `Miss _) as probe ->
+                      let lower_bound =
+                        match probe with `Miss d -> d + 1 | `No_index -> 1
+                      in
+                      if lower_bound > req.max_depth then begin
                         (* the index horizon covers the whole depth bound: a
                            miss is a certified Unrealizable, no search needed *)
                         Telemetry.Counter.incr m_plan_index;
                         ok Response.Index_certified
                           (Response.Unrealizable { max_depth = req.max_depth })
                       end
-                      else (
+                      else begin
+                        (match probe with
+                        | `Miss horizon ->
+                            note_fallback ~horizon ~max_depth:req.max_depth
+                              ~engine:
+                                (match bidir with
+                                | Some _ -> "the meet-in-the-middle engine"
+                                | None -> "a forward BFS")
+                        | `No_index -> ());
                         match bidir with
-                        | Some engine ->
-                            bidir_synthesize ~lower_bound:!lower_bound engine
-                        | None -> forward_synthesize ()))))
+                        | Some engine -> bidir_synthesize ~lower_bound engine
+                        | None -> forward_synthesize ()
+                      end)))
 
 (* {1 Legacy entry points} *)
 

@@ -206,12 +206,19 @@ end
     every failure mode is a typed {!Response.error}.
 
     [index] serves known functions in O(log n) and turns misses into
-    proven lower bounds.  [bidir] is a shared meet-in-the-middle context
-    ({!Bidir.create}, built for the same library); with it a query can
-    certify costs up to [max_depth] even beyond the forward engine's
-    practical depth.  With neither, the original forward BFS runs.
-    [jobs] (default 1) is the forward BFS worker-domain count; it does
-    not affect results (see {!Search.create}).
+    proven lower bounds.  A {e complete} index
+    ({!Census_index.is_complete}) answers every realizable request as
+    [Index_hit] and never falls through to a search — an impossible miss
+    on one is reported as [Internal], not silently searched.  On a
+    {e partial} index, the first miss that does fall through logs the
+    index horizon and the chosen engine once per process and bumps the
+    [mce.plan.fallback_reason] counter.  [bidir] is a shared
+    meet-in-the-middle context ({!Bidir.create}, built for the same
+    library); with it a query can certify costs up to [max_depth] even
+    beyond the forward engine's practical depth.  With neither, the
+    original forward BFS runs.  [jobs] (default 1) is the forward BFS
+    worker-domain count; it does not affect results (see
+    {!Search.create}).
 
     [should_stop] is a cooperative cancellation flag polled between
     levels and between expansion chunks; when it fires the evaluation

@@ -159,7 +159,10 @@ let test_index_round_trip () =
 
 let save_to path = Census_index.save (Lazy.force index7) path
 
-let reload path = ignore (Census_index.load library3 path)
+(* tests replay every witness — the sampled default is covered by
+   test_complete_index's loader-equivalence check *)
+let reload path =
+  ignore (Census_index.load ~verify:Census_index.Full library3 path)
 
 let patch path ~pos bytes =
   let buf = Checkpoint.read_file path in
@@ -232,20 +235,79 @@ let test_index_rejects_mismatch () =
   expect_mismatch "different library" (fun () ->
       ignore (Census_index.load (Library.feynman_only library3) path))
 
+(* QSYNIDX2 layout constants for the depth-7 index under test: the
+   records start after the fixed header and the (depth+1)-entry
+   histogram, the gate log after the records. *)
+let nb = 8
+let rec_size = nb + 1 + 4
+let v2_header_bytes = 8 + 4 + 8 + 8 + (9 * 4)
+let records_off = v2_header_bytes + (4 * (7 + 1))
+let log_off = records_off + (census_total * rec_size)
+
 let test_index_rejects_forged_witness () =
   with_temp_file @@ fun path ->
   save_to path;
   (* records sort by func_key, so record 0 is the identity (cost 0) and
      record 1 is some non-identity function; zeroing record 1's cost byte
-     and re-CRCing forges a file that passes every integrity check yet
-     claims that function has an empty witness — the semantic replay
-     (empty cascade realizes only the identity) must reject it *)
-  let nb = 8 in
-  let rec_size = nb + 1 + 4 in
-  let header_bytes = 8 + 4 + 8 + (6 * 4) in
-  patch path ~pos:(header_bytes + rec_size + nb) "\x00";
+     and re-CRCing forges a file that passes the integrity checks yet
+     claims that function has an empty witness — the header histogram no
+     longer matches the records, so the cross-check must reject it *)
+  patch path ~pos:(records_off + rec_size + nb) "\x00";
   refresh_crc path;
-  expect_corrupt "forged empty witness" (fun () -> reload path)
+  expect_corrupt "forged empty witness" (fun () -> reload path);
+  (* a deeper forgery that keeps every structural invariant intact:
+     rewrite one gate-log byte to a different (valid) library gate.
+     Counts, costs, offsets and the histogram all still agree — only the
+     witness-replay validator can notice the cascade now computes a
+     different function than the record's key claims *)
+  save_to path;
+  let buf = Checkpoint.read_file path in
+  let original = Bytes.get_uint8 buf log_off in
+  let forged = (original + 1) mod Library.size library3 in
+  patch path ~pos:log_off (String.make 1 (Char.chr forged));
+  refresh_crc path;
+  expect_corrupt "forged gate-log byte" (fun () -> reload path)
+
+let test_v1_format_still_loads () =
+  (* a QSYNIDX1 file is byte-slicable out of a QSYNIDX2 one: same
+     fingerprint, same six leading fields, same records and gate log —
+     minus the symmetry fingerprint, flags, coverage and histogram.
+     Hand-assembling one proves pre-sweep index files keep loading (as
+     partial indexes) after the format bump. *)
+  with_temp_file @@ fun path ->
+  save_to path;
+  let v2 = Checkpoint.read_file path in
+  let v1_header = 8 + 4 + 8 + (6 * 4) in
+  let payload_len = Bytes.length v2 - 4 - records_off in
+  let v1 = Bytes.create (v1_header + payload_len + 4) in
+  Bytes.blit_string "QSYNIDX1" 0 v1 0 8;
+  Bytes.set_int32_le v1 8 1l;
+  (* fingerprint + qubits/nb/num_gates/depth/count/log_len ride along *)
+  Bytes.blit v2 12 v1 12 8;
+  Bytes.blit v2 28 v1 20 (6 * 4);
+  Bytes.blit v2 records_off v1 v1_header payload_len;
+  Bytes.set_int32_le v1
+    (v1_header + payload_len)
+    (Int32.of_int
+       (Checkpoint.crc32 v1 ~off:0 ~len:(v1_header + payload_len)));
+  let fd = open_out_bin path in
+  output_bytes fd v1;
+  close_out fd;
+  let idx = Census_index.load ~verify:Census_index.Full library3 path in
+  check Alcotest.int "v1 size" census_total (Census_index.size idx);
+  check Alcotest.int "v1 depth" 7 (Census_index.depth idx);
+  checkb "v1 is partial by definition" false (Census_index.is_complete idx);
+  (match Census_index.find idx toffoli with
+  | Some (5, _) -> ()
+  | Some (c, _) -> Alcotest.failf "v1 toffoli cost %d" c
+  | None -> Alcotest.fail "v1 toffoli missing");
+  (* same records, same derived histogram as the v2 original *)
+  let v2_idx = Lazy.force index7 in
+  check
+    Alcotest.(array int)
+    "v1 histogram matches v2"
+    (Census_index.histogram v2_idx)
+    (Census_index.histogram idx)
 
 (* {1 Mce integration: planner and shared queries} *)
 
@@ -320,6 +382,8 @@ let () =
           Alcotest.test_case "mismatch rejection" `Quick test_index_rejects_mismatch;
           Alcotest.test_case "forged witness rejection" `Quick
             test_index_rejects_forged_witness;
+          Alcotest.test_case "QSYNIDX1 files still load" `Quick
+            test_v1_format_still_loads;
         ] );
       ( "mce planner",
         [
