@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (printed first, with wall-clock timings), then runs one Bechamel
    micro-benchmark per experiment, and finally writes the machine-readable
-   perf artifact BENCH_9.json (named experiment timings + bechamel
+   perf artifact BENCH_10.json (named experiment timings + bechamel
    estimates + parallel-census rows for jobs = 1/2/4 with the effective
    rank count + the checkpoint durability overhead row + quotient-vs-raw
    census rows at depths 7 and 8 + distributed-census rows comparing
@@ -12,7 +12,9 @@
    size, heap vs mmap cold start, cost-8 probe p50/p99 against a warm
    meet-in-the-middle engine with a >= 100x p99 gate) +
    server-latency rows comparing a warm service against one-shot cold
-   evaluation + the telemetry snapshot of the depth-7 census).  Each
+   evaluation + the nft_census gate-library section timing Younes's NFT
+   universe next to the paper's at depth 5 + the telemetry snapshot of
+   the depth-7 census).  Each
    PR that moves performance appends BENCH_N.json in the same schema to
    track the perf trajectory; the schema is documented in
    doc/OBSERVABILITY.md.
@@ -1233,9 +1235,37 @@ let run_bechamel () =
    per-experiment wall-clock and engine counters can be compared across
    the repository's history. *)
 
+(* Gate-library plugins: the BENCH_10 experiment.  Times the depth-5
+   census of the NFT library (Younes's 18 classical gates, arXiv:1304.5804,
+   counting the full S8 universe with priced NOTs) next to the paper's
+   library at the same depth.  The NFT count row is the published Younes
+   spectrum prefix — pinned by the test suite and the CI smoke job, so a
+   regression in the plugin machinery shows up here as wrong counts, not
+   just as different timings. *)
+let reproduce_nft_census () =
+  hr "Gate-library plugins: depth-5 NFT census vs paper18";
+  let print_row label values =
+    Format.printf "%-28s" label;
+    List.iter (fun v -> Format.printf " %6d" v) values;
+    Format.printf "@."
+  in
+  let run name library =
+    let t0 = Unix.gettimeofday () in
+    let census = Fmcf.run ~max_depth:5 library in
+    let dt = Unix.gettimeofday () -. t0 in
+    let counts = Fmcf.counts census in
+    print_row (name ^ " |" ^ (if Library.coset_reduction library then "G" else "S8") ^ "[k]|")
+      (List.map snd counts);
+    Format.printf "%-28s %.3fs, %d functions@." "" dt (Fmcf.total_found census);
+    (counts, dt)
+  in
+  let nft = run "nft" (Library.of_name "nft") in
+  let paper18 = run "paper18" library3 in
+  (nft, paper18)
+
 let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoint_row
     ~quotient_rows ~distrib ~query_rows ~complete_index ~server_latency
-    ~server_load path =
+    ~server_load ~nft_census path =
   let open Telemetry in
   let distrib_capable, distrib_ratio, distrib_rows = distrib in
   let distrib_row_json (label, depth, workers, faulted, dt, states, reason, stats) =
@@ -1294,7 +1324,7 @@ let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoi
     Json.Obj
       [
         ("schema_version", Json.Int 1);
-        ("bench_id", Json.Int 9);
+        ("bench_id", Json.Int 10);
         ("generated_by", Json.String "bench/main.ml");
         ("unix_time", Json.Float (Unix.time ()));
         ("ocaml_version", Json.String Sys.ocaml_version);
@@ -1308,6 +1338,19 @@ let write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoi
                !timings) );
         ( "bechamel_ns_per_run",
           Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) bechamel_rows) );
+        ( "nft_census",
+          (* depth-5 library-plugin row: Younes's NFT universe next to the
+             paper's library under identical search settings *)
+          let row ((counts : (int * int) list), dt) =
+            Json.Obj
+              [
+                ("seconds", Json.Float dt);
+                ("counts", Json.List (List.map (fun (_, n) -> Json.Int n) counts));
+              ]
+          in
+          let nft, paper18 = nft_census in
+          Json.Obj
+            [ ("depth", Json.Int 5); ("nft", row nft); ("paper18", row paper18) ] );
         ( "parallel_census",
           Json.List
             (List.map
@@ -1474,8 +1517,9 @@ let () =
   let checkpoint_row = reproduce_checkpoint_overhead () in
   let quotient_rows = reproduce_quotient_census () in
   let distrib = reproduce_distributed_census () in
+  let nft_census = experiment "ext/nft-census" reproduce_nft_census in
   let bechamel_rows = run_bechamel () in
-  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_9.json" in
+  let path = try Sys.getenv "BENCH_OUT" with Not_found -> "BENCH_10.json" in
   write_bench_json ~telemetry_snapshot ~bechamel_rows ~parallel_rows ~checkpoint_row
     ~quotient_rows ~distrib ~query_rows ~complete_index ~server_latency
-    ~server_load path
+    ~server_load ~nft_census path

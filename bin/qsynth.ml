@@ -102,6 +102,21 @@ let telemetry_term = Term.(const setup_telemetry $ verbose_arg $ metrics_arg $ t
 
 let make_library qubits = Library.make (Mvl.Encoding.make ~qubits)
 
+(* --library: validated by Cmdliner as an enum over the registry, so an
+   unknown name is a usage error (exit 2) listing the alternatives —
+   consistent with every other enumerated flag. *)
+let library_arg =
+  let choices = List.map (fun n -> (n, n)) Library.Registry.names in
+  let doc =
+    Printf.sprintf
+      "Gate library (census universe): %s.  Run $(b,qsynth libraries) for \
+       each library's gate count and fingerprint.  Default: %s, the paper's \
+       18-gate CV/CV\xe2\x80\xa0/CNOT library."
+      (Arg.doc_alts_enum choices) Library.default_name
+  in
+  Arg.(value & opt (enum choices) Library.default_name
+       & info [ "library" ] ~docv:"NAME" ~doc)
+
 (* {1 Cooperative cancellation}
 
    SIGINT/SIGTERM set an atomic flag that the search polls between
@@ -289,9 +304,9 @@ let print_quotient_stats census =
         (float_of_int !tot_s /. float_of_int (max 1 !tot_o))
 
 let census_cmd =
-  let run finish_telemetry qubits depth jobs paper_variant quotient stats save
-      emit_index complete checkpoint every resume max_states max_mem timeout
-      workers worker_cmd attach =
+  let run finish_telemetry qubits depth jobs library_name paper_variant quotient
+      stats save emit_index complete checkpoint every resume max_states max_mem
+      timeout workers worker_cmd attach =
     (* An async checkpoint write may be in flight when an exception
        escapes; let it finish (best effort) so the file keeps the last
        boundary — the primary error is what gets reported. *)
@@ -300,7 +315,13 @@ let census_cmd =
       finish_telemetry ()
     in
     guarded ~finish @@ fun () ->
-    let library = make_library qubits in
+    let library = Library.of_name ~qubits library_name in
+    if paper_variant && not (Library.coset_reduction library) then
+      failwith
+        (Printf.sprintf
+           "--paper-variant reproduces the paper's Table 2 and only applies \
+            to its own library (%s); library %s counts a different universe"
+           Library.default_name library_name);
     if paper_variant && quotient then
       failwith
         "--paper-variant cannot be combined with --quotient: the paper's \
@@ -417,7 +438,27 @@ let census_cmd =
        back to a plain partial index with a warning. *)
     let sweep_cancelled = ref false in
     let build_index () =
-      if complete && reason = Fmcf.Completed then begin
+      if complete && not (Library.coset_reduction library) then begin
+        (* No NOT-coset factor to enumerate: the Theorem-2 sweep does not
+           apply.  A full-group census that reached the library's diameter
+           already covers the whole universe, so [build] marks the index
+           complete by itself. *)
+        let index = Census_index.build census in
+        if Census_index.is_complete index then
+          Format.printf
+            "complete index: %d functions = all of S%d, max cost %d@."
+            (Census_index.size index) (1 lsl qubits)
+            (Census_index.depth index)
+        else
+          Format.eprintf
+            "warning: library %s has no coset sweep; the index covers %d of \
+             the universe's functions — run the census to the library's full \
+             diameter for a complete index@."
+            (Library.name library)
+            (Census_index.size index);
+        Some index
+      end
+      else if complete && reason = Fmcf.Completed then begin
         match Census_index.build_complete ~jobs ~should_stop census with
         | Some (index, swept) ->
             let hist = Census_index.histogram index in
@@ -460,15 +501,31 @@ let census_cmd =
         | None -> ())
     | None -> if complete then ignore (build_index ()));
     let counts = if paper_variant then Fmcf.paper_counts census else Fmcf.counts census in
-    Format.printf "Table 2: number of circuits with cost k (%d qubits, depth %d%s)@."
-      qubits depth
-      (if Fmcf.quotiented census then ", symmetry quotient" else "");
-    Format.printf "Cost k  :";
-    List.iter (fun (k, _) -> Format.printf " %6d" k) counts;
-    Format.printf "@.|G[k]|  :";
-    List.iter (fun (_, n) -> Format.printf " %6d" n) counts;
-    Format.printf "@.|S%d[k]| :" (1 lsl qubits);
-    List.iter (fun (_, n) -> Format.printf " %6d" (n * (1 lsl qubits))) counts;
+    if Library.coset_reduction library then begin
+      Format.printf "Table 2: number of circuits with cost k (%d qubits, depth %d%s)@."
+        qubits depth
+        (if Fmcf.quotiented census then ", symmetry quotient" else "");
+      Format.printf "Cost k  :";
+      List.iter (fun (k, _) -> Format.printf " %6d" k) counts;
+      Format.printf "@.|G[k]|  :";
+      List.iter (fun (_, n) -> Format.printf " %6d" n) counts;
+      Format.printf "@.|S%d[k]| :" (1 lsl qubits);
+      List.iter (fun (_, n) -> Format.printf " %6d" (n * (1 lsl qubits))) counts
+    end
+    else begin
+      (* No free NOT layer: the census counts the full symmetric group
+         directly, so the zero-fixing |G[k]| row and its 2^n-scaled coset
+         row would both be wrong here. *)
+      Format.printf
+        "Census: number of circuits with cost k (library %s, %d qubits, \
+         depth %d%s)@."
+        (Library.name library) qubits depth
+        (if Fmcf.quotiented census then ", symmetry quotient" else "");
+      Format.printf "Cost k  :";
+      List.iter (fun (k, _) -> Format.printf " %6d" k) counts;
+      Format.printf "@.|S%d[k]| :" (1 lsl qubits);
+      List.iter (fun (_, n) -> Format.printf " %6d" n) counts
+    end;
     Format.printf "@.total functions found: %d; search states: %d; %.2fs@."
       (Fmcf.total_found census)
       (Search.size (Fmcf.search census))
@@ -610,10 +667,11 @@ let census_cmd =
     (Cmd.info "census" ~exits:contract_exits
        ~doc:"Reproduce Table 2: |G[k]| for k = 0..depth.")
     Term.(
-      const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ paper_flag
-      $ quotient_flag $ stats_flag $ save_arg $ emit_index_arg $ complete_flag
-      $ checkpoint_arg $ every_arg $ resume_arg $ max_states_arg $ max_mem_arg
-      $ timeout_arg $ workers_arg $ worker_cmd_arg $ attach_arg)
+      const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg
+      $ library_arg $ paper_flag $ quotient_flag $ stats_flag $ save_arg
+      $ emit_index_arg $ complete_flag $ checkpoint_arg $ every_arg
+      $ resume_arg $ max_states_arg $ max_mem_arg $ timeout_arg $ workers_arg
+      $ worker_cmd_arg $ attach_arg)
 
 (* The worker half of the distributed census: speaks the QSYNDST1
    protocol on stdin/stdout (the spawn path) or on a single accepted
@@ -752,10 +810,10 @@ let verify_index_arg =
 (* synth *)
 
 let synth_cmd =
-  let run finish_telemetry qubits depth jobs all json index_path verify_index
-      use_bidir warm_depth spec =
+  let run finish_telemetry qubits depth jobs library_name all json index_path
+      verify_index use_bidir warm_depth spec =
     guarded ~finish:finish_telemetry @@ fun () ->
-    let library = make_library qubits in
+    let library = Library.of_name ~qubits library_name in
     let should_stop = install_cancel () in
     (* the load validates magic/CRC/fingerprints/structure (and witnesses
        per --verify-index) and raises Checkpoint.Corrupt/Mismatch —
@@ -787,7 +845,9 @@ let synth_cmd =
       if all then Mce.Request.Enumerate { limit = enumerate_limit }
       else Mce.Request.Synthesize
     in
-    let req = Mce.Request.make ~qubits ~task ~max_depth:depth spec in
+    let req =
+      Mce.Request.make ~qubits ~library:library_name ~task ~max_depth:depth spec
+    in
     let t0 = Unix.gettimeofday () in
     let resp = Mce.solve ~jobs ~should_stop ?index ?bidir library req in
     if json then print_endline (Mce.Response.to_string resp)
@@ -823,9 +883,9 @@ let synth_cmd =
        ~doc:"Synthesize a minimal-cost quantum cascade for a reversible function \
              (the paper's MCE algorithm).")
     Term.(
-      const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg $ all_flag
-      $ json_flag $ index_arg $ verify_index_arg $ bidir_flag $ warm_depth_arg
-      $ spec_arg)
+      const run $ telemetry_term $ qubits_arg $ depth_arg $ jobs_arg
+      $ library_arg $ all_flag $ json_flag $ index_arg $ verify_index_arg
+      $ bidir_flag $ warm_depth_arg $ spec_arg)
 
 (* serve *)
 
@@ -845,9 +905,9 @@ let serve_cmd =
       const (fun v m t -> (setup_telemetry v m t, m))
       $ verbose_arg $ metrics_arg $ trace_arg)
   in
-  let run (finish_telemetry, metrics_path) qubits jobs socket index_path
-      verify_index warm_depth workers queue_capacity cache_capacity
-      metrics_port trace_file slow_ms =
+  let run (finish_telemetry, metrics_path) qubits jobs library_name
+      also_libraries socket index_path verify_index warm_depth workers
+      queue_capacity cache_capacity metrics_port trace_file slow_ms =
     guarded ~finish:finish_telemetry @@ fun () ->
     (* Readiness: false until the index is loaded, the engine warmed and
        the daemon accepting; false again the moment the drain begins —
@@ -884,7 +944,14 @@ let serve_cmd =
           oc)
         trace_file
     in
-    let library = make_library qubits in
+    let library = Library.of_name ~qubits library_name in
+    let secondary =
+      List.filter_map
+        (fun n ->
+          if String.equal n library_name then None
+          else Some (Library.of_name ~qubits n))
+        (List.sort_uniq String.compare also_libraries)
+    in
     let verify =
       if verify_index then Census_index.Full else Census_index.Sample
     in
@@ -902,8 +969,11 @@ let serve_cmd =
     | None -> ());
     let service =
       Server.Service.create ~jobs ?index ~warm_depth ~cache_capacity
-        ~index_verify:verify library
+        ~index_verify:verify ~libraries:secondary library
     in
+    if secondary <> [] then
+      Format.printf "libraries: %s@."
+        (String.concat ", " (Server.Service.libraries service));
     service_ref := Some service;
     let daemon =
       Server.Daemon.start ~workers ~queue_capacity ?slow_ms
@@ -1013,6 +1083,20 @@ let serve_cmd =
     Arg.(value & opt (pos_int ~what:"WORKERS") 2 & info [ "workers" ] ~docv:"N"
            ~doc:"Worker domains evaluating queries in parallel.")
   in
+  let also_library_arg =
+    let choices = List.map (fun n -> (n, n)) Library.Registry.names in
+    Arg.(value & opt_all (enum choices) [] & info [ "also-library" ] ~docv:"NAME"
+           ~doc:(Printf.sprintf
+                   "Additionally serve requests for library $(docv) (%s; \
+                    repeatable).  Each extra library gets its own cold \
+                    forward-BFS engine, so its answers are byte-identical to \
+                    one-shot $(b,qsynth synth --json --library) $(docv); the \
+                    $(b,--index) and $(b,--warm-depth) engines stay bound to \
+                    the primary $(b,--library).  Requests naming a library \
+                    the daemon was not configured with fail with the \
+                    'bad-request' error listing the configured ones."
+                   (Arg.doc_alts_enum choices)))
+  in
   let queue_arg =
     Arg.(value & opt (pos_int ~what:"QUEUE") 64 & info [ "queue" ] ~docv:"N"
            ~doc:"Bound on the accepted-but-unstarted request queue; beyond it \
@@ -1078,9 +1162,10 @@ let serve_cmd =
              (validated first; kept unchanged on corruption or mismatch) \
              without dropping in-flight requests.")
     Term.(
-      const run $ serve_telemetry_term $ qubits_arg $ jobs_arg $ socket_arg
-      $ index_arg $ verify_index_arg $ warm_depth_arg $ workers_arg
-      $ queue_arg $ cache_arg $ metrics_port_arg $ trace_file_arg $ slow_arg)
+      const run $ serve_telemetry_term $ qubits_arg $ jobs_arg $ library_arg
+      $ also_library_arg $ socket_arg $ index_arg $ verify_index_arg
+      $ warm_depth_arg $ workers_arg $ queue_arg $ cache_arg
+      $ metrics_port_arg $ trace_file_arg $ slow_arg)
 
 (* query *)
 
@@ -1159,8 +1244,8 @@ let query_cmd =
 let m_client_retries = Telemetry.Counter.create "client.retries"
 
 let batch_cmd =
-  let run finish_telemetry qubits jobs socket index_path verify_index
-      warm_depth max_retries file =
+  let run finish_telemetry qubits jobs library_name socket index_path
+      verify_index warm_depth max_retries file =
     guarded ~finish:finish_telemetry @@ fun () ->
     let ic = if file = "-" then stdin else open_in file in
     Fun.protect ~finally:(fun () -> if file <> "-" then close_in_noerr ic)
@@ -1196,7 +1281,7 @@ let batch_cmd =
       | None ->
           (* no daemon: evaluate locally against one warm service, so a
              whole file amortizes the same warm-up a daemon would *)
-          let library = make_library qubits in
+          let library = Library.of_name ~qubits library_name in
           let verify =
             if verify_index then Census_index.Full else Census_index.Sample
           in
@@ -1275,9 +1360,9 @@ let batch_cmd =
        ~doc:"Evaluate a JSONL file of requests — locally against one warm \
              engine, or through a daemon with $(b,--socket).")
     Term.(
-      const run $ telemetry_term $ qubits_arg $ jobs_arg $ socket_opt_arg
-      $ index_arg $ verify_index_arg $ warm_depth_arg $ max_retries_arg
-      $ file_arg)
+      const run $ telemetry_term $ qubits_arg $ jobs_arg $ library_arg
+      $ socket_opt_arg $ index_arg $ verify_index_arg $ warm_depth_arg
+      $ max_retries_arg $ file_arg)
 
 (* table1 *)
 
@@ -1464,9 +1549,9 @@ let describe_cmd =
 (* spectrum *)
 
 let spectrum_cmd =
-  let run finish_telemetry depth jobs probe =
+  let run finish_telemetry depth jobs library_name probe =
     guarded ~finish:finish_telemetry @@ fun () ->
-    let library = make_library 3 in
+    let library = Library.of_name ~qubits:3 library_name in
     let t0 = Unix.gettimeofday () in
     let census = Fmcf.run ~max_depth:depth ~jobs library in
     Format.printf "census to depth %d: %.1fs, %d functions@." depth
@@ -1513,9 +1598,12 @@ let spectrum_cmd =
   in
   Cmd.v
     (Cmd.info "spectrum"
-       ~doc:"Complete the minimal-cost spectrum of all 5040 NOT-free reversible \
-             functions: exact costs up to the census depth, provable bounds beyond.")
-    Term.(const run $ telemetry_term $ depth_arg $ jobs_arg $ probe_flag)
+       ~doc:"Complete the minimal-cost spectrum of the library's universe — \
+             all 5040 NOT-free reversible functions under the paper's coset \
+             reduction, all 40320 of S8 for a full-group library \
+             ($(b,--library) nct/nft): exact costs up to the census depth, \
+             provable bounds beyond.")
+    Term.(const run $ telemetry_term $ depth_arg $ jobs_arg $ library_arg $ probe_flag)
 
 (* draw *)
 
@@ -1634,6 +1722,32 @@ let ablation_cmd =
              becomes unsound.")
     Term.(const run $ depth_arg)
 
+(* libraries *)
+
+let libraries_cmd =
+  let run qubits =
+    guarded @@ fun () ->
+    Format.printf "%-10s %6s %6s  %-16s  %s@." "name" "qubits" "gates"
+      "fingerprint" "summary";
+    List.iter
+      (fun d ->
+        let lib = Library.Registry.instantiate ~qubits d in
+        Format.printf "%-10s %6d %6d  %016Lx  %s@."
+          (Library.Registry.name d) qubits (Library.size lib)
+          (Checkpoint.fingerprint lib)
+          (Library.Registry.summary d))
+      Library.Registry.all;
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "libraries"
+       ~doc:"List the registered gate libraries: name, gate count and the \
+             structural fingerprint that checkpoints, census indexes and \
+             distributed-census deltas are validated against.  Any listed \
+             name is a valid $(b,--library) argument to census, synth, \
+             spectrum, serve and batch.")
+    Term.(const run $ qubits_arg)
+
 (* Known fault-injection points; kept in sync with the Faultsim.hit call
    sites (see doc/ROBUSTNESS.md). *)
 let fault_points =
@@ -1695,6 +1809,7 @@ let () =
             spectrum_cmd;
             classical_cmd;
             describe_cmd;
+            libraries_cmd;
       ]
   in
   (* Cmdliner's stock codes (124/125) collide with the timeout/budget

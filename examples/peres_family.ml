@@ -63,7 +63,7 @@ let () =
             (fun (v, f) g ->
               match Gate.kind g with
               | Gate.Feynman -> (v, f + 1)
-              | Gate.Controlled_v | Gate.Controlled_v_dag -> (v + 1, f))
+              | _ -> (v + 1, f))
             (0, 0) cascade
         in
         v = 3 && f = 1)

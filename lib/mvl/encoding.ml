@@ -23,6 +23,17 @@ let make ~qubits =
   let signatures = Array.map Pattern.mixed_signature points in
   { qubits; points; index; signatures }
 
+let make_binary ~qubits =
+  if qubits < 1 || qubits > 10 then
+    invalid_arg "Encoding.make_binary: qubits out of range";
+  let binary = List.filter Pattern.is_binary (Pattern.all ~qubits) in
+  (* sorted with [Zero < One], so point i is binary code i, as in [make] *)
+  let points = Array.of_list binary in
+  let index = Hashtbl.create (2 * Array.length points) in
+  Array.iteri (fun i p -> Hashtbl.add index (pattern_key p) i) points;
+  let signatures = Array.map Pattern.mixed_signature points in
+  { qubits; points; index; signatures }
+
 let qubits e = e.qubits
 let size e = Array.length e.points
 let num_binary e = 1 lsl e.qubits

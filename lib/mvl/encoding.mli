@@ -20,6 +20,13 @@ type t
 (** [make ~qubits] builds the encoding ([1 <= qubits <= 10]). *)
 val make : qubits:int -> t
 
+(** [make_binary ~qubits] is the purely binary pattern domain: the [2^n]
+    binary patterns and nothing else, point [i] {e being} binary code
+    [i].  This is the natural domain of classical reversible libraries
+    (NCT, NFT): every point is pure, so no mixed signatures exist and
+    purity/banned-set machinery never binds.  ([1 <= qubits <= 10].) *)
+val make_binary : qubits:int -> t
+
 val qubits : t -> int
 
 (** [size e] is the number of permutable points (38 for 3 qubits). *)

@@ -93,13 +93,22 @@ type flight = {
   mutable f_result : Mce.Response.t option;
 }
 
-type t = {
-  library : Library.t;
-  index : Census_index.t option Atomic.t;
+(* One evaluation engine per configured library.  The primary engine
+   (head of [engines]) owns the index and the warm forward wave; the
+   secondary engines answer their universe with a cold forward BFS —
+   exactly what a one-shot [synth --library NAME] does, so daemon and
+   one-shot answers stay byte-identical per library. *)
+type engine = {
+  e_library : Library.t;
+  e_index : Census_index.t option Atomic.t;
       (* atomically swappable (SIGHUP hot reload); readers take one
          consistent snapshot per request with [Atomic.get] *)
-  bidir : Bidir.t option;
-  warm_depth : int;
+  e_bidir : Bidir.t option;
+  e_warm_depth : int;
+}
+
+type t = {
+  engines : (string * engine) list; (* head = primary; keyed by library name *)
   jobs : int;
   index_verify : Census_index.verification;
   mutex : Mutex.t; (* guards cache + inflight *)
@@ -107,12 +116,14 @@ type t = {
   inflight : (string, flight) Hashtbl.t;
 }
 
+let primary t = snd (List.hd t.engines)
+
 let publish_coverage index =
   Telemetry.Gauge.set_int g_coverage
     (match index with Some idx -> Census_index.coverage idx | None -> 0)
 
 let create ?(jobs = 1) ?index ?(warm_depth = 0) ?(cache_capacity = 1024)
-    ?(index_verify = Census_index.Sample) library =
+    ?(index_verify = Census_index.Sample) ?(libraries = []) library =
   if warm_depth < 0 then invalid_arg "Service.create: negative warm_depth";
   if cache_capacity < 0 then invalid_arg "Service.create: negative cache_capacity";
   if jobs < 1 then invalid_arg "Service.create: jobs must be >= 1";
@@ -145,11 +156,38 @@ let create ?(jobs = 1) ?index ?(warm_depth = 0) ?(cache_capacity = 1024)
     end
   in
   publish_coverage index;
+  let primary_engine =
+    {
+      e_library = library;
+      e_index = Atomic.make index;
+      e_bidir = bidir;
+      e_warm_depth = warm_depth;
+    }
+  in
+  let primary_name = Library.name library in
+  let secondary =
+    List.filter_map
+      (fun lib ->
+        let name = Library.name lib in
+        if String.equal name primary_name then None
+        else begin
+          Log.info (fun m ->
+              m "secondary engine: library %s (%d gates, cold forward BFS)"
+                name (Library.size lib));
+          Some
+            ( name,
+              {
+                e_library = lib;
+                e_index = Atomic.make None;
+                e_bidir = None;
+                e_warm_depth = 0;
+              } )
+        end)
+      libraries
+  in
+  (* last binding wins on duplicate secondary names, assoc-list style *)
   {
-    library;
-    index = Atomic.make index;
-    bidir;
-    warm_depth;
+    engines = (primary_name, primary_engine) :: secondary;
     jobs;
     index_verify;
     mutex = Mutex.create ();
@@ -157,11 +195,12 @@ let create ?(jobs = 1) ?index ?(warm_depth = 0) ?(cache_capacity = 1024)
     inflight = Hashtbl.create 64;
   }
 
-let library t = t.library
-let warm_depth t = t.warm_depth
+let library t = (primary t).e_library
+let warm_depth t = (primary t).e_warm_depth
+let libraries t = List.map fst t.engines
 
 let index_status t =
-  match Atomic.get t.index with
+  match Atomic.get (primary t).e_index with
   | None -> None
   | Some idx ->
       Some
@@ -179,9 +218,12 @@ let index_status t =
    both indexes answer with the same exact costs, only the horizon
    differs. *)
 let reload_index t path =
-  let index = Census_index.load_mmap ~verify:t.index_verify t.library path in
+  let engine = primary t in
+  let index =
+    Census_index.load_mmap ~verify:t.index_verify engine.e_library path
+  in
   Mutex.protect t.mutex (fun () ->
-      Atomic.set t.index (Some index);
+      Atomic.set engine.e_index (Some index);
       Lru.clear t.cache);
   publish_coverage (Some index);
   Log.info (fun m ->
@@ -216,15 +258,34 @@ let evaluate t ~should_stop (req : Mce.Request.t) =
   in
   let stop () = should_stop () || deadline_hit () in
   let resp =
-    try Mce.solve ~jobs:t.jobs ~should_stop:stop ?index:(Atomic.get t.index)
-          ?bidir:t.bidir t.library req
-    with exn ->
-      {
-        Mce.Response.id = req.Mce.Request.id;
-        trace = None;
-        qubits = req.Mce.Request.qubits;
-        body = Error (Mce.Response.Internal (Printexc.to_string exn));
-      }
+    match List.assoc_opt req.Mce.Request.library t.engines with
+    | None ->
+        (* deterministic per configuration, so cacheable like any other
+           Bad_request *)
+        {
+          Mce.Response.id = req.Mce.Request.id;
+          trace = None;
+          qubits = req.Mce.Request.qubits;
+          body =
+            Error
+              (Mce.Response.Bad_request
+                 (Printf.sprintf
+                    "this daemon serves libraries %s; the request asks for %s"
+                    (String.concat ", " (List.map fst t.engines))
+                    req.Mce.Request.library));
+        }
+    | Some engine -> (
+        try
+          Mce.solve ~jobs:t.jobs ~should_stop:stop
+            ?index:(Atomic.get engine.e_index) ?bidir:engine.e_bidir
+            engine.e_library req
+        with exn ->
+          {
+            Mce.Response.id = req.Mce.Request.id;
+            trace = None;
+            qubits = req.Mce.Request.qubits;
+            body = Error (Mce.Response.Internal (Printexc.to_string exn));
+          })
   in
   match resp.Mce.Response.body with
   | Error Mce.Response.Cancelled when deadline_hit () && not (should_stop ()) ->

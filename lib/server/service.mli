@@ -1,13 +1,18 @@
 (** The warm evaluation core shared by every transport.
 
-    A service owns the process-wide engine resources — the gate library,
-    an optional {!Synthesis.Census_index}, and an optional
-    meet-in-the-middle context warmed to a {e fixed} forward depth — plus
-    an LRU response cache and an in-flight coalescing table.  The daemon
-    routes every socket request through {!answer}; [qsynth synth --json]
-    and [qsynth batch] build a throwaway service and call the same
-    function, which is what makes responses byte-identical across
-    transports.
+    A service owns the process-wide engine resources — one {e engine per
+    configured gate library}, where the primary engine carries an
+    optional {!Synthesis.Census_index} and an optional
+    meet-in-the-middle context warmed to a {e fixed} forward depth —
+    plus an LRU response cache and an in-flight coalescing table shared
+    across engines (request keys embed the library name, so universes
+    never share a cache line).  Each request is routed to the engine of
+    its [library] field; a request for an unconfigured library fails
+    with [Bad_request] naming the configured ones.  The daemon routes
+    every socket request through {!answer}; [qsynth synth --json] and
+    [qsynth batch] build a throwaway service and call the same function,
+    which is what makes responses byte-identical across transports (and,
+    per library, between a two-library daemon and one-shot runs).
 
     Determinism and thread-safety: the bidir context is created with
     [max_fwd_depth = warm_depth] and warmed fully at {!create}, so after
@@ -42,6 +47,14 @@ type t
     response cache; [0] disables it.  [index_verify] (default [Sample])
     is the witness-replay level {!reload_index} applies to replacement
     files.
+
+    [libraries] (default none) configures {e secondary} engines, one per
+    additional library value: each answers requests naming its library
+    with a cold forward BFS — the same plan a one-shot
+    [synth --library NAME] without index/bidir runs, so answers agree
+    byte-for-byte.  A secondary whose name equals the primary's is
+    ignored.  The index, warm wave, {!index_status} and {!reload_index}
+    remain primary-only.
     @raise Invalid_argument on negative [warm_depth] or
     [cache_capacity], or [jobs < 1]. *)
 val create :
@@ -50,10 +63,15 @@ val create :
   ?warm_depth:int ->
   ?cache_capacity:int ->
   ?index_verify:Synthesis.Census_index.verification ->
+  ?libraries:Synthesis.Library.t list ->
   Synthesis.Library.t ->
   t
 
+(** [library t] is the primary engine's library. *)
 val library : t -> Synthesis.Library.t
+
+(** [libraries t] is every configured library name, primary first. *)
+val libraries : t -> string list
 
 (** [warm_depth t] is the fixed forward depth of the bidir context
     (0 when the service runs without one, including the complete-index

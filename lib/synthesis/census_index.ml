@@ -147,15 +147,24 @@ type t = {
 let depth t = t.depth
 let size t = t.count
 let is_complete t = t.complete
-let coverage t = t.count lsl Library.qubits t.library
+(* What one record answers: under coset reduction, a record stands for
+   its 2^q Theorem-2 NOT cosets; a full-group universe answers exactly
+   its records. *)
+let coverage_of library count =
+  if Library.coset_reduction library then count lsl Library.qubits library
+  else count
+
+let coverage t = coverage_of t.library t.count
 let histogram t = Array.copy t.histogram
 let mapped t = match t.buf with Heap _ -> false | Map _ -> true
 
-(* [Some (nb-1)!] — the number of zero-fixing members of S_{2^q}, i.e.
-   the Theorem-2 coset-representative count a complete index must hold —
+(* [Some u] — the number of functions a complete index must hold: the
+   zero-fixing members (nb-1)! of S_{2^q} under the Theorem-2 coset
+   reduction, or the full nb! for a full-group library (NCT, NFT) —
    or [None] when it exceeds the enumeration cap (4+ qubits). *)
-let zero_fixing_universe library =
-  let n = (1 lsl Library.qubits library) - 1 in
+let universe library =
+  let nb = 1 lsl Library.qubits library in
+  let n = if Library.coset_reduction library then nb - 1 else nb in
   let cap = 10_000_000 in
   let rec go acc k =
     if k > n then Some acc else if acc > cap / k then None else go (acc * k) (k + 1)
@@ -209,7 +218,7 @@ let pack library ~depth ~complete rows =
   put_u32 count;
   put_u32 log_len;
   put_u32 (if complete then flag_complete else 0);
-  put_u32 (count lsl Library.qubits library);
+  put_u32 (coverage_of library count);
   put_u32 hist_len;
   Array.iter put_u32 histogram;
   let off = ref 0 in
@@ -271,10 +280,10 @@ let census_rows census =
 let build census =
   Telemetry.Histogram.time h_build @@ fun () ->
   let library, rows = census_rows census in
-  (* A deep-enough forward census can cover the whole zero-fixing
-     universe by itself; mark it complete so the planner trusts it. *)
+  (* A deep-enough forward census can cover the library's whole universe
+     by itself; mark it complete so the planner trusts it. *)
   let complete =
-    match zero_fixing_universe library with
+    match universe library with
     | Some u -> List.length rows = u
     | None -> false
   in
@@ -327,7 +336,14 @@ let build_complete ?(jobs = 1) ?(should_stop = fun () -> false) census =
   let library, rows = census_rows census in
   let nb = Mvl.Encoding.num_binary (Library.encoding library) in
   let depth = Fmcf.depth census in
-  (match zero_fixing_universe library with
+  if not (Library.coset_reduction library) then
+    invalid_arg
+      (Printf.sprintf
+         "Census_index.build_complete: library %s has no coset reduction; a \
+          deep enough forward census (qsynth census) already yields a \
+          complete index"
+         (Library.name library));
+  (match universe library with
   | Some _ -> ()
   | None ->
       invalid_arg
@@ -566,25 +582,31 @@ let of_storage ~verify library buf path =
   let expected_version = if v2 then version else version_v1 in
   if v <> expected_version then
     mismatch "format version: file %d, supported %d" v expected_version;
+  let lib_name = Library.name library in
   let fp = i64 () in
   let expected_fp = Checkpoint.fingerprint library in
   if not (Int64.equal fp expected_fp) then
-    mismatch "library fingerprint: file %Lx, library %Lx" fp expected_fp;
+    mismatch "library fingerprint: file %Lx, library %s = %Lx" fp lib_name
+      expected_fp;
   if v2 then begin
     let sym_fp = i64 () in
     let expected_sym = Symmetry.fingerprint (Symmetry.create library) in
     if not (Int64.equal sym_fp expected_sym) then
-      mismatch "symmetry fingerprint: file %Lx, library %Lx" sym_fp expected_sym
+      mismatch "symmetry fingerprint: file %Lx, library %s = %Lx" sym_fp lib_name
+        expected_sym
   end;
   let qubits = u32 () in
   if qubits <> Library.qubits library then
-    mismatch "qubits: file %d, library %d" qubits (Library.qubits library);
+    mismatch "qubits: file %d, library %s has %d" qubits lib_name
+      (Library.qubits library);
   let nb = u32 () in
   let expected_nb = Mvl.Encoding.num_binary (Library.encoding library) in
-  if nb <> expected_nb then mismatch "num_binary: file %d, library %d" nb expected_nb;
+  if nb <> expected_nb then
+    mismatch "num_binary: file %d, library %s has %d" nb lib_name expected_nb;
   let num_gates = u32 () in
   if num_gates <> Library.size library then
-    mismatch "num_gates: file %d, library %d" num_gates (Library.size library);
+    mismatch "num_gates: file %d, library %s has %d" num_gates lib_name
+      (Library.size library);
   let idx_depth = u32 () in
   let count = u32 () in
   let log_len = u32 () in
@@ -595,8 +617,9 @@ let of_storage ~verify library buf path =
       if flags land lnot flag_complete <> 0 then
         corrupt "unknown flag bits %x" flags;
       let cov = u32 () in
-      if cov <> count lsl qubits then
-        corrupt "coverage %d does not equal count %d * 2^%d" cov count qubits;
+      if cov <> coverage_of library count then
+        corrupt "coverage %d does not match count %d for library %s" cov count
+          lib_name;
       let hist_len = u32 () in
       if hist_len <> idx_depth + 1 then
         corrupt "histogram length %d does not match depth %d" hist_len idx_depth;
@@ -605,10 +628,11 @@ let of_storage ~verify library buf path =
       let hist = Array.init hist_len (fun _ -> u32 ()) in
       let complete = flags land flag_complete <> 0 in
       if complete then begin
-        match zero_fixing_universe library with
+        match universe library with
         | Some u when u = count -> ()
         | Some u ->
-            corrupt "complete flag with %d records, universe %d" count u
+            corrupt "complete flag with %d records, library %s universe %d"
+              count lib_name u
         | None -> corrupt "complete flag on an unenumerable universe"
       end;
       (complete, Some hist)

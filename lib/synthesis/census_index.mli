@@ -40,7 +40,9 @@ type verification = Sample | Full
 (** [build census] indexes every member of [census] (including the
     identity at cost 0).  The census may be partial; {!depth} then
     reflects the completed horizon.  A census deep enough to cover the
-    whole zero-fixing universe yields a complete index.
+    library's whole universe — the zero-fixing subgroup under coset
+    reduction, the full symmetric group for NCT/NFT — yields a complete
+    index.
     @raise Invalid_argument if a witness is inconsistent (engine bug). *)
 val build : Fmcf.t -> t
 
@@ -56,10 +58,12 @@ val build : Fmcf.t -> t
     [--quotient].  [None] if [should_stop] fired before the sweep
     finished.  The resulting {!depth} is the maximum cost over all
     records ([2·census_depth] bounds it).
-    @raise Invalid_argument when [jobs < 1], when the universe is too
-    large to enumerate (4+ qubits), or if a sweep target exceeds every
-    bound (the library is not universal — impossible for the paper's
-    18-gate library). *)
+    @raise Invalid_argument when [jobs < 1], when the library has no
+    coset reduction (a full-group universe completes by deepening the
+    forward census instead — the sweep's coset enumeration would be
+    unsound), when the universe is too large to enumerate (4+ qubits),
+    or if a sweep target exceeds every bound (the library is not
+    universal — impossible for the paper's 18-gate library). *)
 val build_complete :
   ?jobs:int -> ?should_stop:(unit -> bool) -> Fmcf.t -> (t * int) option
 
@@ -79,9 +83,10 @@ val size : t -> int
     universe has a record, so {!find} cannot miss a well-formed query. *)
 val is_complete : t -> bool
 
-(** [coverage t] is [size t * 2^qubits] — the number of members of
-    S_{2^q} the index answers once the NOT layer is stripped (40320 for
-    a complete 3-qubit index). *)
+(** [coverage t] is the number of members of S_{2^q} the index answers:
+    [size t * 2^qubits] under coset reduction (the NOT layer is stripped
+    first), plain [size t] for a full-group library.  40320 for a
+    complete 3-qubit index either way. *)
 val coverage : t -> int
 
 (** [histogram t] is the number of records per cost, indices

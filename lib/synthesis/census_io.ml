@@ -10,6 +10,8 @@ let save ?note census path =
     ~finally:(fun () -> close_out out)
     (fun () ->
       Printf.fprintf out "# qsynth census: cost <TAB> cycles <TAB> cascade\n";
+      let library = Search.library (Fmcf.search census) in
+      Printf.fprintf out "# library: %s\n" (Library.name library);
       (match note with
       | Some n -> Printf.fprintf out "# %s\n" n
       | None -> ());
@@ -41,7 +43,26 @@ let load library path =
            let line = input_line input in
            incr line_number;
            let line = String.trim line in
-           if line <> "" && line.[0] <> '#' then begin
+           let library_prefix = "# library:" in
+           if
+             String.length line >= String.length library_prefix
+             && String.sub line 0 (String.length library_prefix) = library_prefix
+           then begin
+             let file_lib =
+               String.trim
+                 (String.sub line
+                    (String.length library_prefix)
+                    (String.length line - String.length library_prefix))
+             in
+             if not (String.equal file_lib (Library.name library)) then
+               raise
+                 (Checkpoint.Mismatch
+                    (Printf.sprintf
+                       "census file %s was written for library %s, loading \
+                        with library %s"
+                       path file_lib (Library.name library)))
+           end
+           else if line <> "" && line.[0] <> '#' then begin
              match String.split_on_char '\t' line with
              | [ cost_str; cycles; cascade_str ] ->
                  let cost =

@@ -18,13 +18,17 @@ type entry = {
 }
 
 (** [save ?note census path] writes every census member with its witness
-    cascade.  [note], when given, is emitted as a [#] comment right after
-    the format banner — used to mark {e partial} censuses (interrupted or
-    budget-limited runs) so a reader cannot mistake them for complete
-    ones. *)
+    cascade.  A [# library: NAME] comment follows the format banner so a
+    human (and {!load}) can tell which census universe produced the
+    file.  [note], when given, is emitted as a further [#] comment —
+    used to mark {e partial} censuses (interrupted or budget-limited
+    runs) so a reader cannot mistake them for complete ones. *)
 val save : ?note:string -> Fmcf.t -> string -> unit
 
 (** [load library path] reads and re-validates a census file.
+    @raise Checkpoint.Mismatch when the file's [# library:] header names
+    a different library than [library] (files without the header are
+    validated structurally only);
     @raise Invalid_argument on malformed or inconsistent entries (with
     the offending line number). *)
 val load : Library.t -> string -> entry list

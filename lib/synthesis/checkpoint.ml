@@ -462,9 +462,10 @@ let peek path =
 let check_library library (h : header) =
   let fp = fingerprint library in
   let fail fmt = Printf.ksprintf (fun m -> raise (Mismatch m)) fmt in
+  let name = Library.name library in
   if h.qubits <> Library.qubits library then
-    fail "snapshot is for a %d-qubit library, this run uses %d qubits" h.qubits
-      (Library.qubits library);
+    fail "snapshot is for a %d-qubit library, this run uses %d qubits (%s)"
+      h.qubits (Library.qubits library) name;
   (* a quotient arena stores num_binary-byte image keys, not full point
      permutations *)
   let degree =
@@ -473,15 +474,16 @@ let check_library library (h : header) =
     | Some _ -> Mvl.Encoding.num_binary (Library.encoding library)
   in
   if h.degree <> degree then
-    fail "snapshot key length is %d bytes, this library expects %d" h.degree degree;
+    fail "snapshot key length is %d bytes, library %s expects %d" h.degree name
+      degree;
   if h.num_gates <> Library.size library then
-    fail "snapshot library has %d gates, this one has %d" h.num_gates
+    fail "snapshot library has %d gates, library %s has %d" h.num_gates name
       (Library.size library);
   if not (Int64.equal h.fingerprint fp) then
     fail
       "snapshot was produced by a different gate library/encoding (fingerprint %Lx, \
-       this library %Lx)"
-      h.fingerprint fp
+       this library is %s = %Lx)"
+      h.fingerprint name fp
 
 (* [rebuild_keys] replays the recorded gates to recover every state's
    key bytes: level-0 states get the identity permutation, and a level-d

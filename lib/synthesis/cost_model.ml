@@ -15,7 +15,10 @@ let by_kind ~name ~v ~v_dag ~feynman =
       match Gate.kind g with
       | Gate.Controlled_v -> v
       | Gate.Controlled_v_dag -> v_dag
-      | Gate.Feynman -> feynman)
+      | Gate.Feynman -> feynman
+      (* classical library gates (NCT/NFT) are unit-cost in their
+         literature's gate-count metric *)
+      | Gate.Not | Gate.Toffoli | Gate.Swap | Gate.Fredkin -> 1)
 
 let unit = make ~name:"unit" (fun _ -> 1)
 let feynman_cheap = by_kind ~name:"feynman-cheap" ~v:2 ~v_dag:2 ~feynman:1

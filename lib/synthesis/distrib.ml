@@ -260,12 +260,20 @@ let expand_item p ~keys ~off ~nkeys =
 (* {1 Message encodings} *)
 
 let encode_hello p =
-  let b = new_payload ~typ:t_hello ~body_len:19 in
+  (* The library name rides after the fixed fields (length byte + bytes)
+     so the worker rebuilds the same registry library the coordinator
+     runs; the fingerprint check below it would catch any divergence. *)
+  let name = Library.name p.library in
+  let name_len = String.length name in
+  if name_len > 255 then raise (Protocol_error "hello: library name too long");
+  let b = new_payload ~typ:t_hello ~body_len:(19 + 1 + name_len) in
   Bytes.set b 9 (Char.chr (Library.qubits p.library));
   Bytes.set b 10 (Char.chr (if p.sym = None then 0 else 1));
   Bytes.set b 11 (Char.chr p.klen);
   Bytes.set_int64_be b 12 p.lib_fp;
   Bytes.set_int64_be b 20 p.sym_fp;
+  Bytes.set b 28 (Char.chr name_len);
+  Bytes.blit_string name 0 b 29 name_len;
   seal b
 
 let encode_hello_ack p =
@@ -384,10 +392,17 @@ let validated_of_delta p d =
 (* {1 Worker side} *)
 
 let params_of_hello payload =
-  if Bytes.length payload < 28 + trailer_len then raise (Protocol_error "hello: truncated");
+  if Bytes.length payload < 29 + trailer_len then raise (Protocol_error "hello: truncated");
   let qubits = Char.code (Bytes.get payload 9) in
   let quotient = Char.code (Bytes.get payload 10) <> 0 in
-  let library = Library.make (Mvl.Encoding.make ~qubits) in
+  let name_len = Char.code (Bytes.get payload 28) in
+  if Bytes.length payload < 29 + name_len + trailer_len then
+    raise (Protocol_error "hello: truncated library name");
+  let name = Bytes.sub_string payload 29 name_len in
+  let library =
+    try Library.of_name ~qubits name
+    with Invalid_argument msg -> raise (Protocol_error ("hello: " ^ msg))
+  in
   let symmetry = if quotient then Some (Symmetry.create library) else None in
   params_of ?symmetry library
 

@@ -14,11 +14,21 @@ let gate_cell gate wire =
     match Gate.kind gate with
     | Gate.Controlled_v -> centered "[V]"
     | Gate.Controlled_v_dag -> centered "[V+]"
-    | Gate.Feynman -> centered "(+)"
-  else if wire = Gate.control gate then centered "*"
+    | Gate.Feynman | Gate.Toffoli -> centered "(+)"
+    | Gate.Not -> centered "[N]"
+    | Gate.Swap | Gate.Fredkin -> centered "x"
+  else if wire = Gate.control gate then
+    match Gate.kind gate with
+    | Gate.Swap -> centered "x"
+    | _ -> centered "*"
+  else if wire = Gate.control2 gate then
+    match Gate.kind gate with
+    | Gate.Fredkin -> centered "x"
+    | _ -> centered "*"
   else
-    let low = min (Gate.target gate) (Gate.control gate) in
-    let high = max (Gate.target gate) (Gate.control gate) in
+    let touched = Gate.wires gate in
+    let low = List.fold_left min max_int touched in
+    let high = List.fold_left max (-1) touched in
     if wire > low && wire < high then crossing else plain
 
 let default_labels qubits =

@@ -49,7 +49,7 @@ let xor_wires cascade =
        (fun g ->
          match Gate.kind g with
          | Gate.Feynman -> Some (Gate.target g)
-         | Gate.Controlled_v | Gate.Controlled_v_dag -> None)
+         | _ -> None)
        cascade)
 
 let all_wire_permutations qubits =

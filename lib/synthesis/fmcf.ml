@@ -254,8 +254,13 @@ let counts t = List.map (fun l -> (l.cost, List.length l.members)) t.levels
 let paper_counts t = List.map (fun l -> (l.cost, l.paper_count)) t.levels
 
 let s8_counts t =
-  let factor = 1 lsl Library.qubits t.library in
-  List.map (fun (cost, n) -> (cost, factor * n)) (counts t)
+  (* the 2^n scale-up is the Theorem-2 free NOT layer: it only exists for
+     coset-reduced libraries.  A full-group census already counts every
+     function, so the "with NOTs" row is the census itself. *)
+  if Library.coset_reduction t.library then
+    let factor = 1 lsl Library.qubits t.library in
+    List.map (fun (cost, n) -> (cost, factor * n)) (counts t)
+  else counts t
 
 let total_found t =
   List.fold_left (fun acc l -> acc + List.length l.members) 0 t.levels

@@ -141,7 +141,9 @@ val counts : t -> (int * int) list
 val paper_counts : t -> (int * int) list
 
 (** [s8_counts t] is the Table 2 bottom row: circuits including the free
-    input NOT layer, |S8[k]| = 2^n * |G[k]| (Theorem 2). *)
+    input NOT layer, |S8[k]| = 2^n * |G[k]| (Theorem 2).  The scale-up
+    applies only when {!Library.coset_reduction} holds; for full-group
+    universes (NCT, NFT) this is simply {!counts}. *)
 val s8_counts : t -> (int * int) list
 
 (** [total_found t] is the number of distinct reversible functions

@@ -8,11 +8,19 @@ type entry = {
   purity_mask : int;
 }
 
-type t = { encoding : Encoding.t; entries : entry array }
+type t = {
+  name : string;
+  encoding : Encoding.t;
+  entries : entry array;
+  by_gate : (Gate.t, int) Hashtbl.t;
+  coset_reduction : bool;
+}
+
+let default_name = "paper18"
 
 let compile encoding gate =
   let qubits = Encoding.qubits encoding in
-  if Gate.target gate >= qubits || Gate.control gate >= qubits then
+  if List.exists (fun w -> w >= qubits) (Gate.wires gate) then
     invalid_arg "Library.make: gate wire outside the encoding";
   let perm = Encoding.perm_of_action encoding (Gate.apply gate) in
   {
@@ -23,20 +31,27 @@ let compile encoding gate =
     purity_mask = Gate.purity_mask gate;
   }
 
-let make ?gates encoding =
+let make ?(name = default_name) ?(coset_reduction = true) ?gates encoding =
   let gates =
     match gates with Some gs -> gs | None -> Gate.all ~qubits:(Encoding.qubits encoding)
   in
-  { encoding; entries = Array.of_list (List.map (compile encoding) gates) }
+  let entries = Array.of_list (List.map (compile encoding) gates) in
+  (* index into [entries] rather than the entry itself, so entry rewrites
+     ([unconstrained]) keep the table valid *)
+  let by_gate = Hashtbl.create (2 * Array.length entries) in
+  Array.iteri (fun i e -> Hashtbl.replace by_gate e.gate i) entries;
+  { name; encoding; entries; by_gate; coset_reduction }
 
+let name t = t.name
 let encoding t = t.encoding
 let entries t = t.entries
 let qubits t = Encoding.qubits t.encoding
 let size t = Array.length t.entries
+let coset_reduction t = t.coset_reduction
 
 let entry_of_gate t g =
-  match Array.find_opt (fun e -> Gate.equal e.gate g) t.entries with
-  | Some e -> e
+  match Hashtbl.find_opt t.by_gate g with
+  | Some i -> t.entries.(i)
   | None -> raise Not_found
 
 let perm_of_gate t g = (entry_of_gate t g).perm
@@ -58,8 +73,71 @@ let feynman_only t =
   let gates =
     Array.to_list t.entries
     |> List.filter_map (fun e ->
-           match Gate.kind e.gate with
-           | Gate.Feynman -> Some e.gate
-           | Gate.Controlled_v | Gate.Controlled_v_dag -> None)
+           match Gate.kind e.gate with Gate.Feynman -> Some e.gate | _ -> None)
   in
-  make ~gates t.encoding
+  make ~name:t.name ~coset_reduction:t.coset_reduction ~gates t.encoding
+
+module Registry = struct
+  type descriptor = {
+    name : string;
+    summary : string;
+    gates : qubits:int -> Gate.t list;
+    encoding : qubits:int -> Encoding.t;
+    coset_reduction : bool;
+  }
+
+  let name d = d.name
+  let summary d = d.summary
+  let coset_reduction d = d.coset_reduction
+
+  let paper18 =
+    {
+      name = default_name;
+      summary =
+        "CV/CV+/CNOT quantum library of the paper (18 gates on 3 qubits, \
+         mixed 38-point encoding, free NOT layer)";
+      gates = (fun ~qubits -> Gate.all ~qubits);
+      encoding = (fun ~qubits -> Encoding.make ~qubits);
+      coset_reduction = true;
+    }
+
+  let nct =
+    {
+      name = "nct";
+      summary =
+        "classical NCT library: NOT, CNOT, Toffoli (12 gates on 3 qubits, \
+         binary encoding)";
+      gates = (fun ~qubits -> Gate.nct ~qubits);
+      encoding = (fun ~qubits -> Encoding.make_binary ~qubits);
+      coset_reduction = false;
+    }
+
+  let nft =
+    {
+      name = "nft";
+      summary =
+        "classical NFT library of Younes, arXiv:1304.5804: generalized \
+         Toffoli + generalized Fredkin families (18 gates on 3 qubits, \
+         binary encoding)";
+      gates = (fun ~qubits -> Gate.nft ~qubits);
+      encoding = (fun ~qubits -> Encoding.make_binary ~qubits);
+      coset_reduction = false;
+    }
+
+  let all = [ paper18; nct; nft ]
+  let names = List.map (fun d -> d.name) all
+  let find n = List.find_opt (fun d -> String.equal d.name n) all
+
+  let instantiate ?(qubits = 3) d =
+    make ~name:d.name ~coset_reduction:d.coset_reduction
+      ~gates:(d.gates ~qubits)
+      (d.encoding ~qubits)
+end
+
+let of_name ?qubits n =
+  match Registry.find n with
+  | Some d -> Registry.instantiate ?qubits d
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Library.of_name: unknown library %S (known: %s)" n
+           (String.concat ", " Registry.names))

@@ -116,6 +116,7 @@ module Request = struct
   type t = {
     id : string option;
     qubits : int;
+    library : string;
     spec : string;
     task : task;
     max_depth : int;
@@ -123,9 +124,9 @@ module Request = struct
     deadline_ms : int option;
   }
 
-  let make ?id ?(qubits = 3) ?(task = Synthesize) ?(max_depth = 7) ?(plan = Auto)
-      ?deadline_ms spec =
-    { id; qubits; spec; task; max_depth; plan; deadline_ms }
+  let make ?id ?(qubits = 3) ?(library = Library.default_name)
+      ?(task = Synthesize) ?(max_depth = 7) ?(plan = Auto) ?deadline_ms spec =
+    { id; qubits; library; spec; task; max_depth; plan; deadline_ms }
 
   let equal a b = a = b
 
@@ -166,8 +167,12 @@ module Request = struct
     Json.Obj
       ((("v", Json.Int 1)
         :: (match t.id with Some id -> [ ("id", Json.String id) ] | None -> []))
+      @ [ ("qubits", Json.Int t.qubits) ]
+      (* the default library is omitted on the wire so pre-plugin peers
+         keep parsing our requests *)
+      @ (if String.equal t.library Library.default_name then []
+         else [ ("library", Json.String t.library) ])
       @ [
-          ("qubits", Json.Int t.qubits);
           ("spec", Json.String t.spec);
           ("task", task_to_json t.task);
           ("max_depth", Json.Int t.max_depth);
@@ -188,8 +193,8 @@ module Request = struct
             (fun acc (k, _) ->
               let* () = acc in
               match k with
-              | "v" | "id" | "qubits" | "spec" | "task" | "max_depth" | "plan"
-              | "deadline_ms" ->
+              | "v" | "id" | "qubits" | "library" | "spec" | "task"
+              | "max_depth" | "plan" | "deadline_ms" ->
                   Ok ()
               | other -> Error (Printf.sprintf "unknown request field %S" other))
             (Ok ()) fields
@@ -212,6 +217,17 @@ module Request = struct
           | None -> Ok 3
           | Some (Json.Int n) when n >= 1 -> Ok n
           | Some _ -> Error "malformed qubits field (want a positive integer)"
+        in
+        let* library =
+          match get "library" with
+          | None -> Ok Library.default_name
+          | Some (Json.String s) ->
+              if List.mem s Library.Registry.names then Ok s
+              else
+                Error
+                  (Printf.sprintf "unknown library %S (known: %s)" s
+                     (String.concat ", " Library.Registry.names))
+          | Some _ -> Error "malformed library field (want a string)"
         in
         let* spec =
           match get "spec" with
@@ -240,7 +256,7 @@ module Request = struct
           | Some (Json.Int ms) when ms >= 1 -> Ok (Some ms)
           | Some _ -> Error "malformed deadline_ms field (want a positive integer)"
         in
-        Ok { id; qubits; spec; task; max_depth; plan; deadline_ms }
+        Ok { id; qubits; library; spec; task; max_depth; plan; deadline_ms }
     | _ -> Error "request must be a JSON object"
 
   let key t =
@@ -249,6 +265,7 @@ module Request = struct
       (Json.Obj
          [
            ("qubits", Json.Int t.qubits);
+           ("library", Json.String t.library);
            ("spec", Json.String spec);
            ("task", task_to_json t.task);
            ("max_depth", Json.Int t.max_depth);
@@ -568,8 +585,14 @@ type outcome =
 
 type query = { q_target : Revfun.t; q_mask : int; q_outcome : outcome }
 
+(* Theorem 2's free NOT layer exists only under coset reduction; a
+   full-group library (NCT, NFT) prices NOTs like any gate, so the
+   target is searched whole. *)
+let coset_split library target =
+  if Library.coset_reduction library then strip_not_layer target else (0, target)
+
 let run_query ?(max_depth = 7) ?(jobs = 1) ?(should_stop = no_stop) library target =
-  let mask, remainder = strip_not_layer target in
+  let mask, remainder = coset_split library target in
   let outcome =
     if Revfun.is_identity remainder then Trivial
     else
@@ -658,11 +681,17 @@ let solve ?(jobs = 1) ?(should_stop = no_stop) ?index ?bidir library
       (Response.Bad_request
          (Printf.sprintf "this engine is built for %d qubits; the request says %d"
             (Library.qubits library) req.qubits))
+  else if not (String.equal req.library (Library.name library)) then
+    fail
+      (Response.Bad_request
+         (Printf.sprintf
+            "this engine serves library %s; the request asks for %s"
+            (Library.name library) req.library))
   else
     match Request.target req with
     | Error msg -> fail (Response.Bad_request msg)
     | Ok target -> (
-        let mask, remainder = strip_not_layer target in
+        let mask, remainder = coset_split library target in
         let found plan cascade =
           ok plan
             (Response.Synthesized
@@ -873,8 +902,7 @@ let express ?(max_depth = 7) ?jobs ?should_stop ?index ?bidir library target =
   let req =
     Request.make
       ~qubits:(Revfun.bits target)
-      ~max_depth
-      (column_spec target)
+      ~library:(Library.name library) ~max_depth (column_spec target)
   in
   Response.result_of (solve ?jobs ?should_stop ?index ?bidir library req)
 

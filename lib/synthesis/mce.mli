@@ -63,6 +63,11 @@ module Request : sig
         (** client correlation token, echoed verbatim in the response;
             not part of the canonical {!key} *)
     qubits : int;
+    library : string;
+        (** census universe the request targets, a {!Library.Registry}
+            name; defaults to {!Library.default_name} and is omitted
+            from the wire encoding at that default.  An engine built for
+            a different library answers [Bad_request]. *)
     spec : string;
         (** the target, in any syntax {!Reversible.Spec.parse} accepts:
             a name ("toffoli"), cycles ("(7,8)"), formulas, or a
@@ -79,14 +84,18 @@ module Request : sig
   val make :
     ?id:string ->
     ?qubits:int ->
+    ?library:string ->
     ?task:task ->
     ?max_depth:int ->
     ?plan:plan ->
     ?deadline_ms:int ->
     string ->
     t
-  (** [make spec] with defaults [qubits = 3], [task = Synthesize],
-      [max_depth = 7], [plan = Auto], no id, no deadline. *)
+  (** [make spec] with defaults [qubits = 3],
+      [library = Library.default_name], [task = Synthesize],
+      [max_depth = 7], [plan = Auto], no id, no deadline.  The library
+      name is {e not} validated here; {!of_json} and {!solve} are the
+      validation boundaries. *)
 
   val equal : t -> t -> bool
 
@@ -94,8 +103,9 @@ module Request : sig
       equal keys are answered identically by the same engine, so the
       daemon shares one computation (and one cached response body)
       between them.  The key canonicalizes the spec to the parsed
-      function's truth-table output column when it parses, and omits
-      [id] and [deadline_ms]. *)
+      function's truth-table output column when it parses, always spells
+      out the library name (so the same spec under different universes
+      never shares a cache line), and omits [id] and [deadline_ms]. *)
   val key : t -> string
 
   (** [target t] parses the spec. *)
@@ -104,9 +114,12 @@ module Request : sig
   val to_json : t -> Telemetry.Json.t
 
   (** [of_json j] decodes a request; unknown fields are rejected so a
-      typo'd field name cannot silently change a query's meaning.
-      Missing optional fields take the {!make} defaults.
-      [of_json (to_json t) = Ok t] for every [t]. *)
+      typo'd field name cannot silently change a query's meaning, and a
+      [library] value outside {!Library.Registry.names} is rejected
+      here, at the parse boundary (the daemon maps that to
+      [Bad_request]).  Missing optional fields take the {!make}
+      defaults.  [of_json (to_json t) = Ok t] for every [t] whose
+      library is registered. *)
   val of_json : Telemetry.Json.t -> (t, string) Stdlib.result
 end
 

@@ -1,28 +1,44 @@
-let same_wires a b = Gate.target a = Gate.target b && Gate.control a = Gate.control b
+let same_wires a b =
+  Gate.target a = Gate.target b
+  && Gate.control a = Gate.control b
+  && Gate.control2 a = Gate.control2 b
 
-let wires g = [ Gate.target g; Gate.control g ]
+let wires = Gate.wires
 
 let disjoint a b = List.for_all (fun w -> not (List.mem w (wires b))) (wires a)
 
 let is_v_kind g =
   match Gate.kind g with
   | Gate.Controlled_v | Gate.Controlled_v_dag -> true
-  | Gate.Feynman -> false
+  | _ -> false
+
+(* The shared-wire commutation algebra below is derived for the paper's
+   two-wire kinds only; classical kinds commute here just when their
+   wire sets are disjoint. *)
+let is_classical g =
+  match Gate.kind g with
+  | Gate.Not | Gate.Toffoli | Gate.Swap | Gate.Fredkin -> true
+  | Gate.Controlled_v | Gate.Controlled_v_dag | Gate.Feynman -> false
 
 let kind_compatible a b =
   (is_v_kind a && is_v_kind b) || ((not (is_v_kind a)) && not (is_v_kind b))
 
 let commute a b =
   disjoint a b
-  || (Gate.control a = Gate.control b && Gate.target a <> Gate.target b)
-  || (Gate.target a = Gate.target b
-     && Gate.control a <> Gate.control b
-     && kind_compatible a b)
-  || (same_wires a b && kind_compatible a b)
+  || (not (is_classical a))
+     && (not (is_classical b))
+     && ((Gate.control a = Gate.control b && Gate.target a <> Gate.target b)
+        || (Gate.target a = Gate.target b
+           && Gate.control a <> Gate.control b
+           && kind_compatible a b)
+        || (same_wires a b && kind_compatible a b))
 
 (* Adjacent-pair rules, sound over the unitary semantics. *)
 let pair_rule a b =
-  if not (same_wires a b) then None
+  if is_classical a || is_classical b then
+    (* every classical kind is self-inverse; no other local rule applies *)
+    if Gate.equal a b then Some [] else None
+  else if not (same_wires a b) then None
   else
     match (Gate.kind a, Gate.kind b) with
     | Gate.Controlled_v, Gate.Controlled_v_dag
@@ -40,6 +56,7 @@ let pair_rule a b =
         (* X.V = V+.X up to global structure — not a local simplification
            we apply (it does not reduce gate count). *)
         None
+    | _ -> None (* classical kinds were dispatched above *)
 
 let cancel_once cascade =
   let rec go prefix = function

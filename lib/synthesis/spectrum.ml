@@ -25,14 +25,58 @@ let analyze census =
   let census_depth =
     List.fold_left (fun acc level -> max acc level.Fmcf.cost) 0 (Fmcf.levels census)
   in
-  (* The full group G: zero-fixing circuits, order 5040. *)
-  let group = Universality.closure_of (Gates.g1 :: Universality.cnots ~bits:3) in
+  (* The universe the spectrum ranges over: the zero-fixing group G
+     (order 5040) under the paper's coset reduction, or all of S8 for a
+     full-group library (NCT, NFT). *)
   let remaining =
-    Closure.fold
-      (fun p acc ->
-        if Hashtbl.mem cost_of (Perm.key p) then acc
-        else Revfun.of_perm ~bits:3 p :: acc)
-      group []
+    if Library.coset_reduction library then
+      let group =
+        Universality.closure_of (Gates.g1 :: Universality.cnots ~bits:3)
+      in
+      Closure.fold
+        (fun p acc ->
+          if Hashtbl.mem cost_of (Perm.key p) then acc
+          else Revfun.of_perm ~bits:3 p :: acc)
+        group []
+    else begin
+      let next_permutation a =
+        let n = Array.length a in
+        let swap i j =
+          let tmp = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- tmp
+        in
+        let i = ref (n - 2) in
+        while !i >= 0 && a.(!i) >= a.(!i + 1) do
+          decr i
+        done;
+        if !i < 0 then false
+        else begin
+          let j = ref (n - 1) in
+          while a.(!j) <= a.(!i) do
+            decr j
+          done;
+          swap !i !j;
+          let l = ref (!i + 1) and r = ref (n - 1) in
+          while !l < !r do
+            swap !l !r;
+            incr l;
+            decr r
+          done;
+          true
+        end
+      in
+      let a = Array.init 8 Fun.id in
+      let acc = ref [] in
+      let continue = ref true in
+      while !continue do
+        let p = Perm.of_array (Array.copy a) in
+        if not (Hashtbl.mem cost_of (Perm.key p)) then
+          acc := Revfun.of_perm ~bits:3 p :: !acc;
+        continue := next_permutation a
+      done;
+      !acc
+    end
   in
   (* Two-split upper bound: cost(h) + cost(h^-1 * g) over census members h.
      Iterating h over the cheap members first lets us stop early once the
@@ -172,7 +216,10 @@ let composer census =
       buckets.(c)
   done;
   fun target ->
-    let mask, remainder = Mce.strip_not_layer target in
+    let mask, remainder =
+      if Library.coset_reduction library then Mce.strip_not_layer target
+      else (0, target)
+    in
     let finish cascade =
       Some { Mce.target; not_mask = mask; cascade; cost = List.length cascade }
     in

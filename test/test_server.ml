@@ -70,12 +70,13 @@ let request_gen : Mce.Request.t QCheck2.Gen.t =
   let open QCheck2.Gen in
   let* id = id_gen in
   let* qubits = int_range 1 4 in
+  let* library = oneofl Library.Registry.names in
   let* spec = spec_gen in
   let* task = task_gen in
   let* max_depth = int_range 0 9 in
   let* plan = plan_gen in
   let+ deadline_ms = opt (int_range 1 60_000) in
-  { Mce.Request.id; qubits; spec; task; max_depth; plan; deadline_ms }
+  { Mce.Request.id; qubits; library; spec; task; max_depth; plan; deadline_ms }
 
 let request_roundtrip =
   qtest "Request: of_json (to_json r) = Ok r" request_gen (fun r ->
@@ -97,6 +98,55 @@ let request_defaults () =
   | Error e -> Alcotest.fail e
   | Ok r ->
       checkb "defaults" true (Mce.Request.equal r (Mce.Request.make "fredkin"))
+
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let request_unknown_library_rejected () =
+  let doc = {|{"v":1,"spec":"toffoli","library":"bogus"}|} in
+  match Mce.Request.of_json (Telemetry.Json.of_string doc) with
+  | Ok _ -> Alcotest.fail "unknown library accepted"
+  | Error msg ->
+      checkb "message names the library" true
+        (has_sub msg "bogus" && has_sub msg "paper18")
+
+let request_library_roundtrip () =
+  (* The library field survives the wire in both directions; the default
+     is omitted from the encoding, so paper18 documents stay byte-stable
+     across the API redesign. *)
+  List.iter
+    (fun name ->
+      let r = Mce.Request.make ~library:name "toffoli" in
+      match Mce.Request.of_json (Mce.Request.to_json r) with
+      | Ok r' ->
+          checkb "library survives round-trip" true (Mce.Request.equal r r');
+          check Alcotest.string "library name" name r'.Mce.Request.library
+      | Error e -> Alcotest.fail e)
+    Library.Registry.names;
+  let doc = {|{"spec":"toffoli"}|} in
+  (match Mce.Request.of_json (Telemetry.Json.of_string doc) with
+  | Ok r ->
+      check Alcotest.string "omitted library defaults" Library.default_name
+        r.Mce.Request.library
+  | Error e -> Alcotest.fail e);
+  let default = Mce.Request.make "toffoli" in
+  checkb "default library omitted on the wire" false
+    (has_sub
+       (Telemetry.Json.to_string (Mce.Request.to_json default))
+       "library")
+
+let key_differs_across_libraries () =
+  (* One spec, three universes: never the same cache line. *)
+  let keys =
+    List.map
+      (fun name -> Mce.Request.key (Mce.Request.make ~library:name "toffoli"))
+      Library.Registry.names
+  in
+  check Alcotest.int "all keys distinct"
+    (List.length keys)
+    (List.length (List.sort_uniq String.compare keys))
 
 let key_canonicalizes () =
   (* Two spellings of the same function share one cache slot; the id and
@@ -339,6 +389,44 @@ let service_qubits_mismatch () =
   match (Service.answer svc req).Mce.Response.body with
   | Error (Mce.Response.Bad_request _) -> ()
   | _ -> Alcotest.fail "qubit mismatch not rejected"
+
+let service_unconfigured_library () =
+  (* A single-library service names its configured universe in the
+     rejection; requests never silently cross libraries. *)
+  let svc = Service.create library3 in
+  let req = Mce.Request.make ~library:"nft" "toffoli" in
+  match (Service.answer svc req).Mce.Response.body with
+  | Error (Mce.Response.Bad_request msg) ->
+      checkb "rejection names both libraries" true
+        (has_sub msg "nft" && has_sub msg "paper18")
+  | _ -> Alcotest.fail "unconfigured library not rejected"
+
+let service_routes_libraries () =
+  (* A two-library service answers each universe exactly as a one-shot
+     evaluation of that library would — the cross-transport byte-identity
+     contract, per library. *)
+  let nft = Library.of_name "nft" in
+  let svc = Service.create ~libraries:[ nft ] library3 in
+  check
+    (Alcotest.list Alcotest.string)
+    "libraries, primary first" [ "paper18"; "nft" ] (Service.libraries svc);
+  List.iter
+    (fun (name, lib) ->
+      let req = Mce.Request.make ~library:name "toffoli" in
+      let via_service = Service.answer svc req in
+      let one_shot = Mce.solve lib req in
+      check Alcotest.string
+        (name ^ " answer matches one-shot")
+        (Mce.Response.to_string one_shot)
+        (Mce.Response.to_string via_service))
+    [ ("paper18", library3); ("nft", nft) ];
+  (* an unconfigured third universe still fails *)
+  match
+    (Service.answer svc (Mce.Request.make ~library:"nct" "toffoli"))
+      .Mce.Response.body
+  with
+  | Error (Mce.Response.Bad_request _) -> ()
+  | _ -> Alcotest.fail "nct accepted by a paper18+nft service"
 
 (* {1 Live daemon: concurrent stress with byte-identity} *)
 
@@ -690,6 +778,12 @@ let () =
           Alcotest.test_case "missing fields take defaults" `Quick
             request_defaults;
           Alcotest.test_case "key canonicalizes spec" `Quick key_canonicalizes;
+          Alcotest.test_case "unknown library rejected" `Quick
+            request_unknown_library_rejected;
+          Alcotest.test_case "library round-trips, default omitted" `Quick
+            request_library_roundtrip;
+          Alcotest.test_case "key differs across libraries" `Quick
+            key_differs_across_libraries;
           response_roundtrip;
           response_string_roundtrip;
           encoding_is_canonical;
@@ -716,6 +810,10 @@ let () =
             service_deadline;
           Alcotest.test_case "qubit mismatch is Bad_request" `Quick
             service_qubits_mismatch;
+          Alcotest.test_case "unconfigured library is Bad_request" `Quick
+            service_unconfigured_library;
+          Alcotest.test_case "two-library routing matches one-shot" `Quick
+            service_routes_libraries;
         ] );
       ( "daemon",
         [

@@ -549,6 +549,145 @@ let test_trajectory_purity () =
   let mixed = Mvl.Pattern.of_list [ Mvl.Quat.One; Mvl.Quat.V0; Mvl.Quat.Zero ] in
   checkb "mixed control impure" false (Verify.trajectory_is_pure peres mixed)
 
+(* Library plugins: the NCT/NFT classical universes behind the registry *)
+
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_classical_gate_names () =
+  List.iter
+    (fun s ->
+      let g = Gate.of_name ~qubits:3 s in
+      check Alcotest.string "name round-trip" s (Gate.name g))
+    [ "NA"; "NB"; "NC"; "TABC"; "TBAC"; "TCAB"; "SAB"; "SBC"; "FRBCA" ];
+  (* canonicalization: controls and swapped pairs are order-insensitive *)
+  checkb "Toffoli controls sorted" true
+    (Gate.equal (Gate.of_name ~qubits:3 "TABC") (Gate.of_name ~qubits:3 "TACB"));
+  checkb "Swap wires sorted" true
+    (Gate.equal (Gate.of_name ~qubits:3 "SAB") (Gate.of_name ~qubits:3 "SBA"));
+  checkb "Fredkin pair sorted" true
+    (Gate.equal (Gate.of_name ~qubits:3 "FRBCA") (Gate.of_name ~qubits:3 "FRCBA"));
+  (* classical gates are involutions *)
+  List.iter
+    (fun s ->
+      let g = Gate.of_name ~qubits:3 s in
+      checkb (s ^ " self-adjoint") true (Gate.equal g (Gate.adjoint g)))
+    [ "NA"; "TABC"; "SAB"; "FRBCA" ]
+
+let test_classical_gate_matrices () =
+  (* Hand-computed permutation matrices over the computational basis,
+     qubit 0 = most significant bit (A = 4, B = 2, C = 1). *)
+  let expect name img =
+    check
+      (Alcotest.testable Qmath.Dmatrix.pp Qmath.Dmatrix.equal)
+      name
+      (Qmath.Dmatrix.permutation_matrix img)
+      (Gate.matrix ~qubits:3 (Gate.of_name ~qubits:3 name))
+  in
+  expect "NA" [| 4; 5; 6; 7; 0; 1; 2; 3 |];
+  expect "TCAB" [| 0; 1; 2; 3; 4; 5; 7; 6 |];
+  expect "TABC" [| 0; 1; 2; 7; 4; 5; 6; 3 |];
+  expect "SAB" [| 0; 1; 4; 5; 2; 3; 6; 7 |];
+  expect "FRBCA" [| 0; 1; 2; 3; 4; 6; 5; 7 |]
+
+let test_library_registry () =
+  check
+    (Alcotest.list Alcotest.string)
+    "registry names" [ "paper18"; "nct"; "nft" ] Library.Registry.names;
+  checkb "unknown name raises, listing the registry" true
+    (match Library.of_name "bogus" with
+    | exception Invalid_argument msg -> has_sub msg "paper18"
+    | _ -> false);
+  (* paper18 through the registry is the historical default library:
+     same name, same structural fingerprint, coset reduction on. *)
+  let p18 = Library.of_name "paper18" in
+  check Alcotest.string "default name" Library.default_name (Library.name p18);
+  check Alcotest.int64 "paper18 fingerprint unchanged"
+    (Checkpoint.fingerprint library3) (Checkpoint.fingerprint p18);
+  checkb "paper18 coset reduction" true (Library.coset_reduction p18);
+  let nct = Library.of_name "nct" and nft = Library.of_name "nft" in
+  check Alcotest.int "nct gate count" 12 (Library.size nct);
+  check Alcotest.int "nft gate count" 18 (Library.size nft);
+  checkb "nct full-group" false (Library.coset_reduction nct);
+  checkb "nft full-group" false (Library.coset_reduction nft);
+  (* fingerprints separate the universes — the checkpoint/index guard *)
+  check Alcotest.int "three distinct fingerprints" 3
+    (List.length
+       (List.sort_uniq Int64.compare
+          (List.map Checkpoint.fingerprint [ p18; nct; nft ])))
+
+(* Engine-verified published spectra: Shende et al. for NCT, Younes
+   (arXiv:1304.5804) for NFT.  Both sum to |S8| = 40320 at full depth. *)
+let test_nct_census () =
+  let census = Fmcf.run ~max_depth:5 (Library.of_name "nct") in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "Shende spectrum to depth 5"
+    [ (0, 1); (1, 12); (2, 102); (3, 625); (4, 2780); (5, 8921) ]
+    (Fmcf.counts census);
+  (* no free NOT layer: the S8 row is the counts themselves *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "s8_counts unscaled" (Fmcf.counts census) (Fmcf.s8_counts census)
+
+let test_nft_census () =
+  let census = Fmcf.run ~max_depth:7 (Library.of_name "nft") in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "Younes spectrum, full diameter 7"
+    [ (0, 1); (1, 18); (2, 184); (3, 1318); (4, 6474); (5, 17695);
+      (6, 14134); (7, 496) ]
+    (Fmcf.counts census);
+  check Alcotest.int "all of S8" 40320 (Fmcf.total_found census)
+
+let test_nft_census_quotient_identical () =
+  (* The wire-relabeling quotient is sound for the classical libraries
+     too (their gate sets are wire-equivariant). *)
+  let lib = Library.of_name "nft" in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "quotient counts identical"
+    (Fmcf.counts (Fmcf.run ~max_depth:4 lib))
+    (Fmcf.counts (Fmcf.run ~max_depth:4 ~quotient:true lib))
+
+let test_census_io_library_header () =
+  let nct = Library.of_name "nct" in
+  let census = Fmcf.run ~max_depth:2 nct in
+  let path = Filename.temp_file "qsynth_census" ".tsv" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Census_io.save census path;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  checkb "header records the library" true
+    (List.exists (fun l -> l = "# library: nct") !lines);
+  (* same library loads and re-validates *)
+  check Alcotest.int "entries load back" (Fmcf.total_found census)
+    (List.length (Census_io.load nct path));
+  (* a different universe is refused with both names in the message *)
+  checkb "cross-library load refused" true
+    (match Census_io.load library3 path with
+    | exception Checkpoint.Mismatch msg ->
+        has_sub msg "nct" && has_sub msg "paper18"
+    | _ -> false)
+
+let test_checkpoint_names_library () =
+  let path = Filename.temp_file "qsynth_ckpt" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Checkpoint.save (Search.create (Library.of_name "nct")) path;
+  checkb "mismatch message names the loading library" true
+    (match Checkpoint.load (Library.of_name "nft") path with
+    | exception Checkpoint.Mismatch msg -> has_sub msg "nft"
+    | _ -> false)
+
 let () =
   Alcotest.run "synthesis"
     [
@@ -629,5 +768,21 @@ let () =
           Alcotest.test_case "negatives" `Quick test_verify_negative;
           Alcotest.test_case "NOT mask" `Quick test_verify_not_mask;
           Alcotest.test_case "trajectory purity" `Quick test_trajectory_purity;
+        ] );
+      ( "library plugins",
+        [
+          Alcotest.test_case "classical gate names" `Quick
+            test_classical_gate_names;
+          Alcotest.test_case "classical gate matrices" `Quick
+            test_classical_gate_matrices;
+          Alcotest.test_case "registry" `Quick test_library_registry;
+          Alcotest.test_case "NCT census (Shende)" `Slow test_nct_census;
+          Alcotest.test_case "NFT census (Younes)" `Slow test_nft_census;
+          Alcotest.test_case "NFT quotient identical" `Slow
+            test_nft_census_quotient_identical;
+          Alcotest.test_case "census file records library" `Quick
+            test_census_io_library_header;
+          Alcotest.test_case "checkpoint mismatch names library" `Quick
+            test_checkpoint_names_library;
         ] );
     ]
